@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test ./... -race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerates every table and figure of the paper (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadWAL -fuzztime=30s ./internal/ldbs
+	$(GO) test -fuzz=FuzzParseSQL -fuzztime=30s ./internal/ldbs
+	$(GO) test -fuzz=FuzzReadMsg -fuzztime=30s ./internal/wire
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,239 @@
+// Package preserial's root benchmark harness regenerates every table and
+// figure of the paper's evaluation as testing.B benchmarks, so
+//
+//	go test -bench=. -benchmem
+//
+// reprints the quantities the paper reports. Figure values are attached to
+// each benchmark via ReportMetric (custom units), so the benchmark output
+// doubles as the reproduction record; cmd/experiments prints the same data
+// as formatted tables.
+package preserial
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"preserial/internal/analytic"
+	"preserial/internal/core"
+	"preserial/internal/sem"
+	"preserial/internal/sim"
+	"preserial/internal/workload"
+)
+
+// BenchmarkTableICompatibility measures the compatibility test over every
+// class pair (Table I is the lookup the GTM performs on every admission).
+func BenchmarkTableICompatibility(b *testing.B) {
+	n := 0
+	for i := 0; i < b.N; i++ {
+		for _, a := range sem.Classes {
+			for _, c := range sem.Classes {
+				if sem.Compatible(a, c) {
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		b.Fatal("no compatible pairs")
+	}
+}
+
+// BenchmarkTableIIReconciliation replays the full Table II trace — two
+// concurrent add-transactions with commit-time reconciliation — through a
+// fresh Manager per iteration.
+func BenchmarkTableIIReconciliation(b *testing.B) {
+	ref := core.StoreRef{Table: "T", Key: "X", Column: "v"}
+	addOp := sem.Op{Class: sem.AddSub}
+	for i := 0; i < b.N; i++ {
+		store := core.NewMemStore()
+		store.Seed(ref, sem.Int(100))
+		m := core.NewManager(store)
+		if err := m.RegisterAtomicObject("X", ref); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Begin("A"); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Begin("B"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Invoke("A", "X", addOp); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Invoke("B", "X", addOp); err != nil {
+			b.Fatal(err)
+		}
+		_ = m.Apply("A", "X", sem.Int(1))
+		_ = m.Apply("B", "X", sem.Int(2))
+		_ = m.Apply("A", "X", sem.Int(3))
+		if err := m.RequestCommit("A"); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.RequestCommit("B"); err != nil {
+			b.Fatal(err)
+		}
+		v, _ := m.Permanent("X", "")
+		if v.Int64() != 106 {
+			b.Fatalf("final = %s, want 106", v)
+		}
+	}
+}
+
+// BenchmarkFig1ExecutionTimeModel evaluates the Fig. 1 surface (Eq. 3–5 on
+// a 21×21 grid, n=100) and reports the paper's two headline points.
+func BenchmarkFig1ExecutionTimeModel(b *testing.B) {
+	var rows []analytic.Fig1Row
+	for i := 0; i < b.N; i++ {
+		rows = analytic.Fig1(100, 1, 20)
+	}
+	b.ReportMetric(analytic.TwoPLTime(100, 100, 1), "2pl_at_c100")
+	b.ReportMetric(analytic.OurTime(100, 100, 0, 1), "ours_at_c100_i0")
+	if len(rows) != 441 {
+		b.Fatalf("rows = %d", len(rows))
+	}
+}
+
+// BenchmarkFig2AbortModel evaluates the Fig. 2 abort surfaces.
+func BenchmarkFig2AbortModel(b *testing.B) {
+	var rows []analytic.Fig2Row
+	for i := 0; i < b.N; i++ {
+		rows = analytic.Fig2([]float64{0.1, 0.3, 0.5, 1}, 20)
+	}
+	b.ReportMetric(100*analytic.AbortProbability(0.3, 0.5, 0.5), "abort_pct_d30_c50_i50")
+	if len(rows) == 0 {
+		b.Fatal("no rows")
+	}
+}
+
+// fig3Population builds the Section VI.B population at the given α and β.
+func fig3Population(b *testing.B, n int, alpha, beta float64) []workload.Spec {
+	b.Helper()
+	p := workload.DefaultParams()
+	p.N = n
+	p.Alpha = alpha
+	p.Beta = beta
+	specs, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return specs
+}
+
+// BenchmarkFig3aExecTimeVsAlpha emulates one α point of Fig. 3a per
+// sub-benchmark and reports both schedulers' mean execution times.
+func BenchmarkFig3aExecTimeVsAlpha(b *testing.B) {
+	const n = 500
+	for _, alpha := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		alpha := alpha
+		b.Run(fmt.Sprintf("alpha=%.1f", alpha), func(b *testing.B) {
+			specs := fig3Population(b, n, alpha, 0.05)
+			var cmp sim.Comparison
+			for i := 0; i < b.N; i++ {
+				var err error
+				cmp, err = sim.Compare(specs, 5, 1_000_000, 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cmp.GTM.MeanLatency, "gtm_s")
+			b.ReportMetric(cmp.TwoPL.MeanLatency, "2pl_s")
+		})
+	}
+}
+
+// BenchmarkFig3bAbortVsBeta emulates one β point of Fig. 3b per
+// sub-benchmark and reports both schedulers' abort percentages.
+func BenchmarkFig3bAbortVsBeta(b *testing.B) {
+	const n = 500
+	for _, beta := range []float64{0.05, 0.1, 0.2, 0.3} {
+		beta := beta
+		b.Run(fmt.Sprintf("beta=%.2f", beta), func(b *testing.B) {
+			specs := fig3Population(b, n, 0.7, beta)
+			var cmp sim.Comparison
+			for i := 0; i < b.N; i++ {
+				var err error
+				cmp, err = sim.Compare(specs, 5, 1_000_000, 2*time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cmp.GTM.AbortPct, "gtm_abort_pct")
+			b.ReportMetric(cmp.TwoPL.AbortPct, "2pl_abort_pct")
+		})
+	}
+}
+
+// runAblation emulates the contended VI.B population under the given
+// manager options and reports latency and aborts.
+func runAblation(b *testing.B, opts ...core.Option) {
+	b.Helper()
+	specs := fig3Population(b, 500, 0.7, 0.1)
+	var sum sim.Summary
+	for i := 0; i < b.N; i++ {
+		res, _, err := sim.RunGTM(specs, sim.GTMConfig{
+			Objects: 5, InitialValue: 1_000_000, Options: opts,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum = sim.Summarize(res)
+	}
+	b.ReportMetric(sum.MeanLatency, "mean_exec_s")
+	b.ReportMetric(sum.AbortPct, "abort_pct")
+}
+
+// BenchmarkAblationBaseline is the unmodified GTM on the contended
+// population — the reference for the Section VII ablations.
+func BenchmarkAblationBaseline(b *testing.B) { runAblation(b) }
+
+// BenchmarkAblationNoCompatibility disables semantic compatibility
+// (StrictRWConflict): the GTM degenerates into a plain locking scheduler,
+// isolating the value of Table I.
+func BenchmarkAblationNoCompatibility(b *testing.B) {
+	runAblation(b, core.WithConflictFunc(core.StrictRWConflict))
+}
+
+// BenchmarkAblationStarvationControl enables the incompatible-waiter cap
+// proposed in Section VII.
+func BenchmarkAblationStarvationControl(b *testing.B) {
+	runAblation(b, core.WithIncompatibleWaiterCap(3))
+}
+
+// BenchmarkAblationPriorities enables priority-ordered waiter admission.
+func BenchmarkAblationPriorities(b *testing.B) {
+	runAblation(b, core.WithPriorities())
+}
+
+// BenchmarkItineraryComparison emulates the Section II multi-object tours
+// under both schedulers and reports the Fig. 3-style quantities plus the
+// baseline's deadlock count.
+func BenchmarkItineraryComparison(b *testing.B) {
+	p := workload.DefaultItineraryParams()
+	p.N = 200
+	p.Interarrival = 100 * time.Millisecond
+	its, err := workload.GenerateItineraries(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cmp sim.Comparison
+	for i := 0; i < b.N; i++ {
+		cmp, err = sim.CompareItineraries(its, sim.ItineraryConfig{PerKind: p.PerKind, InitialStock: 1_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.GTM.MeanLatency, "gtm_s")
+	b.ReportMetric(cmp.TwoPL.MeanLatency, "2pl_s")
+	b.ReportMetric(float64(cmp.TwoPL.AbortsBy["deadlock"]), "2pl_deadlocks")
+}
+
+// BenchmarkAblationConstraintHeadroom enables the abort-rate control: at
+// most `permanent` concurrent updaters per object (here effectively
+// unlimited because the stock is large — the bench measures its bookkeeping
+// overhead; examples/inventory demonstrates its effect on a scarce object).
+func BenchmarkAblationConstraintHeadroom(b *testing.B) {
+	runAblation(b, core.WithHeadroom(func(_ core.ObjectID, perm sem.Value) int {
+		return int(perm.Int64())
+	}))
+}

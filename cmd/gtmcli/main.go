@@ -1,0 +1,249 @@
+// Command gtmcli is an interactive client for the gtmd middleware. It
+// speaks the wire protocol and exposes the GTM's event vocabulary directly:
+//
+//	$ gtmcli -addr 127.0.0.1:7654
+//	> objects
+//	Car/C0 Car/C1 ... Flight/AZ0 ...
+//	> begin trip1
+//	> invoke trip1 Flight/AZ0 add/sub
+//	> read trip1 Flight/AZ0
+//	100
+//	> apply trip1 Flight/AZ0 -1
+//	> commit trip1
+//	> quit
+//
+// Values parse as integers, then floats, then strings. Scripted use:
+// pipe commands on stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"preserial/internal/sem"
+	"preserial/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "gtmd address")
+	flag.Parse()
+
+	cn, err := wire.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gtmcli: %v\n", err)
+		os.Exit(1)
+	}
+	defer cn.Close()
+
+	in := bufio.NewScanner(os.Stdin)
+	interactive := isTerminalLike()
+	if interactive {
+		fmt.Println("connected; try: objects | stats | info <obj> | txs | begin <tx> | invoke <tx> <obj> <class> [member] | read | apply | commit | sleep | awake | state | quit")
+	}
+	for {
+		if interactive {
+			fmt.Print("> ")
+		}
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if out, err := run(cn, strings.Fields(line)); err != nil {
+			fmt.Printf("error: %v\n", err)
+		} else if out != "" {
+			fmt.Println(out)
+		} else {
+			fmt.Println("ok")
+		}
+	}
+}
+
+// isTerminalLike reports whether stdin looks interactive (char device).
+func isTerminalLike() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// parseValue interprets an operand literal.
+func parseValue(s string) sem.Value {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return sem.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return sem.Float(f)
+	}
+	return sem.Str(strings.Trim(s, `"`))
+}
+
+// run executes one command line.
+func run(cn *wire.Conn, args []string) (string, error) {
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d arguments", args[0], n-1)
+		}
+		return nil
+	}
+	switch args[0] {
+	case "ping":
+		return "", cn.Ping()
+	case "objects":
+		objs, err := cn.Objects()
+		if err != nil {
+			return "", err
+		}
+		return strings.Join(objs, " "), nil
+	case "begin":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		return "", cn.Begin(args[1])
+	case "attach":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		return "", cn.Attach(args[1])
+	case "invoke":
+		if err := need(4); err != nil {
+			return "", err
+		}
+		class, err := wire.ParseClass(args[3])
+		if err != nil {
+			return "", err
+		}
+		member := ""
+		if len(args) > 4 {
+			member = args[4]
+		}
+		return "", cn.Invoke(args[1], args[2], class, member)
+	case "read":
+		if err := need(3); err != nil {
+			return "", err
+		}
+		v, err := cn.Read(args[1], args[2])
+		if err != nil {
+			return "", err
+		}
+		return v.String(), nil
+	case "apply":
+		if err := need(4); err != nil {
+			return "", err
+		}
+		return "", cn.Apply(args[1], args[2], parseValue(args[3]))
+	case "commit":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		return "", cn.Commit(args[1])
+	case "abort":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		return "", cn.Abort(args[1])
+	case "sleep":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		return "", cn.Sleep(args[1])
+	case "awake":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		resumed, err := cn.Awake(args[1])
+		if err != nil {
+			return "", err
+		}
+		if resumed {
+			return "resumed", nil
+		}
+		return "aborted (incompatible operation during sleep)", nil
+	case "state":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		return cn.State(args[1])
+	case "stats":
+		stats, err := cn.Stats()
+		if err != nil {
+			return "", err
+		}
+		keys := make([]string, 0, len(stats))
+		for k := range stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%d ", k, stats[k])
+		}
+		return strings.TrimSpace(b.String()), nil
+	case "info":
+		if err := need(2); err != nil {
+			return "", err
+		}
+		info, err := cn.ObjectInfo(args[1])
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "object %s\n", info.ID)
+		for member, v := range info.Members {
+			name := member
+			if name == "" {
+				name = "(value)"
+			}
+			sv, _ := v.ToSem()
+			fmt.Fprintf(&b, "  permanent %s = %s\n", name, sv)
+		}
+		section := func(name string, ops []wire.TxOpJSON) {
+			for _, to := range ops {
+				fmt.Fprintf(&b, "  %s: %s (%s)\n", name, to.Tx, to.Class)
+			}
+		}
+		section("pending", info.Pending)
+		section("waiting", info.Waiting)
+		section("committing", info.Committing)
+		for _, tx := range info.Sleeping {
+			fmt.Fprintf(&b, "  sleeping: %s\n", tx)
+		}
+		for _, tx := range info.CommitQ {
+			fmt.Fprintf(&b, "  commit queue: %s\n", tx)
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	case "txs":
+		txs, err := cn.Transactions()
+		if err != nil {
+			return "", err
+		}
+		if len(txs) == 0 {
+			return "(none)", nil
+		}
+		var b strings.Builder
+		for _, tx := range txs {
+			fmt.Fprintf(&b, "%-12s %-10s", tx.ID, tx.State)
+			if tx.Reason != "" {
+				fmt.Fprintf(&b, " reason=%s", tx.Reason)
+			}
+			if len(tx.Objects) > 0 {
+				fmt.Fprintf(&b, " objects=%s", strings.Join(tx.Objects, ","))
+			}
+			b.WriteByte('\n')
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	default:
+		return "", fmt.Errorf("unknown command %q", args[0])
+	}
+}

@@ -1,0 +1,162 @@
+// Command gtmd runs the transaction-management middleware of Section III:
+// an embedded LDBS (with WAL durability), the Global Transaction Manager on
+// top, and the TCP protocol front end. It seeds the travel-agency demo
+// database of Section II — flights, hotels, museums and cars, each with a
+// non-negativity constraint on its availability counter — and registers one
+// GTM object per bookable resource.
+//
+// Usage:
+//
+//	gtmd -addr :7654 -data /var/lib/gtmd
+//
+// With -data, the LDBS recovers from CHECKPOINT + WAL in that directory,
+// logs every commit, and checkpoints periodically. Connect with gtmcli or
+// the wire client library. Dropping a connection mid-transaction puts the
+// transaction to sleep; reconnect, attach and awake to finish it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"preserial/internal/core"
+	"preserial/internal/ldbs"
+	"preserial/internal/sem"
+	"preserial/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
+	dataDir := flag.String("data", "", "data directory for CHECKPOINT + WAL (empty: no durability)")
+	ckptEvery := flag.Duration("checkpoint-every", 5*time.Minute, "checkpoint interval when -data is set")
+	seats := flag.Int64("seats", 100, "initial availability of every demo resource")
+	idle := flag.Duration("idle-timeout", 2*time.Minute, "put idle Active transactions to sleep after this (0: never)")
+	waitTO := flag.Duration("wait-timeout", 5*time.Minute, "abort transactions queued longer than this (0: never)")
+	sleepTO := flag.Duration("sleep-abort-after", time.Hour, "abort sleepers away longer than this (0: never)")
+	invokeTO := flag.Duration("invoke-timeout", 0, "fail blocking invokes after this (0: wait forever)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gtmd: ", log.LstdFlags)
+
+	var db *ldbs.DB
+	if *dataDir != "" {
+		pers := &ldbs.Persistence{Dir: *dataDir}
+		recovered, err := pers.Open(demoSchemas())
+		if err != nil {
+			logger.Fatalf("recovery: %v", err)
+		}
+		defer pers.Close()
+		db = recovered
+		logger.Printf("recovered %s (committed so far: %d)", *dataDir, db.Stats().Committed)
+		go func() {
+			t := time.NewTicker(*ckptEvery)
+			defer t.Stop()
+			for range t.C {
+				if err := pers.Checkpoint(db); err != nil {
+					logger.Printf("checkpoint: %v", err)
+				} else {
+					logger.Printf("checkpoint written")
+				}
+			}
+		}()
+	} else {
+		db = ldbs.Open(ldbs.Options{})
+		if err := createDemoSchema(db); err != nil {
+			logger.Fatalf("schema: %v", err)
+		}
+	}
+
+	if err := seedDemo(db, *seats); err != nil {
+		logger.Fatalf("seed: %v", err)
+	}
+
+	m := core.NewManager(core.NewLDBSStore(db), core.WithHistory())
+	if err := registerDemoObjects(m); err != nil {
+		logger.Fatalf("register: %v", err)
+	}
+
+	// The supervision loop implements the paper's sleep oracle Ξ (user
+	// inactivity) and the classical timeout victim policies.
+	go core.RunSupervisor(context.Background(), m, core.SupervisorConfig{
+		IdleTimeout:     *idle,
+		WaitTimeout:     *waitTO,
+		SleepAbortAfter: *sleepTO,
+	}, 5*time.Second)
+
+	srv := wire.NewServer(m, wire.ServerOptions{Logger: logger, InvokeTimeout: *invokeTO})
+	logger.Printf("middleware listening on %s (data dir %q)", *addr, *dataDir)
+	if err := srv.Serve(*addr); err != nil {
+		logger.Fatalf("serve: %v", err)
+	}
+}
+
+// demo resources: 4 of each kind, as in the motivating scenario.
+var demoTables = []struct {
+	table  string
+	column string
+	prefix string
+}{
+	{"Flight", "FreeTickets", "AZ"},
+	{"Hotel", "FreeRooms", "H"},
+	{"Museum", "FreeTickets", "M"},
+	{"Car", "FreeCars", "C"},
+}
+
+const demoPerKind = 4
+
+func demoSchemas() []ldbs.Schema {
+	out := make([]ldbs.Schema, 0, len(demoTables))
+	for _, t := range demoTables {
+		out = append(out, ldbs.Schema{
+			Table:   t.table,
+			Columns: []ldbs.ColumnDef{{Name: t.column, Kind: sem.KindInt64}},
+			Checks:  []ldbs.Check{{Column: t.column, Op: ldbs.CmpGE, Bound: sem.Int(0)}},
+		})
+	}
+	return out
+}
+
+func createDemoSchema(db *ldbs.DB) error {
+	for _, s := range demoSchemas() {
+		if err := db.CreateTable(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func seedDemo(db *ldbs.DB, seats int64) error {
+	ctx := context.Background()
+	tx := db.Begin()
+	for _, t := range demoTables {
+		for i := 0; i < demoPerKind; i++ {
+			key := fmt.Sprintf("%s%d", t.prefix, i)
+			if _, err := db.ReadCommitted(t.table, key, t.column); err == nil {
+				continue // survived recovery
+			}
+			if err := tx.Insert(ctx, t.table, key, ldbs.Row{t.column: sem.Int(seats)}); err != nil {
+				tx.Rollback()
+				return err
+			}
+		}
+	}
+	return tx.Commit(ctx)
+}
+
+func registerDemoObjects(m *core.Manager) error {
+	for _, t := range demoTables {
+		for i := 0; i < demoPerKind; i++ {
+			key := fmt.Sprintf("%s%d", t.prefix, i)
+			id := core.ObjectID(fmt.Sprintf("%s/%s", t.table, key))
+			ref := core.StoreRef{Table: t.table, Key: key, Column: t.column}
+			if err := m.RegisterAtomicObject(id, ref); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Command gtmload drives a running gtmd with the paper's Section VI.B
+// workload in real time over TCP: N transactions arriving at a fixed rate,
+// subtracting (probability α) or assigning (1−α) on the demo flights, with
+// disconnection probability β — a disconnection is a real dropped TCP
+// connection, after which the client reconnects, attaches and awakens its
+// transaction.
+//
+//	gtmd -addr 127.0.0.1:7654 &
+//	gtmload -addr 127.0.0.1:7654 -n 100 -alpha 0.8 -beta 0.1 -interarrival 20ms
+//
+// It prints the same two quantities as Fig. 3: mean execution time and
+// abort percentage — this time measured against a real server rather than
+// the virtual-clock emulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"preserial/internal/metrics"
+	"preserial/internal/wire"
+	"preserial/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "gtmd address")
+	n := flag.Int("n", 100, "number of transactions")
+	alpha := flag.Float64("alpha", 0.7, "P(subtract)")
+	beta := flag.Float64("beta", 0.1, "P(disconnection | subtract)")
+	interarrival := flag.Duration("interarrival", 20*time.Millisecond, "arrival spacing")
+	exec := flag.Duration("exec", 100*time.Millisecond, "mean execution (think) time")
+	discFor := flag.Duration("disconnect-for", 150*time.Millisecond, "mean disconnection duration")
+	objects := flag.Int("objects", 4, "number of demo flights to target (Flight/AZ0..)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	p := workload.DefaultParams()
+	p.N = *n
+	p.Alpha = *alpha
+	p.Beta = *beta
+	p.Objects = *objects
+	p.Interarrival = *interarrival
+	p.Exec = *exec
+	p.DisconnectMean = *discFor
+	p.Seed = *seed
+	specs, err := workload.Generate(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Quick reachability check.
+	probe, err := wire.Dial(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gtmload: %v (is gtmd running?)\n", err)
+		os.Exit(1)
+	}
+	probe.Close()
+
+	var (
+		mu        sync.Mutex
+		lat       metrics.Agg
+		aborted   int
+		committed int
+		reasons   = map[string]int{}
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, spec := range specs {
+		spec := spec
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Until(start.Add(spec.Arrival)))
+			t0 := time.Now()
+			err := runClient(*addr, spec)
+			d := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				aborted++
+				reasons[reasonOf(err)]++
+				return
+			}
+			committed++
+			lat.AddDuration(d)
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("population: %d (α=%.2f β=%.2f, %d objects, %v apart)\n",
+		*n, *alpha, *beta, *objects, *interarrival)
+	fmt.Printf("committed: %d, aborted: %d (%.1f%%)\n",
+		committed, aborted, 100*float64(aborted)/float64(*n))
+	fmt.Printf("execution time: %s\n", lat.String())
+	for r, c := range reasons {
+		fmt.Printf("  abort reason %q: %d\n", r, c)
+	}
+}
+
+// reasonOf extracts the GTM abort reason from a wire error.
+func reasonOf(err error) string {
+	msg := err.Error()
+	for _, r := range []string{"sleep-conflict", "sst-failure", "deadlock", "timeout"} {
+		if strings.Contains(msg, r) {
+			return r
+		}
+	}
+	return "other"
+}
+
+// runClient executes one workload transaction against the server,
+// physically dropping the connection for disconnected specs.
+func runClient(addr string, spec workload.Spec) error {
+	obj := fmt.Sprintf("Flight/AZ%d", spec.Object)
+	cn, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cn != nil {
+			cn.Close()
+		}
+	}()
+	if err := cn.Begin(spec.ID); err != nil {
+		return err
+	}
+	if err := cn.Invoke(spec.ID, obj, spec.Kind.Class(), ""); err != nil {
+		return err
+	}
+	if err := cn.Apply(spec.ID, obj, spec.Operand); err != nil {
+		return err
+	}
+	if !spec.Disconnects {
+		time.Sleep(spec.Exec)
+		return cn.Commit(spec.ID)
+	}
+
+	// Think until the network "fails": drop the TCP connection for real.
+	time.Sleep(spec.DisconnectAt)
+	cn.Close()
+	cn = nil
+	time.Sleep(spec.DisconnectFor)
+
+	// Reconnect, attach, awake. The server may still be tearing down the
+	// old connection (which is what puts the transaction to sleep), so
+	// poll briefly until the state flips.
+	cn2, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cn2.Close()
+	if err := cn2.Attach(spec.ID); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := cn2.State(spec.ID)
+		if err != nil {
+			return err
+		}
+		if st == "Sleeping" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transaction stuck in %s after reconnect", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resumed, err := cn2.Awake(spec.ID)
+	if err != nil {
+		return err
+	}
+	if !resumed {
+		return fmt.Errorf("aborted: sleep-conflict")
+	}
+	time.Sleep(spec.Exec - spec.DisconnectAt)
+	return cn2.Commit(spec.ID)
+}

@@ -1,0 +1,199 @@
+// Command ldbsql is a small interactive shell for the embedded relational
+// substrate: the mini-SQL dialect of internal/ldbs against a durable
+// database directory. Each line is one auto-committed statement; BEGIN /
+// COMMIT / ROLLBACK control multi-statement transactions.
+//
+//	ldbsql -data /tmp/shop
+//	sql> INSERT INTO Flight KEY 'AZ0' (FreeTickets, Price, Carrier) VALUES (100, 99.5, 'Alitalia')
+//	sql> SELECT * FROM Flight WHERE FreeTickets > 0
+//	sql> UPDATE Flight SET FreeTickets = FreeTickets - 1 WHERE Key = 'AZ0'
+//
+// The demo schema (travel-agency tables) is created on first run; pass
+// -checkpoint to write a checkpoint and truncate the WAL on exit.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"preserial/internal/ldbs"
+	"preserial/internal/sem"
+)
+
+func demoSchemas() []ldbs.Schema {
+	mk := func(table, col string) ldbs.Schema {
+		return ldbs.Schema{
+			Table: table,
+			Columns: []ldbs.ColumnDef{
+				{Name: col, Kind: sem.KindInt64},
+				{Name: "Price", Kind: sem.KindFloat64},
+				{Name: "Carrier", Kind: sem.KindString},
+			},
+			Checks: []ldbs.Check{{Column: col, Op: ldbs.CmpGE, Bound: sem.Int(0)}},
+		}
+	}
+	return []ldbs.Schema{
+		mk("Flight", "FreeTickets"),
+		mk("Hotel", "FreeRooms"),
+		mk("Museum", "FreeTickets"),
+		mk("Car", "FreeCars"),
+	}
+}
+
+func main() {
+	dataDir := flag.String("data", "", "database directory (empty: in-memory)")
+	checkpoint := flag.Bool("checkpoint", false, "checkpoint on exit when -data is set")
+	flag.Parse()
+
+	var db *ldbs.DB
+	var pers *ldbs.Persistence
+	if *dataDir != "" {
+		pers = &ldbs.Persistence{Dir: *dataDir}
+		recovered, err := pers.Open(demoSchemas())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldbsql: %v\n", err)
+			os.Exit(1)
+		}
+		db = recovered
+		defer func() {
+			if *checkpoint {
+				if err := pers.Checkpoint(db); err != nil {
+					fmt.Fprintf(os.Stderr, "ldbsql: checkpoint: %v\n", err)
+				}
+			}
+			pers.Close()
+		}()
+	} else {
+		db = ldbs.Open(ldbs.Options{})
+		for _, s := range demoSchemas() {
+			if err := db.CreateTable(s); err != nil {
+				fmt.Fprintf(os.Stderr, "ldbsql: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	repl(db, os.Stdin, os.Stdout, stdinIsTerminal())
+}
+
+// repl runs the shell loop: each line is one auto-committed statement,
+// with BEGIN/COMMIT/ROLLBACK for explicit transactions.
+func repl(db *ldbs.DB, in io.Reader, out io.Writer, interactive bool) {
+	ctx := context.Background()
+	sc := bufio.NewScanner(in)
+	var open *ldbs.Tx // non-nil inside an explicit transaction
+	defer func() {
+		if open != nil {
+			open.Rollback()
+		}
+	}()
+	for {
+		if interactive {
+			if open != nil {
+				fmt.Fprint(out, "sql*> ")
+			} else {
+				fmt.Fprint(out, "sql> ")
+			}
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		switch strings.ToLower(strings.TrimSuffix(line, ";")) {
+		case "quit", "exit":
+			return
+		case "tables":
+			fmt.Fprintln(out, strings.Join(db.Tables(), " "))
+			continue
+		case "begin":
+			if open != nil {
+				fmt.Fprintln(out, "error: transaction already open")
+				continue
+			}
+			open = db.Begin()
+			fmt.Fprintln(out, "ok")
+			continue
+		case "commit":
+			if open == nil {
+				fmt.Fprintln(out, "error: no open transaction")
+				continue
+			}
+			if err := open.Commit(ctx); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			} else {
+				fmt.Fprintln(out, "ok")
+			}
+			open = nil
+			continue
+		case "rollback":
+			if open == nil {
+				fmt.Fprintln(out, "error: no open transaction")
+				continue
+			}
+			open.Rollback()
+			open = nil
+			fmt.Fprintln(out, "ok")
+			continue
+		}
+
+		tx := open
+		auto := false
+		if tx == nil {
+			tx = db.Begin()
+			auto = true
+		}
+		res, err := tx.ExecSQL(ctx, line)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			if auto {
+				tx.Rollback()
+			}
+			continue
+		}
+		if auto {
+			if err := tx.Commit(ctx); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				continue
+			}
+		}
+		printResult(out, res)
+	}
+}
+
+func stdinIsTerminal() bool {
+	fi, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// printResult renders a statement outcome.
+func printResult(out io.Writer, res *ldbs.SQLResult) {
+	if res.Columns == nil {
+		fmt.Fprintf(out, "ok (%d rows affected)\n", res.Affected)
+		return
+	}
+	cols := append([]string{"Key"}, res.Columns...)
+	fmt.Fprintln(out, strings.Join(cols, "\t"))
+	sorted := make([]ldbs.KeyRow, len(res.Rows))
+	copy(sorted, res.Rows)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	for _, kr := range sorted {
+		fields := []string{kr.Key}
+		for _, c := range res.Columns {
+			fields = append(fields, kr.Row[c].String())
+		}
+		fmt.Fprintln(out, strings.Join(fields, "\t"))
+	}
+	fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+}

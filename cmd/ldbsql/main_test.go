@@ -1,0 +1,124 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"preserial/internal/ldbs"
+)
+
+func newTestDB(t *testing.T) *ldbs.DB {
+	t.Helper()
+	db := ldbs.Open(ldbs.Options{})
+	for _, s := range demoSchemas() {
+		if err := db.CreateTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// runScript feeds lines to the REPL and returns the output.
+func runScript(t *testing.T, db *ldbs.DB, script string) string {
+	t.Helper()
+	var out strings.Builder
+	repl(db, strings.NewReader(script), &out, false)
+	return out.String()
+}
+
+func TestReplAutoCommit(t *testing.T) {
+	db := newTestDB(t)
+	out := runScript(t, db, `
+INSERT INTO Flight KEY 'AZ0' (FreeTickets, Price) VALUES (10, 99.5)
+SELECT FreeTickets FROM Flight WHERE Key = 'AZ0'
+UPDATE Flight SET FreeTickets = FreeTickets - 1 WHERE Key = 'AZ0'
+SELECT FreeTickets FROM Flight
+`)
+	for _, want := range []string{
+		"ok (1 rows affected)",
+		"AZ0\t10",
+		"AZ0\t9",
+		"(1 rows)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Auto-commit is durable across statements.
+	v, err := db.ReadCommitted("Flight", "AZ0", "FreeTickets")
+	if err != nil || v.Int64() != 9 {
+		t.Fatalf("committed = %s, %v", v, err)
+	}
+}
+
+func TestReplExplicitTransaction(t *testing.T) {
+	db := newTestDB(t)
+	runScript(t, db, "INSERT INTO Flight KEY 'AZ0' (FreeTickets) VALUES (10)")
+	out := runScript(t, db, `
+BEGIN
+UPDATE Flight SET FreeTickets = 0 WHERE Key = 'AZ0'
+ROLLBACK
+`)
+	if !strings.Contains(out, "ok") {
+		t.Errorf("output = %q", out)
+	}
+	v, _ := db.ReadCommitted("Flight", "AZ0", "FreeTickets")
+	if v.Int64() != 10 {
+		t.Fatalf("rollback leaked: %s", v)
+	}
+	runScript(t, db, "BEGIN\nUPDATE Flight SET FreeTickets = 3 WHERE Key = 'AZ0'\nCOMMIT")
+	v, _ = db.ReadCommitted("Flight", "AZ0", "FreeTickets")
+	if v.Int64() != 3 {
+		t.Fatalf("explicit commit lost: %s", v)
+	}
+}
+
+func TestReplTransactionGuards(t *testing.T) {
+	db := newTestDB(t)
+	out := runScript(t, db, "COMMIT\nROLLBACK\nBEGIN\nBEGIN")
+	if got := strings.Count(out, "error: no open transaction"); got != 2 {
+		t.Errorf("guard errors = %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "error: transaction already open") {
+		t.Errorf("nested begin not refused:\n%s", out)
+	}
+}
+
+func TestReplErrorsAndComments(t *testing.T) {
+	db := newTestDB(t)
+	out := runScript(t, db, `
+-- a comment line
+
+SELEC nonsense
+SELECT * FROM Nowhere
+tables
+quit
+SELECT 1
+`)
+	errLines := 0
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "error:") {
+			errLines++
+		}
+	}
+	if errLines != 2 {
+		t.Errorf("expected 2 error lines:\n%s", out)
+	}
+	if !strings.Contains(out, "Car Flight Hotel Museum") {
+		t.Errorf("tables listing missing:\n%s", out)
+	}
+	if strings.Contains(out, "SELECT 1") {
+		t.Errorf("input after quit was processed:\n%s", out)
+	}
+}
+
+func TestReplOpenTransactionRolledBackOnEOF(t *testing.T) {
+	db := newTestDB(t)
+	runScript(t, db, "INSERT INTO Flight KEY 'AZ0' (FreeTickets) VALUES (5)")
+	// Script ends (connection drops) with an open transaction: rolled back.
+	runScript(t, db, "BEGIN\nUPDATE Flight SET FreeTickets = 0 WHERE Key = 'AZ0'")
+	v, _ := db.ReadCommitted("Flight", "AZ0", "FreeTickets")
+	if v.Int64() != 5 {
+		t.Fatalf("open tx not rolled back at EOF: %s", v)
+	}
+}

@@ -1,0 +1,109 @@
+// Catalog: structured objects and logical dependence (Section IV). A
+// product is one GTM object with two data members, quantity and price,
+// backed by two LDBS columns.
+//
+// Case 1 — independent members (the paper's default relaxation): an admin
+// repricing (assign on price) and a customer buying (subtract on quantity)
+// touch different members, so they proceed concurrently even though both
+// are "writes to the product".
+//
+// Case 2 — logically dependent members (sem.Dependencies links quantity
+// and price, e.g. because a business rule derives one from the other):
+// the same two operations now conflict, and the GTM serializes them.
+//
+//	go run ./examples/catalog
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"preserial/internal/core"
+	"preserial/internal/ldbs"
+	"preserial/internal/sem"
+)
+
+func main() {
+	fmt.Println("--- case 1: independent members — reprice ∥ purchase ---")
+	run(false)
+	fmt.Println()
+	fmt.Println("--- case 2: logically dependent members — serialized ---")
+	run(true)
+}
+
+func newCatalog(linked bool) (*core.Manager, *ldbs.DB) {
+	db := ldbs.Open(ldbs.Options{})
+	if err := db.CreateTable(ldbs.Schema{
+		Table: "Product",
+		Columns: []ldbs.ColumnDef{
+			{Name: "Qty", Kind: sem.KindInt64},
+			{Name: "Price", Kind: sem.KindFloat64},
+		},
+		Checks: []ldbs.Check{{Column: "Qty", Op: ldbs.CmpGE, Bound: sem.Int(0)}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "Product", "widget", ldbs.Row{
+		"Qty": sem.Int(50), "Price": sem.Float(9.99),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	gtm := core.NewManager(core.NewLDBSStore(db))
+	var deps *sem.Dependencies
+	if linked {
+		deps = sem.NewDependencies()
+		deps.Link("qty", "price")
+	}
+	if err := gtm.RegisterObject("widget", map[string]core.StoreRef{
+		"qty":   {Table: "Product", Key: "widget", Column: "Qty"},
+		"price": {Table: "Product", Key: "widget", Column: "Price"},
+	}, deps); err != nil {
+		log.Fatal(err)
+	}
+	return gtm, db
+}
+
+func run(linked bool) {
+	gtm, db := newCatalog(linked)
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The customer starts buying one widget…
+	must(gtm.Begin("customer"))
+	granted, err := gtm.Invoke("customer", "widget", sem.Op{Class: sem.AddSub, Member: "qty"})
+	must(err)
+	fmt.Printf("customer subtracts qty: granted=%v\n", granted)
+	must(gtm.Apply("customer", "widget", sem.Int(-1)))
+
+	// …while the admin reprices.
+	must(gtm.Begin("admin"))
+	granted, err = gtm.Invoke("admin", "widget", sem.Op{Class: sem.Assign, Member: "price"})
+	must(err)
+	fmt.Printf("admin assigns price: granted=%v", granted)
+	if !granted {
+		fmt.Printf(" (queued: members are logically dependent)")
+	}
+	fmt.Println()
+
+	// Customer finishes first either way.
+	must(gtm.RequestCommit("customer"))
+	// If the admin was queued, the customer's commit released it.
+	if st, _ := gtm.TxState("admin"); st == core.StateActive {
+		must(gtm.Apply("admin", "widget", sem.Float(12.5)))
+		must(gtm.RequestCommit("admin"))
+	}
+
+	qty, _ := db.ReadCommitted("Product", "widget", "Qty")
+	price, _ := db.ReadCommitted("Product", "widget", "Price")
+	fmt.Printf("final: qty=%s price=%s\n", qty, price)
+}

@@ -1,0 +1,129 @@
+// Inventory: the Section VII abort-rate extension in action. Many clients
+// try to buy the last few units of a product concurrently. Without the
+// extension, every buyer is admitted (subtractions are compatible), and the
+// losers discover the stock-out only when their SST violates the
+// `stock ≥ 0` constraint — a late, expensive abort. With
+// core.WithHeadroom the GTM admits at most `stock` concurrent buyers, so
+// the overflow waits (or is denied) up front and nobody aborts at commit.
+//
+//	go run ./examples/inventory
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"preserial/internal/core"
+	"preserial/internal/ldbs"
+	"preserial/internal/sem"
+)
+
+const (
+	stock  = 3  // units on the shelf
+	buyers = 10 // concurrent customers
+)
+
+func main() {
+	fmt.Println("--- without headroom: late constraint aborts ---")
+	run(false)
+	fmt.Println()
+	fmt.Println("--- with core.WithHeadroom: overflow deferred up front ---")
+	run(true)
+}
+
+func newStack(withHeadroom bool) (*core.Manager, *ldbs.DB) {
+	db := ldbs.Open(ldbs.Options{})
+	if err := db.CreateTable(ldbs.Schema{
+		Table:   "Product",
+		Columns: []ldbs.ColumnDef{{Name: "Stock", Kind: sem.KindInt64}},
+		Checks:  []ldbs.Check{{Column: "Stock", Op: ldbs.CmpGE, Bound: sem.Int(0)}},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "Product", "widget", ldbs.Row{"Stock": sem.Int(stock)}); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	opts := []core.Option{}
+	if withHeadroom {
+		// Admit at most `stock` concurrent subtracting transactions, and
+		// deny outright instead of queueing (the shop shows "sold out").
+		opts = append(opts,
+			core.WithHeadroom(func(_ core.ObjectID, permanent sem.Value) int {
+				return int(permanent.Int64())
+			}),
+			core.WithHardDenial(),
+		)
+	}
+	m := core.NewManager(core.NewLDBSStore(db), opts...)
+	if err := m.RegisterAtomicObject("widget",
+		core.StoreRef{Table: "Product", Key: "widget", Column: "Stock"}); err != nil {
+		log.Fatal(err)
+	}
+	return m, db
+}
+
+func run(withHeadroom bool) {
+	gtm, db := newStack(withHeadroom)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	bought, deniedEarly, abortedLate := 0, 0, 0
+
+	for i := 0; i < buyers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := gtm.BeginClient(core.TxID(fmt.Sprintf("buyer-%d", i)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			err = c.Invoke(ctx, "widget", sem.Op{Class: sem.AddSub})
+			if errors.Is(err, core.ErrDenied) {
+				mu.Lock()
+				deniedEarly++
+				mu.Unlock()
+				_ = c.Abort()
+				return
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := c.Apply("widget", sem.Int(-1)); err != nil {
+				log.Fatal(err)
+			}
+			if err := c.Commit(ctx); err != nil {
+				mu.Lock()
+				abortedLate++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			bought++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	final, err := db.ReadCommitted("Product", "widget", "Stock")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := gtm.Stats()
+	fmt.Printf("bought: %d, denied up front: %d, aborted at commit: %d\n",
+		bought, deniedEarly, abortedLate)
+	fmt.Printf("final stock: %s, SST failures: %d, policy denials: %d\n",
+		final, st.SSTFailures, st.DeniedAdmits)
+}

@@ -1,0 +1,121 @@
+// Mobile sync: the disconnection life cycle of Section IV/V. A mobile
+// booking transaction goes to sleep mid-flight (network fault); the GTM
+// releases nothing and aborts nothing. Two futures are demonstrated:
+//
+//  1. Only compatible operations touch the object while the client is away
+//     → awakening resumes the transaction, and the commit-time
+//     reconciliation absorbs what was committed during the nap.
+//
+//  2. An incompatible operation (an admin assign) is admitted during the
+//     nap → awakening aborts the sleeper (Algorithm 9, third case), because
+//     its virtual copy is irreparably stale.
+//
+// go run ./examples/mobilesync
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"preserial/internal/clock"
+	"preserial/internal/core"
+	"preserial/internal/sem"
+)
+
+func main() {
+	fmt.Println("--- scenario 1: compatible activity during the nap ---")
+	scenario1()
+	fmt.Println()
+	fmt.Println("--- scenario 2: incompatible activity during the nap ---")
+	scenario2()
+}
+
+func newGTM() (*core.Manager, *clock.Manual) {
+	store := core.NewMemStore()
+	ref := core.StoreRef{Table: "Flight", Key: "AZ0", Column: "FreeTickets"}
+	store.Seed(ref, sem.Int(100))
+	clk := clock.NewManual()
+	m := core.NewManager(store, core.WithClock(clk))
+	if err := m.RegisterAtomicObject("flight", ref); err != nil {
+		log.Fatal(err)
+	}
+	return m, clk
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func scenario1() {
+	gtm, clk := newGTM()
+	addOp := sem.Op{Class: sem.AddSub}
+
+	// The mobile client books a seat…
+	must(gtm.Begin("mobile"))
+	if _, err := gtm.Invoke("mobile", "flight", addOp); err != nil {
+		log.Fatal(err)
+	}
+	must(gtm.Apply("mobile", "flight", sem.Int(-1)))
+	v, _ := gtm.ReadValue("mobile", "flight")
+	fmt.Printf("mobile booked one seat on its virtual copy: %s\n", v)
+
+	// …then the network drops.
+	must(gtm.Sleep("mobile"))
+	st, _ := gtm.TxState("mobile")
+	fmt.Printf("network fault → transaction state: %s\n", st)
+
+	// While it is away, another customer books two seats and commits.
+	clk.Advance(1)
+	must(gtm.Begin("other"))
+	if _, err := gtm.Invoke("other", "flight", addOp); err != nil {
+		log.Fatal(err)
+	}
+	must(gtm.Apply("other", "flight", sem.Int(-2)))
+	must(gtm.RequestCommit("other"))
+	perm, _ := gtm.Permanent("flight", "")
+	fmt.Printf("another customer booked 2 seats while mobile was away: permanent=%s\n", perm)
+
+	// Reconnection: the sleeper resumes — subtractions commute.
+	clk.Advance(1)
+	resumed, err := gtm.Awake("mobile")
+	must(err)
+	fmt.Printf("mobile reconnects: resumed=%v\n", resumed)
+	must(gtm.RequestCommit("mobile"))
+	perm, _ = gtm.Permanent("flight", "")
+	fmt.Printf("mobile commits; reconciliation (Eq. 1) folds both bookings: permanent=%s (100−2−1)\n", perm)
+}
+
+func scenario2() {
+	gtm, clk := newGTM()
+
+	must(gtm.Begin("mobile"))
+	if _, err := gtm.Invoke("mobile", "flight", sem.Op{Class: sem.AddSub}); err != nil {
+		log.Fatal(err)
+	}
+	must(gtm.Apply("mobile", "flight", sem.Int(-1)))
+	must(gtm.Sleep("mobile"))
+	fmt.Println("mobile booked one seat, then disconnected")
+
+	// An admin reprices the stock with an assign — incompatible with the
+	// sleeping subtraction, but admitted because the sleeper does not block.
+	clk.Advance(1)
+	must(gtm.Begin("admin"))
+	granted, err := gtm.Invoke("admin", "flight", sem.Op{Class: sem.Assign})
+	must(err)
+	fmt.Printf("admin's assign admitted while the sleeper is away: granted=%v\n", granted)
+	must(gtm.Apply("admin", "flight", sem.Int(500)))
+	must(gtm.RequestCommit("admin"))
+	perm, _ := gtm.Permanent("flight", "")
+	fmt.Printf("admin committed: permanent=%s\n", perm)
+
+	// The sleeper's awakening finds the incompatible commit and aborts.
+	clk.Advance(1)
+	resumed, err := gtm.Awake("mobile")
+	must(err)
+	info, _ := gtm.TxInfo("mobile")
+	fmt.Printf("mobile reconnects: resumed=%v, state=%s, reason=%s\n",
+		resumed, info.State, info.Reason)
+	fmt.Println("the stale booking was discarded; the client restarts it against the new stock")
+}

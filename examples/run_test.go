@@ -1,0 +1,71 @@
+// Package examples smoke-tests every runnable example: each must build,
+// run to completion, and print its key result line — so the documentation
+// can never silently rot.
+package examples
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, dir string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./"+dir)
+	cmd.Dir = ".." // module root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./%s: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}
+
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example binaries skipped in -short mode")
+	}
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"examples/quickstart", []string{
+			"X after A's commit: 104",
+			"X after B's commit: 106",
+		}},
+		{"examples/mobilesync", []string{
+			"resumed=true",
+			"permanent=97",
+			"resumed=false, state=Aborted, reason=sleep-conflict",
+		}},
+		{"examples/inventory", []string{
+			"bought: 3, denied up front: 0, aborted at commit: 7",
+			"bought: 3, denied up front: 7, aborted at commit: 0",
+		}},
+		{"examples/travelagency", []string{
+			"tours booked: 60, failed: 0",
+			"repriced Flight/AZ0",
+		}},
+		{"examples/ldbsdemo", []string{
+			"CHECK constraint violated",
+			"detected=true",
+			"AZ3 has 7 seats (expected 7)",
+		}},
+		{"examples/catalog", []string{
+			"admin assigns price: granted=true",
+			"queued: members are logically dependent",
+			"final: qty=49 price=12.5",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			out := runExample(t, c.dir)
+			for _, want := range c.wants {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,171 @@
+// Travel agency: the motivating scenario of Section II, end to end. A
+// relational database (internal/ldbs) holds flights, hotels, museums and
+// cars with non-negativity constraints; concurrent customers assemble
+// personalized package tours through the GTM while an admin reprices a
+// flight (an update-assign, incompatible with the bookings, which therefore
+// queues). Bookings on the same resources proceed concurrently because
+// subtractions commute.
+//
+//	go run ./examples/travelagency
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"preserial/internal/core"
+	"preserial/internal/ldbs"
+	"preserial/internal/sem"
+	"preserial/internal/workload"
+)
+
+// resources maps itinerary step kinds to tables.
+var resources = map[workload.StepKind]struct {
+	table, column, prefix string
+}{
+	workload.BookFlight: {"Flight", "FreeTickets", "AZ"},
+	workload.BookHotel:  {"Hotel", "FreeRooms", "H"},
+	workload.BookMuseum: {"Museum", "FreeTickets", "M"},
+	workload.RentCar:    {"Car", "FreeCars", "C"},
+}
+
+const perKind = 4
+const initialStock = 500
+
+func main() {
+	ctx := context.Background()
+	db := ldbs.Open(ldbs.Options{})
+	seed(ctx, db)
+
+	gtm := core.NewManager(core.NewLDBSStore(db))
+	for kind, r := range resources {
+		for i := 0; i < perKind; i++ {
+			id := objectID(kind, i)
+			ref := core.StoreRef{Table: r.table, Key: fmt.Sprintf("%s%d", r.prefix, i), Column: r.column}
+			if err := gtm.RegisterAtomicObject(id, ref); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// A population of package tours.
+	params := workload.DefaultItineraryParams()
+	params.N = 60
+	tours, err := workload.GenerateItineraries(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	booked, failed := 0, 0
+
+	// The admin reprices flight AZ0 concurrently with the tours. The
+	// assign is incompatible with the subtractions, so the GTM serializes
+	// it against them — no lost updates, no long blocking of the rest.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		admin, err := gtm.BeginClient("admin-reprice")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := admin.Invoke(ctx, objectID(workload.BookFlight, 0), sem.Op{Class: sem.Assign}); err != nil {
+			log.Printf("admin: %v", err)
+			return
+		}
+		if err := admin.Apply(objectID(workload.BookFlight, 0), sem.Int(450)); err != nil {
+			log.Printf("admin: %v", err)
+			return
+		}
+		if err := admin.Commit(ctx); err != nil {
+			log.Printf("admin commit: %v", err)
+			return
+		}
+		fmt.Println("admin: repriced Flight/AZ0 stock to 450")
+	}()
+
+	for _, tour := range tours {
+		tour := tour
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := book(ctx, gtm, tour); err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			booked++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("tours booked: %d, failed: %d\n", booked, failed)
+	st := gtm.Stats()
+	fmt.Printf("GTM: %d grants, %d waits, %d commits, %d aborts\n",
+		st.Grants, st.Waits, st.Committed, st.Aborted)
+
+	// Show the final stock of every flight.
+	for i := 0; i < perKind; i++ {
+		v, err := db.ReadCommitted("Flight", fmt.Sprintf("AZ%d", i), "FreeTickets")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Flight AZ%d: %s seats left\n", i, v)
+	}
+}
+
+func objectID(kind workload.StepKind, i int) core.ObjectID {
+	r := resources[kind]
+	return core.ObjectID(fmt.Sprintf("%s/%s%d", r.table, r.prefix, i))
+}
+
+// book runs one package tour as a single long-running transaction: every
+// step books (subtracts) one unit of a resource; the whole itinerary
+// commits atomically through one SST.
+func book(ctx context.Context, gtm *core.Manager, tour workload.Itinerary) error {
+	c, err := gtm.BeginClient(core.TxID(tour.ID))
+	if err != nil {
+		return err
+	}
+	for _, step := range tour.Steps {
+		obj := objectID(step.Kind, step.Index)
+		if err := c.Invoke(ctx, obj, sem.Op{Class: sem.AddSub}); err != nil {
+			_ = c.Abort()
+			return err
+		}
+		if err := c.Apply(obj, sem.Int(-1)); err != nil {
+			_ = c.Abort()
+			return err
+		}
+	}
+	return c.Commit(ctx)
+}
+
+func seed(ctx context.Context, db *ldbs.DB) {
+	for _, r := range resources {
+		err := db.CreateTable(ldbs.Schema{
+			Table:   r.table,
+			Columns: []ldbs.ColumnDef{{Name: r.column, Kind: sem.KindInt64}},
+			Checks:  []ldbs.Check{{Column: r.column, Op: ldbs.CmpGE, Bound: sem.Int(0)}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tx := db.Begin()
+		for i := 0; i < perKind; i++ {
+			key := fmt.Sprintf("%s%d", r.prefix, i)
+			if err := tx.Insert(ctx, r.table, key, ldbs.Row{r.column: sem.Int(initialStock)}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := tx.Commit(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module preserial
+
+go 1.22

@@ -1,0 +1,239 @@
+// Package analytic implements the closed-form model evaluation of Section
+// VI.A: Eq. 3 (average 2PL execution time under conflicts), Eq. 4 (the
+// probability of k incompatible conflicts, a hypergeometric), Eq. 5 (the
+// expected execution time of the pre-serialization approach) and the abort
+// model P(Abort) = P(d)·P(c)·P(i) for sleeping transactions. These
+// regenerate Fig. 1 and Fig. 2 of the paper.
+//
+// Eq. 4 as printed — C(i,k)·C(n·i, c·k)/C(n,c) — is dimensionally
+// inconsistent; the hypergeometric form C(i,k)·C(n−i, c−k)/C(n,c) (choose k
+// of the i incompatible operations and the remaining c−k conflicts among
+// the n−i compatible ones) is implemented, and PKSum's unit test checks the
+// distribution normalizes.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// LChoose returns ln C(n, k), or -Inf when the binomial is zero.
+func LChoose(n, k int) float64 {
+	if k < 0 || k > n || n < 0 {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}
+
+// Choose returns C(n, k) as a float64 (0 when out of range). Large values
+// lose precision but stay finite up to n ≈ 1000.
+func Choose(n, k int) float64 {
+	l := LChoose(n, k)
+	if math.IsInf(l, -1) {
+		return 0
+	}
+	return math.Exp(l)
+}
+
+// TwoPLTime is Eq. 3: the average transaction execution time under 2PL with
+// c conflicting transactions out of n, each conflict costing half an
+// execution time of blocking (the conflicting arrival lands mid-execution):
+//
+//	τ^2PL(c) = ((n−c)·τe + c·(τe + τe/2)) / n
+//
+// No multiple conflicts are modeled, matching the paper.
+func TwoPLTime(n, c int, taue float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c > n {
+		c = n
+	}
+	fn, fc := float64(n), float64(c)
+	return ((fn-fc)*taue + fc*(taue+taue/2)) / fn
+}
+
+// PK is Eq. 4: the probability that exactly k of the c conflicts involve
+// one of the i incompatible operations, out of n transactions total
+// (hypergeometric distribution).
+func PK(n, c, i, k int) float64 {
+	if n < 0 || c < 0 || c > n || i < 0 || i > n {
+		return 0
+	}
+	l := LChoose(i, k) + LChoose(n-i, c-k) - LChoose(n, c)
+	if math.IsInf(l, -1) || math.IsNaN(l) {
+		return 0
+	}
+	return math.Exp(l)
+}
+
+// PKSupport returns the range [kmin, kmax] where PK is non-zero.
+func PKSupport(n, c, i int) (kmin, kmax int) {
+	kmin = c - (n - i)
+	if kmin < 0 {
+		kmin = 0
+	}
+	kmax = c
+	if i < kmax {
+		kmax = i
+	}
+	return kmin, kmax
+}
+
+// OurTime is Eq. 5: the expected execution time of the pre-serialization
+// approach with c conflicts of which a random i operations are
+// incompatible — only the (expected k) incompatible conflicts pay the 2PL
+// blocking cost; compatible conflicts proceed concurrently on virtual
+// copies:
+//
+//	τ^our(c,i) = Σ_{k} P(k) · τ^2PL(k)
+//
+// The paper notes this omits reconciliation and SST overhead (assumed
+// instantaneous).
+func OurTime(n, c, i int, taue float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if c > n {
+		c = n
+	}
+	if i > n {
+		i = n
+	}
+	kmin, kmax := PKSupport(n, c, i)
+	sum := 0.0
+	for k := kmin; k <= kmax; k++ {
+		sum += PK(n, c, i, k) * TwoPLTime(n, k, taue)
+	}
+	return sum
+}
+
+// AbortProbability is the sleeping-transaction abort model of Section VI.A:
+// the product of the probabilities of a disconnection, a conflict, and an
+// incompatibility.
+func AbortProbability(pd, pc, pi float64) float64 {
+	return clamp01(pd) * clamp01(pc) * clamp01(pi)
+}
+
+// TwoPLAbortProbability models the baseline's abort rate for disconnected
+// transactions supervised by a sleeping timeout: the paper states it is "a
+// function of sleeping timeout"; with exponentially distributed
+// disconnection durations of the given mean, a transaction aborts when its
+// disconnection outlives the timeout:
+//
+//	P(abort) = P(d) · P(duration > timeout) = pd · e^(−timeout/mean)
+//
+// A zero or negative timeout aborts every disconnected transaction.
+func TwoPLAbortProbability(pd, timeout, meanDisconnect float64) float64 {
+	pd = clamp01(pd)
+	if timeout <= 0 {
+		return pd
+	}
+	if meanDisconnect <= 0 {
+		return 0
+	}
+	return pd * math.Exp(-timeout/meanDisconnect)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Fig1Row is one grid point of Fig. 1: average execution time versus the
+// percentage of conflicts and of incompatible operations (τe = 1 in the
+// paper's plot).
+type Fig1Row struct {
+	CFrac float64 // conflicts as a fraction of n
+	IFrac float64 // incompatible operations as a fraction of n
+	TwoPL float64 // Eq. 3
+	Ours  float64 // Eq. 5
+}
+
+// Fig1 evaluates the Fig. 1 surface on a (steps+1)×(steps+1) grid over
+// c, i ∈ [0, 1]·n.
+func Fig1(n int, taue float64, steps int) []Fig1Row {
+	if steps < 1 {
+		steps = 1
+	}
+	rows := make([]Fig1Row, 0, (steps+1)*(steps+1))
+	for ci := 0; ci <= steps; ci++ {
+		cfrac := float64(ci) / float64(steps)
+		c := int(math.Round(cfrac * float64(n)))
+		for ii := 0; ii <= steps; ii++ {
+			ifrac := float64(ii) / float64(steps)
+			i := int(math.Round(ifrac * float64(n)))
+			rows = append(rows, Fig1Row{
+				CFrac: cfrac,
+				IFrac: ifrac,
+				TwoPL: TwoPLTime(n, c, taue),
+				Ours:  OurTime(n, c, i, taue),
+			})
+		}
+	}
+	return rows
+}
+
+// Fig2Row is one grid point of Fig. 2: the abort percentage of
+// disconnected/sleeping transactions.
+type Fig2Row struct {
+	PD    float64 // disconnection probability
+	PC    float64 // conflict probability
+	PI    float64 // incompatibility probability
+	Abort float64 // P(d)·P(c)·P(i)
+}
+
+// Fig2 evaluates the Fig. 2 surfaces: for each incompatibility level in
+// pis, a grid over disconnection and conflict percentages.
+func Fig2(pis []float64, steps int) []Fig2Row {
+	if steps < 1 {
+		steps = 1
+	}
+	var rows []Fig2Row
+	for _, pi := range pis {
+		for di := 0; di <= steps; di++ {
+			pd := float64(di) / float64(steps)
+			for ci := 0; ci <= steps; ci++ {
+				pc := float64(ci) / float64(steps)
+				rows = append(rows, Fig2Row{
+					PD: pd, PC: pc, PI: pi,
+					Abort: AbortProbability(pd, pc, pi),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Validate sanity-checks the model invariants for the given n; the unit
+// tests and the experiment harness call it before printing figures.
+func Validate(n int) error {
+	for _, c := range []int{0, n / 4, n / 2, n} {
+		for _, i := range []int{0, n / 4, n / 2, n} {
+			kmin, kmax := PKSupport(n, c, i)
+			sum := 0.0
+			for k := kmin; k <= kmax; k++ {
+				sum += PK(n, c, i, k)
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return fmt.Errorf("analytic: ΣP(k) = %g for n=%d c=%d i=%d", sum, n, c, i)
+			}
+			if ours, two := OurTime(n, c, i, 1), TwoPLTime(n, c, 1); ours > two+1e-12 {
+				return fmt.Errorf("analytic: OurTime %g > TwoPLTime %g for n=%d c=%d i=%d",
+					ours, two, n, c, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{5, 6, 0}, {5, -1, 0}, {-1, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Choose(c.n, c.k); math.Abs(got-c.want) > 1e-9*math.Max(1, c.want) {
+			t.Errorf("Choose(%d,%d) = %g, want %g", c.n, c.k, got, c.want)
+		}
+	}
+	// Large binomials stay finite.
+	if v := Choose(1000, 500); math.IsInf(v, 0) || v <= 0 {
+		t.Errorf("Choose(1000,500) = %g", v)
+	}
+}
+
+func TestTwoPLTime(t *testing.T) {
+	// No conflicts: τe. All conflicts: 1.5·τe. Half: 1.25·τe.
+	if got := TwoPLTime(100, 0, 1); got != 1 {
+		t.Errorf("c=0: %g", got)
+	}
+	if got := TwoPLTime(100, 100, 1); got != 1.5 {
+		t.Errorf("c=n: %g", got)
+	}
+	if got := TwoPLTime(100, 50, 1); got != 1.25 {
+		t.Errorf("c=n/2: %g", got)
+	}
+	// Degenerate inputs.
+	if TwoPLTime(0, 0, 1) != 0 {
+		t.Error("n=0 must be 0")
+	}
+	if TwoPLTime(10, -5, 1) != 1 {
+		t.Error("negative c clamps to 0")
+	}
+	if TwoPLTime(10, 50, 1) != 1.5 {
+		t.Error("c>n clamps to n")
+	}
+	// τe scales linearly.
+	if TwoPLTime(100, 100, 10) != 15 {
+		t.Error("τe scaling broken")
+	}
+}
+
+func TestPKNormalizes(t *testing.T) {
+	for _, n := range []int{10, 100, 1000} {
+		for _, c := range []int{0, 1, n / 3, n} {
+			for _, i := range []int{0, 1, n / 2, n} {
+				kmin, kmax := PKSupport(n, c, i)
+				sum := 0.0
+				for k := kmin; k <= kmax; k++ {
+					p := PK(n, c, i, k)
+					if p < 0 || p > 1+1e-12 {
+						t.Fatalf("PK(%d,%d,%d,%d) = %g out of [0,1]", n, c, i, k, p)
+					}
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Errorf("ΣP(k) = %g for n=%d c=%d i=%d", sum, n, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPKDegenerate(t *testing.T) {
+	// i=0: all conflicts compatible, k must be 0.
+	if PK(100, 50, 0, 0) != 1 {
+		t.Errorf("PK(k=0 | i=0) = %g", PK(100, 50, 0, 0))
+	}
+	if PK(100, 50, 0, 1) != 0 {
+		t.Errorf("PK(k=1 | i=0) = %g", PK(100, 50, 0, 1))
+	}
+	// i=n: every conflict incompatible, k must be c.
+	if got := PK(100, 50, 100, 50); math.Abs(got-1) > 1e-9 {
+		t.Errorf("PK(k=c | i=n) = %g", got)
+	}
+	// Out-of-range parameters.
+	if PK(-1, 0, 0, 0) != 0 || PK(10, 20, 0, 0) != 0 || PK(10, 0, 20, 0) != 0 {
+		t.Error("invalid parameters must give 0")
+	}
+}
+
+func TestOurTimeBoundaries(t *testing.T) {
+	const n, taue = 100, 1.0
+	// Best case from the paper: c=100%, i=0 → τe (50% better than 1.5τe).
+	if got := OurTime(n, n, 0, taue); math.Abs(got-1) > 1e-9 {
+		t.Errorf("best case = %g, want 1", got)
+	}
+	// Worst case: i=n → identical to 2PL.
+	if got, want := OurTime(n, n, n, taue), TwoPLTime(n, n, taue); math.Abs(got-want) > 1e-9 {
+		t.Errorf("i=n: %g, want %g", got, want)
+	}
+	// No conflicts: τe regardless of i.
+	if got := OurTime(n, 0, n/2, taue); math.Abs(got-1) > 1e-9 {
+		t.Errorf("c=0: %g", got)
+	}
+	if OurTime(0, 0, 0, taue) != 0 {
+		t.Error("n=0 must be 0")
+	}
+	// Clamping.
+	if got, want := OurTime(10, 50, 50, 1), TwoPLTime(10, 10, 1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("clamped = %g, want %g", got, want)
+	}
+}
+
+// TestOurTimeNeverExceeds2PLProperty is the paper's headline claim: the
+// pre-serialization expected time is bounded by 2PL's at every (c, i).
+func TestOurTimeNeverExceeds2PLProperty(t *testing.T) {
+	f := func(cSeed, iSeed uint8) bool {
+		const n = 100
+		c := int(cSeed) % (n + 1)
+		i := int(iSeed) % (n + 1)
+		return OurTime(n, c, i, 1) <= TwoPLTime(n, c, 1)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOurTimeMonotoneInI: more incompatible operations never speed things
+// up.
+func TestOurTimeMonotoneInI(t *testing.T) {
+	const n = 100
+	for _, c := range []int{10, 50, 100} {
+		prev := -1.0
+		for i := 0; i <= n; i += 5 {
+			got := OurTime(n, c, i, 1)
+			if got < prev-1e-12 {
+				t.Fatalf("OurTime(c=%d) decreased at i=%d: %g < %g", c, i, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestOurTimeMonotoneInC: more conflicts never speed things up.
+func TestOurTimeMonotoneInC(t *testing.T) {
+	const n = 100
+	for _, i := range []int{10, 50, 100} {
+		prev := -1.0
+		for c := 0; c <= n; c += 5 {
+			got := OurTime(n, c, i, 1)
+			if got < prev-1e-12 {
+				t.Fatalf("OurTime(i=%d) decreased at c=%d: %g < %g", i, c, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestAbortProbability(t *testing.T) {
+	if got := AbortProbability(0.5, 0.4, 0.1); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("P(abort) = %g", got)
+	}
+	if AbortProbability(0, 1, 1) != 0 || AbortProbability(1, 1, 1) != 1 {
+		t.Error("boundaries broken")
+	}
+	if AbortProbability(2, 1, 1) != 1 || AbortProbability(-1, 1, 1) != 0 {
+		t.Error("clamping broken")
+	}
+}
+
+func TestTwoPLAbortProbability(t *testing.T) {
+	// Zero timeout: every disconnected transaction dies.
+	if got := TwoPLAbortProbability(0.3, 0, 10); got != 0.3 {
+		t.Errorf("timeout 0 = %g", got)
+	}
+	// Longer timeouts abort fewer.
+	short := TwoPLAbortProbability(0.3, 5, 10)
+	long := TwoPLAbortProbability(0.3, 50, 10)
+	if !(long < short && short < 0.3) {
+		t.Errorf("ordering broken: short=%g long=%g", short, long)
+	}
+	if TwoPLAbortProbability(0.3, 5, 0) != 0 {
+		t.Error("zero mean means no long disconnections")
+	}
+}
+
+func TestFig1Grid(t *testing.T) {
+	rows := Fig1(100, 1, 10)
+	if len(rows) != 121 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ours > r.TwoPL+1e-12 {
+			t.Fatalf("row %+v violates Ours ≤ 2PL", r)
+		}
+		if r.TwoPL < 1 || r.TwoPL > 1.5 {
+			t.Fatalf("2PL out of range: %+v", r)
+		}
+	}
+	// Corner checks.
+	last := rows[len(rows)-1] // c=100%, i=100%
+	if math.Abs(last.Ours-last.TwoPL) > 1e-9 {
+		t.Errorf("at (1,1) ours must equal 2PL: %+v", last)
+	}
+	if got := Fig1(100, 1, 0); len(got) != 4 {
+		t.Errorf("steps<1 clamps to 1: %d rows", len(got))
+	}
+}
+
+func TestFig2Grid(t *testing.T) {
+	rows := Fig2([]float64{0.1, 0.5}, 4)
+	if len(rows) != 2*25 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		want := r.PD * r.PC * r.PI
+		if math.Abs(r.Abort-want) > 1e-12 {
+			t.Fatalf("row %+v", r)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, n := range []int{10, 100, 1000} {
+		if err := Validate(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package analytic
+
+import "testing"
+
+func BenchmarkPK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PK(1000, 300, 200, 60)
+	}
+}
+
+func BenchmarkOurTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		OurTime(100, 50, 30, 1)
+	}
+}
+
+func BenchmarkFig1Surface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Fig1(100, 1, 20)
+	}
+}

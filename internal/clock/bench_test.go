@@ -1,0 +1,38 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSimulatorScheduleRun measures event throughput of the
+// discrete-event engine.
+func BenchmarkSimulatorScheduleRun(b *testing.B) {
+	const batch = 1000
+	for i := 0; i < b.N; i++ {
+		s := NewSimulator()
+		for j := 0; j < batch; j++ {
+			s.After(time.Duration(j)*time.Millisecond, func() {})
+		}
+		if got := s.Run(); got != batch {
+			b.Fatalf("ran %d events", got)
+		}
+	}
+	b.ReportMetric(float64(batch), "events/op")
+}
+
+// BenchmarkSimulatorCascade measures chained scheduling (each event
+// schedules the next), the dominant pattern in the emulation.
+func BenchmarkSimulatorCascade(b *testing.B) {
+	s := NewSimulator()
+	remaining := b.N
+	var step func()
+	step = func() {
+		if remaining--; remaining > 0 {
+			s.After(time.Millisecond, step)
+		}
+	}
+	s.After(time.Millisecond, step)
+	b.ResetTimer()
+	s.Run()
+}

@@ -1,0 +1,170 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWallNow(t *testing.T) {
+	before := time.Now()
+	got := Wall{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Errorf("Wall.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestSimulatorOrdering(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run() = %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if got := s.Elapsed(); got != 3*time.Second {
+		t.Errorf("Elapsed() = %v, want 3s", got)
+	}
+}
+
+func TestSimulatorFIFOWithinInstant(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	at := Epoch.Add(time.Second)
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(at, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestSimulatorEventSchedulesEvent(t *testing.T) {
+	s := NewSimulator()
+	var fired []time.Duration
+	s.After(time.Second, func() {
+		fired = append(fired, s.Elapsed())
+		s.After(time.Second, func() {
+			fired = append(fired, s.Elapsed())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestSimulatorRunUntil(t *testing.T) {
+	s := NewSimulator()
+	var count int
+	for i := 1; i <= 5; i++ {
+		s.After(time.Duration(i)*time.Second, func() { count++ })
+	}
+	n := s.RunUntil(Epoch.Add(3 * time.Second))
+	if n != 3 || count != 3 {
+		t.Fatalf("RunUntil executed %d events (count %d), want 3", n, count)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+	if got := s.Now(); !got.Equal(Epoch.Add(3 * time.Second)) {
+		t.Errorf("Now() = %v, want deadline", got)
+	}
+	// Deadline with no events still advances the clock.
+	s.RunUntil(Epoch.Add(3500 * time.Millisecond))
+	if got := s.Elapsed(); got != 3500*time.Millisecond {
+		t.Errorf("Elapsed() = %v, want 3.5s", got)
+	}
+	s.Run()
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+}
+
+func TestSimulatorStep(t *testing.T) {
+	s := NewSimulator()
+	ran := false
+	s.After(time.Second, func() { ran = true })
+	if !s.Step() || !ran {
+		t.Error("Step should run the queued event")
+	}
+	if s.Step() {
+		t.Error("Step on an empty queue must report false")
+	}
+	if s.Steps() != 1 {
+		t.Errorf("Steps() = %d, want 1", s.Steps())
+	}
+}
+
+func TestSimulatorPastSchedulingPanics(t *testing.T) {
+	s := NewSimulator()
+	s.After(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("At() in the virtual past must panic")
+		}
+	}()
+	s.At(Epoch, func() {})
+}
+
+func TestSimulatorNegativeAfter(t *testing.T) {
+	s := NewSimulator()
+	ran := false
+	s.After(-time.Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Error("negative After must clamp to now and still run")
+	}
+}
+
+func TestManualClock(t *testing.T) {
+	m := NewManual()
+	if !m.Now().Equal(Epoch) {
+		t.Error("Manual starts at Epoch")
+	}
+	m.Advance(time.Minute)
+	if got := m.Now(); !got.Equal(Epoch.Add(time.Minute)) {
+		t.Errorf("after Advance, Now() = %v", got)
+	}
+	target := Epoch.Add(time.Hour)
+	m.Set(target)
+	if !m.Now().Equal(target) {
+		t.Error("Set failed")
+	}
+}
+
+// TestSimulatorOrderProperty: any batch of events runs in nondecreasing
+// timestamp order.
+func TestSimulatorOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewSimulator()
+		var seen []time.Time
+		for _, d := range delays {
+			s.After(time.Duration(d)*time.Millisecond, func() {
+				seen = append(seen, s.Now())
+			})
+		}
+		s.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i].Before(seen[i-1]) {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"preserial/internal/sem"
+)
+
+// gatedStore blocks ApplySST until released, exposing the SST-in-flight
+// window that makes the committer-slot queue observable.
+type gatedStore struct {
+	*MemStore
+	mu      sync.Mutex
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func newGatedStore() *gatedStore {
+	return &gatedStore{
+		MemStore: NewMemStore(),
+		gate:     make(chan struct{}),
+		entered:  make(chan struct{}, 16),
+	}
+}
+
+func (s *gatedStore) ApplySST(writes []SSTWrite) error {
+	s.entered <- struct{}{}
+	<-s.gate
+	return s.MemStore.ApplySST(writes)
+}
+
+// open releases every present and future ApplySST.
+func (s *gatedStore) open() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.gate:
+	default:
+		close(s.gate)
+	}
+}
+
+func TestCommitterSlotQueueUnderSlowSST(t *testing.T) {
+	store := newGatedStore()
+	ref := StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(100))
+	m := NewManager(store)
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	op := sem.Op{Class: sem.AddSub}
+
+	for _, id := range []TxID{"A", "B"} {
+		if err := m.Begin(id); err != nil {
+			t.Fatal(err)
+		}
+		if granted, err := m.Invoke(id, "X", op); err != nil || !granted {
+			t.Fatal(granted, err)
+		}
+	}
+	if err := m.Apply("A", "X", sem.Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply("B", "X", sem.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A's commit launches an SST that blocks at the gate.
+	aDone := make(chan error, 1)
+	go func() { aDone <- m.RequestCommit("A") }()
+	select {
+	case <-store.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("A's SST never started")
+	}
+
+	// While A's SST is in flight it still holds the committer slot: B's
+	// commit must queue (Algorithm 3's one-committer precondition), and
+	// RequestCommit returns with B in Committing.
+	if err := m.RequestCommit("B"); err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, m, "B", StateCommitting)
+
+	// A is past its commit point: user aborts are refused.
+	if err := m.Abort("A"); !errors.Is(err, ErrBadState) {
+		t.Fatalf("abort during SST = %v, want ErrBadState", err)
+	}
+
+	// Release the gate: A publishes, the slot passes to B, B commits too.
+	store.open()
+	if err := <-aDone; err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := m.TxState("B")
+		if st == StateCommitted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("B stuck in %s", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mustState(t, m, "A", StateCommitted)
+
+	// B's reconciliation ran against A's published value: 100+4+2.
+	v, _ := m.Permanent("X", "")
+	if v.Int64() != 106 {
+		t.Fatalf("final = %s, want 106", v)
+	}
+	if got := store.Applied(); got != 2 {
+		t.Errorf("SSTs applied = %d, want 2", got)
+	}
+}
+
+func TestInvocationConflictsWithInFlightCommitter(t *testing.T) {
+	// An incompatible invocation arriving during the SST window must wait:
+	// the committing transaction is still in X_committing (Algorithm 2
+	// checks (pending − sleeping) ∪ committing).
+	store := newGatedStore()
+	ref := StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(100))
+	m := NewManager(store)
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Invoke("A", "X", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Apply("A", "X", sem.Int(1))
+	aDone := make(chan error, 1)
+	go func() { aDone <- m.RequestCommit("A") }()
+	<-store.entered
+
+	if err := m.Begin("W"); err != nil {
+		t.Fatal(err)
+	}
+	granted, err := m.Invoke("W", "X", sem.Op{Class: sem.Assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted {
+		t.Fatal("assign must conflict with the in-flight committer")
+	}
+	mustState(t, m, "W", StateWaiting)
+
+	store.open()
+	if err := <-aDone; err != nil {
+		t.Fatal(err)
+	}
+	// W is granted once A publishes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := m.TxState("W")
+		if st == StateActive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("W stuck in %s", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSSTRetries(t *testing.T) {
+	store := NewMemStore()
+	ref := StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(100))
+	// Two transient failures, then success: with 3 retries the commit lands.
+	store.FailNext(2)
+	m := NewManager(store, WithSSTRetries(3, nil))
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Invoke("A", "X", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Apply("A", "X", sem.Int(1))
+	if err := m.RequestCommit("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, m, "A", StateCommitted)
+	if v, _ := m.Permanent("X", ""); v.Int64() != 101 {
+		t.Fatalf("final = %s", v)
+	}
+}
+
+func TestSSTRetriesExhausted(t *testing.T) {
+	store := NewMemStore()
+	ref := StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(100))
+	store.FailNext(10)
+	m := NewManager(store, WithSSTRetries(2, nil))
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Invoke("A", "X", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Apply("A", "X", sem.Int(1))
+	if err := m.RequestCommit("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, m, "A", StateAborted)
+}
+
+func TestSSTRetryFilterStopsNonRetryable(t *testing.T) {
+	store := NewMemStore()
+	ref := StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(100))
+	store.FailNext(2) // would succeed on the 3rd try…
+	calls := 0
+	m := NewManager(store, WithSSTRetries(5, func(error) bool {
+		calls++
+		return false // …but the filter says "not retryable"
+	}))
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Begin("A"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Invoke("A", "X", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Apply("A", "X", sem.Int(1))
+	if err := m.RequestCommit("A"); err != nil {
+		t.Fatal(err)
+	}
+	mustState(t, m, "A", StateAborted)
+	if calls != 1 {
+		t.Errorf("filter consulted %d times, want 1", calls)
+	}
+}

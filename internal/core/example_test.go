@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+
+	"preserial/internal/core"
+	"preserial/internal/sem"
+)
+
+// Example reproduces the paper's Table II through the public API: two
+// transactions concurrently add to X = 100 and commit through the
+// reconciliation algorithm.
+func Example() {
+	store := core.NewMemStore()
+	ref := core.StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(100))
+	gtm := core.NewManager(store)
+	_ = gtm.RegisterAtomicObject("X", ref)
+
+	add := sem.Op{Class: sem.AddSub}
+	_ = gtm.Begin("A")
+	_ = gtm.Begin("B")
+	_, _ = gtm.Invoke("A", "X", add) // granted
+	_, _ = gtm.Invoke("B", "X", add) // granted concurrently: adds commute
+	_ = gtm.Apply("A", "X", sem.Int(1))
+	_ = gtm.Apply("B", "X", sem.Int(2))
+	_ = gtm.Apply("A", "X", sem.Int(3))
+
+	_ = gtm.RequestCommit("A")
+	afterA, _ := gtm.Permanent("X", "")
+	_ = gtm.RequestCommit("B")
+	afterB, _ := gtm.Permanent("X", "")
+	fmt.Println(afterA, afterB)
+	// Output: 104 106
+}
+
+// ExampleClient shows the blocking façade used by servers and examples.
+func ExampleClient() {
+	store := core.NewMemStore()
+	ref := core.StoreRef{Table: "Flight", Key: "AZ0", Column: "FreeTickets"}
+	store.Seed(ref, sem.Int(10))
+	gtm := core.NewManager(store)
+	_ = gtm.RegisterAtomicObject("flight", ref)
+
+	ctx := context.Background()
+	c, _ := gtm.BeginClient("booking")
+	_ = c.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub})
+	_ = c.Apply("flight", sem.Int(-1))
+	_ = c.Commit(ctx)
+
+	v, _ := gtm.Permanent("flight", "")
+	fmt.Println(v)
+	// Output: 9
+}
+
+// ExampleManager_Sleep demonstrates the disconnection life cycle: the
+// sleeper resumes when only compatible operations intervened.
+func ExampleManager_Sleep() {
+	store := core.NewMemStore()
+	ref := core.StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(100))
+	gtm := core.NewManager(store)
+	_ = gtm.RegisterAtomicObject("X", ref)
+
+	add := sem.Op{Class: sem.AddSub}
+	_ = gtm.Begin("mobile")
+	_, _ = gtm.Invoke("mobile", "X", add)
+	_ = gtm.Apply("mobile", "X", sem.Int(-1))
+	_ = gtm.Sleep("mobile") // network fault
+
+	// A compatible transaction commits during the nap.
+	_ = gtm.Begin("other")
+	_, _ = gtm.Invoke("other", "X", add)
+	_ = gtm.Apply("other", "X", sem.Int(-2))
+	_ = gtm.RequestCommit("other")
+
+	resumed, _ := gtm.Awake("mobile")
+	_ = gtm.RequestCommit("mobile")
+	v, _ := gtm.Permanent("X", "")
+	fmt.Println(resumed, v)
+	// Output: true 97
+}
+
+// ExampleWithHeadroom shows the Section VII admission extension: no more
+// concurrent buyers than units in stock.
+func ExampleWithHeadroom() {
+	store := core.NewMemStore()
+	ref := core.StoreRef{Table: "P", Key: "widget", Column: "stock"}
+	store.Seed(ref, sem.Int(1))
+	gtm := core.NewManager(store, core.WithHeadroom(
+		func(_ core.ObjectID, permanent sem.Value) int { return int(permanent.Int64()) },
+	))
+	_ = gtm.RegisterAtomicObject("widget", ref)
+
+	add := sem.Op{Class: sem.AddSub}
+	_ = gtm.Begin("buyer1")
+	_ = gtm.Begin("buyer2")
+	g1, _ := gtm.Invoke("buyer1", "widget", add)
+	g2, _ := gtm.Invoke("buyer2", "widget", add) // deferred: stock is 1
+	fmt.Println(g1, g2)
+	// Output: true false
+}

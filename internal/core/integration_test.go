@@ -1,0 +1,412 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"preserial/internal/ldbs"
+	"preserial/internal/sem"
+)
+
+// newLDBSManager builds a GTM over a real ldbs.DB with the Flight table and
+// the FreeTickets ≥ 0 constraint, seeded with `tickets`.
+func newLDBSManager(t *testing.T, tickets int64, opt ...Option) (*Manager, *ldbs.DB) {
+	t.Helper()
+	db := ldbs.Open(ldbs.Options{})
+	err := db.CreateTable(ldbs.Schema{
+		Table: "Flight",
+		Columns: []ldbs.ColumnDef{
+			{Name: "FreeTickets", Kind: sem.KindInt64},
+		},
+		Checks: []ldbs.Check{{Column: "FreeTickets", Op: ldbs.CmpGE, Bound: sem.Int(0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert(context.Background(), "Flight", "AZ123",
+		ldbs.Row{"FreeTickets": sem.Int(tickets)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(NewLDBSStore(db), opt...)
+	ref := StoreRef{Table: "Flight", Key: "AZ123", Column: "FreeTickets"}
+	if err := m.RegisterAtomicObject("flight", ref); err != nil {
+		t.Fatal(err)
+	}
+	return m, db
+}
+
+func TestClientHappyPath(t *testing.T) {
+	m, db := newLDBSManager(t, 10)
+	ctx := context.Background()
+	c, err := m.BeginClient("booker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Read("flight"); err != nil || v.Int64() != 10 {
+		t.Fatalf("read = %s, %v", v, err)
+	}
+	if err := c.Apply("flight", sem.Int(-1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.ReadCommitted("Flight", "AZ123", "FreeTickets")
+	if err != nil || got.Int64() != 9 {
+		t.Fatalf("LDBS value = %s, %v; want 9", got, err)
+	}
+	if s, _ := c.State(); s != StateCommitted {
+		t.Errorf("state = %s", s)
+	}
+	if c.ID() != "booker" {
+		t.Errorf("ID() = %s", c.ID())
+	}
+}
+
+func TestClientBlockingInvoke(t *testing.T) {
+	m, _ := newLDBSManager(t, 10)
+	ctx := context.Background()
+
+	admin, err := m.BeginClient("admin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Invoke(ctx, "flight", sem.Op{Class: sem.Assign}); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Apply("flight", sem.Int(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	booker, err := m.BeginClient("booker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		if err := booker.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub}); err != nil {
+			done <- err
+			return
+		}
+		if err := booker.Apply("flight", sem.Int(-1)); err != nil {
+			done <- err
+			return
+		}
+		done <- booker.Commit(ctx)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("booker finished before admin committed: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := admin.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Permanent("flight", "")
+	if v.Int64() != 99 {
+		t.Errorf("final = %s, want 99", v)
+	}
+}
+
+func TestClientInvokeContextCancel(t *testing.T) {
+	m, _ := newLDBSManager(t, 10)
+	bg := context.Background()
+	holder, err := m.BeginClient("holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Invoke(bg, "flight", sem.Op{Class: sem.Assign}); err != nil {
+		t.Fatal(err)
+	}
+	waiter, err := m.BeginClient("waiter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(bg, 30*time.Millisecond)
+	defer cancel()
+	err = waiter.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	// The waiter is still queued in the GTM; abort cleans it up.
+	if err := waiter.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientAbortWhileQueuedUnblocksWait(t *testing.T) {
+	m, _ := newLDBSManager(t, 10)
+	ctx := context.Background()
+	holder, err := m.BeginClient("holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Invoke(ctx, "flight", sem.Op{Class: sem.Assign}); err != nil {
+		t.Fatal(err)
+	}
+	waiter, err := m.BeginClient("waiter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- waiter.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub}) }()
+	time.Sleep(20 * time.Millisecond)
+	// Another goroutine aborts the waiter (e.g. a supervision timeout).
+	if err := m.Abort("waiter"); err != nil {
+		t.Fatal(err)
+	}
+	err = <-done
+	if err == nil || !strings.Contains(err.Error(), "aborted") {
+		t.Fatalf("queued invoke after abort = %v, want abort error", err)
+	}
+}
+
+func TestConstraintViolationAbortsGTMTransaction(t *testing.T) {
+	// Two clients book the last seat concurrently; reconciliation makes the
+	// second SST violate FreeTickets ≥ 0 and the GTM aborts it (the
+	// Section VII discussion).
+	m, db := newLDBSManager(t, 1)
+	ctx := context.Background()
+
+	a, err := m.BeginClient("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.BeginClient("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*Client{a, b} {
+		if err := c.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Apply("flight", sem.Int(-1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	err = b.Commit(ctx)
+	if err == nil || !strings.Contains(err.Error(), "sst-failure") {
+		t.Fatalf("second booking = %v, want sst-failure abort", err)
+	}
+	got, _ := db.ReadCommitted("Flight", "AZ123", "FreeTickets")
+	if got.Int64() != 0 {
+		t.Errorf("tickets = %s, want 0", got)
+	}
+	if s, _ := m.TxState("b"); s != StateAborted {
+		t.Errorf("b state = %s", s)
+	}
+}
+
+func TestHeadroomPreventsConstraintAborts(t *testing.T) {
+	// Same scenario as above, but the headroom extension admits at most
+	// FreeTickets concurrent subtractors, so the loser waits instead of
+	// aborting at commit.
+	m, _ := newLDBSManager(t, 1, WithHeadroom(func(_ ObjectID, perm sem.Value) int {
+		return int(perm.Int64())
+	}))
+	ctx := context.Background()
+	a, err := m.BeginClient("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Apply("flight", sem.Int(-1)); err != nil {
+		t.Fatal(err)
+	}
+	if granted, _ := m.Invoke("b-raw", "flight", sem.Op{Class: sem.AddSub}); granted {
+		t.Fatal("unknown tx must error") // defensive: should not happen
+	}
+	b, err := m.BeginClient("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted, err := m.Invoke("b", "flight", sem.Op{Class: sem.AddSub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted {
+		t.Fatal("second subtractor must be deferred: headroom is 1")
+	}
+	if err := a.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// After a's commit the headroom is 0: b stays queued forever; abort it.
+	if s, _ := b.State(); s != StateWaiting {
+		t.Errorf("b state = %s, want Waiting", s)
+	}
+	if err := b.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.SSTFailures != 0 {
+		t.Errorf("SST failures = %d, want 0 (headroom prevents them)", st.SSTFailures)
+	}
+}
+
+func TestConcurrentBookingRace(t *testing.T) {
+	// 32 goroutines subtract 1 each from 1000 tickets through real Clients;
+	// the final value must be exactly 1000−32 and no transaction may abort.
+	m, db := newLDBSManager(t, 1000)
+	ctx := context.Background()
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := m.BeginClient(TxID(fmt.Sprintf("tx-%d", i)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := c.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub}); err != nil {
+				errs <- err
+				return
+			}
+			if err := c.Apply("flight", sem.Int(-1)); err != nil {
+				errs <- err
+				return
+			}
+			errs <- c.Commit(ctx)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := db.ReadCommitted("Flight", "AZ123", "FreeTickets")
+	if got.Int64() != 1000-n {
+		t.Fatalf("final tickets = %s, want %d", got, 1000-n)
+	}
+	st := m.Stats()
+	if st.Committed != n || st.Aborted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRandomInterleavingFinalStateProperty(t *testing.T) {
+	// Property: for random interleavings of add/sub transactions (with
+	// random sleeps and awakes), the final permanent value equals the
+	// initial value plus the deltas of exactly the committed transactions.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		store := NewMemStore()
+		ref := StoreRef{Table: "T", Key: "X", Column: "v"}
+		store.Seed(ref, sem.Int(1000))
+		m := NewManager(store, WithHistory())
+		if err := m.RegisterAtomicObject("X", ref); err != nil {
+			t.Fatal(err)
+		}
+
+		const n = 30
+		type txs struct {
+			id    TxID
+			delta int64
+		}
+		var all []txs
+		for i := 0; i < n; i++ {
+			id := TxID(fmt.Sprintf("t%02d", i))
+			delta := int64(rng.Intn(21) - 10)
+			all = append(all, txs{id, delta})
+			if err := m.Begin(id); err != nil {
+				t.Fatal(err)
+			}
+			if granted, err := m.Invoke(id, "X", sem.Op{Class: sem.AddSub}); err != nil || !granted {
+				t.Fatalf("seed %d: invoke %s: %v %v", seed, id, granted, err)
+			}
+			if err := m.Apply(id, "X", sem.Int(delta)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Random interleaving of sleep/awake/commit/abort.
+		committedSum := int64(0)
+		for _, tx := range all {
+			switch rng.Intn(4) {
+			case 0: // sleep then awake then commit
+				if err := m.Sleep(tx.id); err != nil {
+					t.Fatal(err)
+				}
+				resumed, err := m.Awake(tx.id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !resumed {
+					t.Fatalf("seed %d: %s aborted on awake in an all-compatible workload", seed, tx.id)
+				}
+				fallthrough
+			case 1, 2: // commit
+				if err := m.RequestCommit(tx.id); err != nil {
+					t.Fatal(err)
+				}
+				committedSum += tx.delta
+			default: // abort
+				if err := m.Abort(tx.id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		want := 1000 + committedSum
+		got, _ := m.Permanent("X", "")
+		if got.Int64() != want {
+			t.Fatalf("seed %d: final = %s, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestHistoryMatchesStoreSum(t *testing.T) {
+	m, _ := newLDBSManager(t, 500, WithHistory())
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		c, err := m.BeginClient(TxID(fmt.Sprintf("h%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Apply("flight", sem.Int(-2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := m.History()
+	if len(h) != 10 {
+		t.Fatalf("history entries = %d", len(h))
+	}
+	// X_new values descend by 2 from 498 and X_tc is nondecreasing.
+	for i, e := range h {
+		if want := int64(498 - 2*i); e.New.Int64() != want {
+			t.Errorf("history[%d].New = %s, want %d", i, e.New, want)
+		}
+		if i > 0 && e.TC.Before(h[i-1].TC) {
+			t.Errorf("history out of order at %d", i)
+		}
+	}
+}

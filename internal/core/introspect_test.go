@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"preserial/internal/sem"
+)
+
+func TestObjectInfo(t *testing.T) {
+	m, _, _ := testManager(t)
+	mustBegin(t, m, "A")
+	mustBegin(t, m, "B")
+	mustBegin(t, m, "W")
+	mustBegin(t, m, "S")
+	mustInvoke(t, m, "A", "X", addOp)
+	mustInvoke(t, m, "B", "X", addOp)
+	if granted, _ := m.Invoke("W", "X", assignOp); granted {
+		t.Fatal("W must queue")
+	}
+	mustInvoke(t, m, "S", "X", addOp)
+	if err := m.Sleep("S"); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := m.ObjectInfo("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Pending) != 3 { // A, B, S (sleeping holders stay pending)
+		t.Errorf("pending = %+v", info.Pending)
+	}
+	if len(info.Waiting) != 1 || info.Waiting[0].Tx != "W" {
+		t.Errorf("waiting = %+v", info.Waiting)
+	}
+	if len(info.Sleeping) != 1 || info.Sleeping[0] != "S" {
+		t.Errorf("sleeping = %+v", info.Sleeping)
+	}
+	if v, ok := info.Members[""]; !ok || v.Int64() != 100 {
+		t.Errorf("members = %+v", info.Members)
+	}
+	if _, err := m.ObjectInfo("nope"); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("unknown object = %v", err)
+	}
+}
+
+func TestTransactionsSnapshot(t *testing.T) {
+	m, _, _ := testManager(t)
+	mustBegin(t, m, "b")
+	mustBegin(t, m, "a")
+	mustInvoke(t, m, "a", "X", addOp)
+	if err := m.RequestCommit("a"); err != nil {
+		t.Fatal(err)
+	}
+	txs := m.Transactions()
+	if len(txs) != 2 || txs[0].ID != "a" || txs[1].ID != "b" {
+		t.Fatalf("snapshot = %+v", txs)
+	}
+	if txs[0].State != StateCommitted || txs[1].State != StateActive {
+		t.Errorf("states = %s, %s", txs[0].State, txs[1].State)
+	}
+	if len(txs[0].Objects) != 1 || txs[0].Objects[0] != "X" {
+		t.Errorf("objects = %v", txs[0].Objects)
+	}
+}
+
+func TestWaitGraph(t *testing.T) {
+	m, _, _ := testManager(t)
+	mustBegin(t, m, "H")
+	mustBegin(t, m, "W")
+	mustInvoke(t, m, "H", "X", assignOp)
+	if granted, _ := m.Invoke("W", "X", addOp); granted {
+		t.Fatal("W must queue")
+	}
+	g := m.WaitGraph()
+	if len(g["W"]) != 1 || g["W"][0] != "H" {
+		t.Fatalf("graph = %+v", g)
+	}
+	if _, ok := g["H"]; ok {
+		t.Error("H waits for nobody")
+	}
+}
+
+func TestAge(t *testing.T) {
+	m, store, clk := testManager(t)
+	refY := StoreRef{Table: "T", Key: "Y", Column: "v"}
+	store.Seed(refY, sem.Int(7))
+	if err := m.RegisterAtomicObject("Y", refY); err != nil {
+		t.Fatal(err)
+	}
+	mustBegin(t, m, "A")
+	mustBegin(t, m, "W")
+	mustBegin(t, m, "S")
+	mustInvoke(t, m, "A", "X", assignOp)
+	mustInvoke(t, m, "S", "Y", addOp)
+	clk.Advance(10 * time.Second)
+	if granted, _ := m.Invoke("W", "X", addOp); granted {
+		t.Fatal("W must queue")
+	}
+	clk.Advance(5 * time.Second)
+
+	// Active: lifetime.
+	if d, err := m.Age("A"); err != nil || d != 15*time.Second {
+		t.Errorf("active age = %v, %v", d, err)
+	}
+	// Waiting: time in queue.
+	if d, err := m.Age("W"); err != nil || d != 5*time.Second {
+		t.Errorf("waiting age = %v, %v", d, err)
+	}
+	// Sleeping: nap length (S sleeps alone on Y, so it can resume).
+	if err := m.Sleep("S"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(3 * time.Second)
+	if d, err := m.Age("S"); err != nil || d != 3*time.Second {
+		t.Errorf("sleeping age = %v, %v", d, err)
+	}
+	// Terminal: total lifetime.
+	resumed, err := m.Awake("S")
+	if err != nil || !resumed {
+		t.Fatal(resumed, err)
+	}
+	if err := m.RequestCommit("S"); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := m.Age("S"); err != nil || d != 18*time.Second {
+		t.Errorf("terminal age = %v, %v", d, err)
+	}
+	if _, err := m.Age("ghost"); !errors.Is(err, ErrUnknownTx) {
+		t.Errorf("ghost age = %v", err)
+	}
+}
+
+func TestObjectInfoCommitQ(t *testing.T) {
+	store := newGatedStore()
+	ref := StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(100))
+	m := NewManager(store)
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	op := sem.Op{Class: sem.AddSub}
+	for _, id := range []TxID{"A", "B"} {
+		if err := m.Begin(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Invoke(id, "X", op); err != nil {
+			t.Fatal(err)
+		}
+		_ = m.Apply(id, "X", sem.Int(1))
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.RequestCommit("A") }()
+	<-store.entered
+	if err := m.RequestCommit("B"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := m.ObjectInfo("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Commiting) != 1 || info.Commiting[0].Tx != "A" {
+		t.Errorf("committing = %+v", info.Commiting)
+	}
+	if len(info.CommitQ) != 1 || info.CommitQ[0] != "B" {
+		t.Errorf("commitQ = %+v", info.CommitQ)
+	}
+	store.open()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

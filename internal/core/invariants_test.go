@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"preserial/internal/sem"
+)
+
+// checkInvariants asserts the structural invariants of the Section IV/V
+// model on the manager's internal state. Called under no lock — tests are
+// single-goroutine here.
+func checkInvariants(t *testing.T, m *Manager, step int) {
+	t.Helper()
+	defer m.mon.enter(m)()
+
+	for objID, o := range m.objs {
+		// I1: no two non-sleeping holders (pending ∪ committing) conflict.
+		type holder struct {
+			tx TxID
+			op sem.Op
+		}
+		var holders []holder
+		for tx, op := range o.pending {
+			if !o.sleeping[tx] {
+				holders = append(holders, holder{tx, op})
+			}
+		}
+		for tx, op := range o.committing {
+			holders = append(holders, holder{tx, op})
+		}
+		for i := 0; i < len(holders); i++ {
+			for j := i + 1; j < len(holders); j++ {
+				if holders[i].tx == holders[j].tx {
+					continue
+				}
+				if o.conflict(holders[i].op, holders[j].op, o.deps) {
+					t.Fatalf("step %d: I1 violated on %s: %s(%s) and %s(%s) both hold",
+						step, objID, holders[i].tx, holders[i].op, holders[j].tx, holders[j].op)
+				}
+			}
+		}
+		// I2: at most one transaction in X_committing.
+		if len(o.committing) > 1 {
+			t.Fatalf("step %d: I2 violated on %s: %d committers", step, objID, len(o.committing))
+		}
+		// I3: every waiter's transaction is Waiting or Sleeping, and every
+		// non-sleeping waiter is actually blocked (conflict or policy).
+		for _, w := range o.waiting {
+			wt := m.txs[w.tx]
+			if wt == nil {
+				t.Fatalf("step %d: I3: waiter %s not registered", step, w.tx)
+			}
+			if wt.state != StateWaiting && wt.state != StateSleeping {
+				t.Fatalf("step %d: I3: waiter %s in state %s", step, w.tx, wt.state)
+			}
+		}
+		// I4: virtual copies exist exactly for pending holders.
+		for tx := range o.temp {
+			if _, ok := o.pending[tx]; !ok {
+				t.Fatalf("step %d: I4: %s has A_temp on %s without pending", step, tx, objID)
+			}
+		}
+		for tx := range o.pending {
+			if _, ok := o.temp[tx]; !ok {
+				t.Fatalf("step %d: I4: pending %s on %s without A_temp", step, tx, objID)
+			}
+		}
+		// I5: X_new exists exactly for committing transactions.
+		for tx := range o.neu {
+			if _, ok := o.committing[tx]; !ok {
+				t.Fatalf("step %d: I5: %s has X_new on %s without committing", step, tx, objID)
+			}
+		}
+	}
+
+	// I6: transaction state ↔ object membership coherence.
+	for id, tr := range m.txs {
+		switch tr.state {
+		case StateCommitted, StateAborted:
+			for objID, o := range m.objs {
+				if _, ok := o.pending[id]; ok {
+					t.Fatalf("step %d: I6: terminal %s still pending on %s", step, id, objID)
+				}
+				if _, ok := o.committing[id]; ok {
+					t.Fatalf("step %d: I6: terminal %s still committing on %s", step, id, objID)
+				}
+				if o.waiterFor(id) != nil {
+					t.Fatalf("step %d: I6: terminal %s still queued on %s", step, id, objID)
+				}
+				if o.sleeping[id] {
+					t.Fatalf("step %d: I6: terminal %s still sleeping on %s", step, id, objID)
+				}
+			}
+		case StateSleeping:
+			if tr.tsleep.IsZero() {
+				t.Fatalf("step %d: I6: sleeper %s without A_tsleep", step, id)
+			}
+		case StateWaiting:
+			found := false
+			for _, o := range m.objs {
+				if o.waiterFor(id) != nil {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("step %d: I6: %s Waiting but queued nowhere", step, id)
+			}
+		}
+	}
+}
+
+// TestInvariantRandomWalk drives the Manager through long random event
+// sequences — begin, invoke (all classes), apply, sleep, awake, commit,
+// abort, in arbitrary orders including illegal ones (errors expected) —
+// and checks the structural invariants after every step.
+func TestInvariantRandomWalk(t *testing.T) {
+	classes := []sem.Class{sem.Read, sem.AddSub, sem.MulDiv, sem.Assign, sem.InsertDelete}
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			store := NewMemStore()
+			m := NewManager(store)
+			const objects = 3
+			for i := 0; i < objects; i++ {
+				ref := StoreRef{Table: "T", Key: fmt.Sprintf("X%d", i), Column: "v"}
+				store.Seed(ref, sem.Int(100))
+				if err := m.RegisterAtomicObject(ObjectID(fmt.Sprintf("X%d", i)), ref); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var ids []TxID
+			nextID := 0
+			for step := 0; step < 600; step++ {
+				switch rng.Intn(10) {
+				case 0, 1: // begin
+					id := TxID(fmt.Sprintf("t%03d", nextID))
+					nextID++
+					if err := m.Begin(id); err == nil {
+						ids = append(ids, id)
+					}
+				case 2, 3, 4: // invoke
+					if len(ids) == 0 {
+						continue
+					}
+					id := ids[rng.Intn(len(ids))]
+					obj := ObjectID(fmt.Sprintf("X%d", rng.Intn(objects)))
+					op := sem.Op{Class: classes[rng.Intn(len(classes))]}
+					_, _ = m.Invoke(id, obj, op) // errors fine (bad state, dup, deadlock)
+				case 5: // apply
+					if len(ids) == 0 {
+						continue
+					}
+					id := ids[rng.Intn(len(ids))]
+					obj := ObjectID(fmt.Sprintf("X%d", rng.Intn(objects)))
+					_ = m.Apply(id, obj, sem.Int(int64(rng.Intn(5)+1)))
+				case 6: // sleep
+					if len(ids) == 0 {
+						continue
+					}
+					_ = m.Sleep(ids[rng.Intn(len(ids))])
+				case 7: // awake
+					if len(ids) == 0 {
+						continue
+					}
+					_, _ = m.Awake(ids[rng.Intn(len(ids))])
+				case 8: // commit
+					if len(ids) == 0 {
+						continue
+					}
+					_ = m.RequestCommit(ids[rng.Intn(len(ids))])
+				case 9: // abort
+					if len(ids) == 0 {
+						continue
+					}
+					_ = m.Abort(ids[rng.Intn(len(ids))])
+				}
+				checkInvariants(t, m, step)
+			}
+			// Drain: everything still live gets aborted; invariants must
+			// hold at quiescence and all aborts must succeed or be terminal.
+			for _, id := range ids {
+				st, err := m.TxState(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !st.Terminal() {
+					if err := m.Abort(id); err != nil {
+						t.Fatalf("drain abort of %s (%s): %v", id, st, err)
+					}
+				}
+			}
+			checkInvariants(t, m, 9999)
+			// Post-drain: no object retains any per-transaction state.
+			defer m.mon.enter(m)()
+			for objID, o := range m.objs {
+				if len(o.pending)+len(o.committing)+len(o.waiting)+len(o.sleeping) != 0 {
+					t.Fatalf("object %s not empty after drain", objID)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"preserial/internal/ldbs"
+	"preserial/internal/sem"
+)
+
+// LDBSStore adapts the relational substrate (internal/ldbs) to the GTM's
+// Store interface. Every SST becomes a short ldbs transaction executed
+// under the engine's classical strict 2PL — exactly the paper's layering:
+// the GTM guarantees atomicity and isolation, the LDBS consistency (CHECK
+// constraints) and durability (WAL).
+type LDBSStore struct {
+	DB *ldbs.DB
+	// SSTTimeout bounds each secure system transaction; zero means one
+	// minute. SSTs only ever contend with each other for moments, so the
+	// bound exists purely to convert substrate hangs into aborts.
+	SSTTimeout time.Duration
+}
+
+// NewLDBSStore wraps a database.
+func NewLDBSStore(db *ldbs.DB) *LDBSStore { return &LDBSStore{DB: db} }
+
+// Load implements Store by reading the committed value.
+func (s *LDBSStore) Load(ref StoreRef) (sem.Value, error) {
+	return s.DB.ReadCommitted(ref.Table, ref.Key, ref.Column)
+}
+
+// ApplySST implements Store: all writes in one strictly-2PL transaction.
+func (s *LDBSStore) ApplySST(writes []SSTWrite) error {
+	timeout := s.SSTTimeout
+	if timeout == 0 {
+		timeout = time.Minute
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	tx := s.DB.Begin()
+	for _, w := range writes {
+		if err := tx.Set(ctx, w.Ref.Table, w.Ref.Key, w.Ref.Column, w.Value); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit(ctx)
+}

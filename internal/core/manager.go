@@ -1,0 +1,893 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"preserial/internal/clock"
+	"preserial/internal/sem"
+)
+
+// Stats are monotonically increasing GTM counters.
+type Stats struct {
+	Begun        uint64
+	Committed    uint64
+	Aborted      uint64
+	AbortsBy     map[AbortReason]uint64
+	Grants       uint64 // invocations granted (immediately or after a wait)
+	Waits        uint64 // invocations that had to queue
+	Sleeps       uint64
+	Awakes       uint64 // awakenings that resumed
+	AwakeAborts  uint64 // awakenings that aborted (conflict during sleep)
+	SSTs         uint64 // successful secure system transactions
+	SSTFailures  uint64
+	Reconciled   uint64 // commits whose X_new differed from A_temp
+	DeniedAdmits uint64 // admissions refused by extension policies
+}
+
+// Manager is the Global Transaction Manager. It is a monitor: every method
+// is safe for concurrent use, and all notifications fire outside the
+// critical section.
+type Manager struct {
+	mon monitor
+
+	clk   clock.Clock
+	store Store
+	opts  options
+
+	txs  map[TxID]*transaction
+	objs map[ObjectID]*object
+
+	stats     Stats
+	history   []HistoryEntry
+	commitSeq uint64 // global commit sequence (see commitRecord.seq)
+}
+
+// NewManager creates a GTM over the given store (which may be nil for a
+// purely virtual manager, e.g. in unit tests of the scheduling logic).
+func NewManager(store Store, opt ...Option) *Manager {
+	m := &Manager{
+		clk:   clock.Wall{},
+		store: store,
+		txs:   make(map[TxID]*transaction),
+		objs:  make(map[ObjectID]*object),
+	}
+	m.stats.AbortsBy = make(map[AbortReason]uint64)
+	m.opts = defaultOptions()
+	for _, o := range opt {
+		o(&m.opts)
+	}
+	if m.opts.clk != nil {
+		m.clk = m.opts.clk
+	}
+	return m
+}
+
+// RegisterObject declares a database object to the GTM. refs maps data
+// members to backing-store locations ("" is the member name for atomic
+// objects); deps describes logical dependence between members (nil treats
+// distinct members as independent).
+func (m *Manager) RegisterObject(id ObjectID, refs map[string]StoreRef, deps *sem.Dependencies) error {
+	defer m.mon.enter(m)()
+	if _, ok := m.objs[id]; ok {
+		return fmt.Errorf("%w: %s", ErrObjectExists, id)
+	}
+	m.objs[id] = newObject(id, refs, deps, m.opts.conflict)
+	return nil
+}
+
+// RegisterAtomicObject declares an unstructured object backed by a single
+// store location.
+func (m *Manager) RegisterAtomicObject(id ObjectID, ref StoreRef) error {
+	return m.RegisterObject(id, map[string]StoreRef{"": ref}, nil)
+}
+
+// Objects returns the registered object ids in sorted order.
+func (m *Manager) Objects() []ObjectID {
+	defer m.mon.enter(m)()
+	out := make([]ObjectID, 0, len(m.objs))
+	for id := range m.objs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Begin implements ⟨begin,A⟩ (Algorithm 1): the transaction enters the
+// Active state.
+func (m *Manager) Begin(id TxID, opt ...TxOption) error {
+	defer m.mon.enter(m)()
+	if _, ok := m.txs[id]; ok {
+		return fmt.Errorf("%w: %s", ErrTxExists, id)
+	}
+	t := newTransaction(id, m.clk.Now())
+	for _, o := range opt {
+		o(t)
+	}
+	m.txs[id] = t
+	m.stats.Begun++
+	return nil
+}
+
+// Invoke implements ⟨op,X,A⟩ (Algorithm 2). If the operation is compatible
+// with every non-sleeping pending and committing holder (and passes the
+// optional admission extensions), it is granted immediately: the
+// transaction gets a virtual copy seeded from X_permanent and Invoke
+// returns granted=true. Otherwise the transaction moves to Waiting,
+// granted=false is returned, and an EvGranted notification follows when the
+// conflict clears. A wait that would close a cycle in the wait-for graph is
+// refused with ErrDeadlock (the transaction stays Active; the caller
+// decides whether to retry or abort).
+func (m *Manager) Invoke(txID TxID, objID ObjectID, op sem.Op) (granted bool, err error) {
+	defer m.mon.enter(m)()
+	t, o, err := m.lookup(txID, objID)
+	if err != nil {
+		return false, err
+	}
+	if t.state != StateActive {
+		return false, fmt.Errorf("%w: %s is %s, invocation requires Active", ErrBadState, txID, t.state)
+	}
+	t.lastActivity = m.clk.Now()
+	if !op.Class.Valid() {
+		return false, fmt.Errorf("%w: invalid class %d", ErrOpClass, op.Class)
+	}
+	if _, ok := o.pending[txID]; ok {
+		return false, fmt.Errorf("%w: %s on %s", ErrOneOpPerObj, txID, objID)
+	}
+	if _, ok := o.committing[txID]; ok {
+		return false, fmt.Errorf("%w: %s already committing on %s", ErrOneOpPerObj, txID, objID)
+	}
+	if o.waiterFor(txID) != nil {
+		return false, fmt.Errorf("%w: %s already queued on %s", ErrOneOpPerObj, txID, objID)
+	}
+
+	if reason := m.admissionBlock(t, o, op, nil); reason != admitOK {
+		if reason == admitConflict {
+			// Refuse waits that would deadlock.
+			blockers := o.conflictingHolders(txID, op)
+			if m.opts.detectDeadlocks && m.wouldDeadlock(txID, blockers) {
+				return false, fmt.Errorf("%w: %s waiting on %s", ErrDeadlock, txID, objID)
+			}
+		} else {
+			m.stats.DeniedAdmits++
+			if m.opts.denyHard {
+				return false, fmt.Errorf("%w: %s on %s", ErrDenied, txID, objID)
+			}
+		}
+		now := m.clk.Now()
+		m.setState(t, StateWaiting)
+		t.waitingOn = objID
+		t.twait = now
+		t.objects[objID] = true
+		o.waiting = append(o.waiting, &waitEntry{tx: txID, op: op, since: now, priority: t.priority})
+		m.stats.Waits++
+		return false, nil
+	}
+
+	if err := m.grant(t, o, op); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// admission verdicts.
+type admitVerdict uint8
+
+const (
+	admitOK admitVerdict = iota
+	admitConflict
+	admitPolicy
+)
+
+// admissionBlock decides whether an invocation may be granted right now:
+// the Algorithm 2 compatibility precondition first, then the Section VII
+// extensions (starvation control, constraint headroom). self is the
+// candidate's queue entry when re-evaluating a waiter at dispatch (nil for
+// a fresh invocation).
+func (m *Manager) admissionBlock(t *transaction, o *object, op sem.Op, self *waitEntry) admitVerdict {
+	if o.holdersConflicting(t.id, op) {
+		return admitConflict
+	}
+	if limit := m.opts.incompatibleWaiterCap; limit > 0 && !o.holderless(op, t.id) {
+		// Starvation control: deny a compatible admission when too many
+		// incompatible transactions are queued ahead of the candidate.
+		if o.incompatibleWaitersAhead(op, self) >= limit {
+			return admitPolicy
+		}
+	}
+	if m.opts.headroom != nil && op.Class.IsUpdate() {
+		member := op.Member
+		perm, err := m.loadPermanent(o, member)
+		if err == nil {
+			limit := m.opts.headroom(o.id, perm)
+			if limit >= 0 && o.compatibleUpdaters(t.id, op) >= limit {
+				return admitPolicy
+			}
+		}
+	}
+	return admitOK
+}
+
+// grant admits the invocation: Algorithm 2's compatible-path postcondition.
+func (m *Manager) grant(t *transaction, o *object, op sem.Op) error {
+	perm, err := m.loadPermanent(o, op.Member)
+	if err != nil {
+		return err
+	}
+	o.pending[t.id] = op
+	o.read[t.id] = perm
+	o.temp[t.id] = perm
+	t.objects[o.id] = true
+	m.stats.Grants++
+	return nil
+}
+
+// loadPermanent returns the X_permanent mirror for a member, loading it
+// from the store on first access.
+func (m *Manager) loadPermanent(o *object, member string) (sem.Value, error) {
+	if o.permKnown[member] {
+		return o.permanent[member], nil
+	}
+	v := sem.Null()
+	if ref, ok := o.refs[member]; ok && m.store != nil {
+		loaded, err := m.store.Load(ref)
+		if err != nil {
+			return sem.Null(), fmt.Errorf("core: loading %s of %s: %w", member, o.id, err)
+		}
+		v = loaded
+	}
+	o.permanent[member] = v
+	o.permKnown[member] = true
+	return v, nil
+}
+
+// ReadValue returns the transaction's virtual value A_temp^X. The
+// invocation must have been granted.
+func (m *Manager) ReadValue(txID TxID, objID ObjectID) (sem.Value, error) {
+	defer m.mon.enter(m)()
+	t, o, err := m.lookup(txID, objID)
+	if err != nil {
+		return sem.Value{}, err
+	}
+	if _, ok := o.pending[txID]; !ok {
+		return sem.Value{}, fmt.Errorf("%w: %s on %s", ErrNotInvoked, txID, objID)
+	}
+	t.lastActivity = m.clk.Now()
+	return o.temp[txID], nil
+}
+
+// Apply performs one operation of the invoked class on the virtual copy:
+// add/sub adds the (possibly negative) operand, mul/div multiplies by the
+// (possibly fractional) operand, assign and insert overwrite, delete (a
+// null operand to an insert/delete invocation) clears. Read invocations
+// cannot modify.
+func (m *Manager) Apply(txID TxID, objID ObjectID, operand sem.Value) error {
+	defer m.mon.enter(m)()
+	t, o, err := m.lookup(txID, objID)
+	if err != nil {
+		return err
+	}
+	if t.state != StateActive {
+		return fmt.Errorf("%w: %s is %s", ErrBadState, txID, t.state)
+	}
+	op, ok := o.pending[txID]
+	if !ok {
+		return fmt.Errorf("%w: %s on %s", ErrNotInvoked, txID, objID)
+	}
+	t.lastActivity = m.clk.Now()
+	cur := o.temp[txID]
+	var next sem.Value
+	switch op.Class {
+	case sem.AddSub:
+		next, err = cur.Add(operand)
+	case sem.MulDiv:
+		next, err = cur.Mul(operand)
+	case sem.Assign, sem.InsertDelete:
+		next = operand
+	case sem.Read:
+		return fmt.Errorf("%w: read invocations cannot modify %s", ErrOpClass, objID)
+	default:
+		return fmt.Errorf("%w: %s", ErrOpClass, op.Class)
+	}
+	if err != nil {
+		return fmt.Errorf("core: apply on %s: %w", objID, err)
+	}
+	o.temp[txID] = next
+	return nil
+}
+
+// RequestCommit implements the commit protocol: a local commit
+// ⟨commit,X,A⟩ (Algorithm 3) on every object the transaction holds — each
+// requiring the object's exclusive committer slot, acquired in canonical
+// object order so commits cannot deadlock — followed by the global commit
+// ⟨commit,A⟩ (Algorithm 4), which runs the Secure System Transaction and
+// publishes the reconciled values. The method returns immediately; when
+// slots are contended the commit completes asynchronously and the outcome
+// arrives as EvCommitted or EvAborted. Use CommitWait for a synchronous
+// client.
+func (m *Manager) RequestCommit(txID TxID) error {
+	defer m.mon.enter(m)()
+	t, ok := m.txs[txID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTx, txID)
+	}
+	if t.state != StateActive {
+		return fmt.Errorf("%w: %s is %s, commit requires Active", ErrBadState, txID, t.state)
+	}
+	t.lastActivity = m.clk.Now()
+	m.setState(t, StateCommitting)
+	// Collect the objects with a live invocation, in canonical order.
+	var want []ObjectID
+	for objID := range t.objects {
+		if _, ok := m.objs[objID].pending[txID]; ok {
+			want = append(want, objID)
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	t.commitWant = want
+	m.advanceCommit(t)
+	return nil
+}
+
+// advanceCommit acquires committer slots in order, performing the local
+// commit on each object as its slot is obtained, and fires the global
+// commit once every slot is held. Called whenever a slot may have freed.
+func (m *Manager) advanceCommit(t *transaction) {
+	for len(t.commitWant) > 0 {
+		objID := t.commitWant[0]
+		o := m.objs[objID]
+		if len(o.committing) > 0 {
+			// Another transaction holds the committer slot; queue behind it
+			// (Algorithm 3's one-committer precondition).
+			if !containsTx(o.commitQ, t.id) {
+				o.commitQ = append(o.commitQ, t.id)
+			}
+			return
+		}
+		if err := m.localCommit(t, o); err != nil {
+			m.finishAbort(t, AbortSSTFailure, err)
+			return
+		}
+		t.commitWant = t.commitWant[1:]
+		t.commitHeld[objID] = true
+		// The object lost a pending holder; waiters may now be admissible.
+		m.dispatch(o)
+	}
+	m.globalCommit(t)
+}
+
+// localCommit is Algorithm 3's postcondition: compute X_new^A = ρ(X_read^A,
+// A_temp^X, X_permanent) and move the transaction from X_pending to
+// X_committing.
+func (m *Manager) localCommit(t *transaction, o *object) error {
+	op := o.pending[t.id]
+	rec, err := sem.ReconcilerFor(op.Class)
+	if err != nil {
+		return err
+	}
+	perm, err := m.loadPermanent(o, op.Member)
+	if err != nil {
+		return err
+	}
+	neu, err := rec.Reconcile(o.read[t.id], o.temp[t.id], perm)
+	if err != nil {
+		return err
+	}
+	if !neu.Equal(o.temp[t.id]) {
+		m.stats.Reconciled++
+	}
+	o.neu[t.id] = neu
+	o.committing[t.id] = op
+	delete(o.pending, t.id)
+	delete(o.temp, t.id)
+	// X_read is retained until the global commit for the history record.
+	return nil
+}
+
+// localWrite carries one object's commit payload from the local-commit
+// phase to the publish phase.
+type localWrite struct {
+	o    *object
+	op   sem.Op
+	val  sem.Value
+	read sem.Value
+}
+
+// globalCommit is Algorithm 4: every X_new is defined, so run the Secure
+// System Transaction and publish. The SST executes *outside* the monitor —
+// it is a separate transaction the LDBS runs while the GTM keeps handling
+// events — so other transactions can work, queue, and contend for the
+// committer slots meanwhile; the transaction stays in X_committing (and
+// therefore conflicts with incompatible invocations) until the SST's
+// outcome arrives in completeSST. On SST failure the transaction aborts
+// (Section VII discusses this path: reconciled values can violate
+// integrity constraints).
+func (m *Manager) globalCommit(t *transaction) {
+	var locals []localWrite
+	var writes []SSTWrite
+	for objID := range t.commitHeld {
+		o := m.objs[objID]
+		op := o.committing[t.id]
+		lw := localWrite{o: o, op: op, val: o.neu[t.id], read: o.read[t.id]}
+		if ref, ok := o.refs[op.Member]; ok && op.Class.IsUpdate() {
+			writes = append(writes, SSTWrite{Ref: ref, Value: lw.val})
+		}
+		locals = append(locals, lw)
+	}
+	if m.store == nil || len(writes) == 0 {
+		m.publish(t, locals)
+		return
+	}
+	t.sstInFlight = true
+	store := m.store
+	id := t.id
+	retries := m.opts.sstRetries
+	filter := m.opts.sstRetryFilter
+	m.mon.queue(func() {
+		var err error
+		for attempt := 0; ; attempt++ {
+			err = store.ApplySST(writes)
+			if err == nil || attempt >= retries || (filter != nil && !filter(err)) {
+				break
+			}
+		}
+		m.completeSST(id, locals, err)
+	})
+}
+
+// completeSST re-enters the monitor with the SST's outcome.
+func (m *Manager) completeSST(id TxID, locals []localWrite, sstErr error) {
+	defer m.mon.enter(m)()
+	t, ok := m.txs[id]
+	if !ok {
+		return // forgotten mid-flight: impossible via the public API
+	}
+	t.sstInFlight = false
+	if sstErr != nil {
+		m.stats.SSTFailures++
+		m.finishAbort(t, AbortSSTFailure, sstErr)
+		return
+	}
+	m.stats.SSTs++
+	m.publish(t, locals)
+}
+
+// publish installs the commit: X_permanent = X_new, history and X_tc
+// records, committer slots freed, waiters and queued committers
+// dispatched. Caller holds the monitor.
+func (m *Manager) publish(t *transaction, locals []localWrite) {
+	now := m.clk.Now()
+	m.commitSeq++
+	for _, lw := range locals {
+		o := lw.o
+		if lw.op.Class.IsUpdate() {
+			o.permanent[lw.op.Member] = lw.val
+			o.permKnown[lw.op.Member] = true
+		}
+		o.committed = append(o.committed, commitRecord{tx: t.id, op: lw.op, tc: now, seq: m.commitSeq})
+		if m.opts.recordHistory {
+			m.history = append(m.history, HistoryEntry{
+				Tx: t.id, Object: o.id, Op: lw.op, Read: lw.read, New: lw.val, TC: now,
+			})
+		}
+		delete(o.committing, t.id)
+		delete(o.neu, t.id)
+		delete(o.read, t.id)
+	}
+	m.setState(t, StateCommitted)
+	t.finished = now
+	t.twait = time.Time{}
+	t.tsleep = time.Time{}
+	m.stats.Committed++
+	m.notifyTx(t, Event{Type: EvCommitted, Tx: t.id})
+	m.pruneHistories()
+	for _, lw := range locals {
+		m.dispatch(lw.o)
+	}
+}
+
+// Abort implements ⟨abort,X,A⟩ / ⟨abort,A⟩ (Algorithms 5–6) for a
+// client-requested abort. Any non-terminal transaction may abort.
+func (m *Manager) Abort(txID TxID) error {
+	defer m.mon.enter(m)()
+	t, ok := m.txs[txID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTx, txID)
+	}
+	if t.state.Terminal() {
+		return fmt.Errorf("%w: %s already %s", ErrBadState, txID, t.state)
+	}
+	if t.sstInFlight {
+		// The SST has launched: the transaction is past its commit point.
+		return fmt.Errorf("%w: %s is committing (SST in flight)", ErrBadState, txID)
+	}
+	m.setState(t, StateAborting)
+	m.finishAbort(t, AbortUser, nil)
+	return nil
+}
+
+// finishAbort clears the transaction from every object and finalizes
+// Algorithm 6's postcondition. Objects are re-dispatched because the abort
+// may free holders or committer slots.
+func (m *Manager) finishAbort(t *transaction, reason AbortReason, cause error) {
+	var touched []*object
+	for objID := range t.objects {
+		o := m.objs[objID]
+		o.dropTx(t.id)
+		touched = append(touched, o)
+	}
+	if t.state != StateAborting {
+		m.setState(t, StateAborting)
+	}
+	m.setState(t, StateAborted)
+	t.finished = m.clk.Now()
+	t.reason = reason
+	t.lastErr = cause
+	t.twait = time.Time{}
+	t.tsleep = time.Time{}
+	t.waitingOn = ""
+	t.commitWant = nil
+	m.stats.Aborted++
+	m.stats.AbortsBy[reason]++
+	m.notifyTx(t, Event{Type: EvAborted, Tx: t.id, Reason: reason, Err: cause})
+	sort.Slice(touched, func(i, j int) bool { return touched[i].id < touched[j].id })
+	for _, o := range touched {
+		m.dispatch(o)
+	}
+}
+
+// Sleep implements ⟨sleep,A⟩ + ⟨sleep,X,A⟩ (Algorithms 7–8): the oracle Ξ
+// is the caller (the connection layer or the disconnection model). The
+// transaction must be Active or Waiting. Objects the sleeper holds become
+// available to other transactions — including incompatible ones, which is
+// what makes awakening conditional.
+func (m *Manager) Sleep(txID TxID) error {
+	defer m.mon.enter(m)()
+	t, ok := m.txs[txID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTx, txID)
+	}
+	if t.state != StateActive && t.state != StateWaiting {
+		return fmt.Errorf("%w: %s is %s, sleep requires Active or Waiting", ErrBadState, txID, t.state)
+	}
+	m.setState(t, StateSleeping)
+	t.tsleep = m.clk.Now()
+	t.sleepSeq = m.commitSeq
+	m.stats.Sleeps++
+	var touched []*object
+	for objID := range t.objects {
+		o := m.objs[objID]
+		o.sleeping[t.id] = true
+		touched = append(touched, o)
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i].id < touched[j].id })
+	// A sleeping holder no longer blocks admissions: re-dispatch.
+	for _, o := range touched {
+		m.dispatch(o)
+	}
+	return nil
+}
+
+// Awake implements ⟨awake,X,A⟩ + ⟨awake,A⟩ (Algorithms 9–10). If no
+// incompatible transaction entered X_pending ∪ X_committing or committed
+// after A_tsleep on any object the sleeper touched, the transaction
+// resumes: queued invocations are granted directly (with fresh virtual
+// copies) and the state returns to Active (or Waiting when admission
+// policies still defer a queued invocation). Otherwise the transaction is
+// aborted with AbortSleepConflict and resumed=false is returned.
+func (m *Manager) Awake(txID TxID) (resumed bool, err error) {
+	defer m.mon.enter(m)()
+	t, ok := m.txs[txID]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownTx, txID)
+	}
+	if t.state != StateSleeping {
+		return false, fmt.Errorf("%w: %s is %s, awake requires Sleeping", ErrBadState, txID, t.state)
+	}
+
+	// Phase 1: the per-object conflict checks of Algorithm 9.
+	for objID := range t.objects {
+		o := m.objs[objID]
+		var op sem.Op
+		if p, ok := o.pending[txID]; ok {
+			op = p
+		} else if w := o.waiterFor(txID); w != nil {
+			op = w.op
+		} else {
+			continue
+		}
+		if o.sleepConflict(txID, op, t.sleepSeq) {
+			m.setState(t, StateAborting)
+			m.stats.AwakeAborts++
+			m.finishAbort(t, AbortSleepConflict, nil)
+			return false, nil
+		}
+	}
+
+	// Phase 2: resume. Queued invocations are granted directly with fresh
+	// reads of X_permanent; held invocations keep their virtual copies
+	// (only compatible operations can have committed meanwhile, and the
+	// commit-time reconciliation absorbs those).
+	for objID := range t.objects {
+		o := m.objs[objID]
+		delete(o.sleeping, txID)
+		if w := o.removeWaiter(txID); w != nil {
+			if err := m.grant(t, o, w.op); err != nil {
+				m.setState(t, StateAborting)
+				m.finishAbort(t, AbortSSTFailure, err)
+				return false, err
+			}
+		}
+	}
+	m.setState(t, StateActive)
+	t.tsleep = time.Time{}
+	t.twait = time.Time{}
+	t.waitingOn = ""
+	t.lastActivity = m.clk.Now()
+	m.stats.Awakes++
+	// Admissions this sleeper was indirectly blocking may now proceed.
+	for objID := range t.objects {
+		m.dispatch(m.objs[objID])
+	}
+	return true, nil
+}
+
+// dispatch is the generalized ⟨unlock,X⟩ (Algorithm 11): whenever an
+// object's holder set shrinks (commit, abort, sleep), grant the committer
+// slot to the next queued committer and admit every waiting invocation
+// that no longer conflicts with (X_pending − X_sleeping) ∪ X_committing —
+// θ(X_waiting − X_sleeping), with θ the maximal admissible prefix in
+// priority-then-arrival order.
+func (m *Manager) dispatch(o *object) {
+	// Committer slot first: commit progress beats new admissions.
+	for len(o.committing) == 0 && len(o.commitQ) > 0 {
+		next := o.commitQ[0]
+		o.commitQ = o.commitQ[1:]
+		t := m.txs[next]
+		if t == nil || t.state != StateCommitting {
+			continue
+		}
+		m.advanceCommit(t)
+	}
+
+	// Admission pass over the waiting queue.
+	ordered := make([]*waitEntry, len(o.waiting))
+	copy(ordered, o.waiting)
+	if m.opts.usePriorities {
+		sort.SliceStable(ordered, func(i, j int) bool {
+			if ordered[i].priority != ordered[j].priority {
+				return ordered[i].priority > ordered[j].priority
+			}
+			return ordered[i].since.Before(ordered[j].since)
+		})
+	}
+	for _, w := range ordered {
+		t := m.txs[w.tx]
+		if t == nil || t.state != StateWaiting || o.sleeping[w.tx] {
+			continue // sleeping waiters stay queued (X_waiting − X_sleeping)
+		}
+		if m.admissionBlock(t, o, w.op, w) != admitOK {
+			if m.opts.usePriorities {
+				continue // lower-priority waiters may still fit
+			}
+			break // FIFO: nobody overtakes the blocked head
+		}
+		o.removeWaiter(w.tx)
+		if err := m.grant(t, o, w.op); err != nil {
+			m.setState(t, StateAborting)
+			m.finishAbort(t, AbortSSTFailure, err)
+			continue
+		}
+		m.setState(t, StateActive)
+		t.waitingOn = ""
+		t.twait = time.Time{}
+		m.notifyTx(t, Event{Type: EvGranted, Tx: t.id, Object: o.id})
+	}
+}
+
+// wouldDeadlock reports whether txID waiting on blockers closes a cycle in
+// the wait-for graph built from the current object states.
+func (m *Manager) wouldDeadlock(txID TxID, blockers []TxID) bool {
+	edges := m.waitEdges()
+	seen := make(map[TxID]bool)
+	var reaches func(TxID) bool
+	reaches = func(from TxID) bool {
+		if from == txID {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		for _, next := range edges[from] {
+			if reaches(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range blockers {
+		if reaches(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// waitEdges builds the wait-for graph: waiting transactions point at the
+// holders that block them, queued committers at the committer-slot holder.
+func (m *Manager) waitEdges() map[TxID][]TxID {
+	edges := make(map[TxID][]TxID)
+	for _, o := range m.objs {
+		for _, w := range o.waiting {
+			if o.sleeping[w.tx] {
+				continue
+			}
+			edges[w.tx] = append(edges[w.tx], o.conflictingHolders(w.tx, w.op)...)
+		}
+		if len(o.committing) > 0 {
+			for holder := range o.committing {
+				for _, q := range o.commitQ {
+					edges[q] = append(edges[q], holder)
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// lookup resolves a (transaction, object) pair.
+func (m *Manager) lookup(txID TxID, objID ObjectID) (*transaction, *object, error) {
+	t, ok := m.txs[txID]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownTx, txID)
+	}
+	o, ok := m.objs[objID]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownObject, objID)
+	}
+	return t, o, nil
+}
+
+// setState applies a transition of the transaction state machine S(A),
+// panicking on an illegal transition — such a transition is always a bug in
+// the Manager, never an environmental condition.
+func (m *Manager) setState(t *transaction, to State) {
+	if !canTransition(t.state, to) {
+		panic(fmt.Sprintf("core: illegal state transition %s -> %s for %s", t.state, to, t.id))
+	}
+	t.state = to
+}
+
+// notifyTx queues an event for delivery after the critical section.
+func (m *Manager) notifyTx(t *transaction, ev Event) {
+	if t.notify == nil {
+		return
+	}
+	fn := t.notify
+	m.mon.queue(func() { fn(ev) })
+}
+
+// pruneHistories trims per-object committed histories to what awakening
+// sleepers can still need: entries at or after the earliest live A_tsleep.
+func (m *Manager) pruneHistories() {
+	if m.opts.keepFullHistory {
+		return
+	}
+	horizon := m.clk.Now()
+	for _, t := range m.txs {
+		if t.state == StateSleeping && t.tsleep.Before(horizon) {
+			horizon = t.tsleep
+		}
+	}
+	for _, o := range m.objs {
+		o.pruneCommitted(horizon)
+	}
+}
+
+// TxState returns the current state of a transaction.
+func (m *Manager) TxState(txID TxID) (State, error) {
+	defer m.mon.enter(m)()
+	t, ok := m.txs[txID]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownTx, txID)
+	}
+	return t.state, nil
+}
+
+// TxInfo returns a snapshot of a transaction.
+func (m *Manager) TxInfo(txID TxID) (TxInfo, error) {
+	defer m.mon.enter(m)()
+	t, ok := m.txs[txID]
+	if !ok {
+		return TxInfo{}, fmt.Errorf("%w: %s", ErrUnknownTx, txID)
+	}
+	objs := make([]ObjectID, 0, len(t.objects))
+	for id := range t.objects {
+		objs = append(objs, id)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	return TxInfo{
+		ID: t.id, State: t.state, Began: t.began, Finished: t.finished,
+		Sleeping: t.tsleep, Reason: t.reason, Err: t.lastErr,
+		Objects: objs, Priority: t.priority,
+	}, nil
+}
+
+// Permanent returns the GTM's X_permanent mirror of a member.
+func (m *Manager) Permanent(objID ObjectID, member string) (sem.Value, error) {
+	defer m.mon.enter(m)()
+	o, ok := m.objs[objID]
+	if !ok {
+		return sem.Value{}, fmt.Errorf("%w: %s", ErrUnknownObject, objID)
+	}
+	return m.loadPermanent(o, member)
+}
+
+// Stats returns a copy of the manager's counters.
+func (m *Manager) Stats() Stats {
+	defer m.mon.enter(m)()
+	out := m.stats
+	out.AbortsBy = make(map[AbortReason]uint64, len(m.stats.AbortsBy))
+	for k, v := range m.stats.AbortsBy {
+		out.AbortsBy[k] = v
+	}
+	return out
+}
+
+// History returns the committed-operation history (empty unless the
+// manager was created WithHistory).
+func (m *Manager) History() []HistoryEntry {
+	defer m.mon.enter(m)()
+	out := make([]HistoryEntry, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// Forget removes a terminal transaction from the registry so its id can be
+// reused and memory reclaimed. Long-running deployments call this after
+// consuming the final notification.
+func (m *Manager) Forget(txID TxID) error {
+	defer m.mon.enter(m)()
+	t, ok := m.txs[txID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTx, txID)
+	}
+	if !t.state.Terminal() {
+		return fmt.Errorf("%w: %s is %s, only terminal transactions can be forgotten", ErrBadState, txID, t.state)
+	}
+	delete(m.txs, txID)
+	return nil
+}
+
+// containsTx reports membership in a TxID slice.
+func containsTx(s []TxID, id TxID) bool {
+	for _, x := range s {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// holderless reports whether the object currently has no non-sleeping
+// holder whose op shares op's dependency group — used by the starvation
+// extension, which only defers compatible *joins* (the first holder is
+// always admitted).
+func (o *object) holderless(op sem.Op, tx TxID) bool {
+	for b, bop := range o.pending {
+		if b == tx || o.sleeping[b] {
+			continue
+		}
+		if o.deps.Dependent(bop.Member, op.Member) {
+			return false
+		}
+	}
+	for b, bop := range o.committing {
+		if b != tx && o.deps.Dependent(bop.Member, op.Member) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,38 @@
+package core
+
+import "sync"
+
+// monitor serializes Manager methods and defers listener notifications to
+// after the critical section, so handlers can safely call back into the
+// Manager. Usage:
+//
+//	func (m *Manager) Something() {
+//		defer m.mon.enter(m)()
+//		... mutate, possibly m.mon.queue(notification) ...
+//	} // returned closure unlocks, then fires queued notifications
+type monitor struct {
+	mu     sync.Mutex
+	queued []func()
+}
+
+// enter locks the monitor and returns the closure that exits it: unlock
+// first, then deliver the notifications queued during the critical section,
+// in order. The Manager argument is unused but keeps call sites readable
+// (`defer m.mon.enter(m)()`).
+func (mn *monitor) enter(*Manager) func() {
+	mn.mu.Lock()
+	return func() {
+		q := mn.queued
+		mn.queued = nil
+		mn.mu.Unlock()
+		for _, fn := range q {
+			fn()
+		}
+	}
+}
+
+// queue schedules fn to run after the current critical section. Must be
+// called while holding the monitor.
+func (mn *monitor) queue(fn func()) {
+	mn.queued = append(mn.queued, fn)
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"time"
+
+	"preserial/internal/sem"
+)
+
+// waitEntry is one queued invocation on an object (an element of X_waiting,
+// paired with A_twait).
+type waitEntry struct {
+	tx       TxID
+	op       sem.Op
+	since    time.Time
+	priority int
+}
+
+// commitRecord is one element of X_committed with its commit time X_tc and
+// a manager-wide sequence number (virtual clocks make simultaneous events
+// common, so "committed after A_tsleep" is decided by sequence, not time).
+type commitRecord struct {
+	tx  TxID
+	op  sem.Op
+	tc  time.Time
+	seq uint64
+}
+
+// object carries the per-object state of Section IV: the X_permanent mirror
+// plus the pending/waiting/committing/committed/sleeping transaction sets
+// and the per-transaction read/temp/new values. All access is guarded by
+// the Manager's mutex.
+type object struct {
+	id       ObjectID
+	conflict ConflictFunc
+	// refs maps data members to their backing store locations; empty for
+	// unbacked (purely virtual) objects.
+	refs map[string]StoreRef
+	deps *sem.Dependencies
+
+	permanent map[string]sem.Value // X_permanent per member (mirror)
+	permKnown map[string]bool      // member mirror loaded?
+
+	pending    map[TxID]sem.Op // X_pending
+	waiting    []*waitEntry    // X_waiting in arrival order
+	committing map[TxID]sem.Op // X_committing (at most one holder)
+	committed  []commitRecord  // X_committed ∪ X_tc history
+	sleeping   map[TxID]bool   // X_sleeping
+
+	read map[TxID]sem.Value // X_read^A
+	temp map[TxID]sem.Value // A_temp^X
+	neu  map[TxID]sem.Value // X_new^A
+
+	commitQ []TxID // transactions queued for the committer slot
+}
+
+func newObject(id ObjectID, refs map[string]StoreRef, deps *sem.Dependencies, conflict ConflictFunc) *object {
+	o := &object{
+		id:         id,
+		conflict:   conflict,
+		refs:       make(map[string]StoreRef, len(refs)),
+		deps:       deps,
+		permanent:  make(map[string]sem.Value),
+		permKnown:  make(map[string]bool),
+		pending:    make(map[TxID]sem.Op),
+		committing: make(map[TxID]sem.Op),
+		sleeping:   make(map[TxID]bool),
+		read:       make(map[TxID]sem.Value),
+		temp:       make(map[TxID]sem.Value),
+		neu:        make(map[TxID]sem.Value),
+	}
+	for m, r := range refs {
+		o.refs[m] = r
+	}
+	return o
+}
+
+// holdersConflicting reports whether op by tx conflicts with any holder in
+// (X_pending − X_sleeping) ∪ X_committing — the admission precondition of
+// Algorithm 2.
+func (o *object) holdersConflicting(tx TxID, op sem.Op) bool {
+	for b, bop := range o.pending {
+		if b == tx || o.sleeping[b] {
+			continue
+		}
+		if o.conflict(op, bop, o.deps) {
+			return true
+		}
+	}
+	for b, bop := range o.committing {
+		if b == tx {
+			continue
+		}
+		if o.conflict(op, bop, o.deps) {
+			return true
+		}
+	}
+	return false
+}
+
+// conflictingHolders lists the holders that block op (for the wait-for
+// graph).
+func (o *object) conflictingHolders(tx TxID, op sem.Op) []TxID {
+	var out []TxID
+	for b, bop := range o.pending {
+		if b == tx || o.sleeping[b] {
+			continue
+		}
+		if o.conflict(op, bop, o.deps) {
+			out = append(out, b)
+		}
+	}
+	for b, bop := range o.committing {
+		if b != tx && o.conflict(op, bop, o.deps) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// sleepConflict implements the awake-time checks of Algorithm 9 for one
+// object: a conflict with any transaction currently in X_pending ∪
+// X_committing, or with any transaction committed after the sleep (X_tc^B >
+// A_tsleep, compared by commit sequence).
+func (o *object) sleepConflict(tx TxID, op sem.Op, sleepSeq uint64) bool {
+	for b, bop := range o.pending {
+		if b != tx && o.conflict(op, bop, o.deps) {
+			return true
+		}
+	}
+	for b, bop := range o.committing {
+		if b != tx && o.conflict(op, bop, o.deps) {
+			return true
+		}
+	}
+	for _, c := range o.committed {
+		if c.tx != tx && c.seq > sleepSeq && o.conflict(op, c.op, o.deps) {
+			return true
+		}
+	}
+	return false
+}
+
+// compatibleUpdaters counts non-sleeping pending and committing holders
+// whose ops update the same dependency group as op (the headroom extension
+// caps this count).
+func (o *object) compatibleUpdaters(tx TxID, op sem.Op) int {
+	n := 0
+	for b, bop := range o.pending {
+		if b == tx || o.sleeping[b] || !bop.Class.IsUpdate() {
+			continue
+		}
+		if o.deps.Dependent(bop.Member, op.Member) {
+			n++
+		}
+	}
+	for b, bop := range o.committing {
+		if b == tx || !bop.Class.IsUpdate() {
+			continue
+		}
+		if o.deps.Dependent(bop.Member, op.Member) {
+			n++
+		}
+	}
+	return n
+}
+
+// incompatibleWaitersAhead counts queued invocations that conflict with op
+// and sit ahead of `self` in the queue (all of them when self is nil, i.e.
+// for a fresh arrival). The starvation-control extension denies compatible
+// admissions past a cap — but only defers to incompatible transactions that
+// were already waiting, otherwise a late incompatible arrival would
+// serialize the whole batch queued before it.
+func (o *object) incompatibleWaitersAhead(op sem.Op, self *waitEntry) int {
+	n := 0
+	for _, w := range o.waiting {
+		if w == self {
+			break
+		}
+		if o.conflict(op, w.op, o.deps) {
+			n++
+		}
+	}
+	return n
+}
+
+// removeWaiter drops tx from the wait queue, returning its entry.
+func (o *object) removeWaiter(tx TxID) *waitEntry {
+	for i, w := range o.waiting {
+		if w.tx == tx {
+			o.waiting = append(o.waiting[:i], o.waiting[i+1:]...)
+			return w
+		}
+	}
+	return nil
+}
+
+// waiterFor returns tx's queue entry, if any.
+func (o *object) waiterFor(tx TxID) *waitEntry {
+	for _, w := range o.waiting {
+		if w.tx == tx {
+			return w
+		}
+	}
+	return nil
+}
+
+// removeFromCommitQ drops tx from the committer-slot queue.
+func (o *object) removeFromCommitQ(tx TxID) {
+	for i, id := range o.commitQ {
+		if id == tx {
+			o.commitQ = append(o.commitQ[:i], o.commitQ[i+1:]...)
+			return
+		}
+	}
+}
+
+// dropTx removes every trace of tx from the object (abort cleanup).
+func (o *object) dropTx(tx TxID) {
+	delete(o.pending, tx)
+	delete(o.committing, tx)
+	delete(o.sleeping, tx)
+	delete(o.read, tx)
+	delete(o.temp, tx)
+	delete(o.neu, tx)
+	o.removeWaiter(tx)
+	o.removeFromCommitQ(tx)
+}
+
+// pruneCommitted drops history entries no sleeping transaction can still
+// need (those committed before the horizon).
+func (o *object) pruneCommitted(horizon time.Time) {
+	if len(o.committed) == 0 {
+		return
+	}
+	keep := o.committed[:0]
+	for _, c := range o.committed {
+		if !c.tc.Before(horizon) {
+			keep = append(keep, c)
+		}
+	}
+	o.committed = keep
+}

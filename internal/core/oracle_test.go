@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"preserial/internal/sem"
+	"preserial/internal/serialgraph"
+)
+
+// historySchedule converts a GTM commit history into a serialgraph schedule:
+// one write per committed update operation, tagged with its class so the
+// oracle can honor commutativity; reads are emitted as reads.
+func historySchedule(h []HistoryEntry) []serialgraph.Op {
+	out := make([]serialgraph.Op, 0, len(h))
+	for i, e := range h {
+		op := serialgraph.Op{
+			Tx:     string(e.Tx),
+			Object: string(e.Object),
+			Step:   i,
+			Tag:    e.Op.Class.String(),
+		}
+		if e.Op.Class.IsUpdate() {
+			op.Access = serialgraph.Write
+		} else {
+			op.Access = serialgraph.Read
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// TestGTMHistorySerializableUnderCommutativity: random mixed workloads
+// through the GTM produce histories whose conflict graph (with commuting
+// same-class writes) is acyclic — the serializability argument of Section V.
+func TestGTMHistorySerializableUnderCommutativity(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		store := NewMemStore()
+		m := NewManager(store, WithHistory())
+		const objects = 3
+		for o := 0; o < objects; o++ {
+			ref := StoreRef{Table: "T", Key: fmt.Sprintf("X%d", o), Column: "v"}
+			store.Seed(ref, sem.Int(1000))
+			if err := m.RegisterAtomicObject(ObjectID(fmt.Sprintf("X%d", o)), ref); err != nil {
+				t.Fatal(err)
+			}
+		}
+		classes := []sem.Class{sem.Read, sem.AddSub, sem.MulDiv, sem.Assign}
+		live := map[TxID][]ObjectID{}
+		for i := 0; i < 40; i++ {
+			id := TxID(fmt.Sprintf("s%d-t%02d", seed, i))
+			if err := m.Begin(id); err != nil {
+				t.Fatal(err)
+			}
+			obj := ObjectID(fmt.Sprintf("X%d", rng.Intn(objects)))
+			class := classes[rng.Intn(len(classes))]
+			granted, err := m.Invoke(id, obj, sem.Op{Class: class})
+			if err != nil {
+				_ = m.Abort(id)
+				continue
+			}
+			if granted {
+				switch class {
+				case sem.AddSub:
+					_ = m.Apply(id, obj, sem.Int(int64(rng.Intn(5)+1)))
+				case sem.MulDiv:
+					_ = m.Apply(id, obj, sem.Int(2))
+				case sem.Assign:
+					_ = m.Apply(id, obj, sem.Int(int64(rng.Intn(100))))
+				}
+				live[id] = append(live[id], obj)
+			}
+			// Randomly finish older transactions to churn the queues.
+			if rng.Intn(2) == 0 {
+				for other := range live {
+					if rng.Intn(3) == 0 {
+						_ = m.RequestCommit(other)
+						delete(live, other)
+						break
+					}
+				}
+			}
+		}
+		for id := range live {
+			_ = m.RequestCommit(id)
+		}
+
+		g := serialgraph.Build(historySchedule(m.History()), serialgraph.TagCommutes)
+		if cyc := g.Cycle(); cyc != nil {
+			t.Fatalf("seed %d: non-serializable history, cycle %v", seed, cyc)
+		}
+		if _, err := g.SerialOrder(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestStrictModeHistoryClassicallySerializable: with compatibility disabled
+// the GTM is a plain locking scheduler, so the history must be acyclic even
+// under the classical (non-commuting) conflict relation.
+func TestStrictModeHistoryClassicallySerializable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		store := NewMemStore()
+		m := NewManager(store, WithHistory(), WithConflictFunc(StrictRWConflict))
+		ref := StoreRef{Table: "T", Key: "X", Column: "v"}
+		store.Seed(ref, sem.Int(100))
+		if err := m.RegisterAtomicObject("X", ref); err != nil {
+			t.Fatal(err)
+		}
+		var queue []TxID
+		for i := 0; i < 25; i++ {
+			id := TxID(fmt.Sprintf("s%d-t%02d", seed, i))
+			if err := m.Begin(id); err != nil {
+				t.Fatal(err)
+			}
+			granted, err := m.Invoke(id, "X", sem.Op{Class: sem.AddSub})
+			if err != nil {
+				_ = m.Abort(id)
+				continue
+			}
+			if granted {
+				_ = m.Apply(id, "X", sem.Int(1))
+				if rng.Intn(2) == 0 {
+					_ = m.RequestCommit(id)
+				} else {
+					queue = append(queue, id)
+				}
+			} else {
+				queue = append(queue, id)
+			}
+			// Drain someone occasionally so waiters progress.
+			if len(queue) > 3 {
+				head := queue[0]
+				queue = queue[1:]
+				if st, _ := m.TxState(head); st == StateActive {
+					_ = m.RequestCommit(head)
+				}
+			}
+		}
+		for _, id := range queue {
+			if st, _ := m.TxState(id); st == StateActive {
+				_ = m.RequestCommit(id)
+			} else if st != StateCommitted && st != StateAborted {
+				_ = m.Abort(id)
+			}
+		}
+		g := serialgraph.Build(historySchedule(m.History()), nil)
+		if cyc := g.Cycle(); cyc != nil {
+			t.Fatalf("seed %d: strict-mode history cyclic: %v", seed, cyc)
+		}
+	}
+}
+
+// TestInsertDeleteClassFlow exercises the most exclusive class end to end:
+// insert/delete admits nobody (not even another insert/delete) and commits
+// through the last-value reconciler.
+func TestInsertDeleteClassFlow(t *testing.T) {
+	m, _, _ := testManager(t)
+	idOp := sem.Op{Class: sem.InsertDelete}
+	mustBegin(t, m, "creator")
+	if !mustInvoke(t, m, "creator", "X", idOp) {
+		t.Fatal("first insert/delete must be granted")
+	}
+	// Everything else queues: another insert/delete, an add, an assign.
+	for _, pair := range []struct {
+		id TxID
+		op sem.Op
+	}{{"id2", idOp}, {"adder", addOp}, {"assigner", assignOp}} {
+		mustBegin(t, m, pair.id)
+		if granted, err := m.Invoke(pair.id, "X", pair.op); err != nil || granted {
+			t.Fatalf("%s: granted=%v err=%v (must queue)", pair.id, granted, err)
+		}
+	}
+	// Reads pass (Table I: read is compatible with all classes).
+	mustBegin(t, m, "reader")
+	if !mustInvoke(t, m, "reader", "X", readOp) {
+		t.Error("reads must pass an insert/delete holder")
+	}
+	// Delete: write null, commit.
+	if err := m.Apply("creator", "X", sem.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequestCommit("creator"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Permanent("X", "")
+	if err != nil || !v.IsNull() {
+		t.Fatalf("after delete, permanent = %s, %v", v, err)
+	}
+	// The queued insert/delete is granted next (FIFO) and re-creates it.
+	mustState(t, m, "id2", StateActive)
+	if err := m.Apply("id2", "X", sem.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequestCommit("id2"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = m.Permanent("X", "")
+	if v.Int64() != 7 {
+		t.Fatalf("after re-insert, permanent = %s", v)
+	}
+}

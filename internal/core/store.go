@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"preserial/internal/sem"
+)
+
+// StoreRef locates an object data member in the backing database.
+type StoreRef struct {
+	Table  string
+	Key    string
+	Column string
+}
+
+// String renders the reference as table/key.column.
+func (r StoreRef) String() string {
+	return fmt.Sprintf("%s/%s.%s", r.Table, r.Key, r.Column)
+}
+
+// SSTWrite is one write of a Secure System Transaction.
+type SSTWrite struct {
+	Ref   StoreRef
+	Value sem.Value
+}
+
+// Store is the data-layer contract the GTM needs: load committed values to
+// seed X_permanent mirrors, and apply a whole SST atomically. internal/ldbs
+// satisfies it through the Adapter in this package's ldbsstore.go; MemStore
+// is a trivial in-memory implementation for tests.
+type Store interface {
+	// Load returns the committed value at ref.
+	Load(ref StoreRef) (sem.Value, error)
+	// ApplySST atomically applies every write or none (a failed SST must
+	// leave the database untouched). Constraint violations are reported as
+	// errors and translate into GTM aborts.
+	ApplySST(writes []SSTWrite) error
+}
+
+// MemStore is an in-memory Store with optional per-ref validation hooks.
+type MemStore struct {
+	mu     sync.Mutex
+	values map[StoreRef]sem.Value
+	// Validate, when non-nil, is consulted for every SST write; returning
+	// an error rejects the whole SST.
+	Validate func(ref StoreRef, v sem.Value) error
+	// FailNext, when > 0, makes that many subsequent SSTs fail (fault
+	// injection for recovery tests).
+	failNext int
+	applied  int
+}
+
+// NewMemStore returns an empty MemStore.
+func NewMemStore() *MemStore {
+	return &MemStore{values: make(map[StoreRef]sem.Value)}
+}
+
+// Seed sets the committed value at ref without an SST.
+func (s *MemStore) Seed(ref StoreRef, v sem.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.values[ref] = v
+}
+
+// Load implements Store.
+func (s *MemStore) Load(ref StoreRef) (sem.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.values[ref]
+	if !ok {
+		return sem.Null(), nil
+	}
+	return v, nil
+}
+
+// FailNext arranges for the next n SSTs to fail.
+func (s *MemStore) FailNext(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failNext = n
+}
+
+// Applied returns the number of successful SSTs.
+func (s *MemStore) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// ApplySST implements Store.
+func (s *MemStore) ApplySST(writes []SSTWrite) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failNext > 0 {
+		s.failNext--
+		return fmt.Errorf("core: memstore: injected SST failure")
+	}
+	if s.Validate != nil {
+		for _, w := range writes {
+			if err := s.Validate(w.Ref, w.Value); err != nil {
+				return err
+			}
+		}
+	}
+	for _, w := range writes {
+		s.values[w.Ref] = w.Value
+	}
+	s.applied++
+	return nil
+}

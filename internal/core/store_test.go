@@ -1,0 +1,50 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"preserial/internal/sem"
+)
+
+func TestStoreRefString(t *testing.T) {
+	ref := StoreRef{Table: "Flight", Key: "AZ0", Column: "FreeTickets"}
+	if got := ref.String(); got != "Flight/AZ0.FreeTickets" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMemStoreBasics(t *testing.T) {
+	s := NewMemStore()
+	ref := StoreRef{Table: "T", Key: "k", Column: "c"}
+	// Absent refs load as null.
+	v, err := s.Load(ref)
+	if err != nil || !v.IsNull() {
+		t.Errorf("Load absent = %s, %v", v, err)
+	}
+	s.Seed(ref, sem.Int(5))
+	if err := s.ApplySST([]SSTWrite{{Ref: ref, Value: sem.Int(9)}}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Load(ref)
+	if v.Int64() != 9 {
+		t.Errorf("after SST = %s", v)
+	}
+	if s.Applied() != 1 {
+		t.Errorf("Applied = %d", s.Applied())
+	}
+}
+
+func TestMemStoreValidate(t *testing.T) {
+	s := NewMemStore()
+	ref := StoreRef{Table: "T", Key: "k", Column: "c"}
+	boom := errors.New("rejected")
+	s.Validate = func(StoreRef, sem.Value) error { return boom }
+	if err := s.ApplySST([]SSTWrite{{Ref: ref, Value: sem.Int(1)}}); !errors.Is(err, boom) {
+		t.Errorf("validate = %v", err)
+	}
+	// Rejected SSTs leave no partial writes.
+	if v, _ := s.Load(ref); !v.IsNull() {
+		t.Errorf("partial write leaked: %s", v)
+	}
+}

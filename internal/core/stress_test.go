@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"preserial/internal/sem"
+)
+
+// flakyStore injects SST failures with a fixed probability (deterministic
+// under its seed).
+type flakyStore struct {
+	*MemStore
+	mu   sync.Mutex
+	rng  *rand.Rand
+	prob float64
+}
+
+func (s *flakyStore) ApplySST(writes []SSTWrite) error {
+	s.mu.Lock()
+	fail := s.rng.Float64() < s.prob
+	s.mu.Unlock()
+	if fail {
+		return fmt.Errorf("flaky store: injected SST failure")
+	}
+	return s.MemStore.ApplySST(writes)
+}
+
+// TestStressConservationUnderFaults runs many concurrent clients doing
+// random adds with random sleeps and injected SST failures, and checks the
+// fundamental invariant: the final committed value equals the initial value
+// plus exactly the deltas of transactions that observed a successful
+// commit. Nothing is lost, nothing is double-applied, failed SSTs leave no
+// trace.
+func TestStressConservationUnderFaults(t *testing.T) {
+	for _, faultProb := range []float64{0, 0.2} {
+		faultProb := faultProb
+		t.Run(fmt.Sprintf("faults=%.0f%%", faultProb*100), func(t *testing.T) {
+			store := &flakyStore{
+				MemStore: NewMemStore(),
+				rng:      rand.New(rand.NewSource(42)),
+				prob:     faultProb,
+			}
+			const objects = 3
+			const initial = int64(1_000_000)
+			for i := 0; i < objects; i++ {
+				store.Seed(StoreRef{Table: "T", Key: fmt.Sprintf("X%d", i), Column: "v"}, sem.Int(initial))
+			}
+			m := NewManager(store)
+			for i := 0; i < objects; i++ {
+				id := ObjectID(fmt.Sprintf("X%d", i))
+				if err := m.RegisterAtomicObject(id, StoreRef{Table: "T", Key: string(id), Column: "v"}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			const workers = 12
+			const perWorker = 60
+			var committedSum [objects]int64
+			var wg sync.WaitGroup
+			var failures atomic.Int64
+			ctx := context.Background()
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < perWorker; i++ {
+						id := TxID(fmt.Sprintf("w%d-t%d", w, i))
+						obj := rng.Intn(objects)
+						delta := int64(rng.Intn(9) - 4)
+						c, err := m.BeginClient(id)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if err := c.Invoke(ctx, ObjectID(fmt.Sprintf("X%d", obj)), sem.Op{Class: sem.AddSub}); err != nil {
+							t.Error(err)
+							return
+						}
+						if err := c.Apply(ObjectID(fmt.Sprintf("X%d", obj)), sem.Int(delta)); err != nil {
+							t.Error(err)
+							return
+						}
+						switch rng.Intn(6) {
+						case 0: // sleep then awake (all-compatible: always resumes)
+							if err := c.Sleep(); err != nil {
+								t.Error(err)
+								return
+							}
+							resumed, err := c.Awake()
+							if err != nil || !resumed {
+								t.Errorf("awake = %v %v", resumed, err)
+								return
+							}
+						case 1: // user abort
+							if err := c.Abort(); err != nil {
+								t.Error(err)
+							}
+							continue
+						}
+						if err := c.Commit(ctx); err != nil {
+							failures.Add(1)
+							continue // injected SST failure: must leave no trace
+						}
+						atomic.AddInt64(&committedSum[obj], delta)
+					}
+				}()
+			}
+			wg.Wait()
+
+			if faultProb > 0 && failures.Load() == 0 {
+				t.Error("fault injection never fired; stress test lost its teeth")
+			}
+			for i := 0; i < objects; i++ {
+				want := initial + atomic.LoadInt64(&committedSum[i])
+				got, err := store.Load(StoreRef{Table: "T", Key: fmt.Sprintf("X%d", i), Column: "v"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Int64() != want {
+					t.Errorf("object X%d: store=%d, want %d (conservation violated)", i, got.Int64(), want)
+				}
+				// The GTM's mirror agrees with the store.
+				mirror, err := m.Permanent(ObjectID(fmt.Sprintf("X%d", i)), "")
+				if err != nil || mirror.Int64() != want {
+					t.Errorf("object X%d: mirror=%s, want %d", i, mirror, want)
+				}
+			}
+			st := m.Stats()
+			if st.Committed+st.Aborted != workers*perWorker {
+				t.Errorf("accounting: %d committed + %d aborted != %d", st.Committed, st.Aborted, workers*perWorker)
+			}
+		})
+	}
+}
+
+// TestStressMixedClassesNoLostUpdates: concurrent adders and assigners on
+// one object. Assigns serialize against everything; whatever the final
+// assign wrote plus the adds committed after it must equal the final value.
+// We verify the weaker but sufficient invariant that the manager's history
+// replays to the final value.
+func TestStressMixedClassesHistoryReplay(t *testing.T) {
+	store := NewMemStore()
+	ref := StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(500))
+	m := NewManager(store, WithHistory())
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const workers = 8
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			for i := 0; i < perWorker; i++ {
+				id := TxID(fmt.Sprintf("m%d-t%d", w, i))
+				c, err := m.BeginClient(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var op sem.Op
+				var operand sem.Value
+				if rng.Intn(4) == 0 {
+					op = sem.Op{Class: sem.Assign}
+					operand = sem.Int(int64(rng.Intn(1000)))
+				} else {
+					op = sem.Op{Class: sem.AddSub}
+					operand = sem.Int(int64(rng.Intn(11) - 5))
+				}
+				if err := c.Invoke(ctx, "X", op); err != nil {
+					_ = c.Abort()
+					continue
+				}
+				if err := c.Apply("X", operand); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Commit(ctx); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Replay the history in commit order: each entry's New is the value the
+	// store held right after that commit, so the last entry equals the
+	// final permanent value.
+	h := m.History()
+	if len(h) == 0 {
+		t.Fatal("empty history")
+	}
+	final, _ := m.Permanent("X", "")
+	last := h[len(h)-1]
+	if !last.New.Equal(final) {
+		t.Errorf("last history value %s != final %s", last.New, final)
+	}
+	// Per-entry invariant: each add/sub commit moves the permanent value by
+	// its transaction's net delta (New_i = New_{i−1} + delta), which is
+	// bounded by the operand range used above.
+	for i := 1; i < len(h); i++ {
+		if h[i].Op.Class != sem.AddSub {
+			continue
+		}
+		dv, err := h[i].New.Sub(h[i-1].New)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dv.Int64() < -5 || dv.Int64() > 5 {
+			t.Errorf("entry %d: add/sub moved the value by %d (outside the operand range)", i, dv.Int64())
+		}
+	}
+}

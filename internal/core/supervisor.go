@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// SupervisorConfig is the supervision policy for a Manager. The paper
+// leaves the sleep oracle Ξ external ("an oracle that returns TRUE if A is
+// sleeping") and defers deadlock/starvation handling to classical timeout
+// techniques; the supervisor implements both:
+//
+//   - IdleTimeout: an Active transaction with no client interaction for this
+//     long is put to sleep (user inactivity, Section II). Zero disables.
+//   - WaitTimeout: a Waiting transaction queued longer than this is aborted
+//     with AbortTimeout — the classical victim policy for deadlocks the
+//     invocation-time check cannot see (e.g. policy waits) and for
+//     starvation. Zero disables.
+//   - SleepAbortAfter: a Sleeping transaction away longer than this is
+//     aborted with AbortTimeout (bounds state retention for clients that
+//     never return). Zero disables.
+type SupervisorConfig struct {
+	IdleTimeout     time.Duration
+	WaitTimeout     time.Duration
+	SleepAbortAfter time.Duration
+}
+
+// SupervisorReport says what one supervision pass did.
+type SupervisorReport struct {
+	PutToSleep []TxID
+	Aborted    []TxID
+}
+
+// Supervise runs one supervision pass under the given policy and returns
+// the actions taken. Drive it from a ticker on the wall clock, or from
+// simulator events in tests and emulations.
+func (m *Manager) Supervise(cfg SupervisorConfig) SupervisorReport {
+	var report SupervisorReport
+	now := m.clk.Now()
+
+	// Collect decisions under the monitor, act via the public entry points
+	// (which handle notifications and dispatch).
+	type action struct {
+		id    TxID
+		abort bool
+	}
+	var actions []action
+	func() {
+		defer m.mon.enter(m)()
+		for id, t := range m.txs {
+			switch t.state {
+			case StateActive:
+				if cfg.IdleTimeout > 0 && now.Sub(t.lastActivity) >= cfg.IdleTimeout {
+					actions = append(actions, action{id: id})
+				}
+			case StateWaiting:
+				if cfg.WaitTimeout > 0 && !t.twait.IsZero() && now.Sub(t.twait) >= cfg.WaitTimeout {
+					actions = append(actions, action{id: id, abort: true})
+				}
+			case StateSleeping:
+				if cfg.SleepAbortAfter > 0 && !t.tsleep.IsZero() && now.Sub(t.tsleep) >= cfg.SleepAbortAfter {
+					actions = append(actions, action{id: id, abort: true})
+				}
+			}
+		}
+	}()
+
+	for _, a := range actions {
+		if a.abort {
+			if err := m.abortWithReason(a.id, AbortTimeout); err == nil {
+				report.Aborted = append(report.Aborted, a.id)
+			}
+			continue
+		}
+		if err := m.Sleep(a.id); err == nil {
+			report.PutToSleep = append(report.PutToSleep, a.id)
+		}
+	}
+	return report
+}
+
+// abortWithReason is Abort with a supervisor-chosen reason.
+func (m *Manager) abortWithReason(txID TxID, reason AbortReason) error {
+	defer m.mon.enter(m)()
+	t, ok := m.txs[txID]
+	if !ok {
+		return ErrUnknownTx
+	}
+	if t.state.Terminal() {
+		return ErrBadState
+	}
+	m.setState(t, StateAborting)
+	m.finishAbort(t, reason, nil)
+	return nil
+}
+
+// RunSupervisor runs Supervise every interval until the context is
+// cancelled. Intended for wall-clock deployments (cmd/gtmd).
+func RunSupervisor(ctx context.Context, m *Manager, cfg SupervisorConfig, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.Supervise(cfg)
+		}
+	}
+}

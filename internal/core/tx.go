@@ -1,0 +1,96 @@
+package core
+
+import (
+	"time"
+
+	"preserial/internal/sem"
+)
+
+// transaction is the Manager's per-transaction record: the global state of
+// Section IV (A_state, A_temp lives on the objects, A_tsleep, A_twait) plus
+// bookkeeping for the two-phase commit over multiple objects.
+type transaction struct {
+	id       TxID
+	state    State
+	notify   Notify
+	priority int
+
+	objects map[ObjectID]bool // every object the transaction ever touched
+
+	waitingOn ObjectID  // the single object this transaction queues on
+	twait     time.Time // A_twait for waitingOn
+	tsleep    time.Time // A_tsleep
+	sleepSeq  uint64    // commit sequence observed at sleep time
+
+	began        time.Time
+	finished     time.Time
+	lastActivity time.Time // most recent client interaction (for the idle oracle)
+	reason       AbortReason
+	lastErr      error
+
+	// Commit progress: commitWant holds the objects still needing their
+	// committer slot (in canonical order); commitHeld the slots acquired;
+	// sstInFlight marks the window where the SST runs outside the monitor
+	// (the commit point: aborts are no longer possible).
+	commitWant  []ObjectID
+	commitHeld  map[ObjectID]bool
+	sstInFlight bool
+}
+
+func newTransaction(id TxID, now time.Time) *transaction {
+	return &transaction{
+		id:           id,
+		state:        StateActive,
+		objects:      make(map[ObjectID]bool),
+		began:        now,
+		lastActivity: now,
+		commitHeld:   make(map[ObjectID]bool),
+	}
+}
+
+// legalTransition encodes the transaction state machine S(A). Self
+// transitions are implicit.
+var legalTransition = map[State][]State{
+	StateActive:     {StateWaiting, StateSleeping, StateCommitting, StateAborting, StateAborted},
+	StateWaiting:    {StateActive, StateSleeping, StateAborting, StateAborted},
+	StateSleeping:   {StateActive, StateWaiting, StateAborting, StateAborted},
+	StateCommitting: {StateCommitted, StateAborting, StateAborted},
+	StateAborting:   {StateAborted},
+}
+
+// canTransition reports whether from → to is a legal state change.
+func canTransition(from, to State) bool {
+	if from == to {
+		return true
+	}
+	for _, s := range legalTransition[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// TxInfo is the externally visible snapshot of a transaction.
+type TxInfo struct {
+	ID       TxID
+	State    State
+	Began    time.Time
+	Finished time.Time
+	Sleeping time.Time // A_tsleep, zero unless sleeping
+	Reason   AbortReason
+	Err      error
+	Objects  []ObjectID
+	Priority int
+}
+
+// HistoryEntry records one committed per-object operation, the raw material
+// for the serialization-graph oracle and the experiment reports.
+type HistoryEntry struct {
+	Tx     TxID
+	Object ObjectID
+	Op     sem.Op
+	Read   sem.Value // X_read^A at grant time
+	New    sem.Value // X_new^A written by the SST
+	TC     time.Time // commit time
+}

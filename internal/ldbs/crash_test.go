@@ -1,0 +1,182 @@
+package ldbs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"preserial/internal/sem"
+)
+
+// TestCrashConsistencyEveryTruncationPoint is the crash-safety property of
+// the WAL: for EVERY prefix of the log (a crash may cut it anywhere), the
+// recovered database is exactly the state produced by some prefix of the
+// committed transactions, in order — never a partial transaction, never a
+// reordering. The counter workload makes the check exact: transaction k
+// sets the value to k, so the recovered value identifies the longest fully
+// committed prefix.
+func TestCrashConsistencyEveryTruncationPoint(t *testing.T) {
+	var buf bytes.Buffer
+	db := Open(Options{WAL: &buf})
+	if err := db.CreateTable(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "Flight", "AZ0", Row{"FreeTickets": sem.Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	const commits = 25
+	for k := 1; k <= commits; k++ {
+		tx := db.Begin()
+		if err := tx.Set(ctx, "Flight", "AZ0", "FreeTickets", sem.Int(int64(k))); err != nil {
+			t.Fatal(err)
+		}
+		// A second write per transaction, so a torn transaction would be
+		// visible as an inconsistent pair.
+		if err := tx.Set(ctx, "Flight", "AZ0", "Price", sem.Float(float64(k)*1.5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := buf.Bytes()
+
+	lastValue := int64(-1)
+	for cut := 0; cut <= len(log); cut++ {
+		fresh := Open(Options{})
+		if err := fresh.CreateTable(testSchema()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fresh.ReplayWAL(bytes.NewReader(log[:cut])); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		n, _ := fresh.NumRows("Flight")
+		if n == 0 {
+			continue // crashed before the insert committed
+		}
+		v, err := fresh.ReadCommitted("Flight", "AZ0", "FreeTickets")
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		k := v.Int64()
+		if k < 0 || k > commits {
+			t.Fatalf("cut %d: impossible value %d", cut, k)
+		}
+		// Atomicity: the paired float must match the same transaction.
+		if k > 0 {
+			price, _ := fresh.ReadCommitted("Flight", "AZ0", "Price")
+			if price.Float64() != float64(k)*1.5 {
+				t.Fatalf("cut %d: torn transaction visible: tickets=%d price=%s", cut, k, price)
+			}
+		}
+		// Monotonicity: longer prefixes never recover older states.
+		if k < lastValue {
+			t.Fatalf("cut %d: recovery went backwards (%d after %d)", cut, k, lastValue)
+		}
+		lastValue = k
+	}
+	if lastValue != commits {
+		t.Fatalf("full log recovered value %d, want %d", lastValue, commits)
+	}
+}
+
+// TestCrashDuringCheckpointInstall: a crash between writing the snapshot
+// temp file and the rename leaves the old CHECKPOINT + full WAL intact; a
+// crash after the rename but before the truncation leaves the new
+// CHECKPOINT + a stale WAL whose replay is idempotent. Both recover to the
+// same state.
+func TestCrashDuringCheckpointInstall(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p := &Persistence{Dir: dir}
+	db, err := p.Open(persistSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "Flight", "A", Row{"FreeTickets": sem.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate "snapshot installed, WAL not yet truncated": write the
+	// snapshot by hand and keep the WAL as is.
+	ck, err := os.Create(filepath.Join(dir, "CHECKPOINT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WriteSnapshot(ck); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	p2 := &Persistence{Dir: dir}
+	db2, err := p2.Open(persistSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	v, err := db2.ReadCommitted("Flight", "A", "FreeTickets")
+	if err != nil || v.Int64() != 7 {
+		t.Fatalf("idempotent replay broken: %s, %v", v, err)
+	}
+	if n, _ := db2.NumRows("Flight"); n != 1 {
+		t.Fatalf("rows = %d", n)
+	}
+}
+
+func TestWALPrefixMonotonicProperty(t *testing.T) {
+	// Random truncation points (beyond the exhaustive test above) on a log
+	// with varied record kinds.
+	var buf bytes.Buffer
+	db := Open(Options{WAL: &buf})
+	if err := db.CreateTable(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for k := 0; k < 10; k++ {
+		tx := db.Begin()
+		key := fmt.Sprintf("F%d", k)
+		if err := tx.Insert(ctx, "Flight", key, Row{"FreeTickets": sem.Int(int64(k))}); err != nil {
+			t.Fatal(err)
+		}
+		if k%3 == 0 && k > 0 {
+			if err := tx.Delete(ctx, "Flight", fmt.Sprintf("F%d", k-1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log := buf.Bytes()
+	prevRows := -1
+	for cut := 0; cut <= len(log); cut += 7 {
+		fresh := Open(Options{})
+		if err := fresh.CreateTable(testSchema()); err != nil {
+			t.Fatal(err)
+		}
+		redone, err := fresh.ReplayWAL(bytes.NewReader(log[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if redone < 0 || redone > 10 {
+			t.Fatalf("cut %d: redone %d", cut, redone)
+		}
+		n, _ := fresh.NumRows("Flight")
+		_ = prevRows // row count is not monotone here (deletes), only validity matters
+		prevRows = n
+	}
+}

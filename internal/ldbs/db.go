@@ -1,0 +1,551 @@
+package ldbs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"preserial/internal/sem"
+)
+
+// Errors reported by the engine.
+var (
+	ErrNoTable    = errors.New("ldbs: no such table")
+	ErrNoRow      = errors.New("ldbs: no such row")
+	ErrNoColumn   = errors.New("ldbs: no such column")
+	ErrRowExists  = errors.New("ldbs: row already exists")
+	ErrConstraint = errors.New("ldbs: CHECK constraint violated")
+	ErrKind       = errors.New("ldbs: value kind mismatch")
+	ErrTxDone     = errors.New("ldbs: transaction already finished")
+)
+
+// Options configures a DB.
+type Options struct {
+	// WAL, when non-nil, receives the write-ahead log. If it also
+	// implements Syncer (e.g. *os.File) it is synced at every commit.
+	WAL io.Writer
+}
+
+// Stats are monotonically increasing engine counters.
+type Stats struct {
+	Begun     uint64
+	Committed uint64
+	Aborted   uint64
+	Deadlocks uint64
+}
+
+// DB is an embedded relational engine: named tables of rows keyed by string
+// primary keys, strict two-phase locking, deferred writes, WAL-before-apply
+// commits. All methods are safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	schemas map[string]Schema
+	tables  map[string]map[string]Row
+
+	// ckptMu serializes checkpoints against commits: a commit holds the
+	// read side across its log-then-apply sequence so a snapshot can never
+	// observe applied-but-truncatable (or logged-but-unapplied) state.
+	ckptMu sync.RWMutex
+
+	locks   *lockManager
+	log     *wal
+	indexes map[indexKey]*index
+	nextTx  atomic.Uint64
+
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+	begun     atomic.Uint64
+	deadlocks atomic.Uint64
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	db := &DB{
+		schemas: make(map[string]Schema),
+		tables:  make(map[string]map[string]Row),
+		locks:   newLockManager(),
+	}
+	if opts.WAL != nil {
+		db.log = newWAL(opts.WAL)
+	}
+	return db
+}
+
+// CreateTable registers a table. Schemas are code-defined and therefore not
+// logged; recovery requires the caller to re-create tables before replay.
+func (db *DB) CreateTable(s Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.schemas[s.Table]; ok {
+		return fmt.Errorf("ldbs: table %q already exists", s.Table)
+	}
+	db.schemas[s.Table] = s
+	db.tables[s.Table] = make(map[string]Row)
+	return nil
+}
+
+// Schema returns the schema of a table.
+func (db *DB) Schema(table string) (Schema, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.schemas[table]
+	if !ok {
+		return Schema{}, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	return s, nil
+}
+
+// Tables returns the table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.schemas))
+	for t := range db.schemas {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns a snapshot of the engine counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Begun:     db.begun.Load(),
+		Committed: db.committed.Load(),
+		Aborted:   db.aborted.Load(),
+		Deadlocks: db.deadlocks.Load(),
+	}
+}
+
+// writeOp is one entry of a transaction's deferred write set.
+type writeOp struct {
+	typ    recType
+	table  string
+	key    string
+	column string
+	value  sem.Value
+	row    Row
+}
+
+// Tx is a database transaction. A Tx is not safe for concurrent use by
+// multiple goroutines (the usual contract for transaction handles).
+type Tx struct {
+	db     *DB
+	id     uint64
+	writes []writeOp
+	done   bool
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx {
+	db.begun.Add(1)
+	return &Tx{db: db, id: db.nextTx.Add(1)}
+}
+
+// ID returns the engine-assigned transaction id.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+func (tx *Tx) check() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return nil
+}
+
+// wrapLockErr counts deadlocks and annotates lock failures.
+func (tx *Tx) wrapLockErr(err error) error {
+	if errors.Is(err, ErrDeadlock) {
+		tx.db.deadlocks.Add(1)
+	}
+	return err
+}
+
+// lockRow acquires the table intent lock and the row lock.
+func (tx *Tx) lockRow(ctx context.Context, table, key string, mode LockMode) error {
+	intent := LockIS
+	if mode == LockX {
+		intent = LockIX
+	}
+	if err := tx.db.locks.Acquire(ctx, tx.id, resource{Table: table}, intent); err != nil {
+		return tx.wrapLockErr(err)
+	}
+	if err := tx.db.locks.Acquire(ctx, tx.id, resource{Table: table, Key: key}, mode); err != nil {
+		return tx.wrapLockErr(err)
+	}
+	return nil
+}
+
+// overlayRow applies tx's buffered writes for (table, key) to the committed
+// row (nil if deleted/absent). base must already be a private copy.
+func (tx *Tx) overlayRow(table, key string, base Row, exists bool) (Row, bool) {
+	for _, w := range tx.writes {
+		if w.table != table || w.key != key {
+			continue
+		}
+		switch w.typ {
+		case recUpsertRow:
+			base = w.row.clone()
+			exists = true
+		case recDeleteRow:
+			base = nil
+			exists = false
+		case recSetCol:
+			if !exists {
+				continue // write to a row deleted earlier in this tx
+			}
+			if base == nil {
+				base = make(Row)
+			}
+			base[w.column] = w.value
+		}
+	}
+	return base, exists
+}
+
+// committedRow returns a copy of the committed row.
+func (db *DB) committedRow(table, key string) (Row, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rows, ok := db.tables[table]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	r, ok := rows[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return r.clone(), true, nil
+}
+
+// GetRow returns the row under a shared lock, with the transaction's own
+// pending writes applied.
+func (tx *Tx) GetRow(ctx context.Context, table, key string) (Row, error) {
+	if err := tx.check(); err != nil {
+		return nil, err
+	}
+	if err := tx.lockRow(ctx, table, key, LockS); err != nil {
+		return nil, err
+	}
+	base, exists, err := tx.db.committedRow(table, key)
+	if err != nil {
+		return nil, err
+	}
+	row, exists := tx.overlayRow(table, key, base, exists)
+	if !exists {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoRow, table, key)
+	}
+	return row, nil
+}
+
+// Get returns one column of a row under a shared lock.
+func (tx *Tx) Get(ctx context.Context, table, key, column string) (sem.Value, error) {
+	row, err := tx.GetRow(ctx, table, key)
+	if err != nil {
+		return sem.Value{}, err
+	}
+	s, err := tx.db.Schema(table)
+	if err != nil {
+		return sem.Value{}, err
+	}
+	if _, ok := s.column(column); !ok {
+		return sem.Value{}, fmt.Errorf("%w: %s.%s", ErrNoColumn, table, column)
+	}
+	return row[column], nil
+}
+
+// validateValue checks kind and constraints of a single column value.
+func validateValue(s Schema, column string, v sem.Value) error {
+	def, ok := s.column(column)
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, column)
+	}
+	if !v.IsNull() && v.Kind() != def.Kind {
+		return fmt.Errorf("%w: %s.%s wants %s, got %s", ErrKind, s.Table, column, def.Kind, v.Kind())
+	}
+	for _, ck := range s.Checks {
+		if ck.Column == column && !ck.Holds(v) {
+			return fmt.Errorf("%w: %s on %s.%s rejects %s", ErrConstraint, ck, s.Table, column, v)
+		}
+	}
+	return nil
+}
+
+// Set updates one column of an existing row under an exclusive lock. The
+// new value is validated against the column kind and CHECK constraints
+// immediately, so an SST carrying a reconciled value that violates an
+// integrity constraint fails here (the abort source discussed in the
+// paper's Section VII).
+func (tx *Tx) Set(ctx context.Context, table, key, column string, v sem.Value) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	s, err := tx.db.Schema(table)
+	if err != nil {
+		return err
+	}
+	if err := validateValue(s, column, v); err != nil {
+		return err
+	}
+	if err := tx.lockRow(ctx, table, key, LockX); err != nil {
+		return err
+	}
+	base, exists, err := tx.db.committedRow(table, key)
+	if err != nil {
+		return err
+	}
+	if _, exists = tx.overlayRow(table, key, base, exists); !exists {
+		return fmt.Errorf("%w: %s/%s", ErrNoRow, table, key)
+	}
+	tx.writes = append(tx.writes, writeOp{typ: recSetCol, table: table, key: key, column: column, value: v})
+	return nil
+}
+
+// validateRow checks every column of a row against the schema.
+func validateRow(s Schema, row Row) error {
+	for col, v := range row {
+		if err := validateValue(s, col, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert creates a new row under an exclusive lock; it fails if the row
+// already exists (including uncommitted inserts by the same transaction).
+func (tx *Tx) Insert(ctx context.Context, table, key string, row Row) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	s, err := tx.db.Schema(table)
+	if err != nil {
+		return err
+	}
+	if err := validateRow(s, row); err != nil {
+		return err
+	}
+	if err := tx.lockRow(ctx, table, key, LockX); err != nil {
+		return err
+	}
+	base, exists, err := tx.db.committedRow(table, key)
+	if err != nil {
+		return err
+	}
+	if _, exists = tx.overlayRow(table, key, base, exists); exists {
+		return fmt.Errorf("%w: %s/%s", ErrRowExists, table, key)
+	}
+	tx.writes = append(tx.writes, writeOp{typ: recUpsertRow, table: table, key: key, row: row.clone()})
+	return nil
+}
+
+// Upsert creates or replaces a row under an exclusive lock.
+func (tx *Tx) Upsert(ctx context.Context, table, key string, row Row) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	s, err := tx.db.Schema(table)
+	if err != nil {
+		return err
+	}
+	if err := validateRow(s, row); err != nil {
+		return err
+	}
+	if err := tx.lockRow(ctx, table, key, LockX); err != nil {
+		return err
+	}
+	tx.writes = append(tx.writes, writeOp{typ: recUpsertRow, table: table, key: key, row: row.clone()})
+	return nil
+}
+
+// Delete removes a row under an exclusive lock.
+func (tx *Tx) Delete(ctx context.Context, table, key string) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if err := tx.lockRow(ctx, table, key, LockX); err != nil {
+		return err
+	}
+	base, exists, err := tx.db.committedRow(table, key)
+	if err != nil {
+		return err
+	}
+	if _, exists = tx.overlayRow(table, key, base, exists); !exists {
+		return fmt.Errorf("%w: %s/%s", ErrNoRow, table, key)
+	}
+	tx.writes = append(tx.writes, writeOp{typ: recDeleteRow, table: table, key: key})
+	return nil
+}
+
+// Scan visits every row of the table in key order under a table-level
+// shared lock, with the transaction's own writes applied. The visit
+// function returns false to stop early.
+func (tx *Tx) Scan(ctx context.Context, table string, visit func(key string, row Row) bool) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	if err := tx.db.locks.Acquire(ctx, tx.id, resource{Table: table}, LockS); err != nil {
+		return tx.wrapLockErr(err)
+	}
+	tx.db.mu.RLock()
+	rows, ok := tx.db.tables[table]
+	if !ok {
+		tx.db.mu.RUnlock()
+		return fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	snapshot := make(map[string]Row, len(rows))
+	for k, r := range rows {
+		snapshot[k] = r.clone()
+	}
+	tx.db.mu.RUnlock()
+
+	// Include keys created by this transaction's own writes.
+	for _, w := range tx.writes {
+		if w.table == table {
+			if _, ok := snapshot[w.key]; !ok {
+				keys = append(keys, w.key)
+			}
+		}
+	}
+	sort.Strings(keys)
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		base, exists := snapshot[k], true
+		if base == nil {
+			exists = false
+		}
+		row, exists := tx.overlayRow(table, k, base, exists)
+		if !exists {
+			continue
+		}
+		if !visit(k, row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Commit logs the write set (force policy: the WAL is flushed before the
+// store is touched), applies it to the store, and releases all locks.
+func (tx *Tx) Commit(ctx context.Context) error {
+	if err := tx.check(); err != nil {
+		return err
+	}
+	tx.done = true
+	db := tx.db
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
+	if db.log != nil && len(tx.writes) > 0 {
+		if _, err := db.log.Append(walRecord{Type: recBegin, TxID: tx.id}); err != nil {
+			db.abort(tx)
+			return err
+		}
+		for _, w := range tx.writes {
+			rec := walRecord{Type: w.typ, TxID: tx.id, Table: w.table, Key: w.key,
+				Column: w.column, Value: w.value, Row: w.row}
+			if _, err := db.log.Append(rec); err != nil {
+				db.abort(tx)
+				return err
+			}
+		}
+		if _, err := db.log.Append(walRecord{Type: recCommit, TxID: tx.id}); err != nil {
+			db.abort(tx)
+			return err
+		}
+		if err := db.log.Flush(); err != nil {
+			db.abort(tx)
+			return err
+		}
+	}
+	db.applyWrites(tx.writes)
+	db.locks.ReleaseAll(tx.id)
+	db.committed.Add(1)
+	return nil
+}
+
+// abort rolls the transaction back internally (write set discarded).
+func (db *DB) abort(tx *Tx) {
+	db.locks.ReleaseAll(tx.id)
+	tx.writes = nil
+	db.aborted.Add(1)
+}
+
+// Rollback discards the write set and releases all locks. Rolling back a
+// finished transaction is a no-op.
+func (tx *Tx) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.db.abort(tx)
+}
+
+// applyWrites installs a committed write set into the store.
+func (db *DB) applyWrites(writes []writeOp) {
+	if len(writes) == 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, w := range writes {
+		rows := db.tables[w.table]
+		if rows == nil {
+			continue // table dropped concurrently; nothing to apply to
+		}
+		old := rows[w.key]
+		switch w.typ {
+		case recSetCol:
+			if old != nil {
+				nr := old.clone()
+				nr[w.column] = w.value
+				rows[w.key] = nr
+			}
+		case recUpsertRow:
+			rows[w.key] = w.row.clone()
+		case recDeleteRow:
+			delete(rows, w.key)
+		}
+		db.maintainIndexesLocked(w, old)
+	}
+}
+
+// NumRows returns the committed row count of a table.
+func (db *DB) NumRows(table string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rows, ok := db.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	return len(rows), nil
+}
+
+// ReadCommitted returns the committed value of one column without any
+// locking. It is the dirty-read primitive the GTM uses to refresh
+// X_permanent mirrors; user transactions should use Get.
+func (db *DB) ReadCommitted(table, key, column string) (sem.Value, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rows, ok := db.tables[table]
+	if !ok {
+		return sem.Value{}, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	r, ok := rows[key]
+	if !ok {
+		return sem.Value{}, fmt.Errorf("%w: %s/%s", ErrNoRow, table, key)
+	}
+	return r[column], nil
+}

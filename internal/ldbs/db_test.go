@@ -1,0 +1,351 @@
+package ldbs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"preserial/internal/sem"
+)
+
+func testSchema() Schema {
+	return Schema{
+		Table: "Flight",
+		Columns: []ColumnDef{
+			{Name: "FreeTickets", Kind: sem.KindInt64},
+			{Name: "Price", Kind: sem.KindFloat64},
+			{Name: "Carrier", Kind: sem.KindString},
+		},
+		Checks: []Check{{Column: "FreeTickets", Op: CmpGE, Bound: sem.Int(0)}},
+	}
+}
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Options{})
+	if err := db.CreateTable(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	err := tx.Insert(context.Background(), "Flight", "AZ123", Row{
+		"FreeTickets": sem.Int(100),
+		"Price":       sem.Float(99.5),
+		"Carrier":     sem.Str("Alitalia"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := Open(Options{})
+	if err := db.CreateTable(Schema{}); err == nil {
+		t.Error("empty schema must be rejected")
+	}
+	if err := db.CreateTable(Schema{Table: "T"}); err == nil {
+		t.Error("no columns must be rejected")
+	}
+	dup := Schema{Table: "T", Columns: []ColumnDef{{Name: "a", Kind: sem.KindInt64}, {Name: "a", Kind: sem.KindInt64}}}
+	if err := db.CreateTable(dup); err == nil {
+		t.Error("duplicate column must be rejected")
+	}
+	bad := Schema{Table: "T", Columns: []ColumnDef{{Name: "a", Kind: sem.KindInt64}},
+		Checks: []Check{{Column: "zzz", Op: CmpGE, Bound: sem.Int(0)}}}
+	if err := db.CreateTable(bad); err == nil {
+		t.Error("check on unknown column must be rejected")
+	}
+	ok := Schema{Table: "T", Columns: []ColumnDef{{Name: "a", Kind: sem.KindInt64}}}
+	if err := db.CreateTable(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(ok); err == nil {
+		t.Error("re-creating a table must fail")
+	}
+}
+
+func TestGetSetCommit(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+
+	tx := db.Begin()
+	v, err := tx.Get(ctx, "Flight", "AZ123", "FreeTickets")
+	if err != nil || v.Int64() != 100 {
+		t.Fatalf("Get = %s, %v", v, err)
+	}
+	if err := tx.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes.
+	v, err = tx.Get(ctx, "Flight", "AZ123", "FreeTickets")
+	if err != nil || v.Int64() != 99 {
+		t.Fatalf("read-your-writes Get = %s, %v", v, err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.ReadCommitted("Flight", "AZ123", "FreeTickets")
+	if err != nil || got.Int64() != 99 {
+		t.Fatalf("committed value = %s, %v", got, err)
+	}
+}
+
+func TestRollbackDiscardsWrites(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	got, _ := db.ReadCommitted("Flight", "AZ123", "FreeTickets")
+	if got.Int64() != 100 {
+		t.Errorf("after rollback, value = %s, want 100", got)
+	}
+	if err := tx.Commit(ctx); !errors.Is(err, ErrTxDone) {
+		t.Errorf("commit after rollback = %v, want ErrTxDone", err)
+	}
+	tx.Rollback() // idempotent
+}
+
+func TestConstraintViolation(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	err := tx.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Int(-1))
+	if !errors.Is(err, ErrConstraint) {
+		t.Fatalf("negative tickets = %v, want ErrConstraint", err)
+	}
+	tx.Rollback()
+}
+
+func TestKindMismatch(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	defer tx.Rollback()
+	if err := tx.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Str("many")); !errors.Is(err, ErrKind) {
+		t.Errorf("kind mismatch = %v, want ErrKind", err)
+	}
+	// Null is always acceptable.
+	if err := tx.Set(ctx, "Flight", "AZ123", "Carrier", sem.Null()); err != nil {
+		t.Errorf("null write = %v", err)
+	}
+}
+
+func TestUnknownTableRowColumn(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	defer tx.Rollback()
+	if _, err := tx.Get(ctx, "Nope", "k", "c"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("unknown table = %v", err)
+	}
+	if _, err := tx.Get(ctx, "Flight", "nope", "FreeTickets"); !errors.Is(err, ErrNoRow) {
+		t.Errorf("unknown row = %v", err)
+	}
+	if _, err := tx.Get(ctx, "Flight", "AZ123", "nope"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("unknown column = %v", err)
+	}
+	if err := tx.Set(ctx, "Flight", "nope", "FreeTickets", sem.Int(1)); !errors.Is(err, ErrNoRow) {
+		t.Errorf("set unknown row = %v", err)
+	}
+}
+
+func TestInsertDeleteScan(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "Flight", "AZ123", Row{"FreeTickets": sem.Int(1)}); !errors.Is(err, ErrRowExists) {
+		t.Fatalf("duplicate insert = %v", err)
+	}
+	if err := tx.Insert(ctx, "Flight", "BA456", Row{"FreeTickets": sem.Int(5)}); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted insert visible to own scan.
+	var keys []string
+	if err := tx.Scan(ctx, "Flight", func(k string, r Row) bool {
+		keys = append(keys, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "AZ123" || keys[1] != "BA456" {
+		t.Fatalf("scan keys = %v", keys)
+	}
+	if err := tx.Delete(ctx, "Flight", "AZ123"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Get(ctx, "Flight", "AZ123", "FreeTickets"); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("get after own delete = %v", err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.NumRows("Flight")
+	if err != nil || n != 1 {
+		t.Fatalf("NumRows = %d, %v; want 1", n, err)
+	}
+}
+
+func TestDeleteAbsentRow(t *testing.T) {
+	db := newTestDB(t)
+	tx := db.Begin()
+	defer tx.Rollback()
+	if err := tx.Delete(context.Background(), "Flight", "nope"); !errors.Is(err, ErrNoRow) {
+		t.Errorf("delete absent = %v", err)
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Upsert(ctx, "Flight", "AZ123", Row{"FreeTickets": sem.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.ReadCommitted("Flight", "AZ123", "FreeTickets")
+	if got.Int64() != 7 {
+		t.Errorf("upsert result = %s", got)
+	}
+	// Carrier was replaced away.
+	got, _ = db.ReadCommitted("Flight", "AZ123", "Carrier")
+	if !got.IsNull() {
+		t.Errorf("upsert must replace the whole row; Carrier = %s", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	for _, k := range []string{"K1", "K2", "K3"} {
+		if err := tx.Insert(ctx, "Flight", k, Row{"FreeTickets": sem.Int(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	if err := tx.Scan(ctx, "Flight", func(string, Row) bool {
+		count++
+		return count < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("visited %d rows, want 2", count)
+	}
+	tx.Rollback()
+}
+
+func TestIsolationWriteBlocksRead(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+
+	writer := db.Begin()
+	if err := writer.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Int(50)); err != nil {
+		t.Fatal(err)
+	}
+
+	readerDone := make(chan sem.Value, 1)
+	go func() {
+		reader := db.Begin()
+		v, err := reader.Get(ctx, "Flight", "AZ123", "FreeTickets")
+		if err != nil {
+			t.Error(err)
+		}
+		if err := reader.Commit(ctx); err != nil {
+			t.Error(err)
+		}
+		readerDone <- v
+	}()
+
+	time.Sleep(20 * time.Millisecond) // give the reader time to block
+	select {
+	case <-readerDone:
+		t.Fatal("reader must block behind the writer's X lock")
+	default:
+	}
+	if err := writer.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-readerDone; v.Int64() != 50 {
+		t.Errorf("reader saw %s, want committed 50 (no dirty read)", v)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := newTestDB(t) // one committed setup tx
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	s := db.Stats()
+	if s.Begun != 2 || s.Committed != 1 || s.Aborted != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestTablesAndSchema(t *testing.T) {
+	db := newTestDB(t)
+	if got := db.Tables(); len(got) != 1 || got[0] != "Flight" {
+		t.Errorf("Tables() = %v", got)
+	}
+	s, err := db.Schema("Flight")
+	if err != nil || s.Table != "Flight" {
+		t.Errorf("Schema = %+v, %v", s, err)
+	}
+	if _, err := db.Schema("nope"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("unknown schema = %v", err)
+	}
+	if _, err := db.NumRows("nope"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("NumRows unknown = %v", err)
+	}
+	if _, err := db.ReadCommitted("nope", "k", "c"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("ReadCommitted unknown table = %v", err)
+	}
+	if _, err := db.ReadCommitted("Flight", "nope", "c"); !errors.Is(err, ErrNoRow) {
+		t.Errorf("ReadCommitted unknown row = %v", err)
+	}
+}
+
+func TestCheckHolds(t *testing.T) {
+	ck := Check{Column: "q", Op: CmpGE, Bound: sem.Int(0)}
+	if !ck.Holds(sem.Int(0)) || !ck.Holds(sem.Int(5)) || ck.Holds(sem.Int(-1)) {
+		t.Error("CmpGE broken")
+	}
+	if !ck.Holds(sem.Null()) {
+		t.Error("null must pass checks")
+	}
+	ops := []struct {
+		op   CmpOp
+		v    int64
+		want bool
+	}{
+		{CmpGT, 1, true}, {CmpGT, 0, false},
+		{CmpLE, 0, true}, {CmpLE, 1, false},
+		{CmpLT, -1, true}, {CmpLT, 0, false},
+		{CmpEQ, 0, true}, {CmpEQ, 2, false},
+		{CmpNE, 3, true}, {CmpNE, 0, false},
+	}
+	for _, c := range ops {
+		ck := Check{Column: "q", Op: c.op, Bound: sem.Int(0)}
+		if got := ck.Holds(sem.Int(c.v)); got != c.want {
+			t.Errorf("%s with %d = %v, want %v", ck, c.v, got, c.want)
+		}
+	}
+	if (CmpOp(99)).String() != "CmpOp(99)" || CmpGE.String() != ">=" {
+		t.Error("CmpOp.String broken")
+	}
+	if (Check{Column: "q", Op: CmpOp(99), Bound: sem.Int(0)}).Holds(sem.Int(1)) {
+		t.Error("unknown operator must reject")
+	}
+}

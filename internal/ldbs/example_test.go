@@ -1,0 +1,76 @@
+package ldbs_test
+
+import (
+	"context"
+	"fmt"
+
+	"preserial/internal/ldbs"
+	"preserial/internal/sem"
+)
+
+func newExampleDB() *ldbs.DB {
+	db := ldbs.Open(ldbs.Options{})
+	_ = db.CreateTable(ldbs.Schema{
+		Table: "Flight",
+		Columns: []ldbs.ColumnDef{
+			{Name: "FreeTickets", Kind: sem.KindInt64},
+			{Name: "Price", Kind: sem.KindFloat64},
+		},
+		Checks: []ldbs.Check{{Column: "FreeTickets", Op: ldbs.CmpGE, Bound: sem.Int(0)}},
+	})
+	ctx := context.Background()
+	tx := db.Begin()
+	_ = tx.Insert(ctx, "Flight", "AZ0", ldbs.Row{"FreeTickets": sem.Int(10), "Price": sem.Float(99)})
+	_ = tx.Insert(ctx, "Flight", "AZ1", ldbs.Row{"FreeTickets": sem.Int(0), "Price": sem.Float(79)})
+	_ = tx.Commit(ctx)
+	return db
+}
+
+// Example shows the embedded engine's transactional API.
+func Example() {
+	db := newExampleDB()
+	ctx := context.Background()
+
+	tx := db.Begin()
+	v, _ := tx.Get(ctx, "Flight", "AZ0", "FreeTickets")
+	_ = tx.Set(ctx, "Flight", "AZ0", "FreeTickets", sem.Int(v.Int64()-1))
+	_ = tx.Commit(ctx)
+
+	final, _ := db.ReadCommitted("Flight", "AZ0", "FreeTickets")
+	fmt.Println(final)
+	// Output: 9
+}
+
+// ExampleTx_ExecSQL shows the mini-SQL dialect of the motivating scenario.
+func ExampleTx_ExecSQL() {
+	db := newExampleDB()
+	ctx := context.Background()
+
+	tx := db.Begin()
+	res, _ := tx.ExecSQL(ctx, "SELECT FreeTickets FROM Flight WHERE FreeTickets > 0")
+	for _, kr := range res.Rows {
+		fmt.Println(kr.Key, kr.Row["FreeTickets"])
+	}
+	upd, _ := tx.ExecSQL(ctx, "UPDATE Flight SET FreeTickets = FreeTickets - 1 WHERE Key = 'AZ0'")
+	fmt.Println("updated:", upd.Affected)
+	_ = tx.Commit(ctx)
+	// Output:
+	// AZ0 10
+	// updated: 1
+}
+
+// ExampleTx_Select shows the typed query API.
+func ExampleTx_Select() {
+	db := newExampleDB()
+	ctx := context.Background()
+	tx := db.Begin()
+	defer tx.Rollback()
+	rows, _ := tx.Select(ctx, ldbs.Query{
+		Table: "Flight",
+		Where: []ldbs.Pred{{Column: "Price", Op: ldbs.CmpLT, Value: sem.Float(90)}},
+	})
+	for _, kr := range rows {
+		fmt.Println(kr.Key)
+	}
+	// Output: AZ1
+}

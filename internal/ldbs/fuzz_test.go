@@ -1,0 +1,100 @@
+package ldbs
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"preserial/internal/sem"
+)
+
+// FuzzReadWAL checks that arbitrary bytes never panic the WAL reader and
+// that valid prefixes decode consistently.
+func FuzzReadWAL(f *testing.F) {
+	// Seed with a real log.
+	var buf bytes.Buffer
+	l := newWAL(&buf)
+	recs := []walRecord{
+		{Type: recBegin, TxID: 1},
+		{Type: recSetCol, TxID: 1, Table: "T", Key: "k", Column: "c", Value: sem.Int(5)},
+		{Type: recUpsertRow, TxID: 1, Table: "T", Key: "k", Row: Row{"a": sem.Str("x")}},
+		{Type: recDeleteRow, TxID: 1, Table: "T", Key: "k"},
+		{Type: recCommit, TxID: 1},
+	}
+	for _, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 99})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are fine.
+		out, err := readWAL(bytes.NewReader(data))
+		if err == nil {
+			// Whatever decoded must re-encode without panicking.
+			for _, r := range out {
+				_ = r.encode()
+			}
+		}
+	})
+}
+
+// FuzzDecodeRecord checks the payload decoder directly.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add((walRecord{Type: recBegin, TxID: 9}).encode())
+	f.Add((walRecord{Type: recSetCol, TxID: 2, Table: "T", Key: "k",
+		Column: "c", Value: sem.Float(1.5)}).encode())
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := decodeRecord(data)
+		if err == nil {
+			round, err2 := decodeRecord(rec.encode())
+			if err2 != nil {
+				t.Fatalf("re-decode failed: %v", err2)
+			}
+			if round.Type != rec.Type || round.TxID != rec.TxID {
+				t.Fatalf("unstable roundtrip: %+v vs %+v", rec, round)
+			}
+		}
+	})
+}
+
+// FuzzParseSQL checks the statement parser never panics and that accepted
+// statements execute without panicking on a populated database.
+func FuzzParseSQL(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM Flight WHERE FreeTickets > 0 LIMIT 3",
+		"SELECT FreeTickets, Price FROM Flight WHERE Carrier = 'C0'",
+		"UPDATE Flight SET FreeTickets = FreeTickets - 1 WHERE Key = 'F0'",
+		"INSERT INTO Flight KEY 'Z9' (FreeTickets) VALUES (1)",
+		"DELETE FROM Flight WHERE Price >= 50",
+		"select * from Flight where Key != 'F1';",
+		"UPDATE Flight SET Carrier = NULL",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, stmt string) {
+		parsed, err := parseSQL(stmt)
+		if err != nil {
+			return
+		}
+		db := Open(Options{})
+		if err := db.CreateTable(testSchema()); err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		tx := db.Begin()
+		if err := tx.Insert(ctx, "Flight", "F0", Row{"FreeTickets": sem.Int(5)}); err != nil {
+			t.Fatal(err)
+		}
+		_, _ = parsed.exec(ctx, tx)
+		tx.Rollback()
+	})
+}

@@ -1,0 +1,394 @@
+package ldbs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// LockMode is a multigranularity lock mode. Tables take intent locks (IS,
+// IX) or a full shared lock for scans; rows take S or X. SIX is collapsed to
+// X (conservative, still correct).
+type LockMode uint8
+
+// Lock modes, weakest to strongest.
+const (
+	LockIS LockMode = iota // intent shared (table, for row reads)
+	LockIX                 // intent exclusive (table, for row writes)
+	LockS                  // shared (row reads, table scans)
+	LockX                  // exclusive (row writes, table drops)
+)
+
+// String returns the conventional name of the mode.
+func (m LockMode) String() string {
+	switch m {
+	case LockIS:
+		return "IS"
+	case LockIX:
+		return "IX"
+	case LockS:
+		return "S"
+	case LockX:
+		return "X"
+	default:
+		return fmt.Sprintf("LockMode(%d)", uint8(m))
+	}
+}
+
+// lockCompat is the standard multigranularity compatibility matrix.
+var lockCompat = [4][4]bool{
+	LockIS: {LockIS: true, LockIX: true, LockS: true, LockX: false},
+	LockIX: {LockIS: true, LockIX: true, LockS: false, LockX: false},
+	LockS:  {LockIS: true, LockIX: false, LockS: true, LockX: false},
+	LockX:  {LockIS: false, LockIX: false, LockS: false, LockX: false},
+}
+
+// Compatible reports whether two modes may be held simultaneously by
+// different transactions.
+func (m LockMode) Compatible(o LockMode) bool { return lockCompat[m][o] }
+
+// sup returns the least mode at least as strong as both a and b.
+// IX ⊔ S would be SIX, which we collapse to X.
+func sup(a, b LockMode) LockMode {
+	if a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case b == LockX:
+		return LockX
+	case a == LockIS:
+		return b // IS ⊔ IX = IX, IS ⊔ S = S
+	case a == LockIX && b == LockS:
+		return LockX // SIX collapsed
+	default:
+		return b
+	}
+}
+
+// ErrDeadlock is returned to a lock requester whose wait would close a cycle
+// in the wait-for graph. The requester is expected to roll back.
+var ErrDeadlock = errors.New("ldbs: deadlock detected")
+
+// ErrLockTimeout is returned when the context expires while waiting.
+var ErrLockTimeout = errors.New("ldbs: lock wait cancelled")
+
+// resource identifies a lockable object: a table (Key == "") or a row.
+type resource struct {
+	Table string
+	Key   string
+}
+
+func (r resource) String() string {
+	if r.Key == "" {
+		return r.Table
+	}
+	return r.Table + "/" + r.Key
+}
+
+// waiter is a queued lock request.
+type waiter struct {
+	tx        uint64
+	mode      LockMode // the full target mode (held ⊔ requested for upgrades)
+	upgrade   bool     // tx already holds a weaker mode on the resource
+	ready     chan error
+	blockedOn []uint64 // WFG edges charged to this waiter
+}
+
+// lockState is the per-resource lock table entry.
+type lockState struct {
+	holders map[uint64]LockMode
+	queue   []*waiter
+}
+
+// lockManager implements strict 2PL with FIFO queues, upgrade priority and
+// immediate wait-for-graph deadlock detection (the requester whose wait
+// would create a cycle receives ErrDeadlock).
+type lockManager struct {
+	mu       sync.Mutex
+	locks    map[resource]*lockState
+	held     map[uint64]map[resource]LockMode // per-tx held locks, for release
+	waitsFor map[uint64]map[uint64]int        // edge multiplicity in the WFG
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{
+		locks:    make(map[resource]*lockState),
+		held:     make(map[uint64]map[resource]LockMode),
+		waitsFor: make(map[uint64]map[uint64]int),
+	}
+}
+
+// addEdge records that a waits for b.
+func (lm *lockManager) addEdge(a, b uint64) {
+	if a == b {
+		return
+	}
+	m := lm.waitsFor[a]
+	if m == nil {
+		m = make(map[uint64]int)
+		lm.waitsFor[a] = m
+	}
+	m[b]++
+}
+
+// dropEdge removes one a-waits-for-b edge.
+func (lm *lockManager) dropEdge(a, b uint64) {
+	if m := lm.waitsFor[a]; m != nil {
+		if m[b] <= 1 {
+			delete(m, b)
+			if len(m) == 0 {
+				delete(lm.waitsFor, a)
+			}
+		} else {
+			m[b]--
+		}
+	}
+}
+
+// wouldDeadlock reports whether adding edges from tx to each blocker closes
+// a cycle (i.e. some blocker transitively waits for tx).
+func (lm *lockManager) wouldDeadlock(tx uint64, blockers []uint64) bool {
+	seen := make(map[uint64]bool)
+	var reaches func(from uint64) bool
+	reaches = func(from uint64) bool {
+		if from == tx {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		for next := range lm.waitsFor[from] {
+			if reaches(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range blockers {
+		if reaches(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockersOf returns the transactions whose held or queued-ahead locks
+// conflict with tx acquiring mode on st.
+func (st *lockState) blockersOf(tx uint64, mode LockMode, upgrade bool, upTo *waiter) []uint64 {
+	var out []uint64
+	for h, hm := range st.holders {
+		if h == tx {
+			continue
+		}
+		if !mode.Compatible(hm) {
+			out = append(out, h)
+		}
+	}
+	if !upgrade {
+		// A fresh request also queues behind earlier waiters whose target
+		// mode conflicts with it (FIFO fairness), so those are blockers too.
+		for _, w := range st.queue {
+			if w == upTo {
+				break
+			}
+			if w.tx != tx && !mode.Compatible(w.mode) {
+				out = append(out, w.tx)
+			}
+		}
+	}
+	return out
+}
+
+// grantable reports whether the waiter can be granted right now.
+func (st *lockState) grantable(w *waiter) bool {
+	for h, hm := range st.holders {
+		if h == w.tx {
+			continue
+		}
+		if !w.mode.Compatible(hm) {
+			return false
+		}
+	}
+	if w.upgrade {
+		return true // upgrades bypass the queue
+	}
+	for _, q := range st.queue {
+		if q == w {
+			break
+		}
+		if q.tx != w.tx && !w.mode.Compatible(q.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire obtains mode on res for tx, blocking until granted, deadlock, or
+// context cancellation. Re-acquiring a held mode (or weaker) is a no-op;
+// stronger requests upgrade.
+func (lm *lockManager) Acquire(ctx context.Context, tx uint64, res resource, mode LockMode) error {
+	lm.mu.Lock()
+	st := lm.locks[res]
+	if st == nil {
+		st = &lockState{holders: make(map[uint64]LockMode)}
+		lm.locks[res] = st
+	}
+	cur, holding := st.holders[tx]
+	want := mode
+	if holding {
+		want = sup(cur, mode)
+		if want == cur {
+			lm.mu.Unlock()
+			return nil // already strong enough
+		}
+	}
+
+	// grantable on a not-yet-queued waiter checks the holders and, for fresh
+	// requests, the whole queue (FIFO fairness: a newcomer never overtakes a
+	// conflicting waiter).
+	w := &waiter{tx: tx, mode: want, upgrade: holding, ready: make(chan error, 1)}
+	if st.grantable(w) {
+		lm.grantLocked(st, res, tx, want)
+		lm.mu.Unlock()
+		return nil
+	}
+
+	blockers := st.blockersOf(tx, want, holding, nil)
+	if lm.wouldDeadlock(tx, blockers) {
+		lm.mu.Unlock()
+		return fmt.Errorf("%w: tx %d requesting %s on %s", ErrDeadlock, tx, want, res)
+	}
+	for _, b := range blockers {
+		lm.addEdge(tx, b)
+	}
+	w.blockedOn = blockers
+	if holding {
+		// Upgrades go to the front so they are examined before fresh
+		// requests when locks free up.
+		st.queue = append([]*waiter{w}, st.queue...)
+	} else {
+		st.queue = append(st.queue, w)
+	}
+	lm.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		return err
+	case <-ctx.Done():
+		lm.mu.Lock()
+		// The grant may have raced with cancellation; prefer the grant.
+		select {
+		case err := <-w.ready:
+			lm.mu.Unlock()
+			return err
+		default:
+		}
+		lm.removeWaiterLocked(st, res, w)
+		lm.mu.Unlock()
+		return fmt.Errorf("%w: tx %d on %s: %v", ErrLockTimeout, tx, res, ctx.Err())
+	}
+}
+
+// grantLocked records the grant. Caller holds lm.mu.
+func (lm *lockManager) grantLocked(st *lockState, res resource, tx uint64, mode LockMode) {
+	st.holders[tx] = mode
+	h := lm.held[tx]
+	if h == nil {
+		h = make(map[resource]LockMode)
+		lm.held[tx] = h
+	}
+	h[res] = mode
+}
+
+// removeWaiterLocked deletes w from the queue and clears its WFG edges.
+func (lm *lockManager) removeWaiterLocked(st *lockState, res resource, w *waiter) {
+	for i, q := range st.queue {
+		if q == w {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			break
+		}
+	}
+	for _, b := range w.blockedOn {
+		lm.dropEdge(w.tx, b)
+	}
+	w.blockedOn = nil
+	lm.dispatchLocked(st, res)
+}
+
+// dispatchLocked grants every queue entry that has become grantable, in
+// order (upgrades first since they sit at the front).
+func (lm *lockManager) dispatchLocked(st *lockState, res resource) {
+	changed := true
+	for changed {
+		changed = false
+		for _, w := range st.queue {
+			if st.grantable(w) {
+				lm.grantLocked(st, res, w.tx, w.mode)
+				for _, b := range w.blockedOn {
+					lm.dropEdge(w.tx, b)
+				}
+				w.blockedOn = nil
+				// Remove from queue.
+				for i, q := range st.queue {
+					if q == w {
+						st.queue = append(st.queue[:i], st.queue[i+1:]...)
+						break
+					}
+				}
+				w.ready <- nil
+				changed = true
+				break
+			}
+		}
+	}
+	if len(st.holders) == 0 && len(st.queue) == 0 {
+		delete(lm.locks, res)
+	}
+}
+
+// ReleaseAll releases every lock tx holds and removes it from every queue
+// (used at commit and rollback — strict 2PL releases everything at once).
+func (lm *lockManager) ReleaseAll(tx uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for res := range lm.held[tx] {
+		st := lm.locks[res]
+		if st == nil {
+			continue
+		}
+		delete(st.holders, tx)
+		// Drop any queued request by tx on the same resource (e.g. a
+		// cancelled upgrade).
+		for i := 0; i < len(st.queue); {
+			if st.queue[i].tx == tx {
+				w := st.queue[i]
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				for _, b := range w.blockedOn {
+					lm.dropEdge(w.tx, b)
+				}
+				w.ready <- fmt.Errorf("%w: transaction %d released", ErrLockTimeout, tx)
+				continue
+			}
+			i++
+		}
+		lm.dispatchLocked(st, res)
+	}
+	delete(lm.held, tx)
+	delete(lm.waitsFor, tx)
+}
+
+// HeldLocks returns a snapshot of the locks tx holds (diagnostics/tests).
+func (lm *lockManager) HeldLocks(tx uint64) map[string]LockMode {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	out := make(map[string]LockMode, len(lm.held[tx]))
+	for res, m := range lm.held[tx] {
+		out[res.String()] = m
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package ldbs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Persistence manages a database directory: a checkpoint file plus the live
+// write-ahead log. Open recovers checkpoint-then-WAL; Checkpoint writes a
+// fresh snapshot atomically (write to a temp file, fsync, rename) and
+// truncates the log, bounding recovery time.
+//
+//	dir/
+//	  CHECKPOINT      last durable snapshot (WAL record format)
+//	  WAL             records since the checkpoint
+type Persistence struct {
+	Dir string
+
+	wal *os.File
+}
+
+// checkpoint / wal file names.
+const (
+	checkpointName = "CHECKPOINT"
+	walName        = "WAL"
+)
+
+// Open recovers the database from the directory (creating it if needed)
+// and returns a DB whose commits append to the live WAL. Schemas are
+// code-defined: pass every table the log may reference.
+func (p *Persistence) Open(schemas []Schema) (*DB, error) {
+	if p.Dir == "" {
+		return nil, errors.New("ldbs: Persistence.Dir is empty")
+	}
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ldbs: create dir: %w", err)
+	}
+
+	// Phase 1: rebuild state into a scratch database.
+	scratch := Open(Options{})
+	for _, s := range schemas {
+		if err := scratch.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := replayFile(scratch, filepath.Join(p.Dir, checkpointName)); err != nil {
+		return nil, err
+	}
+	if err := replayFile(scratch, filepath.Join(p.Dir, walName)); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: open the live database appending to the WAL and move the
+	// recovered rows across.
+	walFile, err := os.OpenFile(filepath.Join(p.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ldbs: open WAL: %w", err)
+	}
+	db := Open(Options{WAL: walFile})
+	for _, s := range schemas {
+		if err := db.CreateTable(s); err != nil {
+			walFile.Close()
+			return nil, err
+		}
+	}
+	if err := adoptState(scratch, db); err != nil {
+		walFile.Close()
+		return nil, err
+	}
+	p.wal = walFile
+	return db, nil
+}
+
+// replayFile applies one log file if it exists.
+func replayFile(db *DB, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("ldbs: open %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := db.ReplayWAL(f); err != nil {
+		return fmt.Errorf("ldbs: replay %s: %w", path, err)
+	}
+	return nil
+}
+
+// adoptState moves the committed rows of src into dst without logging them
+// (they are already durable in the checkpoint/WAL files).
+func adoptState(src, dst *DB) error {
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	for table, rows := range src.tables {
+		dstRows, ok := dst.tables[table]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrNoTable, table)
+		}
+		for k, r := range rows {
+			dstRows[k] = r.clone()
+		}
+	}
+	// Continue transaction ids past the recovered ones.
+	dst.nextTx.Store(src.nextTx.Load())
+	return nil
+}
+
+// Checkpoint writes the database's committed state to a fresh snapshot and
+// truncates the WAL. Crash-safe ordering: the snapshot is durable (written
+// to a temp file, synced, renamed over CHECKPOINT) before the WAL shrinks.
+func (p *Persistence) Checkpoint(db *DB) error {
+	if p.wal == nil {
+		return errors.New("ldbs: Checkpoint before Open")
+	}
+	// Block commits for the duration: the snapshot and the truncation must
+	// see the same committed state.
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	tmp, err := os.CreateTemp(p.Dir, "ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ldbs: checkpoint temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after the rename
+	if err := db.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(p.Dir, checkpointName)); err != nil {
+		return fmt.Errorf("ldbs: install checkpoint: %w", err)
+	}
+	if err := syncDir(p.Dir); err != nil {
+		return err
+	}
+	// The snapshot covers everything; the log can restart empty.
+	if err := p.wal.Truncate(0); err != nil {
+		return fmt.Errorf("ldbs: truncate WAL: %w", err)
+	}
+	if _, err := p.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("ldbs: rewind WAL: %w", err)
+	}
+	return nil
+}
+
+// Close releases the WAL file handle.
+func (p *Persistence) Close() error {
+	if p.wal == nil {
+		return nil
+	}
+	err := p.wal.Close()
+	p.wal = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ldbs: sync dir: %w", err)
+	}
+	return nil
+}

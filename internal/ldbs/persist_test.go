@@ -1,0 +1,174 @@
+package ldbs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"preserial/internal/sem"
+)
+
+func persistSchemas() []Schema { return []Schema{testSchema()} }
+
+func TestPersistenceColdStart(t *testing.T) {
+	p := &Persistence{Dir: t.TempDir()}
+	db, err := p.Open(persistSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	n, err := db.NumRows("Flight")
+	if err != nil || n != 0 {
+		t.Fatalf("cold start rows = %d, %v", n, err)
+	}
+}
+
+func TestPersistenceSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	p1 := &Persistence{Dir: dir}
+	db1, err := p1.Open(persistSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db1.Begin()
+	if err := tx.Insert(ctx, "Flight", "AZ1", Row{"FreeTickets": sem.Int(42)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := &Persistence{Dir: dir}
+	db2, err := p2.Open(persistSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	v, err := db2.ReadCommitted("Flight", "AZ1", "FreeTickets")
+	if err != nil || v.Int64() != 42 {
+		t.Fatalf("recovered = %s, %v", v, err)
+	}
+	// Ids continue.
+	if id := db2.Begin().ID(); id <= 1 {
+		t.Errorf("tx id after recovery = %d", id)
+	}
+}
+
+func TestCheckpointTruncatesWALAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	p := &Persistence{Dir: dir}
+	db, err := p.Open(persistSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range []string{"A", "B", "C"} {
+		tx := db.Begin()
+		if err := tx.Insert(ctx, "Flight", key, Row{"FreeTickets": sem.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walPath := filepath.Join(dir, walName)
+	before, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Size() == 0 {
+		t.Fatal("WAL empty before checkpoint")
+	}
+
+	if err := p.Checkpoint(db); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != 0 {
+		t.Fatalf("WAL size after checkpoint = %d, want 0", after.Size())
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointName)); err != nil {
+		t.Fatalf("no checkpoint file: %v", err)
+	}
+
+	// New commits land in the truncated WAL.
+	tx := db.Begin()
+	if err := tx.Set(ctx, "Flight", "A", "FreeTickets", sem.Int(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery = checkpoint + tail of the WAL.
+	p2 := &Persistence{Dir: dir}
+	db2, err := p2.Open(persistSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if n, _ := db2.NumRows("Flight"); n != 3 {
+		t.Fatalf("rows = %d, want 3", n)
+	}
+	v, _ := db2.ReadCommitted("Flight", "A", "FreeTickets")
+	if v.Int64() != 100 {
+		t.Fatalf("A = %s, want 100 (post-checkpoint write)", v)
+	}
+	v, _ = db2.ReadCommitted("Flight", "C", "FreeTickets")
+	if v.Int64() != 2 {
+		t.Fatalf("C = %s, want 2 (from checkpoint)", v)
+	}
+}
+
+func TestCheckpointBeforeOpenFails(t *testing.T) {
+	p := &Persistence{Dir: t.TempDir()}
+	if err := p.Checkpoint(Open(Options{})); err == nil {
+		t.Error("Checkpoint before Open must fail")
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("Close before Open = %v", err)
+	}
+}
+
+func TestPersistenceEmptyDir(t *testing.T) {
+	p := &Persistence{}
+	if _, err := p.Open(nil); err == nil {
+		t.Error("empty Dir must fail")
+	}
+}
+
+func TestPersistenceUnknownTableInLog(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	p := &Persistence{Dir: dir}
+	db, err := p.Open(persistSchemas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "Flight", "A", Row{"FreeTickets": sem.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	// Reopen without the schema: replay must fail loudly.
+	p2 := &Persistence{Dir: dir}
+	if _, err := p2.Open(nil); err == nil {
+		t.Error("replay into missing tables must fail")
+	}
+}

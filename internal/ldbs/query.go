@@ -1,0 +1,187 @@
+package ldbs
+
+import (
+	"context"
+	"fmt"
+
+	"preserial/internal/sem"
+)
+
+// Pred is one conjunct of a WHERE clause: column ⋈ value. Rows whose
+// column is null never match (SQL three-valued logic collapsed to false).
+type Pred struct {
+	Column string
+	Op     CmpOp
+	Value  sem.Value
+}
+
+// String renders the predicate as SQL.
+func (p Pred) String() string {
+	return fmt.Sprintf("%s %s %s", p.Column, p.Op, p.Value)
+}
+
+// matches evaluates the predicate against a row.
+func (p Pred) matches(row Row) bool {
+	v, ok := row[p.Column]
+	if !ok || v.IsNull() {
+		return false
+	}
+	return p.Op.eval(v, p.Value)
+}
+
+// Query is a conjunctive selection over one table, the shape of every
+// statement in the paper's motivating scenario ("select FreeTickets from
+// Flight where some_conditions").
+type Query struct {
+	Table string
+	Where []Pred // ANDed; empty selects everything
+	Limit int    // 0 means unlimited
+}
+
+// validate checks the query against the schema.
+func (q Query) validate(s Schema) error {
+	for _, p := range q.Where {
+		if _, ok := s.column(p.Column); !ok {
+			return fmt.Errorf("%w: %s.%s", ErrNoColumn, q.Table, p.Column)
+		}
+	}
+	return nil
+}
+
+// matches evaluates the whole conjunction.
+func (q Query) matches(row Row) bool {
+	for _, p := range q.Where {
+		if !p.matches(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyRow pairs a primary key with its row.
+type KeyRow struct {
+	Key string
+	Row Row
+}
+
+// Select returns the matching rows in key order, under a table-level shared
+// lock (the same isolation as Scan). The transaction's own pending writes
+// are visible.
+func (tx *Tx) Select(ctx context.Context, q Query) ([]KeyRow, error) {
+	s, err := tx.db.Schema(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.validate(s); err != nil {
+		return nil, err
+	}
+	var out []KeyRow
+	err = tx.Scan(ctx, q.Table, func(key string, row Row) bool {
+		if !q.matches(row) {
+			return true
+		}
+		out = append(out, KeyRow{Key: key, Row: row})
+		return q.Limit == 0 || len(out) < q.Limit
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SelectKeys returns just the matching primary keys.
+func (tx *Tx) SelectKeys(ctx context.Context, q Query) ([]string, error) {
+	rows, err := tx.Select(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(rows))
+	for i, kr := range rows {
+		keys[i] = kr.Key
+	}
+	return keys, nil
+}
+
+// Count returns the number of matching rows.
+func (tx *Tx) Count(ctx context.Context, q Query) (int, error) {
+	rows, err := tx.Select(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// SumInt sums an integer column over the matching rows (null columns count
+// as zero).
+func (tx *Tx) SumInt(ctx context.Context, q Query, column string) (int64, error) {
+	s, err := tx.db.Schema(q.Table)
+	if err != nil {
+		return 0, err
+	}
+	def, ok := s.column(column)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s.%s", ErrNoColumn, q.Table, column)
+	}
+	if def.Kind != sem.KindInt64 {
+		return 0, fmt.Errorf("%w: SumInt on %s column %s", ErrKind, def.Kind, column)
+	}
+	rows, err := tx.Select(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, kr := range rows {
+		sum += kr.Row[column].Int64()
+	}
+	return sum, nil
+}
+
+// UpdateWhere sets column = v on every matching row, taking exclusive row
+// locks, and returns the number of rows updated. The selection runs under
+// the table shared lock first, then each row is re-checked after its
+// exclusive lock is acquired (the match may have changed between the scan
+// and the lock; rows that no longer match are skipped).
+func (tx *Tx) UpdateWhere(ctx context.Context, q Query, column string, v sem.Value) (int, error) {
+	keys, err := tx.SelectKeys(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	updated := 0
+	for _, key := range keys {
+		row, err := tx.GetRow(ctx, q.Table, key)
+		if err != nil {
+			continue // deleted since the scan
+		}
+		if !q.matches(row) {
+			continue
+		}
+		if err := tx.Set(ctx, q.Table, key, column, v); err != nil {
+			return updated, err
+		}
+		updated++
+	}
+	return updated, nil
+}
+
+// DeleteWhere removes every matching row and returns the count.
+func (tx *Tx) DeleteWhere(ctx context.Context, q Query) (int, error) {
+	keys, err := tx.SelectKeys(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	deleted := 0
+	for _, key := range keys {
+		row, err := tx.GetRow(ctx, q.Table, key)
+		if err != nil {
+			continue
+		}
+		if !q.matches(row) {
+			continue
+		}
+		if err := tx.Delete(ctx, q.Table, key); err != nil {
+			return deleted, err
+		}
+		deleted++
+	}
+	return deleted, nil
+}

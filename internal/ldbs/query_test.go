@@ -1,0 +1,220 @@
+package ldbs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"preserial/internal/sem"
+)
+
+// newFlightDB seeds a Flight table with 6 rows of varying availability.
+func newFlightDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Options{})
+	if err := db.CreateTable(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tx := db.Begin()
+	for i := 0; i < 6; i++ {
+		row := Row{
+			"FreeTickets": sem.Int(int64(i * 10)), // 0, 10, …, 50
+			"Price":       sem.Float(50 + float64(i)),
+			"Carrier":     sem.Str(fmt.Sprintf("C%d", i%2)),
+		}
+		if err := tx.Insert(ctx, "Flight", fmt.Sprintf("F%d", i), row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSelectWhere(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	defer tx.Rollback()
+
+	// The motivating scenario: select flights with free tickets.
+	rows, err := tx.Select(ctx, Query{
+		Table: "Flight",
+		Where: []Pred{{Column: "FreeTickets", Op: CmpGT, Value: sem.Int(0)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, kr := range rows {
+		if kr.Row["FreeTickets"].Int64() <= 0 {
+			t.Errorf("row %s should not match", kr.Key)
+		}
+	}
+	// Conjunction.
+	rows, err = tx.Select(ctx, Query{
+		Table: "Flight",
+		Where: []Pred{
+			{Column: "FreeTickets", Op: CmpGE, Value: sem.Int(20)},
+			{Column: "Carrier", Op: CmpEQ, Value: sem.Str("C0")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // F2 (20, C0) and F4 (40, C0)
+		t.Fatalf("conjunction rows = %d, want 2", len(rows))
+	}
+	// Limit.
+	rows, err = tx.Select(ctx, Query{Table: "Flight", Limit: 3})
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("limited rows = %d, %v", len(rows), err)
+	}
+	// Key order.
+	if rows[0].Key != "F0" || rows[1].Key != "F1" {
+		t.Errorf("keys = %v %v", rows[0].Key, rows[1].Key)
+	}
+}
+
+func TestSelectSeesOwnWrites(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	defer tx.Rollback()
+	if err := tx.Set(ctx, "Flight", "F0", "FreeTickets", sem.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := tx.SelectKeys(ctx, Query{
+		Table: "Flight",
+		Where: []Pred{{Column: "FreeTickets", Op: CmpEQ, Value: sem.Int(99)}},
+	})
+	if err != nil || len(keys) != 1 || keys[0] != "F0" {
+		t.Fatalf("keys = %v, %v", keys, err)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	defer tx.Rollback()
+	if _, err := tx.Select(ctx, Query{Table: "Nope"}); !errors.Is(err, ErrNoTable) {
+		t.Errorf("unknown table = %v", err)
+	}
+	_, err := tx.Select(ctx, Query{Table: "Flight",
+		Where: []Pred{{Column: "zzz", Op: CmpEQ, Value: sem.Int(1)}}})
+	if !errors.Is(err, ErrNoColumn) {
+		t.Errorf("unknown column = %v", err)
+	}
+}
+
+func TestCountAndSum(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	defer tx.Rollback()
+	n, err := tx.Count(ctx, Query{Table: "Flight"})
+	if err != nil || n != 6 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	sum, err := tx.SumInt(ctx, Query{Table: "Flight"}, "FreeTickets")
+	if err != nil || sum != 150 {
+		t.Fatalf("sum = %d, %v", sum, err)
+	}
+	if _, err := tx.SumInt(ctx, Query{Table: "Flight"}, "Price"); !errors.Is(err, ErrKind) {
+		t.Errorf("sum of float column = %v", err)
+	}
+	if _, err := tx.SumInt(ctx, Query{Table: "Flight"}, "zzz"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("sum of unknown column = %v", err)
+	}
+}
+
+func TestUpdateWhere(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	// Ground all empty flights' price.
+	n, err := tx.UpdateWhere(ctx, Query{
+		Table: "Flight",
+		Where: []Pred{{Column: "FreeTickets", Op: CmpEQ, Value: sem.Int(0)}},
+	}, "Price", sem.Float(0))
+	if err != nil || n != 1 {
+		t.Fatalf("updated = %d, %v", n, err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.ReadCommitted("Flight", "F0", "Price")
+	if got.Float64() != 0 {
+		t.Errorf("F0 price = %s", got)
+	}
+	got, _ = db.ReadCommitted("Flight", "F1", "Price")
+	if got.Float64() != 51 {
+		t.Errorf("F1 price = %s (must be untouched)", got)
+	}
+}
+
+func TestUpdateWhereConstraint(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	defer tx.Rollback()
+	_, err := tx.UpdateWhere(ctx, Query{Table: "Flight"}, "FreeTickets", sem.Int(-1))
+	if !errors.Is(err, ErrConstraint) {
+		t.Errorf("constraint = %v", err)
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	n, err := tx.DeleteWhere(ctx, Query{
+		Table: "Flight",
+		Where: []Pred{{Column: "FreeTickets", Op: CmpLT, Value: sem.Int(20)}},
+	})
+	if err != nil || n != 2 { // F0, F1
+		t.Fatalf("deleted = %d, %v", n, err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	left, _ := db.NumRows("Flight")
+	if left != 4 {
+		t.Errorf("rows left = %d", left)
+	}
+}
+
+func TestPredNullNeverMatches(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Set(ctx, "Flight", "F0", "Carrier", sem.Null()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tx.Select(ctx, Query{
+		Table: "Flight",
+		Where: []Pred{{Column: "Carrier", Op: CmpNE, Value: sem.Str("zzz")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kr := range rows {
+		if kr.Key == "F0" {
+			t.Error("null column must not match any predicate")
+		}
+	}
+	tx.Rollback()
+}
+
+func TestPredString(t *testing.T) {
+	p := Pred{Column: "FreeTickets", Op: CmpGE, Value: sem.Int(0)}
+	if p.String() != "FreeTickets >= 0" {
+		t.Errorf("String() = %q", p.String())
+	}
+}

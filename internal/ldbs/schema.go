@@ -1,0 +1,171 @@
+// Package ldbs implements the Local DataBase System of the paper's data
+// layer (Section III): an embedded relational engine with row-level strict
+// two-phase locking, multigranularity table locks, wait-for-graph deadlock
+// detection, a write-ahead log and redo recovery.
+//
+// The GTM (internal/core) delegates consistency and durability here: every
+// global commit turns into a short Secure System Transaction (SST) that
+// writes the reconciled values and is validated against the table CHECK
+// constraints. The engine is also usable standalone, which the examples and
+// the baseline 2PL experiments exercise.
+package ldbs
+
+import (
+	"fmt"
+	"sort"
+
+	"preserial/internal/sem"
+)
+
+// CmpOp is a comparison operator used in CHECK constraints.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpGE CmpOp = iota // column ≥ bound
+	CmpGT              // column > bound
+	CmpLE              // column ≤ bound
+	CmpLT              // column < bound
+	CmpEQ              // column = bound
+	CmpNE              // column ≠ bound
+)
+
+// String returns the SQL spelling of the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case CmpGE:
+		return ">="
+	case CmpGT:
+		return ">"
+	case CmpLE:
+		return "<="
+	case CmpLT:
+		return "<"
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "<>"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(o))
+	}
+}
+
+// eval applies the operator to (column value, bound).
+func (o CmpOp) eval(v, bound sem.Value) bool {
+	c := v.Compare(bound)
+	switch o {
+	case CmpGE:
+		return c >= 0
+	case CmpGT:
+		return c > 0
+	case CmpLE:
+		return c <= 0
+	case CmpLT:
+		return c < 0
+	case CmpEQ:
+		return c == 0
+	case CmpNE:
+		return c != 0
+	default:
+		return false
+	}
+}
+
+// Check is a per-column CHECK constraint, e.g. FreeTickets ≥ 0 from the
+// motivating scenario (Section II).
+type Check struct {
+	Column string
+	Op     CmpOp
+	Bound  sem.Value
+}
+
+// String renders the constraint as SQL.
+func (c Check) String() string {
+	return fmt.Sprintf("CHECK (%s %s %s)", c.Column, c.Op, c.Bound)
+}
+
+// Holds reports whether the constraint accepts the value. Null values pass
+// (as in SQL, constraints only reject definite violations).
+func (c Check) Holds(v sem.Value) bool {
+	if v.IsNull() {
+		return true
+	}
+	return c.Op.eval(v, c.Bound)
+}
+
+// ColumnDef declares one column of a table.
+type ColumnDef struct {
+	Name string
+	Kind sem.Kind
+}
+
+// Schema declares a table: its name, columns and CHECK constraints. Rows
+// are keyed by an opaque string primary key supplied by the caller.
+type Schema struct {
+	Table   string
+	Columns []ColumnDef
+	Checks  []Check
+}
+
+// Validate reports structural problems with the schema.
+func (s Schema) Validate() error {
+	if s.Table == "" {
+		return fmt.Errorf("ldbs: schema with empty table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("ldbs: table %q has no columns", s.Table)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("ldbs: table %q has a column with empty name", s.Table)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("ldbs: table %q declares column %q twice", s.Table, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	for _, ck := range s.Checks {
+		if !seen[ck.Column] {
+			return fmt.Errorf("ldbs: table %q: %s references unknown column", s.Table, ck)
+		}
+	}
+	return nil
+}
+
+// column returns the definition of the named column.
+func (s Schema) column(name string) (ColumnDef, bool) {
+	for _, c := range s.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ColumnDef{}, false
+}
+
+// Row is a set of column values. Callers own the maps they pass in; the
+// engine copies on ingest and on read.
+type Row map[string]sem.Value
+
+// clone deep-copies the row (Values are immutable, so a shallow map copy
+// suffices).
+func (r Row) clone() Row {
+	if r == nil {
+		return nil
+	}
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// columns returns the row's column names in sorted order.
+func (r Row) columns() []string {
+	out := make([]string, 0, len(r))
+	for k := range r {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,700 @@
+package ldbs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"preserial/internal/sem"
+)
+
+// A miniature SQL dialect, just large enough to express every statement in
+// the paper's motivating scenario (Section II):
+//
+//	SELECT * FROM Flight WHERE FreeTickets > 0 AND Price <= 120 LIMIT 3
+//	SELECT FreeTickets, Price FROM Flight WHERE Carrier = 'Alitalia'
+//	UPDATE Flight SET FreeTickets = FreeTickets - 1 WHERE Key = 'AZ0'
+//	INSERT INTO Flight KEY 'AZ9' (FreeTickets, Price) VALUES (10, 99.5)
+//	DELETE FROM Flight WHERE FreeTickets = 0
+//
+// The pseudo-column Key selects a row by primary key. Arithmetic in SET is
+// limited to column ± · ÷ literal — exactly the update shapes the
+// operation classes of the GTM model cover. Statements execute within an
+// ldbs transaction, so the usual strict-2PL isolation applies.
+
+// ErrSyntax wraps statement parse errors.
+var ErrSyntax = errors.New("ldbs: syntax error")
+
+// SQLResult is the outcome of one statement.
+type SQLResult struct {
+	// Columns and Rows are set for SELECT.
+	Columns []string
+	Rows    []KeyRow
+	// Affected is set for UPDATE / INSERT / DELETE.
+	Affected int
+}
+
+// ExecSQL parses and executes one statement within the transaction.
+func (tx *Tx) ExecSQL(ctx context.Context, statement string) (*SQLResult, error) {
+	stmt, err := parseSQL(statement)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.exec(ctx, tx)
+}
+
+// --- lexer ----------------------------------------------------------------
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = != <> < <= > >= + - /
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) && unicode.IsSpace(rune(l.in[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF}, nil
+	}
+	c := l.in[l.pos]
+	switch {
+	case c == '\'':
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.in) && l.in[l.pos] != '\'' {
+			l.pos++
+		}
+		if l.pos >= len(l.in) {
+			return token{}, fmt.Errorf("%w: unterminated string", ErrSyntax)
+		}
+		s := l.in[start:l.pos]
+		l.pos++
+		return token{kind: tokString, text: s}, nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := l.pos
+		for l.pos < len(l.in) && (unicode.IsLetter(rune(l.in[l.pos])) ||
+			unicode.IsDigit(rune(l.in[l.pos])) || l.in[l.pos] == '_') {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.in[start:l.pos]}, nil
+	case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.in) && unicode.IsDigit(rune(l.in[l.pos+1]))):
+		start := l.pos
+		l.pos++ // first digit or sign
+		for l.pos < len(l.in) && (unicode.IsDigit(rune(l.in[l.pos])) || l.in[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.in[start:l.pos]}, nil
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"!=", "<>", "<=", ">="} {
+			if strings.HasPrefix(l.in[l.pos:], op) {
+				l.pos += 2
+				return token{kind: tokSymbol, text: op}, nil
+			}
+		}
+		if strings.ContainsRune("(),*=<>+-/;", rune(c)) {
+			l.pos++
+			return token{kind: tokSymbol, text: string(c)}, nil
+		}
+		return token{}, fmt.Errorf("%w: unexpected character %q", ErrSyntax, c)
+	}
+}
+
+// --- parser ----------------------------------------------------------------
+
+type parser struct {
+	lex  lexer
+	cur  token
+	err  error
+	done bool
+}
+
+func newParser(s string) (*parser, error) {
+	p := &parser{lex: lexer{in: s}}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+// keyword consumes an expected case-insensitive keyword.
+func (p *parser) keyword(kw string) error {
+	if p.cur.kind != tokIdent || !strings.EqualFold(p.cur.text, kw) {
+		return fmt.Errorf("%w: expected %s, got %q", ErrSyntax, strings.ToUpper(kw), p.cur.text)
+	}
+	return p.advance()
+}
+
+// peekKeyword reports whether the current token is the keyword.
+func (p *parser) peekKeyword(kw string) bool {
+	return p.cur.kind == tokIdent && strings.EqualFold(p.cur.text, kw)
+}
+
+// ident consumes an identifier.
+func (p *parser) ident() (string, error) {
+	if p.cur.kind != tokIdent {
+		return "", fmt.Errorf("%w: expected identifier, got %q", ErrSyntax, p.cur.text)
+	}
+	name := p.cur.text
+	return name, p.advance()
+}
+
+// symbol consumes an expected symbol.
+func (p *parser) symbol(sym string) error {
+	if p.cur.kind != tokSymbol || p.cur.text != sym {
+		return fmt.Errorf("%w: expected %q, got %q", ErrSyntax, sym, p.cur.text)
+	}
+	return p.advance()
+}
+
+// literal consumes a number or string literal.
+func (p *parser) literal() (sem.Value, error) {
+	switch p.cur.kind {
+	case tokNumber:
+		text := p.cur.text
+		if err := p.advance(); err != nil {
+			return sem.Value{}, err
+		}
+		if strings.Contains(text, ".") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return sem.Value{}, fmt.Errorf("%w: bad number %q", ErrSyntax, text)
+			}
+			return sem.Float(f), nil
+		}
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return sem.Value{}, fmt.Errorf("%w: bad number %q", ErrSyntax, text)
+		}
+		return sem.Int(i), nil
+	case tokString:
+		s := p.cur.text
+		if err := p.advance(); err != nil {
+			return sem.Value{}, err
+		}
+		return sem.Str(s), nil
+	default:
+		if p.peekKeyword("null") {
+			if err := p.advance(); err != nil {
+				return sem.Value{}, err
+			}
+			return sem.Null(), nil
+		}
+		return sem.Value{}, fmt.Errorf("%w: expected literal, got %q", ErrSyntax, p.cur.text)
+	}
+}
+
+// cmpOp consumes a comparison operator.
+func (p *parser) cmpOp() (CmpOp, error) {
+	if p.cur.kind != tokSymbol {
+		return 0, fmt.Errorf("%w: expected comparison, got %q", ErrSyntax, p.cur.text)
+	}
+	var op CmpOp
+	switch p.cur.text {
+	case "=":
+		op = CmpEQ
+	case "!=", "<>":
+		op = CmpNE
+	case "<":
+		op = CmpLT
+	case "<=":
+		op = CmpLE
+	case ">":
+		op = CmpGT
+	case ">=":
+		op = CmpGE
+	default:
+		return 0, fmt.Errorf("%w: unknown comparison %q", ErrSyntax, p.cur.text)
+	}
+	return op, p.advance()
+}
+
+// keyCond is a `Key = 'k'` clause extracted from a WHERE conjunction.
+type whereClause struct {
+	preds []Pred
+	keys  []keyPred // predicates on the pseudo-column Key
+}
+
+type keyPred struct {
+	op  CmpOp
+	key string
+}
+
+// where parses `WHERE pred (AND pred)*`; the pseudo-column Key is split out.
+func (p *parser) where() (whereClause, error) {
+	var wc whereClause
+	if !p.peekKeyword("where") {
+		return wc, nil
+	}
+	if err := p.advance(); err != nil {
+		return wc, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return wc, err
+		}
+		op, err := p.cmpOp()
+		if err != nil {
+			return wc, err
+		}
+		lit, err := p.literal()
+		if err != nil {
+			return wc, err
+		}
+		if strings.EqualFold(col, "key") {
+			if lit.Kind() != sem.KindString {
+				return wc, fmt.Errorf("%w: Key compares against string literals", ErrSyntax)
+			}
+			wc.keys = append(wc.keys, keyPred{op: op, key: lit.Text()})
+		} else {
+			wc.preds = append(wc.preds, Pred{Column: col, Op: op, Value: lit})
+		}
+		if !p.peekKeyword("and") {
+			return wc, nil
+		}
+		if err := p.advance(); err != nil {
+			return wc, err
+		}
+	}
+}
+
+// matchKey evaluates the key predicates against a primary key.
+func (wc whereClause) matchKey(key string) bool {
+	for _, kp := range wc.keys {
+		if !kp.op.eval(sem.Str(key), sem.Str(kp.key)) {
+			return false
+		}
+	}
+	return true
+}
+
+// end asserts the statement is exhausted (an optional trailing ';' is
+// allowed).
+func (p *parser) end() error {
+	if p.cur.kind == tokSymbol && p.cur.text == ";" {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if p.cur.kind != tokEOF {
+		return fmt.Errorf("%w: trailing input at %q", ErrSyntax, p.cur.text)
+	}
+	return nil
+}
+
+// --- statements ------------------------------------------------------------
+
+type sqlStmt interface {
+	exec(ctx context.Context, tx *Tx) (*SQLResult, error)
+}
+
+// parseSQL dispatches on the leading keyword.
+func parseSQL(s string) (sqlStmt, error) {
+	p, err := newParser(s)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.peekKeyword("select"):
+		return parseSelect(p)
+	case p.peekKeyword("update"):
+		return parseUpdate(p)
+	case p.peekKeyword("insert"):
+		return parseInsert(p)
+	case p.peekKeyword("delete"):
+		return parseDelete(p)
+	default:
+		return nil, fmt.Errorf("%w: unknown statement %q", ErrSyntax, p.cur.text)
+	}
+}
+
+// selectStmt: SELECT cols FROM table [WHERE …] [LIMIT n].
+type selectStmt struct {
+	columns []string // nil means *
+	table   string
+	where   whereClause
+	limit   int
+}
+
+func parseSelect(p *parser) (sqlStmt, error) {
+	if err := p.keyword("select"); err != nil {
+		return nil, err
+	}
+	st := &selectStmt{}
+	if p.cur.kind == tokSymbol && p.cur.text == "*" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.columns = append(st.columns, col)
+			if p.cur.kind == tokSymbol && p.cur.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.table = table
+	if st.where, err = p.where(); err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("limit") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		if lit.Kind() != sem.KindInt64 || lit.Int64() < 0 {
+			return nil, fmt.Errorf("%w: LIMIT wants a non-negative integer", ErrSyntax)
+		}
+		st.limit = int(lit.Int64())
+	}
+	return st, p.end()
+}
+
+func (st *selectStmt) exec(ctx context.Context, tx *Tx) (*SQLResult, error) {
+	s, err := tx.db.Schema(st.table)
+	if err != nil {
+		return nil, err
+	}
+	cols := st.columns
+	if cols == nil {
+		for _, c := range s.Columns {
+			cols = append(cols, c.Name)
+		}
+	} else {
+		for _, c := range cols {
+			if _, ok := s.column(c); !ok {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNoColumn, st.table, c)
+			}
+		}
+	}
+	all, err := tx.Select(ctx, Query{Table: st.table, Where: st.where.preds})
+	if err != nil {
+		return nil, err
+	}
+	res := &SQLResult{Columns: cols}
+	for _, kr := range all {
+		if !st.where.matchKey(kr.Key) {
+			continue
+		}
+		projected := make(Row, len(cols))
+		for _, c := range cols {
+			projected[c] = kr.Row[c]
+		}
+		res.Rows = append(res.Rows, KeyRow{Key: kr.Key, Row: projected})
+		if st.limit > 0 && len(res.Rows) == st.limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+// setExpr is `col = operand` or `col = base ⊕ literal`.
+type setExpr struct {
+	column  string
+	base    string // referenced column, empty for a plain literal
+	operate byte   // '+', '-', '*', '/' when base != ""
+	value   sem.Value
+}
+
+// eval computes the new value against a row.
+func (e setExpr) eval(row Row) (sem.Value, error) {
+	if e.base == "" {
+		return e.value, nil
+	}
+	cur := row[e.base]
+	switch e.operate {
+	case '+':
+		return cur.Add(e.value)
+	case '-':
+		return cur.Sub(e.value)
+	case '*':
+		return cur.Mul(e.value)
+	case '/':
+		return cur.Div(e.value)
+	default:
+		return sem.Value{}, fmt.Errorf("%w: unknown operator %q", ErrSyntax, e.operate)
+	}
+}
+
+// updateStmt: UPDATE table SET assignments [WHERE …].
+type updateStmt struct {
+	table string
+	sets  []setExpr
+	where whereClause
+}
+
+func parseUpdate(p *parser) (sqlStmt, error) {
+	if err := p.keyword("update"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &updateStmt{table: table}
+	if err := p.keyword("set"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.symbol("="); err != nil {
+			return nil, err
+		}
+		e := setExpr{column: col}
+		if p.cur.kind == tokIdent && !p.peekKeyword("null") {
+			// column-relative expression: col ⊕ literal
+			base, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			e.base = base
+			if p.cur.kind != tokSymbol || !strings.ContainsAny(p.cur.text, "+-*/") || len(p.cur.text) != 1 {
+				return nil, fmt.Errorf("%w: expected +, -, * or / after column %q", ErrSyntax, base)
+			}
+			e.operate = p.cur.text[0]
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if e.value, err = p.literal(); err != nil {
+				return nil, err
+			}
+		} else {
+			if e.value, err = p.literal(); err != nil {
+				return nil, err
+			}
+		}
+		st.sets = append(st.sets, e)
+		if p.cur.kind == tokSymbol && p.cur.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if st.where, err = p.where(); err != nil {
+		return nil, err
+	}
+	return st, p.end()
+}
+
+func (st *updateStmt) exec(ctx context.Context, tx *Tx) (*SQLResult, error) {
+	keys, err := tx.SelectKeys(ctx, Query{Table: st.table, Where: st.where.preds})
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, key := range keys {
+		if !st.where.matchKey(key) {
+			continue
+		}
+		row, err := tx.GetRow(ctx, st.table, key)
+		if err != nil {
+			continue // deleted since the scan
+		}
+		q := Query{Table: st.table, Where: st.where.preds}
+		if !q.matches(row) {
+			continue
+		}
+		for _, e := range st.sets {
+			nv, err := e.eval(row)
+			if err != nil {
+				return nil, fmt.Errorf("ldbs: SET %s: %w", e.column, err)
+			}
+			if err := tx.Set(ctx, st.table, key, e.column, nv); err != nil {
+				return nil, err
+			}
+			row[e.column] = nv
+		}
+		affected++
+	}
+	return &SQLResult{Affected: affected}, nil
+}
+
+// insertStmt: INSERT INTO table KEY 'k' (cols) VALUES (lits).
+type insertStmt struct {
+	table string
+	key   string
+	cols  []string
+	vals  []sem.Value
+}
+
+func parseInsert(p *parser) (sqlStmt, error) {
+	if err := p.keyword("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &insertStmt{table: table}
+	if err := p.keyword("key"); err != nil {
+		return nil, err
+	}
+	keyLit, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	if keyLit.Kind() != sem.KindString || keyLit.Text() == "" {
+		return nil, fmt.Errorf("%w: KEY wants a non-empty string literal", ErrSyntax)
+	}
+	st.key = keyLit.Text()
+	if err := p.symbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.cols = append(st.cols, col)
+		if p.cur.kind == tokSymbol && p.cur.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.symbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("values"); err != nil {
+		return nil, err
+	}
+	if err := p.symbol("("); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		st.vals = append(st.vals, v)
+		if p.cur.kind == tokSymbol && p.cur.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.symbol(")"); err != nil {
+		return nil, err
+	}
+	if len(st.cols) != len(st.vals) {
+		return nil, fmt.Errorf("%w: %d columns but %d values", ErrSyntax, len(st.cols), len(st.vals))
+	}
+	return st, p.end()
+}
+
+func (st *insertStmt) exec(ctx context.Context, tx *Tx) (*SQLResult, error) {
+	row := make(Row, len(st.cols))
+	for i, c := range st.cols {
+		row[c] = st.vals[i]
+	}
+	if err := tx.Insert(ctx, st.table, st.key, row); err != nil {
+		return nil, err
+	}
+	return &SQLResult{Affected: 1}, nil
+}
+
+// deleteStmt: DELETE FROM table [WHERE …].
+type deleteStmt struct {
+	table string
+	where whereClause
+}
+
+func parseDelete(p *parser) (sqlStmt, error) {
+	if err := p.keyword("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &deleteStmt{table: table}
+	if st.where, err = p.where(); err != nil {
+		return nil, err
+	}
+	return st, p.end()
+}
+
+func (st *deleteStmt) exec(ctx context.Context, tx *Tx) (*SQLResult, error) {
+	keys, err := tx.SelectKeys(ctx, Query{Table: st.table, Where: st.where.preds})
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, key := range keys {
+		if !st.where.matchKey(key) {
+			continue
+		}
+		row, err := tx.GetRow(ctx, st.table, key)
+		if err != nil {
+			continue
+		}
+		q := Query{Table: st.table, Where: st.where.preds}
+		if !q.matches(row) {
+			continue
+		}
+		if err := tx.Delete(ctx, st.table, key); err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &SQLResult{Affected: affected}, nil
+}

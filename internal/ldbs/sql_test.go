@@ -1,0 +1,275 @@
+package ldbs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"preserial/internal/sem"
+)
+
+// execSQL is a one-statement auto-commit helper for the tests.
+func execSQL(t *testing.T, db *DB, stmt string) *SQLResult {
+	t.Helper()
+	ctx := context.Background()
+	tx := db.Begin()
+	res, err := tx.ExecSQL(ctx, stmt)
+	if err != nil {
+		tx.Rollback()
+		t.Fatalf("%s: %v", stmt, err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSQLInsertAndSelectStar(t *testing.T) {
+	db := Open(Options{})
+	if err := db.CreateTable(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	res := execSQL(t, db, "INSERT INTO Flight KEY 'AZ0' (FreeTickets, Price, Carrier) VALUES (10, 99.5, 'Alitalia')")
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	res = execSQL(t, db, "SELECT * FROM Flight")
+	if len(res.Rows) != 1 || len(res.Columns) != 3 {
+		t.Fatalf("rows = %+v cols = %v", res.Rows, res.Columns)
+	}
+	row := res.Rows[0]
+	if row.Key != "AZ0" || row.Row["FreeTickets"].Int64() != 10 ||
+		row.Row["Price"].Float64() != 99.5 || row.Row["Carrier"].Text() != "Alitalia" {
+		t.Fatalf("row = %+v", row)
+	}
+}
+
+func TestSQLMotivatingScenario(t *testing.T) {
+	// The Section II pseudo-code, verbatim-ish.
+	db := newFlightDB(t)
+	sel := execSQL(t, db, "SELECT FreeTickets FROM Flight WHERE FreeTickets > 0")
+	if len(sel.Rows) != 5 {
+		t.Fatalf("available flights = %d", len(sel.Rows))
+	}
+	if len(sel.Columns) != 1 || sel.Columns[0] != "FreeTickets" {
+		t.Fatalf("columns = %v", sel.Columns)
+	}
+	// Projection drops unselected columns.
+	if _, ok := sel.Rows[0].Row["Price"]; ok {
+		t.Fatal("projection leaked Price")
+	}
+
+	upd := execSQL(t, db, "UPDATE Flight SET FreeTickets = FreeTickets - 1 WHERE Key = 'F3'")
+	if upd.Affected != 1 {
+		t.Fatalf("affected = %d", upd.Affected)
+	}
+	v, _ := db.ReadCommitted("Flight", "F3", "FreeTickets")
+	if v.Int64() != 29 {
+		t.Fatalf("F3 = %s, want 29", v)
+	}
+}
+
+func TestSQLWhereConjunctionAndLimit(t *testing.T) {
+	db := newFlightDB(t)
+	res := execSQL(t, db, "SELECT * FROM Flight WHERE FreeTickets >= 20 AND Carrier = 'C0' LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0].Key != "F2" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	res = execSQL(t, db, "SELECT * FROM Flight WHERE Key != 'F0' AND Key <> 'F1'")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+}
+
+func TestSQLUpdateArithmeticForms(t *testing.T) {
+	db := newFlightDB(t)
+	execSQL(t, db, "UPDATE Flight SET Price = Price * 2 WHERE Key = 'F1'")
+	v, _ := db.ReadCommitted("Flight", "F1", "Price")
+	if v.Float64() != 102 {
+		t.Fatalf("F1 price = %s, want 102", v)
+	}
+	execSQL(t, db, "UPDATE Flight SET Price = Price / 2 WHERE Key = 'F1'")
+	v, _ = db.ReadCommitted("Flight", "F1", "Price")
+	if v.Float64() != 51 {
+		t.Fatalf("F1 price = %s, want 51", v)
+	}
+	execSQL(t, db, "UPDATE Flight SET Price = Price + 9 WHERE Key = 'F1'")
+	v, _ = db.ReadCommitted("Flight", "F1", "Price")
+	if v.Float64() != 60 {
+		t.Fatalf("F1 price = %s, want 60", v)
+	}
+	// Plain literal assignment and multi-assignment.
+	execSQL(t, db, "UPDATE Flight SET Price = 10.5, Carrier = 'X' WHERE Key = 'F1'")
+	v, _ = db.ReadCommitted("Flight", "F1", "Price")
+	c, _ := db.ReadCommitted("Flight", "F1", "Carrier")
+	if v.Float64() != 10.5 || c.Text() != "X" {
+		t.Fatalf("F1 = %s / %s", v, c)
+	}
+	// NULL literal.
+	execSQL(t, db, "UPDATE Flight SET Carrier = NULL WHERE Key = 'F1'")
+	c, _ = db.ReadCommitted("Flight", "F1", "Carrier")
+	if !c.IsNull() {
+		t.Fatalf("Carrier = %s, want null", c)
+	}
+}
+
+func TestSQLUpdateAllRows(t *testing.T) {
+	db := newFlightDB(t)
+	res := execSQL(t, db, "UPDATE Flight SET FreeTickets = FreeTickets + 100")
+	if res.Affected != 6 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	v, _ := db.ReadCommitted("Flight", "F0", "FreeTickets")
+	if v.Int64() != 100 {
+		t.Fatalf("F0 = %s", v)
+	}
+}
+
+func TestSQLDelete(t *testing.T) {
+	db := newFlightDB(t)
+	res := execSQL(t, db, "DELETE FROM Flight WHERE FreeTickets < 20")
+	if res.Affected != 2 {
+		t.Fatalf("deleted = %d", res.Affected)
+	}
+	n, _ := db.NumRows("Flight")
+	if n != 4 {
+		t.Fatalf("rows = %d", n)
+	}
+	res = execSQL(t, db, "DELETE FROM Flight")
+	if res.Affected != 4 {
+		t.Fatalf("deleted = %d", res.Affected)
+	}
+}
+
+func TestSQLConstraintViaUpdate(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	defer tx.Rollback()
+	_, err := tx.ExecSQL(ctx, "UPDATE Flight SET FreeTickets = FreeTickets - 1 WHERE Key = 'F0'")
+	if !errors.Is(err, ErrConstraint) { // F0 has 0 tickets
+		t.Fatalf("err = %v, want ErrConstraint", err)
+	}
+}
+
+func TestSQLTransactionality(t *testing.T) {
+	// Several statements in one transaction roll back together.
+	db := newFlightDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	if _, err := tx.ExecSQL(ctx, "UPDATE Flight SET FreeTickets = 999 WHERE Key = 'F0'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.ExecSQL(ctx, "DELETE FROM Flight WHERE Key = 'F1'"); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes inside the transaction.
+	res, err := tx.ExecSQL(ctx, "SELECT FreeTickets FROM Flight WHERE Key = 'F0'")
+	if err != nil || res.Rows[0].Row["FreeTickets"].Int64() != 999 {
+		t.Fatalf("res = %+v, %v", res, err)
+	}
+	tx.Rollback()
+	v, _ := db.ReadCommitted("Flight", "F0", "FreeTickets")
+	if v.Int64() != 0 {
+		t.Fatalf("rollback leaked: F0 = %s", v)
+	}
+	if n, _ := db.NumRows("Flight"); n != 6 {
+		t.Fatalf("rollback leaked delete: %d rows", n)
+	}
+}
+
+func TestSQLSyntaxErrors(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	bad := []string{
+		"",
+		"FLUSH tables",
+		"SELECT FROM Flight",
+		"SELECT * Flight",
+		"SELECT * FROM Flight WHERE",
+		"SELECT * FROM Flight WHERE FreeTickets ~ 3",
+		"SELECT * FROM Flight LIMIT 'many'",
+		"SELECT * FROM Flight LIMIT -1",
+		"SELECT * FROM Flight garbage",
+		"UPDATE Flight",
+		"UPDATE Flight SET",
+		"UPDATE Flight SET FreeTickets = FreeTickets % 2",
+		"INSERT INTO Flight (a) VALUES (1)", // missing KEY
+		"INSERT INTO Flight KEY 'k' (a, b) VALUES (1)",
+		"INSERT INTO Flight KEY 7 (a) VALUES (1)",
+		"DELETE Flight",
+		"SELECT * FROM Flight WHERE Key = 3", // Key wants a string
+		"SELECT * FROM Flight WHERE Carrier = 'unterminated",
+	}
+	for _, stmt := range bad {
+		tx := db.Begin()
+		_, err := tx.ExecSQL(ctx, stmt)
+		tx.Rollback()
+		if err == nil {
+			t.Errorf("statement %q accepted", stmt)
+		}
+	}
+}
+
+func TestSQLSemanticErrors(t *testing.T) {
+	db := newFlightDB(t)
+	ctx := context.Background()
+	cases := []struct {
+		stmt string
+		want error
+	}{
+		{"SELECT * FROM Nope", ErrNoTable},
+		{"SELECT Zzz FROM Flight", ErrNoColumn},
+		{"SELECT * FROM Flight WHERE Zzz = 1", ErrNoColumn},
+		{"UPDATE Flight SET Zzz = 1", ErrNoColumn},
+		{"INSERT INTO Flight KEY 'F0' (FreeTickets) VALUES (1)", ErrRowExists},
+		{"INSERT INTO Flight KEY 'F9' (FreeTickets) VALUES ('ten')", ErrKind},
+	}
+	for _, c := range cases {
+		tx := db.Begin()
+		_, err := tx.ExecSQL(ctx, c.stmt)
+		tx.Rollback()
+		if !errors.Is(err, c.want) {
+			t.Errorf("%q: err = %v, want %v", c.stmt, err, c.want)
+		}
+	}
+}
+
+func TestSQLCaseInsensitiveKeywords(t *testing.T) {
+	db := newFlightDB(t)
+	res := execSQL(t, db, "select * from Flight where FreeTickets > 0 limit 2")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	execSQL(t, db, "update Flight set Price = 1.0 where key = 'F0'")
+	v, _ := db.ReadCommitted("Flight", "F0", "Price")
+	if v.Float64() != 1 {
+		t.Fatalf("price = %s", v)
+	}
+}
+
+func TestSQLNegativeNumbersAndSemicolon(t *testing.T) {
+	db := Open(Options{})
+	if err := db.CreateTable(Schema{
+		Table:   "T",
+		Columns: []ColumnDef{{Name: "v", Kind: sem.KindInt64}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	execSQL(t, db, "INSERT INTO T KEY 'a' (v) VALUES (-5);")
+	res := execSQL(t, db, "SELECT v FROM T WHERE v < 0;")
+	if len(res.Rows) != 1 || res.Rows[0].Row["v"].Int64() != -5 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+}
+
+func TestSQLErrorMessagesMentionSyntax(t *testing.T) {
+	db := newFlightDB(t)
+	tx := db.Begin()
+	defer tx.Rollback()
+	_, err := tx.ExecSQL(context.Background(), "SELEC * FROM Flight")
+	if err == nil || !strings.Contains(err.Error(), "syntax") {
+		t.Errorf("err = %v", err)
+	}
+}

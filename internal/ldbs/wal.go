@@ -1,0 +1,317 @@
+package ldbs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+
+	"preserial/internal/sem"
+)
+
+// recType discriminates WAL records.
+type recType uint8
+
+const (
+	recBegin     recType = iota + 1 // transaction begin
+	recSetCol                       // single column write
+	recUpsertRow                    // whole-row insert/replace
+	recDeleteRow                    // row delete
+	recCommit                       // transaction commit (redo point)
+	recAbort                        // transaction abort
+)
+
+// walRecord is the decoded form of one log record.
+type walRecord struct {
+	Type   recType
+	TxID   uint64
+	Table  string
+	Key    string
+	Column string
+	Value  sem.Value
+	Row    Row
+}
+
+// ErrCorruptWAL is wrapped by decode errors that indicate true corruption
+// (as opposed to a torn tail, which recovery tolerates silently).
+var ErrCorruptWAL = errors.New("ldbs: corrupt WAL record")
+
+// maxWALRecord bounds a single record. A length or row-count field beyond
+// it is treated as corruption rather than honored — otherwise a flipped
+// length byte becomes a multi-gigabyte allocation during recovery.
+const maxWALRecord = 16 << 20
+
+// --- primitive encoders -------------------------------------------------
+
+func putString(buf []byte, s string) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+	return append(append(buf, l[:]...), s...)
+}
+
+func getString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("%w: short string header", ErrCorruptWAL)
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return "", nil, fmt.Errorf("%w: short string body", ErrCorruptWAL)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func putValue(buf []byte, v sem.Value) []byte {
+	buf = append(buf, byte(v.Kind()))
+	switch v.Kind() {
+	case sem.KindNull:
+	case sem.KindInt64:
+		var x [8]byte
+		binary.BigEndian.PutUint64(x[:], uint64(v.Int64()))
+		buf = append(buf, x[:]...)
+	case sem.KindFloat64:
+		var x [8]byte
+		binary.BigEndian.PutUint64(x[:], math.Float64bits(v.Float64()))
+		buf = append(buf, x[:]...)
+	case sem.KindString:
+		buf = putString(buf, v.Text())
+	}
+	return buf
+}
+
+func getValue(b []byte) (sem.Value, []byte, error) {
+	if len(b) < 1 {
+		return sem.Value{}, nil, fmt.Errorf("%w: missing value kind", ErrCorruptWAL)
+	}
+	kind := sem.Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case sem.KindNull:
+		return sem.Null(), b, nil
+	case sem.KindInt64:
+		if len(b) < 8 {
+			return sem.Value{}, nil, fmt.Errorf("%w: short int64", ErrCorruptWAL)
+		}
+		return sem.Int(int64(binary.BigEndian.Uint64(b))), b[8:], nil
+	case sem.KindFloat64:
+		if len(b) < 8 {
+			return sem.Value{}, nil, fmt.Errorf("%w: short float64", ErrCorruptWAL)
+		}
+		return sem.Float(math.Float64frombits(binary.BigEndian.Uint64(b))), b[8:], nil
+	case sem.KindString:
+		s, rest, err := getString(b)
+		if err != nil {
+			return sem.Value{}, nil, err
+		}
+		return sem.Str(s), rest, nil
+	default:
+		return sem.Value{}, nil, fmt.Errorf("%w: unknown value kind %d", ErrCorruptWAL, kind)
+	}
+}
+
+// --- record codec --------------------------------------------------------
+
+// encode serializes the record payload (without the length/CRC frame).
+func (r walRecord) encode() []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(r.Type))
+	var tx [8]byte
+	binary.BigEndian.PutUint64(tx[:], r.TxID)
+	buf = append(buf, tx[:]...)
+	switch r.Type {
+	case recBegin, recCommit, recAbort:
+	case recSetCol:
+		buf = putString(buf, r.Table)
+		buf = putString(buf, r.Key)
+		buf = putString(buf, r.Column)
+		buf = putValue(buf, r.Value)
+	case recUpsertRow:
+		buf = putString(buf, r.Table)
+		buf = putString(buf, r.Key)
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(r.Row)))
+		buf = append(buf, n[:]...)
+		for _, col := range r.Row.columns() { // sorted: deterministic bytes
+			buf = putString(buf, col)
+			buf = putValue(buf, r.Row[col])
+		}
+	case recDeleteRow:
+		buf = putString(buf, r.Table)
+		buf = putString(buf, r.Key)
+	}
+	return buf
+}
+
+// decodeRecord parses a payload produced by encode.
+func decodeRecord(b []byte) (walRecord, error) {
+	if len(b) < 9 {
+		return walRecord{}, fmt.Errorf("%w: short header", ErrCorruptWAL)
+	}
+	r := walRecord{Type: recType(b[0]), TxID: binary.BigEndian.Uint64(b[1:9])}
+	b = b[9:]
+	var err error
+	switch r.Type {
+	case recBegin, recCommit, recAbort:
+		return r, nil
+	case recSetCol:
+		if r.Table, b, err = getString(b); err != nil {
+			return r, err
+		}
+		if r.Key, b, err = getString(b); err != nil {
+			return r, err
+		}
+		if r.Column, b, err = getString(b); err != nil {
+			return r, err
+		}
+		if r.Value, _, err = getValue(b); err != nil {
+			return r, err
+		}
+		return r, nil
+	case recUpsertRow:
+		if r.Table, b, err = getString(b); err != nil {
+			return r, err
+		}
+		if r.Key, b, err = getString(b); err != nil {
+			return r, err
+		}
+		if len(b) < 4 {
+			return r, fmt.Errorf("%w: short row header", ErrCorruptWAL)
+		}
+		n := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if int(n) > len(b) {
+			// Each row entry needs at least one byte; a count beyond the
+			// remaining payload is corruption (and an allocation bomb if
+			// used as a map size hint).
+			return r, fmt.Errorf("%w: row count %d exceeds payload", ErrCorruptWAL, n)
+		}
+		r.Row = make(Row, n)
+		for i := uint32(0); i < n; i++ {
+			var col string
+			if col, b, err = getString(b); err != nil {
+				return r, err
+			}
+			var v sem.Value
+			if v, b, err = getValue(b); err != nil {
+				return r, err
+			}
+			r.Row[col] = v
+		}
+		return r, nil
+	case recDeleteRow:
+		if r.Table, b, err = getString(b); err != nil {
+			return r, err
+		}
+		if r.Key, _, err = getString(b); err != nil {
+			return r, err
+		}
+		return r, nil
+	default:
+		return r, fmt.Errorf("%w: unknown record type %d", ErrCorruptWAL, r.Type)
+	}
+}
+
+// Syncer is the optional flush-to-stable-storage capability of a WAL target
+// (satisfied by *os.File).
+type Syncer interface{ Sync() error }
+
+// wal frames records as [u32 length][u32 crc32][payload] onto an io.Writer.
+type wal struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	dst io.Writer
+	lsn uint64 // records appended
+}
+
+func newWAL(dst io.Writer) *wal {
+	return &wal{w: bufio.NewWriter(dst), dst: dst}
+}
+
+// Append frames and buffers one record, returning its LSN (1-based).
+func (l *wal) Append(r walRecord) (uint64, error) {
+	payload := r.encode()
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("ldbs: wal append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("ldbs: wal append: %w", err)
+	}
+	l.lsn++
+	return l.lsn, nil
+}
+
+// Flush empties the buffer and, when the destination supports it, syncs to
+// stable storage. Called at every commit (force policy).
+func (l *wal) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("ldbs: wal flush: %w", err)
+	}
+	if s, ok := l.dst.(Syncer); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("ldbs: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// LSN returns the number of records appended so far.
+func (l *wal) LSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// readWAL decodes records from r until EOF. A torn tail — a final record
+// that is short or fails its CRC — ends the scan without error, matching
+// crash semantics; corruption in the middle of the log is reported.
+func readWAL(r io.Reader) ([]walRecord, error) {
+	br := bufio.NewReader(r)
+	var out []walRecord
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, nil // torn header at tail
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if n > maxWALRecord {
+			// A length this large is either corruption or a torn header;
+			// if more bytes follow it cannot be a tail.
+			if _, err := br.Peek(1); err == nil {
+				return out, fmt.Errorf("%w: record length %d exceeds limit", ErrCorruptWAL, n)
+			}
+			return out, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return out, nil // torn payload at tail
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			// Cannot distinguish a torn tail from mid-log corruption without
+			// looking ahead; if more bytes follow, it was corruption.
+			if _, err := br.Peek(1); err == nil {
+				return out, fmt.Errorf("%w: CRC mismatch at record %d", ErrCorruptWAL, len(out)+1)
+			}
+			return out, nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

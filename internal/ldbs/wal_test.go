@@ -1,0 +1,304 @@
+package ldbs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"preserial/internal/sem"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	values := []sem.Value{
+		sem.Null(), sem.Int(0), sem.Int(-12345), sem.Int(1 << 60),
+		sem.Float(3.25), sem.Float(-1e300), sem.Str(""), sem.Str("héllo"),
+	}
+	for _, v := range values {
+		buf := putValue(nil, v)
+		got, rest, err := getValue(buf)
+		if err != nil || len(rest) != 0 || !got.Equal(v) {
+			t.Errorf("roundtrip %s -> %s (rest %d, err %v)", v, got, len(rest), err)
+		}
+	}
+}
+
+func TestValueCodecErrors(t *testing.T) {
+	if _, _, err := getValue(nil); err == nil {
+		t.Error("empty buffer must fail")
+	}
+	if _, _, err := getValue([]byte{byte(sem.KindInt64), 1, 2}); err == nil {
+		t.Error("short int must fail")
+	}
+	if _, _, err := getValue([]byte{byte(sem.KindFloat64), 1}); err == nil {
+		t.Error("short float must fail")
+	}
+	if _, _, err := getValue([]byte{byte(sem.KindString), 0, 0, 0, 9, 'x'}); err == nil {
+		t.Error("short string must fail")
+	}
+	if _, _, err := getValue([]byte{99}); err == nil {
+		t.Error("unknown kind must fail")
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	recs := []walRecord{
+		{Type: recBegin, TxID: 7},
+		{Type: recCommit, TxID: 7},
+		{Type: recAbort, TxID: 9},
+		{Type: recSetCol, TxID: 7, Table: "T", Key: "k", Column: "c", Value: sem.Int(42)},
+		{Type: recUpsertRow, TxID: 7, Table: "T", Key: "k",
+			Row: Row{"a": sem.Int(1), "b": sem.Str("x"), "c": sem.Float(1.5)}},
+		{Type: recDeleteRow, TxID: 7, Table: "T", Key: "k"},
+	}
+	for _, want := range recs {
+		got, err := decodeRecord(want.encode())
+		if err != nil {
+			t.Fatalf("decode(%d): %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.TxID != want.TxID || got.Table != want.Table ||
+			got.Key != want.Key || got.Column != want.Column || !got.Value.Equal(want.Value) {
+			t.Errorf("roundtrip %+v -> %+v", want, got)
+		}
+		if len(want.Row) != len(got.Row) {
+			t.Errorf("row size mismatch: %v vs %v", want.Row, got.Row)
+		}
+		for k, v := range want.Row {
+			if !got.Row[k].Equal(v) {
+				t.Errorf("row[%s] = %s, want %s", k, got.Row[k], v)
+			}
+		}
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	if _, err := decodeRecord(nil); err == nil {
+		t.Error("empty payload must fail")
+	}
+	if _, err := decodeRecord([]byte{255, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown type must fail")
+	}
+	// Truncated SetCol payload.
+	full := (walRecord{Type: recSetCol, TxID: 1, Table: "T", Key: "k", Column: "c", Value: sem.Int(1)}).encode()
+	if _, err := decodeRecord(full[:12]); err == nil {
+		t.Error("truncated payload must fail")
+	}
+}
+
+func TestWALAppendRead(t *testing.T) {
+	var buf bytes.Buffer
+	l := newWAL(&buf)
+	recs := []walRecord{
+		{Type: recBegin, TxID: 1},
+		{Type: recSetCol, TxID: 1, Table: "T", Key: "k", Column: "c", Value: sem.Int(5)},
+		{Type: recCommit, TxID: 1},
+	}
+	for i, r := range recs {
+		lsn, err := l.Append(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Errorf("lsn = %d, want %d", lsn, i+1)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if l.LSN() != 3 {
+		t.Errorf("LSN() = %d", l.LSN())
+	}
+	got, err := readWAL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1].Value.Int64() != 5 {
+		t.Fatalf("readWAL = %+v", got)
+	}
+}
+
+func TestWALTornTailTolerated(t *testing.T) {
+	var buf bytes.Buffer
+	l := newWAL(&buf)
+	if _, err := l.Append(walRecord{Type: recBegin, TxID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(walRecord{Type: recCommit, TxID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < 8; cut++ {
+		torn := whole[:len(whole)-cut]
+		got, err := readWAL(bytes.NewReader(torn))
+		if err != nil {
+			t.Fatalf("torn tail (cut %d) must not error: %v", cut, err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("torn tail (cut %d): %d records, want 1", cut, len(got))
+		}
+	}
+}
+
+func TestWALMidLogCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	l := newWAL(&buf)
+	if _, err := l.Append(walRecord{Type: recBegin, TxID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(walRecord{Type: recCommit, TxID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[9] ^= 0xFF // flip a payload byte of the first record
+	_, err := readWAL(bytes.NewReader(b))
+	if !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("got %v, want ErrCorruptWAL", err)
+	}
+}
+
+func TestRecoveryRedoCommittedOnly(t *testing.T) {
+	var buf bytes.Buffer
+	db := Open(Options{WAL: &buf})
+	if err := db.CreateTable(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	tx1 := db.Begin()
+	if err := tx1.Insert(ctx, "Flight", "AZ1", Row{"FreeTickets": sem.Int(10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2 := db.Begin()
+	if err := tx2.Set(ctx, "Flight", "AZ1", "FreeTickets", sem.Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	tx3 := db.Begin()
+	if err := tx3.Set(ctx, "Flight", "AZ1", "FreeTickets", sem.Int(999)); err != nil {
+		t.Fatal(err)
+	}
+	tx3.Rollback() // never logged
+
+	// "Crash": rebuild from the log alone.
+	fresh := Open(Options{})
+	if err := fresh.CreateTable(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fresh.ReplayWAL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("redone %d transactions, want 2", n)
+	}
+	got, err := fresh.ReadCommitted("Flight", "AZ1", "FreeTickets")
+	if err != nil || got.Int64() != 3 {
+		t.Fatalf("recovered value = %s, %v; want 3", got, err)
+	}
+	// New transactions must not reuse recovered ids.
+	if id := fresh.Begin().ID(); id <= 2 {
+		t.Errorf("post-recovery tx id = %d, must exceed recovered ids", id)
+	}
+}
+
+func TestRecoveryMissingTable(t *testing.T) {
+	var buf bytes.Buffer
+	db := Open(Options{WAL: &buf})
+	if err := db.CreateTable(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "Flight", "AZ1", Row{"FreeTickets": sem.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fresh := Open(Options{}) // no tables created
+	if _, err := fresh.ReplayWAL(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("got %v, want ErrNoTable", err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "Flight", "BA9", Row{"FreeTickets": sem.Int(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap bytes.Buffer
+	if err := db.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	fresh := Open(Options{})
+	if err := fresh.CreateTable(testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.ReplayWAL(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := fresh.NumRows("Flight")
+	if n != 2 {
+		t.Fatalf("snapshot restored %d rows, want 2", n)
+	}
+	v, err := fresh.ReadCommitted("Flight", "BA9", "FreeTickets")
+	if err != nil || v.Int64() != 4 {
+		t.Fatalf("restored BA9 = %s, %v", v, err)
+	}
+	v, _ = fresh.ReadCommitted("Flight", "AZ123", "Carrier")
+	if v.Text() != "Alitalia" {
+		t.Fatalf("restored AZ123.Carrier = %s", v)
+	}
+}
+
+// TestWALRoundTripProperty: arbitrary sequences of SetCol records survive a
+// full encode/decode cycle.
+func TestWALRoundTripProperty(t *testing.T) {
+	f := func(tx uint64, key string, vals []int64) bool {
+		var buf bytes.Buffer
+		l := newWAL(&buf)
+		for _, v := range vals {
+			rec := walRecord{Type: recSetCol, TxID: tx, Table: "T", Key: key,
+				Column: "c", Value: sem.Int(v)}
+			if _, err := l.Append(rec); err != nil {
+				return false
+			}
+		}
+		if err := l.Flush(); err != nil {
+			return false
+		}
+		got, err := readWAL(&buf)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if got[i].Value.Int64() != v || got[i].Key != key || got[i].TxID != tx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package sem
+
+import "testing"
+
+func BenchmarkCompatible(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, x := range Classes {
+			for _, y := range Classes {
+				Compatible(x, y)
+			}
+		}
+	}
+}
+
+func BenchmarkOpsConflictSameMember(b *testing.B) {
+	a := Op{Class: Assign, Member: "q"}
+	c := Op{Class: AddSub, Member: "q"}
+	for i := 0; i < b.N; i++ {
+		OpsConflict(a, c, nil)
+	}
+}
+
+func BenchmarkOpsConflictLinkedMembers(b *testing.B) {
+	deps := NewDependencies()
+	deps.Link("q", "p")
+	a := Op{Class: Assign, Member: "q"}
+	c := Op{Class: AddSub, Member: "p"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OpsConflict(a, c, deps)
+	}
+}
+
+func BenchmarkReconcileAddSub(b *testing.B) {
+	r := AddSubReconciler{}
+	read, temp, perm := Int(100), Int(104), Int(102)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Reconcile(read, temp, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconcileMulDiv(b *testing.B) {
+	r := MulDivReconciler{}
+	read, temp, perm := Float(100), Float(200), Float(300)
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Reconcile(read, temp, perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValueAdd(b *testing.B) {
+	x, y := Int(41), Int(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Add(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Package sem implements the operation semantics at the heart of the
+// pre-serialization model: the classes of transaction operations, their
+// compatibility relation (Table I of the paper) and the reconciliation
+// algorithms (Eq. 1 and Eq. 2) that merge the virtual value a transaction
+// worked on with the permanent value committed by compatible concurrent
+// transactions.
+//
+// Two invocation events are compatible (Definition 1) when they refer to the
+// same object data member, they forward-commute in Weihl's sense, and a
+// reconciliation algorithm exists that computes the correct final value from
+// the object and transaction states. For the classes below commutativity
+// holds structurally, so compatibility reduces to a static relation between
+// classes, which is what Table I tabulates.
+package sem
+
+import "fmt"
+
+// Class identifies the semantic class of a set of operations issued by a
+// transaction on one object data member. The paper (Section IV) assumes the
+// class of every operation is known a priori, and that a transaction
+// performs operations of a single class per data member; reads that are
+// "finalized to update" count as the update class.
+type Class uint8
+
+const (
+	// Read covers pure reads, compatible with every class.
+	Read Class = iota
+	// InsertDelete covers insertions and deletions of whole objects;
+	// compatible with no class (not even itself).
+	InsertDelete
+	// Assign covers updates that overwrite the value (X = c); compatible
+	// only with Read.
+	Assign
+	// AddSub covers updates of the form X = X ± c; compatible with itself
+	// and Read, reconciled by Eq. 1.
+	AddSub
+	// MulDiv covers updates of the form X = X·c or X = X/c (c ≠ 0);
+	// compatible with itself and Read, reconciled by Eq. 2.
+	MulDiv
+
+	numClasses = 5
+)
+
+// Classes lists every operation class, in Table I order.
+var Classes = [...]Class{Read, InsertDelete, Assign, AddSub, MulDiv}
+
+// String returns the Table I name of the class.
+func (c Class) String() string {
+	switch c {
+	case Read:
+		return "read"
+	case InsertDelete:
+		return "insert/delete"
+	case Assign:
+		return "update-assign"
+	case AddSub:
+		return "update-add/sub"
+	case MulDiv:
+		return "update-mul/div"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is one of the defined operation classes.
+func (c Class) Valid() bool { return c < numClasses }
+
+// IsUpdate reports whether operations of the class modify the object value.
+func (c Class) IsUpdate() bool { return c != Read }
+
+// compat is Table I as a matrix: compat[a][b] == true iff classes a and b
+// may concurrently hold the same object data member.
+var compat = [numClasses][numClasses]bool{
+	Read:         {Read: true, InsertDelete: true, Assign: true, AddSub: true, MulDiv: true},
+	InsertDelete: {Read: true},
+	Assign:       {Read: true},
+	AddSub:       {Read: true, AddSub: true},
+	MulDiv:       {Read: true, MulDiv: true},
+}
+
+// Compatible reports whether operations of classes a and b are compatible in
+// the sense of Definition 1 (Table I). The relation is symmetric.
+//
+// Note the one asymmetry in the paper's prose: insert/delete is listed as
+// compatible with "no classes" while read is compatible with "all classes".
+// Following Weihl (and the paper's own Table I row for Read), we resolve the
+// pair (Read, InsertDelete) as compatible: a pure read commutes forward with
+// any state transition whose result it does not observe. Callers that want
+// the strict reading can use StrictCompatible.
+func Compatible(a, b Class) bool {
+	if !a.Valid() || !b.Valid() {
+		return false
+	}
+	return compat[a][b] || compat[b][a]
+}
+
+// StrictCompatible is Compatible with the insert/delete row taken literally:
+// insert/delete conflicts with everything, including reads.
+func StrictCompatible(a, b Class) bool {
+	if a == InsertDelete || b == InsertDelete {
+		return false
+	}
+	return Compatible(a, b)
+}
+
+// CompatibleWithAll reports whether class a is compatible with every class
+// in set.
+func CompatibleWithAll(a Class, set []Class) bool {
+	for _, b := range set {
+		if !Compatible(a, b) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package sem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestCompatibilityTable checks every cell of Table I.
+func TestCompatibilityTable(t *testing.T) {
+	cases := []struct {
+		a, b Class
+		want bool
+	}{
+		// Read row: compatible with all classes.
+		{Read, Read, true},
+		{Read, InsertDelete, true},
+		{Read, Assign, true},
+		{Read, AddSub, true},
+		{Read, MulDiv, true},
+		// Insert/Delete row: no update classes, not even itself.
+		{InsertDelete, InsertDelete, false},
+		{InsertDelete, Assign, false},
+		{InsertDelete, AddSub, false},
+		{InsertDelete, MulDiv, false},
+		// Assign row: Read only.
+		{Assign, Assign, false},
+		{Assign, AddSub, false},
+		{Assign, MulDiv, false},
+		// AddSub row: itself and Read.
+		{AddSub, AddSub, true},
+		{AddSub, MulDiv, false},
+		// MulDiv row: itself and Read.
+		{MulDiv, MulDiv, true},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Table I's relation is symmetric.
+		if got := Compatible(c.b, c.a); got != c.want {
+			t.Errorf("Compatible(%s, %s) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestCompatibilitySymmetryProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ca, cb := Class(a%numClasses), Class(b%numClasses)
+		return Compatible(ca, cb) == Compatible(cb, ca)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCompatibleWithAll(t *testing.T) {
+	for _, c := range Classes {
+		if !Compatible(Read, c) {
+			t.Errorf("Read should be compatible with %s", c)
+		}
+	}
+}
+
+func TestStrictCompatible(t *testing.T) {
+	if StrictCompatible(Read, InsertDelete) {
+		t.Error("strict reading: insert/delete conflicts with reads too")
+	}
+	if !StrictCompatible(Read, AddSub) {
+		t.Error("strict reading must not affect other classes")
+	}
+	if !StrictCompatible(AddSub, AddSub) {
+		t.Error("add/sub self-compatibility must survive strict mode")
+	}
+}
+
+func TestInvalidClass(t *testing.T) {
+	bad := Class(200)
+	if bad.Valid() {
+		t.Error("Class(200).Valid() = true")
+	}
+	if Compatible(bad, Read) || Compatible(Read, bad) {
+		t.Error("invalid classes must never be compatible")
+	}
+	if got := bad.String(); got != "Class(200)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCompatibleWithAll(t *testing.T) {
+	if !CompatibleWithAll(AddSub, []Class{Read, AddSub}) {
+		t.Error("AddSub vs {Read, AddSub} should be compatible")
+	}
+	if CompatibleWithAll(AddSub, []Class{Read, Assign}) {
+		t.Error("AddSub vs {Read, Assign} should conflict")
+	}
+	if !CompatibleWithAll(Assign, nil) {
+		t.Error("empty set is always compatible")
+	}
+}
+
+func TestClassStringAndIsUpdate(t *testing.T) {
+	want := map[Class]string{
+		Read:         "read",
+		InsertDelete: "insert/delete",
+		Assign:       "update-assign",
+		AddSub:       "update-add/sub",
+		MulDiv:       "update-mul/div",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+		if c.IsUpdate() != (c != Read) {
+			t.Errorf("%s.IsUpdate() = %v", c, c.IsUpdate())
+		}
+	}
+}

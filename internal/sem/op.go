@@ -1,0 +1,119 @@
+package sem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op describes a set of same-class operations a transaction performs on one
+// data member of one object — the ⟨op⟩ payload of an invocation event
+// ⟨op, X, A⟩. Member is the data member name for structured objects; atomic
+// objects use the empty member "".
+type Op struct {
+	Class  Class
+	Member string
+}
+
+// String renders the op for logs.
+func (o Op) String() string {
+	if o.Member == "" {
+		return o.Class.String()
+	}
+	return fmt.Sprintf("%s(%s)", o.Class, o.Member)
+}
+
+// Dependencies records which data members of an object are "logically
+// dependent" (Section IV): operations on logically dependent members can
+// conflict even though they touch different members, while operations on
+// independent members are always compatible. The zero value treats every
+// member as independent of every other (only same-member ops can conflict),
+// which is the default relaxation the paper proposes.
+type Dependencies struct {
+	group map[string]int
+	next  int
+}
+
+// NewDependencies returns an empty dependency relation.
+func NewDependencies() *Dependencies {
+	return &Dependencies{group: make(map[string]int)}
+}
+
+// Link declares the given members mutually logically dependent. Members may
+// be linked incrementally; Link merges existing groups, so dependence is
+// transitive (quantity↔price linked twice via a shared member ends in one
+// group).
+func (d *Dependencies) Link(members ...string) {
+	if len(members) == 0 {
+		return
+	}
+	if d.group == nil {
+		d.group = make(map[string]int)
+	}
+	// Find an existing group among the members, if any.
+	target := -1
+	for _, m := range members {
+		if g, ok := d.group[m]; ok {
+			target = g
+			break
+		}
+	}
+	if target == -1 {
+		target = d.next
+		d.next++
+	}
+	// Collect groups to merge, then rewrite.
+	merge := make(map[int]bool)
+	for _, m := range members {
+		if g, ok := d.group[m]; ok && g != target {
+			merge[g] = true
+		}
+		d.group[m] = target
+	}
+	if len(merge) > 0 {
+		for m, g := range d.group {
+			if merge[g] {
+				d.group[m] = target
+			}
+		}
+	}
+}
+
+// Dependent reports whether operations on members a and b can interact. The
+// same member always depends on itself; distinct members depend on each
+// other only if linked.
+func (d *Dependencies) Dependent(a, b string) bool {
+	if a == b {
+		return true
+	}
+	if d == nil || d.group == nil {
+		return false
+	}
+	ga, oka := d.group[a]
+	gb, okb := d.group[b]
+	return oka && okb && ga == gb
+}
+
+// Members returns the linked members in deterministic order (for tests and
+// diagnostics).
+func (d *Dependencies) Members() []string {
+	if d == nil {
+		return nil
+	}
+	out := make([]string, 0, len(d.group))
+	for m := range d.group {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpsConflict reports whether two ops on the same object conflict
+// (Definition 2): they are in conflict when their members are logically
+// dependent and their classes are not compatible. A nil deps treats
+// distinct members as independent.
+func OpsConflict(a, b Op, deps *Dependencies) bool {
+	if !deps.Dependent(a.Member, b.Member) {
+		return false
+	}
+	return !Compatible(a.Class, b.Class)
+}

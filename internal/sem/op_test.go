@@ -1,0 +1,100 @@
+package sem
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	if got := (Op{Class: AddSub}).String(); got != "update-add/sub" {
+		t.Errorf("atomic op string = %q", got)
+	}
+	if got := (Op{Class: Assign, Member: "price"}).String(); got != "update-assign(price)" {
+		t.Errorf("member op string = %q", got)
+	}
+}
+
+func TestDependenciesSameMember(t *testing.T) {
+	var d *Dependencies // nil: every member independent of every other
+	if !d.Dependent("a", "a") {
+		t.Error("a member always depends on itself")
+	}
+	if d.Dependent("a", "b") {
+		t.Error("nil Dependencies: distinct members are independent")
+	}
+}
+
+func TestDependenciesLink(t *testing.T) {
+	d := NewDependencies()
+	d.Link("quantity", "price")
+	if !d.Dependent("quantity", "price") || !d.Dependent("price", "quantity") {
+		t.Error("linked members must be dependent (symmetric)")
+	}
+	if d.Dependent("quantity", "color") {
+		t.Error("unlinked member must stay independent")
+	}
+}
+
+func TestDependenciesTransitiveMerge(t *testing.T) {
+	d := NewDependencies()
+	d.Link("a", "b")
+	d.Link("c", "d")
+	if d.Dependent("a", "c") {
+		t.Fatal("separate groups must not be dependent")
+	}
+	d.Link("b", "c") // merges {a,b} and {c,d}
+	for _, pair := range [][2]string{{"a", "c"}, {"a", "d"}, {"b", "d"}} {
+		if !d.Dependent(pair[0], pair[1]) {
+			t.Errorf("after merge, %s and %s must be dependent", pair[0], pair[1])
+		}
+	}
+}
+
+func TestDependenciesMembers(t *testing.T) {
+	d := NewDependencies()
+	d.Link("b", "a")
+	d.Link("c")
+	if got, want := d.Members(), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Members() = %v, want %v", got, want)
+	}
+	var nilDeps *Dependencies
+	if nilDeps.Members() != nil {
+		t.Error("nil deps have no members")
+	}
+}
+
+func TestDependenciesLinkEmptyAndZeroValue(t *testing.T) {
+	var d Dependencies
+	d.Link() // no-op
+	d.Link("x", "y")
+	if !d.Dependent("x", "y") {
+		t.Error("Link on zero-value Dependencies must work")
+	}
+}
+
+func TestOpsConflict(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Op
+		deps func() *Dependencies
+		want bool
+	}{
+		{"same member incompatible", Op{Assign, "q"}, Op{AddSub, "q"}, nil, true},
+		{"same member compatible", Op{AddSub, "q"}, Op{AddSub, "q"}, nil, false},
+		{"different independent members", Op{Assign, "q"}, Op{Assign, "p"}, nil, false},
+		{"different dependent members", Op{Assign, "q"}, Op{Assign, "p"},
+			func() *Dependencies { d := NewDependencies(); d.Link("q", "p"); return d }, true},
+		{"dependent but compatible", Op{AddSub, "q"}, Op{Read, "p"},
+			func() *Dependencies { d := NewDependencies(); d.Link("q", "p"); return d }, false},
+		{"atomic object same empty member", Op{Assign, ""}, Op{AddSub, ""}, nil, true},
+	}
+	for _, c := range cases {
+		var deps *Dependencies
+		if c.deps != nil {
+			deps = c.deps()
+		}
+		if got := OpsConflict(c.a, c.b, deps); got != c.want {
+			t.Errorf("%s: OpsConflict(%s, %s) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoReconciler is returned when a class has no reconciliation algorithm
+// (which, by Definition 1, also means it can never run concurrently with
+// another update class — the trivial last-value reconciler is used instead).
+var ErrNoReconciler = errors.New("sem: no reconciler for class")
+
+// Reconciler computes the value to store in the database when a transaction
+// commits, from the triple the paper's ρ procedure receives (Algorithm 3):
+//
+//	read      — X_read^A: the permanent value when A first accessed X
+//	temp      — A_temp^X: the virtual value A produced
+//	permanent — X_permanent: the current committed value (possibly advanced
+//	            by compatible transactions that committed while A ran)
+type Reconciler interface {
+	// Reconcile returns X_new^A.
+	Reconcile(read, temp, permanent Value) (Value, error)
+}
+
+// ReconcilerFunc adapts a function to the Reconciler interface.
+type ReconcilerFunc func(read, temp, permanent Value) (Value, error)
+
+// Reconcile calls f.
+func (f ReconcilerFunc) Reconcile(read, temp, permanent Value) (Value, error) {
+	return f(read, temp, permanent)
+}
+
+// AddSubReconciler implements Eq. 1:
+//
+//	X_new^A = A_temp^X + X_permanent − X_read^A
+//
+// i.e. A's net delta (temp − read) is re-applied on top of whatever the
+// permanent value has become.
+type AddSubReconciler struct{}
+
+// Reconcile applies Eq. 1.
+func (AddSubReconciler) Reconcile(read, temp, permanent Value) (Value, error) {
+	sum, err := temp.Add(permanent)
+	if err != nil {
+		return Value{}, fmt.Errorf("eq1: %w", err)
+	}
+	out, err := sum.Sub(read)
+	if err != nil {
+		return Value{}, fmt.Errorf("eq1: %w", err)
+	}
+	return out, nil
+}
+
+// MulDivReconciler implements Eq. 2:
+//
+//	X_new^A = (A_temp^X / X_read^A) · X_permanent
+//
+// i.e. A's net scale factor (temp / read) is re-applied on top of the
+// current permanent value. For integer operands the result is kept integral
+// when it is exactly integral.
+type MulDivReconciler struct{}
+
+// Reconcile applies Eq. 2.
+func (MulDivReconciler) Reconcile(read, temp, permanent Value) (Value, error) {
+	if !read.IsNumeric() || !temp.IsNumeric() || !permanent.IsNumeric() {
+		return Value{}, fmt.Errorf("eq2: non-numeric operand (read=%s temp=%s permanent=%s)",
+			read, temp, permanent)
+	}
+	if read.Float64() == 0 {
+		return Value{}, fmt.Errorf("eq2: X_read is zero; scale factor undefined")
+	}
+	f := temp.Float64() / read.Float64() * permanent.Float64()
+	wantInt := read.Kind() == KindInt64 && temp.Kind() == KindInt64 && permanent.Kind() == KindInt64
+	return asIntIfIntegral(f, wantInt), nil
+}
+
+// LastValueReconciler is the trivial reconciler for classes that exclude all
+// concurrent updates (assign, insert/delete): the permanent value cannot
+// have moved while the transaction held the member, so the virtual value is
+// stored as-is.
+type LastValueReconciler struct{}
+
+// Reconcile returns temp unchanged.
+func (LastValueReconciler) Reconcile(_, temp, _ Value) (Value, error) { return temp, nil }
+
+// ReadReconciler is used for pure reads: committing a read never changes the
+// permanent value.
+type ReadReconciler struct{}
+
+// Reconcile returns the permanent value unchanged.
+func (ReadReconciler) Reconcile(_, _, permanent Value) (Value, error) { return permanent, nil }
+
+// ReconcilerFor returns the reconciliation algorithm associated with an
+// operation class.
+func ReconcilerFor(c Class) (Reconciler, error) {
+	switch c {
+	case Read:
+		return ReadReconciler{}, nil
+	case AddSub:
+		return AddSubReconciler{}, nil
+	case MulDiv:
+		return MulDivReconciler{}, nil
+	case Assign, InsertDelete:
+		return LastValueReconciler{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %s", ErrNoReconciler, c)
+	}
+}
+
+// MustReconcilerFor is ReconcilerFor for the statically known classes; it
+// panics on an invalid class.
+func MustReconcilerFor(c Class) Reconciler {
+	r, err := ReconcilerFor(c)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,211 @@
+package sem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableIIReconciliationTrace replays the exact trace of Table II:
+// transactions A (+1 then +3) and B (+2) run concurrently on X = 100;
+// A's reconciliation yields 104, B's (computed after A's global commit)
+// yields 106.
+func TestTableIIReconciliationTrace(t *testing.T) {
+	r := AddSubReconciler{}
+
+	permanent := Int(100)
+
+	// A: read X (read=temp=100), X=X+1, X=X+3 → temp 104.
+	aRead := permanent
+	aTemp := aRead
+	var err error
+	if aTemp, err = aTemp.Add(Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if aTemp, err = aTemp.Add(Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := aTemp.Int64(); got != 104 {
+		t.Fatalf("A_temp = %d, want 104", got)
+	}
+
+	// B: read X while A is pending (read=temp=100), X=X+2 → temp 102.
+	bRead := permanent
+	bTemp, err := bRead.Add(Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bTemp.Int64(); got != 102 {
+		t.Fatalf("B_temp = %d, want 102", got)
+	}
+
+	// A requests commit first: X_new^A = 104 + 100 − 100 = 104.
+	aNew, err := r.Reconcile(aRead, aTemp, permanent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := aNew.Int64(); got != 104 {
+		t.Fatalf("X_new^A = %d, want 104", got)
+	}
+	permanent = aNew // global commit of A
+
+	// B requests commit next: X_new^B = 102 + 104 − 100 = 106.
+	bNew, err := r.Reconcile(bRead, bTemp, permanent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bNew.Int64(); got != 106 {
+		t.Fatalf("X_new^B = %d, want 106", got)
+	}
+}
+
+func TestEq1IntAndFloat(t *testing.T) {
+	r := AddSubReconciler{}
+	got, err := r.Reconcile(Int(10), Int(7), Int(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 22 || got.Kind() != KindInt64 {
+		t.Errorf("int Eq1 = %s, want 22", got)
+	}
+	gf, err := r.Reconcile(Float(10), Float(7.5), Float(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.Float64() != 22.5 {
+		t.Errorf("float Eq1 = %s, want 22.5", gf)
+	}
+}
+
+func TestEq1NonNumeric(t *testing.T) {
+	r := AddSubReconciler{}
+	if _, err := r.Reconcile(Str("x"), Int(1), Int(2)); err == nil {
+		t.Error("expected error reconciling string read value")
+	}
+	if _, err := r.Reconcile(Int(1), Str("x"), Int(2)); err == nil {
+		t.Error("expected error reconciling string temp value")
+	}
+}
+
+func TestEq2(t *testing.T) {
+	r := MulDivReconciler{}
+	// A doubled X (100 → 200); a compatible transaction meanwhile moved the
+	// permanent value to 300. Final = (200/100)·300 = 600.
+	got, err := r.Reconcile(Int(100), Int(200), Int(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 600 || got.Kind() != KindInt64 {
+		t.Errorf("Eq2 = %s, want int 600", got)
+	}
+	// Non-integral scale stays float: halved 5 → 2.5 over permanent 7 → 3.5.
+	got, err = r.Reconcile(Int(5), Float(2.5), Int(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Float64() != 3.5 {
+		t.Errorf("Eq2 = %s, want 3.5", got)
+	}
+}
+
+func TestEq2Errors(t *testing.T) {
+	r := MulDivReconciler{}
+	if _, err := r.Reconcile(Int(0), Int(10), Int(5)); err == nil {
+		t.Error("zero X_read must be rejected")
+	}
+	if _, err := r.Reconcile(Str("a"), Int(10), Int(5)); err == nil {
+		t.Error("non-numeric operand must be rejected")
+	}
+}
+
+func TestLastValueAndReadReconcilers(t *testing.T) {
+	lv, err := LastValueReconciler{}.Reconcile(Int(1), Int(42), Int(99))
+	if err != nil || lv.Int64() != 42 {
+		t.Errorf("LastValue = %s, %v; want 42", lv, err)
+	}
+	rr, err := ReadReconciler{}.Reconcile(Int(1), Int(42), Int(99))
+	if err != nil || rr.Int64() != 99 {
+		t.Errorf("Read = %s, %v; want 99", rr, err)
+	}
+}
+
+func TestReconcilerFor(t *testing.T) {
+	for _, c := range Classes {
+		r, err := ReconcilerFor(c)
+		if err != nil || r == nil {
+			t.Errorf("ReconcilerFor(%s) = %v, %v", c, r, err)
+		}
+	}
+	if _, err := ReconcilerFor(Class(99)); err == nil {
+		t.Error("invalid class must have no reconciler")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustReconcilerFor(invalid) must panic")
+		}
+	}()
+	MustReconcilerFor(Class(99))
+}
+
+// TestEq1CommutesProperty: for any interleaving of two add/sub transactions,
+// reconciling in either commit order yields initial + both deltas — the
+// forward-commutativity that justifies Table I's AddSub self-compatibility.
+func TestEq1CommutesProperty(t *testing.T) {
+	r := AddSubReconciler{}
+	f := func(x0, da, db int32) bool {
+		perm := Int(int64(x0))
+		aRead, bRead := perm, perm
+		aTemp, _ := aRead.Add(Int(int64(da)))
+		bTemp, _ := bRead.Add(Int(int64(db)))
+
+		// Order 1: A then B.
+		an, _ := r.Reconcile(aRead, aTemp, perm)
+		bn, _ := r.Reconcile(bRead, bTemp, an)
+		// Order 2: B then A.
+		bn2, _ := r.Reconcile(bRead, bTemp, perm)
+		an2, _ := r.Reconcile(aRead, aTemp, bn2)
+
+		want := int64(x0) + int64(da) + int64(db)
+		return bn.Int64() == want && an2.Int64() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEq2CommutesProperty: same for mul/div with float values.
+func TestEq2CommutesProperty(t *testing.T) {
+	r := MulDivReconciler{}
+	f := func(seedX, seedA, seedB uint8) bool {
+		x0 := 1 + float64(seedX)
+		fa := 0.5 + float64(seedA)/16
+		fb := 0.5 + float64(seedB)/16
+		perm := Float(x0)
+		aTemp := Float(x0 * fa)
+		bTemp := Float(x0 * fb)
+
+		an, err := r.Reconcile(perm, aTemp, perm)
+		if err != nil {
+			return false
+		}
+		bn, err := r.Reconcile(perm, bTemp, an)
+		if err != nil {
+			return false
+		}
+		want := x0 * fa * fb
+		return math.Abs(bn.Float64()-want) < 1e-6*math.Abs(want)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconcilerFunc(t *testing.T) {
+	fn := ReconcilerFunc(func(read, temp, permanent Value) (Value, error) {
+		return temp, nil
+	})
+	got, err := fn.Reconcile(Int(1), Int(2), Int(3))
+	if err != nil || got.Int64() != 2 {
+		t.Errorf("ReconcilerFunc = %s, %v", got, err)
+	}
+}

@@ -1,0 +1,218 @@
+package sem
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind discriminates the dynamic type of a Value.
+type Kind uint8
+
+const (
+	// KindNull is the zero Value, also used for deleted/absent members.
+	KindNull Kind = iota
+	// KindInt64 is a 64-bit signed integer value.
+	KindInt64
+	// KindFloat64 is a double-precision floating point value.
+	KindFloat64
+	// KindString is a string value (read/assign/insert-delete classes only).
+	KindString
+)
+
+// String returns the name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is the dynamically typed value stored in an object data member. The
+// zero Value is null. Values are immutable; all arithmetic returns fresh
+// Values.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the null Value.
+func Null() Value { return Value{} }
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: KindInt64, i: v} }
+
+// Float returns a floating point Value.
+func Float(v float64) Value { return Value{kind: KindFloat64, f: v} }
+
+// Str returns a string Value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Kind returns the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsNumeric reports whether the value is an int64 or float64.
+func (v Value) IsNumeric() bool { return v.kind == KindInt64 || v.kind == KindFloat64 }
+
+// Int64 returns the integer payload; it is zero unless Kind is KindInt64.
+func (v Value) Int64() int64 { return v.i }
+
+// Float64 returns the value as a float64, converting integers. It is zero
+// for non-numeric values.
+func (v Value) Float64() float64 {
+	if v.kind == KindInt64 {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Text returns the string payload; it is empty unless Kind is KindString.
+func (v Value) Text() string { return v.s }
+
+// Equal reports whether two values have the same kind and payload. Integer
+// and float values never compare equal even when numerically identical;
+// use Float64 for numeric comparison.
+func (v Value) Equal(o Value) bool { return v == o }
+
+// String renders the value for logs and experiment tables.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "⊥"
+	case KindInt64:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	default:
+		return "?"
+	}
+}
+
+// errKind builds the error for an arithmetic operation applied to a value of
+// the wrong kind.
+func errKind(op string, v Value) error {
+	return fmt.Errorf("sem: %s applied to %s value %s", op, v.kind, v)
+}
+
+// Add returns v + c for numeric values. A null receiver adopts c's kind with
+// a zero base, which lets add/sub transactions initialize absent counters.
+func (v Value) Add(c Value) (Value, error) {
+	if !c.IsNumeric() {
+		return Value{}, errKind("add", c)
+	}
+	if v.IsNull() {
+		return c, nil
+	}
+	if !v.IsNumeric() {
+		return Value{}, errKind("add", v)
+	}
+	if v.kind == KindInt64 && c.kind == KindInt64 {
+		return Int(v.i + c.i), nil
+	}
+	return Float(v.Float64() + c.Float64()), nil
+}
+
+// Sub returns v − c for numeric values.
+func (v Value) Sub(c Value) (Value, error) {
+	if !v.IsNumeric() || !c.IsNumeric() {
+		if !v.IsNumeric() {
+			return Value{}, errKind("sub", v)
+		}
+		return Value{}, errKind("sub", c)
+	}
+	if v.kind == KindInt64 && c.kind == KindInt64 {
+		return Int(v.i - c.i), nil
+	}
+	return Float(v.Float64() - c.Float64()), nil
+}
+
+// Mul returns v · c for numeric values.
+func (v Value) Mul(c Value) (Value, error) {
+	if !v.IsNumeric() || !c.IsNumeric() {
+		if !v.IsNumeric() {
+			return Value{}, errKind("mul", v)
+		}
+		return Value{}, errKind("mul", c)
+	}
+	if v.kind == KindInt64 && c.kind == KindInt64 {
+		return Int(v.i * c.i), nil
+	}
+	return Float(v.Float64() * c.Float64()), nil
+}
+
+// Div returns v / c for numeric values; c must be non-zero (the paper
+// requires c ≠ 0 for the mul/div class). Integer division that loses
+// precision is promoted to float, so that Eq. 2 reconciliation stays exact.
+func (v Value) Div(c Value) (Value, error) {
+	if !v.IsNumeric() || !c.IsNumeric() {
+		if !v.IsNumeric() {
+			return Value{}, errKind("div", v)
+		}
+		return Value{}, errKind("div", c)
+	}
+	if c.Float64() == 0 {
+		return Value{}, fmt.Errorf("sem: division by zero")
+	}
+	if v.kind == KindInt64 && c.kind == KindInt64 && c.i != 0 && v.i%c.i == 0 {
+		return Int(v.i / c.i), nil
+	}
+	return Float(v.Float64() / c.Float64()), nil
+}
+
+// Compare orders two numeric values: −1, 0 or +1. Non-numeric values order
+// by kind then payload so the function is total (needed by constraint
+// evaluation and deterministic iteration).
+func (v Value) Compare(o Value) int {
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.Float64(), o.Float64()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	if v.kind == KindString {
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+	}
+	return 0
+}
+
+// asIntIfIntegral converts a float result back to int when the inputs were
+// ints and the result is integral, keeping int columns int across Eq. 2.
+func asIntIfIntegral(f float64, wantInt bool) Value {
+	if wantInt {
+		if r := math.Round(f); r == f && !math.IsInf(f, 0) {
+			return Int(int64(r))
+		}
+	}
+	return Float(f)
+}

@@ -1,0 +1,141 @@
+package sem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() || Null().Kind() != KindNull {
+		t.Error("Null() malformed")
+	}
+	if v := Int(7); v.Kind() != KindInt64 || v.Int64() != 7 || !v.IsNumeric() {
+		t.Errorf("Int(7) = %#v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat64 || v.Float64() != 2.5 || !v.IsNumeric() {
+		t.Errorf("Float(2.5) = %#v", v)
+	}
+	if v := Str("hi"); v.Kind() != KindString || v.Text() != "hi" || v.IsNumeric() {
+		t.Errorf("Str = %#v", v)
+	}
+	if Int(3).Float64() != 3.0 {
+		t.Error("Int.Float64 conversion")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"⊥":     Null(),
+		"42":    Int(42),
+		"2.5":   Float(2.5),
+		`"ab"`:  Str("ab"),
+		"-7":    Int(-7),
+		"1e+20": Float(1e20),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", v.Kind(), got, want)
+		}
+	}
+}
+
+func TestValueArithmetic(t *testing.T) {
+	add, err := Int(4).Add(Int(3))
+	if err != nil || add.Int64() != 7 {
+		t.Errorf("4+3 = %s, %v", add, err)
+	}
+	sub, err := Int(4).Sub(Int(9))
+	if err != nil || sub.Int64() != -5 {
+		t.Errorf("4-9 = %s, %v", sub, err)
+	}
+	mul, err := Int(4).Mul(Int(3))
+	if err != nil || mul.Int64() != 12 {
+		t.Errorf("4*3 = %s, %v", mul, err)
+	}
+	div, err := Int(12).Div(Int(3))
+	if err != nil || div.Int64() != 4 || div.Kind() != KindInt64 {
+		t.Errorf("12/3 = %s, %v", div, err)
+	}
+	// Non-divisible integers promote to float.
+	div, err = Int(7).Div(Int(2))
+	if err != nil || div.Float64() != 3.5 || div.Kind() != KindFloat64 {
+		t.Errorf("7/2 = %s, %v", div, err)
+	}
+	// Mixed kinds promote to float.
+	mix, err := Int(1).Add(Float(0.5))
+	if err != nil || mix.Kind() != KindFloat64 || mix.Float64() != 1.5 {
+		t.Errorf("1+0.5 = %s, %v", mix, err)
+	}
+}
+
+func TestValueArithmeticErrors(t *testing.T) {
+	if _, err := Str("a").Add(Int(1)); err == nil {
+		t.Error("string+int must fail")
+	}
+	if _, err := Int(1).Add(Str("a")); err == nil {
+		t.Error("int+string must fail")
+	}
+	if _, err := Int(1).Sub(Str("a")); err == nil {
+		t.Error("int-string must fail")
+	}
+	if _, err := Str("a").Mul(Int(2)); err == nil {
+		t.Error("string*int must fail")
+	}
+	if _, err := Int(1).Div(Int(0)); err == nil {
+		t.Error("division by zero must fail")
+	}
+	if _, err := Int(1).Div(Float(0)); err == nil {
+		t.Error("division by 0.0 must fail")
+	}
+}
+
+func TestNullAddAdoptsKind(t *testing.T) {
+	got, err := Null().Add(Int(5))
+	if err != nil || got.Int64() != 5 {
+		t.Errorf("null+5 = %s, %v", got, err)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if Int(1).Compare(Int(2)) != -1 || Int(2).Compare(Int(1)) != 1 || Int(2).Compare(Int(2)) != 0 {
+		t.Error("int ordering broken")
+	}
+	if Int(2).Compare(Float(2.0)) != 0 {
+		t.Error("numeric cross-kind comparison should be by value")
+	}
+	if Str("a").Compare(Str("b")) != -1 || Str("b").Compare(Str("a")) != 1 || Str("a").Compare(Str("a")) != 0 {
+		t.Error("string ordering broken")
+	}
+	if Null().Compare(Str("a")) != -1 {
+		t.Error("null orders before strings by kind")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(5).Equal(Int(5)) {
+		t.Error("Int(5) != Int(5)")
+	}
+	if Int(5).Equal(Float(5)) {
+		t.Error("Equal must be kind-sensitive")
+	}
+}
+
+func TestAddSubRoundTripProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		s, err1 := Int(int64(a)).Add(Int(int64(b)))
+		r, err2 := s.Sub(Int(int64(b)))
+		return err1 == nil && err2 == nil && r.Int64() == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		return Int(int64(a)).Compare(Int(int64(b))) == -Int(int64(b)).Compare(Int(int64(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package serialgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchSchedule builds a random schedule of n operations by t transactions
+// over o objects.
+func benchSchedule(n, t, o int, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = Op{
+			Tx:     fmt.Sprintf("T%d", rng.Intn(t)),
+			Object: fmt.Sprintf("O%d", rng.Intn(o)),
+			Access: Access(rng.Intn(2)),
+			Step:   i,
+		}
+	}
+	return out
+}
+
+func BenchmarkBuildAndCycle(b *testing.B) {
+	sched := benchSchedule(500, 50, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := Build(sched, nil)
+		g.Cycle()
+	}
+}
+
+func BenchmarkSerialOrder(b *testing.B) {
+	// A serial schedule (acyclic by construction).
+	var sched []Op
+	step := 0
+	for t := 0; t < 50; t++ {
+		for k := 0; k < 10; k++ {
+			step++
+			sched = append(sched, Op{
+				Tx: fmt.Sprintf("T%02d", t), Object: fmt.Sprintf("O%d", k), Access: Write, Step: step,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := Build(sched, nil)
+		if _, err := g.SerialOrder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package serialgraph builds conflict (serialization) graphs from operation
+// schedules and detects cycles. It is the test oracle used to check that
+// the schedules produced by the GTM and by the baseline 2PL scheduler are
+// serializable: classical read/write conflicts by default, with a pluggable
+// commutativity relation so semantically compatible operations (which
+// commute under reconciliation) do not induce edges.
+package serialgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Access is the kind of access an operation performs.
+type Access uint8
+
+// Access kinds.
+const (
+	// Read observes the object.
+	Read Access = iota
+	// Write mutates the object.
+	Write
+)
+
+// String names the access.
+func (a Access) String() string {
+	if a == Read {
+		return "r"
+	}
+	return "w"
+}
+
+// Op is one scheduled operation. Step is the global position of the
+// operation in the schedule (any strictly increasing order works: event
+// counters, LSNs, commit sequence numbers).
+type Op struct {
+	Tx     string
+	Object string
+	Access Access
+	Step   int
+	// Tag optionally carries the semantic class, consumed by custom
+	// conflict functions.
+	Tag string
+}
+
+// ConflictFunc decides whether two operations on the same object by
+// different transactions conflict (induce a precedence edge).
+type ConflictFunc func(a, b Op) bool
+
+// RWConflict is the classical relation: two operations conflict unless both
+// are reads.
+func RWConflict(a, b Op) bool {
+	return a.Access == Write || b.Access == Write
+}
+
+// TagCommutes builds a conflict function that, on top of RWConflict,
+// declares write pairs with equal non-empty tags non-conflicting (e.g. two
+// "add/sub" writes commute under reconciliation).
+func TagCommutes(a, b Op) bool {
+	if !RWConflict(a, b) {
+		return false
+	}
+	if a.Access == Write && b.Access == Write && a.Tag != "" && a.Tag == b.Tag {
+		return false
+	}
+	return true
+}
+
+// Graph is a conflict graph over transactions.
+type Graph struct {
+	nodes map[string]bool
+	succ  map[string]map[string]bool
+}
+
+// Build constructs the conflict graph of a schedule. conflict may be nil,
+// defaulting to RWConflict. Edges point from the earlier operation's
+// transaction to the later one's.
+func Build(schedule []Op, conflict ConflictFunc) *Graph {
+	if conflict == nil {
+		conflict = RWConflict
+	}
+	ordered := make([]Op, len(schedule))
+	copy(ordered, schedule)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Step < ordered[j].Step })
+
+	g := &Graph{nodes: make(map[string]bool), succ: make(map[string]map[string]bool)}
+	for _, op := range ordered {
+		g.nodes[op.Tx] = true
+	}
+	for i, a := range ordered {
+		for _, b := range ordered[i+1:] {
+			if a.Tx == b.Tx || a.Object != b.Object {
+				continue
+			}
+			if conflict(a, b) {
+				g.addEdge(a.Tx, b.Tx)
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addEdge(from, to string) {
+	m := g.succ[from]
+	if m == nil {
+		m = make(map[string]bool)
+		g.succ[from] = m
+	}
+	m[to] = true
+}
+
+// Nodes returns the transactions in sorted order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns the precedence edges in sorted order.
+func (g *Graph) Edges() [][2]string {
+	var out [][2]string
+	for from, tos := range g.succ {
+		for to := range tos {
+			out = append(out, [2]string{from, to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// HasEdge reports whether from precedes to.
+func (g *Graph) HasEdge(from, to string) bool { return g.succ[from][to] }
+
+// Cycle returns a cycle as a list of transactions (first == last), or nil
+// if the graph is acyclic — i.e. the schedule is conflict-serializable.
+func (g *Graph) Cycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(g.nodes))
+	parent := make(map[string]string)
+
+	var cycle []string
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		color[n] = gray
+		// Deterministic order for stable test output.
+		next := make([]string, 0, len(g.succ[n]))
+		for s := range g.succ[n] {
+			next = append(next, s)
+		}
+		sort.Strings(next)
+		for _, s := range next {
+			switch color[s] {
+			case white:
+				parent[s] = n
+				if dfs(s) {
+					return true
+				}
+			case gray:
+				// Found a back edge n → s: unwind.
+				cycle = []string{s}
+				for cur := n; cur != s; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				cycle = append(cycle, s)
+				reverse(cycle)
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range g.Nodes() {
+		if color[n] == white && dfs(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Serializable reports whether the graph is acyclic.
+func (g *Graph) Serializable() bool { return g.Cycle() == nil }
+
+// SerialOrder returns a topological order of the transactions — an
+// equivalent serial schedule — or an error when the graph is cyclic.
+func (g *Graph) SerialOrder() ([]string, error) {
+	indeg := make(map[string]int, len(g.nodes))
+	for n := range g.nodes {
+		indeg[n] = 0
+	}
+	for _, tos := range g.succ {
+		for to := range tos {
+			indeg[to]++
+		}
+	}
+	// Min-heap by name for determinism; a sorted slice is fine at our sizes.
+	var ready []string
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Strings(ready)
+	var out []string
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		var woke []string
+		for to := range g.succ[n] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				woke = append(woke, to)
+			}
+		}
+		sort.Strings(woke)
+		ready = append(ready, woke...)
+		sort.Strings(ready)
+	}
+	if len(out) != len(g.nodes) {
+		return nil, fmt.Errorf("serialgraph: schedule not serializable (cycle %v)", g.Cycle())
+	}
+	return out, nil
+}
+
+func reverse(s []string) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,179 @@
+package serialgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSerializableSchedule(t *testing.T) {
+	// r1(X) w1(X) r2(X) w2(X): T1 → T2, acyclic.
+	s := []Op{
+		{Tx: "T1", Object: "X", Access: Read, Step: 1},
+		{Tx: "T1", Object: "X", Access: Write, Step: 2},
+		{Tx: "T2", Object: "X", Access: Read, Step: 3},
+		{Tx: "T2", Object: "X", Access: Write, Step: 4},
+	}
+	g := Build(s, nil)
+	if !g.Serializable() {
+		t.Fatal("serial schedule flagged non-serializable")
+	}
+	order, err := g.SerialOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []string{"T1", "T2"}) {
+		t.Errorf("order = %v", order)
+	}
+	if !g.HasEdge("T1", "T2") || g.HasEdge("T2", "T1") {
+		t.Errorf("edges = %v", g.Edges())
+	}
+}
+
+func TestNonSerializableSchedule(t *testing.T) {
+	// r1(X) r2(X) w2(X) w1(X): T1 → T2 (r1 before w2) and T2 → T1.
+	s := []Op{
+		{Tx: "T1", Object: "X", Access: Read, Step: 1},
+		{Tx: "T2", Object: "X", Access: Read, Step: 2},
+		{Tx: "T2", Object: "X", Access: Write, Step: 3},
+		{Tx: "T1", Object: "X", Access: Write, Step: 4},
+	}
+	g := Build(s, nil)
+	if g.Serializable() {
+		t.Fatal("lost-update schedule flagged serializable")
+	}
+	cyc := g.Cycle()
+	if len(cyc) < 3 || cyc[0] != cyc[len(cyc)-1] {
+		t.Errorf("cycle = %v", cyc)
+	}
+	if _, err := g.SerialOrder(); err == nil {
+		t.Error("SerialOrder must fail on a cycle")
+	}
+}
+
+func TestReadsDoNotConflict(t *testing.T) {
+	s := []Op{
+		{Tx: "T1", Object: "X", Access: Read, Step: 1},
+		{Tx: "T2", Object: "X", Access: Read, Step: 2},
+		{Tx: "T1", Object: "X", Access: Read, Step: 3},
+	}
+	g := Build(s, nil)
+	if len(g.Edges()) != 0 {
+		t.Errorf("read-only schedule has edges: %v", g.Edges())
+	}
+}
+
+func TestDifferentObjectsDoNotConflict(t *testing.T) {
+	s := []Op{
+		{Tx: "T1", Object: "X", Access: Write, Step: 1},
+		{Tx: "T2", Object: "Y", Access: Write, Step: 2},
+	}
+	g := Build(s, nil)
+	if len(g.Edges()) != 0 {
+		t.Errorf("edges = %v", g.Edges())
+	}
+}
+
+func TestTagCommutes(t *testing.T) {
+	// Interleaved add/sub writes commute under reconciliation: with
+	// TagCommutes the lost-update pattern is fine.
+	s := []Op{
+		{Tx: "T1", Object: "X", Access: Write, Step: 1, Tag: "add"},
+		{Tx: "T2", Object: "X", Access: Write, Step: 2, Tag: "add"},
+		{Tx: "T1", Object: "X", Access: Write, Step: 3, Tag: "add"},
+	}
+	if !Build(s, TagCommutes).Serializable() {
+		t.Error("commuting adds must not form edges")
+	}
+	if Build(s, nil).Serializable() {
+		t.Error("without commutativity the same schedule must cycle")
+	}
+	// Different tags conflict.
+	s[1].Tag = "assign"
+	if Build(s, TagCommutes).Serializable() {
+		t.Error("add vs assign writes must conflict")
+	}
+	// Empty tags conflict.
+	s[1].Tag = ""
+	if g := Build(s[:2], TagCommutes); len(g.Edges()) != 1 {
+		t.Error("empty-tag writes must conflict")
+	}
+}
+
+func TestThreeNodeCycle(t *testing.T) {
+	s := []Op{
+		{Tx: "A", Object: "X", Access: Write, Step: 1},
+		{Tx: "B", Object: "X", Access: Write, Step: 2}, // A→B
+		{Tx: "B", Object: "Y", Access: Write, Step: 3},
+		{Tx: "C", Object: "Y", Access: Write, Step: 4}, // B→C
+		{Tx: "C", Object: "Z", Access: Write, Step: 5},
+		{Tx: "A", Object: "Z", Access: Write, Step: 6}, // C→A
+	}
+	g := Build(s, nil)
+	cyc := g.Cycle()
+	if cyc == nil {
+		t.Fatal("three-node cycle not found")
+	}
+	if len(cyc) != 4 {
+		t.Errorf("cycle = %v, want length 4 (A B C A)", cyc)
+	}
+}
+
+func TestNodesAndAccessString(t *testing.T) {
+	g := Build([]Op{
+		{Tx: "B", Object: "X", Access: Write, Step: 1},
+		{Tx: "A", Object: "X", Access: Read, Step: 2},
+	}, nil)
+	if !reflect.DeepEqual(g.Nodes(), []string{"A", "B"}) {
+		t.Errorf("nodes = %v", g.Nodes())
+	}
+	if Read.String() != "r" || Write.String() != "w" {
+		t.Error("Access.String broken")
+	}
+}
+
+func TestStepOrderIndependence(t *testing.T) {
+	// Build must sort by Step: shuffled input gives the same graph.
+	ops := []Op{
+		{Tx: "T1", Object: "X", Access: Write, Step: 10},
+		{Tx: "T2", Object: "X", Access: Write, Step: 20},
+		{Tx: "T3", Object: "X", Access: Write, Step: 30},
+	}
+	want := Build(ops, nil).Edges()
+	shuffled := []Op{ops[2], ops[0], ops[1]}
+	if got := Build(shuffled, nil).Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("shuffled edges = %v, want %v", got, want)
+	}
+}
+
+// TestSerialScheduleAlwaysSerializableProperty: schedules formed by
+// concatenating whole transactions (a serial execution) are serializable
+// for any operation mix.
+func TestSerialScheduleAlwaysSerializableProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var sched []Op
+		step := 0
+		for txn := 0; txn < 6; txn++ {
+			id := fmt.Sprintf("T%d", txn)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				step++
+				sched = append(sched, Op{
+					Tx:     id,
+					Object: fmt.Sprintf("O%d", rng.Intn(3)),
+					Access: Access(rng.Intn(2)),
+					Step:   step,
+				})
+			}
+		}
+		g := Build(sched, nil)
+		if !g.Serializable() {
+			t.Fatalf("seed %d: serial schedule not serializable; edges %v", seed, g.Edges())
+		}
+		order, err := g.SerialOrder()
+		if err != nil || len(order) == 0 {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"testing"
+
+	"preserial/internal/workload"
+)
+
+// BenchmarkRunGTMEmulation measures the full discrete-event GTM emulation
+// of a 500-transaction VI.B population.
+func BenchmarkRunGTMEmulation(b *testing.B) {
+	p := workload.DefaultParams()
+	p.N = 500
+	specs, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunGTM(specs, GTMConfig{Objects: p.Objects, InitialValue: 1_000_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p.N), "tx/op")
+}
+
+// BenchmarkRunTwoPLEmulation is the baseline counterpart.
+func BenchmarkRunTwoPLEmulation(b *testing.B) {
+	p := workload.DefaultParams()
+	p.N = 500
+	specs, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunTwoPL(specs, TwoPLConfig{Objects: p.Objects, InitialValue: 1_000_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p.N), "tx/op")
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"preserial/internal/clock"
+	"preserial/internal/core"
+	"preserial/internal/sem"
+	"preserial/internal/twopl"
+	"preserial/internal/workload"
+)
+
+// Multi-object emulation: the Section II travel agency as a workload. An
+// itinerary books several resources (flight, hotel, museum, car) with
+// think time between steps — a long-running transaction spanning multiple
+// objects. Under the GTM the bookings commute and proceed concurrently;
+// under 2PL the cross-object exclusive locks produce waits and genuine
+// deadlocks, which the wait-for-graph check resolves by aborting the
+// requester.
+
+// itinObjectID names the object for a step kind and index.
+func itinObjectID(k workload.StepKind, i int) string {
+	return fmt.Sprintf("%s%d", k, i)
+}
+
+// itinRef is the store location backing an itinerary object.
+func itinRef(k workload.StepKind, i int) core.StoreRef {
+	return core.StoreRef{Table: "Stock", Key: itinObjectID(k, i), Column: "v"}
+}
+
+// ItineraryConfig configures the multi-object runs.
+type ItineraryConfig struct {
+	PerKind      int   // resources per kind (flights, hotels, …)
+	InitialStock int64 // seats/rooms per resource
+	// Options extends the GTM configuration (ignored by the 2PL run).
+	Options []core.Option
+	// SleepTimeout is the 2PL supervision timeout (ignored by the GTM run).
+	SleepTimeout time.Duration
+}
+
+func (cfg ItineraryConfig) validate() error {
+	if cfg.PerKind <= 0 {
+		return fmt.Errorf("sim: PerKind = %d", cfg.PerKind)
+	}
+	return nil
+}
+
+// allItinKinds lists the resource kinds.
+var allItinKinds = []workload.StepKind{
+	workload.BookFlight, workload.BookHotel, workload.BookMuseum, workload.RentCar,
+}
+
+// RunItinerariesGTM drives the itinerary population through the GTM.
+func RunItinerariesGTM(its []workload.Itinerary, cfg ItineraryConfig) ([]Result, *core.Manager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	sched := clock.NewSimulator()
+	store := core.NewMemStore()
+	opts := append([]core.Option{core.WithClock(sched)}, cfg.Options...)
+	m := core.NewManager(store, opts...)
+	for _, k := range allItinKinds {
+		for i := 0; i < cfg.PerKind; i++ {
+			store.Seed(itinRef(k, i), sem.Int(cfg.InitialStock))
+			if err := m.RegisterAtomicObject(core.ObjectID(itinObjectID(k, i)), itinRef(k, i)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	results := make(map[string]*Result, len(its))
+	for _, it := range its {
+		it := it
+		sched.After(it.Arrival, func() {
+			startItineraryGTM(sched, m, it, results)
+		})
+	}
+	sched.Run()
+
+	out := make([]Result, 0, len(its))
+	for _, it := range its {
+		r, ok := results[it.ID]
+		if !ok {
+			return nil, nil, fmt.Errorf("sim: itinerary %s never finished", it.ID)
+		}
+		out = append(out, *r)
+	}
+	return out, m, nil
+}
+
+// startItineraryGTM chains the booking steps as events.
+func startItineraryGTM(sched *clock.Simulator, m *core.Manager, it workload.Itinerary,
+	results map[string]*Result) {
+
+	id := core.TxID(it.ID)
+	arrival := sched.Now()
+	res := &Result{ID: it.ID}
+	results[it.ID] = res
+	done := false
+	finish := func(committed bool, reason string) {
+		if done {
+			return
+		}
+		done = true
+		res.Committed = committed
+		res.AbortReason = reason
+		res.Latency = sched.Now().Sub(arrival)
+	}
+
+	step := 0
+	var proceed func()
+	afterGrant := func() {
+		obj := core.ObjectID(itinObjectID(it.Steps[step].Kind, it.Steps[step].Index))
+		if err := m.Apply(id, obj, sem.Int(-1)); err != nil {
+			_ = m.Abort(id)
+			return
+		}
+		step++
+		sched.After(it.Think, proceed)
+	}
+	proceed = func() {
+		if st, _ := m.TxState(id); st != core.StateActive {
+			return
+		}
+		if step >= len(it.Steps) {
+			if err := m.RequestCommit(id); err != nil {
+				_ = m.Abort(id)
+			}
+			return
+		}
+		obj := core.ObjectID(itinObjectID(it.Steps[step].Kind, it.Steps[step].Index))
+		granted, err := m.Invoke(id, obj, sem.Op{Class: sem.AddSub})
+		if err != nil {
+			_ = m.Abort(id) // deadlock refusal
+			return
+		}
+		if granted {
+			afterGrant()
+		}
+		// Otherwise EvGranted continues.
+	}
+
+	notify := func(ev core.Event) {
+		switch ev.Type {
+		case core.EvGranted:
+			afterGrant()
+		case core.EvCommitted:
+			finish(true, "")
+		case core.EvAborted:
+			finish(false, ev.Reason.String())
+		}
+	}
+	if err := m.Begin(id, core.WithNotify(notify)); err != nil {
+		finish(false, "begin-error")
+		return
+	}
+	proceed()
+}
+
+// RunItinerariesTwoPL drives the same population through the baseline: one
+// exclusive lock per resource, held to commit.
+func RunItinerariesTwoPL(its []workload.Itinerary, cfg ItineraryConfig) ([]Result, *twopl.Scheduler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	sched := clock.NewSimulator()
+	store := core.NewMemStore()
+	s := twopl.New(store, sched)
+	for _, k := range allItinKinds {
+		for i := 0; i < cfg.PerKind; i++ {
+			store.Seed(itinRef(k, i), sem.Int(cfg.InitialStock))
+			if err := s.RegisterObject(twopl.ObjectID(itinObjectID(k, i)), itinRef(k, i)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	results := make(map[string]*Result, len(its))
+	for _, it := range its {
+		it := it
+		sched.After(it.Arrival, func() {
+			startItineraryTwoPL(sched, s, it, results)
+		})
+	}
+	sched.Run()
+
+	out := make([]Result, 0, len(its))
+	for _, it := range its {
+		r, ok := results[it.ID]
+		if !ok {
+			return nil, nil, fmt.Errorf("sim: itinerary %s never finished", it.ID)
+		}
+		out = append(out, *r)
+	}
+	return out, s, nil
+}
+
+// startItineraryTwoPL chains lock-and-book steps under strict 2PL.
+func startItineraryTwoPL(sched *clock.Simulator, s *twopl.Scheduler, it workload.Itinerary,
+	results map[string]*Result) {
+
+	id := twopl.TxID(it.ID)
+	arrival := sched.Now()
+	res := &Result{ID: it.ID}
+	results[it.ID] = res
+	done := false
+	finish := func(committed bool, reason string) {
+		if done {
+			return
+		}
+		done = true
+		res.Committed = committed
+		res.AbortReason = reason
+		res.Latency = sched.Now().Sub(arrival)
+	}
+
+	step := 0
+	var proceed func()
+	afterGrant := func() {
+		obj := twopl.ObjectID(itinObjectID(it.Steps[step].Kind, it.Steps[step].Index))
+		cur, err := s.Read(id, obj)
+		if err != nil {
+			_ = s.Abort(id, twopl.AbortUser)
+			return
+		}
+		next, err := cur.Add(sem.Int(-1))
+		if err != nil {
+			_ = s.Abort(id, twopl.AbortUser)
+			return
+		}
+		if err := s.Write(id, obj, next); err != nil {
+			_ = s.Abort(id, twopl.AbortUser)
+			return
+		}
+		step++
+		sched.After(it.Think, proceed)
+	}
+	proceed = func() {
+		if st, _ := s.TxState(id); st != twopl.StateActive {
+			return
+		}
+		if step >= len(it.Steps) {
+			if err := s.Commit(id); err != nil {
+				finish(false, twopl.AbortStoreFailure.String())
+				return
+			}
+			finish(true, "")
+			return
+		}
+		obj := twopl.ObjectID(itinObjectID(it.Steps[step].Kind, it.Steps[step].Index))
+		granted, err := s.Lock(id, obj, twopl.Exclusive)
+		if err != nil {
+			_ = s.Abort(id, twopl.AbortDeadlock)
+			return
+		}
+		if granted {
+			afterGrant()
+		}
+	}
+
+	notify := func(ev twopl.Event) {
+		switch ev.Type {
+		case twopl.EvGranted:
+			afterGrant()
+		case twopl.EvAborted:
+			finish(false, ev.Reason.String())
+		}
+	}
+	if err := s.Begin(id, notify); err != nil {
+		finish(false, "begin-error")
+		return
+	}
+	proceed()
+}
+
+// CompareItineraries runs the population under both schedulers.
+func CompareItineraries(its []workload.Itinerary, cfg ItineraryConfig) (Comparison, error) {
+	g, _, err := RunItinerariesGTM(its, cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	w, _, err := RunItinerariesTwoPL(its, cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{GTM: Summarize(g), TwoPL: Summarize(w)}, nil
+}

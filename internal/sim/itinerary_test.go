@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"preserial/internal/core"
+	"preserial/internal/workload"
+)
+
+func itinPopulation(t *testing.T, n int) []workload.Itinerary {
+	t.Helper()
+	p := workload.DefaultItineraryParams()
+	p.N = n
+	p.Interarrival = 100 * time.Millisecond // dense arrivals: real contention
+	its, err := workload.GenerateItineraries(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return its
+}
+
+func TestItinerariesGTMAllCommit(t *testing.T) {
+	its := itinPopulation(t, 150)
+	res, m, err := RunItinerariesGTM(its, ItineraryConfig{PerKind: 4, InitialStock: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res)
+	if sum.Aborted != 0 {
+		t.Fatalf("GTM aborted %d all-compatible itineraries: %+v", sum.Aborted, sum.AbortsBy)
+	}
+	st := m.Stats()
+	if st.Waits != 0 {
+		t.Errorf("GTM waits = %d on an all-subtract workload", st.Waits)
+	}
+	// Latency equals the itinerary's own think time: steps·think.
+	for i, r := range res {
+		want := time.Duration(len(its[i].Steps)) * its[i].Think
+		if r.Latency != want {
+			t.Fatalf("%s latency = %v, want %v", r.ID, r.Latency, want)
+		}
+	}
+}
+
+func TestItinerariesTwoPLDeadlocks(t *testing.T) {
+	// Cross-object lock orders with dense arrivals: 2PL must hit deadlocks
+	// (detected and resolved by aborting the requester) and/or long waits.
+	its := itinPopulation(t, 150)
+	res, _, err := RunItinerariesTwoPL(its, ItineraryConfig{PerKind: 4, InitialStock: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res)
+	if sum.AbortsBy["deadlock"] == 0 {
+		t.Errorf("expected 2PL deadlock aborts, got %+v", sum.AbortsBy)
+	}
+	if sum.Committed == 0 {
+		t.Error("2PL committed nothing")
+	}
+}
+
+func TestItinerariesGTMBeats2PL(t *testing.T) {
+	its := itinPopulation(t, 150)
+	cmp, err := CompareItineraries(its, ItineraryConfig{PerKind: 4, InitialStock: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.GTM.MeanLatency >= cmp.TwoPL.MeanLatency {
+		t.Errorf("GTM %.3fs !< 2PL %.3fs", cmp.GTM.MeanLatency, cmp.TwoPL.MeanLatency)
+	}
+	if cmp.GTM.AbortPct > cmp.TwoPL.AbortPct {
+		t.Errorf("GTM aborts %.1f%% > 2PL %.1f%%", cmp.GTM.AbortPct, cmp.TwoPL.AbortPct)
+	}
+}
+
+func TestItinerariesDeterministic(t *testing.T) {
+	its := itinPopulation(t, 60)
+	cfg := ItineraryConfig{PerKind: 4, InitialStock: 1000}
+	a, _, err := RunItinerariesGTM(its, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunItinerariesGTM(its, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("GTM itinerary runs must be deterministic")
+	}
+	w1, _, err := RunItinerariesTwoPL(its, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _, err := RunItinerariesTwoPL(its, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w1, w2) {
+		t.Error("2PL itinerary runs must be deterministic")
+	}
+}
+
+func TestItinerariesStockConservation(t *testing.T) {
+	its := itinPopulation(t, 100)
+	res, m, err := RunItinerariesGTM(its, ItineraryConfig{PerKind: 4, InitialStock: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := map[string]bool{}
+	for _, r := range res {
+		if r.Committed {
+			committed[r.ID] = true
+		}
+	}
+	// Expected bookings per object.
+	booked := map[string]int64{}
+	for _, it := range its {
+		if !committed[it.ID] {
+			continue
+		}
+		for _, s := range it.Steps {
+			booked[itinObjectID(s.Kind, s.Index)]++
+		}
+	}
+	for obj, n := range booked {
+		v, err := m.Permanent(core.ObjectID(obj), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int64() != 100000-n {
+			t.Errorf("%s = %d, want %d", obj, v.Int64(), 100000-n)
+		}
+	}
+}
+
+func TestItineraryBadConfig(t *testing.T) {
+	if _, _, err := RunItinerariesGTM(nil, ItineraryConfig{}); err == nil {
+		t.Error("PerKind=0 must fail")
+	}
+	if _, _, err := RunItinerariesTwoPL(nil, ItineraryConfig{}); err == nil {
+		t.Error("PerKind=0 must fail")
+	}
+}

@@ -1,0 +1,452 @@
+// Package sim is the emulation harness of Section VI.B: it drives the
+// generated transaction population (internal/workload) through the GTM
+// (internal/core) and through the classical 2PL baseline (internal/twopl)
+// on a virtual clock, and reports the two quantities the paper's Fig. 3
+// plots — the average transaction execution time (arrival to commit,
+// including blocking) and the abort percentage.
+//
+// The paper's prototype ran in real time (1000 transactions, 0.5 s apart ≈
+// 8.3 minutes per configuration); the discrete-event engine reproduces the
+// same arrival process and disconnection windows in milliseconds,
+// deterministically for a given workload seed (see DESIGN.md §2 for the
+// substitution rationale).
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"preserial/internal/clock"
+	"preserial/internal/core"
+	"preserial/internal/sem"
+	"preserial/internal/twopl"
+	"preserial/internal/workload"
+)
+
+// Result is the outcome of one simulated transaction.
+type Result struct {
+	ID          string
+	Committed   bool
+	AbortReason string
+	Latency     time.Duration // arrival → terminal event
+	Slept       bool
+}
+
+// Summary aggregates one run.
+type Summary struct {
+	N            int
+	Committed    int
+	Aborted      int
+	AbortPct     float64 // aborted / N · 100
+	MeanLatency  float64 // seconds, committed transactions
+	P95Latency   float64 // seconds, committed transactions
+	MeanAll      float64 // seconds, every transaction
+	AbortsBy     map[string]int
+	VirtualSpan  time.Duration // virtual time from first arrival to last event
+	SleptTotal   int
+	SleptAborted int
+}
+
+// Summarize aggregates results.
+func Summarize(results []Result) Summary {
+	s := Summary{N: len(results), AbortsBy: make(map[string]int)}
+	var committedLat []float64
+	var sumCommitted, sumAll float64
+	var span time.Duration
+	for _, r := range results {
+		sumAll += r.Latency.Seconds()
+		if r.Latency > span {
+			span = r.Latency
+		}
+		if r.Slept {
+			s.SleptTotal++
+		}
+		if r.Committed {
+			s.Committed++
+			sumCommitted += r.Latency.Seconds()
+			committedLat = append(committedLat, r.Latency.Seconds())
+		} else {
+			s.Aborted++
+			s.AbortsBy[r.AbortReason]++
+			if r.Slept {
+				s.SleptAborted++
+			}
+		}
+	}
+	if s.N > 0 {
+		s.AbortPct = 100 * float64(s.Aborted) / float64(s.N)
+		s.MeanAll = sumAll / float64(s.N)
+	}
+	if s.Committed > 0 {
+		s.MeanLatency = sumCommitted / float64(s.Committed)
+		sort.Float64s(committedLat)
+		s.P95Latency = committedLat[int(0.95*float64(len(committedLat)-1))]
+	}
+	s.VirtualSpan = span
+	return s
+}
+
+// objectID formats the i-th database object's id.
+func objectID(i int) string { return fmt.Sprintf("X%d", i) }
+
+// GTMConfig configures a GTM emulation run.
+type GTMConfig struct {
+	Objects      int
+	InitialValue int64
+	// Options extends the manager configuration (ablations).
+	Options []core.Option
+	// Store overrides the default MemStore (e.g. an LDBS adapter).
+	Store core.Store
+	// RegisterRefs gives the store locations when Store is set; defaults
+	// to T/X<i>.v.
+	refFor func(i int) core.StoreRef
+}
+
+// DefaultRef returns the store location of the i-th simulated object
+// (table T, key X<i>, column v) — callers that pass their own Store seed
+// these locations.
+func DefaultRef(i int) core.StoreRef {
+	return core.StoreRef{Table: "T", Key: objectID(i), Column: "v"}
+}
+
+// RunGTM drives the population through the Global Transaction Manager and
+// returns per-transaction results plus the manager (for its stats).
+func RunGTM(specs []workload.Spec, cfg GTMConfig) ([]Result, *core.Manager, error) {
+	if cfg.Objects <= 0 {
+		return nil, nil, fmt.Errorf("sim: Objects = %d", cfg.Objects)
+	}
+	if cfg.refFor == nil {
+		cfg.refFor = DefaultRef
+	}
+	sched := clock.NewSimulator()
+	store := cfg.Store
+	if store == nil {
+		ms := core.NewMemStore()
+		for i := 0; i < cfg.Objects; i++ {
+			ms.Seed(cfg.refFor(i), sem.Int(cfg.InitialValue))
+		}
+		store = ms
+	}
+	opts := append([]core.Option{core.WithClock(sched)}, cfg.Options...)
+	m := core.NewManager(store, opts...)
+	for i := 0; i < cfg.Objects; i++ {
+		if err := m.RegisterAtomicObject(core.ObjectID(objectID(i)), cfg.refFor(i)); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	results := make(map[string]*Result, len(specs))
+	arrivals := make(map[string]time.Time, len(specs))
+
+	for _, spec := range specs {
+		spec := spec
+		sched.After(spec.Arrival, func() {
+			startGTMTx(sched, m, spec, results, arrivals)
+		})
+	}
+	sched.Run()
+
+	out := make([]Result, 0, len(specs))
+	for _, spec := range specs {
+		r, ok := results[spec.ID]
+		if !ok {
+			return nil, nil, fmt.Errorf("sim: transaction %s never finished", spec.ID)
+		}
+		out = append(out, *r)
+	}
+	return out, m, nil
+}
+
+// startGTMTx runs one transaction's life cycle as chained events.
+func startGTMTx(sched *clock.Simulator, m *core.Manager, spec workload.Spec,
+	results map[string]*Result, arrivals map[string]time.Time) {
+
+	id := core.TxID(spec.ID)
+	obj := core.ObjectID(objectID(spec.Object))
+	op := sem.Op{Class: spec.Kind.Class()}
+	arrivals[spec.ID] = sched.Now()
+	res := &Result{ID: spec.ID}
+	results[spec.ID] = res
+
+	done := false
+	finish := func(committed bool, reason string) {
+		if done {
+			return
+		}
+		done = true
+		res.Committed = committed
+		res.AbortReason = reason
+		res.Latency = sched.Now().Sub(arrivals[spec.ID])
+	}
+
+	// work runs the post-grant execution: apply the operand, think (with an
+	// optional disconnection window), then request the commit.
+	var work func()
+	work = func() {
+		if err := m.Apply(id, obj, spec.Operand); err != nil {
+			_ = m.Abort(id)
+			return
+		}
+		commit := func() {
+			if st, _ := m.TxState(id); st != core.StateActive {
+				return // aborted meanwhile
+			}
+			if err := m.RequestCommit(id); err != nil {
+				_ = m.Abort(id)
+			}
+		}
+		if !spec.Disconnects {
+			sched.After(spec.Exec, commit)
+			return
+		}
+		res.Slept = true
+		remaining := spec.Exec - spec.DisconnectAt
+		sched.After(spec.DisconnectAt, func() {
+			if st, _ := m.TxState(id); st != core.StateActive {
+				return
+			}
+			if err := m.Sleep(id); err != nil {
+				return
+			}
+			sched.After(spec.DisconnectFor, func() {
+				if st, _ := m.TxState(id); st != core.StateSleeping {
+					return
+				}
+				resumed, err := m.Awake(id)
+				if err != nil || !resumed {
+					return // abort recorded via notification
+				}
+				sched.After(remaining, commit)
+			})
+		})
+	}
+
+	notify := func(ev core.Event) {
+		switch ev.Type {
+		case core.EvGranted:
+			work()
+		case core.EvCommitted:
+			finish(true, "")
+		case core.EvAborted:
+			finish(false, ev.Reason.String())
+		}
+	}
+
+	if err := m.Begin(id, core.WithNotify(notify)); err != nil {
+		finish(false, "begin-error")
+		return
+	}
+	granted, err := m.Invoke(id, obj, op)
+	if err != nil {
+		// Deadlock refusal (impossible for single-object transactions, but
+		// handled for generality): abort.
+		_ = m.Abort(id)
+		return
+	}
+	if granted {
+		work()
+	}
+	// Otherwise EvGranted (or EvAborted) drives the rest.
+}
+
+// TwoPLConfig configures a baseline run.
+type TwoPLConfig struct {
+	Objects      int
+	InitialValue int64
+	// SleepTimeout aborts disconnected lock holders away longer than this
+	// (the paper's "abort percentage as a function of sleeping timeout").
+	SleepTimeout time.Duration
+	// Store overrides the default MemStore.
+	Store core.Store
+}
+
+// RunTwoPL drives the population through the classical strict-2PL baseline.
+func RunTwoPL(specs []workload.Spec, cfg TwoPLConfig) ([]Result, *twopl.Scheduler, error) {
+	if cfg.Objects <= 0 {
+		return nil, nil, fmt.Errorf("sim: Objects = %d", cfg.Objects)
+	}
+	if cfg.SleepTimeout <= 0 {
+		cfg.SleepTimeout = 30 * time.Second
+	}
+	sched := clock.NewSimulator()
+	store := cfg.Store
+	if store == nil {
+		ms := core.NewMemStore()
+		for i := 0; i < cfg.Objects; i++ {
+			ms.Seed(DefaultRef(i), sem.Int(cfg.InitialValue))
+		}
+		store = ms
+	}
+	s := twopl.New(store, sched)
+	for i := 0; i < cfg.Objects; i++ {
+		if err := s.RegisterObject(twopl.ObjectID(objectID(i)), DefaultRef(i)); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	results := make(map[string]*Result, len(specs))
+	arrivals := make(map[string]time.Time, len(specs))
+
+	for _, spec := range specs {
+		spec := spec
+		sched.After(spec.Arrival, func() {
+			startTwoPLTx(sched, s, spec, cfg, results, arrivals)
+		})
+	}
+	sched.Run()
+
+	out := make([]Result, 0, len(specs))
+	for _, spec := range specs {
+		r, ok := results[spec.ID]
+		if !ok {
+			return nil, nil, fmt.Errorf("sim: transaction %s never finished", spec.ID)
+		}
+		out = append(out, *r)
+	}
+	return out, s, nil
+}
+
+// startTwoPLTx runs one baseline transaction as chained events: take the
+// exclusive lock (reads are finalized to update), think — locks held across
+// the disconnection — then write and commit.
+func startTwoPLTx(sched *clock.Simulator, s *twopl.Scheduler, spec workload.Spec,
+	cfg TwoPLConfig, results map[string]*Result, arrivals map[string]time.Time) {
+
+	id := twopl.TxID(spec.ID)
+	obj := twopl.ObjectID(objectID(spec.Object))
+	arrivals[spec.ID] = sched.Now()
+	res := &Result{ID: spec.ID}
+	results[spec.ID] = res
+
+	done := false
+	finish := func(committed bool, reason string) {
+		if done {
+			return
+		}
+		done = true
+		res.Committed = committed
+		res.AbortReason = reason
+		res.Latency = sched.Now().Sub(arrivals[spec.ID])
+	}
+
+	commit := func() {
+		if st, _ := s.TxState(id); st != twopl.StateActive {
+			return
+		}
+		cur, err := s.Read(id, obj)
+		if err != nil {
+			_ = s.Abort(id, twopl.AbortUser)
+			return
+		}
+		var next sem.Value
+		if spec.Kind == workload.Subtract {
+			next, err = cur.Add(spec.Operand)
+			if err != nil {
+				_ = s.Abort(id, twopl.AbortUser)
+				return
+			}
+		} else {
+			next = spec.Operand
+		}
+		if err := s.Write(id, obj, next); err != nil {
+			_ = s.Abort(id, twopl.AbortUser)
+			return
+		}
+		if err := s.Commit(id); err != nil {
+			finish(false, twopl.AbortStoreFailure.String())
+			return
+		}
+		finish(true, "")
+	}
+
+	var work func()
+	work = func() {
+		if !spec.Disconnects {
+			sched.After(spec.Exec, commit)
+			return
+		}
+		res.Slept = true
+		remaining := spec.Exec - spec.DisconnectAt
+		sched.After(spec.DisconnectAt, func() {
+			if st, _ := s.TxState(id); st != twopl.StateActive && st != twopl.StateWaiting {
+				return
+			}
+			if err := s.Disconnect(id); err != nil {
+				return
+			}
+			// The supervision policy fires exactly at the timeout.
+			if spec.DisconnectFor >= cfg.SleepTimeout {
+				sched.After(cfg.SleepTimeout, func() {
+					s.ExpireTimeouts(cfg.SleepTimeout)
+				})
+			}
+			sched.After(spec.DisconnectFor, func() {
+				ok, err := s.Reconnect(id)
+				if err != nil || !ok {
+					return // timed out while away; EvAborted recorded it
+				}
+				sched.After(remaining, commit)
+			})
+		})
+	}
+
+	notify := func(ev twopl.Event) {
+		switch ev.Type {
+		case twopl.EvGranted:
+			work()
+		case twopl.EvAborted:
+			finish(false, ev.Reason.String())
+		}
+	}
+
+	if err := s.Begin(id, notify); err != nil {
+		finish(false, "begin-error")
+		return
+	}
+	granted, err := s.Lock(id, obj, twopl.Exclusive)
+	if err != nil {
+		_ = s.Abort(id, twopl.AbortDeadlock)
+		return
+	}
+	if granted {
+		work()
+	}
+}
+
+// SummarizeBy groups results by a classification of the transaction id and
+// summarizes each group — e.g. per workload kind, per object, per paper
+// class descriptor.
+func SummarizeBy(results []Result, classify func(id string) string) map[string]Summary {
+	groups := make(map[string][]Result)
+	for _, r := range results {
+		key := classify(r.ID)
+		groups[key] = append(groups[key], r)
+	}
+	out := make(map[string]Summary, len(groups))
+	for key, rs := range groups {
+		out[key] = Summarize(rs)
+	}
+	return out
+}
+
+// Comparison runs the same population through both schedulers.
+type Comparison struct {
+	GTM   Summary
+	TwoPL Summary
+}
+
+// Compare runs the workload under the GTM and the 2PL baseline with shared
+// defaults and returns both summaries.
+func Compare(specs []workload.Spec, objects int, initial int64, timeout time.Duration,
+	gtmOpts ...core.Option) (Comparison, error) {
+	gtmRes, _, err := RunGTM(specs, GTMConfig{Objects: objects, InitialValue: initial, Options: gtmOpts})
+	if err != nil {
+		return Comparison{}, err
+	}
+	tplRes, _, err := RunTwoPL(specs, TwoPLConfig{Objects: objects, InitialValue: initial, SleepTimeout: timeout})
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{GTM: Summarize(gtmRes), TwoPL: Summarize(tplRes)}, nil
+}

@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"preserial/internal/core"
+	"preserial/internal/ldbs"
+	"preserial/internal/sem"
+	"preserial/internal/twopl"
+	"preserial/internal/workload"
+)
+
+// smallParams is a fast version of the paper's VI.B setup.
+func smallParams() workload.Params {
+	p := workload.DefaultParams()
+	p.N = 200
+	return p
+}
+
+func TestAllCompatibleWorkloadNoWaitsNoAborts(t *testing.T) {
+	p := smallParams()
+	p.Alpha = 1 // only subtractions: everything compatible
+	p.Beta = 0
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, m, err := RunGTM(specs, GTMConfig{Objects: p.Objects, InitialValue: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res)
+	if sum.Aborted != 0 || sum.Committed != p.N {
+		t.Fatalf("summary = %+v", sum)
+	}
+	st := m.Stats()
+	if st.Waits != 0 {
+		t.Errorf("an all-compatible workload must never wait; waits = %d", st.Waits)
+	}
+	// Mean latency equals the mean execution time: no queueing at all.
+	meanExec := workload.MeanExec(specs).Seconds()
+	if diff := sum.MeanLatency - meanExec; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("GTM latency %.6f != mean exec %.6f", sum.MeanLatency, meanExec)
+	}
+}
+
+func TestGTMFinalValuesMatchCommittedSubtractions(t *testing.T) {
+	p := smallParams()
+	p.Alpha = 1
+	p.Beta = 0.2 // some sleepers; all compatible, so all resume and commit
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, m, err := RunGTM(specs, GTMConfig{Objects: p.Objects, InitialValue: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := make(map[string]bool)
+	for _, r := range res {
+		if r.Committed {
+			committed[r.ID] = true
+		}
+	}
+	perObject := make(map[int]int64)
+	for _, s := range specs {
+		if committed[s.ID] {
+			perObject[s.Object]--
+		}
+	}
+	for i := 0; i < p.Objects; i++ {
+		v, err := m.Permanent(core.ObjectID(objectID(i)), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 100000 + perObject[i]
+		if v.Int64() != want {
+			t.Errorf("object %d final = %d, want %d", i, v.Int64(), want)
+		}
+	}
+}
+
+func TestGTMAndTwoPLAgreeOnFinalState(t *testing.T) {
+	// All-subtract workload with no disconnections: both schedulers must
+	// commit everything and end at identical values.
+	p := smallParams()
+	p.Alpha = 1
+	p.Beta = 0
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtmStore := core.NewMemStore()
+	tplStore := core.NewMemStore()
+	for i := 0; i < p.Objects; i++ {
+		gtmStore.Seed(DefaultRef(i), sem.Int(1000))
+		tplStore.Seed(DefaultRef(i), sem.Int(1000))
+	}
+	if _, _, err := RunGTM(specs, GTMConfig{Objects: p.Objects, Store: gtmStore}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunTwoPL(specs, TwoPLConfig{Objects: p.Objects, Store: tplStore, SleepTimeout: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Objects; i++ {
+		g, _ := gtmStore.Load(DefaultRef(i))
+		w, _ := tplStore.Load(DefaultRef(i))
+		if !g.Equal(w) {
+			t.Errorf("object %d: GTM %s vs 2PL %s", i, g, w)
+		}
+	}
+}
+
+func TestGTMBeatsTwoPLOnLatency(t *testing.T) {
+	// The paper's headline: with mostly-compatible operations the GTM's
+	// average execution time is below 2PL's.
+	p := smallParams()
+	p.Alpha = 0.9
+	p.Beta = 0.05
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(specs, p.Objects, 100000, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.GTM.MeanLatency >= cmp.TwoPL.MeanLatency {
+		t.Errorf("GTM %.3fs !< 2PL %.3fs", cmp.GTM.MeanLatency, cmp.TwoPL.MeanLatency)
+	}
+}
+
+func TestTwoPLTimeoutAborts(t *testing.T) {
+	p := smallParams()
+	p.Alpha = 1
+	p.Beta = 0.5
+	p.DisconnectMean = 20 * time.Second
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, s, err := RunTwoPL(specs, TwoPLConfig{
+		Objects: p.Objects, InitialValue: 100000, SleepTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res)
+	if sum.AbortsBy["timeout"] == 0 {
+		t.Fatalf("short timeout must abort some disconnected transactions: %+v", sum)
+	}
+	if s.Stats().AbortsBy[twopl.AbortTimeout] == 0 {
+		t.Error("scheduler counted no timeout aborts")
+	}
+	// Disconnected transactions that returned within the timeout committed.
+	if sum.Committed == 0 {
+		t.Error("everything aborted; timeout policy too eager")
+	}
+}
+
+func TestGTMSleepConflictAborts(t *testing.T) {
+	// Mixed workload with disconnections: sleeping subtractors whose object
+	// receives an assign during the nap must abort on awakening.
+	p := workload.DefaultParams()
+	p.N = 400
+	p.Alpha = 0.5 // many assigns → many incompatibilities
+	p.Beta = 0.5
+	p.Objects = 2 // concentrate conflicts
+	p.DisconnectMean = 20 * time.Second
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, m, err := RunGTM(specs, GTMConfig{Objects: p.Objects, InitialValue: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res)
+	if sum.AbortsBy["sleep-conflict"] == 0 {
+		t.Fatalf("expected sleep-conflict aborts, got %+v", sum.AbortsBy)
+	}
+	if m.Stats().AwakeAborts == 0 {
+		t.Error("manager counted no awake aborts")
+	}
+}
+
+func TestGTMAbortsFewerSleepersThanTwoPL(t *testing.T) {
+	// Fig. 3b's shape: for a mostly-compatible workload, the GTM aborts a
+	// smaller share of disconnected transactions than timeout-supervised
+	// 2PL.
+	p := workload.DefaultParams()
+	p.N = 500
+	p.Alpha = 0.9
+	p.Beta = 0.3
+	p.DisconnectMean = 12 * time.Second
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(specs, p.Objects, 100000, 6*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.GTM.AbortPct >= cmp.TwoPL.AbortPct {
+		t.Errorf("GTM abort %.2f%% !< 2PL %.2f%%", cmp.GTM.AbortPct, cmp.TwoPL.AbortPct)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	p := smallParams()
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _, err := RunGTM(specs, GTMConfig{Objects: p.Objects, InitialValue: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := RunGTM(specs, GTMConfig{Objects: p.Objects, InitialValue: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("GTM runs must be deterministic")
+	}
+	w1, _, err := RunTwoPL(specs, TwoPLConfig{Objects: p.Objects, InitialValue: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _, err := RunTwoPL(specs, TwoPLConfig{Objects: p.Objects, InitialValue: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w1, w2) {
+		t.Error("2PL runs must be deterministic")
+	}
+}
+
+func TestEveryTransactionAccountedFor(t *testing.T) {
+	p := smallParams()
+	p.Beta = 0.3
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() ([]Result, error){
+		"gtm": func() ([]Result, error) {
+			r, _, err := RunGTM(specs, GTMConfig{Objects: p.Objects, InitialValue: 100000})
+			return r, err
+		},
+		"twopl": func() ([]Result, error) {
+			r, _, err := RunTwoPL(specs, TwoPLConfig{Objects: p.Objects, InitialValue: 100000})
+			return r, err
+		},
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sum := Summarize(res)
+		if sum.Committed+sum.Aborted != p.N {
+			t.Errorf("%s: %d+%d != %d", name, sum.Committed, sum.Aborted, p.N)
+		}
+		for _, r := range res {
+			if r.Latency < 0 {
+				t.Errorf("%s: %s negative latency", name, r.ID)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	res := []Result{
+		{ID: "a", Committed: true, Latency: 2 * time.Second},
+		{ID: "b", Committed: true, Latency: 4 * time.Second, Slept: true},
+		{ID: "c", Committed: false, AbortReason: "timeout", Latency: time.Second, Slept: true},
+	}
+	s := Summarize(res)
+	if s.N != 3 || s.Committed != 2 || s.Aborted != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.MeanLatency != 3 {
+		t.Errorf("mean committed latency = %g", s.MeanLatency)
+	}
+	if s.AbortPct < 33.3 || s.AbortPct > 33.4 {
+		t.Errorf("abort pct = %g", s.AbortPct)
+	}
+	if s.AbortsBy["timeout"] != 1 {
+		t.Errorf("aborts by = %v", s.AbortsBy)
+	}
+	if s.SleptTotal != 2 || s.SleptAborted != 1 {
+		t.Errorf("slept = %d/%d", s.SleptAborted, s.SleptTotal)
+	}
+	if s.VirtualSpan != 4*time.Second {
+		t.Errorf("span = %v", s.VirtualSpan)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.MeanLatency != 0 {
+		t.Errorf("empty = %+v", empty)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, _, err := RunGTM(nil, GTMConfig{}); err == nil {
+		t.Error("Objects=0 must fail")
+	}
+	if _, _, err := RunTwoPL(nil, TwoPLConfig{}); err == nil {
+		t.Error("Objects=0 must fail")
+	}
+}
+
+func TestSummarizeBy(t *testing.T) {
+	res := []Result{
+		{ID: "sub-1", Committed: true, Latency: 2 * time.Second},
+		{ID: "sub-2", Committed: false, AbortReason: "x", Latency: time.Second},
+		{ID: "assign-1", Committed: true, Latency: 4 * time.Second},
+	}
+	groups := SummarizeBy(res, func(id string) string {
+		if len(id) >= 3 && id[:3] == "sub" {
+			return "sub"
+		}
+		return "assign"
+	})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups["sub"].N != 2 || groups["sub"].Committed != 1 {
+		t.Errorf("sub = %+v", groups["sub"])
+	}
+	if groups["assign"].MeanLatency != 4 {
+		t.Errorf("assign = %+v", groups["assign"])
+	}
+}
+
+func TestGTMOverLDBSConstraintAtScale(t *testing.T) {
+	// The full stack under load: GTM → SSTs → ldbs with FreeTickets ≥ 0,
+	// with far more bookings than stock. Losers abort with sst-failure and
+	// the stock never goes negative.
+	p := smallParams()
+	p.N = 300
+	p.Alpha = 1
+	p.Beta = 0
+	p.Objects = 2
+	specs, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ldbs.Open(ldbs.Options{})
+	if err := db.CreateTable(ldbs.Schema{
+		Table:   "T",
+		Columns: []ldbs.ColumnDef{{Name: "v", Kind: sem.KindInt64}},
+		Checks:  []ldbs.Check{{Column: "v", Op: ldbs.CmpGE, Bound: sem.Int(0)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tx := db.Begin()
+	const stock = 40
+	for i := 0; i < p.Objects; i++ {
+		if err := tx.Insert(ctx, "T", fmt.Sprintf("X%d", i), ldbs.Row{"v": sem.Int(stock)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	res, _, err := RunGTM(specs, GTMConfig{
+		Objects: p.Objects,
+		Store:   core.NewLDBSStore(db),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res)
+	if sum.Committed != 2*stock {
+		t.Errorf("committed = %d, want exactly the stock %d", sum.Committed, 2*stock)
+	}
+	if sum.AbortsBy["sst-failure"] != p.N-2*stock {
+		t.Errorf("sst failures = %d, want %d", sum.AbortsBy["sst-failure"], p.N-2*stock)
+	}
+	for i := 0; i < p.Objects; i++ {
+		v, err := db.ReadCommitted("T", fmt.Sprintf("X%d", i), "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int64() != 0 {
+			t.Errorf("object X%d final stock = %s, want 0", i, v)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package twopl
+
+import (
+	"fmt"
+	"testing"
+
+	"preserial/internal/core"
+	"preserial/internal/sem"
+)
+
+func benchScheduler(b *testing.B) *Scheduler {
+	b.Helper()
+	store := core.NewMemStore()
+	ref := core.StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(1_000_000))
+	s := New(store, nil)
+	if err := s.RegisterObject("X", ref); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkLockWriteCommit measures the uncontended transaction cycle.
+func BenchmarkLockWriteCommit(b *testing.B) {
+	s := benchScheduler(b)
+	for i := 0; i < b.N; i++ {
+		id := TxID(fmt.Sprintf("t%d", i))
+		if err := s.Begin(id, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Lock(id, "X", Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		v, err := s.Read(id, "X")
+		if err != nil {
+			b.Fatal(err)
+		}
+		next, _ := v.Add(sem.Int(-1))
+		if err := s.Write(id, "X", next); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Commit(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueuedWriterHandoff measures the contended path: a writer queues
+// behind a holder and is granted at commit.
+func BenchmarkQueuedWriterHandoff(b *testing.B) {
+	s := benchScheduler(b)
+	for i := 0; i < b.N; i++ {
+		h := TxID(fmt.Sprintf("h%d", i))
+		w := TxID(fmt.Sprintf("w%d", i))
+		if err := s.Begin(h, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Begin(w, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Lock(h, "X", Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		if granted, err := s.Lock(w, "X", Exclusive); err != nil || granted {
+			b.Fatal(granted, err)
+		}
+		if err := s.Commit(h); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Commit(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package twopl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"preserial/internal/clock"
+	"preserial/internal/core"
+	"preserial/internal/sem"
+)
+
+func testScheduler(t *testing.T) (*Scheduler, *core.MemStore, *clock.Manual) {
+	t.Helper()
+	store := core.NewMemStore()
+	ref := core.StoreRef{Table: "T", Key: "X", Column: "v"}
+	store.Seed(ref, sem.Int(100))
+	clk := clock.NewManual()
+	s := New(store, clk)
+	if err := s.RegisterObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	return s, store, clk
+}
+
+func TestBasicReadWriteCommit(t *testing.T) {
+	s, store, _ := testScheduler(t)
+	if err := s.Begin("A", nil); err != nil {
+		t.Fatal(err)
+	}
+	granted, err := s.Lock("A", "X", Exclusive)
+	if err != nil || !granted {
+		t.Fatalf("Lock = %v, %v", granted, err)
+	}
+	v, err := s.Read("A", "X")
+	if err != nil || v.Int64() != 100 {
+		t.Fatalf("Read = %s, %v", v, err)
+	}
+	if err := s.Write("A", "X", sem.Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes.
+	if v, _ := s.Read("A", "X"); v.Int64() != 99 {
+		t.Fatalf("read-your-writes = %s", v)
+	}
+	if err := s.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := store.Load(core.StoreRef{Table: "T", Key: "X", Column: "v"})
+	if got.Int64() != 99 {
+		t.Fatalf("store = %s", got)
+	}
+	if st, _ := s.TxState("A"); st != StateCommitted {
+		t.Errorf("state = %s", st)
+	}
+}
+
+func TestSharedLocksCoexistExclusiveWaits(t *testing.T) {
+	s, _, _ := testScheduler(t)
+	var granted []TxID
+	note := func(ev Event) {
+		if ev.Type == EvGranted {
+			granted = append(granted, ev.Tx)
+		}
+	}
+	for _, id := range []TxID{"R1", "R2", "W"} {
+		if err := s.Begin(id, note); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g, _ := s.Lock("R1", "X", Shared); !g {
+		t.Fatal("R1 S must grant")
+	}
+	if g, _ := s.Lock("R2", "X", Shared); !g {
+		t.Fatal("R2 S must grant")
+	}
+	if g, _ := s.Lock("W", "X", Exclusive); g {
+		t.Fatal("W X must wait")
+	}
+	if st, _ := s.TxState("W"); st != StateWaiting {
+		t.Errorf("W = %s", st)
+	}
+	if err := s.Commit("R1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) != 0 {
+		t.Fatal("W granted too early")
+	}
+	if err := s.Commit("R2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(granted) != 1 || granted[0] != "W" {
+		t.Fatalf("granted = %v", granted)
+	}
+}
+
+func TestWriteRequiresExclusive(t *testing.T) {
+	s, _, _ := testScheduler(t)
+	if err := s.Begin("A", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("A", "X", sem.Int(1)); !errors.Is(err, ErrNoLock) {
+		t.Errorf("write without lock = %v", err)
+	}
+	if _, err := s.Lock("A", "X", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("A", "X", sem.Int(1)); !errors.Is(err, ErrNoLock) {
+		t.Errorf("write with S = %v", err)
+	}
+	if _, err := s.Read("A", "X"); err != nil {
+		t.Errorf("read with S = %v", err)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	s, _, _ := testScheduler(t)
+	if err := s.Begin("A", nil); err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := s.Lock("A", "X", Shared); !g {
+		t.Fatal("S grant")
+	}
+	if g, err := s.Lock("A", "X", Exclusive); err != nil || !g {
+		t.Fatalf("sole-holder upgrade = %v, %v", g, err)
+	}
+	if err := s.Write("A", "X", sem.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	s, _, _ := testScheduler(t)
+	if err := s.Begin("A", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("B", nil); err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := s.Lock("A", "X", Shared); !g {
+		t.Fatal("A S")
+	}
+	if g, _ := s.Lock("B", "X", Shared); !g {
+		t.Fatal("B S")
+	}
+	if g, _ := s.Lock("A", "X", Exclusive); g {
+		t.Fatal("A upgrade must wait for B")
+	}
+	if _, err := s.Lock("B", "X", Exclusive); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("B upgrade = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestCrossObjectDeadlock(t *testing.T) {
+	s, store, _ := testScheduler(t)
+	refY := core.StoreRef{Table: "T", Key: "Y", Column: "v"}
+	store.Seed(refY, sem.Int(1))
+	if err := s.RegisterObject("Y", refY); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []TxID{"A", "B"} {
+		if err := s.Begin(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g, _ := s.Lock("A", "X", Exclusive); !g {
+		t.Fatal("A X")
+	}
+	if g, _ := s.Lock("B", "Y", Exclusive); !g {
+		t.Fatal("B Y")
+	}
+	if g, _ := s.Lock("A", "Y", Exclusive); g {
+		t.Fatal("A must wait for Y")
+	}
+	if _, err := s.Lock("B", "X", Exclusive); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("cycle close = %v", err)
+	}
+	// Victim aborts; A proceeds.
+	if err := s.Abort("B", AbortDeadlock); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.TxState("A"); st != StateActive {
+		t.Errorf("A = %s after B abort", st)
+	}
+	if r, _ := s.AbortReasonOf("B"); r != AbortDeadlock {
+		t.Errorf("B reason = %s", r)
+	}
+}
+
+func TestDisconnectKeepsLocksUntilTimeout(t *testing.T) {
+	s, _, clk := testScheduler(t)
+	var granted []TxID
+	note := func(ev Event) {
+		if ev.Type == EvGranted {
+			granted = append(granted, ev.Tx)
+		}
+	}
+	if err := s.Begin("mobile", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("other", note); err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := s.Lock("mobile", "X", Exclusive); !g {
+		t.Fatal("mobile X")
+	}
+	if err := s.Disconnect("mobile"); err != nil {
+		t.Fatal(err)
+	}
+	// The other transaction stays blocked while mobile is away.
+	if g, _ := s.Lock("other", "X", Exclusive); g {
+		t.Fatal("other must wait behind a disconnected holder")
+	}
+	clk.Advance(10 * time.Second)
+	if v := s.ExpireTimeouts(30 * time.Second); len(v) != 0 {
+		t.Fatalf("expired too early: %v", v)
+	}
+	clk.Advance(25 * time.Second)
+	victims := s.ExpireTimeouts(30 * time.Second)
+	if len(victims) != 1 || victims[0] != "mobile" {
+		t.Fatalf("victims = %v", victims)
+	}
+	if len(granted) != 1 || granted[0] != "other" {
+		t.Fatalf("granted = %v", granted)
+	}
+	if r, _ := s.AbortReasonOf("mobile"); r != AbortTimeout {
+		t.Errorf("reason = %s", r)
+	}
+	// Reconnect after the timeout abort reports failure.
+	ok, err := s.Reconnect("mobile")
+	if err != nil || ok {
+		t.Errorf("Reconnect = %v, %v; want ok=false", ok, err)
+	}
+}
+
+func TestReconnectInTime(t *testing.T) {
+	s, _, clk := testScheduler(t)
+	if err := s.Begin("mobile", nil); err != nil {
+		t.Fatal(err)
+	}
+	if g, _ := s.Lock("mobile", "X", Exclusive); !g {
+		t.Fatal("lock")
+	}
+	if err := s.Disconnect("mobile"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Second)
+	ok, err := s.Reconnect("mobile")
+	if err != nil || !ok {
+		t.Fatalf("Reconnect = %v, %v", ok, err)
+	}
+	clk.Advance(time.Hour)
+	if v := s.ExpireTimeouts(30 * time.Second); len(v) != 0 {
+		t.Fatalf("reconnected tx expired: %v", v)
+	}
+	if err := s.Commit("mobile"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreFailureAborts(t *testing.T) {
+	s, store, _ := testScheduler(t)
+	store.FailNext(1)
+	if err := s.Begin("A", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lock("A", "X", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("A", "X", sem.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit("A"); err == nil {
+		t.Fatal("commit must fail")
+	}
+	if st, _ := s.TxState("A"); st != StateAborted {
+		t.Errorf("state = %s", st)
+	}
+	if r, _ := s.AbortReasonOf("A"); r != AbortStoreFailure {
+		t.Errorf("reason = %s", r)
+	}
+}
+
+func TestErrorsAndGuards(t *testing.T) {
+	s, _, _ := testScheduler(t)
+	if _, err := s.Lock("ghost", "X", Shared); !errors.Is(err, ErrUnknownTx) {
+		t.Errorf("unknown tx = %v", err)
+	}
+	if err := s.Begin("A", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin("A", nil); !errors.Is(err, ErrTxExists) {
+		t.Errorf("dup begin = %v", err)
+	}
+	if _, err := s.Lock("A", "Y", Shared); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("unknown obj = %v", err)
+	}
+	if err := s.RegisterObject("X", core.StoreRef{}); !errors.Is(err, ErrObjectExists) {
+		t.Errorf("dup object = %v", err)
+	}
+	if _, err := s.Read("A", "X"); !errors.Is(err, ErrNoLock) {
+		t.Errorf("read without lock = %v", err)
+	}
+	if err := s.Commit("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit("A"); !errors.Is(err, ErrBadState) {
+		t.Errorf("double commit = %v", err)
+	}
+	if err := s.Abort("A", AbortUser); !errors.Is(err, ErrBadState) {
+		t.Errorf("abort after commit = %v", err)
+	}
+	if err := s.Disconnect("A"); !errors.Is(err, ErrBadState) {
+		t.Errorf("disconnect after commit = %v", err)
+	}
+	if _, err := s.AbortReasonOf("A"); !errors.Is(err, ErrBadState) {
+		t.Errorf("reason of committed = %v", err)
+	}
+	if _, err := s.TxState("ghost"); !errors.Is(err, ErrUnknownTx) {
+		t.Errorf("state of ghost = %v", err)
+	}
+}
+
+func TestStatsAndStrings(t *testing.T) {
+	s, _, _ := testScheduler(t)
+	if err := s.Begin("A", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lock("A", "X", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Abort("A", AbortUser); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Begun != 1 || st.Aborted != 1 || st.Grants != 1 || st.AbortsBy[AbortUser] != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Error("Mode strings")
+	}
+	if StateActive.String() != "Active" || StateWaiting.String() != "Waiting" ||
+		StateCommitted.String() != "Committed" || StateAborted.String() != "Aborted" ||
+		State(9).String() != "State(9)" {
+		t.Error("State strings")
+	}
+	for r, want := range map[AbortReason]string{
+		AbortUser: "user", AbortDeadlock: "deadlock",
+		AbortTimeout: "timeout", AbortStoreFailure: "store-failure",
+	} {
+		if r.String() != want {
+			t.Errorf("reason %d = %q", r, r.String())
+		}
+	}
+	if AbortReason(9).String() != "AbortReason(9)" {
+		t.Error("unknown reason string")
+	}
+}
+
+func TestFIFONoOvertake(t *testing.T) {
+	s, _, _ := testScheduler(t)
+	var order []TxID
+	note := func(ev Event) {
+		if ev.Type == EvGranted {
+			order = append(order, ev.Tx)
+		}
+	}
+	for _, id := range []TxID{"H", "W1", "R1"} {
+		if err := s.Begin(id, note); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g, _ := s.Lock("H", "X", Shared); !g {
+		t.Fatal("H S")
+	}
+	if g, _ := s.Lock("W1", "X", Exclusive); g {
+		t.Fatal("W1 must wait")
+	}
+	// A later shared request must not overtake the queued writer.
+	if g, _ := s.Lock("R1", "X", Shared); g {
+		t.Fatal("R1 must queue behind W1")
+	}
+	if err := s.Commit("H"); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 || order[0] != "W1" {
+		t.Fatalf("grant order = %v", order)
+	}
+	if err := s.Commit("W1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[1] != "R1" {
+		t.Fatalf("grant order = %v", order)
+	}
+}

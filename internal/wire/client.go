@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"preserial/internal/sem"
+)
+
+// Conn is the client side of the middleware protocol: a synchronous RPC
+// handle over one TCP connection. Not safe for concurrent use; open one
+// Conn per concurrent client.
+type Conn struct {
+	c net.Conn
+}
+
+// Dial connects to a gtmd server.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{c: c}, nil
+}
+
+// Close hangs up. Unfinished transactions begun on this connection go to
+// sleep server-side and can be attached from a new connection.
+func (cn *Conn) Close() error { return cn.c.Close() }
+
+// call performs one request/response round trip.
+func (cn *Conn) call(req *Request) (*Response, error) {
+	if err := WriteMsg(cn.c, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadMsg(cn.c, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (cn *Conn) Ping() error {
+	_, err := cn.call(&Request{Op: OpPing})
+	return err
+}
+
+// Begin starts a transaction owned by this connection.
+func (cn *Conn) Begin(tx string) error {
+	_, err := cn.call(&Request{Op: OpBegin, Tx: tx})
+	return err
+}
+
+// Attach adopts an existing transaction (e.g. one that went to sleep when
+// a previous connection dropped).
+func (cn *Conn) Attach(tx string) error {
+	_, err := cn.call(&Request{Op: OpAttach, Tx: tx})
+	return err
+}
+
+// Invoke requests an operation class on an object, blocking until granted.
+func (cn *Conn) Invoke(tx, object string, class sem.Class, member string) error {
+	_, err := cn.call(&Request{
+		Op: OpInvoke, Tx: tx, Object: object, Class: ClassName(class), Member: member,
+	})
+	return err
+}
+
+// Read returns the transaction's virtual value of the object.
+func (cn *Conn) Read(tx, object string) (sem.Value, error) {
+	resp, err := cn.call(&Request{Op: OpRead, Tx: tx, Object: object})
+	if err != nil {
+		return sem.Value{}, err
+	}
+	if resp.Value == nil {
+		return sem.Value{}, fmt.Errorf("wire: read returned no value")
+	}
+	return resp.Value.ToSem()
+}
+
+// Apply performs one operation of the invoked class on the virtual copy.
+func (cn *Conn) Apply(tx, object string, operand sem.Value) error {
+	wv := FromSem(operand)
+	_, err := cn.call(&Request{Op: OpApply, Tx: tx, Object: object, Operand: &wv})
+	return err
+}
+
+// Commit runs the two-phase commit and blocks until the SST finishes.
+func (cn *Conn) Commit(tx string) error {
+	_, err := cn.call(&Request{Op: OpCommit, Tx: tx})
+	return err
+}
+
+// Abort aborts the transaction.
+func (cn *Conn) Abort(tx string) error {
+	_, err := cn.call(&Request{Op: OpAbort, Tx: tx})
+	return err
+}
+
+// Sleep parks the transaction explicitly.
+func (cn *Conn) Sleep(tx string) error {
+	_, err := cn.call(&Request{Op: OpSleep, Tx: tx})
+	return err
+}
+
+// Awake resumes a sleeping transaction; resumed=false means the GTM
+// aborted it because an incompatible operation intervened.
+func (cn *Conn) Awake(tx string) (resumed bool, err error) {
+	resp, err := cn.call(&Request{Op: OpAwake, Tx: tx})
+	if err != nil {
+		return false, err
+	}
+	return resp.Resumed, nil
+}
+
+// State returns the transaction's state name.
+func (cn *Conn) State(tx string) (string, error) {
+	resp, err := cn.call(&Request{Op: OpState, Tx: tx})
+	if err != nil {
+		return "", err
+	}
+	return resp.State, nil
+}
+
+// Stats returns the middleware's counters.
+func (cn *Conn) Stats() (map[string]uint64, error) {
+	resp, err := cn.call(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// ObjectInfo returns one object's scheduling snapshot.
+func (cn *Conn) ObjectInfo(object string) (*ObjectInfoJSON, error) {
+	resp, err := cn.call(&Request{Op: OpInfo, Object: object})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}
+
+// Transactions returns the server's transaction registry snapshot.
+func (cn *Conn) Transactions() ([]TxSummaryJSON, error) {
+	resp, err := cn.call(&Request{Op: OpTxs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Txs, nil
+}
+
+// Objects lists the objects the middleware manages.
+func (cn *Conn) Objects() ([]string, error) {
+	resp, err := cn.call(&Request{Op: OpObjects})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Objects, nil
+}

@@ -1,0 +1,204 @@
+// Package wire exposes the GTM as the middleware layer of Section III: a
+// TCP server speaking a length-prefixed JSON protocol, plus the matching
+// client library. One connection drives any number of transactions
+// sequentially; when a connection drops, its unfinished transactions are
+// put to sleep rather than aborted — the paper's disconnection handling —
+// and a later connection can attach and awaken them.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"preserial/internal/sem"
+)
+
+// MaxFrame bounds a single protocol frame.
+const MaxFrame = 1 << 20
+
+// Op is a protocol request kind.
+type Op string
+
+// Protocol operations.
+const (
+	OpBegin   Op = "begin"
+	OpAttach  Op = "attach" // adopt an existing transaction on this connection
+	OpInvoke  Op = "invoke"
+	OpRead    Op = "read"
+	OpApply   Op = "apply"
+	OpCommit  Op = "commit"
+	OpAbort   Op = "abort"
+	OpSleep   Op = "sleep"
+	OpAwake   Op = "awake"
+	OpState   Op = "state"
+	OpObjects Op = "objects"
+	OpStats   Op = "stats"
+	OpInfo    Op = "info" // per-object scheduling snapshot
+	OpTxs     Op = "txs"  // transaction registry snapshot
+	OpPing    Op = "ping"
+)
+
+// Value is the JSON form of a sem.Value.
+type Value struct {
+	Kind string  `json:"kind"` // "null", "int", "float", "string"
+	Int  int64   `json:"int,omitempty"`
+	F    float64 `json:"float,omitempty"`
+	Str  string  `json:"str,omitempty"`
+}
+
+// FromSem converts a sem.Value.
+func FromSem(v sem.Value) Value {
+	switch v.Kind() {
+	case sem.KindInt64:
+		return Value{Kind: "int", Int: v.Int64()}
+	case sem.KindFloat64:
+		return Value{Kind: "float", F: v.Float64()}
+	case sem.KindString:
+		return Value{Kind: "string", Str: v.Text()}
+	default:
+		return Value{Kind: "null"}
+	}
+}
+
+// ToSem converts back to a sem.Value.
+func (v Value) ToSem() (sem.Value, error) {
+	switch v.Kind {
+	case "null", "":
+		return sem.Null(), nil
+	case "int":
+		return sem.Int(v.Int), nil
+	case "float":
+		return sem.Float(v.F), nil
+	case "string":
+		return sem.Str(v.Str), nil
+	default:
+		return sem.Value{}, fmt.Errorf("wire: unknown value kind %q", v.Kind)
+	}
+}
+
+// ClassNames maps protocol class names to sem classes.
+var classNames = map[string]sem.Class{
+	"read":          sem.Read,
+	"insert/delete": sem.InsertDelete,
+	"assign":        sem.Assign,
+	"add/sub":       sem.AddSub,
+	"mul/div":       sem.MulDiv,
+}
+
+// ParseClass resolves a protocol class name.
+func ParseClass(name string) (sem.Class, error) {
+	c, ok := classNames[name]
+	if !ok {
+		return 0, fmt.Errorf("wire: unknown operation class %q", name)
+	}
+	return c, nil
+}
+
+// ClassName renders a sem class as its protocol name.
+func ClassName(c sem.Class) string {
+	switch c {
+	case sem.Read:
+		return "read"
+	case sem.InsertDelete:
+		return "insert/delete"
+	case sem.Assign:
+		return "assign"
+	case sem.AddSub:
+		return "add/sub"
+	case sem.MulDiv:
+		return "mul/div"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Request is a client → server message.
+type Request struct {
+	Op      Op     `json:"op"`
+	Tx      string `json:"tx,omitempty"`
+	Object  string `json:"object,omitempty"`
+	Class   string `json:"class,omitempty"`
+	Member  string `json:"member,omitempty"`
+	Operand *Value `json:"operand,omitempty"`
+}
+
+// TxOpJSON is a (transaction, operation) pair in an object snapshot.
+type TxOpJSON struct {
+	Tx     string `json:"tx"`
+	Class  string `json:"class"`
+	Member string `json:"member,omitempty"`
+}
+
+// ObjectInfoJSON is the wire form of core.ObjectInfo.
+type ObjectInfoJSON struct {
+	ID         string           `json:"id"`
+	Members    map[string]Value `json:"members,omitempty"`
+	Pending    []TxOpJSON       `json:"pending,omitempty"`
+	Waiting    []TxOpJSON       `json:"waiting,omitempty"`
+	Committing []TxOpJSON       `json:"committing,omitempty"`
+	Sleeping   []string         `json:"sleeping,omitempty"`
+	CommitQ    []string         `json:"commit_q,omitempty"`
+}
+
+// TxSummaryJSON is the wire form of one registry entry.
+type TxSummaryJSON struct {
+	ID       string   `json:"id"`
+	State    string   `json:"state"`
+	Reason   string   `json:"reason,omitempty"`
+	Objects  []string `json:"objects,omitempty"`
+	Priority int      `json:"priority,omitempty"`
+}
+
+// Response is a server → client message.
+type Response struct {
+	OK      bool              `json:"ok"`
+	Err     string            `json:"err,omitempty"`
+	Granted bool              `json:"granted,omitempty"`
+	Resumed bool              `json:"resumed,omitempty"`
+	Value   *Value            `json:"value,omitempty"`
+	State   string            `json:"state,omitempty"`
+	Objects []string          `json:"objects,omitempty"`
+	Stats   map[string]uint64 `json:"stats,omitempty"`
+	Info    *ObjectInfoJSON   `json:"info,omitempty"`
+	Txs     []TxSummaryJSON   `json:"txs,omitempty"`
+}
+
+// WriteMsg frames v as [u32 length][JSON].
+func WriteMsg(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadMsg reads one frame into v.
+func ReadMsg(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,441 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"preserial/internal/core"
+	"preserial/internal/sem"
+)
+
+// Server exposes a core.Manager over TCP. It owns the mapping from
+// transaction ids to synchronous core.Clients and implements the
+// disconnection semantics: transactions whose connection vanishes are put
+// to sleep, not aborted.
+type Server struct {
+	m             *Manager
+	ln            net.Listener
+	log           *log.Logger
+	invokeTimeout time.Duration
+	retention     time.Duration
+	stopSweep     chan struct{}
+
+	mu      sync.Mutex
+	clients map[string]*core.Client
+	closed  bool
+	conns   map[net.Conn]bool
+	wg      sync.WaitGroup
+}
+
+// Manager is the narrow surface the server needs from core.Manager — an
+// alias kept for readability.
+type Manager = core.Manager
+
+// ServerOptions configures Serve.
+type ServerOptions struct {
+	// Logger receives connection-level events; nil silences them.
+	Logger *log.Logger
+	// InvokeTimeout bounds a blocking invoke; zero means no limit.
+	InvokeTimeout time.Duration
+	// Retention is how long terminal (committed/aborted) transactions stay
+	// queryable before the server forgets them and frees their state.
+	// Zero means 10 minutes; negative retains forever.
+	Retention time.Duration
+}
+
+// NewServer wraps a manager. Call Serve to start accepting.
+func NewServer(m *core.Manager, opts ServerOptions) *Server {
+	lg := opts.Logger
+	if lg == nil {
+		lg = log.New(io.Discard, "", 0)
+	}
+	retention := opts.Retention
+	if retention == 0 {
+		retention = 10 * time.Minute
+	}
+	return &Server{
+		m:             m,
+		log:           lg,
+		invokeTimeout: opts.InvokeTimeout,
+		retention:     retention,
+		clients:       make(map[string]*core.Client),
+		conns:         make(map[net.Conn]bool),
+	}
+}
+
+// Serve listens on addr and handles connections until Close. It returns
+// the bound address via Addr once listening.
+func (s *Server) Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("wire: server closed")
+	}
+	s.ln = ln
+	s.stopSweep = make(chan struct{})
+	s.mu.Unlock()
+	if s.retention > 0 {
+		go s.sweepLoop()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Addr returns the listener address (nil before Serve binds).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener and hangs up every connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	if s.stopSweep != nil {
+		close(s.stopSweep)
+		s.stopSweep = nil
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// sweepLoop periodically forgets long-terminal transactions.
+func (s *Server) sweepLoop() {
+	t := time.NewTicker(s.retention / 4)
+	defer t.Stop()
+	for {
+		s.mu.Lock()
+		stop := s.stopSweep
+		s.mu.Unlock()
+		if stop == nil {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.Sweep(s.retention)
+		}
+	}
+}
+
+// Sweep forgets every terminal transaction that finished more than
+// olderThan ago, freeing its registry entry and client handle. It returns
+// the ids removed.
+func (s *Server) Sweep(olderThan time.Duration) []string {
+	cutoff := time.Now().Add(-olderThan)
+	var removed []string
+	for _, info := range s.m.Transactions() {
+		if !info.State.Terminal() || info.Finished.After(cutoff) {
+			continue
+		}
+		if err := s.m.Forget(info.ID); err != nil {
+			continue
+		}
+		removed = append(removed, string(info.ID))
+	}
+	if len(removed) > 0 {
+		s.mu.Lock()
+		for _, id := range removed {
+			delete(s.clients, id)
+		}
+		s.mu.Unlock()
+		s.log.Printf("wire: swept %d terminal transactions", len(removed))
+	}
+	return removed
+}
+
+// handle runs one connection's request loop.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	owned := make(map[string]bool)
+	defer s.disconnectOwned(owned)
+
+	for {
+		var req Request
+		if err := ReadMsg(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log.Printf("wire: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(&req, owned)
+		if err := WriteMsg(conn, resp); err != nil {
+			s.log.Printf("wire: write to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// disconnectOwned implements the mobile-disconnection semantics: every
+// transaction begun (or attached) on the lost connection that is still
+// Active or Waiting goes to sleep and can be attached + awakened later.
+func (s *Server) disconnectOwned(owned map[string]bool) {
+	for id := range owned {
+		st, err := s.m.TxState(core.TxID(id))
+		if err != nil {
+			continue
+		}
+		if st == core.StateActive || st == core.StateWaiting {
+			if err := s.m.Sleep(core.TxID(id)); err == nil {
+				s.log.Printf("wire: connection lost, transaction %s now sleeping", id)
+			}
+		}
+	}
+}
+
+// client returns the registered client for a transaction.
+func (s *Server) client(tx string) (*core.Client, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.clients[tx]
+	if !ok {
+		return nil, fmt.Errorf("wire: unknown transaction %q (begin or attach first)", tx)
+	}
+	return c, nil
+}
+
+// dispatch executes one request.
+func (s *Server) dispatch(req *Request, owned map[string]bool) *Response {
+	fail := func(err error) *Response { return &Response{Err: err.Error()} }
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+
+	case OpBegin:
+		if req.Tx == "" {
+			return fail(errors.New("wire: begin needs a tx id"))
+		}
+		c, err := s.m.BeginClient(core.TxID(req.Tx))
+		if err != nil {
+			return fail(err)
+		}
+		s.mu.Lock()
+		s.clients[req.Tx] = c
+		s.mu.Unlock()
+		owned[req.Tx] = true
+		return &Response{OK: true}
+
+	case OpAttach:
+		s.mu.Lock()
+		_, ok := s.clients[req.Tx]
+		s.mu.Unlock()
+		if !ok {
+			return fail(fmt.Errorf("wire: no transaction %q to attach", req.Tx))
+		}
+		owned[req.Tx] = true
+		return &Response{OK: true}
+
+	case OpInvoke:
+		c, err := s.client(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		class, err := ParseClass(req.Class)
+		if err != nil {
+			return fail(err)
+		}
+		ctx := context.Background()
+		if s.invokeTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.invokeTimeout)
+			defer cancel()
+		}
+		if err := c.Invoke(ctx, core.ObjectID(req.Object), sem.Op{Class: class, Member: req.Member}); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Granted: true}
+
+	case OpRead:
+		c, err := s.client(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		v, err := c.Read(core.ObjectID(req.Object))
+		if err != nil {
+			return fail(err)
+		}
+		wv := FromSem(v)
+		return &Response{OK: true, Value: &wv}
+
+	case OpApply:
+		c, err := s.client(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		if req.Operand == nil {
+			return fail(errors.New("wire: apply needs an operand"))
+		}
+		operand, err := req.Operand.ToSem()
+		if err != nil {
+			return fail(err)
+		}
+		if err := c.Apply(core.ObjectID(req.Object), operand); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+
+	case OpCommit:
+		c, err := s.client(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		if err := c.Commit(context.Background()); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+
+	case OpAbort:
+		c, err := s.client(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		if err := c.Abort(); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+
+	case OpSleep:
+		c, err := s.client(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		if err := c.Sleep(); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+
+	case OpAwake:
+		c, err := s.client(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		resumed, err := c.Awake()
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Resumed: resumed}
+
+	case OpState:
+		st, err := s.m.TxState(core.TxID(req.Tx))
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, State: st.String()}
+
+	case OpObjects:
+		ids := s.m.Objects()
+		out := make([]string, len(ids))
+		for i, id := range ids {
+			out[i] = string(id)
+		}
+		return &Response{OK: true, Objects: out}
+
+	case OpStats:
+		st := s.m.Stats()
+		stats := map[string]uint64{
+			"begun": st.Begun, "committed": st.Committed, "aborted": st.Aborted,
+			"grants": st.Grants, "waits": st.Waits, "sleeps": st.Sleeps,
+			"awakes": st.Awakes, "awake_aborts": st.AwakeAborts,
+			"ssts": st.SSTs, "sst_failures": st.SSTFailures,
+			"reconciled": st.Reconciled, "denied_admits": st.DeniedAdmits,
+		}
+		for reason, n := range st.AbortsBy {
+			stats["aborts_"+reason.String()] = n
+		}
+		return &Response{OK: true, Stats: stats}
+
+	case OpInfo:
+		info, err := s.m.ObjectInfo(core.ObjectID(req.Object))
+		if err != nil {
+			return fail(err)
+		}
+		out := &ObjectInfoJSON{ID: string(info.ID), Members: make(map[string]Value, len(info.Members))}
+		for member, v := range info.Members {
+			out.Members[member] = FromSem(v)
+		}
+		conv := func(in []core.TxOp) []TxOpJSON {
+			res := make([]TxOpJSON, len(in))
+			for i, to := range in {
+				res[i] = TxOpJSON{Tx: string(to.Tx), Class: ClassName(to.Op.Class), Member: to.Op.Member}
+			}
+			return res
+		}
+		out.Pending = conv(info.Pending)
+		out.Waiting = conv(info.Waiting)
+		out.Committing = conv(info.Commiting)
+		for _, tx := range info.Sleeping {
+			out.Sleeping = append(out.Sleeping, string(tx))
+		}
+		for _, tx := range info.CommitQ {
+			out.CommitQ = append(out.CommitQ, string(tx))
+		}
+		return &Response{OK: true, Info: out}
+
+	case OpTxs:
+		var txs []TxSummaryJSON
+		for _, ti := range s.m.Transactions() {
+			objs := make([]string, len(ti.Objects))
+			for i, o := range ti.Objects {
+				objs[i] = string(o)
+			}
+			sum := TxSummaryJSON{ID: string(ti.ID), State: ti.State.String(),
+				Objects: objs, Priority: ti.Priority}
+			if ti.State == core.StateAborted {
+				sum.Reason = ti.Reason.String()
+			}
+			txs = append(txs, sum)
+		}
+		return &Response{OK: true, Txs: txs}
+
+	default:
+		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
+	}
+}

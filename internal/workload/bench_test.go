@@ -1,0 +1,22 @@
+package workload
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	p := DefaultParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(p.N), "specs/op")
+}
+
+func BenchmarkGenerateItineraries(b *testing.B) {
+	p := DefaultItineraryParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateItineraries(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

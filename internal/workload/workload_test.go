@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"preserial/internal/sem"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same params must generate identical populations")
+	}
+	p.Seed = 2
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := DefaultParams()
+	specs, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != p.N {
+		t.Fatalf("N = %d", len(specs))
+	}
+	for i, s := range specs {
+		if want := time.Duration(i) * p.Interarrival; s.Arrival != want {
+			t.Fatalf("spec %d arrival = %v, want %v", i, s.Arrival, want)
+		}
+		if s.Object < 0 || s.Object >= p.Objects {
+			t.Fatalf("spec %d object = %d", i, s.Object)
+		}
+		switch s.Kind {
+		case Subtract:
+			if s.Operand.Int64() != -1 {
+				t.Fatalf("subtract operand = %s", s.Operand)
+			}
+		case Assign:
+			if s.Operand.Int64() != p.AssignValue {
+				t.Fatalf("assign operand = %s", s.Operand)
+			}
+			if s.Disconnects {
+				t.Fatalf("assign transactions never disconnect (spec %d)", i)
+			}
+		}
+		lo := time.Duration(float64(p.Exec) * (1 - p.ExecJitter))
+		hi := time.Duration(float64(p.Exec) * (1 + p.ExecJitter))
+		if s.Exec < lo || s.Exec > hi {
+			t.Fatalf("spec %d exec = %v outside [%v, %v]", i, s.Exec, lo, hi)
+		}
+		if s.Disconnects && (s.DisconnectAt < 0 || s.DisconnectAt > s.Exec) {
+			t.Fatalf("spec %d disconnects outside execution: at %v of %v", i, s.DisconnectAt, s.Exec)
+		}
+	}
+}
+
+func TestGenerateFractionsMatchAlphaBeta(t *testing.T) {
+	p := DefaultParams()
+	p.N = 5000
+	p.Alpha = 0.7
+	p.Beta = 0.2
+	specs, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, disc := Fractions(specs)
+	if math.Abs(sub-0.7) > 0.03 {
+		t.Errorf("subtract fraction = %g, want ≈0.7", sub)
+	}
+	if math.Abs(disc-0.2) > 0.03 {
+		t.Errorf("disconnect fraction = %g, want ≈0.2", disc)
+	}
+}
+
+func TestFifteenClasses(t *testing.T) {
+	p := DefaultParams()
+	p.N = 10000 // large enough that every class is hit
+	p.Beta = 0.3
+	specs, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := CountByClass(specs)
+	// 5 objects × (sub/conn, sub/disc, assign) = 15 classes, as in VI.B.
+	if len(classes) != 15 {
+		t.Fatalf("classes = %d: %v", len(classes), classes)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{},
+		func() Params { p := DefaultParams(); p.N = 0; return p }(),
+		func() Params { p := DefaultParams(); p.Objects = 0; return p }(),
+		func() Params { p := DefaultParams(); p.Alpha = 1.5; return p }(),
+		func() Params { p := DefaultParams(); p.Beta = -0.1; return p }(),
+		func() Params { p := DefaultParams(); p.Exec = 0; return p }(),
+		func() Params { p := DefaultParams(); p.ExecJitter = 1; return p }(),
+		func() Params { p := DefaultParams(); p.Interarrival = -time.Second; return p }(),
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestKindAndClass(t *testing.T) {
+	if Subtract.String() != "subtract" || Assign.String() != "assign" {
+		t.Error("Kind strings")
+	}
+	if Subtract.Class() != sem.AddSub || Assign.Class() != sem.Assign {
+		t.Error("Kind classes")
+	}
+	s := Spec{Object: 3, Kind: Subtract, Disconnects: true}
+	if s.Class() != "sub/X3/disc" {
+		t.Errorf("class = %s", s.Class())
+	}
+	s.Disconnects = false
+	if s.Class() != "sub/X3/conn" {
+		t.Errorf("class = %s", s.Class())
+	}
+	s.Kind = Assign
+	if s.Class() != "assign/X3" {
+		t.Errorf("class = %s", s.Class())
+	}
+}
+
+func TestFractionsEmpty(t *testing.T) {
+	sub, disc := Fractions(nil)
+	if sub != 0 || disc != 0 {
+		t.Error("empty population fractions")
+	}
+}
+
+func TestExpectedRates(t *testing.T) {
+	p := DefaultParams()
+	if got := ExpectedConflictRate(p); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("conflict rate = %g", got)
+	}
+	p.Alpha = 1
+	if got := ExpectedIncompatibleRate(p); got != 0 {
+		t.Errorf("all-subtract incompatibility = %g", got)
+	}
+	p.Alpha = 0
+	if got := ExpectedIncompatibleRate(p); got != 1 {
+		t.Errorf("all-assign incompatibility = %g", got)
+	}
+	p.Objects = 0
+	if ExpectedConflictRate(p) != 0 {
+		t.Error("objects=0 must give 0")
+	}
+}
+
+func TestMeanExec(t *testing.T) {
+	if MeanExec(nil) != 0 {
+		t.Error("empty mean")
+	}
+	specs := []Spec{{Exec: time.Second}, {Exec: 3 * time.Second}}
+	if got := MeanExec(specs); got != 2*time.Second {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestItineraries(t *testing.T) {
+	p := DefaultItineraryParams()
+	its, err := GenerateItineraries(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(its) != p.N {
+		t.Fatalf("N = %d", len(its))
+	}
+	for _, it := range its {
+		if len(it.Steps) < p.MinSteps || len(it.Steps) > p.MaxSteps {
+			t.Fatalf("%s has %d steps", it.ID, len(it.Steps))
+		}
+		if it.Steps[0].Kind != BookFlight {
+			t.Fatalf("%s does not start with a flight", it.ID)
+		}
+		seen := map[Step]bool{}
+		for _, s := range it.Steps {
+			if seen[s] {
+				t.Fatalf("%s repeats step %v", it.ID, s)
+			}
+			seen[s] = true
+			if s.Index < 0 || s.Index >= p.PerKind {
+				t.Fatalf("%s step index %d", it.ID, s.Index)
+			}
+		}
+	}
+	// Determinism.
+	again, err := GenerateItineraries(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(its, again) {
+		t.Error("itineraries must be deterministic")
+	}
+	if _, err := GenerateItineraries(ItineraryParams{}); err == nil {
+		t.Error("zero params must be rejected")
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	want := map[StepKind]string{
+		BookFlight: "flight", BookHotel: "hotel", BookMuseum: "museum", RentCar: "car",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+	if StepKind(9).String() != "StepKind(9)" {
+		t.Error("unknown step kind")
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments fuzz clean
+.PHONY: all build test race bench experiments fuzz obs-demo clean
 
 all: build test
 
@@ -27,6 +27,22 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadWAL -fuzztime=30s ./internal/ldbs
 	$(GO) test -fuzz=FuzzParseSQL -fuzztime=30s ./internal/ldbs
 	$(GO) test -fuzz=FuzzReadMsg -fuzztime=30s ./internal/wire
+
+# Start gtmd with diagnostics, drive a short workload, scrape /metrics and
+# the event trace, then shut down (see docs/OBSERVABILITY.md).
+obs-demo:
+	@$(GO) build -o /tmp/gtmd-demo ./cmd/gtmd
+	@/tmp/gtmd-demo -addr 127.0.0.1:7654 -http 127.0.0.1:7655 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null" EXIT; \
+	sleep 1; \
+	$(GO) run ./cmd/gtmload -addr 127.0.0.1:7654 -n 50 -alpha 0.8 -beta 0.1; \
+	echo; echo "--- /metrics (gtm_* counters) ---"; \
+	curl -s 127.0.0.1:7655/metrics | grep -E '^gtm_[a-z_]+(\{[^}]*\})? ' ; \
+	echo; echo "--- /debug/trace (last 5 events) ---"; \
+	curl -s '127.0.0.1:7655/debug/trace?n=5'; echo; \
+	echo; echo "--- /healthz ---"; \
+	curl -s 127.0.0.1:7655/healthz; echo
 
 clean:
 	$(GO) clean ./...

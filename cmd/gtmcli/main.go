@@ -43,7 +43,7 @@ func main() {
 	in := bufio.NewScanner(os.Stdin)
 	interactive := isTerminalLike()
 	if interactive {
-		fmt.Println("connected; try: objects | stats | info <obj> | txs | begin <tx> | invoke <tx> <obj> <class> [member] | read | apply | commit | sleep | awake | state | quit")
+		fmt.Println("connected; try: objects | stats | metrics | info <obj> | txs | begin <tx> | invoke <tx> <obj> <class> [member] | read | apply | commit | sleep | awake | state | quit")
 	}
 	for {
 		if interactive {
@@ -190,6 +190,24 @@ func run(cn *wire.Conn, args []string) (string, error) {
 			fmt.Fprintf(&b, "%s=%d ", k, stats[k])
 		}
 		return strings.TrimSpace(b.String()), nil
+	case "metrics":
+		_, metrics, err := cn.Metrics()
+		if err != nil {
+			return "", err
+		}
+		if len(metrics) == 0 {
+			return "(server has no observability registry)", nil
+		}
+		keys := make([]string, 0, len(metrics))
+		for k := range metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%-55s %d\n", k, metrics[k])
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
 	case "info":
 		if err := need(2); err != nil {
 			return "", err

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+
+	"preserial/internal/core"
+	"preserial/internal/obs"
+)
+
+// newHTTPHandler builds the diagnostics mux served by -http:
+//
+//	/metrics      Prometheus text exposition of every registered metric
+//	/healthz      liveness JSON (ok, uptime, goroutines)
+//	/debug/trace  newest GTM trace events as JSON (?n= limits the count)
+//	/debug/pprof  the standard Go profiler endpoints
+func newHTTPHandler(reg *obs.Registry, o *core.Observability, m *core.Manager, start time.Time) http.Handler {
+	reg.GaugeFunc("gtmd_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("gtmd_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("gtm_transactions_live", "Transactions in a non-terminal state.",
+		func() float64 {
+			var n int
+			for _, ti := range m.Transactions() {
+				if !ti.State.Terminal() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"ok":         true,
+			"uptime_s":   time.Since(start).Seconds(),
+			"goroutines": runtime.NumGoroutine(),
+		})
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		ring := o.Trace()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"total":  ring.Total(),
+			"events": ring.Snapshot(n),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -13,6 +13,10 @@
 // logs every commit, and checkpoints periodically. Connect with gtmcli or
 // the wire client library. Dropping a connection mid-transaction puts the
 // transaction to sleep; reconnect, attach and awake to finish it.
+//
+// With -http, a diagnostics listener serves /metrics (Prometheus text),
+// /healthz, /debug/trace (the GTM event ring as JSON) and /debug/pprof.
+// See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -20,11 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"preserial/internal/core"
 	"preserial/internal/ldbs"
+	"preserial/internal/obs"
 	"preserial/internal/sem"
 	"preserial/internal/wire"
 )
@@ -38,13 +44,21 @@ func main() {
 	waitTO := flag.Duration("wait-timeout", 5*time.Minute, "abort transactions queued longer than this (0: never)")
 	sleepTO := flag.Duration("sleep-abort-after", time.Hour, "abort sleepers away longer than this (0: never)")
 	invokeTO := flag.Duration("invoke-timeout", 0, "fail blocking invokes after this (0: wait forever)")
+	httpAddr := flag.String("http", "", "diagnostics listen address for /metrics, /healthz, /debug/trace and /debug/pprof (empty: disabled)")
+	traceDepth := flag.Int("trace-depth", 4096, "GTM event trace ring capacity")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gtmd: ", log.LstdFlags)
 
+	// Metrics are always collected (atomic counters are near-free); the
+	// -http flag only controls whether they are exposed over HTTP. The wire
+	// stats op serves them regardless.
+	reg := obs.NewRegistry()
+	observ := core.NewObservability(reg, *traceDepth)
+
 	var db *ldbs.DB
 	if *dataDir != "" {
-		pers := &ldbs.Persistence{Dir: *dataDir}
+		pers := &ldbs.Persistence{Dir: *dataDir, Obs: reg}
 		recovered, err := pers.Open(demoSchemas())
 		if err != nil {
 			logger.Fatalf("recovery: %v", err)
@@ -64,7 +78,7 @@ func main() {
 			}
 		}()
 	} else {
-		db = ldbs.Open(ldbs.Options{})
+		db = ldbs.Open(ldbs.Options{Obs: reg})
 		if err := createDemoSchema(db); err != nil {
 			logger.Fatalf("schema: %v", err)
 		}
@@ -74,9 +88,20 @@ func main() {
 		logger.Fatalf("seed: %v", err)
 	}
 
-	m := core.NewManager(core.NewLDBSStore(db), core.WithHistory())
+	m := core.NewManager(core.NewLDBSStore(db), core.WithHistory(),
+		core.WithObservability(observ))
 	if err := registerDemoObjects(m); err != nil {
 		logger.Fatalf("register: %v", err)
+	}
+
+	if *httpAddr != "" {
+		handler := newHTTPHandler(reg, observ, m, time.Now())
+		go func() {
+			logger.Printf("diagnostics on http://%s/metrics", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, handler); err != nil {
+				logger.Fatalf("http: %v", err)
+			}
+		}()
 	}
 
 	// The supervision loop implements the paper's sleep oracle Ξ (user
@@ -87,7 +112,7 @@ func main() {
 		SleepAbortAfter: *sleepTO,
 	}, 5*time.Second)
 
-	srv := wire.NewServer(m, wire.ServerOptions{Logger: logger, InvokeTimeout: *invokeTO})
+	srv := wire.NewServer(m, wire.ServerOptions{Logger: logger, InvokeTimeout: *invokeTO, Obs: reg})
 	logger.Printf("middleware listening on %s (data dir %q)", *addr, *dataDir)
 	if err := srv.Serve(*addr); err != nil {
 		logger.Fatalf("serve: %v", err)

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -99,6 +100,33 @@ func main() {
 	fmt.Printf("execution time: %s\n", lat.String())
 	for r, c := range reasons {
 		fmt.Printf("  abort reason %q: %d\n", r, c)
+	}
+	printServerMetrics(*addr)
+}
+
+// printServerMetrics fetches the server's live observability snapshot over
+// the stats op and prints the GTM families — the server-side view of the
+// run just driven. Silent when the server has no registry.
+func printServerMetrics(addr string) {
+	cn, err := wire.Dial(addr)
+	if err != nil {
+		return
+	}
+	defer cn.Close()
+	_, m, err := cn.Metrics()
+	if err != nil || len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if strings.HasPrefix(k, "gtm_") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	fmt.Println("server metrics (gtm_*):")
+	for _, k := range keys {
+		fmt.Printf("  %-50s %d\n", k, m[k])
 	}
 }
 

@@ -35,6 +35,7 @@ type Manager struct {
 	clk   clock.Clock
 	store Store
 	opts  options
+	obs   *Observability // nil unless WithObservability
 
 	txs  map[TxID]*transaction
 	objs map[ObjectID]*object
@@ -61,6 +62,7 @@ func NewManager(store Store, opt ...Option) *Manager {
 	if m.opts.clk != nil {
 		m.clk = m.opts.clk
 	}
+	m.obs = m.opts.obs
 	return m
 }
 
@@ -107,6 +109,10 @@ func (m *Manager) Begin(id TxID, opt ...TxOption) error {
 	}
 	m.txs[id] = t
 	m.stats.Begun++
+	if m.obs != nil {
+		m.obs.begun.Inc()
+		m.trace("begin", t, "", 0, 0, "")
+	}
 	return nil
 }
 
@@ -143,14 +149,22 @@ func (m *Manager) Invoke(txID TxID, objID ObjectID, op sem.Op) (granted bool, er
 	}
 
 	if reason := m.admissionBlock(t, o, op, nil); reason != admitOK {
+		cause := "policy"
 		if reason == admitConflict {
+			cause = "conflict"
 			// Refuse waits that would deadlock.
 			blockers := o.conflictingHolders(txID, op)
 			if m.opts.detectDeadlocks && m.wouldDeadlock(txID, blockers) {
 				return false, fmt.Errorf("%w: %s waiting on %s", ErrDeadlock, txID, objID)
 			}
+			if m.obs != nil {
+				m.obs.conflicts.Inc()
+			}
 		} else {
 			m.stats.DeniedAdmits++
+			if m.obs != nil {
+				m.obs.denied.Inc()
+			}
 			if m.opts.denyHard {
 				return false, fmt.Errorf("%w: %s on %s", ErrDenied, txID, objID)
 			}
@@ -162,6 +176,10 @@ func (m *Manager) Invoke(txID TxID, objID ObjectID, op sem.Op) (granted bool, er
 		t.objects[objID] = true
 		o.waiting = append(o.waiting, &waitEntry{tx: txID, op: op, since: now, priority: t.priority})
 		m.stats.Waits++
+		if m.obs != nil {
+			m.obs.waits.Inc()
+			m.trace("wait", t, objID, 0, 0, cause)
+		}
 		return false, nil
 	}
 
@@ -220,6 +238,9 @@ func (m *Manager) grant(t *transaction, o *object, op sem.Op) error {
 	o.temp[t.id] = perm
 	t.objects[o.id] = true
 	m.stats.Grants++
+	if m.obs != nil {
+		m.obs.admits.Inc()
+	}
 	return nil
 }
 
@@ -316,6 +337,7 @@ func (m *Manager) RequestCommit(txID TxID) error {
 		return fmt.Errorf("%w: %s is %s, commit requires Active", ErrBadState, txID, t.state)
 	}
 	t.lastActivity = m.clk.Now()
+	t.commitStart = t.lastActivity
 	m.setState(t, StateCommitting)
 	// Collect the objects with a live invocation, in canonical order.
 	var want []ObjectID
@@ -376,6 +398,9 @@ func (m *Manager) localCommit(t *transaction, o *object) error {
 	}
 	if !neu.Equal(o.temp[t.id]) {
 		m.stats.Reconciled++
+		if m.obs != nil {
+			m.obs.reconciled.Inc()
+		}
 	}
 	o.neu[t.id] = neu
 	o.committing[t.id] = op
@@ -420,6 +445,7 @@ func (m *Manager) globalCommit(t *transaction) {
 		return
 	}
 	t.sstInFlight = true
+	t.sstStart = m.clk.Now()
 	store := m.store
 	id := t.id
 	retries := m.opts.sstRetries
@@ -444,12 +470,21 @@ func (m *Manager) completeSST(id TxID, locals []localWrite, sstErr error) {
 		return // forgotten mid-flight: impossible via the public API
 	}
 	t.sstInFlight = false
+	if m.obs != nil {
+		sinceIfSet(m.obs.sstLatency, t.sstStart, m.clk.Now())
+	}
 	if sstErr != nil {
 		m.stats.SSTFailures++
+		if m.obs != nil {
+			m.obs.sstFailures.Inc()
+		}
 		m.finishAbort(t, AbortSSTFailure, sstErr)
 		return
 	}
 	m.stats.SSTs++
+	if m.obs != nil {
+		m.obs.ssts.Inc()
+	}
 	m.publish(t, locals)
 }
 
@@ -480,6 +515,10 @@ func (m *Manager) publish(t *transaction, locals []localWrite) {
 	t.twait = time.Time{}
 	t.tsleep = time.Time{}
 	m.stats.Committed++
+	if m.obs != nil {
+		m.obs.commits.Inc()
+		sinceIfSet(m.obs.commitLatency, t.commitStart, now)
+	}
 	m.notifyTx(t, Event{Type: EvCommitted, Tx: t.id})
 	m.pruneHistories()
 	for _, lw := range locals {
@@ -530,6 +569,10 @@ func (m *Manager) finishAbort(t *transaction, reason AbortReason, cause error) {
 	t.commitWant = nil
 	m.stats.Aborted++
 	m.stats.AbortsBy[reason]++
+	if m.obs != nil {
+		m.obs.observeAbort(reason)
+		m.trace("abort", t, "", 0, 0, reason.String())
+	}
 	m.notifyTx(t, Event{Type: EvAborted, Tx: t.id, Reason: reason, Err: cause})
 	sort.Slice(touched, func(i, j int) bool { return touched[i].id < touched[j].id })
 	for _, o := range touched {
@@ -555,6 +598,9 @@ func (m *Manager) Sleep(txID TxID) error {
 	t.tsleep = m.clk.Now()
 	t.sleepSeq = m.commitSeq
 	m.stats.Sleeps++
+	if m.obs != nil {
+		m.obs.sleeps.Inc()
+	}
 	var touched []*object
 	for objID := range t.objects {
 		o := m.objs[objID]
@@ -600,6 +646,9 @@ func (m *Manager) Awake(txID TxID) (resumed bool, err error) {
 		if o.sleepConflict(txID, op, t.sleepSeq) {
 			m.setState(t, StateAborting)
 			m.stats.AwakeAborts++
+			if m.obs != nil {
+				m.obs.awakesAborted.Inc()
+			}
 			m.finishAbort(t, AbortSleepConflict, nil)
 			return false, nil
 		}
@@ -626,6 +675,9 @@ func (m *Manager) Awake(txID TxID) (resumed bool, err error) {
 	t.waitingOn = ""
 	t.lastActivity = m.clk.Now()
 	m.stats.Awakes++
+	if m.obs != nil {
+		m.obs.awakesResumed.Inc()
+	}
 	// Admissions this sleeper was indirectly blocking may now proceed.
 	for objID := range t.objects {
 		m.dispatch(m.objs[objID])
@@ -682,6 +734,10 @@ func (m *Manager) dispatch(o *object) {
 		m.setState(t, StateActive)
 		t.waitingOn = ""
 		t.twait = time.Time{}
+		if m.obs != nil {
+			sinceIfSet(m.obs.invokeWait, w.since, m.clk.Now())
+			m.trace("grant", t, o.id, 0, 0, "")
+		}
 		m.notifyTx(t, Event{Type: EvGranted, Tx: t.id, Object: o.id})
 	}
 }
@@ -756,6 +812,9 @@ func (m *Manager) lookup(txID TxID, objID ObjectID) (*transaction, *object, erro
 func (m *Manager) setState(t *transaction, to State) {
 	if !canTransition(t.state, to) {
 		panic(fmt.Sprintf("core: illegal state transition %s -> %s for %s", t.state, to, t.id))
+	}
+	if t.state != to {
+		m.trace("state", t, "", t.state, to, "")
 	}
 	t.state = to
 }

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"preserial/internal/obs"
+)
+
+// Observability is the GTM's live metric set: the run-time counterparts of
+// the quantities Section V of the paper evaluates offline (conflict rate,
+// abort rate, sleep/awake outcomes), plus latency histograms for the commit
+// pipeline. Counters and histograms are lock-free atomics the Manager
+// updates inside its critical sections (one atomic add each, no
+// allocation); the trace ring is fed through the monitor's notification
+// queue, so trace appends never extend a critical section.
+//
+// A Manager without WithObservability pays nothing: every instrumentation
+// site is a single nil check.
+type Observability struct {
+	trace *obs.TraceRing
+
+	begun     *obs.Counter // gtm_tx_begun_total
+	admits    *obs.Counter // gtm_invocations_admitted_total
+	waits     *obs.Counter // gtm_invocations_waited_total
+	conflicts *obs.Counter // gtm_conflicts_total
+	denied    *obs.Counter // gtm_admissions_denied_total
+
+	sleeps        *obs.Counter // gtm_sleeps_total
+	awakesResumed *obs.Counter // gtm_awakes_total{outcome="resumed"}
+	awakesAborted *obs.Counter // gtm_awakes_total{outcome="aborted"}
+
+	commits     *obs.Counter // gtm_commits_total
+	reconciled  *obs.Counter // gtm_reconciliations_total
+	ssts        *obs.Counter // gtm_sst_total{outcome="ok"}
+	sstFailures *obs.Counter // gtm_sst_total{outcome="failed"}
+
+	aborts [AbortTimeout + 1]*obs.Counter // gtm_aborts_total{reason=...}
+
+	commitLatency *obs.Histogram // gtm_commit_seconds
+	invokeWait    *obs.Histogram // gtm_invoke_wait_seconds
+	sstLatency    *obs.Histogram // gtm_sst_seconds
+}
+
+// NewObservability registers the GTM metric set in reg and allocates a
+// trace ring retaining the last traceDepth transaction events (0 disables
+// tracing). Registration is idempotent per registry.
+func NewObservability(reg *obs.Registry, traceDepth int) *Observability {
+	o := &Observability{
+		begun:     reg.Counter("gtm_tx_begun_total", "Transactions begun."),
+		admits:    reg.Counter("gtm_invocations_admitted_total", "Invocations granted, immediately or after a wait."),
+		waits:     reg.Counter("gtm_invocations_waited_total", "Invocations that had to queue."),
+		conflicts: reg.Counter("gtm_conflicts_total", "Invocations blocked by a semantic conflict with a live holder."),
+		denied:    reg.Counter("gtm_admissions_denied_total", "Admissions refused by Section VII extension policies."),
+
+		sleeps:        reg.Counter("gtm_sleeps_total", "Transactions put to sleep (disconnection or idleness)."),
+		awakesResumed: reg.Counter(`gtm_awakes_total{outcome="resumed"}`, "Awakenings by outcome (Algorithm 9)."),
+		awakesAborted: reg.Counter(`gtm_awakes_total{outcome="aborted"}`, "Awakenings by outcome (Algorithm 9)."),
+
+		commits:     reg.Counter("gtm_commits_total", "Transactions committed."),
+		reconciled:  reg.Counter("gtm_reconciliations_total", "Commits whose reconciled X_new differed from A_temp."),
+		ssts:        reg.Counter(`gtm_sst_total{outcome="ok"}`, "Secure System Transactions by outcome."),
+		sstFailures: reg.Counter(`gtm_sst_total{outcome="failed"}`, "Secure System Transactions by outcome."),
+
+		commitLatency: reg.Histogram("gtm_commit_seconds", "Latency from commit request to publication.", nil),
+		invokeWait:    reg.Histogram("gtm_invoke_wait_seconds", "Queue time of invocations granted after a wait.", nil),
+		sstLatency:    reg.Histogram("gtm_sst_seconds", "Secure System Transaction execution latency.", nil),
+	}
+	for r := AbortUser; r <= AbortTimeout; r++ {
+		o.aborts[r] = reg.Counter(fmt.Sprintf("gtm_aborts_total{reason=%q}", r.String()), "Aborts by reason.")
+	}
+	if traceDepth > 0 {
+		o.trace = obs.NewTraceRing(traceDepth)
+	}
+	return o
+}
+
+// Trace returns the transaction-event ring (nil when tracing is disabled).
+func (o *Observability) Trace() *obs.TraceRing { return o.trace }
+
+// WithObservability attaches a live metric set to the Manager. Without it
+// the Manager keeps only its monitor-protected Stats.
+func WithObservability(o *Observability) Option {
+	return func(opts *options) { opts.obs = o }
+}
+
+// trace queues a trace append for delivery after the current critical
+// section — the monitor notification hook the ring is fed from. Must be
+// called while holding the monitor.
+func (m *Manager) trace(kind string, t *transaction, object ObjectID, from, to State, detail string) {
+	if m.obs == nil || m.obs.trace == nil {
+		return
+	}
+	ev := obs.TraceEvent{
+		At:     m.clk.Now(),
+		Tx:     string(t.id),
+		Kind:   kind,
+		Object: string(object),
+		Detail: detail,
+	}
+	if kind == "state" {
+		ev.From = from.String()
+		ev.To = to.String()
+	}
+	ring := m.obs.trace
+	m.mon.queue(func() { ring.Add(ev) })
+}
+
+// observeAbort bumps the per-reason abort counter.
+func (o *Observability) observeAbort(reason AbortReason) {
+	if int(reason) < len(o.aborts) && o.aborts[reason] != nil {
+		o.aborts[reason].Inc()
+	}
+}
+
+// sinceIfSet observes now−start on h when start is set (guards first-use
+// paths where a timestamp may be zero).
+func sinceIfSet(h *obs.Histogram, start, now time.Time) {
+	if !start.IsZero() && now.After(start) {
+		h.Observe(now.Sub(start))
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"preserial/internal/obs"
+	"preserial/internal/sem"
+)
+
+// obsManager builds a manager with live observability over a seeded store.
+func obsManager(t *testing.T) (*Manager, *obs.Registry, *Observability) {
+	t.Helper()
+	store := NewMemStore()
+	ref := StoreRef{Table: "Flight", Key: "AZ0", Column: "FreeTickets"}
+	store.Seed(ref, sem.Int(100))
+	reg := obs.NewRegistry()
+	o := NewObservability(reg, 256)
+	m := NewManager(store, WithObservability(o))
+	if err := m.RegisterAtomicObject("flight", ref); err != nil {
+		t.Fatal(err)
+	}
+	return m, reg, o
+}
+
+// TestObservabilityCounters drives admit/conflict/wait/grant/commit/abort
+// paths and checks every counter and histogram the paths feed.
+func TestObservabilityCounters(t *testing.T) {
+	m, reg, o := obsManager(t)
+	ctx := context.Background()
+
+	// t1 admitted immediately.
+	c1, err := m.BeginClient("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+
+	// t2's assign conflicts with the add/sub holder: it queues.
+	c2, err := m.BeginClient("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted, err := m.Invoke("t2", "flight", sem.Op{Class: sem.Assign})
+	if err != nil || granted {
+		t.Fatalf("conflicting invoke: granted=%v err=%v", granted, err)
+	}
+	snap := reg.Snapshot()
+	if snap["gtm_conflicts_total"] != 1 || snap["gtm_invocations_waited_total"] != 1 {
+		t.Fatalf("conflict/wait counters = %v", snap)
+	}
+
+	// t1 commits; t2 is granted from the queue.
+	if err := c1.Apply("flight", sem.Int(-1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Invoke(ctx, "flight", sem.Op{Class: sem.Assign}); err == nil {
+		t.Fatal("second invoke on same object must fail")
+	}
+	// t2 now holds the grant delivered by dispatch; abort it.
+	if err := c2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sleep → incompatible commit → awake aborts.
+	c3, err := m.BeginClient("t3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Invoke(ctx, "flight", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Sleep(); err != nil {
+		t.Fatal(err)
+	}
+	c4, err := m.BeginClient("t4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c4.Invoke(ctx, "flight", sem.Op{Class: sem.Assign}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c4.Apply("flight", sem.Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c4.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := c3.Awake()
+	if err != nil || resumed {
+		t.Fatalf("awake after incompatible commit: resumed=%v err=%v", resumed, err)
+	}
+
+	snap = reg.Snapshot()
+	want := map[string]uint64{
+		"gtm_tx_begun_total":                        4,
+		"gtm_invocations_admitted_total":            4, // t1, t2 (after wait), t3, t4
+		"gtm_invocations_waited_total":              1,
+		"gtm_conflicts_total":                       1,
+		"gtm_commits_total":                         2,
+		`gtm_aborts_total{reason="user"}`:           1,
+		`gtm_aborts_total{reason="sleep-conflict"}`: 1,
+		"gtm_sleeps_total":                          1,
+		`gtm_awakes_total{outcome="aborted"}`:       1,
+		`gtm_awakes_total{outcome="resumed"}`:       0,
+		`gtm_sst_total{outcome="ok"}`:               2,
+		"gtm_commit_seconds_count":                  2,
+		"gtm_invoke_wait_seconds_count":             1,
+		"gtm_sst_seconds_count":                     2,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("%s = %d, want %d", k, snap[k], v)
+		}
+	}
+
+	// The GTM's monitor stats and the atomic counters must agree.
+	st := m.Stats()
+	if st.Committed != snap["gtm_commits_total"] || st.Waits != snap["gtm_invocations_waited_total"] ||
+		st.Sleeps != snap["gtm_sleeps_total"] || st.Grants != snap["gtm_invocations_admitted_total"] {
+		t.Fatalf("Stats %+v disagrees with snapshot %v", st, snap)
+	}
+
+	// The trace ring saw the transitions, delivered outside the monitor.
+	kinds := make(map[string]int)
+	for _, ev := range o.Trace().Snapshot(0) {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []string{"begin", "state", "wait", "grant", "abort"} {
+		if kinds[k] == 0 {
+			t.Errorf("trace ring has no %q events: %v", k, kinds)
+		}
+	}
+
+	// And the whole set renders as Prometheus text.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "gtm_commits_total 2") {
+		t.Fatalf("exposition missing commit counter:\n%s", b.String())
+	}
+}
+
+// TestObservabilityDisabled checks that a manager without the option works
+// identically (the nil-guard paths).
+func TestObservabilityDisabled(t *testing.T) {
+	store := NewMemStore()
+	ref := StoreRef{Table: "T", Key: "k", Column: "c"}
+	store.Seed(ref, sem.Int(1))
+	m := NewManager(store)
+	if err := m.RegisterAtomicObject("o", ref); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.BeginClient("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Invoke(ctx, "o", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Apply("o", sem.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Committed != 1 {
+		t.Fatal("commit lost without observability")
+	}
+}

@@ -24,6 +24,7 @@ type options struct {
 	conflict              ConflictFunc
 	sstRetries            int
 	sstRetryFilter        func(error) bool
+	obs                   *Observability
 }
 
 func defaultOptions() options {

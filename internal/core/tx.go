@@ -35,6 +35,8 @@ type transaction struct {
 	commitWant  []ObjectID
 	commitHeld  map[ObjectID]bool
 	sstInFlight bool
+	commitStart time.Time // RequestCommit time, for the commit-latency histogram
+	sstStart    time.Time // SST launch time, for the SST-latency histogram
 }
 
 func newTransaction(id TxID, now time.Time) *transaction {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"preserial/internal/obs"
 	"preserial/internal/sem"
 )
 
@@ -28,6 +29,9 @@ type Options struct {
 	// WAL, when non-nil, receives the write-ahead log. If it also
 	// implements Syncer (e.g. *os.File) it is synced at every commit.
 	WAL io.Writer
+	// Obs, when non-nil, receives live engine metrics (WAL fsync count and
+	// latency, lock waits and wait latency, deadlocks) under ldbs_* names.
+	Obs *obs.Registry
 }
 
 // Stats are monotonically increasing engine counters.
@@ -60,6 +64,8 @@ type DB struct {
 	aborted   atomic.Uint64
 	begun     atomic.Uint64
 	deadlocks atomic.Uint64
+
+	obsDeadlocks *obs.Counter // nil unless Options.Obs
 }
 
 // Open creates an empty database.
@@ -71,6 +77,16 @@ func Open(opts Options) *DB {
 	}
 	if opts.WAL != nil {
 		db.log = newWAL(opts.WAL)
+	}
+	if opts.Obs != nil {
+		db.obsDeadlocks = opts.Obs.Counter("ldbs_deadlocks_total", "Lock waits refused because they would close a wait-for cycle.")
+		db.locks.waits = opts.Obs.Counter("ldbs_lock_waits_total", "Lock acquisitions that had to block.")
+		db.locks.waitLatency = opts.Obs.Histogram("ldbs_lock_wait_seconds", "Blocking lock acquisition latency.", nil)
+		if db.log != nil {
+			db.log.syncs = opts.Obs.Counter("ldbs_wal_fsyncs_total", "WAL flushes synced to stable storage.")
+			db.log.syncLatency = opts.Obs.Histogram("ldbs_wal_fsync_seconds", "WAL fsync latency.", nil)
+			db.log.appends = opts.Obs.Counter("ldbs_wal_records_total", "WAL records appended.")
+		}
 	}
 	return db
 }
@@ -163,6 +179,9 @@ func (tx *Tx) check() error {
 func (tx *Tx) wrapLockErr(err error) error {
 	if errors.Is(err, ErrDeadlock) {
 		tx.db.deadlocks.Add(1)
+		if tx.db.obsDeadlocks != nil {
+			tx.db.obsDeadlocks.Inc()
+		}
 	}
 	return err
 }

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"preserial/internal/obs"
 )
 
 // LockMode is a multigranularity lock mode. Tables take intent locks (IS,
@@ -112,6 +115,10 @@ type lockManager struct {
 	locks    map[resource]*lockState
 	held     map[uint64]map[resource]LockMode // per-tx held locks, for release
 	waitsFor map[uint64]map[uint64]int        // edge multiplicity in the WFG
+
+	// Live metrics, nil unless the DB was opened with Options.Obs.
+	waits       *obs.Counter
+	waitLatency *obs.Histogram
 }
 
 func newLockManager() *lockManager {
@@ -276,8 +283,16 @@ func (lm *lockManager) Acquire(ctx context.Context, tx uint64, res resource, mod
 	}
 	lm.mu.Unlock()
 
+	var waitStart time.Time
+	if lm.waits != nil {
+		lm.waits.Inc()
+		waitStart = time.Now()
+	}
 	select {
 	case err := <-w.ready:
+		if lm.waitLatency != nil {
+			lm.waitLatency.Observe(time.Since(waitStart))
+		}
 		return err
 	case <-ctx.Done():
 		lm.mu.Lock()

@@ -1,0 +1,75 @@
+package ldbs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"preserial/internal/obs"
+	"preserial/internal/sem"
+)
+
+// TestObsWALAndLockMetrics drives a WAL-backed commit and a blocking lock
+// wait and checks the ldbs_* metrics move.
+func TestObsWALAndLockMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	p := &Persistence{Dir: dir, Obs: reg}
+	db, err := p.Open([]Schema{{
+		Table:   "T",
+		Columns: []ColumnDef{{Name: "c", Kind: sem.KindInt64}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ctx := context.Background()
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "T", "k", Row{"c": sem.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["ldbs_wal_fsyncs_total"] == 0 {
+		t.Fatalf("no WAL fsync counted: %v", snap)
+	}
+	if snap["ldbs_wal_records_total"] == 0 {
+		t.Fatalf("no WAL appends counted: %v", snap)
+	}
+	if snap["ldbs_wal_fsync_seconds_count"] != snap["ldbs_wal_fsyncs_total"] {
+		t.Fatalf("fsync histogram disagrees with counter: %v", snap)
+	}
+
+	// Writer holds X on the row; a second writer must block.
+	w1 := db.Begin()
+	if err := w1.Set(ctx, "T", "k", "c", sem.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w2 := db.Begin()
+		if err := w2.Set(ctx, "T", "k", "c", sem.Int(3)); err != nil {
+			t.Errorf("blocked writer: %v", err)
+			return
+		}
+		_ = w2.Commit(ctx)
+	}()
+	// Let the second writer queue, then release.
+	for reg.Snapshot()["ldbs_lock_waits_total"] == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := w1.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	snap = reg.Snapshot()
+	if snap["ldbs_lock_waits_total"] == 0 || snap["ldbs_lock_wait_seconds_count"] == 0 {
+		t.Fatalf("lock wait metrics did not move: %v", snap)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"preserial/internal/obs"
 )
 
 // Persistence manages a database directory: a checkpoint file plus the live
@@ -18,6 +20,9 @@ import (
 //	  WAL             records since the checkpoint
 type Persistence struct {
 	Dir string
+
+	// Obs, when non-nil, is passed to the recovered DB (see Options.Obs).
+	Obs *obs.Registry
 
 	wal *os.File
 }
@@ -59,7 +64,7 @@ func (p *Persistence) Open(schemas []Schema) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ldbs: open WAL: %w", err)
 	}
-	db := Open(Options{WAL: walFile})
+	db := Open(Options{WAL: walFile, Obs: p.Obs})
 	for _, s := range schemas {
 		if err := db.CreateTable(s); err != nil {
 			walFile.Close()

@@ -9,7 +9,9 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 
+	"preserial/internal/obs"
 	"preserial/internal/sem"
 )
 
@@ -225,6 +227,11 @@ type wal struct {
 	w   *bufio.Writer
 	dst io.Writer
 	lsn uint64 // records appended
+
+	// Live metrics, nil unless the DB was opened with Options.Obs.
+	appends     *obs.Counter
+	syncs       *obs.Counter
+	syncLatency *obs.Histogram
 }
 
 func newWAL(dst io.Writer) *wal {
@@ -246,6 +253,9 @@ func (l *wal) Append(r walRecord) (uint64, error) {
 		return 0, fmt.Errorf("ldbs: wal append: %w", err)
 	}
 	l.lsn++
+	if l.appends != nil {
+		l.appends.Inc()
+	}
 	return l.lsn, nil
 }
 
@@ -258,8 +268,13 @@ func (l *wal) Flush() error {
 		return fmt.Errorf("ldbs: wal flush: %w", err)
 	}
 	if s, ok := l.dst.(Syncer); ok {
+		start := time.Now()
 		if err := s.Sync(); err != nil {
 			return fmt.Errorf("ldbs: wal sync: %w", err)
+		}
+		if l.syncs != nil {
+			l.syncs.Inc()
+			l.syncLatency.Observe(time.Since(start))
 		}
 	}
 	return nil

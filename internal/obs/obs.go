@@ -1,0 +1,319 @@
+// Package obs is the live observability toolkit for the middleware: atomic
+// counters, fixed-bucket latency histograms, callback gauges and a
+// Prometheus-text registry, all hand-rolled on the standard library.
+//
+// It is the run-time sibling of internal/metrics (which aggregates offline
+// experiment results): obs instruments a *running* gtmd so conflict, abort
+// and sleep rates — the quantities Section V of the paper evaluates — are
+// visible while the system serves traffic. Counters and histograms are
+// lock-free (single atomic add per observation, no allocation), so hot
+// paths in internal/core and internal/ldbs can update them inside or
+// outside critical sections without extending them.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// DefBuckets are the default latency bucket upper bounds in seconds,
+// exponential from 0.5 ms to 10 s — wide enough for commit latencies under
+// contention and narrow enough to resolve the sub-millisecond grants of an
+// uncontended GTM.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts duration observations into fixed buckets (cumulative
+// Prometheus semantics: bucket i counts observations ≤ bounds[i], with an
+// implicit +Inf bucket). Observations are two atomic adds — no locks, no
+// allocation.
+type Histogram struct {
+	bounds   []float64 // upper bounds in seconds, strictly increasing
+	counts   []atomic.Uint64
+	sumNanos atomic.Int64
+	count    atomic.Uint64
+}
+
+// NewHistogram creates a histogram over the given bucket upper bounds
+// (seconds). A nil or empty bounds uses DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s) // first bound ≥ s
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations in seconds.
+func (h *Histogram) Sum() float64 {
+	return time.Duration(h.sumNanos.Load()).Seconds()
+}
+
+// Cumulative returns the cumulative bucket counts including the +Inf
+// bucket, aligned with Bounds.
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Bounds returns the bucket upper bounds in seconds (without +Inf).
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in seconds assuming uniform
+// density within buckets; the +Inf bucket maps to the largest bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := q * float64(n)
+	var cum float64
+	lo := 0.0
+	for i, b := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= target && c > 0 {
+			frac := (target - cum) / c
+			return lo + frac*(b-lo)
+		}
+		cum += c
+		lo = b
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind discriminates registry entries.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// entry is one registered metric: a full name (optionally with a baked-in
+// {label="value",...} set) plus the instrument.
+type entry struct {
+	name  string // full name including any label set
+	base  string // name up to the label braces
+	help  string
+	kind  metricKind
+	c     *Counter
+	h     *Histogram
+	gauge func() float64
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration takes a lock; reading and updating the
+// registered instruments is lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byName  map[string]*entry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*entry)}
+}
+
+// baseName strips a trailing {label} set: `x_total{reason="user"}` → `x_total`.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// register validates and stores one entry; re-registering a name returns
+// the existing instrument so packages can share a registry idempotently.
+func (r *Registry) register(e *entry) *entry {
+	if e.name == "" || strings.ContainsAny(baseName(e.name), " \n\t") {
+		panic(fmt.Sprintf("obs: invalid metric name %q", e.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[e.name]; ok {
+		if prev.kind != e.kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different kind", e.name))
+		}
+		return prev
+	}
+	e.base = baseName(e.name)
+	r.entries = append(r.entries, e)
+	r.byName[e.name] = e
+	return e
+}
+
+// Counter registers (or returns the existing) counter. The name may carry a
+// fixed label set: `gtm_aborts_total{reason="user"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.register(&entry{name: name, help: help, kind: kindCounter, c: &Counter{}})
+	return e.c
+}
+
+// Histogram registers (or returns the existing) histogram over the given
+// bucket bounds in seconds (nil: DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	e := r.register(&entry{name: name, help: help, kind: kindHistogram, h: NewHistogram(bounds)})
+	return e.h
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time. fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&entry{name: name, help: help, kind: kindGauge, gauge: fn})
+}
+
+// snapshotEntries copies the entry list under the lock.
+func (r *Registry) snapshotEntries() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// Snapshot returns the counters (by full name, labels included) and
+// histogram observation counts (as name_count) as one flat map — the
+// payload of the wire protocol's stats op.
+func (r *Registry) Snapshot() map[string]uint64 {
+	entries := r.snapshotEntries()
+	out := make(map[string]uint64, len(entries))
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.c.Load()
+		case kindHistogram:
+			out[e.name+"_count"] = e.h.Count()
+		}
+	}
+	return out
+}
+
+// formatFloat renders a float the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelSet returns the braces-less label list of a full name ("" if none).
+func labelSet(name string) string {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSuffix(name[i+1:], "}")
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4). Metrics sharing a base name (labeled variants)
+// are grouped under one HELP/TYPE header, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	entries := r.snapshotEntries()
+	bw := bufio.NewWriter(w)
+	headered := make(map[string]bool)
+	for _, e := range entries {
+		if !headered[e.base] {
+			headered[e.base] = true
+			typ := "counter"
+			switch e.kind {
+			case kindGauge:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if e.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", e.base, e.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.base, typ)
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", e.name, e.c.Load())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %s\n", e.name, formatFloat(e.gauge()))
+		case kindHistogram:
+			labels := labelSet(e.name)
+			cum := e.h.Cumulative()
+			for i, b := range e.h.bounds {
+				bw.WriteString(bucketLine(e.base, labels, formatFloat(b), cum[i]))
+			}
+			bw.WriteString(bucketLine(e.base, labels, "+Inf", cum[len(cum)-1]))
+			if labels != "" {
+				fmt.Fprintf(bw, "%s_sum{%s} %s\n", e.base, labels, formatFloat(e.h.Sum()))
+				fmt.Fprintf(bw, "%s_count{%s} %d\n", e.base, labels, e.h.Count())
+			} else {
+				fmt.Fprintf(bw, "%s_sum %s\n", e.base, formatFloat(e.h.Sum()))
+				fmt.Fprintf(bw, "%s_count %d\n", e.base, e.h.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// bucketLine renders one cumulative histogram bucket sample.
+func bucketLine(base, labels, le string, n uint64) string {
+	if labels != "" {
+		return fmt.Sprintf("%s_bucket{%s,le=%q} %d\n", base, labels, le, n)
+	}
+	return fmt.Sprintf("%s_bucket{le=%q} %d\n", base, le, n)
+}

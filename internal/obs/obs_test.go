@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero counter = %d", c.Load())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // → le 0.001
+	h.Observe(1 * time.Millisecond)   // boundary is inclusive → le 0.001
+	h.Observe(5 * time.Millisecond)   // → le 0.01
+	h.Observe(2 * time.Second)        // → +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	cum := h.Cumulative()
+	want := []uint64{2, 3, 3, 4}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+	sum := h.Sum()
+	wantSum := 0.0005 + 0.001 + 0.005 + 2.0
+	if diff := sum - wantSum; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("sum = %g, want %g", sum, wantSum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1500 * time.Millisecond) // all in (1, 2]
+	}
+	q := h.Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Fatalf("median = %g, want within (1, 2]", q)
+	}
+	empty := NewHistogram(nil)
+	if empty.Quantile(0.9) != 0 {
+		t.Fatalf("empty quantile = %g, want 0", empty.Quantile(0.9))
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gtm_commits_total", "Committed transactions.")
+	c.Add(3)
+	ab1 := r.Counter(`gtm_aborts_total{reason="user"}`, "Aborts by reason.")
+	ab2 := r.Counter(`gtm_aborts_total{reason="timeout"}`, "Aborts by reason.")
+	ab1.Inc()
+	ab2.Add(2)
+	r.GaugeFunc("gtm_live", "Live transactions.", func() float64 { return 7 })
+	h := r.Histogram("gtm_commit_seconds", "Commit latency.", []float64{0.01, 0.1})
+	h.Observe(5 * time.Millisecond)
+	h.Observe(50 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP gtm_commits_total Committed transactions.",
+		"# TYPE gtm_commits_total counter",
+		"gtm_commits_total 3",
+		"# TYPE gtm_aborts_total counter",
+		`gtm_aborts_total{reason="user"} 1`,
+		`gtm_aborts_total{reason="timeout"} 2`,
+		"# TYPE gtm_live gauge",
+		"gtm_live 7",
+		"# TYPE gtm_commit_seconds histogram",
+		`gtm_commit_seconds_bucket{le="0.01"} 1`,
+		`gtm_commit_seconds_bucket{le="0.1"} 2`,
+		`gtm_commit_seconds_bucket{le="+Inf"} 2`,
+		"gtm_commit_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per base name even with labeled variants.
+	if strings.Count(out, "# TYPE gtm_aborts_total") != 1 {
+		t.Fatalf("labeled counter family headered more than once:\n%s", out)
+	}
+}
+
+func TestRegistryIdempotentAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instance")
+	}
+	a.Add(9)
+	h := r.Histogram("y_seconds", "", nil)
+	h.Observe(time.Millisecond)
+	snap := r.Snapshot()
+	if snap["x_total"] != 9 {
+		t.Fatalf("snapshot x_total = %d, want 9", snap["x_total"])
+	}
+	if snap["y_seconds_count"] != 1 {
+		t.Fatalf("snapshot y_seconds_count = %d, want 1", snap["y_seconds_count"])
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(TraceEvent{Tx: "t", Kind: "state"})
+	}
+	if r.Total() != 10 || r.Len() != 4 {
+		t.Fatalf("total=%d len=%d, want 10/4", r.Total(), r.Len())
+	}
+	evs := r.Snapshot(0)
+	if len(evs) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(7+i) {
+			t.Fatalf("snapshot seqs = %v..., want 7..10", evs[0].Seq)
+		}
+	}
+	if got := r.Snapshot(2); len(got) != 2 || got[1].Seq != 10 {
+		t.Fatalf("limited snapshot = %+v, want the latest 2", got)
+	}
+}
+
+func TestTraceRingPartialFill(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Add(TraceEvent{Tx: "a"})
+	r.Add(TraceEvent{Tx: "b"})
+	evs := r.Snapshot(0)
+	if len(evs) != 2 || evs[0].Tx != "a" || evs[1].Tx != "b" {
+		t.Fatalf("snapshot = %+v", evs)
+	}
+}
+
+// TestConcurrentWriters exercises every primitive from many goroutines so
+// `go test -race` can vet the synchronization story.
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h_seconds", "", nil)
+	ring := NewTraceRing(64)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				ring.Add(TraceEvent{Tx: "w", Kind: "state"})
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b)
+					_ = ring.Snapshot(16)
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Load() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if ring.Total() != workers*per {
+		t.Fatalf("ring total = %d, want %d", ring.Total(), workers*per)
+	}
+}

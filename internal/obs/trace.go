@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceEvent is one structured entry of the per-transaction event trace:
+// a state transition or scheduling decision with its timestamp. The GTM
+// feeds these from its monitor notification hooks, outside the critical
+// section, so tracing never serializes transaction processing.
+type TraceEvent struct {
+	Seq    uint64    `json:"seq"`              // global sequence number (1-based, gaps impossible)
+	At     time.Time `json:"at"`               // event time (manager clock)
+	Tx     string    `json:"tx"`               // transaction id
+	Kind   string    `json:"kind"`             // "begin", "state", "wait", "grant", "abort"
+	From   string    `json:"from,omitempty"`   // previous state, for kind "state"
+	To     string    `json:"to,omitempty"`     // new state, for kind "state"
+	Object string    `json:"object,omitempty"` // object involved, when applicable
+	Detail string    `json:"detail,omitempty"` // free-form: abort reason, wait cause, ...
+}
+
+// TraceRing is a fixed-capacity ring buffer of TraceEvents. Appends
+// overwrite the oldest entries; Snapshot returns the retained window oldest
+// first. Safe for concurrent use. A TraceRing is deliberately bounded: it is
+// a flight recorder, not a log.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []TraceEvent
+	next uint64 // events ever appended
+}
+
+// NewTraceRing creates a ring retaining the last n events (minimum 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]TraceEvent, n)}
+}
+
+// Add appends one event, stamping its sequence number.
+func (r *TraceRing) Add(ev TraceEvent) {
+	r.mu.Lock()
+	r.next++
+	ev.Seq = r.next
+	r.buf[(r.next-1)%uint64(len(r.buf))] = ev
+	r.mu.Unlock()
+}
+
+// Len returns how many events are currently retained.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Total returns how many events were ever appended.
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns up to max retained events, newest-truncated — i.e. the
+// *latest* max events — ordered oldest first. max ≤ 0 returns everything
+// retained.
+func (r *TraceRing) Snapshot(max int) []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	have := n
+	if r.next < uint64(n) {
+		have = int(r.next)
+	}
+	if max > 0 && max < have {
+		have = max
+	}
+	out := make([]TraceEvent, have)
+	for i := 0; i < have; i++ {
+		seq := r.next - uint64(have) + uint64(i) // 0-based from the tail
+		out[i] = r.buf[seq%uint64(len(r.buf))]
+	}
+	return out
+}

@@ -136,6 +136,17 @@ func (cn *Conn) Stats() (map[string]uint64, error) {
 	return resp.Stats, nil
 }
 
+// Metrics returns the server's live observability snapshot alongside the
+// manager counters. The metrics map is empty when the server runs without
+// an obs registry.
+func (cn *Conn) Metrics() (stats, metrics map[string]uint64, err error) {
+	resp, err := cn.call(&Request{Op: OpStats})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Stats, resp.Metrics, nil
+}
+
 // ObjectInfo returns one object's scheduling snapshot.
 func (cn *Conn) ObjectInfo(object string) (*ObjectInfoJSON, error) {
 	resp, err := cn.call(&Request{Op: OpInfo, Object: object})

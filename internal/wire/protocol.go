@@ -161,6 +161,7 @@ type Response struct {
 	State   string            `json:"state,omitempty"`
 	Objects []string          `json:"objects,omitempty"`
 	Stats   map[string]uint64 `json:"stats,omitempty"`
+	Metrics map[string]uint64 `json:"metrics,omitempty"` // live obs snapshot (stats op, when enabled)
 	Info    *ObjectInfoJSON   `json:"info,omitempty"`
 	Txs     []TxSummaryJSON   `json:"txs,omitempty"`
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"preserial/internal/core"
+	"preserial/internal/obs"
 	"preserial/internal/sem"
 )
 
@@ -25,6 +26,8 @@ type Server struct {
 	invokeTimeout time.Duration
 	retention     time.Duration
 	stopSweep     chan struct{}
+	obs           *obs.Registry  // nil when observability is off
+	metrics       *serverMetrics // nil when observability is off
 
 	mu      sync.Mutex
 	clients map[string]*core.Client
@@ -47,6 +50,9 @@ type ServerOptions struct {
 	// queryable before the server forgets them and frees their state.
 	// Zero means 10 minutes; negative retains forever.
 	Retention time.Duration
+	// Obs, when non-nil, receives the wire_* metric set and its live
+	// snapshot is merged into every stats response.
+	Obs *obs.Registry
 }
 
 // NewServer wraps a manager. Call Serve to start accepting.
@@ -59,14 +65,23 @@ func NewServer(m *core.Manager, opts ServerOptions) *Server {
 	if retention == 0 {
 		retention = 10 * time.Minute
 	}
-	return &Server{
+	s := &Server{
 		m:             m,
 		log:           lg,
 		invokeTimeout: opts.InvokeTimeout,
 		retention:     retention,
+		obs:           opts.Obs,
 		clients:       make(map[string]*core.Client),
 		conns:         make(map[net.Conn]bool),
 	}
+	if s.obs != nil {
+		s.metrics = newServerMetrics(s.obs, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		})
+	}
+	return s
 }
 
 // Serve listens on addr and handles connections until Close. It returns
@@ -197,6 +212,9 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	owned := make(map[string]bool)
 	defer s.disconnectOwned(owned)
+	if s.metrics != nil {
+		s.metrics.connsOpen.Inc()
+	}
 
 	for {
 		var req Request
@@ -206,10 +224,21 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
+		start := time.Now()
+		if s.metrics != nil {
+			s.metrics.framesIn.Inc()
+			s.metrics.countOp(req.Op)
+		}
 		resp := s.dispatch(&req, owned)
+		if s.metrics != nil {
+			s.metrics.observe(start, resp.OK)
+		}
 		if err := WriteMsg(conn, resp); err != nil {
 			s.log.Printf("wire: write to %s: %v", conn.RemoteAddr(), err)
 			return
+		}
+		if s.metrics != nil {
+			s.metrics.framesOut.Inc()
 		}
 	}
 }
@@ -390,7 +419,11 @@ func (s *Server) dispatch(req *Request, owned map[string]bool) *Response {
 		for reason, n := range st.AbortsBy {
 			stats["aborts_"+reason.String()] = n
 		}
-		return &Response{OK: true, Stats: stats}
+		resp := &Response{OK: true, Stats: stats}
+		if s.obs != nil {
+			resp.Metrics = s.obs.Snapshot()
+		}
+		return resp
 
 	case OpInfo:
 		info, err := s.m.ObjectInfo(core.ObjectID(req.Object))

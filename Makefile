@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments fuzz obs-demo clean
+.PHONY: all build test race bench bench-commit experiments fuzz obs-demo clean
 
 all: build test
 
@@ -18,6 +18,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Per-commit fsync vs WAL group commit at 1/8/32/128 concurrent committers,
+# plus the end-to-end commit-pipeline table.
+bench-commit:
+	$(GO) test -run=NONE -bench=CommitFsyncModes -benchtime=1s ./internal/ldbs
+	$(GO) run ./cmd/experiments -run commitpipe
 
 # Regenerates every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

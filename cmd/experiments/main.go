@@ -13,6 +13,7 @@
 //	experiments -run itinerary # multi-object package tours (Section II) GTM vs 2PL
 //	experiments -run modelcheck # Eq. 5's predicted speed-up vs the emulation's
 //	experiments -run starvation # §VII starvation control under a hostile mix
+//	experiments -run commitpipe # commit-pipeline throughput: SST executor × WAL group commit
 //	experiments -run all      # everything (default)
 //
 // Use -n to scale the emulated population (default 1000, the paper's size)
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, tableI, tableII, fig1, fig2, fig3a, fig3b, ablation, classes, sensitivity, itinerary, modelcheck, starvation")
+	run := flag.String("run", "all", "experiment to run: all, tableI, tableII, fig1, fig2, fig3a, fig3b, ablation, classes, sensitivity, itinerary, modelcheck, starvation, commitpipe")
 	n := flag.Int("n", 1000, "emulated transaction population (fig3*, ablation)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.StringVar(&csvDir, "csv", "", "also write figure data as CSV files into this directory")
@@ -64,8 +65,9 @@ func main() {
 		"itinerary":   itinerary,
 		"modelcheck":  modelcheck,
 		"starvation":  starvation,
+		"commitpipe":  commitpipe,
 	}
-	order := []string{"tableI", "tableII", "fig1", "fig2", "fig3a", "fig3b", "ablation", "classes", "sensitivity", "itinerary", "modelcheck", "starvation"}
+	order := []string{"tableI", "tableII", "fig1", "fig2", "fig3a", "fig3b", "ablation", "classes", "sensitivity", "itinerary", "modelcheck", "starvation", "commitpipe"}
 
 	names := order
 	if *run != "all" {

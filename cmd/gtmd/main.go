@@ -46,6 +46,10 @@ func main() {
 	invokeTO := flag.Duration("invoke-timeout", 0, "fail blocking invokes after this (0: wait forever)")
 	httpAddr := flag.String("http", "", "diagnostics listen address for /metrics, /healthz, /debug/trace and /debug/pprof (empty: disabled)")
 	traceDepth := flag.Int("trace-depth", 4096, "GTM event trace ring capacity")
+	sstWorkers := flag.Int("sst-workers", 4, "SST executor worker goroutines (0: apply SSTs on the committing goroutine, as before)")
+	sstQueue := flag.Int("sst-queue-depth", 64, "SST executor queue depth; overflow runs inline")
+	groupCommit := flag.Bool("wal-group-commit", true, "batch concurrent commits into shared WAL fsyncs")
+	groupWindow := flag.Duration("wal-group-window", 0, "extra wait before the leader syncs, to grow batches (0: sync immediately)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gtmd: ", log.LstdFlags)
@@ -58,7 +62,8 @@ func main() {
 
 	var db *ldbs.DB
 	if *dataDir != "" {
-		pers := &ldbs.Persistence{Dir: *dataDir, Obs: reg}
+		pers := &ldbs.Persistence{Dir: *dataDir, Obs: reg,
+			DisableGroupCommit: !*groupCommit, GroupCommitWindow: *groupWindow}
 		recovered, err := pers.Open(demoSchemas())
 		if err != nil {
 			logger.Fatalf("recovery: %v", err)
@@ -78,7 +83,8 @@ func main() {
 			}
 		}()
 	} else {
-		db = ldbs.Open(ldbs.Options{Obs: reg})
+		db = ldbs.Open(ldbs.Options{Obs: reg,
+			DisableGroupCommit: !*groupCommit, GroupCommitWindow: *groupWindow})
 		if err := createDemoSchema(db); err != nil {
 			logger.Fatalf("schema: %v", err)
 		}
@@ -88,8 +94,12 @@ func main() {
 		logger.Fatalf("seed: %v", err)
 	}
 
-	m := core.NewManager(core.NewLDBSStore(db), core.WithHistory(),
-		core.WithObservability(observ))
+	opts := []core.Option{core.WithHistory(), core.WithObservability(observ)}
+	if *sstWorkers > 0 {
+		opts = append(opts, core.WithSSTExecutor(*sstWorkers, *sstQueue))
+	}
+	m := core.NewManager(core.NewLDBSStore(db), opts...)
+	defer m.Close()
 	if err := registerDemoObjects(m); err != nil {
 		logger.Fatalf("register: %v", err)
 	}

@@ -119,12 +119,12 @@ func printServerMetrics(addr string) {
 	}
 	keys := make([]string, 0, len(m))
 	for k := range m {
-		if strings.HasPrefix(k, "gtm_") {
+		if strings.HasPrefix(k, "gtm_") || strings.HasPrefix(k, "ldbs_") {
 			keys = append(keys, k)
 		}
 	}
 	sort.Strings(keys)
-	fmt.Println("server metrics (gtm_*):")
+	fmt.Println("server metrics (gtm_*, ldbs_*):")
 	for _, k := range keys {
 		fmt.Printf("  %-50s %d\n", k, m[k])
 	}
@@ -133,7 +133,7 @@ func printServerMetrics(addr string) {
 // reasonOf extracts the GTM abort reason from a wire error.
 func reasonOf(err error) string {
 	msg := err.Error()
-	for _, r := range []string{"sleep-conflict", "sst-failure", "deadlock", "timeout"} {
+	for _, r := range []string{"sleep-conflict", "sst-failure", "resume-failure", "deadlock", "timeout"} {
 		if strings.Contains(msg, r) {
 			return r
 		}

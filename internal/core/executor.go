@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sstExecutor is a bounded worker pool for Secure System Transactions. The
+// seed implementation ran every SST on the committing client's goroutine
+// (the monitor-queue closure fired when RequestCommit exited the critical
+// section), so the client blocked for the store round-trip and the whole
+// retry loop. With an executor the closure merely enqueues the SST and the
+// client returns; a worker runs ApplySST and re-enters the monitor with the
+// outcome (completeSST), exactly as before.
+//
+// The queue is bounded. When it is full — or after close — submit degrades
+// to running the job on the submitting goroutine, which is precisely the
+// seed behaviour: overload applies backpressure to committers instead of
+// queueing without limit, and a worker whose completion cascade triggers
+// further global commits can never deadlock against a full queue.
+type sstExecutor struct {
+	mu     sync.Mutex // guards closed vs. submit's channel send
+	jobs   chan func()
+	closed bool
+	wg     sync.WaitGroup
+	queued *atomic.Int64 // live queue depth (gtm_sst_queue_depth)
+}
+
+// newSSTExecutor starts workers goroutines consuming a queue of the given
+// depth. queued receives the live queue length (the Observability gauge
+// when instrumented, a private counter otherwise).
+func newSSTExecutor(workers, depth int, queued *atomic.Int64) *sstExecutor {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if queued == nil {
+		queued = new(atomic.Int64)
+	}
+	e := &sstExecutor{jobs: make(chan func(), depth), queued: queued}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer e.wg.Done()
+			for job := range e.jobs {
+				e.queued.Add(-1)
+				job()
+			}
+		}()
+	}
+	return e
+}
+
+// submit hands a job to the pool, running it inline when the queue is full
+// or the pool is closed (see type comment).
+func (e *sstExecutor) submit(job func()) {
+	e.mu.Lock()
+	if !e.closed {
+		select {
+		case e.jobs <- job:
+			e.queued.Add(1)
+			e.mu.Unlock()
+			return
+		default:
+		}
+	}
+	e.mu.Unlock()
+	job()
+}
+
+// close stops the workers after the queue drains. Jobs submitted afterwards
+// run inline on the submitter.
+func (e *sstExecutor) close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.jobs)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// sstBackoff returns the sleep before retry attempt `attempt` (1-based):
+// capped exponential growth from base with ±50% jitter. A zero base — the
+// default without WithSSTExecutor or WithSSTBackoff — means no sleep, the
+// seed's immediate-retry semantics.
+func sstBackoff(base, cap_ time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < cap_; i++ {
+		d *= 2
+	}
+	if cap_ > 0 && d > cap_ {
+		d = cap_
+	}
+	// ±50% jitter decorrelates retries of SSTs that failed together.
+	half := int64(d) / 2
+	if half > 0 {
+		d = time.Duration(half + rand.Int63n(int64(d)-half+1))
+	}
+	return d
+}

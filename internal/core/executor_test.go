@@ -1,0 +1,316 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"preserial/internal/obs"
+	"preserial/internal/sem"
+)
+
+// recordingStore captures the write order of every SST it applies.
+type recordingStore struct {
+	mu     sync.Mutex
+	inner  *MemStore
+	orders [][]StoreRef
+}
+
+func (s *recordingStore) Load(ref StoreRef) (sem.Value, error) { return s.inner.Load(ref) }
+
+func (s *recordingStore) ApplySST(writes []SSTWrite) error {
+	refs := make([]StoreRef, len(writes))
+	for i, w := range writes {
+		refs[i] = w.Ref
+	}
+	s.mu.Lock()
+	s.orders = append(s.orders, refs)
+	s.mu.Unlock()
+	return s.inner.ApplySST(writes)
+}
+
+// TestSSTWritesSorted is the regression test for the nondeterministic SST
+// write order: globalCommit used to range over the commitHeld map, so two
+// concurrent SSTs could acquire LDBS row locks in opposite orders and
+// deadlock. Writes must arrive at the store in canonical StoreRef order.
+func TestSSTWritesSorted(t *testing.T) {
+	store := &recordingStore{inner: NewMemStore()}
+	m := NewManager(store)
+	const objs = 12
+	for i := 0; i < objs; i++ {
+		id := ObjectID(fmt.Sprintf("O%02d", i))
+		ref := StoreRef{Table: "T", Key: fmt.Sprintf("K%02d", objs-1-i), Column: "v"}
+		store.inner.Seed(ref, sem.Int(0))
+		if err := m.RegisterAtomicObject(id, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Begin("A"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < objs; i++ {
+		id := ObjectID(fmt.Sprintf("O%02d", i))
+		if granted, err := m.Invoke("A", id, sem.Op{Class: sem.AddSub}); err != nil || !granted {
+			t.Fatalf("invoke %s: granted=%v err=%v", id, granted, err)
+		}
+		if err := m.Apply("A", id, sem.Int(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.RequestCommit("A"); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.TxState("A"); st != StateCommitted {
+		t.Fatalf("state = %s, want Committed", st)
+	}
+	if len(store.orders) != 1 {
+		t.Fatalf("SSTs = %d, want 1", len(store.orders))
+	}
+	got := store.orders[0]
+	if len(got) != objs {
+		t.Fatalf("writes = %d, want %d", len(got), objs)
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].less(got[i]) {
+			t.Fatalf("writes not in canonical order: %s before %s", got[i-1], got[i])
+		}
+	}
+}
+
+// blockingStore parks every SST until released, so tests can observe what
+// the committing client does while its SST is in flight.
+type blockingStore struct {
+	inner   *MemStore
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *blockingStore) Load(ref StoreRef) (sem.Value, error) { return s.inner.Load(ref) }
+
+func (s *blockingStore) ApplySST(writes []SSTWrite) error {
+	s.entered <- struct{}{}
+	<-s.release
+	return s.inner.ApplySST(writes)
+}
+
+// TestRequestCommitDoesNotBlockOnSST: with an SST executor the commit
+// request returns while the store round-trip (and its fsync) is still in
+// flight; the outcome arrives asynchronously as EvCommitted.
+func TestRequestCommitDoesNotBlockOnSST(t *testing.T) {
+	store := &blockingStore{
+		inner:   NewMemStore(),
+		entered: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	ref := StoreRef{Table: "T", Key: "K", Column: "v"}
+	store.inner.Seed(ref, sem.Int(10))
+	m := NewManager(store, WithSSTExecutor(2, 8))
+	defer m.Close()
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	events := make(chan Event, 4)
+	if err := m.Begin("A", WithNotify(func(ev Event) { events <- ev })); err != nil {
+		t.Fatal(err)
+	}
+	if granted, err := m.Invoke("A", "X", sem.Op{Class: sem.AddSub}); err != nil || !granted {
+		t.Fatalf("invoke: granted=%v err=%v", granted, err)
+	}
+	if err := m.Apply("A", "X", sem.Int(-1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The request must return with the SST still blocked in the store.
+	if err := m.RequestCommit("A"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-store.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SST never reached the store")
+	}
+	if st, _ := m.TxState("A"); st != StateCommitting {
+		t.Fatalf("state after RequestCommit = %s, want Committing (SST in flight)", st)
+	}
+
+	close(store.release)
+	select {
+	case ev := <-events:
+		if ev.Type != EvCommitted {
+			t.Fatalf("event = %s, want committed", ev.Type)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("commit never completed")
+	}
+	if v, _ := m.Permanent("X", ""); v.Int64() != 9 {
+		t.Fatalf("permanent = %s, want 9", v)
+	}
+}
+
+// TestExecutorRetriesWithBackoff: transient SST failures are retried on the
+// worker (with the retry counter visible in obs) and the commit still
+// succeeds without the client goroutine running the loop.
+func TestExecutorRetriesWithBackoff(t *testing.T) {
+	store := NewMemStore()
+	ref := StoreRef{Table: "T", Key: "K", Column: "v"}
+	store.Seed(ref, sem.Int(5))
+	store.FailNext(2)
+	reg := obs.NewRegistry()
+	m := NewManager(store,
+		WithObservability(NewObservability(reg, 0)),
+		WithSSTRetries(3, nil),
+		WithSSTExecutor(1, 4),
+		WithSSTBackoff(time.Microsecond, 10*time.Microsecond))
+	defer m.Close()
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.BeginClient("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Invoke(ctx, "X", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Apply("X", sem.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatalf("commit after transient failures: %v", err)
+	}
+	if got := reg.Snapshot()["gtm_sst_retries_total"]; got != 2 {
+		t.Fatalf("gtm_sst_retries_total = %d, want 2", got)
+	}
+	if v, _ := m.Permanent("X", ""); v.Int64() != 6 {
+		t.Fatalf("permanent = %s, want 6", v)
+	}
+}
+
+// loadFailStore fails Load for selected refs — the substrate fault behind a
+// resume failure (no SST involved).
+type loadFailStore struct {
+	inner *MemStore
+	fail  map[StoreRef]bool
+}
+
+func (s *loadFailStore) Load(ref StoreRef) (sem.Value, error) {
+	if s.fail[ref] {
+		return sem.Value{}, errors.New("injected load failure")
+	}
+	return s.inner.Load(ref)
+}
+
+func (s *loadFailStore) ApplySST(writes []SSTWrite) error { return s.inner.ApplySST(writes) }
+
+// TestAwakeResumeFailureReason: an Awake whose phase-2 re-grant fails to
+// load the permanent value used to be misreported as AbortSSTFailure even
+// though no SST ran; it must carry AbortResumeFailure in TxInfo, Stats and
+// the obs counters.
+func TestAwakeResumeFailureReason(t *testing.T) {
+	ref1 := StoreRef{Table: "T", Key: "K", Column: "m1"}
+	ref2 := StoreRef{Table: "T", Key: "K", Column: "m2"}
+	store := &loadFailStore{inner: NewMemStore(), fail: map[StoreRef]bool{ref2: true}}
+	store.inner.Seed(ref1, sem.Int(1))
+	reg := obs.NewRegistry()
+	m := NewManager(store, WithObservability(NewObservability(reg, 0)))
+	deps := sem.NewDependencies()
+	deps.Link("m1", "m2")
+	if err := m.RegisterObject("O", map[string]StoreRef{"m1": ref1, "m2": ref2}, deps); err != nil {
+		t.Fatal(err)
+	}
+
+	// A holds m1 (Assign); B's Assign on the dependent m2 must queue.
+	if err := m.Begin("A"); err != nil {
+		t.Fatal(err)
+	}
+	if granted, err := m.Invoke("A", "O", sem.Op{Class: sem.Assign, Member: "m1"}); err != nil || !granted {
+		t.Fatalf("invoke A: granted=%v err=%v", granted, err)
+	}
+	if err := m.Begin("B"); err != nil {
+		t.Fatal(err)
+	}
+	if granted, err := m.Invoke("B", "O", sem.Op{Class: sem.Assign, Member: "m2"}); err != nil || granted {
+		t.Fatalf("invoke B: granted=%v err=%v, want queued", granted, err)
+	}
+	if err := m.Sleep("B"); err != nil {
+		t.Fatal(err)
+	}
+	// A goes away without committing: nothing incompatible happened while B
+	// slept, so phase 1 passes and phase 2 re-grants B's queued invocation —
+	// which fails loading m2's permanent value.
+	if err := m.Abort("A"); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := m.Awake("B")
+	if resumed || err == nil {
+		t.Fatalf("awake = (%v, %v), want load failure", resumed, err)
+	}
+	info, err := m.TxInfo("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateAborted || info.Reason != AbortResumeFailure {
+		t.Fatalf("aborted as %s/%s, want Aborted/resume-failure", info.State, info.Reason)
+	}
+	st := m.Stats()
+	if st.AbortsBy[AbortResumeFailure] != 1 {
+		t.Fatalf("AbortsBy[resume-failure] = %d, want 1", st.AbortsBy[AbortResumeFailure])
+	}
+	if st.AbortsBy[AbortSSTFailure] != 0 || st.SSTFailures != 0 {
+		t.Fatalf("resume failure leaked into SST accounting: %+v", st)
+	}
+	if got := reg.Snapshot()[`gtm_aborts_total{reason="resume-failure"}`]; got != 1 {
+		t.Fatalf(`gtm_aborts_total{reason="resume-failure"} = %d, want 1`, got)
+	}
+}
+
+// TestExecutorQueueOverflowRunsInline: a full queue degrades to the seed's
+// inline execution instead of deadlocking or dropping the SST.
+func TestExecutorQueueOverflowRunsInline(t *testing.T) {
+	store := NewMemStore()
+	m := NewManager(store, WithSSTExecutor(1, 0)) // no queue slack at all
+	defer m.Close()
+	ctx := context.Background()
+	const txs = 16
+	for i := 0; i < txs; i++ {
+		ref := StoreRef{Table: "T", Key: fmt.Sprintf("K%d", i), Column: "v"}
+		store.Seed(ref, sem.Int(0))
+		if err := m.RegisterAtomicObject(ObjectID(fmt.Sprintf("X%d", i)), ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, txs)
+	for i := 0; i < txs; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := TxID(fmt.Sprintf("T%d", i))
+			obj := ObjectID(fmt.Sprintf("X%d", i))
+			c, err := m.BeginClient(id)
+			if err == nil {
+				if err = c.Invoke(ctx, obj, sem.Op{Class: sem.AddSub}); err == nil {
+					if err = c.Apply(obj, sem.Int(1)); err == nil {
+						err = c.Commit(ctx)
+					}
+				}
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.Applied() != txs {
+		t.Fatalf("applied SSTs = %d, want %d", store.Applied(), txs)
+	}
+}

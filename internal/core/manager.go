@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"preserial/internal/clock"
@@ -36,6 +37,7 @@ type Manager struct {
 	store Store
 	opts  options
 	obs   *Observability // nil unless WithObservability
+	exec  *sstExecutor   // nil unless WithSSTExecutor
 
 	txs  map[TxID]*transaction
 	objs map[ObjectID]*object
@@ -63,7 +65,23 @@ func NewManager(store Store, opt ...Option) *Manager {
 		m.clk = m.opts.clk
 	}
 	m.obs = m.opts.obs
+	if m.opts.sstWorkers > 0 {
+		var gauge *atomic.Int64
+		if m.obs != nil {
+			gauge = &m.obs.sstQueue
+		}
+		m.exec = newSSTExecutor(m.opts.sstWorkers, m.opts.sstQueueDepth, gauge)
+	}
 	return m
+}
+
+// Close stops the SST executor (if any) after its queue drains. The Manager
+// remains usable — later SSTs simply run unpooled, as without
+// WithSSTExecutor. Managers created without an executor need no Close.
+func (m *Manager) Close() {
+	if m.exec != nil {
+		m.exec.close()
+	}
 }
 
 // RegisterObject declares a database object to the GTM. refs maps data
@@ -440,26 +458,55 @@ func (m *Manager) globalCommit(t *transaction) {
 		}
 		locals = append(locals, lw)
 	}
+	// commitHeld is a map: without sorting, concurrent SSTs would acquire
+	// LDBS row locks in random per-transaction orders and could deadlock
+	// each other. Canonical StoreRef order makes SST↔SST deadlocks
+	// structurally impossible (and the history deterministic).
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Ref.less(writes[j].Ref) })
+	sort.Slice(locals, func(i, j int) bool { return locals[i].o.id < locals[j].o.id })
 	if m.store == nil || len(writes) == 0 {
 		m.publish(t, locals)
 		return
 	}
 	t.sstInFlight = true
 	t.sstStart = m.clk.Now()
-	store := m.store
 	id := t.id
+	run := func() {
+		m.completeSST(id, locals, m.runSST(writes))
+	}
+	if m.exec != nil {
+		// Hand the SST to the worker pool; the committing goroutine only
+		// pays the enqueue.
+		exec := m.exec
+		m.mon.queue(func() { exec.submit(run) })
+	} else {
+		// Seed semantics: run on the goroutine exiting the monitor.
+		m.mon.queue(run)
+	}
+}
+
+// runSST executes one Secure System Transaction with the configured retry
+// policy: up to sstRetries re-attempts for errors the filter accepts, with
+// capped exponential backoff + jitter between attempts (no sleeping unless
+// a backoff base is configured — WithSSTExecutor sets one).
+func (m *Manager) runSST(writes []SSTWrite) error {
 	retries := m.opts.sstRetries
 	filter := m.opts.sstRetryFilter
-	m.mon.queue(func() {
-		var err error
-		for attempt := 0; ; attempt++ {
-			err = store.ApplySST(writes)
-			if err == nil || attempt >= retries || (filter != nil && !filter(err)) {
-				break
+	var err error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if m.obs != nil {
+				m.obs.sstRetries.Inc()
+			}
+			if d := sstBackoff(m.opts.sstBackoffBase, m.opts.sstBackoffCap, attempt); d > 0 {
+				time.Sleep(d)
 			}
 		}
-		m.completeSST(id, locals, err)
-	})
+		err = m.store.ApplySST(writes)
+		if err == nil || attempt >= retries || (filter != nil && !filter(err)) {
+			return err
+		}
+	}
 }
 
 // completeSST re-enters the monitor with the SST's outcome.
@@ -663,8 +710,10 @@ func (m *Manager) Awake(txID TxID) (resumed bool, err error) {
 		delete(o.sleeping, txID)
 		if w := o.removeWaiter(txID); w != nil {
 			if err := m.grant(t, o, w.op); err != nil {
+				// No SST ran: the permanent value failed to load while
+				// re-granting the queued invocation.
 				m.setState(t, StateAborting)
-				m.finishAbort(t, AbortSSTFailure, err)
+				m.finishAbort(t, AbortResumeFailure, err)
 				return false, err
 			}
 		}
@@ -728,7 +777,7 @@ func (m *Manager) dispatch(o *object) {
 		o.removeWaiter(w.tx)
 		if err := m.grant(t, o, w.op); err != nil {
 			m.setState(t, StateAborting)
-			m.finishAbort(t, AbortSSTFailure, err)
+			m.finishAbort(t, AbortResumeFailure, err)
 			continue
 		}
 		m.setState(t, StateActive)

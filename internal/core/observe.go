@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"preserial/internal/obs"
@@ -35,7 +36,10 @@ type Observability struct {
 	ssts        *obs.Counter // gtm_sst_total{outcome="ok"}
 	sstFailures *obs.Counter // gtm_sst_total{outcome="failed"}
 
-	aborts [AbortTimeout + 1]*obs.Counter // gtm_aborts_total{reason=...}
+	aborts [numAbortReasons]*obs.Counter // gtm_aborts_total{reason=...}
+
+	sstRetries *obs.Counter // gtm_sst_retries_total
+	sstQueue   atomic.Int64 // gtm_sst_queue_depth (fed by the SST executor)
 
 	commitLatency *obs.Histogram // gtm_commit_seconds
 	invokeWait    *obs.Histogram // gtm_invoke_wait_seconds
@@ -62,11 +66,15 @@ func NewObservability(reg *obs.Registry, traceDepth int) *Observability {
 		ssts:        reg.Counter(`gtm_sst_total{outcome="ok"}`, "Secure System Transactions by outcome."),
 		sstFailures: reg.Counter(`gtm_sst_total{outcome="failed"}`, "Secure System Transactions by outcome."),
 
+		sstRetries: reg.Counter("gtm_sst_retries_total", "Secure System Transaction retry attempts."),
+
 		commitLatency: reg.Histogram("gtm_commit_seconds", "Latency from commit request to publication.", nil),
 		invokeWait:    reg.Histogram("gtm_invoke_wait_seconds", "Queue time of invocations granted after a wait.", nil),
 		sstLatency:    reg.Histogram("gtm_sst_seconds", "Secure System Transaction execution latency.", nil),
 	}
-	for r := AbortUser; r <= AbortTimeout; r++ {
+	reg.GaugeFunc("gtm_sst_queue_depth", "Secure System Transactions queued for the executor.",
+		func() float64 { return float64(o.sstQueue.Load()) })
+	for r := AbortUser; r < numAbortReasons; r++ {
 		o.aborts[r] = reg.Counter(fmt.Sprintf("gtm_aborts_total{reason=%q}", r.String()), "Aborts by reason.")
 	}
 	if traceDepth > 0 {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"preserial/internal/clock"
 	"preserial/internal/sem"
 )
@@ -24,6 +26,10 @@ type options struct {
 	conflict              ConflictFunc
 	sstRetries            int
 	sstRetryFilter        func(error) bool
+	sstWorkers            int
+	sstQueueDepth         int
+	sstBackoffBase        time.Duration
+	sstBackoffCap         time.Duration
 	obs                   *Observability
 }
 
@@ -102,6 +108,40 @@ func WithSSTRetries(n int, filter func(error) bool) Option {
 	return func(o *options) {
 		o.sstRetries = n
 		o.sstRetryFilter = filter
+	}
+}
+
+// WithSSTExecutor runs Secure System Transactions on a pool of `workers`
+// goroutines behind a queue of `queueDepth` slots instead of on the
+// committing client's goroutine, so RequestCommit (and Client.Commit's
+// request phase) no longer blocks for the store round-trip or the retry
+// loop. When the queue is full the submitting goroutine runs the SST
+// itself — bounded-queue backpressure that degrades to the unpooled
+// semantics rather than queueing without limit. Retries (WithSSTRetries)
+// gain a capped exponential backoff with jitter (1ms base, 100ms cap;
+// tune with WithSSTBackoff after this option).
+//
+// Managers created with an executor should be Closed when discarded.
+// Without this option SSTs run as in the seed: on the goroutine that
+// completed the commit, with immediate retries.
+func WithSSTExecutor(workers, queueDepth int) Option {
+	return func(o *options) {
+		o.sstWorkers = workers
+		o.sstQueueDepth = queueDepth
+		if o.sstBackoffBase == 0 {
+			o.sstBackoffBase = time.Millisecond
+			o.sstBackoffCap = 100 * time.Millisecond
+		}
+	}
+}
+
+// WithSSTBackoff sets the retry backoff: capped exponential growth from
+// base to cap with ±50% jitter. A zero base disables sleeping between
+// retries (the default for unpooled managers).
+func WithSSTBackoff(base, cap time.Duration) Option {
+	return func(o *options) {
+		o.sstBackoffBase = base
+		o.sstBackoffCap = cap
 	}
 }
 

@@ -19,6 +19,18 @@ func (r StoreRef) String() string {
 	return fmt.Sprintf("%s/%s.%s", r.Table, r.Key, r.Column)
 }
 
+// less orders references canonically (table, then key, then column) — the
+// lock-acquisition order every SST follows.
+func (r StoreRef) less(s StoreRef) bool {
+	if r.Table != s.Table {
+		return r.Table < s.Table
+	}
+	if r.Key != s.Key {
+		return r.Key < s.Key
+	}
+	return r.Column < s.Column
+}
+
 // SSTWrite is one write of a Secure System Transaction.
 type SSTWrite struct {
 	Ref   StoreRef

@@ -95,6 +95,13 @@ const (
 	// AbortTimeout: a supervision policy (e.g. the baseline's sleeping
 	// timeout) killed the transaction.
 	AbortTimeout
+	// AbortResumeFailure: re-granting a queued invocation failed because
+	// the permanent value could not be loaded from the store (Awake
+	// phase 2, or waiter dispatch). No SST ran.
+	AbortResumeFailure
+
+	// numAbortReasons sizes per-reason tables; keep it last.
+	numAbortReasons
 )
 
 // String names the reason.
@@ -110,6 +117,8 @@ func (r AbortReason) String() string {
 		return "deadlock"
 	case AbortTimeout:
 		return "timeout"
+	case AbortResumeFailure:
+		return "resume-failure"
 	default:
 		return fmt.Sprintf("AbortReason(%d)", uint8(r))
 	}

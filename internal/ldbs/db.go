@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"preserial/internal/obs"
 	"preserial/internal/sem"
@@ -29,8 +30,22 @@ type Options struct {
 	// WAL, when non-nil, receives the write-ahead log. If it also
 	// implements Syncer (e.g. *os.File) it is synced at every commit.
 	WAL io.Writer
+	// DisableGroupCommit makes every commit pay its own WAL flush+sync
+	// (the seed's force policy). By default concurrent commits share
+	// syncs through the group-commit coordinator: each transaction's
+	// records are appended contiguously under the WAL lock, and the
+	// transaction returns once a sync covering its commit LSN completes.
+	// Grouping changes throughput, not semantics — a batch of one is the
+	// per-commit policy.
+	DisableGroupCommit bool
+	// GroupCommitWindow makes the sync leader wait this long before
+	// flushing, accumulating more followers per fsync (higher latency,
+	// bigger batches). Zero syncs immediately; leader/follower batching
+	// still amortizes naturally while a sync is in flight.
+	GroupCommitWindow time.Duration
 	// Obs, when non-nil, receives live engine metrics (WAL fsync count and
-	// latency, lock waits and wait latency, deadlocks) under ldbs_* names.
+	// latency, lock waits and wait latency, deadlocks, group-commit batch
+	// sizes) under ldbs_* names.
 	Obs *obs.Registry
 }
 
@@ -77,6 +92,8 @@ func Open(opts Options) *DB {
 	}
 	if opts.WAL != nil {
 		db.log = newWAL(opts.WAL)
+		db.log.grouped = !opts.DisableGroupCommit
+		db.log.window = opts.GroupCommitWindow
 	}
 	if opts.Obs != nil {
 		db.obsDeadlocks = opts.Obs.Counter("ldbs_deadlocks_total", "Lock waits refused because they would close a wait-for cycle.")
@@ -86,6 +103,9 @@ func Open(opts Options) *DB {
 			db.log.syncs = opts.Obs.Counter("ldbs_wal_fsyncs_total", "WAL flushes synced to stable storage.")
 			db.log.syncLatency = opts.Obs.Histogram("ldbs_wal_fsync_seconds", "WAL fsync latency.", nil)
 			db.log.appends = opts.Obs.Counter("ldbs_wal_records_total", "WAL records appended.")
+			db.log.batchSize = opts.Obs.Histogram("ldbs_group_commit_batch_size",
+				"Transactions made durable per shared WAL sync (1 unit = 1 transaction).",
+				[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 		}
 	}
 	return db
@@ -457,8 +477,16 @@ func (tx *Tx) Scan(ctx context.Context, table string, visit func(key string, row
 	return nil
 }
 
-// Commit logs the write set (force policy: the WAL is flushed before the
-// store is touched), applies it to the store, and releases all locks.
+// Commit logs the write set (force policy: the WAL is durable before the
+// store is touched), applies it to the store, and releases all locks. The
+// whole recBegin…recCommit frame is appended under one WAL lock hold, so
+// concurrent commits never interleave records; durability comes either
+// from a shared group-commit sync (default) or a private flush+sync
+// (Options.DisableGroupCommit). After a flush or sync failure the WAL is
+// poisoned and every subsequent Commit fails fast with ErrWALPoisoned: the
+// failed transaction's tail is in doubt (a partially flushed recCommit
+// could be redone by recovery even though Commit returned an error), and
+// refusing later commits keeps any in-doubt transaction last in the log.
 func (tx *Tx) Commit(ctx context.Context) error {
 	if err := tx.check(); err != nil {
 		return err
@@ -468,23 +496,24 @@ func (tx *Tx) Commit(ctx context.Context) error {
 	db.ckptMu.RLock()
 	defer db.ckptMu.RUnlock()
 	if db.log != nil && len(tx.writes) > 0 {
-		if _, err := db.log.Append(walRecord{Type: recBegin, TxID: tx.id}); err != nil {
-			db.abort(tx)
-			return err
-		}
+		recs := make([]walRecord, 0, len(tx.writes)+2)
+		recs = append(recs, walRecord{Type: recBegin, TxID: tx.id})
 		for _, w := range tx.writes {
-			rec := walRecord{Type: w.typ, TxID: tx.id, Table: w.table, Key: w.key,
-				Column: w.column, Value: w.value, Row: w.row}
-			if _, err := db.log.Append(rec); err != nil {
-				db.abort(tx)
-				return err
-			}
+			recs = append(recs, walRecord{Type: w.typ, TxID: tx.id, Table: w.table,
+				Key: w.key, Column: w.column, Value: w.value, Row: w.row})
 		}
-		if _, err := db.log.Append(walRecord{Type: recCommit, TxID: tx.id}); err != nil {
+		recs = append(recs, walRecord{Type: recCommit, TxID: tx.id})
+		commitLSN, err := db.log.AppendGroup(recs)
+		if err != nil {
 			db.abort(tx)
 			return err
 		}
-		if err := db.log.Flush(); err != nil {
+		if db.log.grouped {
+			err = db.log.WaitDurable(commitLSN)
+		} else {
+			err = db.log.Flush()
+		}
+		if err != nil {
 			db.abort(tx)
 			return err
 		}

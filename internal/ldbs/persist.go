@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"preserial/internal/obs"
 )
@@ -23,6 +24,11 @@ type Persistence struct {
 
 	// Obs, when non-nil, is passed to the recovered DB (see Options.Obs).
 	Obs *obs.Registry
+
+	// DisableGroupCommit and GroupCommitWindow are passed to the recovered
+	// DB (see the same fields on Options).
+	DisableGroupCommit bool
+	GroupCommitWindow  time.Duration
 
 	wal *os.File
 }
@@ -64,7 +70,8 @@ func (p *Persistence) Open(schemas []Schema) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ldbs: open WAL: %w", err)
 	}
-	db := Open(Options{WAL: walFile, Obs: p.Obs})
+	db := Open(Options{WAL: walFile, Obs: p.Obs,
+		DisableGroupCommit: p.DisableGroupCommit, GroupCommitWindow: p.GroupCommitWindow})
 	for _, s := range schemas {
 		if err := db.CreateTable(s); err != nil {
 			walFile.Close()

@@ -221,61 +221,205 @@ func decodeRecord(b []byte) (walRecord, error) {
 // (satisfied by *os.File).
 type Syncer interface{ Sync() error }
 
+// ErrWALPoisoned is returned by commits after a WAL flush or sync has
+// failed. A failed sync leaves the log tail in doubt — some framing may
+// have reached stable storage, so recovery could redo a commit whose
+// Commit() returned an error. Refusing every subsequent commit guarantees
+// no later transaction can be ordered after an in-doubt one; the operator
+// restarts and recovers.
+var ErrWALPoisoned = errors.New("ldbs: WAL poisoned by an earlier flush/sync failure")
+
 // wal frames records as [u32 length][u32 crc32][payload] onto an io.Writer.
+//
+// Commits reach durability through the group-commit coordinator: each
+// transaction appends its whole recBegin…recCommit frame under one hold of
+// mu (per-transaction contiguity in the log), then waits in WaitDurable
+// until a sync covering its commit LSN has completed. The first waiter
+// becomes the leader and pays one Flush+Sync for every transaction that
+// appended before the flush — followers ride along for free. With
+// grouping disabled each commit syncs individually (the seed's
+// one-fsync-per-transaction force policy).
 type wal struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	dst io.Writer
-	lsn uint64 // records appended
+	mu      sync.Mutex
+	w       *bufio.Writer
+	dst     io.Writer
+	lsn     uint64 // records appended
+	commits uint64 // commit frames appended (group-commit accounting)
+
+	grouped bool          // commits share syncs (set by Open)
+	window  time.Duration // leader accumulation window (0: sync immediately)
+
+	// Coordinator state, guarded by syncMu (never held across I/O).
+	syncMu        sync.Mutex
+	syncCond      *sync.Cond
+	syncing       bool  // a leader is flushing+syncing
+	syncedLSN     uint64
+	syncedCommits uint64
+	poison        error
 
 	// Live metrics, nil unless the DB was opened with Options.Obs.
 	appends     *obs.Counter
 	syncs       *obs.Counter
 	syncLatency *obs.Histogram
+	batchSize   *obs.Histogram // transactions per shared sync (unit: count)
 }
 
 func newWAL(dst io.Writer) *wal {
-	return &wal{w: bufio.NewWriter(dst), dst: dst}
+	l := &wal{w: bufio.NewWriter(dst), dst: dst}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	return l
 }
 
-// Append frames and buffers one record, returning its LSN (1-based).
-func (l *wal) Append(r walRecord) (uint64, error) {
+// appendLocked frames and buffers one record; caller holds l.mu.
+func (l *wal) appendLocked(r walRecord) error {
 	payload := r.encode()
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	if _, err := l.w.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("ldbs: wal append: %w", err)
+		return fmt.Errorf("ldbs: wal append: %w", err)
 	}
 	if _, err := l.w.Write(payload); err != nil {
-		return 0, fmt.Errorf("ldbs: wal append: %w", err)
+		return fmt.Errorf("ldbs: wal append: %w", err)
 	}
 	l.lsn++
 	if l.appends != nil {
 		l.appends.Inc()
 	}
+	return nil
+}
+
+// Append frames and buffers one record, returning its LSN (1-based).
+func (l *wal) Append(r walRecord) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendLocked(r); err != nil {
+		return 0, err
+	}
 	return l.lsn, nil
 }
 
-// Flush empties the buffer and, when the destination supports it, syncs to
-// stable storage. Called at every commit (force policy).
-func (l *wal) Flush() error {
+// AppendGroup appends a transaction's records under a single lock hold, so
+// concurrent committers can never interleave frames inside another
+// transaction's recBegin…recCommit window. Returns the LSN of the last
+// record — the commit LSN WaitDurable takes. Fails fast once poisoned.
+func (l *wal) AppendGroup(recs []walRecord) (uint64, error) {
+	if err := l.poisoned(); err != nil {
+		return 0, err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("ldbs: wal flush: %w", err)
+	for _, r := range recs {
+		if err := l.appendLocked(r); err != nil {
+			return 0, err
+		}
+		if r.Type == recCommit {
+			l.commits++
+		}
+	}
+	return l.lsn, nil
+}
+
+// poisoned returns the poison error, if any.
+func (l *wal) poisoned() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.poison
+}
+
+// setPoison records the first flush/sync failure and wakes every waiter;
+// caller holds syncMu.
+func (l *wal) setPoisonLocked(err error) {
+	if l.poison == nil {
+		l.poison = fmt.Errorf("%w (first failure: %v)", ErrWALPoisoned, err)
+	}
+	l.syncCond.Broadcast()
+}
+
+// flushAndSync empties the buffer and syncs the destination, returning the
+// LSN and commit count covered. Caller must NOT hold syncMu.
+func (l *wal) flushAndSync() (coveredLSN, coveredCommits uint64, err error) {
+	l.mu.Lock()
+	coveredLSN = l.lsn
+	coveredCommits = l.commits
+	err = l.w.Flush()
+	l.mu.Unlock()
+	if err != nil {
+		return 0, 0, fmt.Errorf("ldbs: wal flush: %w", err)
 	}
 	if s, ok := l.dst.(Syncer); ok {
 		start := time.Now()
 		if err := s.Sync(); err != nil {
-			return fmt.Errorf("ldbs: wal sync: %w", err)
+			return 0, 0, fmt.Errorf("ldbs: wal sync: %w", err)
 		}
 		if l.syncs != nil {
 			l.syncs.Inc()
 			l.syncLatency.Observe(time.Since(start))
 		}
+	}
+	return coveredLSN, coveredCommits, nil
+}
+
+// WaitDurable blocks until a sync covering lsn has completed, electing the
+// calling goroutine leader when no sync is running: the leader (optionally
+// after the accumulation window) flushes and syncs everything buffered so
+// far, releasing itself and every follower whose commit LSN the flush
+// covered. On failure the WAL is poisoned: this commit and every later one
+// reports an error.
+func (l *wal) WaitDurable(lsn uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	for {
+		if l.syncedLSN >= lsn {
+			return nil // durable — possibly via an earlier leader
+		}
+		if l.poison != nil {
+			return l.poison
+		}
+		if l.syncing {
+			l.syncCond.Wait()
+			continue
+		}
+		l.syncing = true
+		l.syncMu.Unlock()
+		if l.window > 0 {
+			time.Sleep(l.window) // let more committers append
+		}
+		covered, commits, err := l.flushAndSync()
+		l.syncMu.Lock()
+		l.syncing = false
+		if err != nil {
+			l.setPoisonLocked(err)
+			return err
+		}
+		if l.batchSize != nil && commits > l.syncedCommits {
+			// The histogram reuses duration plumbing with 1s ≙ 1 tx:
+			// _sum counts transactions, _count counts shared syncs.
+			l.batchSize.Observe(time.Duration(commits-l.syncedCommits) * time.Second)
+		}
+		l.syncedLSN = covered
+		l.syncedCommits = commits
+		l.syncCond.Broadcast()
+	}
+}
+
+// Flush empties the buffer and, when the destination supports it, syncs to
+// stable storage — the per-commit force policy used when group commit is
+// disabled, and by checkpoint/snapshot writers. Fails fast once poisoned.
+func (l *wal) Flush() error {
+	if err := l.poisoned(); err != nil {
+		return err
+	}
+	covered, commits, err := l.flushAndSync()
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if err != nil {
+		l.setPoisonLocked(err)
+		return err
+	}
+	if covered > l.syncedLSN {
+		l.syncedLSN = covered
+		l.syncedCommits = commits
 	}
 	return nil
 }

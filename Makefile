@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-commit experiments fuzz obs-demo clean
+.PHONY: all build test race bench bench-commit chaos experiments fuzz obs-demo clean
 
 all: build test
 
@@ -24,6 +24,12 @@ bench:
 bench-commit:
 	$(GO) test -run=NONE -bench=CommitFsyncModes -benchtime=1s ./internal/ldbs
 	$(GO) run ./cmd/experiments -run commitpipe
+
+# Fault-injection soak: booking workload through a flaky proxy across two
+# server crash-restarts, seat-conservation oracle, race detector on
+# (see docs/RESILIENCE.md).
+chaos:
+	$(GO) test -race -count=1 -v ./internal/chaos ./internal/faultnet
 
 # Regenerates every table and figure of the paper (see EXPERIMENTS.md).
 experiments:

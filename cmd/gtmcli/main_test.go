@@ -28,12 +28,10 @@ func startServer(t *testing.T) *wire.Conn {
 		defer wg.Done()
 		_ = srv.Serve("127.0.0.1:0")
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Addr() == nil {
-		if time.Now().After(deadline) {
-			t.Fatal("server never bound")
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-srv.Ready():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never bound")
 	}
 	cn, err := wire.Dial(srv.Addr().String())
 	if err != nil {

@@ -26,6 +26,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"preserial/internal/core"
@@ -50,6 +52,7 @@ func main() {
 	sstQueue := flag.Int("sst-queue-depth", 64, "SST executor queue depth; overflow runs inline")
 	groupCommit := flag.Bool("wal-group-commit", true, "batch concurrent commits into shared WAL fsyncs")
 	groupWindow := flag.Duration("wal-group-window", 0, "extra wait before the leader syncs, to grow batches (0: sync immediately)")
+	drainTO := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGTERM/SIGINT: wait this long for in-flight commits before exiting")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gtmd: ", log.LstdFlags)
@@ -61,8 +64,9 @@ func main() {
 	observ := core.NewObservability(reg, *traceDepth)
 
 	var db *ldbs.DB
+	var pers *ldbs.Persistence
 	if *dataDir != "" {
-		pers := &ldbs.Persistence{Dir: *dataDir, Obs: reg,
+		pers = &ldbs.Persistence{Dir: *dataDir, Obs: reg,
 			DisableGroupCommit: !*groupCommit, GroupCommitWindow: *groupWindow}
 		recovered, err := pers.Open(demoSchemas())
 		if err != nil {
@@ -123,10 +127,38 @@ func main() {
 	}, 5*time.Second)
 
 	srv := wire.NewServer(m, wire.ServerOptions{Logger: logger, InvokeTimeout: *invokeTO, Obs: reg})
+
+	// Graceful drain: on SIGTERM/SIGINT stop accepting, sleep every live
+	// transaction (clients re-attach and awaken after the restart), wait
+	// for in-flight commits, flush the WAL with a final checkpoint, exit 0.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigs
+		logger.Printf("received %s, draining (budget %s)", sig, *drainTO)
+		rep := srv.Drain(*drainTO)
+		logger.Printf("drain: %d transactions slept, commits flushed: %v", rep.Slept, rep.CommitsFlushed)
+		m.Close()
+		if pers != nil {
+			if err := pers.Checkpoint(db); err != nil {
+				logger.Printf("final checkpoint: %v", err)
+			}
+			if err := pers.Close(); err != nil {
+				logger.Printf("wal close: %v", err)
+			}
+		}
+		if !rep.CommitsFlushed {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
+
 	logger.Printf("middleware listening on %s (data dir %q)", *addr, *dataDir)
 	if err := srv.Serve(*addr); err != nil {
 		logger.Fatalf("serve: %v", err)
 	}
+	// Serve returned nil: a drain is in progress; let it finish the exit.
+	select {}
 }
 
 // demo resources: 4 of each kind, as in the motivating scenario.

@@ -10,7 +10,10 @@
 //
 // It prints the same two quantities as Fig. 3: mean execution time and
 // abort percentage — this time measured against a real server rather than
-// the virtual-clock emulation.
+// the virtual-clock emulation. By default clients are wire.ResilientConn
+// (deadlines, reconnect with backoff, exactly-once retries); -resilient=false
+// drives the legacy v1 attach/awake flow by hand. Client-side wire_*
+// counters (reconnects, retries) are printed after the run.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"preserial/internal/metrics"
+	"preserial/internal/obs"
 	"preserial/internal/wire"
 	"preserial/internal/workload"
 )
@@ -38,6 +42,8 @@ func main() {
 	discFor := flag.Duration("disconnect-for", 150*time.Millisecond, "mean disconnection duration")
 	objects := flag.Int("objects", 4, "number of demo flights to target (Flight/AZ0..)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	resilient := flag.Bool("resilient", true, "use the disconnection-tolerant client (deadlines, reconnects, exactly-once retries); false drives the legacy v1 flow")
+	callTO := flag.Duration("call-timeout", wire.DefaultCallTimeout, "per-call deadline for the resilient client")
 	flag.Parse()
 
 	p := workload.DefaultParams()
@@ -62,6 +68,10 @@ func main() {
 	}
 	probe.Close()
 
+	// Client-side registry: the resilient clients share it, so the printed
+	// wire_reconnects_total / wire_client_retries_total cover the whole run.
+	clientReg := obs.NewRegistry()
+
 	var (
 		mu        sync.Mutex
 		lat       metrics.Agg
@@ -78,7 +88,12 @@ func main() {
 			defer wg.Done()
 			time.Sleep(time.Until(start.Add(spec.Arrival)))
 			t0 := time.Now()
-			err := runClient(*addr, spec)
+			var err error
+			if *resilient {
+				err = runResilient(*addr, spec, clientReg, *callTO)
+			} else {
+				err = runClient(*addr, spec)
+			}
 			d := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()
@@ -101,7 +116,29 @@ func main() {
 	for r, c := range reasons {
 		fmt.Printf("  abort reason %q: %d\n", r, c)
 	}
+	if *resilient {
+		printClientMetrics(clientReg)
+	}
 	printServerMetrics(*addr)
+}
+
+// printClientMetrics prints the resilient clients' shared counters.
+func printClientMetrics(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		if strings.HasPrefix(k, "wire_") {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.Strings(keys)
+	fmt.Println("client metrics (wire_*):")
+	for _, k := range keys {
+		fmt.Printf("  %-50s %d\n", k, snap[k])
+	}
 }
 
 // printServerMetrics fetches the server's live observability snapshot over
@@ -119,12 +156,12 @@ func printServerMetrics(addr string) {
 	}
 	keys := make([]string, 0, len(m))
 	for k := range m {
-		if strings.HasPrefix(k, "gtm_") || strings.HasPrefix(k, "ldbs_") {
+		if strings.HasPrefix(k, "gtm_") || strings.HasPrefix(k, "ldbs_") || strings.HasPrefix(k, "wire_") {
 			keys = append(keys, k)
 		}
 	}
 	sort.Strings(keys)
-	fmt.Println("server metrics (gtm_*, ldbs_*):")
+	fmt.Println("server metrics (gtm_*, ldbs_*, wire_*):")
 	for _, k := range keys {
 		fmt.Printf("  %-50s %d\n", k, m[k])
 	}
@@ -139,6 +176,39 @@ func reasonOf(err error) string {
 		}
 	}
 	return "other"
+}
+
+// runResilient executes one workload transaction through the
+// disconnection-tolerant client: a disconnection is just a severed link —
+// the next call reconnects, re-attaches and awakens the transaction
+// automatically, and retried mutations are deduplicated server-side.
+func runResilient(addr string, spec workload.Spec, reg *obs.Registry, callTO time.Duration) error {
+	obj := fmt.Sprintf("Flight/AZ%d", spec.Object)
+	rc := wire.DialResilient(addr, wire.ResilientOptions{
+		CallTimeout: callTO,
+		Obs:         reg,
+	})
+	defer rc.Close()
+	if err := rc.Begin(spec.ID); err != nil {
+		return err
+	}
+	if err := rc.Invoke(spec.ID, obj, spec.Kind.Class(), ""); err != nil {
+		return err
+	}
+	if err := rc.Apply(spec.ID, obj, spec.Operand); err != nil {
+		return err
+	}
+	if !spec.Disconnects {
+		time.Sleep(spec.Exec)
+		return rc.Commit(spec.ID)
+	}
+	// Think until the network "fails", stay dark, then carry on — the
+	// resilient client handles reconnect/attach/awake on the next call.
+	time.Sleep(spec.DisconnectAt)
+	rc.DropLink()
+	time.Sleep(spec.DisconnectFor)
+	time.Sleep(spec.Exec - spec.DisconnectAt)
+	return rc.Commit(spec.ID)
 }
 
 // runClient executes one workload transaction against the server,

@@ -638,8 +638,13 @@ func (m *Manager) Sleep(txID TxID) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownTx, txID)
 	}
+	return m.sleepLocked(t)
+}
+
+// sleepLocked is Sleep's body; the caller holds the monitor.
+func (m *Manager) sleepLocked(t *transaction) error {
 	if t.state != StateActive && t.state != StateWaiting {
-		return fmt.Errorf("%w: %s is %s, sleep requires Active or Waiting", ErrBadState, txID, t.state)
+		return fmt.Errorf("%w: %s is %s, sleep requires Active or Waiting", ErrBadState, t.id, t.state)
 	}
 	m.setState(t, StateSleeping)
 	t.tsleep = m.clk.Now()
@@ -660,6 +665,29 @@ func (m *Manager) Sleep(txID TxID) error {
 		m.dispatch(o)
 	}
 	return nil
+}
+
+// SleepAllLive puts every Active or Waiting transaction to sleep in one
+// critical section — the graceful-drain hook: a stopping server parks its
+// live transactions so they survive the restart (clients re-attach and
+// awaken) instead of dying with the process. Committing, Sleeping and
+// terminal transactions are untouched. Returns the ids slept, in order.
+func (m *Manager) SleepAllLive() []TxID {
+	defer m.mon.enter(m)()
+	ids := make([]TxID, 0, len(m.txs))
+	for id, t := range m.txs {
+		if t.state == StateActive || t.state == StateWaiting {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slept := ids[:0]
+	for _, id := range ids {
+		if err := m.sleepLocked(m.txs[id]); err == nil {
+			slept = append(slept, id)
+		}
+	}
+	return slept
 }
 
 // Awake implements ⟨awake,X,A⟩ + ⟨awake,A⟩ (Algorithms 9–10). If no

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"preserial/internal/sem"
+)
+
+// TestSleepAllLive covers the graceful-drain primitive: every Active or
+// Waiting transaction goes to sleep in one call; terminal ones are left
+// alone.
+func TestSleepAllLive(t *testing.T) {
+	store := NewMemStore()
+	ref := StoreRef{Table: "T", Key: "k", Column: "v"}
+	store.Seed(ref, sem.Int(10))
+	m := NewManager(store)
+	defer m.Close()
+	if err := m.RegisterAtomicObject("X", ref); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Two live transactions holding compatible invocations, one committed.
+	c1, err := m.BeginClient("live-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Invoke(ctx, "X", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.BeginClient("live-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Invoke(ctx, "X", sem.Op{Class: sem.AddSub}); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := m.BeginClient("done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	slept := m.SleepAllLive()
+	if len(slept) != 2 || slept[0] != "live-a" || slept[1] != "live-b" {
+		t.Fatalf("slept = %v, want [live-a live-b]", slept)
+	}
+	for _, id := range []TxID{"live-a", "live-b"} {
+		if st, _ := m.TxState(id); st != StateSleeping {
+			t.Errorf("%s state = %s, want Sleeping", id, st)
+		}
+	}
+	if st, _ := m.TxState("done"); st != StateCommitted {
+		t.Errorf("done state = %s, want Committed", st)
+	}
+
+	// Idempotent: a second drain finds nothing live.
+	if again := m.SleepAllLive(); len(again) != 0 {
+		t.Fatalf("second SleepAllLive slept %v", again)
+	}
+
+	// A slept transaction is still completable: awake and commit.
+	resumed, err := m.Awake("live-a")
+	if err != nil || !resumed {
+		t.Fatalf("awake: resumed=%v err=%v", resumed, err)
+	}
+	if err := c1.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

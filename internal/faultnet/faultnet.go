@@ -1,0 +1,247 @@
+// Package faultnet is the repo's fault-injection toolkit: an in-process TCP
+// proxy that corrupts the path between wire clients and a gtmd server —
+// dropped connections, RSTs, added latency, one-way partitions — plus a
+// core.Store wrapper that injects data-layer failures. The chaos soak
+// (internal/chaos) drives the booking workload through it to prove the
+// resilient client and the server's exactly-once window hold up.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the fault mix. Probabilities are evaluated per forwarded
+// chunk (≤4 KiB), so a multi-frame conversation sees many trials: even a
+// 1% probability severs most long-lived connections eventually.
+type Config struct {
+	// Seed fixes the fault RNG for reproducible runs (0: time-seeded).
+	Seed int64
+	// DropProb silently closes both halves of the connection mid-stream —
+	// the classic vanished mobile link. The client sees EOF or a reset.
+	DropProb float64
+	// ResetProb slams the client side shut with an RST (linger 0).
+	ResetProb float64
+	// DelayProb pauses a chunk for Delay before forwarding it.
+	DelayProb float64
+	// Delay is the added latency for delayed chunks (default 20ms).
+	Delay time.Duration
+	// BlackholeC2S swallows client→server bytes while keeping the
+	// connection open: requests vanish, the client times out.
+	BlackholeC2S bool
+	// BlackholeS2C swallows server→client bytes: the server processes the
+	// request but the response never arrives — the exact window where
+	// retry-without-dedup double-applies.
+	BlackholeS2C bool
+}
+
+// Proxy is an in-process TCP proxy with fault injection. Point wire clients
+// at Addr(); the proxy forwards to the target through the configured fault
+// mix. The target is swappable at runtime (SetTarget) so a crashed-and-
+// restarted server on a fresh port keeps the same client-facing address.
+type Proxy struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	target string
+	cfg    Config
+	rng    *rand.Rand
+	links  map[*link]struct{}
+	closed bool
+
+	dropped  atomic.Uint64
+	resets   atomic.Uint64
+	delayed  atomic.Uint64
+	suppress atomic.Uint64
+}
+
+// link is one proxied connection pair.
+type link struct {
+	client net.Conn
+	server net.Conn
+}
+
+// New starts a proxy on a loopback port forwarding to target.
+func New(target string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	if cfg.Delay == 0 {
+		cfg.Delay = 20 * time.Millisecond
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		links:  make(map[*link]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the client-facing address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetTarget redirects new connections to a different backend — existing
+// links keep their old target until they die.
+func (p *Proxy) SetTarget(addr string) {
+	p.mu.Lock()
+	p.target = addr
+	p.mu.Unlock()
+}
+
+// SetConfig swaps the fault mix for subsequent chunks on all connections.
+func (p *Proxy) SetConfig(cfg Config) {
+	if cfg.Delay == 0 {
+		cfg.Delay = 20 * time.Millisecond
+	}
+	p.mu.Lock()
+	p.cfg = cfg
+	p.mu.Unlock()
+}
+
+// Stats reports injected-fault counts: severed connections (drops+resets),
+// delayed chunks, and blackholed chunks.
+func (p *Proxy) Stats() (severed, delayed, blackholed uint64) {
+	return p.dropped.Load() + p.resets.Load(), p.delayed.Load(), p.suppress.Load()
+}
+
+// KillAll severs every live link — the whole-network blackout used when the
+// backend crashes.
+func (p *Proxy) KillAll() {
+	p.mu.Lock()
+	links := make([]*link, 0, len(p.links))
+	for l := range p.links {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	for _, l := range links {
+		l.client.Close()
+		l.server.Close()
+	}
+}
+
+// Close stops accepting and severs every link.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.KillAll()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return
+		}
+		target := p.target
+		seed := p.rng.Int63()
+		p.mu.Unlock()
+		s, err := net.DialTimeout("tcp", target, 5*time.Second)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		l := &link{client: c, server: s}
+		p.mu.Lock()
+		p.links[l] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(2)
+		// Each direction gets its own RNG: fault decisions must not need a
+		// shared lock on the hot path.
+		go p.pipe(l, c, s, rand.New(rand.NewSource(seed)), true)
+		go p.pipe(l, s, c, rand.New(rand.NewSource(seed+1)), false)
+	}
+}
+
+// pipe copies src→dst in small chunks, rolling the fault dice per chunk.
+// c2s marks the client→server direction.
+func (p *Proxy) pipe(l *link, src, dst net.Conn, rng *rand.Rand, c2s bool) {
+	defer p.wg.Done()
+	defer p.unlink(l)
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			cfg := p.config()
+			switch {
+			case rng.Float64() < cfg.DropProb:
+				p.dropped.Add(1)
+				l.client.Close()
+				l.server.Close()
+				return
+			case rng.Float64() < cfg.ResetProb:
+				p.resets.Add(1)
+				p.reset(l)
+				return
+			}
+			if rng.Float64() < cfg.DelayProb {
+				p.delayed.Add(1)
+				time.Sleep(cfg.Delay)
+			}
+			if (c2s && cfg.BlackholeC2S) || (!c2s && cfg.BlackholeS2C) {
+				p.suppress.Add(1)
+				continue
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				l.client.Close()
+				l.server.Close()
+				return
+			}
+		}
+		if err != nil {
+			// Propagate the half-close so the peer sees EOF.
+			l.client.Close()
+			l.server.Close()
+			return
+		}
+	}
+}
+
+// reset aborts the link with an RST toward the client (linger 0 discards
+// unsent data and sends a reset instead of a FIN).
+func (p *Proxy) reset(l *link) {
+	if tc, ok := l.client.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	l.client.Close()
+	l.server.Close()
+}
+
+func (p *Proxy) unlink(l *link) {
+	p.mu.Lock()
+	delete(p.links, l)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) config() Config {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg
+}

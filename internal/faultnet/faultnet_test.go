@@ -1,0 +1,184 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"preserial/internal/core"
+	"preserial/internal/sem"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func TestProxyForwardsCleanly(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("hello through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+}
+
+func TestProxyDropSeversConnection(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{Seed: 2, DropProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("doomed"))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 8)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("expected the dropped connection to fail the read")
+	}
+	severed, _, _ := p.Stats()
+	if severed == 0 {
+		t.Fatal("proxy recorded no severed connections")
+	}
+}
+
+func TestProxyBlackholeS2C(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{Seed: 3, BlackholeS2C: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("swallowed")); err != nil {
+		t.Fatal(err)
+	}
+	// The server echoes, but the response direction is blackholed: the read
+	// must time out with the connection still open.
+	c.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	buf := make([]byte, 16)
+	_, err = c.Read(buf)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want read timeout through blackhole, got %v", err)
+	}
+	// Lift the partition: traffic flows again on a fresh exchange.
+	p.SetConfig(Config{Seed: 3})
+	if _, err := c.Write([]byte("visible")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("read after lifting blackhole: %v", err)
+	}
+}
+
+func TestProxySetTargetRedirects(t *testing.T) {
+	addrA, stopA := echoServer(t)
+	defer stopA()
+	p, err := New(addrA, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Kill backend A, bring up B, repoint: new connections must reach B.
+	stopA()
+	addrB, stopB := echoServer(t)
+	defer stopB()
+	p.SetTarget(addrB)
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("echo via retargeted proxy: %v", err)
+	}
+}
+
+func TestFlakyStoreInjectsBeforeDelegating(t *testing.T) {
+	inner := core.NewMemStore()
+	ref := core.StoreRef{Table: "T", Key: "k", Column: "c"}
+	inner.Seed(ref, sem.Int(7))
+
+	fs := NewFlakyStore(inner, 42)
+	// No failure rate: transparent pass-through.
+	v, err := fs.Load(ref)
+	if err != nil || v.Kind() != sem.KindInt64 || v.Int64() != 7 {
+		t.Fatalf("passthrough load: v=%v err=%v", v, err)
+	}
+	if err := fs.ApplySST([]core.SSTWrite{{Ref: ref, Value: sem.Int(8)}}); err != nil {
+		t.Fatalf("passthrough apply: %v", err)
+	}
+
+	// Certain failure: every call errors with ErrInjected and the inner
+	// store keeps its previous state.
+	fs.SetFailProbs(1, 1)
+	if _, err := fs.Load(ref); !errors.Is(err, ErrInjected) {
+		t.Fatalf("load: want ErrInjected, got %v", err)
+	}
+	if err := fs.ApplySST([]core.SSTWrite{{Ref: ref, Value: sem.Int(99)}}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("apply: want ErrInjected, got %v", err)
+	}
+	if got, _ := inner.Load(ref); got.Int64() != 8 {
+		t.Fatalf("injected apply leaked into inner store: %v", got)
+	}
+	if fs.Injected() != 2 {
+		t.Fatalf("injected count = %d, want 2", fs.Injected())
+	}
+}

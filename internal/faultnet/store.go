@@ -1,0 +1,88 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"preserial/internal/core"
+	"preserial/internal/sem"
+)
+
+// ErrInjected is the root of all injected store failures; test oracles use
+// errors.Is to tell injected faults from real data-layer errors.
+var ErrInjected = errors.New("faultnet: injected store failure")
+
+// FlakyStore wraps a core.Store and makes a configurable fraction of calls
+// fail. Failures are injected *before* delegating, so a failed ApplySST
+// leaves the inner store untouched — the atomicity contract the GTM's abort
+// path depends on stays intact, which lets chaos oracles treat every
+// injected failure as a clean no-op.
+type FlakyStore struct {
+	inner core.Store
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// LoadFailProb and ApplyFailProb are the per-call failure rates.
+	loadFailProb  float64
+	applyFailProb float64
+
+	injected atomic.Uint64
+}
+
+// NewFlakyStore wraps inner. seed 0 leaves failure rates at zero until
+// SetFailProbs is called with a deterministic seed of the caller's choice.
+func NewFlakyStore(inner core.Store, seed int64) *FlakyStore {
+	if seed == 0 {
+		seed = 1
+	}
+	return &FlakyStore{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetFailProbs sets the per-call failure rates for Load and ApplySST.
+func (s *FlakyStore) SetFailProbs(load, apply float64) {
+	s.mu.Lock()
+	s.loadFailProb = load
+	s.applyFailProb = apply
+	s.mu.Unlock()
+}
+
+// Injected returns how many calls failed by injection.
+func (s *FlakyStore) Injected() uint64 { return s.injected.Load() }
+
+// roll decides one injection with the store's locked RNG.
+func (s *FlakyStore) roll(which string) error {
+	s.mu.Lock()
+	var prob float64
+	if which == "load" {
+		prob = s.loadFailProb
+	} else {
+		prob = s.applyFailProb
+	}
+	hit := prob > 0 && s.rng.Float64() < prob
+	s.mu.Unlock()
+	if !hit {
+		return nil
+	}
+	s.injected.Add(1)
+	return fmt.Errorf("%w: %s", ErrInjected, which)
+}
+
+// Load implements core.Store.
+func (s *FlakyStore) Load(ref core.StoreRef) (sem.Value, error) {
+	if err := s.roll("load"); err != nil {
+		return sem.Value{}, err
+	}
+	return s.inner.Load(ref)
+}
+
+// ApplySST implements core.Store. An injected failure happens before the
+// delegate runs, so the inner store never sees a partial SST.
+func (s *FlakyStore) ApplySST(writes []core.SSTWrite) error {
+	if err := s.roll("apply"); err != nil {
+		return err
+	}
+	return s.inner.ApplySST(writes)
+}

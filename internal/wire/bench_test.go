@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"preserial/internal/core"
 	"preserial/internal/sem"
@@ -42,7 +43,10 @@ func BenchmarkServerBookingRoundTrip(b *testing.B) {
 		defer wg.Done()
 		_ = srv.Serve("127.0.0.1:0")
 	}()
-	for srv.Addr() == nil {
+	select {
+	case <-srv.Ready():
+	case <-time.After(5 * time.Second):
+		b.Fatal("server never bound")
 	}
 	defer func() {
 		srv.Close()

@@ -3,27 +3,60 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"syscall"
 	"time"
 
 	"preserial/internal/sem"
+)
+
+// DefaultCallTimeout bounds one request/response round trip on a Conn —
+// the hung-server guard: a gtmd that stops answering (or a one-way network
+// partition) surfaces as ErrCallTimeout instead of blocking the caller
+// forever. Raise it (SetCallTimeout) when invokes may legitimately queue
+// longer, or use a ResilientConn, which retries on top.
+const DefaultCallTimeout = 30 * time.Second
+
+// Call-failure classes. Both mark the connection broken: the protocol is
+// strictly request/response, so after a half-finished exchange the stream
+// position is unknown and every later call fails fast with ErrBrokenConn.
+var (
+	// ErrCallTimeout: the peer did not answer within the call timeout.
+	ErrCallTimeout = errors.New("wire: call timed out")
+	// ErrPeerClosed: the peer hung up mid-call.
+	ErrPeerClosed = errors.New("wire: connection closed by peer")
+	// ErrBrokenConn: a previous call failed at the transport level.
+	ErrBrokenConn = errors.New("wire: connection broken by earlier call failure")
 )
 
 // Conn is the client side of the middleware protocol: a synchronous RPC
 // handle over one TCP connection. Not safe for concurrent use; open one
 // Conn per concurrent client.
 type Conn struct {
-	c net.Conn
+	c       net.Conn
+	timeout time.Duration
+	broken  bool
 }
 
-// Dial connects to a gtmd server.
+// Dial connects to a gtmd server with the default call timeout.
 func Dial(addr string) (*Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialTimeout(addr, 10*time.Second, DefaultCallTimeout)
+}
+
+// DialTimeout connects with explicit timeouts. callTimeout bounds each
+// request/response round trip; zero waits forever (the pre-deadline
+// behavior).
+func DialTimeout(addr string, dialTimeout, callTimeout time.Duration) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{c: c}, nil
+	return &Conn{c: c, timeout: callTimeout}, nil
 }
+
+// SetCallTimeout changes the per-call deadline (zero: wait forever).
+func (cn *Conn) SetCallTimeout(d time.Duration) { cn.timeout = d }
 
 // Close hangs up. Unfinished transactions begun on this connection go to
 // sleep server-side and can be attached from a new connection.
@@ -31,17 +64,43 @@ func (cn *Conn) Close() error { return cn.c.Close() }
 
 // call performs one request/response round trip.
 func (cn *Conn) call(req *Request) (*Response, error) {
+	if cn.broken {
+		return nil, ErrBrokenConn
+	}
+	if cn.timeout > 0 {
+		if err := cn.c.SetDeadline(time.Now().Add(cn.timeout)); err != nil {
+			return nil, err
+		}
+	}
 	if err := WriteMsg(cn.c, req); err != nil {
-		return nil, err
+		cn.broken = true
+		return nil, classify(err)
 	}
 	var resp Response
 	if err := ReadMsg(cn.c, &resp); err != nil {
-		return nil, err
+		cn.broken = true
+		return nil, classify(err)
 	}
 	if !resp.OK {
 		return &resp, errors.New(resp.Err)
 	}
 	return &resp, nil
+}
+
+// classify distinguishes the two transport failure modes a caller handles
+// differently: a timeout (the peer may still be alive but unreachable or
+// hung — retry elsewhere or give up) and a peer-closed stream (the
+// connection is definitively gone — reconnect).
+func classify(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrCallTimeout, err)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return fmt.Errorf("%w: %v", ErrPeerClosed, err)
+	}
+	return err
 }
 
 // Ping checks liveness.

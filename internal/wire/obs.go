@@ -11,14 +11,16 @@ import (
 // frame counts, per-op request counters, and one request-latency histogram.
 // Built when the server is given an obs.Registry (ServerOptions.Obs).
 type serverMetrics struct {
-	reg       *obs.Registry
-	connsOpen *obs.Counter
-	framesIn  *obs.Counter
-	framesOut *obs.Counter
-	errors    *obs.Counter
-	latency   *obs.Histogram
-	reqs      map[Op]*obs.Counter
-	reqOther  *obs.Counter
+	reg         *obs.Registry
+	connsOpen   *obs.Counter
+	framesIn    *obs.Counter
+	framesOut   *obs.Counter
+	errors      *obs.Counter
+	replays     *obs.Counter
+	drainSleeps *obs.Counter
+	latency     *obs.Histogram
+	reqs        map[Op]*obs.Counter
+	reqOther    *obs.Counter
 }
 
 // allOps enumerates the protocol vocabulary for per-op counter registration.
@@ -36,7 +38,10 @@ func newServerMetrics(reg *obs.Registry, activeConns func() float64) *serverMetr
 		framesIn:  reg.Counter("wire_frames_in_total", "Request frames read."),
 		framesOut: reg.Counter("wire_frames_out_total", "Response frames written."),
 		errors:    reg.Counter("wire_request_errors_total", "Requests answered with ok:false."),
-		latency:   reg.Histogram("wire_request_seconds", "Request handling latency (including blocking waits).", nil),
+		replays:   reg.Counter("wire_replayed_responses_total", "Retried mutating requests answered from the exactly-once window."),
+		drainSleeps: reg.Counter("gtm_drain_sleeping_total",
+			"Live transactions put to sleep by a graceful drain."),
+		latency: reg.Histogram("wire_request_seconds", "Request handling latency (including blocking waits).", nil),
 		reqs:      make(map[Op]*obs.Counter, len(allOps)),
 		reqOther:  reg.Counter(`wire_requests_total{op="unknown"}`, "Requests by protocol op."),
 	}

@@ -45,12 +45,10 @@ func newObsServer(t *testing.T) (*obs.Registry, string) {
 		defer wg.Done()
 		_ = srv.Serve("127.0.0.1:0")
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Addr() == nil {
-		if time.Now().After(deadline) {
-			t.Fatal("server never bound")
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-srv.Ready():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never bound")
 	}
 	t.Cleanup(func() {
 		srv.Close()

@@ -18,6 +18,12 @@ import (
 // MaxFrame bounds a single protocol frame.
 const MaxFrame = 1 << 20
 
+// Version is the protocol revision this package implements. Version 2 adds
+// per-transaction request sequence numbers (Request.Seq) and exactly-once
+// replay of mutating operations; version-1 clients simply omit Seq (seq 0 =
+// legacy, no dedup) and keep working unchanged.
+const Version = 2
+
 // Op is a protocol request kind.
 type Op string
 
@@ -39,6 +45,18 @@ const (
 	OpTxs     Op = "txs"  // transaction registry snapshot
 	OpPing    Op = "ping"
 )
+
+// Mutating reports whether the op changes transaction state on the server,
+// i.e. whether a blind retry could double-apply it. These are the ops the
+// exactly-once replay window covers; everything else is idempotent and can
+// be retried freely.
+func (o Op) Mutating() bool {
+	switch o {
+	case OpBegin, OpInvoke, OpApply, OpCommit, OpAbort, OpSleep, OpAwake:
+		return true
+	}
+	return false
+}
 
 // Value is the JSON form of a sem.Value.
 type Value struct {
@@ -122,6 +140,13 @@ type Request struct {
 	Class   string `json:"class,omitempty"`
 	Member  string `json:"member,omitempty"`
 	Operand *Value `json:"operand,omitempty"`
+	// Seq is the per-transaction sequence number of a mutating request
+	// (begin, invoke, apply, commit, abort, sleep, awake). A client that
+	// stamps Seq with a strictly increasing value per transaction may retry
+	// a request it never got an answer for: if the server already executed
+	// that (tx, seq) it replays the recorded response instead of executing
+	// again. Zero means "legacy client, no dedup".
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // TxOpJSON is a (transaction, operation) pair in an object snapshot.
@@ -164,6 +189,10 @@ type Response struct {
 	Metrics map[string]uint64 `json:"metrics,omitempty"` // live obs snapshot (stats op, when enabled)
 	Info    *ObjectInfoJSON   `json:"info,omitempty"`
 	Txs     []TxSummaryJSON   `json:"txs,omitempty"`
+	// Replayed marks a response served from the exactly-once window rather
+	// than by executing the request again (the retried request had already
+	// been executed).
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // WriteMsg frames v as [u32 length][JSON].

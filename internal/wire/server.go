@@ -25,15 +25,24 @@ type Server struct {
 	log           *log.Logger
 	invokeTimeout time.Duration
 	retention     time.Duration
+	dedupWindow   int
 	stopSweep     chan struct{}
 	obs           *obs.Registry  // nil when observability is off
 	metrics       *serverMetrics // nil when observability is off
 
-	mu      sync.Mutex
-	clients map[string]*core.Client
-	closed  bool
-	conns   map[net.Conn]bool
-	wg      sync.WaitGroup
+	ready     chan struct{} // closed once the listener is bound
+	readyOnce sync.Once
+	baseCtx   context.Context // canceled on Close/Drain to unblock waits
+	baseStop  context.CancelFunc
+
+	mu       sync.Mutex
+	clients  map[string]*core.Client
+	owners   map[string]net.Conn      // latest connection owning each tx
+	dedups   map[string]*dedupWindow  // per-tx exactly-once replay state
+	closed   bool
+	draining bool
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
 }
 
 // Manager is the narrow surface the server needs from core.Manager — an
@@ -50,6 +59,10 @@ type ServerOptions struct {
 	// queryable before the server forgets them and frees their state.
 	// Zero means 10 minutes; negative retains forever.
 	Retention time.Duration
+	// DedupWindow is how many recent mutating requests per transaction are
+	// remembered for exactly-once replay of client retries. Zero means
+	// DefaultDedupWindow.
+	DedupWindow int
 	// Obs, when non-nil, receives the wire_* metric set and its live
 	// snapshot is merged into every stats response.
 	Obs *obs.Registry
@@ -65,13 +78,20 @@ func NewServer(m *core.Manager, opts ServerOptions) *Server {
 	if retention == 0 {
 		retention = 10 * time.Minute
 	}
+	baseCtx, baseStop := context.WithCancel(context.Background())
 	s := &Server{
 		m:             m,
 		log:           lg,
 		invokeTimeout: opts.InvokeTimeout,
 		retention:     retention,
+		dedupWindow:   opts.DedupWindow,
 		obs:           opts.Obs,
+		ready:         make(chan struct{}),
+		baseCtx:       baseCtx,
+		baseStop:      baseStop,
 		clients:       make(map[string]*core.Client),
+		owners:        make(map[string]net.Conn),
+		dedups:        make(map[string]*dedupWindow),
 		conns:         make(map[net.Conn]bool),
 	}
 	if s.obs != nil {
@@ -100,6 +120,7 @@ func (s *Server) Serve(addr string) error {
 	s.ln = ln
 	s.stopSweep = make(chan struct{})
 	s.mu.Unlock()
+	s.readyOnce.Do(func() { close(s.ready) })
 	if s.retention > 0 {
 		go s.sweepLoop()
 	}
@@ -135,6 +156,11 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
+// Ready returns a channel closed once Serve has bound its listener (at
+// which point Addr is non-nil). If Serve fails before binding, the channel
+// never closes — select on it together with Serve's error.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
+
 // Close stops the listener and hangs up every connection.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -148,12 +174,89 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.baseStop() // unblock handlers parked in invoke/commit waits
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
 	s.wg.Wait()
 	return err
+}
+
+// DrainReport summarizes a graceful drain.
+type DrainReport struct {
+	// Slept is how many live transactions were put to sleep (they survive
+	// in the GTM and can be attached + awakened after a restart).
+	Slept int
+	// CommitsFlushed is false when in-flight commits were still resolving
+	// when the drain timeout expired.
+	CommitsFlushed bool
+}
+
+// Drain shuts the server down gracefully — the SIGTERM path of gtmd. It
+// stops accepting, cancels blocking invokes/commits so no handler is stuck,
+// puts every Active or Waiting transaction to sleep (instead of letting it
+// die with the process: a restarted server's clients re-attach and awaken),
+// waits up to timeout for in-flight commits to resolve, then hangs up.
+// Drain leaves the Manager and its store untouched so the caller can flush
+// the WAL and exit cleanly.
+func (s *Server) Drain(timeout time.Duration) DrainReport {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return DrainReport{CommitsFlushed: true}
+	}
+	s.draining = true
+	s.closed = true
+	ln := s.ln
+	if s.stopSweep != nil {
+		close(s.stopSweep)
+		s.stopSweep = nil
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.baseStop()
+
+	slept := s.m.SleepAllLive()
+	if s.metrics != nil {
+		s.metrics.drainSleeps.Add(uint64(len(slept)))
+	}
+	for _, id := range slept {
+		s.log.Printf("wire: drain put %s to sleep", id)
+	}
+
+	// Commits past their commit point (SST possibly in flight) must finish
+	// before the process exits, or an acknowledged-but-unpublished outcome
+	// could be lost.
+	deadline := time.Now().Add(timeout)
+	flushed := true
+	for {
+		busy := false
+		for _, ti := range s.m.Transactions() {
+			if ti.State == core.StateCommitting || ti.State == core.StateAborting {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			flushed = false
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return DrainReport{Slept: len(slept), CommitsFlushed: flushed}
 }
 
 // sweepLoop periodically forgets long-terminal transactions.
@@ -195,11 +298,19 @@ func (s *Server) Sweep(olderThan time.Duration) []string {
 		s.mu.Lock()
 		for _, id := range removed {
 			delete(s.clients, id)
+			delete(s.owners, id)
+			delete(s.dedups, id)
 		}
 		s.mu.Unlock()
 		s.log.Printf("wire: swept %d terminal transactions", len(removed))
 	}
 	return removed
+}
+
+// connCtx is the per-connection handler state.
+type connCtx struct {
+	conn  net.Conn
+	owned map[string]bool // transactions begun or attached on this connection
 }
 
 // handle runs one connection's request loop.
@@ -210,8 +321,8 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	owned := make(map[string]bool)
-	defer s.disconnectOwned(owned)
+	cc := &connCtx{conn: conn, owned: make(map[string]bool)}
+	defer s.disconnectOwned(cc)
 	if s.metrics != nil {
 		s.metrics.connsOpen.Inc()
 	}
@@ -229,7 +340,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.metrics.framesIn.Inc()
 			s.metrics.countOp(req.Op)
 		}
-		resp := s.dispatch(&req, owned)
+		resp := s.serve(&req, cc)
 		if s.metrics != nil {
 			s.metrics.observe(start, resp.OK)
 		}
@@ -243,11 +354,75 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// serve wraps dispatch with the exactly-once replay window: a mutating
+// request carrying a sequence number executes at most once per transaction,
+// however many times a reconnecting client retries it. A retry that races
+// the original (still executing on another connection's handler) waits for
+// the original's outcome instead of executing concurrently.
+func (s *Server) serve(req *Request, cc *connCtx) *Response {
+	if req.Seq == 0 || req.Tx == "" || !req.Op.Mutating() {
+		return s.dispatch(req, cc)
+	}
+	s.mu.Lock()
+	w := s.dedups[req.Tx]
+	if w == nil {
+		w = newDedupWindow(s.dedupWindow)
+		s.dedups[req.Tx] = w
+	}
+	s.mu.Unlock()
+	entry, fresh, err := w.admit(req.Seq)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	if fresh {
+		resp := s.dispatch(req, cc)
+		w.finish(entry, resp)
+		return resp
+	}
+	select {
+	case <-entry.done:
+	case <-s.baseCtx.Done():
+		return &Response{Err: "wire: server draining"}
+	}
+	cached := w.response(entry)
+	if s.metrics != nil {
+		s.metrics.replays.Inc()
+	}
+	// Retries arrive on fresh connections: adopt ownership so the
+	// disconnection semantics follow the client to its new connection.
+	if req.Op == OpBegin {
+		s.adopt(req.Tx, cc)
+	}
+	replay := *cached
+	replay.Replayed = true
+	return &replay
+}
+
+// adopt registers cc as the latest owner of tx.
+func (s *Server) adopt(tx string, cc *connCtx) {
+	cc.owned[tx] = true
+	s.mu.Lock()
+	s.owners[tx] = cc.conn
+	s.mu.Unlock()
+}
+
 // disconnectOwned implements the mobile-disconnection semantics: every
 // transaction begun (or attached) on the lost connection that is still
 // Active or Waiting goes to sleep and can be attached + awakened later.
-func (s *Server) disconnectOwned(owned map[string]bool) {
-	for id := range owned {
+// A transaction whose ownership has moved to a newer connection (the client
+// reconnected and re-attached before this teardown ran) is left alone —
+// without this check the dying connection would put a freshly re-attached
+// transaction back to sleep under its new owner.
+func (s *Server) disconnectOwned(cc *connCtx) {
+	for id := range cc.owned {
+		s.mu.Lock()
+		current, ok := s.owners[id]
+		if ok && current != cc.conn {
+			s.mu.Unlock()
+			continue // re-attached elsewhere meanwhile
+		}
+		delete(s.owners, id)
+		s.mu.Unlock()
 		st, err := s.m.TxState(core.TxID(id))
 		if err != nil {
 			continue
@@ -272,7 +447,7 @@ func (s *Server) client(tx string) (*core.Client, error) {
 }
 
 // dispatch executes one request.
-func (s *Server) dispatch(req *Request, owned map[string]bool) *Response {
+func (s *Server) dispatch(req *Request, cc *connCtx) *Response {
 	fail := func(err error) *Response { return &Response{Err: err.Error()} }
 	switch req.Op {
 	case OpPing:
@@ -289,7 +464,7 @@ func (s *Server) dispatch(req *Request, owned map[string]bool) *Response {
 		s.mu.Lock()
 		s.clients[req.Tx] = c
 		s.mu.Unlock()
-		owned[req.Tx] = true
+		s.adopt(req.Tx, cc)
 		return &Response{OK: true}
 
 	case OpAttach:
@@ -299,7 +474,7 @@ func (s *Server) dispatch(req *Request, owned map[string]bool) *Response {
 		if !ok {
 			return fail(fmt.Errorf("wire: no transaction %q to attach", req.Tx))
 		}
-		owned[req.Tx] = true
+		s.adopt(req.Tx, cc)
 		return &Response{OK: true}
 
 	case OpInvoke:
@@ -311,7 +486,7 @@ func (s *Server) dispatch(req *Request, owned map[string]bool) *Response {
 		if err != nil {
 			return fail(err)
 		}
-		ctx := context.Background()
+		ctx := s.baseCtx
 		if s.invokeTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.invokeTimeout)
@@ -356,7 +531,7 @@ func (s *Server) dispatch(req *Request, owned map[string]bool) *Response {
 		if err != nil {
 			return fail(err)
 		}
-		if err := c.Commit(context.Background()); err != nil {
+		if err := c.Commit(s.baseCtx); err != nil {
 			return fail(err)
 		}
 		return &Response{OK: true}

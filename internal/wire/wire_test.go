@@ -102,17 +102,12 @@ func newTestServer(t *testing.T) (*Server, string) {
 		defer wg.Done()
 		errCh <- srv.Serve("127.0.0.1:0")
 	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Addr() == nil {
-		select {
-		case err := <-errCh:
-			t.Fatalf("serve: %v", err)
-		default:
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("server never bound")
-		}
-		time.Sleep(time.Millisecond)
+	select {
+	case <-srv.Ready():
+	case err := <-errCh:
+		t.Fatalf("serve: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never bound")
 	}
 	t.Cleanup(func() {
 		srv.Close()
@@ -462,8 +457,10 @@ func TestInvokeTimeoutOption(t *testing.T) {
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() { defer wg.Done(); _ = srv.Serve("127.0.0.1:0") }()
-	for srv.Addr() == nil {
-		time.Sleep(time.Millisecond)
+	select {
+	case <-srv.Ready():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never bound")
 	}
 	defer func() { srv.Close(); wg.Wait() }()
 	cn, err := Dial(srv.Addr().String())

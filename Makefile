@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-commit chaos experiments fuzz obs-demo clean
+.PHONY: all build test lint race bench bench-commit chaos experiments fuzz obs-demo clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,21 @@ build:
 
 test:
 	$(GO) test ./...
+
+# go vet plus gtmlint, the repo's own concurrency-invariant checkers
+# (see docs/STATIC_ANALYSIS.md). The analyzer binary is cached in bin/
+# and only rebuilt when its sources change.
+BIN := bin
+GTMLINT := $(BIN)/gtmlint
+LINT_SRCS := $(wildcard cmd/gtmlint/*.go internal/lint/*.go)
+
+$(GTMLINT): $(LINT_SRCS)
+	@mkdir -p $(BIN)
+	$(GO) build -o $(GTMLINT) ./cmd/gtmlint
+
+lint: $(GTMLINT)
+	$(GO) vet ./...
+	$(GTMLINT) ./...
 
 race:
 	$(GO) test ./... -race

@@ -19,11 +19,11 @@ import (
 //	/debug/trace  newest GTM trace events as JSON (?n= limits the count)
 //	/debug/pprof  the standard Go profiler endpoints
 func newHTTPHandler(reg *obs.Registry, o *core.Observability, m *core.Manager, start time.Time) http.Handler {
-	reg.GaugeFunc("gtmd_uptime_seconds", "Seconds since process start.",
+	reg.GaugeFunc(obs.NameUptimeSeconds, "Seconds since process start.",
 		func() float64 { return time.Since(start).Seconds() })
-	reg.GaugeFunc("gtmd_goroutines", "Live goroutines.",
+	reg.GaugeFunc(obs.NameGoroutines, "Live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
-	reg.GaugeFunc("gtm_transactions_live", "Transactions in a non-terminal state.",
+	reg.GaugeFunc(obs.NameTransactionsLive, "Transactions in a non-terminal state.",
 		func() float64 {
 			var n int
 			for _, ti := range m.Transactions() {

@@ -1,0 +1,55 @@
+// Command gtmlint machine-checks the GTM's concurrency invariants: the
+// monitor discipline (monitorsafe), canonical StoreRef lock order
+// (lockorder), injected-clock determinism (clockinject), exhaustive state
+// machines (statexhaustive) and the single metric-name registry
+// (metricnames). See docs/STATIC_ANALYSIS.md.
+//
+// Usage:
+//
+//	gtmlint [packages]     # defaults to ./...
+//
+// Findings print as file:line:col: message [gtmlint/analyzer]; the exit
+// status is 1 if there are any. Suppress a single finding with
+// //lint:ignore gtmlint/<analyzer> <reason> on or directly above the
+// offending line — unused or malformed directives are themselves errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"preserial/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gtmlint [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtmlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gtmlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gtmlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,7 @@ package clock
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -28,6 +29,29 @@ type Wall struct{}
 
 // Now returns time.Now().
 func (Wall) Now() time.Time { return time.Now() }
+
+// Sleep pauses the calling goroutine for d of real time. Components that
+// must stay simulation-deterministic (gtmlint/clockinject) take a sleep
+// function and default it to Wall.Sleep; simulations inject a no-op or a
+// virtual wait instead.
+func (Wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Every runs fn every interval of real time until ctx is cancelled. It is
+// the injected-clock home for the ticker loop pattern: wall-clock drivers
+// (cmd/gtmd's supervisor) call it, while simulations schedule the
+// equivalent cadence as Simulator events and never spin a real ticker.
+func Every(ctx context.Context, interval time.Duration, fn func()) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
 
 // Epoch is the instant virtual clocks start at. The concrete value is
 // arbitrary; a fixed epoch keeps simulation logs stable.

@@ -93,7 +93,7 @@ func (m *Manager) Transactions() []TxInfo {
 // diagnostics and deadlock post-mortems.
 func (m *Manager) WaitGraph() map[TxID][]TxID {
 	defer m.mon.enter(m)()
-	edges := m.waitEdges()
+	edges := m.waitEdgesLocked()
 	out := make(map[TxID][]TxID, len(edges))
 	for from, tos := range edges {
 		cp := append([]TxID(nil), tos...)
@@ -119,7 +119,9 @@ func (m *Manager) Age(txID TxID) (time.Duration, error) {
 		return now.Sub(t.tsleep), nil
 	case StateCommitted, StateAborted:
 		return t.finished.Sub(t.began), nil
-	default:
+	case StateActive, StateCommitting, StateAborting:
 		return now.Sub(t.began), nil
+	default:
+		return now.Sub(t.began), nil // corrupt state: fall back to lifetime
 	}
 }

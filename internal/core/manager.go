@@ -64,6 +64,9 @@ func NewManager(store Store, opt ...Option) *Manager {
 	if m.opts.clk != nil {
 		m.clk = m.opts.clk
 	}
+	if m.opts.sleep == nil {
+		m.opts.sleep = clock.Wall{}.Sleep
+	}
 	m.obs = m.opts.obs
 	if m.opts.sstWorkers > 0 {
 		var gauge *atomic.Int64
@@ -129,7 +132,7 @@ func (m *Manager) Begin(id TxID, opt ...TxOption) error {
 	m.stats.Begun++
 	if m.obs != nil {
 		m.obs.begun.Inc()
-		m.trace("begin", t, "", 0, 0, "")
+		m.traceLocked("begin", t, "", 0, 0, "")
 	}
 	return nil
 }
@@ -145,7 +148,7 @@ func (m *Manager) Begin(id TxID, opt ...TxOption) error {
 // decides whether to retry or abort).
 func (m *Manager) Invoke(txID TxID, objID ObjectID, op sem.Op) (granted bool, err error) {
 	defer m.mon.enter(m)()
-	t, o, err := m.lookup(txID, objID)
+	t, o, err := m.lookupLocked(txID, objID)
 	if err != nil {
 		return false, err
 	}
@@ -166,13 +169,13 @@ func (m *Manager) Invoke(txID TxID, objID ObjectID, op sem.Op) (granted bool, er
 		return false, fmt.Errorf("%w: %s already queued on %s", ErrOneOpPerObj, txID, objID)
 	}
 
-	if reason := m.admissionBlock(t, o, op, nil); reason != admitOK {
+	if reason := m.admissionBlockLocked(t, o, op, nil); reason != admitOK {
 		cause := "policy"
 		if reason == admitConflict {
 			cause = "conflict"
 			// Refuse waits that would deadlock.
 			blockers := o.conflictingHolders(txID, op)
-			if m.opts.detectDeadlocks && m.wouldDeadlock(txID, blockers) {
+			if m.opts.detectDeadlocks && m.wouldDeadlockLocked(txID, blockers) {
 				return false, fmt.Errorf("%w: %s waiting on %s", ErrDeadlock, txID, objID)
 			}
 			if m.obs != nil {
@@ -188,7 +191,7 @@ func (m *Manager) Invoke(txID TxID, objID ObjectID, op sem.Op) (granted bool, er
 			}
 		}
 		now := m.clk.Now()
-		m.setState(t, StateWaiting)
+		m.setStateLocked(t, StateWaiting)
 		t.waitingOn = objID
 		t.twait = now
 		t.objects[objID] = true
@@ -196,12 +199,12 @@ func (m *Manager) Invoke(txID TxID, objID ObjectID, op sem.Op) (granted bool, er
 		m.stats.Waits++
 		if m.obs != nil {
 			m.obs.waits.Inc()
-			m.trace("wait", t, objID, 0, 0, cause)
+			m.traceLocked("wait", t, objID, 0, 0, cause)
 		}
 		return false, nil
 	}
 
-	if err := m.grant(t, o, op); err != nil {
+	if err := m.grantLocked(t, o, op); err != nil {
 		return false, err
 	}
 	return true, nil
@@ -216,12 +219,12 @@ const (
 	admitPolicy
 )
 
-// admissionBlock decides whether an invocation may be granted right now:
+// admissionBlockLocked decides whether an invocation may be granted right now:
 // the Algorithm 2 compatibility precondition first, then the Section VII
 // extensions (starvation control, constraint headroom). self is the
 // candidate's queue entry when re-evaluating a waiter at dispatch (nil for
 // a fresh invocation).
-func (m *Manager) admissionBlock(t *transaction, o *object, op sem.Op, self *waitEntry) admitVerdict {
+func (m *Manager) admissionBlockLocked(t *transaction, o *object, op sem.Op, self *waitEntry) admitVerdict {
 	if o.holdersConflicting(t.id, op) {
 		return admitConflict
 	}
@@ -234,7 +237,7 @@ func (m *Manager) admissionBlock(t *transaction, o *object, op sem.Op, self *wai
 	}
 	if m.opts.headroom != nil && op.Class.IsUpdate() {
 		member := op.Member
-		perm, err := m.loadPermanent(o, member)
+		perm, err := m.loadPermanentLocked(o, member)
 		if err == nil {
 			limit := m.opts.headroom(o.id, perm)
 			if limit >= 0 && o.compatibleUpdaters(t.id, op) >= limit {
@@ -245,9 +248,9 @@ func (m *Manager) admissionBlock(t *transaction, o *object, op sem.Op, self *wai
 	return admitOK
 }
 
-// grant admits the invocation: Algorithm 2's compatible-path postcondition.
-func (m *Manager) grant(t *transaction, o *object, op sem.Op) error {
-	perm, err := m.loadPermanent(o, op.Member)
+// grantLocked admits the invocation: Algorithm 2's compatible-path postcondition.
+func (m *Manager) grantLocked(t *transaction, o *object, op sem.Op) error {
+	perm, err := m.loadPermanentLocked(o, op.Member)
 	if err != nil {
 		return err
 	}
@@ -262,9 +265,9 @@ func (m *Manager) grant(t *transaction, o *object, op sem.Op) error {
 	return nil
 }
 
-// loadPermanent returns the X_permanent mirror for a member, loading it
+// loadPermanentLocked returns the X_permanent mirror for a member, loading it
 // from the store on first access.
-func (m *Manager) loadPermanent(o *object, member string) (sem.Value, error) {
+func (m *Manager) loadPermanentLocked(o *object, member string) (sem.Value, error) {
 	if o.permKnown[member] {
 		return o.permanent[member], nil
 	}
@@ -285,7 +288,7 @@ func (m *Manager) loadPermanent(o *object, member string) (sem.Value, error) {
 // invocation must have been granted.
 func (m *Manager) ReadValue(txID TxID, objID ObjectID) (sem.Value, error) {
 	defer m.mon.enter(m)()
-	t, o, err := m.lookup(txID, objID)
+	t, o, err := m.lookupLocked(txID, objID)
 	if err != nil {
 		return sem.Value{}, err
 	}
@@ -303,7 +306,7 @@ func (m *Manager) ReadValue(txID TxID, objID ObjectID) (sem.Value, error) {
 // cannot modify.
 func (m *Manager) Apply(txID TxID, objID ObjectID, operand sem.Value) error {
 	defer m.mon.enter(m)()
-	t, o, err := m.lookup(txID, objID)
+	t, o, err := m.lookupLocked(txID, objID)
 	if err != nil {
 		return err
 	}
@@ -356,7 +359,7 @@ func (m *Manager) RequestCommit(txID TxID) error {
 	}
 	t.lastActivity = m.clk.Now()
 	t.commitStart = t.lastActivity
-	m.setState(t, StateCommitting)
+	m.setStateLocked(t, StateCommitting)
 	// Collect the objects with a live invocation, in canonical order.
 	var want []ObjectID
 	for objID := range t.objects {
@@ -366,14 +369,14 @@ func (m *Manager) RequestCommit(txID TxID) error {
 	}
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 	t.commitWant = want
-	m.advanceCommit(t)
+	m.advanceCommitLocked(t)
 	return nil
 }
 
-// advanceCommit acquires committer slots in order, performing the local
+// advanceCommitLocked acquires committer slots in order, performing the local
 // commit on each object as its slot is obtained, and fires the global
 // commit once every slot is held. Called whenever a slot may have freed.
-func (m *Manager) advanceCommit(t *transaction) {
+func (m *Manager) advanceCommitLocked(t *transaction) {
 	for len(t.commitWant) > 0 {
 		objID := t.commitWant[0]
 		o := m.objs[objID]
@@ -385,28 +388,28 @@ func (m *Manager) advanceCommit(t *transaction) {
 			}
 			return
 		}
-		if err := m.localCommit(t, o); err != nil {
-			m.finishAbort(t, AbortSSTFailure, err)
+		if err := m.localCommitLocked(t, o); err != nil {
+			m.finishAbortLocked(t, AbortSSTFailure, err)
 			return
 		}
 		t.commitWant = t.commitWant[1:]
 		t.commitHeld[objID] = true
 		// The object lost a pending holder; waiters may now be admissible.
-		m.dispatch(o)
+		m.dispatchLocked(o)
 	}
-	m.globalCommit(t)
+	m.globalCommitLocked(t)
 }
 
-// localCommit is Algorithm 3's postcondition: compute X_new^A = ρ(X_read^A,
+// localCommitLocked is Algorithm 3's postcondition: compute X_new^A = ρ(X_read^A,
 // A_temp^X, X_permanent) and move the transaction from X_pending to
 // X_committing.
-func (m *Manager) localCommit(t *transaction, o *object) error {
+func (m *Manager) localCommitLocked(t *transaction, o *object) error {
 	op := o.pending[t.id]
 	rec, err := sem.ReconcilerFor(op.Class)
 	if err != nil {
 		return err
 	}
-	perm, err := m.loadPermanent(o, op.Member)
+	perm, err := m.loadPermanentLocked(o, op.Member)
 	if err != nil {
 		return err
 	}
@@ -437,7 +440,7 @@ type localWrite struct {
 	read sem.Value
 }
 
-// globalCommit is Algorithm 4: every X_new is defined, so run the Secure
+// globalCommitLocked is Algorithm 4: every X_new is defined, so run the Secure
 // System Transaction and publish. The SST executes *outside* the monitor —
 // it is a separate transaction the LDBS runs while the GTM keeps handling
 // events — so other transactions can work, queue, and contend for the
@@ -446,7 +449,7 @@ type localWrite struct {
 // outcome arrives in completeSST. On SST failure the transaction aborts
 // (Section VII discusses this path: reconciled values can violate
 // integrity constraints).
-func (m *Manager) globalCommit(t *transaction) {
+func (m *Manager) globalCommitLocked(t *transaction) {
 	var locals []localWrite
 	var writes []SSTWrite
 	for objID := range t.commitHeld {
@@ -462,10 +465,10 @@ func (m *Manager) globalCommit(t *transaction) {
 	// LDBS row locks in random per-transaction orders and could deadlock
 	// each other. Canonical StoreRef order makes SST↔SST deadlocks
 	// structurally impossible (and the history deterministic).
-	sort.Slice(writes, func(i, j int) bool { return writes[i].Ref.less(writes[j].Ref) })
+	SortSSTWrites(writes)
 	sort.Slice(locals, func(i, j int) bool { return locals[i].o.id < locals[j].o.id })
 	if m.store == nil || len(writes) == 0 {
-		m.publish(t, locals)
+		m.publishLocked(t, locals)
 		return
 	}
 	t.sstInFlight = true
@@ -499,7 +502,7 @@ func (m *Manager) runSST(writes []SSTWrite) error {
 				m.obs.sstRetries.Inc()
 			}
 			if d := sstBackoff(m.opts.sstBackoffBase, m.opts.sstBackoffCap, attempt); d > 0 {
-				time.Sleep(d)
+				m.opts.sleep(d)
 			}
 		}
 		err = m.store.ApplySST(writes)
@@ -525,20 +528,20 @@ func (m *Manager) completeSST(id TxID, locals []localWrite, sstErr error) {
 		if m.obs != nil {
 			m.obs.sstFailures.Inc()
 		}
-		m.finishAbort(t, AbortSSTFailure, sstErr)
+		m.finishAbortLocked(t, AbortSSTFailure, sstErr)
 		return
 	}
 	m.stats.SSTs++
 	if m.obs != nil {
 		m.obs.ssts.Inc()
 	}
-	m.publish(t, locals)
+	m.publishLocked(t, locals)
 }
 
-// publish installs the commit: X_permanent = X_new, history and X_tc
+// publishLocked installs the commit: X_permanent = X_new, history and X_tc
 // records, committer slots freed, waiters and queued committers
 // dispatched. Caller holds the monitor.
-func (m *Manager) publish(t *transaction, locals []localWrite) {
+func (m *Manager) publishLocked(t *transaction, locals []localWrite) {
 	now := m.clk.Now()
 	m.commitSeq++
 	for _, lw := range locals {
@@ -557,7 +560,7 @@ func (m *Manager) publish(t *transaction, locals []localWrite) {
 		delete(o.neu, t.id)
 		delete(o.read, t.id)
 	}
-	m.setState(t, StateCommitted)
+	m.setStateLocked(t, StateCommitted)
 	t.finished = now
 	t.twait = time.Time{}
 	t.tsleep = time.Time{}
@@ -566,10 +569,10 @@ func (m *Manager) publish(t *transaction, locals []localWrite) {
 		m.obs.commits.Inc()
 		sinceIfSet(m.obs.commitLatency, t.commitStart, now)
 	}
-	m.notifyTx(t, Event{Type: EvCommitted, Tx: t.id})
-	m.pruneHistories()
+	m.notifyTxLocked(t, Event{Type: EvCommitted, Tx: t.id})
+	m.pruneHistoriesLocked()
 	for _, lw := range locals {
-		m.dispatch(lw.o)
+		m.dispatchLocked(lw.o)
 	}
 }
 
@@ -588,15 +591,15 @@ func (m *Manager) Abort(txID TxID) error {
 		// The SST has launched: the transaction is past its commit point.
 		return fmt.Errorf("%w: %s is committing (SST in flight)", ErrBadState, txID)
 	}
-	m.setState(t, StateAborting)
-	m.finishAbort(t, AbortUser, nil)
+	m.setStateLocked(t, StateAborting)
+	m.finishAbortLocked(t, AbortUser, nil)
 	return nil
 }
 
-// finishAbort clears the transaction from every object and finalizes
+// finishAbortLocked clears the transaction from every object and finalizes
 // Algorithm 6's postcondition. Objects are re-dispatched because the abort
 // may free holders or committer slots.
-func (m *Manager) finishAbort(t *transaction, reason AbortReason, cause error) {
+func (m *Manager) finishAbortLocked(t *transaction, reason AbortReason, cause error) {
 	var touched []*object
 	for objID := range t.objects {
 		o := m.objs[objID]
@@ -604,9 +607,9 @@ func (m *Manager) finishAbort(t *transaction, reason AbortReason, cause error) {
 		touched = append(touched, o)
 	}
 	if t.state != StateAborting {
-		m.setState(t, StateAborting)
+		m.setStateLocked(t, StateAborting)
 	}
-	m.setState(t, StateAborted)
+	m.setStateLocked(t, StateAborted)
 	t.finished = m.clk.Now()
 	t.reason = reason
 	t.lastErr = cause
@@ -618,12 +621,12 @@ func (m *Manager) finishAbort(t *transaction, reason AbortReason, cause error) {
 	m.stats.AbortsBy[reason]++
 	if m.obs != nil {
 		m.obs.observeAbort(reason)
-		m.trace("abort", t, "", 0, 0, reason.String())
+		m.traceLocked("abort", t, "", 0, 0, reason.String())
 	}
-	m.notifyTx(t, Event{Type: EvAborted, Tx: t.id, Reason: reason, Err: cause})
+	m.notifyTxLocked(t, Event{Type: EvAborted, Tx: t.id, Reason: reason, Err: cause})
 	sort.Slice(touched, func(i, j int) bool { return touched[i].id < touched[j].id })
 	for _, o := range touched {
-		m.dispatch(o)
+		m.dispatchLocked(o)
 	}
 }
 
@@ -646,7 +649,7 @@ func (m *Manager) sleepLocked(t *transaction) error {
 	if t.state != StateActive && t.state != StateWaiting {
 		return fmt.Errorf("%w: %s is %s, sleep requires Active or Waiting", ErrBadState, t.id, t.state)
 	}
-	m.setState(t, StateSleeping)
+	m.setStateLocked(t, StateSleeping)
 	t.tsleep = m.clk.Now()
 	t.sleepSeq = m.commitSeq
 	m.stats.Sleeps++
@@ -662,7 +665,7 @@ func (m *Manager) sleepLocked(t *transaction) error {
 	sort.Slice(touched, func(i, j int) bool { return touched[i].id < touched[j].id })
 	// A sleeping holder no longer blocks admissions: re-dispatch.
 	for _, o := range touched {
-		m.dispatch(o)
+		m.dispatchLocked(o)
 	}
 	return nil
 }
@@ -719,12 +722,12 @@ func (m *Manager) Awake(txID TxID) (resumed bool, err error) {
 			continue
 		}
 		if o.sleepConflict(txID, op, t.sleepSeq) {
-			m.setState(t, StateAborting)
+			m.setStateLocked(t, StateAborting)
 			m.stats.AwakeAborts++
 			if m.obs != nil {
 				m.obs.awakesAborted.Inc()
 			}
-			m.finishAbort(t, AbortSleepConflict, nil)
+			m.finishAbortLocked(t, AbortSleepConflict, nil)
 			return false, nil
 		}
 	}
@@ -737,16 +740,16 @@ func (m *Manager) Awake(txID TxID) (resumed bool, err error) {
 		o := m.objs[objID]
 		delete(o.sleeping, txID)
 		if w := o.removeWaiter(txID); w != nil {
-			if err := m.grant(t, o, w.op); err != nil {
+			if err := m.grantLocked(t, o, w.op); err != nil {
 				// No SST ran: the permanent value failed to load while
 				// re-granting the queued invocation.
-				m.setState(t, StateAborting)
-				m.finishAbort(t, AbortResumeFailure, err)
+				m.setStateLocked(t, StateAborting)
+				m.finishAbortLocked(t, AbortResumeFailure, err)
 				return false, err
 			}
 		}
 	}
-	m.setState(t, StateActive)
+	m.setStateLocked(t, StateActive)
 	t.tsleep = time.Time{}
 	t.twait = time.Time{}
 	t.waitingOn = ""
@@ -757,18 +760,18 @@ func (m *Manager) Awake(txID TxID) (resumed bool, err error) {
 	}
 	// Admissions this sleeper was indirectly blocking may now proceed.
 	for objID := range t.objects {
-		m.dispatch(m.objs[objID])
+		m.dispatchLocked(m.objs[objID])
 	}
 	return true, nil
 }
 
-// dispatch is the generalized ⟨unlock,X⟩ (Algorithm 11): whenever an
+// dispatchLocked is the generalized ⟨unlock,X⟩ (Algorithm 11): whenever an
 // object's holder set shrinks (commit, abort, sleep), grant the committer
 // slot to the next queued committer and admit every waiting invocation
 // that no longer conflicts with (X_pending − X_sleeping) ∪ X_committing —
 // θ(X_waiting − X_sleeping), with θ the maximal admissible prefix in
 // priority-then-arrival order.
-func (m *Manager) dispatch(o *object) {
+func (m *Manager) dispatchLocked(o *object) {
 	// Committer slot first: commit progress beats new admissions.
 	for len(o.committing) == 0 && len(o.commitQ) > 0 {
 		next := o.commitQ[0]
@@ -777,7 +780,7 @@ func (m *Manager) dispatch(o *object) {
 		if t == nil || t.state != StateCommitting {
 			continue
 		}
-		m.advanceCommit(t)
+		m.advanceCommitLocked(t)
 	}
 
 	// Admission pass over the waiting queue.
@@ -796,33 +799,33 @@ func (m *Manager) dispatch(o *object) {
 		if t == nil || t.state != StateWaiting || o.sleeping[w.tx] {
 			continue // sleeping waiters stay queued (X_waiting − X_sleeping)
 		}
-		if m.admissionBlock(t, o, w.op, w) != admitOK {
+		if m.admissionBlockLocked(t, o, w.op, w) != admitOK {
 			if m.opts.usePriorities {
 				continue // lower-priority waiters may still fit
 			}
 			break // FIFO: nobody overtakes the blocked head
 		}
 		o.removeWaiter(w.tx)
-		if err := m.grant(t, o, w.op); err != nil {
-			m.setState(t, StateAborting)
-			m.finishAbort(t, AbortResumeFailure, err)
+		if err := m.grantLocked(t, o, w.op); err != nil {
+			m.setStateLocked(t, StateAborting)
+			m.finishAbortLocked(t, AbortResumeFailure, err)
 			continue
 		}
-		m.setState(t, StateActive)
+		m.setStateLocked(t, StateActive)
 		t.waitingOn = ""
 		t.twait = time.Time{}
 		if m.obs != nil {
 			sinceIfSet(m.obs.invokeWait, w.since, m.clk.Now())
-			m.trace("grant", t, o.id, 0, 0, "")
+			m.traceLocked("grant", t, o.id, 0, 0, "")
 		}
-		m.notifyTx(t, Event{Type: EvGranted, Tx: t.id, Object: o.id})
+		m.notifyTxLocked(t, Event{Type: EvGranted, Tx: t.id, Object: o.id})
 	}
 }
 
-// wouldDeadlock reports whether txID waiting on blockers closes a cycle in
+// wouldDeadlockLocked reports whether txID waiting on blockers closes a cycle in
 // the wait-for graph built from the current object states.
-func (m *Manager) wouldDeadlock(txID TxID, blockers []TxID) bool {
-	edges := m.waitEdges()
+func (m *Manager) wouldDeadlockLocked(txID TxID, blockers []TxID) bool {
+	edges := m.waitEdgesLocked()
 	seen := make(map[TxID]bool)
 	var reaches func(TxID) bool
 	reaches = func(from TxID) bool {
@@ -848,9 +851,9 @@ func (m *Manager) wouldDeadlock(txID TxID, blockers []TxID) bool {
 	return false
 }
 
-// waitEdges builds the wait-for graph: waiting transactions point at the
+// waitEdgesLocked builds the wait-for graph: waiting transactions point at the
 // holders that block them, queued committers at the committer-slot holder.
-func (m *Manager) waitEdges() map[TxID][]TxID {
+func (m *Manager) waitEdgesLocked() map[TxID][]TxID {
 	edges := make(map[TxID][]TxID)
 	for _, o := range m.objs {
 		for _, w := range o.waiting {
@@ -870,8 +873,8 @@ func (m *Manager) waitEdges() map[TxID][]TxID {
 	return edges
 }
 
-// lookup resolves a (transaction, object) pair.
-func (m *Manager) lookup(txID TxID, objID ObjectID) (*transaction, *object, error) {
+// lookupLocked resolves a (transaction, object) pair.
+func (m *Manager) lookupLocked(txID TxID, objID ObjectID) (*transaction, *object, error) {
 	t, ok := m.txs[txID]
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownTx, txID)
@@ -883,21 +886,21 @@ func (m *Manager) lookup(txID TxID, objID ObjectID) (*transaction, *object, erro
 	return t, o, nil
 }
 
-// setState applies a transition of the transaction state machine S(A),
+// setStateLocked applies a transition of the transaction state machine S(A),
 // panicking on an illegal transition — such a transition is always a bug in
 // the Manager, never an environmental condition.
-func (m *Manager) setState(t *transaction, to State) {
+func (m *Manager) setStateLocked(t *transaction, to State) {
 	if !canTransition(t.state, to) {
 		panic(fmt.Sprintf("core: illegal state transition %s -> %s for %s", t.state, to, t.id))
 	}
 	if t.state != to {
-		m.trace("state", t, "", t.state, to, "")
+		m.traceLocked("state", t, "", t.state, to, "")
 	}
 	t.state = to
 }
 
-// notifyTx queues an event for delivery after the critical section.
-func (m *Manager) notifyTx(t *transaction, ev Event) {
+// notifyTxLocked queues an event for delivery after the critical section.
+func (m *Manager) notifyTxLocked(t *transaction, ev Event) {
 	if t.notify == nil {
 		return
 	}
@@ -905,9 +908,9 @@ func (m *Manager) notifyTx(t *transaction, ev Event) {
 	m.mon.queue(func() { fn(ev) })
 }
 
-// pruneHistories trims per-object committed histories to what awakening
+// pruneHistoriesLocked trims per-object committed histories to what awakening
 // sleepers can still need: entries at or after the earliest live A_tsleep.
-func (m *Manager) pruneHistories() {
+func (m *Manager) pruneHistoriesLocked() {
 	if m.opts.keepFullHistory {
 		return
 	}
@@ -958,7 +961,7 @@ func (m *Manager) Permanent(objID ObjectID, member string) (sem.Value, error) {
 	if !ok {
 		return sem.Value{}, fmt.Errorf("%w: %s", ErrUnknownObject, objID)
 	}
-	return m.loadPermanent(o, member)
+	return m.loadPermanentLocked(o, member)
 }
 
 // Stats returns a copy of the manager's counters.

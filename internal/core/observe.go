@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -51,31 +50,31 @@ type Observability struct {
 // tracing). Registration is idempotent per registry.
 func NewObservability(reg *obs.Registry, traceDepth int) *Observability {
 	o := &Observability{
-		begun:     reg.Counter("gtm_tx_begun_total", "Transactions begun."),
-		admits:    reg.Counter("gtm_invocations_admitted_total", "Invocations granted, immediately or after a wait."),
-		waits:     reg.Counter("gtm_invocations_waited_total", "Invocations that had to queue."),
-		conflicts: reg.Counter("gtm_conflicts_total", "Invocations blocked by a semantic conflict with a live holder."),
-		denied:    reg.Counter("gtm_admissions_denied_total", "Admissions refused by Section VII extension policies."),
+		begun:     reg.Counter(obs.NameTxBegun, "Transactions begun."),
+		admits:    reg.Counter(obs.NameInvocationsAdmitted, "Invocations granted, immediately or after a wait."),
+		waits:     reg.Counter(obs.NameInvocationsWaited, "Invocations that had to queue."),
+		conflicts: reg.Counter(obs.NameConflicts, "Invocations blocked by a semantic conflict with a live holder."),
+		denied:    reg.Counter(obs.NameAdmissionsDenied, "Admissions refused by Section VII extension policies."),
 
-		sleeps:        reg.Counter("gtm_sleeps_total", "Transactions put to sleep (disconnection or idleness)."),
-		awakesResumed: reg.Counter(`gtm_awakes_total{outcome="resumed"}`, "Awakenings by outcome (Algorithm 9)."),
-		awakesAborted: reg.Counter(`gtm_awakes_total{outcome="aborted"}`, "Awakenings by outcome (Algorithm 9)."),
+		sleeps:        reg.Counter(obs.NameSleeps, "Transactions put to sleep (disconnection or idleness)."),
+		awakesResumed: reg.Counter(obs.WithLabel(obs.NameAwakes, "outcome", "resumed"), "Awakenings by outcome (Algorithm 9)."),
+		awakesAborted: reg.Counter(obs.WithLabel(obs.NameAwakes, "outcome", "aborted"), "Awakenings by outcome (Algorithm 9)."),
 
-		commits:     reg.Counter("gtm_commits_total", "Transactions committed."),
-		reconciled:  reg.Counter("gtm_reconciliations_total", "Commits whose reconciled X_new differed from A_temp."),
-		ssts:        reg.Counter(`gtm_sst_total{outcome="ok"}`, "Secure System Transactions by outcome."),
-		sstFailures: reg.Counter(`gtm_sst_total{outcome="failed"}`, "Secure System Transactions by outcome."),
+		commits:     reg.Counter(obs.NameCommits, "Transactions committed."),
+		reconciled:  reg.Counter(obs.NameReconciliations, "Commits whose reconciled X_new differed from A_temp."),
+		ssts:        reg.Counter(obs.WithLabel(obs.NameSST, "outcome", "ok"), "Secure System Transactions by outcome."),
+		sstFailures: reg.Counter(obs.WithLabel(obs.NameSST, "outcome", "failed"), "Secure System Transactions by outcome."),
 
-		sstRetries: reg.Counter("gtm_sst_retries_total", "Secure System Transaction retry attempts."),
+		sstRetries: reg.Counter(obs.NameSSTRetries, "Secure System Transaction retry attempts."),
 
-		commitLatency: reg.Histogram("gtm_commit_seconds", "Latency from commit request to publication.", nil),
-		invokeWait:    reg.Histogram("gtm_invoke_wait_seconds", "Queue time of invocations granted after a wait.", nil),
-		sstLatency:    reg.Histogram("gtm_sst_seconds", "Secure System Transaction execution latency.", nil),
+		commitLatency: reg.Histogram(obs.NameCommitSeconds, "Latency from commit request to publication.", nil),
+		invokeWait:    reg.Histogram(obs.NameInvokeWaitSeconds, "Queue time of invocations granted after a wait.", nil),
+		sstLatency:    reg.Histogram(obs.NameSSTSeconds, "Secure System Transaction execution latency.", nil),
 	}
-	reg.GaugeFunc("gtm_sst_queue_depth", "Secure System Transactions queued for the executor.",
+	reg.GaugeFunc(obs.NameSSTQueueDepth, "Secure System Transactions queued for the executor.",
 		func() float64 { return float64(o.sstQueue.Load()) })
 	for r := AbortUser; r < numAbortReasons; r++ {
-		o.aborts[r] = reg.Counter(fmt.Sprintf("gtm_aborts_total{reason=%q}", r.String()), "Aborts by reason.")
+		o.aborts[r] = reg.Counter(obs.WithLabel(obs.NameAborts, "reason", r.String()), "Aborts by reason.")
 	}
 	if traceDepth > 0 {
 		o.trace = obs.NewTraceRing(traceDepth)
@@ -92,10 +91,10 @@ func WithObservability(o *Observability) Option {
 	return func(opts *options) { opts.obs = o }
 }
 
-// trace queues a trace append for delivery after the current critical
-// section — the monitor notification hook the ring is fed from. Must be
-// called while holding the monitor.
-func (m *Manager) trace(kind string, t *transaction, object ObjectID, from, to State, detail string) {
+// traceLocked queues a trace append for delivery after the current
+// critical section — the monitor notification hook the ring is fed from.
+// Must be called while holding the monitor.
+func (m *Manager) traceLocked(kind string, t *transaction, object ObjectID, from, to State, detail string) {
 	if m.obs == nil || m.obs.trace == nil {
 		return
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"preserial/internal/sem"
@@ -35,6 +36,23 @@ func (r StoreRef) less(s StoreRef) bool {
 type SSTWrite struct {
 	Ref   StoreRef
 	Value sem.Value
+}
+
+// SortSSTWrites puts an SST write batch into the canonical StoreRef order
+// (table, key, column). Every batch handed to Store.ApplySST must be in
+// this order: write sets are assembled from maps, whose iteration order is
+// random, and concurrent SSTs acquiring row locks in differing orders can
+// deadlock each other. One canonical order makes SST↔SST deadlocks
+// structurally impossible. gtmlint/lockorder enforces that map-built
+// batches pass through here.
+func SortSSTWrites(writes []SSTWrite) {
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Ref.less(writes[j].Ref) })
+}
+
+// SortStoreRefs puts a reference list into the canonical acquisition
+// order; see SortSSTWrites.
+func SortStoreRefs(refs []StoreRef) {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].less(refs[j]) })
 }
 
 // Store is the data-layer contract the GTM needs: load committed values to

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"time"
+
+	"preserial/internal/clock"
 )
 
 // SupervisorConfig is the supervision policy for a Manager. The paper
@@ -61,6 +63,8 @@ func (m *Manager) Supervise(cfg SupervisorConfig) SupervisorReport {
 				if cfg.SleepAbortAfter > 0 && !t.tsleep.IsZero() && now.Sub(t.tsleep) >= cfg.SleepAbortAfter {
 					actions = append(actions, action{id: id, abort: true})
 				}
+			case StateCommitting, StateCommitted, StateAborting, StateAborted:
+				// In-flight commit/abort or terminal: nothing to supervise.
 			}
 		}
 	}()
@@ -89,8 +93,8 @@ func (m *Manager) abortWithReason(txID TxID, reason AbortReason) error {
 	if t.state.Terminal() {
 		return ErrBadState
 	}
-	m.setState(t, StateAborting)
-	m.finishAbort(t, reason, nil)
+	m.setStateLocked(t, StateAborting)
+	m.finishAbortLocked(t, reason, nil)
 	return nil
 }
 
@@ -100,14 +104,5 @@ func RunSupervisor(ctx context.Context, m *Manager, cfg SupervisorConfig, interv
 	if interval <= 0 {
 		interval = time.Second
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-t.C:
-			m.Supervise(cfg)
-		}
-	}
+	clock.Every(ctx, interval, func() { m.Supervise(cfg) })
 }

@@ -31,7 +31,11 @@ type TxID string
 // ObjectID identifies a database object managed by the GTM.
 type ObjectID string
 
-// State is the operating state of a transaction (Section IV).
+// State is the operating state of a transaction (Section IV). Switches
+// over it must be exhaustive — a new state must not fall through the
+// sleep/awake/abort logic silently (enforced by gtmlint/statexhaustive).
+//
+//gtmlint:exhaustive
 type State uint8
 
 // Transaction states.
@@ -78,6 +82,8 @@ func (s State) String() string {
 func (s State) Terminal() bool { return s == StateCommitted || s == StateAborted }
 
 // AbortReason classifies why a transaction aborted.
+//
+//gtmlint:exhaustive
 type AbortReason uint8
 
 // Abort reasons.
@@ -125,6 +131,8 @@ func (r AbortReason) String() string {
 }
 
 // EventType discriminates notifications delivered to transaction listeners.
+//
+//gtmlint:exhaustive
 type EventType uint8
 
 // Notification types.

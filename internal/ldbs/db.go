@@ -96,14 +96,14 @@ func Open(opts Options) *DB {
 		db.log.window = opts.GroupCommitWindow
 	}
 	if opts.Obs != nil {
-		db.obsDeadlocks = opts.Obs.Counter("ldbs_deadlocks_total", "Lock waits refused because they would close a wait-for cycle.")
-		db.locks.waits = opts.Obs.Counter("ldbs_lock_waits_total", "Lock acquisitions that had to block.")
-		db.locks.waitLatency = opts.Obs.Histogram("ldbs_lock_wait_seconds", "Blocking lock acquisition latency.", nil)
+		db.obsDeadlocks = opts.Obs.Counter(obs.NameLDBSDeadlocks, "Lock waits refused because they would close a wait-for cycle.")
+		db.locks.waits = opts.Obs.Counter(obs.NameLDBSLockWaits, "Lock acquisitions that had to block.")
+		db.locks.waitLatency = opts.Obs.Histogram(obs.NameLDBSLockWaitSeconds, "Blocking lock acquisition latency.", nil)
 		if db.log != nil {
-			db.log.syncs = opts.Obs.Counter("ldbs_wal_fsyncs_total", "WAL flushes synced to stable storage.")
-			db.log.syncLatency = opts.Obs.Histogram("ldbs_wal_fsync_seconds", "WAL fsync latency.", nil)
-			db.log.appends = opts.Obs.Counter("ldbs_wal_records_total", "WAL records appended.")
-			db.log.batchSize = opts.Obs.Histogram("ldbs_group_commit_batch_size",
+			db.log.syncs = opts.Obs.Counter(obs.NameWALFsyncs, "WAL flushes synced to stable storage.")
+			db.log.syncLatency = opts.Obs.Histogram(obs.NameWALFsyncSeconds, "WAL fsync latency.", nil)
+			db.log.appends = opts.Obs.Counter(obs.NameWALRecords, "WAL records appended.")
+			db.log.batchSize = opts.Obs.Histogram(obs.NameWALGroupCommitBatch,
 				"Transactions made durable per shared WAL sync (1 unit = 1 transaction).",
 				[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 		}

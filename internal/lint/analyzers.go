@@ -1,0 +1,12 @@
+package lint
+
+// All returns gtmlint's analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MonitorSafe,
+		LockOrder,
+		ClockInject,
+		StatExhaustive,
+		MetricNames,
+	}
+}

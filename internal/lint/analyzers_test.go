@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"preserial/internal/lint"
+	"preserial/internal/lint/linttest"
+)
+
+func TestMonitorSafe(t *testing.T) { linttest.Run(t, "testdata/monitorsafe", lint.MonitorSafe) }
+
+func TestLockOrder(t *testing.T) { linttest.Run(t, "testdata/lockorder", lint.LockOrder) }
+
+func TestClockInject(t *testing.T) { linttest.Run(t, "testdata/clockinject", lint.ClockInject) }
+
+func TestStatExhaustive(t *testing.T) {
+	linttest.Run(t, "testdata/statexhaustive", lint.StatExhaustive)
+}
+
+func TestMetricNames(t *testing.T) { linttest.Run(t, "testdata/metricnames", lint.MetricNames) }

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ClockInject keeps the simulation-facing packages deterministic: in
+// internal/core, internal/sim and internal/sem, time must come from the
+// injected internal/clock (Manager options carry a clock.Clock; the
+// simulator drives it). Direct wall-clock reads or sleeps make simulated
+// runs — and therefore the paper's reproduced experiments — flaky, so
+// time.Now, time.Sleep, time.Since/Until, and the self-scheduling timer
+// constructors (NewTimer, NewTicker, Tick, After, AfterFunc) are forbidden
+// there. Pure duration arithmetic (time.Duration, the unit constants,
+// ParseDuration) remains fine.
+var ClockInject = &Analyzer{
+	Name: "clockinject",
+	Doc:  "internal/core, internal/sim and internal/sem must use the injected internal/clock, not package time",
+	Run:  runClockInject,
+}
+
+// clockInjectPackages lists the package-path suffixes where the injected
+// clock is mandatory.
+var clockInjectPackages = []string{
+	"internal/core", "internal/sim", "internal/sem",
+}
+
+// clockForbidden maps forbidden time.* functions to the injected
+// replacement named in the diagnostic.
+var clockForbidden = map[string]string{
+	"Now":       "clock.Clock.Now",
+	"Sleep":     "the injected sleep (clock.Clock-driven waiting)",
+	"Since":     "clock.Clock.Now arithmetic",
+	"Until":     "clock.Clock.Now arithmetic",
+	"NewTimer":  "clock.Every or simulator-driven scheduling",
+	"NewTicker": "clock.Every",
+	"Tick":      "clock.Every",
+	"After":     "clock.Every or simulator-driven scheduling",
+	"AfterFunc": "clock.Every or simulator-driven scheduling",
+}
+
+func runClockInject(pass *Pass) {
+	active := false
+	for _, p := range clockInjectPackages {
+		if pathHasSuffix(pass.PkgPath, p) {
+			active = true
+		}
+	}
+	if !active {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "time" {
+				return true
+			}
+			if repl, bad := clockForbidden[callee.Name()]; bad && recvNamed(callee) == nil {
+				pass.Reportf(call.Pos(), "time.%s in %s breaks simulation determinism; use %s", callee.Name(), shortPkg(pass.PkgPath), repl)
+			}
+			return true
+		})
+	}
+}
+
+// shortPkg trims a fixture prefix down to the recognizable tail.
+func shortPkg(path string) string {
+	for _, p := range clockInjectPackages {
+		if pathHasSuffix(path, p) {
+			return p
+		}
+	}
+	return path
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//lint:ignore gtmlint/<analyzer> <reason>
+//
+// The directive suppresses findings of that one analyzer on its own line
+// and on the line directly below it (the staticcheck convention: the
+// comment sits on or immediately above the flagged statement). The reason
+// is mandatory and directives that suppress nothing are themselves errors,
+// so every suppression in the tree stays auditable.
+const ignorePrefix = "//lint:ignore "
+
+// ignoreAnalyzer attributes directive problems (malformed, unused).
+const ignoreAnalyzer = "gtmlint/ignore"
+
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string // "gtmlint/<name>"
+	reason   string
+	used     bool
+	bad      string // non-empty: malformed, with the error text
+}
+
+// collectIgnores gathers every //lint:ignore directive in the packages.
+func collectIgnores(pkgs []*Package) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					d := &ignoreDirective{pos: pkg.Fset.Position(c.Pos())}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+					name, reason, ok := strings.Cut(rest, " ")
+					switch {
+					case name == "":
+						d.bad = "lint:ignore needs an analyzer name: //lint:ignore gtmlint/<analyzer> <reason>"
+					case !strings.HasPrefix(name, "gtmlint/"):
+						d.bad = "lint:ignore analyzer must be qualified as gtmlint/<analyzer>"
+					case !ok || strings.TrimSpace(reason) == "":
+						d.bad = "lint:ignore needs a reason after the analyzer name"
+					default:
+						d.analyzer = name
+						d.reason = strings.TrimSpace(reason)
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ApplyIgnores filters findings through the //lint:ignore directives in
+// pkgs and appends one finding per malformed or unused directive. The
+// result is position-sorted.
+func ApplyIgnores(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	directives := collectIgnores(pkgs)
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range directives {
+			if dir.bad != "" || dir.analyzer != d.Analyzer || dir.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == dir.pos.Line || d.Pos.Line == dir.pos.Line+1 {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range directives {
+		switch {
+		case dir.bad != "":
+			out = append(out, Diagnostic{Analyzer: ignoreAnalyzer, Pos: dir.pos, Message: dir.bad})
+		case !dir.used:
+			out = append(out, Diagnostic{Analyzer: ignoreAnalyzer, Pos: dir.pos,
+				Message: "unused lint:ignore directive for " + dir.analyzer})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOnly builds a Package with ASTs but no type information — enough
+// for ApplyIgnores, which only reads comments and positions.
+func parseOnly(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignore_input.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{PkgPath: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestIgnoreMissingReason(t *testing.T) {
+	pkg := parseOnly(t, "package p\n\n//lint:ignore gtmlint/clockinject\nvar X = 1\n")
+	diags := ApplyIgnores([]*Package{pkg}, nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Fatalf("want one missing-reason finding, got %v", diags)
+	}
+	if diags[0].Analyzer != "gtmlint/ignore" {
+		t.Fatalf("finding attributed to %q, want gtmlint/ignore", diags[0].Analyzer)
+	}
+}
+
+func TestIgnoreSuppressesSameAndNextLine(t *testing.T) {
+	pkg := parseOnly(t, "package p\n\n//lint:ignore gtmlint/fake covered by fixture\nvar X = 1\n")
+	find := Diagnostic{Analyzer: "gtmlint/fake",
+		Pos: token.Position{Filename: "ignore_input.go", Line: 4, Column: 1}, Message: "boom"}
+	diags := ApplyIgnores([]*Package{pkg}, []Diagnostic{find})
+	if len(diags) != 0 {
+		t.Fatalf("finding on the line below the directive should be suppressed, got %v", diags)
+	}
+}
+
+func TestIgnoreWrongAnalyzerStaysAndDirectiveIsUnused(t *testing.T) {
+	pkg := parseOnly(t, "package p\n\n//lint:ignore gtmlint/other not this one\nvar X = 1\n")
+	find := Diagnostic{Analyzer: "gtmlint/fake",
+		Pos: token.Position{Filename: "ignore_input.go", Line: 4, Column: 1}, Message: "boom"}
+	diags := ApplyIgnores([]*Package{pkg}, []Diagnostic{find})
+	if len(diags) != 2 {
+		t.Fatalf("want the finding plus an unused-directive finding, got %v", diags)
+	}
+}

@@ -1,0 +1,174 @@
+// Package lint is gtmlint's analysis framework: a small, dependency-free
+// counterpart of golang.org/x/tools/go/analysis (which this module cannot
+// vendor) tailored to machine-checking the GTM's concurrency invariants.
+//
+// The paper's correctness argument rests on discipline the compiler cannot
+// see — every Manager method runs under the monitor, Secure System
+// Transactions execute *outside* it, LDBS locks are taken in canonical
+// StoreRef order, state machines stay exhaustive when states are added.
+// Those rules otherwise live only in comments; the analyzers in this
+// package (see docs/STATIC_ANALYSIS.md) turn them into build failures.
+//
+// Packages are loaded with `go list -export -json -deps`, so dependencies
+// are imported from compiler export data while the packages under analysis
+// are type-checked from source. Everything runs offline on the standard
+// library alone.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package under analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	// All lists every source-loaded package of the run (targets plus, in
+	// fixture loads, their fixture dependencies). Analyzers that need
+	// cross-package declarations — e.g. statexhaustive's enum markers —
+	// consult it instead of re-parsing export data.
+	All []*Package
+}
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name is the short name; diagnostics are attributed to
+	// "gtmlint/<Name>" and that is the token //lint:ignore directives use.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer encodes.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) execution.
+type Pass struct {
+	*Package
+	Analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: "gtmlint/" + p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string // "gtmlint/<name>"
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// RunAnalyzers executes every analyzer over every package and returns the
+// raw findings (ignore directives not yet applied), ordered by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Package: pkg, Analyzer: a,
+				report: func(d Diagnostic) { out = append(out, d) }}
+			a.Run(pass)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// Run executes the analyzers and applies //lint:ignore directives: ignored
+// findings are dropped, unused or malformed directives become findings of
+// their own. This is the pipeline cmd/gtmlint and the smoke test share.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return ApplyIgnores(pkgs, RunAnalyzers(pkgs, analyzers))
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}
+
+// --- shared type/AST helpers used by several analyzers ---
+
+// pathHasSuffix reports whether an import path ends in suffix on a path
+// segment boundary ("a/internal/core" matches "internal/core"), so fixture
+// packages under testdata behave like the real tree.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// calleeFunc resolves the *types.Func a call expression statically invokes
+// (nil for calls through function values, built-ins and conversions).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvNamed returns the named type of a method's receiver (through
+// pointers), or nil for plain functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isPkgFunc reports whether f is the function pkgPath.name (methods
+// excluded).
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath &&
+		f.Name() == name && recvNamed(f) == nil
+}

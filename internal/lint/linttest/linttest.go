@@ -1,0 +1,290 @@
+// Package linttest is gtmlint's fixture test harness — the stand-in for
+// golang.org/x/tools/go/analysis/analysistest, which this module cannot
+// vendor. Fixtures live under <root>/src/<import/path>/*.go; expected
+// findings are `// want "regex"` comments on the offending line. Fixture
+// packages may import each other (by their src-relative path) and the
+// standard library; stdlib dependencies are imported from compiler export
+// data via `go list -export`, so the harness works offline.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"preserial/internal/lint"
+)
+
+// Run loads every fixture package under root/src, runs the analyzer over
+// all of them through the full gtmlint pipeline (//lint:ignore directives
+// included), and matches the findings against the fixtures' `// want`
+// comments. It fails the test on any unexpected or missing finding.
+func Run(t *testing.T, root string, a *lint.Analyzer) {
+	t.Helper()
+	h := &harness{
+		src:    filepath.Join(root, "src"),
+		fset:   token.NewFileSet(),
+		loaded: make(map[string]*lint.Package),
+	}
+	paths, err := h.fixturePaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("linttest: no fixture packages under %s", h.src)
+	}
+	if err := h.stdlibExports(paths); err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := h.load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, p := range pkgs {
+		p.All = pkgs
+	}
+
+	diags := lint.Run(pkgs, []*lint.Analyzer{a})
+	check(t, h.fset, pkgs, diags)
+}
+
+type harness struct {
+	src     string
+	fset    *token.FileSet
+	loaded  map[string]*lint.Package
+	loading []string // cycle detection
+	exports map[string]string
+}
+
+// fixturePaths walks src for directories containing .go files and returns
+// their src-relative import paths, sorted.
+func (h *harness) fixturePaths() ([]string, error) {
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(h.src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			rel, err := filepath.Rel(h.src, filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			seen[filepath.ToSlash(rel)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("linttest: %v", err)
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// stdlibExports collects export-data locations for every non-fixture
+// import reachable from the fixtures, via one `go list -export -deps` run.
+func (h *harness) stdlibExports(fixtures []string) error {
+	isFixture := make(map[string]bool, len(fixtures))
+	for _, f := range fixtures {
+		isFixture[f] = true
+	}
+	need := make(map[string]bool)
+	for _, p := range fixtures {
+		files, err := h.parseDir(p)
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if !isFixture[path] {
+					need[path] = true
+				}
+			}
+		}
+	}
+	h.exports = make(map[string]string)
+	if len(need) == 0 {
+		return nil
+	}
+	args := make([]string, 0, len(need))
+	for p := range need {
+		args = append(args, p)
+	}
+	sort.Strings(args)
+	exports, err := lint.ExportData(h.src, args...)
+	if err != nil {
+		return err
+	}
+	h.exports = exports
+	return nil
+}
+
+// parseDir parses (and caches via the fileset) one fixture package's files.
+func (h *harness) parseDir(path string) ([]*ast.File, error) {
+	dir := filepath.Join(h.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(h.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("linttest: %v", err)
+		}
+		files = append(files, af)
+	}
+	return files, nil
+}
+
+// load type-checks one fixture package, recursively loading fixture
+// dependencies first.
+func (h *harness) load(path string) (*lint.Package, error) {
+	if pkg, ok := h.loaded[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range h.loading {
+		if p == path {
+			return nil, fmt.Errorf("linttest: fixture import cycle through %q", path)
+		}
+	}
+	h.loading = append(h.loading, path)
+	defer func() { h.loading = h.loading[:len(h.loading)-1] }()
+
+	files, err := h.parseDir(path)
+	if err != nil {
+		return nil, err
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: &fixtureImporter{h: h}}
+	tpkg, err := conf.Check(path, h.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("linttest: type-checking fixture %s: %v", path, err)
+	}
+	pkg := &lint.Package{PkgPath: path, Fset: h.fset, Files: files, Types: tpkg, Info: info}
+	h.loaded[path] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter resolves fixture packages from source and everything
+// else from export data.
+type fixtureImporter struct {
+	h *harness
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(fi.h.src, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		pkg, err := fi.h.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	lookup := func(p string) (io.ReadCloser, error) {
+		f, ok := fi.h.exports[p]
+		if !ok {
+			return nil, fmt.Errorf("linttest: no export data for %q", p)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fi.h.fset, "gc", lookup).Import(path)
+}
+
+// expectation is one `// want "regex"` comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var wantPatRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// collectWants extracts expectations from the fixtures' comments.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					pats := wantPatRE.FindAllStringSubmatch(m[1], -1)
+					if len(pats) == 0 {
+						t.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+						continue
+					}
+					for _, p := range pats {
+						re, err := regexp.Compile(p[1])
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, p[1], err)
+							continue
+						}
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p[1]})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// check matches diagnostics against expectations one-to-one.
+func check(t *testing.T, fset *token.FileSet, pkgs []*lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, pkgs)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=Dir,ImportPath,Name,GoFiles,Imports,Export,Standard"
+
+// Load type-checks the packages matching the go-list patterns, rooted at
+// dir (normally the module root). Dependencies — the standard library and
+// sibling module packages alike — are imported from compiler export data
+// produced by `go list -export`, so the load works offline and only the
+// target packages are parsed from source. Test files are not loaded.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	deps, err := goList(dir, append([]string{"-export", "-deps", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, append([]string{listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, t.ImportPath, t.Name, sourceFiles(t), imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	link(out)
+	return out, nil
+}
+
+// ExportData maps the given packages and their full dependency closure to
+// compiler export-data files, via `go list -export -deps` run in dir. The
+// linttest harness uses it to give fixtures offline stdlib imports.
+func ExportData(dir string, pkgs ...string) (map[string]string, error) {
+	deps, err := goList(dir, append([]string{"-export", "-deps", listFields}, pkgs...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// sourceFiles resolves a listed package's Go files to absolute paths.
+func sourceFiles(p *listPkg) []string {
+	files := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		files[i] = filepath.Join(p.Dir, f)
+	}
+	sort.Strings(files)
+	return files
+}
+
+// exportImporter returns a go/types importer that reads gc export data
+// from the given importPath→file map.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// typeCheck parses and checks one package from source.
+func typeCheck(fset *token.FileSet, importPath, name string, files []string, imp types.Importer) (*Package, error) {
+	var astFiles []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		astFiles = append(astFiles, af)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	_ = name
+	return &Package{PkgPath: importPath, Fset: fset, Files: astFiles, Types: tpkg, Info: info}, nil
+}
+
+// link populates each package's All slice.
+func link(pkgs []*Package) {
+	for _, p := range pkgs {
+		p.All = pkgs
+	}
+}

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockOrder enforces the canonical StoreRef acquisition order in the lock
+// layers (internal/ldbs, internal/twopl, and internal/core's commit path).
+// PR 2's SST↔SST deadlock fix hinges on every multi-ref acquisition and
+// every SST write batch being ordered by StoreRef.less (table, key,
+// column); Go randomizes map iteration order, so a write batch assembled
+// by ranging over a map is unordered by construction and must pass through
+// core.SortSSTWrites before it reaches ApplySST or leaves the function.
+//
+// The analyzer taints []SSTWrite (and []StoreRef) slices appended to
+// inside a range-over-map statement. A taint is cleared by the canonical
+// helper (core.SortSSTWrites / core.SortStoreRefs); a hand-rolled
+// sort.Slice with a Ref comparator is flagged toward the helper instead.
+// Tainted slices that escape — passed to any call, returned, or sent —
+// are reported.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "multi-ref lock acquisition and SST write batches must use canonical StoreRef order (core.SortSSTWrites)",
+	Run:  runLockOrder,
+}
+
+// lockOrderPackages: only the layers that acquire locks / emit SSTs.
+var lockOrderPackages = []string{
+	"internal/ldbs", "internal/twopl", "internal/core",
+}
+
+func runLockOrder(pass *Pass) {
+	active := false
+	for _, p := range lockOrderPackages {
+		if pathHasSuffix(pass.PkgPath, p) {
+			active = true
+		}
+	}
+	if !active {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				lockOrderFunc(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// lockOrderFunc runs the per-function taint analysis. The flow is
+// syntactic and forward-only: one pass collecting taints, then a pass over
+// uses. That is enough for the idioms in this tree (build batch, maybe
+// sort, hand it off).
+func lockOrderFunc(pass *Pass, body *ast.BlockStmt) {
+	type taint struct {
+		obj types.Object
+		pos ast.Node // the append inside the range, for reporting
+	}
+	var taints []taint
+	tainted := func(obj types.Object) *taint {
+		for i := range taints {
+			if taints[i].obj == obj {
+				return &taints[i]
+			}
+		}
+		return nil
+	}
+	clear := func(obj types.Object) {
+		for i := range taints {
+			if taints[i].obj == obj {
+				taints = append(taints[:i], taints[i+1:]...)
+				return
+			}
+		}
+	}
+
+	// Pass A: find `x = append(x, …)` inside `for … range <map>` where x is
+	// a []SSTWrite or []StoreRef.
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass.Info, call) {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Info.Defs[id]
+			}
+			if obj == nil || !isRefSlice(obj.Type()) {
+				return true
+			}
+			if tainted(obj) == nil {
+				taints = append(taints, taint{obj: obj, pos: as})
+			}
+			return true
+		})
+		return true
+	})
+	if len(taints) == 0 {
+		return
+	}
+
+	// Pass B: walk the whole body in order; sorts clear taints, escapes of
+	// still-tainted slices report. Statements are visited in source order,
+	// which matches execution order for the straight-line builder code this
+	// targets.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.Info, call)
+
+		// Canonical helpers sanitize their argument.
+		if callee != nil && (callee.Name() == "SortSSTWrites" || callee.Name() == "SortStoreRefs") {
+			for _, arg := range call.Args {
+				if obj := identObj(pass.Info, arg); obj != nil {
+					clear(obj)
+				}
+			}
+			return true
+		}
+
+		// Hand-rolled sort.Slice over a ref slice: point at the helper. It
+		// does sanitize (the writes end up ordered), but the ordering rule
+		// must live in one place.
+		if callee != nil && isPkgFunc(callee, "sort", "Slice") && len(call.Args) == 2 {
+			if obj := identObj(pass.Info, call.Args[0]); obj != nil && isRefSlice(obj.Type()) {
+				if t := tainted(obj); t != nil {
+					pass.Reportf(call.Pos(), "hand-rolled sort of a StoreRef-keyed slice: use the canonical core.SortSSTWrites/core.SortStoreRefs helper so the acquisition order is defined once")
+					clear(obj)
+				}
+				return true
+			}
+		}
+
+		if isBuiltinOrConversion(pass.Info, call) {
+			return true // append/len/cap/conversions don't consume the order
+		}
+
+		// Any other call consuming a tainted slice is an escape.
+		for _, arg := range call.Args {
+			obj := identObj(pass.Info, arg)
+			if obj == nil {
+				continue
+			}
+			if t := tainted(obj); t != nil {
+				what := "lock acquisition"
+				if callee != nil {
+					what = callee.Name()
+				}
+				pass.Reportf(arg.Pos(), "%s built by ranging over a map is in random order; call core.SortSSTWrites before %s (canonical StoreRef order prevents SST↔SST deadlock)", obj.Name(), what)
+				clear(obj) // one report per batch
+			}
+		}
+		return true
+	})
+
+	// Pass C: tainted slices that leave via return.
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			obj := identObj(pass.Info, r)
+			if obj == nil {
+				continue
+			}
+			if t := tainted(obj); t != nil {
+				pass.Reportf(r.Pos(), "%s built by ranging over a map is returned in random order; call core.SortSSTWrites first (canonical StoreRef order prevents SST↔SST deadlock)", obj.Name())
+				clear(obj)
+			}
+		}
+		return true
+	})
+}
+
+// isRefSlice reports whether t is []SSTWrite or []StoreRef (by named-type
+// name, so ldbs-local aliases of the core types also count).
+func isRefSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	n := namedOf(s.Elem())
+	if n == nil {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "SSTWrite", "StoreRef":
+		return true
+	}
+	return false
+}
+
+// isBuiltinAppend matches the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isBuiltinOrConversion matches builtin calls (len, cap, append, …) and
+// type conversions, which read a slice without acquiring anything.
+func isBuiltinOrConversion(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// identObj resolves an argument expression to its object if it is a plain
+// (possibly parenthesized) identifier.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}

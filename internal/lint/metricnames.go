@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MetricNames pins every metric name to the single registry in
+// internal/obs/names.go. Registry.Counter / Histogram / GaugeFunc take the
+// metric name as their first argument; if call sites pass ad-hoc string
+// literals, /metrics output and docs/OBSERVABILITY.md drift apart the
+// first time someone renames one spelling of a series. The analyzer
+// therefore requires the name argument to resolve to a constant declared
+// in package obs (the Name* block), or to obs.WithLabel(<obs constant>,
+// label, value) for series with a baked-in label such as
+// gtm_aborts_total{reason="deadlock"}. Package obs itself — where the
+// registry and helper live — is exempt.
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc:  "metric names passed to internal/obs must come from the obs.Name* registry (or obs.WithLabel on one)",
+	Run:  runMetricNames,
+}
+
+// metricRegistrars are the obs.Registry methods whose first argument is a
+// metric name.
+var metricRegistrars = map[string]bool{
+	"Counter":   true,
+	"Histogram": true,
+	"GaugeFunc": true,
+}
+
+func runMetricNames(pass *Pass) {
+	if pathHasSuffix(pass.PkgPath, "internal/obs") {
+		return // the registry defines the names
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || !metricRegistrars[callee.Name()] {
+				return true
+			}
+			recv := recvNamed(callee)
+			if recv == nil || recv.Obj().Name() != "Registry" ||
+				recv.Obj().Pkg() == nil || !pathHasSuffix(recv.Obj().Pkg().Path(), "internal/obs") {
+				return true
+			}
+			if !isObsName(pass.Info, call.Args[0]) {
+				pass.Reportf(call.Args[0].Pos(), "metric name for %s must be a constant from the obs name registry (obs.Name*), or obs.WithLabel on one — ad-hoc strings let /metrics and docs drift", callee.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isObsName reports whether e is an obs-declared name constant or
+// obs.WithLabel(<obs constant>, …).
+func isObsName(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		callee := calleeFunc(info, call)
+		if callee != nil && callee.Name() == "WithLabel" && obsDeclared(callee) && len(call.Args) >= 1 {
+			return isObsName(info, call.Args[0])
+		}
+		return false
+	}
+	obj := constExprObj(info, e)
+	return obj != nil && obsDeclared(obj)
+}
+
+// constExprObj resolves an identifier or selector to a constant object.
+func constExprObj(info *types.Info, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := info.Uses[v].(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := info.Uses[v.Sel].(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// obsDeclared reports whether obj is declared in internal/obs.
+func obsDeclared(obj types.Object) bool {
+	return obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/obs")
+}

@@ -1,0 +1,400 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MonitorSafe checks the GTM's monitor discipline (DESIGN.md "Concurrency
+// model"; the paper's Section IV event model): Manager methods enter the
+// monitor with `defer m.mon.enter(m)()` (twopl: `defer s.enter()()`), and
+// everything that runs while the monitor is held must be non-blocking —
+// listener notifications and Secure System Transactions execute strictly
+// *outside* the critical section, via the monitor's notification queue.
+//
+// The analyzer activates only in packages that contain at least one such
+// entry function. It computes the set of functions executed with the
+// monitor held — entry-function bodies, functions following the *Locked
+// naming convention, and everything they call in the same package — and
+// enforces:
+//
+//  1. no blocking operations while held: channel sends/receives/selects,
+//     sync.Mutex/RWMutex.Lock/RLock, WaitGroup/Cond.Wait, time.Sleep,
+//     Store.ApplySST (the SST) and network I/O;
+//  2. no re-entry: a held context must not call a monitor entry function
+//     (the monitor mutex is not reentrant — this is a self-deadlock);
+//  3. naming: a method of the monitor type that runs only with the monitor
+//     held must carry the *Locked suffix, so call sites read correctly;
+//  4. a *Locked function must not be called from a context that does not
+//     hold the monitor.
+//
+// Function literals queued on the monitor (mon.queue(func(){…})), spawned
+// with `go`, deferred-as-value, or stored for later run *outside* the
+// critical section and are analyzed as unheld roots; literals passed
+// synchronously to ordinary calls (sort.Slice comparators and the like)
+// inherit the caller's held state.
+var MonitorSafe = &Analyzer{
+	Name: "monitorsafe",
+	Doc:  "functions holding the GTM monitor must not block, re-enter it, or hide behind a non-*Locked name",
+	Run:  runMonitorSafe,
+}
+
+const lockedSuffix = "Locked"
+
+// msNode is one function-like body (declaration or literal).
+type msNode struct {
+	fn      *types.Func   // nil for literals
+	decl    *ast.FuncDecl // nil for literals
+	lit     *ast.FuncLit  // nil for declarations
+	entry   bool          // first statement is `defer …enter(…)()`
+	held    bool
+	monitor bool // part of the monitor implementation (enter/queue); exempt
+
+	calls    []msCall  // static same-package calls made by the body
+	blocking []msBlock // potential blocking operations in the body
+	inherits []*msNode // synchronous literals: held iff this node is held
+}
+
+type msCall struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+type msBlock struct {
+	pos  token.Pos
+	what string
+}
+
+func runMonitorSafe(pass *Pass) {
+	nodes := make(map[*types.Func]*msNode)
+	var all []*msNode
+
+	// Pass 1: classify declared functions, find monitor entries and roots.
+	rootTypes := make(map[*types.Named]bool) // receiver types of entry functions
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			n := &msNode{fn: obj, decl: fd, entry: isMonitorEntry(fd.Body)}
+			if r := recvNamed(obj); r != nil {
+				if n.entry {
+					rootTypes[r] = true
+				}
+				if isMonitorImpl(obj, r) {
+					n.monitor = true
+				}
+			}
+			nodes[obj] = n
+			all = append(all, n)
+		}
+	}
+	hasEntries := false
+	for _, n := range all {
+		if n.entry {
+			hasEntries = true
+		}
+	}
+	if !hasEntries {
+		return // package has no monitor; nothing to enforce
+	}
+
+	// Pass 2: scan bodies, building the call/blocking-op graph.
+	for _, n := range all {
+		if n.monitor {
+			continue
+		}
+		extra := scanMonitorBody(pass, n, n.decl.Body, n.entry)
+		all = append(all, extra...)
+	}
+
+	// Pass 3: propagate heldness. Seeds: entry bodies and *Locked names.
+	var work []*msNode
+	mark := func(n *msNode) {
+		if n != nil && !n.held && !n.monitor {
+			n.held = true
+			work = append(work, n)
+		}
+	}
+	for _, n := range all {
+		if n.entry || (n.fn != nil && strings.HasSuffix(n.fn.Name(), lockedSuffix)) {
+			mark(n)
+		}
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, in := range n.inherits {
+			mark(in)
+		}
+		for _, c := range n.calls {
+			callee := nodes[c.callee]
+			if callee == nil || callee.monitor {
+				continue
+			}
+			if callee.entry {
+				continue // reported below as re-entry
+			}
+			mark(callee)
+		}
+	}
+
+	// Pass 4: report.
+	for _, n := range all {
+		if n.monitor {
+			continue
+		}
+		if n.held {
+			for _, b := range n.blocking {
+				pass.Reportf(b.pos, "%s while holding the monitor: %s runs inside the critical section; move it outside (queue a notification, or run the SST off-monitor)", b.what, describeMSNode(n))
+			}
+			for _, c := range n.calls {
+				callee := nodes[c.callee]
+				if callee != nil && callee.entry && !callee.monitor {
+					pass.Reportf(c.pos, "%s re-enters the monitor by calling %s: the monitor mutex is not reentrant (self-deadlock); call its *Locked body instead", describeMSNode(n), c.callee.Name())
+				}
+			}
+			if n.fn != nil && !n.entry && !strings.HasSuffix(n.fn.Name(), lockedSuffix) {
+				if r := recvNamed(n.fn); r != nil && rootTypes[r] {
+					pass.Reportf(n.decl.Name.Pos(), "%s.%s runs only with the monitor held; rename it %s%s so call sites state the contract", r.Obj().Name(), n.fn.Name(), n.fn.Name(), lockedSuffix)
+				}
+			}
+		} else {
+			for _, c := range n.calls {
+				callee := nodes[c.callee]
+				if callee != nil && !callee.monitor && !callee.entry &&
+					strings.HasSuffix(c.callee.Name(), lockedSuffix) {
+					pass.Reportf(c.pos, "%s calls %s without holding the monitor: enter the monitor first or call the public entry point", describeMSNode(n), c.callee.Name())
+				}
+			}
+		}
+	}
+}
+
+func describeMSNode(n *msNode) string {
+	if n.fn != nil {
+		if r := recvNamed(n.fn); r != nil {
+			return r.Obj().Name() + "." + n.fn.Name()
+		}
+		return n.fn.Name()
+	}
+	return "a function literal in a monitor-held context"
+}
+
+// isMonitorEntry reports whether the body's first statement is the
+// monitor-entry idiom: `defer <expr>.enter(<args>)()` — deferring the call
+// of the closure an `enter` method returns.
+func isMonitorEntry(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	def, ok := body.List[0].(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	inner, ok := def.Call.Fun.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "enter"
+}
+
+// isMonitorImpl reports whether fn is part of the monitor mechanism
+// itself: a method named enter or queue on the monitor type or on a root
+// type (twopl hand-rolls the pattern directly on the Scheduler).
+func isMonitorImpl(fn *types.Func, recv *types.Named) bool {
+	name := fn.Name()
+	if name != "enter" && name != "queue" {
+		return false
+	}
+	return recv != nil
+}
+
+// scanMonitorBody records the node's calls, blocking operations and
+// synchronous child literals. Literals that escape (queued on the monitor,
+// go/defer-as-value, assigned, returned) become independent unheld roots;
+// they are returned so the caller can include them in the node list.
+func scanMonitorBody(pass *Pass, n *msNode, body *ast.BlockStmt, entry bool) []*msNode {
+	var roots []*msNode
+	first := token.NoPos
+	if entry && len(body.List) > 0 {
+		first = body.List[0].Pos() // the defer-enter statement is exempt
+	}
+
+	var walk func(ast.Node, *msNode)
+	walk = func(node ast.Node, ctx *msNode) {
+		ast.Inspect(node, func(x ast.Node) bool {
+			switch v := x.(type) {
+			case *ast.FuncLit:
+				child := &msNode{lit: v, entry: isMonitorEntry(v.Body)}
+				if !escapesMonitor(pass, node, v) {
+					ctx.inherits = append(ctx.inherits, child)
+				}
+				roots = append(roots, child) // every literal is a reportable node
+				sub := scanMonitorBody(pass, child, v.Body, child.entry)
+				roots = append(roots, sub...)
+				return false
+			case *ast.SendStmt:
+				ctx.blocking = append(ctx.blocking, msBlock{v.Pos(), "channel send"})
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW {
+					ctx.blocking = append(ctx.blocking, msBlock{v.Pos(), "channel receive"})
+				}
+			case *ast.SelectStmt:
+				ctx.blocking = append(ctx.blocking, msBlock{v.Pos(), "select"})
+				return false // the cases' channel ops are part of the select
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[v.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						ctx.blocking = append(ctx.blocking, msBlock{v.Pos(), "range over channel"})
+					}
+				}
+			case *ast.CallExpr:
+				if entry && v.Pos() >= first && v.End() <= bodyFirstEnd(body) {
+					// the defer-enter statement itself
+					if isEnterCall(v) {
+						return false
+					}
+				}
+				callee := calleeFunc(pass.Info, v)
+				if callee == nil {
+					return true
+				}
+				if what := monitorBlockingCall(callee); what != "" {
+					ctx.blocking = append(ctx.blocking, msBlock{v.Pos(), what})
+				}
+				if callee.Pkg() != nil && callee.Pkg() == pass.Types {
+					ctx.calls = append(ctx.calls, msCall{v.Pos(), callee})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, n)
+	return roots
+}
+
+// bodyFirstEnd returns the end of the body's first statement.
+func bodyFirstEnd(body *ast.BlockStmt) token.Pos {
+	if len(body.List) == 0 {
+		return token.NoPos
+	}
+	return body.List[0].End()
+}
+
+// isEnterCall matches `x.enter(…)` or the outer `x.enter(…)()`.
+func isEnterCall(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if inner, ok := fun.(*ast.CallExpr); ok {
+		fun = ast.Unparen(inner.Fun)
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "enter"
+}
+
+// escapesMonitor reports whether lit runs after the critical section: it
+// is queued on the monitor, launched with go, deferred as a value, or
+// stored (assigned/returned/composite) rather than passed to a call that
+// runs it synchronously.
+func escapesMonitor(pass *Pass, root ast.Node, lit *ast.FuncLit) bool {
+	escapes := false
+	var visit func(ast.Node) bool
+	visit = func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.GoStmt:
+			if containsExpr(v.Call, lit) {
+				escapes = true
+			}
+		case *ast.DeferStmt:
+			for _, arg := range v.Call.Args {
+				if containsExpr(arg, lit) {
+					escapes = true // deferred value: runs at exit
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				if directlyContains(rhs, lit) {
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if directlyContains(r, lit) {
+					escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range v.Elts {
+				if directlyContains(e, lit) {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range v.Args {
+				if ast.Unparen(arg) == lit && isQueueCall(v) {
+					escapes = true
+				}
+			}
+		}
+		return !escapes
+	}
+	ast.Inspect(root, visit)
+	return escapes
+}
+
+// directlyContains reports whether expr is lit (through parens), i.e. the
+// literal itself is the stored value.
+func directlyContains(expr ast.Expr, lit *ast.FuncLit) bool {
+	return ast.Unparen(expr) == lit
+}
+
+// containsExpr reports whether lit appears anywhere under n.
+func containsExpr(n ast.Node, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == ast.Node(lit) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isQueueCall matches `<expr>.queue(…)` — the monitor's deferred-delivery
+// hook.
+func isQueueCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "queue"
+}
+
+// monitorBlockingCall classifies calls that can block the monitor.
+func monitorBlockingCall(f *types.Func) string {
+	pkg := f.Pkg()
+	recv := recvNamed(f)
+	switch {
+	case pkg != nil && pkg.Path() == "sync" && recv != nil:
+		switch recv.Obj().Name() + "." + f.Name() {
+		case "Mutex.Lock", "RWMutex.Lock", "RWMutex.RLock":
+			return "sync lock acquisition (" + recv.Obj().Name() + "." + f.Name() + ")"
+		case "WaitGroup.Wait", "Cond.Wait":
+			return "blocking wait (sync." + recv.Obj().Name() + "." + f.Name() + ")"
+		}
+	case pkg != nil && pkg.Path() == "time" && f.Name() == "Sleep":
+		return "time.Sleep"
+	case f.Name() == "ApplySST":
+		return "Secure System Transaction (Store.ApplySST)"
+	case pkg != nil && pkg.Path() == "net":
+		return "network I/O (net." + f.Name() + ")"
+	case recv != nil && recv.Obj().Pkg() != nil && recv.Obj().Pkg().Path() == "net":
+		return "network I/O (net." + recv.Obj().Name() + "." + f.Name() + ")"
+	}
+	return ""
+}

@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"preserial/internal/lint"
+)
+
+// TestRepoClean is the gtmlint smoke test: the full analyzer suite over
+// the real tree must come back empty. It runs as part of `go test ./...`,
+// so the concurrency invariants are enforced by tier-1, not just by the
+// separate make lint step.
+func TestRepoClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading the repo: %v", err)
+	}
+	diags := lint.Run(pkgs, lint.All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("gtmlint found %d violation(s) in the tree; fix them or add a reasoned //lint:ignore", len(diags))
+	}
+}

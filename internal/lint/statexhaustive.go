@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StatExhaustive makes transaction-state machines additive-safe: a switch
+// over a marked enum type must name every constant of that type, so adding
+// a state (the paper's Algorithm 9 adds sleeping/awake transitions to the
+// classical lifecycle) cannot silently fall through abort/awake logic. A
+// `default:` clause is allowed — it catches corruption — but it does not
+// substitute for naming the constants: the point is that the *compiler
+// run* (via lint) fails when a new state appears, forcing each switch to
+// be revisited.
+//
+// Enum types opt in with a marker comment on their type declaration:
+//
+//	//gtmlint:exhaustive
+//	type State int
+//
+// Constants whose names start with "num" (numStates-style sizing
+// sentinels) are not required in cases. Switches that name at most one
+// constant are ignored — single-state guards (`switch { case s ==
+// StateActive }` style equivalents) are not state machines.
+var StatExhaustive = &Analyzer{
+	Name: "statexhaustive",
+	Doc:  "switches over //gtmlint:exhaustive enum types must name every constant of the type",
+	Run:  runStatExhaustive,
+}
+
+const exhaustiveMarker = "//gtmlint:exhaustive"
+
+func runStatExhaustive(pass *Pass) {
+	marked := markedEnums(pass.All)
+	if len(marked) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := namedOf(tv.Type)
+			if named == nil {
+				return true
+			}
+			enum, ok := marked[named.Obj()]
+			if !ok {
+				return true
+			}
+			checkExhaustive(pass, sw, named, enum)
+			return true
+		})
+	}
+}
+
+// enumConsts is the declared constant set of one marked enum type.
+type enumConsts struct {
+	consts []*types.Const // required members, declaration order
+}
+
+// markedEnums finds every type declaration carrying //gtmlint:exhaustive
+// across the loaded packages and collects the package-level constants of
+// each such type.
+func markedEnums(pkgs []*Package) map[types.Object]*enumConsts {
+	out := make(map[types.Object]*enumConsts)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				declMarked := hasExhaustiveMarker(gd.Doc)
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if !declMarked && !hasExhaustiveMarker(ts.Doc) && !hasExhaustiveMarker(ts.Comment) {
+						continue
+					}
+					obj := pkg.Info.Defs[ts.Name]
+					if obj == nil {
+						continue
+					}
+					out[obj] = &enumConsts{}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return out
+	}
+	// Collect each marked type's constants from its defining package scope.
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			named := namedOf(c.Type())
+			if named == nil {
+				continue
+			}
+			enum, ok := out[named.Obj()]
+			if !ok {
+				continue
+			}
+			if strings.HasPrefix(c.Name(), "num") {
+				continue // sizing sentinel, not a state
+			}
+			enum.consts = append(enum.consts, c)
+		}
+	}
+	return out
+}
+
+func hasExhaustiveMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == exhaustiveMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExhaustive verifies one switch against the enum's constant set.
+func checkExhaustive(pass *Pass, sw *ast.SwitchStmt, named *types.Named, enum *enumConsts) {
+	if len(enum.consts) == 0 {
+		return
+	}
+	covered := make(map[*types.Const]bool)
+	caseCount := 0
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok || cc.List == nil {
+			continue // default clause
+		}
+		for _, e := range cc.List {
+			caseCount++
+			if obj := constOf(pass.Info, e); obj != nil {
+				covered[obj] = true
+			}
+		}
+	}
+	if caseCount <= 1 {
+		return // a guard, not a state machine
+	}
+	var missing []string
+	for _, c := range enum.consts {
+		if !covered[c] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (a new state must not fall through silently; add the case or an explicit no-op)",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// constOf resolves a case expression to the *types.Const it names, if any.
+// Matching is by constant object, so aliased spellings (pkg.StateActive vs
+// StateActive) unify.
+func constOf(info *types.Info, e ast.Expr) *types.Const {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		c, _ := info.Uses[v].(*types.Const)
+		return c
+	case *ast.SelectorExpr:
+		c, _ := info.Uses[v.Sel].(*types.Const)
+		return c
+	}
+	return nil
+}

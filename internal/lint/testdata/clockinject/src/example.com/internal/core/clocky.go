@@ -1,0 +1,24 @@
+// Fixture for gtmlint/clockinject: simulation-facing packages must take
+// time from the injected clock, never from package time directly.
+package core
+
+import "time"
+
+func bad() {
+	_ = time.Now()                  // want "time.Now"
+	time.Sleep(time.Millisecond)    // want "time.Sleep"
+	_ = time.Since(time.Time{})     // want "time.Since"
+	_ = time.NewTicker(time.Second) // want "time.NewTicker"
+	_ = time.After(time.Second)     // want "time.After"
+	time.AfterFunc(time.Second, func() {}) // want "time.AfterFunc"
+}
+
+func ok() {
+	d := 5 * time.Millisecond // ok: duration arithmetic is deterministic
+	_ = d
+	_, _ = time.ParseDuration("1s") // ok
+	_ = time.Time{}.Add(d)          // ok: method on a value, not a wall read
+}
+
+var _ = bad
+var _ = ok

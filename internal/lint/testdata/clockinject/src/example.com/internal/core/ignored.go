@@ -1,0 +1,20 @@
+// Escape-hatch coverage: a reasoned //lint:ignore suppresses exactly one
+// finding; unused or unqualified directives are findings themselves.
+package core
+
+import "time"
+
+func suppressed() time.Time {
+	//lint:ignore gtmlint/clockinject fixture: wall timestamp for an external log line
+	return time.Now()
+}
+
+//lint:ignore gtmlint/clockinject nothing on this line ever fires // want "unused lint:ignore directive"
+func nothingHere() {}
+
+//lint:ignore clockinject missing the gtmlint/ qualifier // want "must be qualified as gtmlint/"
+func alsoNothing() {}
+
+var _ = suppressed
+var _ = nothingHere
+var _ = alsoNothing

@@ -1,0 +1,9 @@
+// Negative fixture: clockinject only covers internal/core, internal/sim
+// and internal/sem; the wire layer may stamp wall time.
+package wire
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() // ok: not a simulation-facing package
+}

@@ -1,0 +1,83 @@
+// Fixture for gtmlint/lockorder: SST write batches assembled by ranging
+// over a map are in random order and must pass through the canonical
+// sorting helper before anything consumes them.
+package twopl
+
+import "sort"
+
+type StoreRef struct {
+	Table, Key string
+}
+
+func (a StoreRef) less(b StoreRef) bool {
+	if a.Table != b.Table {
+		return a.Table < b.Table
+	}
+	return a.Key < b.Key
+}
+
+type SSTWrite struct {
+	Ref StoreRef
+	Val string
+}
+
+// SortSSTWrites is the canonical helper (core.SortSSTWrites in the real
+// tree).
+func SortSSTWrites(writes []SSTWrite) {
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Ref.less(writes[j].Ref) })
+}
+
+// apply hands a map-ordered batch straight to the sink.
+func apply(state map[StoreRef]string, sink func([]SSTWrite)) {
+	var writes []SSTWrite
+	for ref, val := range state {
+		writes = append(writes, SSTWrite{Ref: ref, Val: val})
+	}
+	sink(writes) // want "random order"
+}
+
+// handRolled re-implements the ordering inline instead of using the
+// helper.
+func handRolled(state map[StoreRef]string) []SSTWrite {
+	var writes []SSTWrite
+	for ref, val := range state {
+		writes = append(writes, SSTWrite{Ref: ref, Val: val})
+	}
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Ref.less(writes[j].Ref) }) // want "hand-rolled sort"
+	return writes
+}
+
+// escapesByReturn leaks the unordered batch to the caller.
+func escapesByReturn(state map[StoreRef]string) []SSTWrite {
+	var out []SSTWrite
+	for ref, val := range state {
+		out = append(out, SSTWrite{Ref: ref, Val: val})
+	}
+	return out // want "returned in random order"
+}
+
+// sorted uses the canonical helper: clean.
+func sorted(state map[StoreRef]string, sink func([]SSTWrite)) {
+	var writes []SSTWrite
+	for ref, val := range state {
+		writes = append(writes, SSTWrite{Ref: ref, Val: val})
+	}
+	if len(writes) == 0 {
+		return
+	}
+	SortSSTWrites(writes)
+	sink(writes) // ok: canonical order restored
+}
+
+// fromSlice ranges over a slice, which preserves order: clean.
+func fromSlice(in []SSTWrite, sink func([]SSTWrite)) {
+	var out []SSTWrite
+	for _, w := range in {
+		out = append(out, w)
+	}
+	sink(out) // ok
+}
+
+var use = [](func(map[StoreRef]string) []SSTWrite){handRolled, escapesByReturn}
+
+var use2 = []any{apply, sorted, fromSlice, use}

@@ -1,0 +1,19 @@
+// Negative fixture: lockorder only polices the lock layers
+// (internal/ldbs, internal/twopl, internal/core); elsewhere map-ordered
+// slices are somebody else's problem.
+package other
+
+type StoreRef struct{ Table, Key string }
+
+type SSTWrite struct {
+	Ref StoreRef
+	Val string
+}
+
+func Collect(state map[StoreRef]string) []SSTWrite {
+	var out []SSTWrite
+	for ref, val := range state {
+		out = append(out, SSTWrite{Ref: ref, Val: val})
+	}
+	return out // ok: not a lock-layer package
+}

@@ -1,0 +1,16 @@
+// Fixture for gtmlint/metricnames: every name handed to the obs Registry
+// must come from the obs.Name* block (directly or via obs.WithLabel).
+package app
+
+import "example.com/internal/obs"
+
+const localName = "app_local_total"
+
+func Register(r *obs.Registry) {
+	_ = r.Counter(obs.NameRequests, "requests served")                   // ok
+	r.Histogram(obs.NameLatency, "request latency", nil)                 // ok
+	_ = r.Counter("app_adhoc_total", "ad-hoc literal")                   // want "obs name registry"
+	_ = r.Counter(localName, "locally declared const")                   // want "obs name registry"
+	r.GaugeFunc(obs.WithLabel(obs.NameRequests, "op", "begin"), "g", nil) // ok: labeled registry name
+	_ = r.Counter(obs.WithLabel("raw_total", "op", "x"), "labeled raw")  // want "obs name registry"
+}

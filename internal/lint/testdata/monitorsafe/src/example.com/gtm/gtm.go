@@ -1,0 +1,93 @@
+// Fixture for gtmlint/monitorsafe: a miniature Manager following the
+// repo's monitor pattern (defer m.mon.enter(m)()), with held helpers,
+// queued notifications and SST hand-off.
+package gtm
+
+import (
+	"sync"
+	"time"
+)
+
+type monitor struct {
+	mu sync.Mutex
+}
+
+func (m *monitor) enter(owner *Manager) func() {
+	m.mu.Lock()
+	return func() { m.mu.Unlock() }
+}
+
+func (m *monitor) queue(fn func()) { fn() }
+
+type Store interface {
+	ApplySST(writes []int) error
+	Load(key string) int
+}
+
+type Manager struct {
+	mon   monitor
+	mu    sync.Mutex
+	ch    chan int
+	objs  []int
+	store Store
+}
+
+// Begin blocks in four distinct ways while holding the monitor.
+func (m *Manager) Begin() {
+	defer m.mon.enter(m)()
+	m.ch <- 1                    // want "channel send while holding the monitor"
+	<-m.ch                       // want "channel receive while holding the monitor"
+	m.mu.Lock()                  // want "sync lock acquisition"
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding the monitor"
+	_ = m.store.ApplySST(nil)    // want "Secure System Transaction"
+	_ = m.store.Load("k")        // ok: Load under the monitor is by design
+}
+
+// Commit re-enters the monitor.
+func (m *Manager) Commit() {
+	defer m.mon.enter(m)()
+	m.finishLocked()
+	m.Begin() // want "re-enters the monitor"
+}
+
+func (m *Manager) finishLocked() {
+	m.objs = nil
+}
+
+// Abort drags cleanup into the held set; its name must say so.
+func (m *Manager) Abort() {
+	defer m.mon.enter(m)()
+	m.cleanup()
+}
+
+func (m *Manager) cleanup() { // want "rename it cleanupLocked"
+	m.objs = nil
+}
+
+// External touches a Locked helper without entering the monitor.
+func (m *Manager) External() {
+	m.finishLocked() // want "without holding the monitor"
+}
+
+// Notify exercises the escape rules: queued and spawned literals run
+// outside the critical section; stored literals run later.
+func (m *Manager) Notify() {
+	defer m.mon.enter(m)()
+	m.mon.queue(func() {
+		m.ch <- 1 // ok: queued notification, delivered after exit
+	})
+	go func() { <-m.ch }() // ok: separate goroutine
+	fns := []func(){func() { m.mu.Lock() }}
+	_ = fns // ok: stored for later
+}
+
+// Sorted passes a literal to an ordinary call: it runs synchronously and
+// inherits the held context.
+func (m *Manager) Sorted() {
+	defer m.mon.enter(m)()
+	each(func() {
+		m.ch <- 2 // want "channel send while holding the monitor"
+	})
+}
+
+func each(f func()) { f() }

@@ -1,0 +1,26 @@
+// Negative fixture: no monitor entry functions, so monitorsafe must stay
+// silent even though the package blocks freely.
+package nomonitor
+
+import "sync"
+
+type Worker struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (w *Worker) Run() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ch <- 1
+	<-w.ch
+}
+
+func (w *Worker) drainLocked() {
+	for range w.ch {
+	}
+}
+
+func (w *Worker) Drain() {
+	w.drainLocked()
+}

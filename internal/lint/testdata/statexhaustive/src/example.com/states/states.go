@@ -1,0 +1,82 @@
+// Fixture for gtmlint/statexhaustive: switches over marked enum types
+// must name every constant, so a new state cannot fall through silently.
+package states
+
+//gtmlint:exhaustive
+type State int
+
+const (
+	Active State = iota
+	Waiting
+	Sleeping
+	Committed
+	numStates // sizing sentinel: not a state, never required in cases
+)
+
+var _ = numStates
+
+func bad(s State) string {
+	switch s { // want "missing Committed"
+	case Active:
+		return "active"
+	case Waiting, Sleeping:
+		return "parked"
+	}
+	return "?"
+}
+
+// A default clause catches corruption but does not substitute for naming
+// the states.
+func badDefault(s State) string {
+	switch s { // want "missing Committed, Sleeping"
+	case Active:
+		return "active"
+	case Waiting:
+		return "waiting"
+	default:
+		return "?"
+	}
+}
+
+func good(s State) string {
+	switch s {
+	case Active:
+		return "active"
+	case Waiting:
+		return "waiting"
+	case Sleeping:
+		return "sleeping"
+	case Committed:
+		return "committed"
+	default:
+		return "corrupt"
+	}
+}
+
+// A single-constant switch is a guard, not a state machine.
+func guard(s State) bool {
+	switch s {
+	case Active:
+		return true
+	}
+	return false
+}
+
+// Plain is unmarked: no exhaustiveness demanded.
+type Plain int
+
+const (
+	A Plain = iota
+	B
+	C
+)
+
+func unmarked(p Plain) bool {
+	switch p {
+	case A, B:
+		return true
+	}
+	return false
+}
+
+var _ = []any{bad, badDefault, good, guard, unmarked}

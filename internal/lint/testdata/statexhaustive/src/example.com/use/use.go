@@ -1,0 +1,15 @@
+// Cross-package coverage: the //gtmlint:exhaustive marker lives on the
+// declaring package; switches anywhere must still be exhaustive.
+package use
+
+import "example.com/states"
+
+func Describe(s states.State) int {
+	switch s { // want "missing Waiting"
+	case states.Active, states.Sleeping:
+		return 1
+	case states.Committed:
+		return 2
+	}
+	return 0
+}

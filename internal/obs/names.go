@@ -1,0 +1,62 @@
+package obs
+
+import "fmt"
+
+// Metric name registry. Every series exposed on /metrics is declared here
+// — and only here. Call sites pass these constants (or WithLabel on one)
+// to Registry.Counter/Histogram/GaugeFunc; gtmlint/metricnames rejects
+// ad-hoc string literals, so this block and docs/OBSERVABILITY.md cannot
+// drift from the code.
+const (
+	// GTM core (internal/core).
+	NameTxBegun             = "gtm_tx_begun_total"
+	NameInvocationsAdmitted = "gtm_invocations_admitted_total"
+	NameInvocationsWaited   = "gtm_invocations_waited_total"
+	NameConflicts           = "gtm_conflicts_total"
+	NameAdmissionsDenied    = "gtm_admissions_denied_total"
+	NameSleeps              = "gtm_sleeps_total"
+	NameAwakes              = "gtm_awakes_total" // labeled outcome="resumed"|"aborted"
+	NameCommits             = "gtm_commits_total"
+	NameReconciliations     = "gtm_reconciliations_total"
+	NameSST                 = "gtm_sst_total" // labeled outcome="ok"|"failed"
+	NameAborts              = "gtm_aborts_total" // labeled reason=<AbortReason>
+	NameSSTRetries          = "gtm_sst_retries_total"
+	NameSSTQueueDepth       = "gtm_sst_queue_depth"
+	NameCommitSeconds       = "gtm_commit_seconds"
+	NameInvokeWaitSeconds   = "gtm_invoke_wait_seconds"
+	NameSSTSeconds          = "gtm_sst_seconds"
+	NameTransactionsLive    = "gtm_transactions_live"
+	NameDrainSleeping       = "gtm_drain_sleeping_total"
+
+	// Local database system (internal/ldbs).
+	NameLDBSDeadlocks        = "ldbs_deadlocks_total"
+	NameLDBSLockWaits        = "ldbs_lock_waits_total"
+	NameLDBSLockWaitSeconds  = "ldbs_lock_wait_seconds"
+	NameWALFsyncs            = "ldbs_wal_fsyncs_total"
+	NameWALFsyncSeconds      = "ldbs_wal_fsync_seconds"
+	NameWALRecords           = "ldbs_wal_records_total"
+	NameWALGroupCommitBatch  = "ldbs_group_commit_batch_size"
+
+	// Wire layer (internal/wire).
+	NameWireConnections       = "wire_connections_total"
+	NameWireConnectionsActive = "wire_connections_active"
+	NameWireFramesIn          = "wire_frames_in_total"
+	NameWireFramesOut         = "wire_frames_out_total"
+	NameWireRequestErrors     = "wire_request_errors_total"
+	NameWireReplayedResponses = "wire_replayed_responses_total"
+	NameWireRequestSeconds    = "wire_request_seconds"
+	NameWireRequests          = "wire_requests_total" // labeled op=<wire.Op>
+	NameWireReconnects        = "wire_reconnects_total"
+	NameWireClientRetries     = "wire_client_retries_total"
+
+	// Daemon process (cmd/gtmd).
+	NameUptimeSeconds = "gtmd_uptime_seconds"
+	NameGoroutines    = "gtmd_goroutines"
+)
+
+// WithLabel bakes one label pair into a registered metric name:
+// WithLabel(NameAborts, "reason", "deadlock") → `gtm_aborts_total{reason="deadlock"}`.
+// The registry treats each labeled spelling as an independent series.
+func WithLabel(name, label, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, label, value)
+}

@@ -20,6 +20,8 @@ import "fmt"
 // class of every operation is known a priori, and that a transaction
 // performs operations of a single class per data member; reads that are
 // "finalized to update" count as the update class.
+//
+//gtmlint:exhaustive
 type Class uint8
 
 const (

@@ -51,6 +51,8 @@ func (m Mode) String() string {
 func compatible(a, b Mode) bool { return a == Shared && b == Shared }
 
 // State is a transaction's lifecycle state.
+//
+//gtmlint:exhaustive
 type State uint8
 
 // Transaction states.
@@ -78,6 +80,8 @@ func (s State) String() string {
 }
 
 // AbortReason classifies aborts.
+//
+//gtmlint:exhaustive
 type AbortReason uint8
 
 // Abort reasons.
@@ -105,6 +109,8 @@ func (r AbortReason) String() string {
 }
 
 // EventType discriminates notifications.
+//
+//gtmlint:exhaustive
 type EventType uint8
 
 // Notification types.
@@ -220,7 +226,7 @@ func (s *Scheduler) enter() func() {
 	}
 }
 
-func (s *Scheduler) notifyTx(t *tx, ev Event) {
+func (s *Scheduler) notifyTxLocked(t *tx, ev Event) {
 	if t.notify == nil {
 		return
 	}
@@ -260,7 +266,7 @@ func (s *Scheduler) Begin(id TxID, notify Notify) error {
 // is refused with ErrDeadlock.
 func (s *Scheduler) Lock(txID TxID, objID ObjectID, mode Mode) (granted bool, err error) {
 	defer s.enter()()
-	t, o, err := s.lookup(txID, objID)
+	t, o, err := s.lookupLocked(txID, objID)
 	if err != nil {
 		return false, err
 	}
@@ -274,12 +280,12 @@ func (s *Scheduler) Lock(txID TxID, objID ObjectID, mode Mode) (granted bool, er
 		// Upgrade S → X: grantable only when sole holder; upgrades jump the
 		// queue (standard treatment; upgrade deadlocks are detected below).
 	}
-	if s.grantable(o, t.id, mode) {
-		s.grant(o, t, mode)
+	if s.grantableLocked(o, t.id, mode) {
+		s.grantLocked(o, t, mode)
 		return true, nil
 	}
-	blockers := s.blockers(o, t.id, mode)
-	if s.wouldDeadlock(t.id, blockers) {
+	blockers := s.blockersLocked(o, t.id, mode)
+	if s.wouldDeadlockLocked(t.id, blockers) {
 		return false, fmt.Errorf("%w: %s requesting %s on %s", ErrDeadlock, txID, mode, objID)
 	}
 	t.state = StateWaiting
@@ -291,7 +297,7 @@ func (s *Scheduler) Lock(txID TxID, objID ObjectID, mode Mode) (granted bool, er
 
 // grantable: compatible with all other holders; fresh (non-upgrade)
 // requests also respect FIFO (no overtaking a conflicting waiter).
-func (s *Scheduler) grantable(o *objState, id TxID, mode Mode) bool {
+func (s *Scheduler) grantableLocked(o *objState, id TxID, mode Mode) bool {
 	_, upgrading := o.holders[id]
 	for h, hm := range o.holders {
 		if h == id {
@@ -312,7 +318,7 @@ func (s *Scheduler) grantable(o *objState, id TxID, mode Mode) bool {
 	return true
 }
 
-func (s *Scheduler) grant(o *objState, t *tx, mode Mode) {
+func (s *Scheduler) grantLocked(o *objState, t *tx, mode Mode) {
 	if cur, ok := o.holders[t.id]; !ok || mode > cur {
 		o.holders[t.id] = mode
 		t.locks[o.id] = mode
@@ -320,8 +326,8 @@ func (s *Scheduler) grant(o *objState, t *tx, mode Mode) {
 	s.stats.Grants++
 }
 
-// blockers lists transactions the requester would wait for.
-func (s *Scheduler) blockers(o *objState, id TxID, mode Mode) []TxID {
+// blockersLocked lists transactions the requester would wait for.
+func (s *Scheduler) blockersLocked(o *objState, id TxID, mode Mode) []TxID {
 	var out []TxID
 	for h, hm := range o.holders {
 		if h != id && !compatible(mode, hm) {
@@ -338,12 +344,12 @@ func (s *Scheduler) blockers(o *objState, id TxID, mode Mode) []TxID {
 	return out
 }
 
-// wouldDeadlock checks whether id waiting on blockers closes a cycle.
-func (s *Scheduler) wouldDeadlock(id TxID, blockers []TxID) bool {
+// wouldDeadlockLocked checks whether id waiting on blockers closes a cycle.
+func (s *Scheduler) wouldDeadlockLocked(id TxID, blockers []TxID) bool {
 	edges := make(map[TxID][]TxID)
 	for _, o := range s.objs {
 		for _, w := range o.queue {
-			edges[w.tx] = append(edges[w.tx], s.blockers(o, w.tx, w.mode)...)
+			edges[w.tx] = append(edges[w.tx], s.blockersLocked(o, w.tx, w.mode)...)
 		}
 	}
 	seen := make(map[TxID]bool)
@@ -375,7 +381,7 @@ func (s *Scheduler) wouldDeadlock(id TxID, blockers []TxID) bool {
 // else the committed value). Requires a lock in any mode.
 func (s *Scheduler) Read(txID TxID, objID ObjectID) (sem.Value, error) {
 	defer s.enter()()
-	t, o, err := s.lookup(txID, objID)
+	t, o, err := s.lookupLocked(txID, objID)
 	if err != nil {
 		return sem.Value{}, err
 	}
@@ -385,13 +391,13 @@ func (s *Scheduler) Read(txID TxID, objID ObjectID) (sem.Value, error) {
 	if v, ok := t.writes[objID]; ok {
 		return v, nil
 	}
-	return s.loadPermanent(o)
+	return s.loadPermanentLocked(o)
 }
 
 // Write buffers a new value for the object. Requires the exclusive lock.
 func (s *Scheduler) Write(txID TxID, objID ObjectID, v sem.Value) error {
 	defer s.enter()()
-	t, _, err := s.lookup(txID, objID)
+	t, _, err := s.lookupLocked(txID, objID)
 	if err != nil {
 		return err
 	}
@@ -421,8 +427,12 @@ func (s *Scheduler) Commit(txID TxID) error {
 		for objID, v := range t.writes {
 			writes = append(writes, core.SSTWrite{Ref: s.objs[objID].ref, Value: v})
 		}
+		// t.writes is a map: restore the canonical StoreRef order so
+		// concurrent commits acquire LDBS row locks without deadlocking.
+		core.SortSSTWrites(writes)
+		//lint:ignore gtmlint/monitorsafe the strict-2PL baseline intentionally holds the scheduler across the store apply: no lock may be granted until the writes are durable
 		if err := s.store.ApplySST(writes); err != nil {
-			s.finishAbort(t, AbortStoreFailure)
+			s.finishAbortLocked(t, AbortStoreFailure)
 			return fmt.Errorf("twopl: commit of %s: %w", txID, err)
 		}
 	}
@@ -434,7 +444,7 @@ func (s *Scheduler) Commit(txID TxID) error {
 	t.state = StateCommitted
 	t.finished = s.clk.Now()
 	s.stats.Committed++
-	s.releaseAll(t)
+	s.releaseAllLocked(t)
 	return nil
 }
 
@@ -448,31 +458,31 @@ func (s *Scheduler) Abort(txID TxID, reason AbortReason) error {
 	if t.state == StateCommitted || t.state == StateAborted {
 		return fmt.Errorf("%w: %s is %s", ErrBadState, txID, t.state)
 	}
-	s.finishAbort(t, reason)
+	s.finishAbortLocked(t, reason)
 	return nil
 }
 
-func (s *Scheduler) finishAbort(t *tx, reason AbortReason) {
+func (s *Scheduler) finishAbortLocked(t *tx, reason AbortReason) {
 	t.state = StateAborted
 	t.reason = reason
 	t.finished = s.clk.Now()
 	t.writes = make(map[ObjectID]sem.Value)
 	s.stats.Aborted++
 	s.stats.AbortsBy[reason]++
-	s.notifyTx(t, Event{Type: EvAborted, Tx: t.id, Reason: reason})
-	s.releaseAll(t)
+	s.notifyTxLocked(t, Event{Type: EvAborted, Tx: t.id, Reason: reason})
+	s.releaseAllLocked(t)
 }
 
-// releaseAll frees every lock and queued request of t, then dispatches.
+// releaseAllLocked frees every lock and queued request of t, then dispatches.
 // Objects are visited in sorted order so runs are deterministic (the
 // virtual-clock emulation depends on stable event ordering).
-func (s *Scheduler) releaseAll(t *tx) {
+func (s *Scheduler) releaseAllLocked(t *tx) {
 	for objID := range t.locks {
 		o := s.objs[objID]
 		delete(o.holders, t.id)
 	}
 	t.locks = make(map[ObjectID]Mode)
-	for _, o := range s.sortedObjs() {
+	for _, o := range s.sortedObjsLocked() {
 		for i := 0; i < len(o.queue); {
 			if o.queue[i].tx == t.id {
 				o.queue = append(o.queue[:i], o.queue[i+1:]...)
@@ -480,12 +490,12 @@ func (s *Scheduler) releaseAll(t *tx) {
 			}
 			i++
 		}
-		s.dispatch(o)
+		s.dispatchLocked(o)
 	}
 }
 
-// sortedObjs returns the objects in id order.
-func (s *Scheduler) sortedObjs() []*objState {
+// sortedObjsLocked returns the objects in id order.
+func (s *Scheduler) sortedObjsLocked() []*objState {
 	out := make([]*objState, 0, len(s.objs))
 	for _, o := range s.objs {
 		out = append(out, o)
@@ -494,9 +504,9 @@ func (s *Scheduler) sortedObjs() []*objState {
 	return out
 }
 
-// dispatch grants queued requests FIFO: the head and every subsequent
+// dispatchLocked grants queued requests FIFO: the head and every subsequent
 // request compatible with the holders and the requests granted before it.
-func (s *Scheduler) dispatch(o *objState) {
+func (s *Scheduler) dispatchLocked(o *objState) {
 	for len(o.queue) > 0 {
 		w := o.queue[0]
 		t := s.txs[w.tx]
@@ -512,10 +522,10 @@ func (s *Scheduler) dispatch(o *objState) {
 			}
 		}
 		o.queue = o.queue[1:]
-		s.grant(o, t, w.mode)
+		s.grantLocked(o, t, w.mode)
 		t.state = StateActive
 		t.waitingOn = ""
-		s.notifyTx(t, Event{Type: EvGranted, Tx: t.id, Object: o.id})
+		s.notifyTxLocked(t, Event{Type: EvGranted, Tx: t.id, Object: o.id})
 	}
 }
 
@@ -567,14 +577,14 @@ func (s *Scheduler) ExpireTimeouts(timeout time.Duration) []TxID {
 	}
 	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
 	for _, id := range victims {
-		s.finishAbort(s.txs[id], AbortTimeout)
+		s.finishAbortLocked(s.txs[id], AbortTimeout)
 	}
 	return victims
 }
 
-// loadPermanent reads the committed value, seeding the mirror from the
+// loadPermanentLocked reads the committed value, seeding the mirror from the
 // store on first access.
-func (s *Scheduler) loadPermanent(o *objState) (sem.Value, error) {
+func (s *Scheduler) loadPermanentLocked(o *objState) (sem.Value, error) {
 	if o.permKnown {
 		return o.permanent, nil
 	}
@@ -625,8 +635,8 @@ func (s *Scheduler) Stats() Stats {
 	return out
 }
 
-// lookup resolves a (transaction, object) pair.
-func (s *Scheduler) lookup(txID TxID, objID ObjectID) (*tx, *objState, error) {
+// lookupLocked resolves a (transaction, object) pair.
+func (s *Scheduler) lookupLocked(txID TxID, objID ObjectID) (*tx, *objState, error) {
 	t, ok := s.txs[txID]
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownTx, txID)

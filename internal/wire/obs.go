@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"fmt"
 	"time"
 
 	"preserial/internal/obs"
@@ -34,21 +33,21 @@ var allOps = []Op{
 func newServerMetrics(reg *obs.Registry, activeConns func() float64) *serverMetrics {
 	m := &serverMetrics{
 		reg:       reg,
-		connsOpen: reg.Counter("wire_connections_total", "TCP connections accepted."),
-		framesIn:  reg.Counter("wire_frames_in_total", "Request frames read."),
-		framesOut: reg.Counter("wire_frames_out_total", "Response frames written."),
-		errors:    reg.Counter("wire_request_errors_total", "Requests answered with ok:false."),
-		replays:   reg.Counter("wire_replayed_responses_total", "Retried mutating requests answered from the exactly-once window."),
-		drainSleeps: reg.Counter("gtm_drain_sleeping_total",
+		connsOpen: reg.Counter(obs.NameWireConnections, "TCP connections accepted."),
+		framesIn:  reg.Counter(obs.NameWireFramesIn, "Request frames read."),
+		framesOut: reg.Counter(obs.NameWireFramesOut, "Response frames written."),
+		errors:    reg.Counter(obs.NameWireRequestErrors, "Requests answered with ok:false."),
+		replays:   reg.Counter(obs.NameWireReplayedResponses, "Retried mutating requests answered from the exactly-once window."),
+		drainSleeps: reg.Counter(obs.NameDrainSleeping,
 			"Live transactions put to sleep by a graceful drain."),
-		latency: reg.Histogram("wire_request_seconds", "Request handling latency (including blocking waits).", nil),
-		reqs:      make(map[Op]*obs.Counter, len(allOps)),
-		reqOther:  reg.Counter(`wire_requests_total{op="unknown"}`, "Requests by protocol op."),
+		latency:  reg.Histogram(obs.NameWireRequestSeconds, "Request handling latency (including blocking waits).", nil),
+		reqs:     make(map[Op]*obs.Counter, len(allOps)),
+		reqOther: reg.Counter(obs.WithLabel(obs.NameWireRequests, "op", "unknown"), "Requests by protocol op."),
 	}
 	for _, op := range allOps {
-		m.reqs[op] = reg.Counter(fmt.Sprintf("wire_requests_total{op=%q}", string(op)), "Requests by protocol op.")
+		m.reqs[op] = reg.Counter(obs.WithLabel(obs.NameWireRequests, "op", string(op)), "Requests by protocol op.")
 	}
-	reg.GaugeFunc("wire_connections_active", "Currently open TCP connections.", activeConns)
+	reg.GaugeFunc(obs.NameWireConnectionsActive, "Currently open TCP connections.", activeConns)
 	return m
 }
 

@@ -24,7 +24,11 @@ const MaxFrame = 1 << 20
 // legacy, no dedup) and keep working unchanged.
 const Version = 2
 
-// Op is a protocol request kind.
+// Op is a protocol request kind. Switches over it must be exhaustive
+// (gtmlint/statexhaustive): a new op must be consciously classified by
+// Mutating, or retries could silently double-apply it.
+//
+//gtmlint:exhaustive
 type Op string
 
 // Protocol operations.
@@ -54,6 +58,8 @@ func (o Op) Mutating() bool {
 	switch o {
 	case OpBegin, OpInvoke, OpApply, OpCommit, OpAbort, OpSleep, OpAwake:
 		return true
+	case OpAttach, OpRead, OpState, OpObjects, OpStats, OpInfo, OpTxs, OpPing:
+		return false
 	}
 	return false
 }

@@ -111,8 +111,8 @@ func DialResilient(addr string, opts ResilientOptions) *ResilientConn {
 		doomed: make(map[string]error),
 	}
 	if opts.Obs != nil {
-		rc.obsReconnects = opts.Obs.Counter("wire_reconnects_total", "Reconnections performed by resilient clients.")
-		rc.obsRetries = opts.Obs.Counter("wire_client_retries_total", "Request retries performed by resilient clients.")
+		rc.obsReconnects = opts.Obs.Counter(obs.NameWireReconnects, "Reconnections performed by resilient clients.")
+		rc.obsRetries = opts.Obs.Counter(obs.NameWireClientRetries, "Request retries performed by resilient clients.")
 	}
 	return rc
 }

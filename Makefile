@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race bench bench-commit chaos experiments fuzz obs-demo clean
+.PHONY: all build test lint race bench bench-commit bench-shard chaos experiments fuzz obs-demo clean
 
 all: build lint test
 
@@ -39,6 +39,33 @@ bench:
 bench-commit:
 	$(GO) test -run=NONE -bench=CommitFsyncModes -benchtime=1s ./internal/ldbs
 	$(GO) run ./cmd/experiments -run commitpipe
+
+# Single-node vs 4-shard gtmd throughput under gtmload's closed-loop
+# booking bench (see docs/SHARDING.md). Both servers run identical flags:
+# one SST lane per shard and 2ms emulated storage-sync latency, modelling
+# the paper's mobile-class devices — the regime where sharding multiplies
+# the commit-application lanes. Override via BENCH_SHARD_FLAGS / WORKERS /
+# DURATION.
+BENCH_SHARD_FLAGS ?= -sst-workers 1 -wal-sync-delay 2ms -seats 1000000000
+BENCH_SHARD_WORKERS ?= 32
+BENCH_SHARD_DURATION ?= 6s
+bench-shard:
+	@$(GO) build -o /tmp/gtmd-bench ./cmd/gtmd
+	@$(GO) build -o /tmp/gtmload-bench ./cmd/gtmload
+	@rm -rf /tmp/bench-shard-1 /tmp/bench-shard-4
+	@/tmp/gtmd-bench -addr 127.0.0.1:7761 -data /tmp/bench-shard-1 $(BENCH_SHARD_FLAGS) & \
+	p1=$$!; \
+	/tmp/gtmd-bench -addr 127.0.0.1:7764 -shards 4 -data /tmp/bench-shard-4 $(BENCH_SHARD_FLAGS) & \
+	p4=$$!; \
+	trap "kill $$p1 $$p4 2>/dev/null" EXIT; \
+	sleep 1; \
+	echo "--- single node ---"; \
+	/tmp/gtmload-bench -addr 127.0.0.1:7761 -bench -workers $(BENCH_SHARD_WORKERS) -duration $(BENCH_SHARD_DURATION) | tee /tmp/bench-shard-1.out; \
+	echo "--- 4 shards ---"; \
+	/tmp/gtmload-bench -addr 127.0.0.1:7764 -bench -workers $(BENCH_SHARD_WORKERS) -duration $(BENCH_SHARD_DURATION) | tee /tmp/bench-shard-4.out; \
+	s=$$(awk '/^throughput/{print $$2}' /tmp/bench-shard-1.out); \
+	c=$$(awk '/^throughput/{print $$2}' /tmp/bench-shard-4.out); \
+	awk -v s=$$s -v c=$$c 'BEGIN{printf "--- 4-shard speedup: %.2fx (%.0f vs %.0f tx/s)\n", c/s, c, s}'
 
 # Fault-injection soak: booking workload through a flaky proxy across two
 # server crash-restarts, seat-conservation oracle, race detector on

@@ -43,7 +43,7 @@ func main() {
 	in := bufio.NewScanner(os.Stdin)
 	interactive := isTerminalLike()
 	if interactive {
-		fmt.Println("connected; try: objects | stats | metrics | info <obj> | txs | begin <tx> | invoke <tx> <obj> <class> [member] | read | apply | commit | sleep | awake | state | quit")
+		fmt.Println("connected; try: objects | shards [obj] | stats | metrics | info <obj> | txs | begin <tx> | invoke <tx> <obj> <class> [member] | read | apply | commit | sleep | awake | state | quit")
 	}
 	for {
 		if interactive {
@@ -239,6 +239,36 @@ func run(cn *wire.Conn, args []string) (string, error) {
 		}
 		for _, tx := range info.CommitQ {
 			fmt.Fprintf(&b, "  commit queue: %s\n", tx)
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	case "shards":
+		object := ""
+		if len(args) > 1 {
+			object = args[1]
+		}
+		shards, owner, err := cn.Shards(object)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-6s %-22s %8s %6s %6s\n", "shard", "addr", "objects", "txs", "state")
+		for _, s := range shards {
+			addr := s.Addr
+			if addr == "" {
+				addr = "(in-process)"
+			}
+			state := "up"
+			if s.Down {
+				state = "DOWN"
+			}
+			fmt.Fprintf(&b, "%-6d %-22s %8d %6d %6s\n", s.Index, addr, s.Objects, s.Txs, state)
+		}
+		if object != "" {
+			if owner != nil {
+				fmt.Fprintf(&b, "%s routes to shard %d", object, *owner)
+			} else {
+				fmt.Fprintf(&b, "%s: no route (single-node server?)", object)
+			}
 		}
 		return strings.TrimRight(b.String(), "\n"), nil
 	case "txs":

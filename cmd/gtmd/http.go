@@ -18,21 +18,12 @@ import (
 //	/healthz      liveness JSON (ok, uptime, goroutines)
 //	/debug/trace  newest GTM trace events as JSON (?n= limits the count)
 //	/debug/pprof  the standard Go profiler endpoints
-func newHTTPHandler(reg *obs.Registry, o *core.Observability, m *core.Manager, start time.Time) http.Handler {
+func newHTTPHandler(reg *obs.Registry, o *core.Observability, live func() float64, start time.Time) http.Handler {
 	reg.GaugeFunc(obs.NameUptimeSeconds, "Seconds since process start.",
 		func() float64 { return time.Since(start).Seconds() })
 	reg.GaugeFunc(obs.NameGoroutines, "Live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
-	reg.GaugeFunc(obs.NameTransactionsLive, "Transactions in a non-terminal state.",
-		func() float64 {
-			var n int
-			for _, ti := range m.Transactions() {
-				if !ti.State.Terminal() {
-					n++
-				}
-			}
-			return float64(n)
-		})
+	reg.GaugeFunc(obs.NameTransactionsLive, "Transactions in a non-terminal state.", live)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {

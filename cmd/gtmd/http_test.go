@@ -24,12 +24,12 @@ func newDiagHandler(t *testing.T) *httptest.Server {
 	if err := createDemoSchema(db); err != nil {
 		t.Fatal(err)
 	}
-	if err := seedDemo(db, 10); err != nil {
+	if err := seedDemo(db, demoRefs(), 10); err != nil {
 		t.Fatal(err)
 	}
 	m := core.NewManager(core.NewLDBSStore(db), core.WithHistory(),
 		core.WithObservability(observ))
-	if err := registerDemoObjects(m); err != nil {
+	if err := registerDemoObjects(m, demoRefs()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -47,7 +47,7 @@ func newDiagHandler(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 
-	ts := httptest.NewServer(newHTTPHandler(reg, observ, m, time.Now()))
+	ts := httptest.NewServer(newHTTPHandler(reg, observ, liveCount(m), time.Now()))
 	t.Cleanup(ts.Close)
 	return ts
 }

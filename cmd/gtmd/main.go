@@ -14,9 +14,23 @@
 // the wire client library. Dropping a connection mid-transaction puts the
 // transaction to sleep; reconnect, attach and awake to finish it.
 //
+// Sharded deployments (clients are unchanged in every mode):
+//
+//	gtmd -shards 4 -data /var/lib/gtmd
+//	    One process, four GTM+LDBS partitions (dirs shard-0..shard-3), the
+//	    object space split by rendezvous hashing, cross-shard commits via
+//	    two-phase SSTs with a coordinator WAL (coord.wal).
+//
+//	gtmd -shard-index 1 -shard-count 4 -addr :7655 -data /var/lib/shard-1
+//	    One participant of a multi-process cluster: seeds and serves only
+//	    the demo objects the ring routes to shard 1.
+//
+//	gtmd -route host0:7655,host1:7656 -addr :7654 -data /var/lib/router
+//	    A router/coordinator over already-running participants.
+//
 // With -http, a diagnostics listener serves /metrics (Prometheus text),
 // /healthz, /debug/trace (the GTM event ring as JSON) and /debug/pprof.
-// See docs/OBSERVABILITY.md.
+// See docs/OBSERVABILITY.md and docs/SHARDING.md.
 package main
 
 import (
@@ -27,6 +41,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,8 +50,35 @@ import (
 	"preserial/internal/ldbs"
 	"preserial/internal/obs"
 	"preserial/internal/sem"
+	"preserial/internal/shard"
 	"preserial/internal/wire"
 )
+
+// config carries the parsed flags shared by every mode.
+type config struct {
+	addr      string
+	dataDir   string
+	ckptEvery time.Duration
+	seats     int64
+	idle      time.Duration
+	waitTO    time.Duration
+	sleepTO   time.Duration
+	invokeTO  time.Duration
+	httpAddr  string
+	drainTO   time.Duration
+
+	shards     int
+	route      string
+	shardIndex int
+	shardCount int
+
+	managerOpts func() []core.Option
+
+	logger *log.Logger
+	reg    *obs.Registry
+	observ *core.Observability
+	start  time.Time
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
@@ -48,35 +91,79 @@ func main() {
 	invokeTO := flag.Duration("invoke-timeout", 0, "fail blocking invokes after this (0: wait forever)")
 	httpAddr := flag.String("http", "", "diagnostics listen address for /metrics, /healthz, /debug/trace and /debug/pprof (empty: disabled)")
 	traceDepth := flag.Int("trace-depth", 4096, "GTM event trace ring capacity")
-	sstWorkers := flag.Int("sst-workers", 4, "SST executor worker goroutines (0: apply SSTs on the committing goroutine, as before)")
+	sstWorkers := flag.Int("sst-workers", 4, "SST executor worker goroutines per shard (0: apply SSTs on the committing goroutine, as before)")
 	sstQueue := flag.Int("sst-queue-depth", 64, "SST executor queue depth; overflow runs inline")
 	groupCommit := flag.Bool("wal-group-commit", true, "batch concurrent commits into shared WAL fsyncs")
 	groupWindow := flag.Duration("wal-group-window", 0, "extra wait before the leader syncs, to grow batches (0: sync immediately)")
+	syncDelay := flag.Duration("wal-sync-delay", 0, "emulated stable-storage latency added to every WAL sync (models mobile-class flash; 0: none)")
 	drainTO := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget on SIGTERM/SIGINT: wait this long for in-flight commits before exiting")
+	shards := flag.Int("shards", 1, "run N in-process shards with cross-shard two-phase commit (1: classic single node)")
+	route := flag.String("route", "", "comma-separated participant addresses; serve as a stateless router/coordinator over them")
+	shardIndex := flag.Int("shard-index", 0, "this participant's ring position (with -shard-count)")
+	shardCount := flag.Int("shard-count", 0, "total shard count of the cluster this participant belongs to (0: not a participant)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gtmd: ", log.LstdFlags)
-
-	// Metrics are always collected (atomic counters are near-free); the
-	// -http flag only controls whether they are exposed over HTTP. The wire
-	// stats op serves them regardless.
 	reg := obs.NewRegistry()
-	observ := core.NewObservability(reg, *traceDepth)
+	cfg := &config{
+		addr: *addr, dataDir: *dataDir, ckptEvery: *ckptEvery, seats: *seats,
+		idle: *idle, waitTO: *waitTO, sleepTO: *sleepTO, invokeTO: *invokeTO,
+		httpAddr: *httpAddr, drainTO: *drainTO,
+		shards: *shards, route: *route, shardIndex: *shardIndex, shardCount: *shardCount,
+		logger: logger, reg: reg,
+		observ: core.NewObservability(reg, *traceDepth),
+		start:  time.Now(),
+	}
+	cfg.managerOpts = func() []core.Option {
+		opts := []core.Option{core.WithHistory(), core.WithObservability(cfg.observ)}
+		if *sstWorkers > 0 {
+			opts = append(opts, core.WithSSTExecutor(*sstWorkers, *sstQueue))
+		}
+		return opts
+	}
+	modes := 0
+	for _, on := range []bool{*shards > 1, *route != "", *shardCount > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		logger.Fatal("-shards, -route and -shard-count are mutually exclusive")
+	}
 
+	walOpts := ldbs.Options{Obs: reg, DisableGroupCommit: !*groupCommit, GroupCommitWindow: *groupWindow,
+		SyncDelay: *syncDelay}
+	switch {
+	case *route != "":
+		runRouter(cfg)
+	case *shardCount > 0:
+		runParticipant(cfg, walOpts)
+	case *shards > 1:
+		runCluster(cfg, walOpts)
+	default:
+		runSingle(cfg, walOpts)
+	}
+}
+
+// --- classic single node ---
+
+func runSingle(cfg *config, walOpts ldbs.Options) {
+	logger := cfg.logger
 	var db *ldbs.DB
 	var pers *ldbs.Persistence
-	if *dataDir != "" {
-		pers = &ldbs.Persistence{Dir: *dataDir, Obs: reg,
-			DisableGroupCommit: !*groupCommit, GroupCommitWindow: *groupWindow}
+	if cfg.dataDir != "" {
+		pers = &ldbs.Persistence{Dir: cfg.dataDir, Obs: cfg.reg,
+			DisableGroupCommit: walOpts.DisableGroupCommit, GroupCommitWindow: walOpts.GroupCommitWindow,
+			SyncDelay: walOpts.SyncDelay}
 		recovered, err := pers.Open(demoSchemas())
 		if err != nil {
 			logger.Fatalf("recovery: %v", err)
 		}
 		defer pers.Close()
 		db = recovered
-		logger.Printf("recovered %s (committed so far: %d)", *dataDir, db.Stats().Committed)
+		logger.Printf("recovered %s (committed so far: %d)", cfg.dataDir, db.Stats().Committed)
 		go func() {
-			t := time.NewTicker(*ckptEvery)
+			t := time.NewTicker(cfg.ckptEvery)
 			defer t.Stop()
 			for range t.C {
 				if err := pers.Checkpoint(db); err != nil {
@@ -87,57 +174,31 @@ func main() {
 			}
 		}()
 	} else {
-		db = ldbs.Open(ldbs.Options{Obs: reg,
-			DisableGroupCommit: !*groupCommit, GroupCommitWindow: *groupWindow})
+		db = ldbs.Open(walOpts)
 		if err := createDemoSchema(db); err != nil {
 			logger.Fatalf("schema: %v", err)
 		}
 	}
 
-	if err := seedDemo(db, *seats); err != nil {
+	if err := seedDemo(db, demoRefs(), cfg.seats); err != nil {
 		logger.Fatalf("seed: %v", err)
 	}
 
-	opts := []core.Option{core.WithHistory(), core.WithObservability(observ)}
-	if *sstWorkers > 0 {
-		opts = append(opts, core.WithSSTExecutor(*sstWorkers, *sstQueue))
-	}
-	m := core.NewManager(core.NewLDBSStore(db), opts...)
+	m := core.NewManager(core.NewLDBSStore(db), cfg.managerOpts()...)
 	defer m.Close()
-	if err := registerDemoObjects(m); err != nil {
+	if err := registerDemoObjects(m, demoRefs()); err != nil {
 		logger.Fatalf("register: %v", err)
 	}
 
-	if *httpAddr != "" {
-		handler := newHTTPHandler(reg, observ, m, time.Now())
-		go func() {
-			logger.Printf("diagnostics on http://%s/metrics", *httpAddr)
-			if err := http.ListenAndServe(*httpAddr, handler); err != nil {
-				logger.Fatalf("http: %v", err)
-			}
-		}()
-	}
-
-	// The supervision loop implements the paper's sleep oracle Ξ (user
-	// inactivity) and the classical timeout victim policies.
+	startHTTP(cfg, liveCount(m))
 	go core.RunSupervisor(context.Background(), m, core.SupervisorConfig{
-		IdleTimeout:     *idle,
-		WaitTimeout:     *waitTO,
-		SleepAbortAfter: *sleepTO,
+		IdleTimeout:     cfg.idle,
+		WaitTimeout:     cfg.waitTO,
+		SleepAbortAfter: cfg.sleepTO,
 	}, 5*time.Second)
 
-	srv := wire.NewServer(m, wire.ServerOptions{Logger: logger, InvokeTimeout: *invokeTO, Obs: reg})
-
-	// Graceful drain: on SIGTERM/SIGINT stop accepting, sleep every live
-	// transaction (clients re-attach and awaken after the restart), wait
-	// for in-flight commits, flush the WAL with a final checkpoint, exit 0.
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
-	go func() {
-		sig := <-sigs
-		logger.Printf("received %s, draining (budget %s)", sig, *drainTO)
-		rep := srv.Drain(*drainTO)
-		logger.Printf("drain: %d transactions slept, commits flushed: %v", rep.Slept, rep.CommitsFlushed)
+	srv := wire.NewServer(m, wire.ServerOptions{Logger: logger, InvokeTimeout: cfg.invokeTO, Obs: cfg.reg})
+	serveWithDrain(cfg, srv, fmt.Sprintf("single node (data dir %q)", cfg.dataDir), func() {
 		m.Close()
 		if pers != nil {
 			if err := pers.Checkpoint(db); err != nil {
@@ -147,19 +208,256 @@ func main() {
 				logger.Printf("wal close: %v", err)
 			}
 		}
+	})
+}
+
+// --- in-process sharded cluster ---
+
+func runCluster(cfg *config, walOpts ldbs.Options) {
+	logger := cfg.logger
+	ring := shard.NewRing(cfg.shards)
+	locals := make([]*shard.LocalShard, cfg.shards)
+	members := make([]shard.Shard, cfg.shards)
+	for i := 0; i < cfg.shards; i++ {
+		owned := ownedRefs(ring, i)
+		dir := ""
+		if cfg.dataDir != "" {
+			dir = filepath.Join(cfg.dataDir, fmt.Sprintf("shard-%d", i))
+		}
+		s, err := shard.OpenLocal(shard.LocalConfig{
+			Index:         i,
+			Dir:           dir,
+			Schemas:       demoSchemas(),
+			Seed:          func(db *ldbs.DB) error { return seedDemo(db, owned, cfg.seats) },
+			Objects:       objectMap(owned),
+			Obs:           cfg.reg,
+			Observability: cfg.observ,
+			ManagerOpts:   cfg.managerOpts(),
+			WAL:           walOpts,
+		})
+		if err != nil {
+			logger.Fatalf("shard %d: %v", i, err)
+		}
+		defer s.Close()
+		locals[i] = s
+		members[i] = s
+		logger.Printf("shard %d up: %d objects (dir %q)", i, len(owned), dir)
+		go core.RunSupervisor(context.Background(), s.Manager(), core.SupervisorConfig{
+			IdleTimeout:     cfg.idle,
+			WaitTimeout:     cfg.waitTO,
+			SleepAbortAfter: cfg.sleepTO,
+		}, 5*time.Second)
+	}
+	logPath := ""
+	if cfg.dataDir != "" {
+		logPath = filepath.Join(cfg.dataDir, "coord.wal")
+	}
+	cl, err := shard.NewCluster(shard.Config{
+		Shards:       members,
+		CoordLogPath: logPath,
+		Obs:          cfg.reg,
+		Logger:       logger,
+	})
+	if err != nil {
+		logger.Fatalf("cluster: %v", err)
+	}
+	defer cl.Close()
+	if resolved, err := cl.ResolveInDoubt(); err != nil {
+		logger.Fatalf("in-doubt resolution: %v", err)
+	} else if resolved > 0 {
+		logger.Printf("resolved %d in-doubt cross-shard commits", resolved)
+	}
+	if cfg.dataDir != "" {
+		go func() {
+			t := time.NewTicker(cfg.ckptEvery)
+			defer t.Stop()
+			for range t.C {
+				for i, s := range locals {
+					if err := s.Checkpoint(); err != nil {
+						logger.Printf("checkpoint shard %d: %v", i, err)
+					}
+				}
+			}
+		}()
+	}
+
+	startHTTP(cfg, liveCountBackend(cl))
+	srv := wire.NewBackendServer(cl, wire.ServerOptions{Logger: logger, InvokeTimeout: cfg.invokeTO, Obs: cfg.reg})
+	serveWithDrain(cfg, srv, fmt.Sprintf("%d in-process shards (data dir %q)", cfg.shards, cfg.dataDir), func() {
+		cl.Close()
+		for i, s := range locals {
+			if err := s.Checkpoint(); err != nil {
+				logger.Printf("final checkpoint shard %d: %v", i, err)
+			}
+			s.Close()
+		}
+	})
+}
+
+// --- one participant of a multi-process cluster ---
+
+func runParticipant(cfg *config, walOpts ldbs.Options) {
+	logger := cfg.logger
+	if cfg.shardIndex < 0 || cfg.shardIndex >= cfg.shardCount {
+		logger.Fatalf("-shard-index %d out of range for -shard-count %d", cfg.shardIndex, cfg.shardCount)
+	}
+	ring := shard.NewRing(cfg.shardCount)
+	owned := ownedRefs(ring, cfg.shardIndex)
+	s, err := shard.OpenLocal(shard.LocalConfig{
+		Index:         cfg.shardIndex,
+		Dir:           cfg.dataDir,
+		Schemas:       demoSchemas(),
+		Seed:          func(db *ldbs.DB) error { return seedDemo(db, owned, cfg.seats) },
+		Objects:       objectMap(owned),
+		Obs:           cfg.reg,
+		Observability: cfg.observ,
+		ManagerOpts:   cfg.managerOpts(),
+		WAL:           walOpts,
+	})
+	if err != nil {
+		logger.Fatalf("shard %d: %v", cfg.shardIndex, err)
+	}
+	defer s.Close()
+	logger.Printf("participant %d/%d: %d owned objects", cfg.shardIndex, cfg.shardCount, len(owned))
+	if cfg.dataDir != "" {
+		go func() {
+			t := time.NewTicker(cfg.ckptEvery)
+			defer t.Stop()
+			for range t.C {
+				if err := s.Checkpoint(); err != nil {
+					logger.Printf("checkpoint: %v", err)
+				}
+			}
+		}()
+	}
+	m := s.Manager()
+	startHTTP(cfg, liveCount(m))
+	go core.RunSupervisor(context.Background(), m, core.SupervisorConfig{
+		IdleTimeout:     cfg.idle,
+		WaitTimeout:     cfg.waitTO,
+		SleepAbortAfter: cfg.sleepTO,
+	}, 5*time.Second)
+
+	srv := wire.NewServer(m, wire.ServerOptions{Logger: logger, InvokeTimeout: cfg.invokeTO, Obs: cfg.reg})
+	serveWithDrain(cfg, srv, fmt.Sprintf("participant %d/%d (data dir %q)", cfg.shardIndex, cfg.shardCount, cfg.dataDir), func() {
+		if err := s.Checkpoint(); err != nil {
+			logger.Printf("final checkpoint: %v", err)
+		}
+		s.Close()
+	})
+}
+
+// --- router over remote participants ---
+
+func runRouter(cfg *config) {
+	logger := cfg.logger
+	addrs := strings.Split(cfg.route, ",")
+	members := make([]shard.Shard, len(addrs))
+	for i, a := range addrs {
+		members[i] = shard.NewRemoteShard(i, strings.TrimSpace(a))
+	}
+	logPath := ""
+	if cfg.dataDir != "" {
+		if err := os.MkdirAll(cfg.dataDir, 0o755); err != nil {
+			logger.Fatalf("data dir: %v", err)
+		}
+		logPath = filepath.Join(cfg.dataDir, "coord.wal")
+	}
+	cl, err := shard.NewCluster(shard.Config{
+		Shards:       members,
+		CoordLogPath: logPath,
+		Obs:          cfg.reg,
+		Logger:       logger,
+	})
+	if err != nil {
+		logger.Fatalf("cluster: %v", err)
+	}
+	defer cl.Close()
+	if resolved, err := cl.ResolveInDoubt(); err != nil {
+		// Participants may still be coming up; decisions stay pending and
+		// a later resolution (or restart) completes them.
+		logger.Printf("in-doubt resolution incomplete (%v) — %d pending", err, len(cl.InDoubt()))
+	} else if resolved > 0 {
+		logger.Printf("resolved %d in-doubt cross-shard commits", resolved)
+	}
+
+	startHTTP(cfg, liveCountBackend(cl))
+	srv := wire.NewBackendServer(cl, wire.ServerOptions{Logger: logger, InvokeTimeout: cfg.invokeTO, Obs: cfg.reg})
+	serveWithDrain(cfg, srv, fmt.Sprintf("router over %d participants %v", len(addrs), addrs), func() {
+		cl.Close()
+	})
+}
+
+// --- shared plumbing ---
+
+// liveCount counts a manager's non-terminal transactions.
+func liveCount(m *core.Manager) func() float64 {
+	return func() float64 {
+		var n int
+		for _, ti := range m.Transactions() {
+			if !ti.State.Terminal() {
+				n++
+			}
+		}
+		return float64(n)
+	}
+}
+
+// liveCountBackend counts a backend's non-terminal transactions.
+func liveCountBackend(b wire.Backend) func() float64 {
+	committed, aborted := core.StateCommitted.String(), core.StateAborted.String()
+	return func() float64 {
+		var n int
+		for _, ti := range b.Transactions() {
+			if ti.State != committed && ti.State != aborted {
+				n++
+			}
+		}
+		return float64(n)
+	}
+}
+
+// startHTTP serves the diagnostics mux when -http is set.
+func startHTTP(cfg *config, live func() float64) {
+	if cfg.httpAddr == "" {
+		return
+	}
+	handler := newHTTPHandler(cfg.reg, cfg.observ, live, cfg.start)
+	go func() {
+		cfg.logger.Printf("diagnostics on http://%s/metrics", cfg.httpAddr)
+		if err := http.ListenAndServe(cfg.httpAddr, handler); err != nil {
+			cfg.logger.Fatalf("http: %v", err)
+		}
+	}()
+}
+
+// serveWithDrain serves until SIGTERM/SIGINT, then drains gracefully and
+// runs the mode's shutdown hook.
+func serveWithDrain(cfg *config, srv *wire.Server, banner string, shutdown func()) {
+	logger := cfg.logger
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigs
+		logger.Printf("received %s, draining (budget %s)", sig, cfg.drainTO)
+		rep := srv.Drain(cfg.drainTO)
+		logger.Printf("drain: %d transactions slept, commits flushed: %v", rep.Slept, rep.CommitsFlushed)
+		shutdown()
 		if !rep.CommitsFlushed {
 			os.Exit(1)
 		}
 		os.Exit(0)
 	}()
 
-	logger.Printf("middleware listening on %s (data dir %q)", *addr, *dataDir)
-	if err := srv.Serve(*addr); err != nil {
+	logger.Printf("middleware listening on %s — %s", cfg.addr, banner)
+	if err := srv.Serve(cfg.addr); err != nil {
 		logger.Fatalf("serve: %v", err)
 	}
 	// Serve returned nil: a drain is in progress; let it finish the exit.
 	select {}
 }
+
+// --- the travel-agency demo data set ---
 
 // demo resources: 4 of each kind, as in the motivating scenario.
 var demoTables = []struct {
@@ -174,6 +472,49 @@ var demoTables = []struct {
 }
 
 const demoPerKind = 4
+
+// demoRef is one bookable resource: a GTM object and its backing row.
+type demoRef struct {
+	object string
+	ref    core.StoreRef
+}
+
+// demoRefs lists every demo resource. Object ids are "Table/Key" — the
+// same convention the shard ring routes by, so an object and its row
+// always land on the same shard.
+func demoRefs() []demoRef {
+	var out []demoRef
+	for _, t := range demoTables {
+		for i := 0; i < demoPerKind; i++ {
+			key := fmt.Sprintf("%s%d", t.prefix, i)
+			out = append(out, demoRef{
+				object: fmt.Sprintf("%s/%s", t.table, key),
+				ref:    core.StoreRef{Table: t.table, Key: key, Column: t.column},
+			})
+		}
+	}
+	return out
+}
+
+// ownedRefs filters the demo set to the resources ring routes to shard idx.
+func ownedRefs(ring *shard.Ring, idx int) []demoRef {
+	var out []demoRef
+	for _, d := range demoRefs() {
+		if ring.Route(d.object) == idx {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// objectMap converts refs to the LocalConfig.Objects form.
+func objectMap(refs []demoRef) map[string]core.StoreRef {
+	out := make(map[string]core.StoreRef, len(refs))
+	for _, d := range refs {
+		out[d.object] = d.ref
+	}
+	return out
+}
 
 func demoSchemas() []ldbs.Schema {
 	out := make([]ldbs.Schema, 0, len(demoTables))
@@ -196,33 +537,26 @@ func createDemoSchema(db *ldbs.DB) error {
 	return nil
 }
 
-func seedDemo(db *ldbs.DB, seats int64) error {
+// seedDemo idempotently inserts the given resources at `seats` each.
+func seedDemo(db *ldbs.DB, refs []demoRef, seats int64) error {
 	ctx := context.Background()
 	tx := db.Begin()
-	for _, t := range demoTables {
-		for i := 0; i < demoPerKind; i++ {
-			key := fmt.Sprintf("%s%d", t.prefix, i)
-			if _, err := db.ReadCommitted(t.table, key, t.column); err == nil {
-				continue // survived recovery
-			}
-			if err := tx.Insert(ctx, t.table, key, ldbs.Row{t.column: sem.Int(seats)}); err != nil {
-				tx.Rollback()
-				return err
-			}
+	for _, d := range refs {
+		if _, err := db.ReadCommitted(d.ref.Table, d.ref.Key, d.ref.Column); err == nil {
+			continue // survived recovery
+		}
+		if err := tx.Insert(ctx, d.ref.Table, d.ref.Key, ldbs.Row{d.ref.Column: sem.Int(seats)}); err != nil {
+			tx.Rollback()
+			return err
 		}
 	}
 	return tx.Commit(ctx)
 }
 
-func registerDemoObjects(m *core.Manager) error {
-	for _, t := range demoTables {
-		for i := 0; i < demoPerKind; i++ {
-			key := fmt.Sprintf("%s%d", t.prefix, i)
-			id := core.ObjectID(fmt.Sprintf("%s/%s", t.table, key))
-			ref := core.StoreRef{Table: t.table, Key: key, Column: t.column}
-			if err := m.RegisterAtomicObject(id, ref); err != nil {
-				return err
-			}
+func registerDemoObjects(m *core.Manager, refs []demoRef) error {
+	for _, d := range refs {
+		if err := m.RegisterAtomicObject(core.ObjectID(d.object), d.ref); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -28,6 +28,7 @@ import (
 
 	"preserial/internal/metrics"
 	"preserial/internal/obs"
+	"preserial/internal/sem"
 	"preserial/internal/wire"
 	"preserial/internal/workload"
 )
@@ -44,7 +45,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	resilient := flag.Bool("resilient", true, "use the disconnection-tolerant client (deadlines, reconnects, exactly-once retries); false drives the legacy v1 flow")
 	callTO := flag.Duration("call-timeout", wire.DefaultCallTimeout, "per-call deadline for the resilient client")
+	bench := flag.Bool("bench", false, "throughput mode: closed-loop workers hammering single-object bookings across every demo resource, no think time; prints tx/s")
+	workers := flag.Int("workers", 32, "concurrent workers in -bench mode")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive load in -bench mode")
 	flag.Parse()
+
+	if *bench {
+		runBench(*addr, *workers, *duration)
+		return
+	}
 
 	p := workload.DefaultParams()
 	p.N = *n
@@ -110,9 +119,12 @@ func main() {
 
 	fmt.Printf("population: %d (α=%.2f β=%.2f, %d objects, %v apart)\n",
 		*n, *alpha, *beta, *objects, *interarrival)
+	elapsed := time.Since(start)
 	fmt.Printf("committed: %d, aborted: %d (%.1f%%)\n",
 		committed, aborted, 100*float64(aborted)/float64(*n))
 	fmt.Printf("execution time: %s\n", lat.String())
+	fmt.Printf("throughput: %.1f tx/s (%d committed in %s)\n",
+		float64(committed)/elapsed.Seconds(), committed, elapsed.Round(time.Millisecond))
 	for r, c := range reasons {
 		fmt.Printf("  abort reason %q: %d\n", r, c)
 	}
@@ -120,6 +132,81 @@ func main() {
 		printClientMetrics(clientReg)
 	}
 	printServerMetrics(*addr)
+}
+
+// benchObjects is the full demo object set (gtmd seeds 4 resources of each
+// kind) — spread wide so a sharded server can spread the load.
+func benchObjects() []string {
+	kinds := []struct{ table, prefix string }{
+		{"Flight", "AZ"}, {"Hotel", "H"}, {"Museum", "M"}, {"Car", "C"},
+	}
+	var out []string
+	for _, k := range kinds {
+		for i := 0; i < 4; i++ {
+			out = append(out, fmt.Sprintf("%s/%s%d", k.table, k.prefix, i))
+		}
+	}
+	return out
+}
+
+// runBench drives closed-loop single-object bookings from `workers`
+// concurrent connections for `duration` and prints throughput — the number
+// `make bench-shard` compares between single-node and sharded gtmd. Run the
+// server with enough -seats that the non-negativity constraint never trips.
+func runBench(addr string, workers int, duration time.Duration) {
+	objs := benchObjects()
+	var (
+		mu        sync.Mutex
+		committed int
+		failed    int
+	)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cn, err := wire.Dial(addr)
+			if err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+				return
+			}
+			defer cn.Close()
+			ok, bad := 0, 0
+			for i := 0; time.Now().Before(deadline); i++ {
+				tx := fmt.Sprintf("bench-w%d-%d", w, i)
+				obj := objs[(w+i)%len(objs)]
+				err := cn.Begin(tx)
+				if err == nil {
+					err = cn.Invoke(tx, obj, sem.AddSub, "")
+				}
+				if err == nil {
+					err = cn.Apply(tx, obj, sem.Int(-1))
+				}
+				if err == nil {
+					err = cn.Commit(tx)
+				}
+				if err != nil {
+					bad++
+					continue
+				}
+				ok++
+			}
+			mu.Lock()
+			committed += ok
+			failed += bad
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("bench: %d workers, %d objects, %s\n", workers, len(objs), duration)
+	fmt.Printf("committed: %d, failed: %d\n", committed, failed)
+	fmt.Printf("throughput: %.1f tx/s\n", float64(committed)/elapsed.Seconds())
 }
 
 // printClientMetrics prints the resilient clients' shared counters.

@@ -119,6 +119,46 @@ func (c *Client) Commit(ctx context.Context) error {
 	return nil
 }
 
+// Prepare runs the cross-shard prepare: the full local commit pipeline up
+// to (but excluding) the SST, blocking until the write set is staged. It
+// returns the staged SST writes for the coordinator to log. After a nil
+// return the transaction is in doubt and must be settled with Decide.
+func (c *Client) Prepare(ctx context.Context) ([]SSTWrite, error) {
+	if err := c.m.PrepareCommit(c.id); err != nil {
+		return nil, err
+	}
+	ev, err := c.waitFor(ctx, func(ev Event) bool { return ev.Type == EvPrepared })
+	if err != nil {
+		return nil, err
+	}
+	if ev.Type == EvAborted {
+		return nil, abortError(ev)
+	}
+	return c.m.StagedWrites(c.id)
+}
+
+// Decide settles a prepared transaction with the coordinator's verdict and
+// blocks until the outcome (commit published, or abort finalized) lands.
+// extra writes are appended to the staged SST — the coordinator's decision
+// marker travels this way.
+func (c *Client) Decide(ctx context.Context, commit bool, extra ...SSTWrite) error {
+	if err := c.m.Decide(c.id, commit, extra...); err != nil {
+		return err
+	}
+	if !commit {
+		_, err := c.waitFor(ctx, func(ev Event) bool { return ev.Type == EvAborted })
+		return err
+	}
+	ev, err := c.waitFor(ctx, func(ev Event) bool { return ev.Type == EvCommitted })
+	if err != nil {
+		return err
+	}
+	if ev.Type == EvAborted {
+		return abortError(ev)
+	}
+	return nil
+}
+
 // Abort aborts the transaction.
 func (c *Client) Abort() error { return c.m.Abort(c.id) }
 

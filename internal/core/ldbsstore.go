@@ -19,6 +19,12 @@ type LDBSStore struct {
 	// minute. SSTs only ever contend with each other for moments, so the
 	// bound exists purely to convert substrate hangs into aborts.
 	SSTTimeout time.Duration
+	// UpsertTables lists tables whose SST writes create the row when it
+	// does not exist (ordinary writes require it). The cross-shard commit
+	// protocol's decision-marker table works this way: each marker row is
+	// keyed by transaction id and springs into existence with the decided
+	// SST.
+	UpsertTables map[string]bool
 }
 
 // NewLDBSStore wraps a database.
@@ -39,10 +45,35 @@ func (s *LDBSStore) ApplySST(writes []SSTWrite) error {
 	defer cancel()
 	tx := s.DB.Begin()
 	for _, w := range writes {
-		if err := tx.Set(ctx, w.Ref.Table, w.Ref.Key, w.Ref.Column, w.Value); err != nil {
+		var err error
+		if s.UpsertTables[w.Ref.Table] {
+			err = tx.Upsert(ctx, w.Ref.Table, w.Ref.Key, ldbs.Row{w.Ref.Column: w.Value})
+		} else {
+			err = tx.Set(ctx, w.Ref.Table, w.Ref.Key, w.Ref.Column, w.Value)
+		}
+		if err != nil {
 			tx.Rollback()
 			return err
 		}
 	}
 	return tx.Commit(ctx)
+}
+
+// ValidateSST checks every write against its table's schema (type and
+// CHECK constraints) without applying anything. The cross-shard commit
+// coordinator calls this before logging a commit decision: LDBS checks are
+// pure value predicates, so a write set that validates now cannot fail a
+// constraint at decide time — the committer slots held since prepare keep
+// the values stable.
+func (s *LDBSStore) ValidateSST(writes []SSTWrite) error {
+	for _, w := range writes {
+		schema, err := s.DB.Schema(w.Ref.Table)
+		if err != nil {
+			return err
+		}
+		if err := schema.CheckValue(w.Ref.Column, w.Value); err != nil {
+			return err
+		}
+	}
+	return nil
 }

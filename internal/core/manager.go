@@ -39,8 +39,9 @@ type Manager struct {
 	obs   *Observability // nil unless WithObservability
 	exec  *sstExecutor   // nil unless WithSSTExecutor
 
-	txs  map[TxID]*transaction
-	objs map[ObjectID]*object
+	txs      map[TxID]*transaction
+	objs     map[ObjectID]*object
+	sleepers map[TxID]*transaction // index over txs: state == StateSleeping
 
 	stats     Stats
 	history   []HistoryEntry
@@ -51,10 +52,11 @@ type Manager struct {
 // purely virtual manager, e.g. in unit tests of the scheduling logic).
 func NewManager(store Store, opt ...Option) *Manager {
 	m := &Manager{
-		clk:   clock.Wall{},
-		store: store,
-		txs:   make(map[TxID]*transaction),
-		objs:  make(map[ObjectID]*object),
+		clk:      clock.Wall{},
+		store:    store,
+		txs:      make(map[TxID]*transaction),
+		objs:     make(map[ObjectID]*object),
+		sleepers: make(map[TxID]*transaction),
 	}
 	m.stats.AbortsBy = make(map[AbortReason]uint64)
 	m.opts = defaultOptions()
@@ -350,6 +352,13 @@ func (m *Manager) Apply(txID TxID, objID ObjectID, operand sem.Value) error {
 // client.
 func (m *Manager) RequestCommit(txID TxID) error {
 	defer m.mon.enter(m)()
+	return m.requestCommitLocked(txID, false)
+}
+
+// requestCommitLocked starts the commit protocol. prepare=true stops at the
+// staged-write-set barrier (the cross-shard prepare) instead of launching
+// the SST; see PrepareCommit.
+func (m *Manager) requestCommitLocked(txID TxID, prepare bool) error {
 	t, ok := m.txs[txID]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownTx, txID)
@@ -357,6 +366,7 @@ func (m *Manager) RequestCommit(txID TxID) error {
 	if t.state != StateActive {
 		return fmt.Errorf("%w: %s is %s, commit requires Active", ErrBadState, txID, t.state)
 	}
+	t.preparing = prepare
 	t.lastActivity = m.clk.Now()
 	t.commitStart = t.lastActivity
 	m.setStateLocked(t, StateCommitting)
@@ -375,8 +385,12 @@ func (m *Manager) RequestCommit(txID TxID) error {
 
 // advanceCommitLocked acquires committer slots in order, performing the local
 // commit on each object as its slot is obtained, and fires the global
-// commit once every slot is held. Called whenever a slot may have freed.
+// commit (or, for a preparing transaction, stages the write set) once every
+// slot is held. Called whenever a slot may have freed.
 func (m *Manager) advanceCommitLocked(t *transaction) {
+	if t.prepared {
+		return // staged already; only Decide moves it forward
+	}
 	for len(t.commitWant) > 0 {
 		objID := t.commitWant[0]
 		o := m.objs[objID]
@@ -396,6 +410,10 @@ func (m *Manager) advanceCommitLocked(t *transaction) {
 		t.commitHeld[objID] = true
 		// The object lost a pending holder; waiters may now be admissible.
 		m.dispatchLocked(o)
+	}
+	if t.preparing {
+		m.stagePreparedLocked(t)
+		return
 	}
 	m.globalCommitLocked(t)
 }
@@ -450,6 +468,18 @@ type localWrite struct {
 // (Section VII discusses this path: reconciled values can violate
 // integrity constraints).
 func (m *Manager) globalCommitLocked(t *transaction) {
+	locals, writes := m.collectCommitLocked(t)
+	if m.store == nil || len(writes) == 0 {
+		m.publishLocked(t, locals)
+		return
+	}
+	m.launchSSTLocked(t, locals, writes)
+}
+
+// collectCommitLocked assembles the commit payload from the held committer
+// slots: the per-object publish records and the SST write set, both in
+// canonical order.
+func (m *Manager) collectCommitLocked(t *transaction) ([]localWrite, []SSTWrite) {
 	var locals []localWrite
 	var writes []SSTWrite
 	for objID := range t.commitHeld {
@@ -467,10 +497,12 @@ func (m *Manager) globalCommitLocked(t *transaction) {
 	// structurally impossible (and the history deterministic).
 	SortSSTWrites(writes)
 	sort.Slice(locals, func(i, j int) bool { return locals[i].o.id < locals[j].o.id })
-	if m.store == nil || len(writes) == 0 {
-		m.publishLocked(t, locals)
-		return
-	}
+	return locals, writes
+}
+
+// launchSSTLocked hands the Secure System Transaction to the executor (or
+// the goroutine exiting the monitor) and marks the commit point.
+func (m *Manager) launchSSTLocked(t *transaction, locals []localWrite, writes []SSTWrite) {
 	t.sstInFlight = true
 	t.sstStart = m.clk.Now()
 	id := t.id
@@ -591,6 +623,11 @@ func (m *Manager) Abort(txID TxID) error {
 		// The SST has launched: the transaction is past its commit point.
 		return fmt.Errorf("%w: %s is committing (SST in flight)", ErrBadState, txID)
 	}
+	if t.prepared {
+		// In doubt: a coordinator owns the outcome now. Only Decide may
+		// abort a prepared participant.
+		return fmt.Errorf("%w: %s is prepared, awaiting coordinator decision", ErrBadState, txID)
+	}
 	m.setStateLocked(t, StateAborting)
 	m.finishAbortLocked(t, AbortUser, nil)
 	return nil
@@ -617,6 +654,10 @@ func (m *Manager) finishAbortLocked(t *transaction, reason AbortReason, cause er
 	t.tsleep = time.Time{}
 	t.waitingOn = ""
 	t.commitWant = nil
+	t.preparing = false
+	t.prepared = false
+	t.stagedLocals = nil
+	t.stagedWrites = nil
 	m.stats.Aborted++
 	m.stats.AbortsBy[reason]++
 	if m.obs != nil {
@@ -896,6 +937,11 @@ func (m *Manager) setStateLocked(t *transaction, to State) {
 	if t.state != to {
 		m.traceLocked("state", t, "", t.state, to, "")
 	}
+	if to == StateSleeping {
+		m.sleepers[t.id] = t
+	} else if t.state == StateSleeping {
+		delete(m.sleepers, t.id)
+	}
 	t.state = to
 }
 
@@ -914,9 +960,13 @@ func (m *Manager) pruneHistoriesLocked() {
 	if m.opts.keepFullHistory {
 		return
 	}
+	// Only sleepers pin the horizon, and they are indexed — scanning all of
+	// m.txs here made every commit O(live+terminal) under the monitor, which
+	// dominated server CPU once a few thousand terminal transactions had
+	// accumulated between sweeps.
 	horizon := m.clk.Now()
-	for _, t := range m.txs {
-		if t.state == StateSleeping && t.tsleep.Before(horizon) {
+	for _, t := range m.sleepers {
+		if t.tsleep.Before(horizon) {
 			horizon = t.tsleep
 		}
 	}

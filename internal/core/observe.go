@@ -31,6 +31,7 @@ type Observability struct {
 	awakesAborted *obs.Counter // gtm_awakes_total{outcome="aborted"}
 
 	commits     *obs.Counter // gtm_commits_total
+	prepares    *obs.Counter // gtm_tx_prepared_total
 	reconciled  *obs.Counter // gtm_reconciliations_total
 	ssts        *obs.Counter // gtm_sst_total{outcome="ok"}
 	sstFailures *obs.Counter // gtm_sst_total{outcome="failed"}
@@ -61,6 +62,7 @@ func NewObservability(reg *obs.Registry, traceDepth int) *Observability {
 		awakesAborted: reg.Counter(obs.WithLabel(obs.NameAwakes, "outcome", "aborted"), "Awakenings by outcome (Algorithm 9)."),
 
 		commits:     reg.Counter(obs.NameCommits, "Transactions committed."),
+		prepares:    reg.Counter(obs.NameTxPrepared, "Transactions that reached the prepared (in-doubt) barrier."),
 		reconciled:  reg.Counter(obs.NameReconciliations, "Commits whose reconciled X_new differed from A_temp."),
 		ssts:        reg.Counter(obs.WithLabel(obs.NameSST, "outcome", "ok"), "Secure System Transactions by outcome."),
 		sstFailures: reg.Counter(obs.WithLabel(obs.NameSST, "outcome", "failed"), "Secure System Transactions by outcome."),

@@ -118,6 +118,22 @@ func (s *MemStore) Applied() int {
 	return s.applied
 }
 
+// ValidateSST runs the per-ref validation hooks without applying anything
+// (the MemStore counterpart of LDBSStore.ValidateSST).
+func (s *MemStore) ValidateSST(writes []SSTWrite) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Validate == nil {
+		return nil
+	}
+	for _, w := range writes {
+		if err := s.Validate(w.Ref, w.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ApplySST implements Store.
 func (s *MemStore) ApplySST(writes []SSTWrite) error {
 	s.mu.Lock()

@@ -37,6 +37,15 @@ type transaction struct {
 	sstInFlight bool
 	commitStart time.Time // RequestCommit time, for the commit-latency histogram
 	sstStart    time.Time // SST launch time, for the SST-latency histogram
+
+	// Two-phase (cross-shard) commit: preparing marks a PrepareCommit in
+	// progress; once every committer slot is held the write set is staged
+	// here instead of launching the SST, prepared flips true and the
+	// transaction is in doubt until the coordinator's Decide.
+	preparing    bool
+	prepared     bool
+	stagedLocals []localWrite
+	stagedWrites []SSTWrite
 }
 
 func newTransaction(id TxID, now time.Time) *transaction {

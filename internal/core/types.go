@@ -105,6 +105,10 @@ const (
 	// the permanent value could not be loaded from the store (Awake
 	// phase 2, or waiter dispatch). No SST ran.
 	AbortResumeFailure
+	// AbortCoordinator: a cross-shard commit coordinator decided abort
+	// after this participant had prepared (another participant failed to
+	// prepare, or validation rejected the combined write set).
+	AbortCoordinator
 
 	// numAbortReasons sizes per-reason tables; keep it last.
 	numAbortReasons
@@ -125,6 +129,8 @@ func (r AbortReason) String() string {
 		return "timeout"
 	case AbortResumeFailure:
 		return "resume-failure"
+	case AbortCoordinator:
+		return "coordinator"
 	default:
 		return fmt.Sprintf("AbortReason(%d)", uint8(r))
 	}
@@ -144,6 +150,10 @@ const (
 	EvCommitted
 	// EvAborted: the transaction reached StateAborted.
 	EvAborted
+	// EvPrepared: the transaction holds every committer slot and its SST
+	// write set is staged; it now waits for a coordinator's Decide. Only
+	// PrepareCommit (the cross-shard commit path) produces this.
+	EvPrepared
 )
 
 // String names the event type.
@@ -155,6 +165,8 @@ func (e EventType) String() string {
 		return "committed"
 	case EvAborted:
 		return "aborted"
+	case EvPrepared:
+		return "prepared"
 	default:
 		return fmt.Sprintf("EventType(%d)", uint8(e))
 	}

@@ -43,6 +43,12 @@ type Options struct {
 	// bigger batches). Zero syncs immediately; leader/follower batching
 	// still amortizes naturally while a sync is in flight.
 	GroupCommitWindow time.Duration
+	// SyncDelay adds a fixed pause to every WAL sync, emulating slow stable
+	// storage (mobile-class flash syncs in milliseconds, not the tens of
+	// microseconds a developer NVMe reports). Group commit amortizes the
+	// delay across a batch exactly as it amortizes a real fsync. Zero (the
+	// default) adds nothing.
+	SyncDelay time.Duration
 	// Obs, when non-nil, receives live engine metrics (WAL fsync count and
 	// latency, lock waits and wait latency, deadlocks, group-commit batch
 	// sizes) under ldbs_* names.
@@ -94,6 +100,7 @@ func Open(opts Options) *DB {
 		db.log = newWAL(opts.WAL)
 		db.log.grouped = !opts.DisableGroupCommit
 		db.log.window = opts.GroupCommitWindow
+		db.log.syncDelay = opts.SyncDelay
 	}
 	if opts.Obs != nil {
 		db.obsDeadlocks = opts.Obs.Counter(obs.NameLDBSDeadlocks, "Lock waits refused because they would close a wait-for cycle.")

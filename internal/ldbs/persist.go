@@ -25,10 +25,11 @@ type Persistence struct {
 	// Obs, when non-nil, is passed to the recovered DB (see Options.Obs).
 	Obs *obs.Registry
 
-	// DisableGroupCommit and GroupCommitWindow are passed to the recovered
-	// DB (see the same fields on Options).
+	// DisableGroupCommit, GroupCommitWindow and SyncDelay are passed to the
+	// recovered DB (see the same fields on Options).
 	DisableGroupCommit bool
 	GroupCommitWindow  time.Duration
+	SyncDelay          time.Duration
 
 	wal *os.File
 }
@@ -71,7 +72,8 @@ func (p *Persistence) Open(schemas []Schema) (*DB, error) {
 		return nil, fmt.Errorf("ldbs: open WAL: %w", err)
 	}
 	db := Open(Options{WAL: walFile, Obs: p.Obs,
-		DisableGroupCommit: p.DisableGroupCommit, GroupCommitWindow: p.GroupCommitWindow})
+		DisableGroupCommit: p.DisableGroupCommit, GroupCommitWindow: p.GroupCommitWindow,
+		SyncDelay: p.SyncDelay})
 	for _, s := range schemas {
 		if err := db.CreateTable(s); err != nil {
 			walFile.Close()

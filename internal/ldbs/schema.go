@@ -133,6 +133,13 @@ func (s Schema) Validate() error {
 	return nil
 }
 
+// CheckValue validates one column value against the schema — the same kind
+// and CHECK-constraint test a write performs, exposed so a commit
+// coordinator can prove a pending write set acceptable before deciding.
+func (s Schema) CheckValue(column string, v sem.Value) error {
+	return validateValue(s, column, v)
+}
+
 // column returns the definition of the named column.
 func (s Schema) column(name string) (ColumnDef, bool) {
 	for _, c := range s.Columns {

@@ -27,6 +27,7 @@ const (
 	NameSSTSeconds          = "gtm_sst_seconds"
 	NameTransactionsLive    = "gtm_transactions_live"
 	NameDrainSleeping       = "gtm_drain_sleeping_total"
+	NameTxPrepared          = "gtm_tx_prepared_total"
 
 	// Local database system (internal/ldbs).
 	NameLDBSDeadlocks        = "ldbs_deadlocks_total"
@@ -48,6 +49,16 @@ const (
 	NameWireRequests          = "wire_requests_total" // labeled op=<wire.Op>
 	NameWireReconnects        = "wire_reconnects_total"
 	NameWireClientRetries     = "wire_client_retries_total"
+
+	// Shard cluster (internal/shard).
+	NameShardCommits        = "shard_commits_total"     // labeled path="single"|"cross", plus shard=<index> for per-shard counts
+	NameShard2PCPrepares    = "shard_2pc_prepares_total"
+	NameShard2PCDecides     = "shard_2pc_decides_total" // labeled decision="commit"|"abort"
+	NameShard2PCDecideFails = "shard_2pc_decide_failures_total"
+	NameShard2PCReplays     = "shard_2pc_replays_total"
+	NameShard2PCInDoubt     = "shard_2pc_in_doubt"
+	NameShardTxLive         = "shard_transactions_live" // labeled shard=<index>
+	NameShardObjects        = "shard_objects"           // labeled shard=<index>
 
 	// Daemon process (cmd/gtmd).
 	NameUptimeSeconds = "gtmd_uptime_seconds"

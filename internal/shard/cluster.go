@@ -1,0 +1,878 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"preserial/internal/core"
+	"preserial/internal/obs"
+	"preserial/internal/sem"
+	"preserial/internal/wire"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	// Shards, indexed 0..n-1 (each shard's Index must equal its slice
+	// position — routing depends on it).
+	Shards []Shard
+	// CoordLogPath is the coordinator WAL; empty runs without decision
+	// logging (volatile clusters: benches and pure in-memory tests).
+	CoordLogPath string
+	// Obs, when non-nil, receives the shard_* metric set.
+	Obs *obs.Registry
+	// Logger receives coordinator events; nil silences them.
+	Logger *log.Logger
+}
+
+// Cluster fronts N shards as one wire.Backend: clients speak the ordinary
+// protocol to a router while their transactions fan out to the shards that
+// own the objects they touch. Single-shard transactions commit through the
+// shard's unmodified pipeline; cross-shard transactions commit through the
+// two-phase SST protocol with the cluster as coordinator.
+type Cluster struct {
+	shards  []Shard
+	ring    *Ring
+	log     *CoordLog
+	logger  *log.Logger
+	metrics *clusterMetrics
+
+	// HookAfterPrepare and HookAfterLog, when set, are called during a
+	// cross-shard commit — after every participant prepared, and after the
+	// decision hit the coordinator WAL. Chaos tests kill shards here.
+	HookAfterPrepare func(tx string)
+	HookAfterLog     func(tx string)
+
+	singleCommits atomic.Uint64
+	crossCommits  atomic.Uint64
+	prepares      atomic.Uint64
+	replays       atomic.Uint64
+
+	mu      sync.Mutex
+	txs     map[string]*clusterTx
+	records map[string]txRecord // terminal outcomes of coordinator-settled txs
+	pending map[string]Decision // decided, not yet acknowledged done
+}
+
+// txRecord remembers a settled transaction's outcome at the coordinator.
+type txRecord struct {
+	state  core.State
+	reason string
+}
+
+// NewCluster builds the coordinator. If a coordinator log is configured
+// and holds unfinished decisions from a previous run, they become the
+// in-doubt set — call ResolveInDoubt once the shards are reachable, before
+// routing client traffic.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("shard: cluster needs at least one shard")
+	}
+	for i, sh := range cfg.Shards {
+		if sh.Index() != i {
+			return nil, fmt.Errorf("shard: shard at position %d reports index %d", i, sh.Index())
+		}
+	}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = log.New(io.Discard, "", 0)
+	}
+	cl := &Cluster{
+		shards:  cfg.Shards,
+		ring:    NewRing(len(cfg.Shards)),
+		logger:  lg,
+		txs:     make(map[string]*clusterTx),
+		records: make(map[string]txRecord),
+		pending: make(map[string]Decision),
+	}
+	if cfg.CoordLogPath != "" {
+		l, pending, err := OpenCoordLog(cfg.CoordLogPath)
+		if err != nil {
+			return nil, err
+		}
+		cl.log = l
+		for _, d := range pending {
+			cl.pending[d.Tx] = d
+			// A logged decision is a commitment — recovery completes it.
+			cl.records[d.Tx] = txRecord{state: core.StateCommitted}
+		}
+		if len(pending) > 0 {
+			lg.Printf("shard: recovered %d in-doubt decisions from the coordinator log", len(pending))
+		}
+	}
+	if cfg.Obs != nil {
+		cl.metrics = newClusterMetrics(cfg.Obs, cl)
+	}
+	return cl, nil
+}
+
+// Close releases the coordinator log. Shards are owned by the caller.
+func (cl *Cluster) Close() error { return cl.log.Close() }
+
+// Ring exposes the cluster's router.
+func (cl *Cluster) Ring() *Ring { return cl.ring }
+
+// InDoubt returns the transactions whose commit decision is logged but not
+// yet acknowledged durable on every participant.
+func (cl *Cluster) InDoubt() []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]string, 0, len(cl.pending))
+	for tx := range cl.pending {
+		out = append(out, tx)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- wire.Backend ---
+
+// Begin implements wire.Backend.
+func (cl *Cluster) Begin(tx string) (wire.Session, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if _, live := cl.txs[tx]; live {
+		return nil, fmt.Errorf("%w: %s", core.ErrTxExists, tx)
+	}
+	if _, settled := cl.records[tx]; settled {
+		return nil, fmt.Errorf("%w: %s", core.ErrTxExists, tx)
+	}
+	t := &clusterTx{cl: cl, id: tx, subs: make(map[int]Session)}
+	cl.txs[tx] = t
+	return t, nil
+}
+
+// TxState implements wire.Backend: the merged state of a transaction's
+// sub-transactions. Precedence: any aborted participant makes the whole
+// transaction aborted (2PC guarantees the rest follow); any still-running
+// participant keeps it running; only all-committed is committed.
+func (cl *Cluster) TxState(tx string) (core.State, error) {
+	cl.mu.Lock()
+	t, live := cl.txs[tx]
+	rec, settled := cl.records[tx]
+	cl.mu.Unlock()
+	if live {
+		states := t.subStates()
+		if len(states) > 0 {
+			return mergeStates(states), nil
+		}
+		if settled {
+			return rec.state, nil
+		}
+		return core.StateActive, nil // begun, nothing invoked yet
+	}
+	if settled {
+		return rec.state, nil
+	}
+	// Unknown here: a transaction from before a router restart may still
+	// live on the shards.
+	var states []core.State
+	for _, sh := range cl.shards {
+		if st, err := sh.TxState(tx); err == nil {
+			states = append(states, st)
+		}
+	}
+	if len(states) == 0 {
+		return 0, fmt.Errorf("%w: %s", core.ErrUnknownTx, tx)
+	}
+	return mergeStates(states), nil
+}
+
+// Sleep implements wire.Backend (the disconnection path).
+func (cl *Cluster) Sleep(tx string) error {
+	cl.mu.Lock()
+	t, live := cl.txs[tx]
+	cl.mu.Unlock()
+	if !live {
+		return fmt.Errorf("%w: %s", core.ErrUnknownTx, tx)
+	}
+	var firstErr error
+	for _, sub := range t.snapshot() {
+		if err := sub.sess.Sleep(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SleepAllLive implements wire.Backend (graceful drain): every live
+// cluster transaction's Active/Waiting sub-transactions go to sleep.
+func (cl *Cluster) SleepAllLive() []string {
+	cl.mu.Lock()
+	txs := make([]*clusterTx, 0, len(cl.txs))
+	for _, t := range cl.txs {
+		txs = append(txs, t)
+	}
+	cl.mu.Unlock()
+	var slept []string
+	for _, t := range txs {
+		any := false
+		for _, sub := range t.snapshot() {
+			st, err := cl.shards[sub.idx].TxState(t.id)
+			if err != nil || (st != core.StateActive && st != core.StateWaiting) {
+				continue
+			}
+			if err := sub.sess.Sleep(); err == nil {
+				any = true
+			}
+		}
+		if any {
+			slept = append(slept, t.id)
+		}
+	}
+	sort.Strings(slept)
+	return slept
+}
+
+// Sweep implements wire.Backend: shard-local sweeps plus the coordinator's
+// own terminal records.
+func (cl *Cluster) Sweep(olderThan time.Duration) []string {
+	seen := make(map[string]bool)
+	for _, sh := range cl.shards {
+		for _, id := range sh.Sweep(olderThan) {
+			seen[id] = true
+		}
+	}
+	removed := make([]string, 0, len(seen))
+	for id := range seen {
+		removed = append(removed, id)
+	}
+	sort.Strings(removed)
+	cl.mu.Lock()
+	var release []*clusterTx
+	for _, id := range removed {
+		if t, ok := cl.txs[id]; ok {
+			release = append(release, t)
+			delete(cl.txs, id)
+		}
+		delete(cl.records, id)
+	}
+	cl.mu.Unlock()
+	for _, t := range release {
+		t.Release()
+	}
+	return removed
+}
+
+// Transactions implements wire.Backend: the union of every shard's
+// registry, merged per transaction, plus coordinator-settled outcomes no
+// shard remembers.
+func (cl *Cluster) Transactions() []wire.TxSummaryJSON {
+	type agg struct {
+		states  []core.State
+		objects map[string]bool
+		reason  string
+		prio    int
+	}
+	byTx := make(map[string]*agg)
+	for _, sh := range cl.shards {
+		txs, err := sh.Transactions()
+		if err != nil {
+			continue
+		}
+		for _, ti := range txs {
+			a := byTx[ti.ID]
+			if a == nil {
+				a = &agg{objects: make(map[string]bool)}
+				byTx[ti.ID] = a
+			}
+			if st, ok := parseState(ti.State); ok {
+				a.states = append(a.states, st)
+			}
+			for _, o := range ti.Objects {
+				a.objects[o] = true
+			}
+			if ti.Reason != "" {
+				a.reason = ti.Reason
+			}
+			if ti.Priority != 0 {
+				a.prio = ti.Priority
+			}
+		}
+	}
+	cl.mu.Lock()
+	for id, rec := range cl.records {
+		if _, ok := byTx[id]; !ok {
+			byTx[id] = &agg{states: []core.State{rec.state}, reason: rec.reason,
+				objects: make(map[string]bool)}
+		}
+	}
+	cl.mu.Unlock()
+	ids := make([]string, 0, len(byTx))
+	for id := range byTx {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]wire.TxSummaryJSON, 0, len(ids))
+	for _, id := range ids {
+		a := byTx[id]
+		objs := make([]string, 0, len(a.objects))
+		for o := range a.objects {
+			objs = append(objs, o)
+		}
+		sort.Strings(objs)
+		st := mergeStates(a.states)
+		sum := wire.TxSummaryJSON{ID: id, State: st.String(), Objects: objs, Priority: a.prio}
+		if st == core.StateAborted {
+			sum.Reason = a.reason
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// Objects implements wire.Backend: the whole partitioned object space.
+func (cl *Cluster) Objects() []string {
+	var out []string
+	for _, sh := range cl.shards {
+		ids, err := sh.Objects()
+		if err != nil {
+			continue
+		}
+		out = append(out, ids...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ObjectInfo implements wire.Backend by asking the owning shard.
+func (cl *Cluster) ObjectInfo(object string) (*wire.ObjectInfoJSON, error) {
+	return cl.shards[cl.ring.Route(object)].ObjectInfo(object)
+}
+
+// Stats implements wire.Backend: shard counters summed, plus the
+// coordinator's own.
+func (cl *Cluster) Stats() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, sh := range cl.shards {
+		st, err := sh.Stats()
+		if err != nil {
+			continue
+		}
+		for k, v := range st {
+			out[k] += v
+		}
+	}
+	cl.mu.Lock()
+	inDoubt := uint64(len(cl.pending))
+	cl.mu.Unlock()
+	out["shards"] = uint64(len(cl.shards))
+	out["cluster_single_commits"] = cl.singleCommits.Load()
+	out["cluster_cross_commits"] = cl.crossCommits.Load()
+	out["cluster_2pc_prepares"] = cl.prepares.Load()
+	out["cluster_2pc_replays"] = cl.replays.Load()
+	out["cluster_in_doubt"] = inDoubt
+	return out
+}
+
+// --- wire.ShardBackend ---
+
+// Topology implements wire.ShardBackend.
+func (cl *Cluster) Topology() []wire.ShardStat {
+	out := make([]wire.ShardStat, len(cl.shards))
+	for i, sh := range cl.shards {
+		stat := wire.ShardStat{Index: i, Addr: sh.Addr(), Down: sh.Down()}
+		if ids, err := sh.Objects(); err == nil {
+			stat.Objects = len(ids)
+		}
+		if txs, err := sh.Transactions(); err == nil {
+			for _, ti := range txs {
+				if st, ok := parseState(ti.State); ok && !st.Terminal() {
+					stat.Txs++
+				}
+			}
+		}
+		out[i] = stat
+	}
+	return out
+}
+
+// Route implements wire.ShardBackend.
+func (cl *Cluster) Route(object string) (int, error) {
+	return cl.ring.Route(object), nil
+}
+
+// --- recovery ---
+
+// ResolveInDoubt drives every pending logged decision to durability on all
+// its participants: a participant still holding the prepared transaction
+// gets the decision delivered; one that lost it (crash) gets the write set
+// replayed under the marker probe. Call after a coordinator restart, and
+// after restarting a crashed shard — before routing traffic to it.
+func (cl *Cluster) ResolveInDoubt() (resolved int, firstErr error) {
+	cl.mu.Lock()
+	work := make([]Decision, 0, len(cl.pending))
+	for _, d := range cl.pending {
+		work = append(work, d)
+	}
+	cl.mu.Unlock()
+	sort.Slice(work, func(i, j int) bool { return work[i].Tx < work[j].Tx })
+	for _, d := range work {
+		ok := true
+		for _, p := range d.Participants {
+			if err := cl.resolveParticipant(d.Tx, p); err != nil {
+				ok = false
+				if firstErr == nil {
+					firstErr = err
+				}
+				cl.logger.Printf("shard: resolving %s on shard %d: %v", d.Tx, p.Shard, err)
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := cl.log.LogDone(d.Tx); err != nil && firstErr == nil {
+			firstErr = err
+			continue
+		}
+		cl.mu.Lock()
+		delete(cl.pending, d.Tx)
+		cl.records[d.Tx] = txRecord{state: core.StateCommitted}
+		cl.mu.Unlock()
+		resolved++
+	}
+	return resolved, firstErr
+}
+
+// resolveParticipant brings one participant's slice of a logged commit
+// decision to durability.
+func (cl *Cluster) resolveParticipant(tx string, p Participant) error {
+	sh := cl.shards[p.Shard]
+	if st, err := sh.TxState(tx); err == nil {
+		if st == core.StateCommitted {
+			return nil // the original decided SST landed
+		}
+		if !st.Terminal() {
+			// The participant survived with the transaction prepared (or
+			// its SST still in flight): deliver the decision and wait.
+			if err := sh.Decide(tx, true, []wire.SSTWriteJSON{p.Marker}); err != nil &&
+				!errors.Is(err, core.ErrBadState) {
+				return err
+			}
+			for i := 0; i < 400; i++ {
+				st, err := sh.TxState(tx)
+				if err != nil || st.Terminal() {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if st, err := sh.TxState(tx); err == nil && st == core.StateCommitted {
+				return nil
+			}
+		}
+	}
+	// The participant lost the transaction (restart) or its decided SST
+	// failed: re-apply from the log, idempotently.
+	applied, err := sh.Replay(tx, p.Marker, p.Writes)
+	if err != nil {
+		return err
+	}
+	if applied {
+		cl.replays.Add(1)
+		if cl.metrics != nil {
+			cl.metrics.replays.Inc()
+		}
+		cl.logger.Printf("shard: replayed decided writes of %s on shard %d", tx, p.Shard)
+	}
+	return nil
+}
+
+// --- cluster transaction ---
+
+// clusterTx is one client transaction fanned out across shards: a
+// wire.Session whose sub-transactions are begun lazily on first touch.
+type clusterTx struct {
+	cl *Cluster
+	id string
+
+	mu   sync.Mutex
+	subs map[int]Session
+}
+
+type subRef struct {
+	idx  int
+	sess Session
+}
+
+// snapshot returns the sub-sessions in ascending shard order.
+func (t *clusterTx) snapshot() []subRef {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]subRef, 0, len(t.subs))
+	for idx, sess := range t.subs {
+		out = append(out, subRef{idx, sess})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].idx < out[j].idx })
+	return out
+}
+
+// sub returns the session on shard idx, beginning it when begin is set.
+func (t *clusterTx) sub(idx int, begin bool) (Session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sess, ok := t.subs[idx]; ok {
+		return sess, nil
+	}
+	if !begin {
+		return nil, fmt.Errorf("%w: %s has no invocation on shard %d", core.ErrNotInvoked, t.id, idx)
+	}
+	sess, err := t.cl.shards[idx].Begin(t.id)
+	if err != nil {
+		return nil, err
+	}
+	t.subs[idx] = sess
+	return sess, nil
+}
+
+// Release drops per-shard resources.
+func (t *clusterTx) Release() {
+	for _, sub := range t.snapshot() {
+		sub.sess.Release()
+	}
+}
+
+// Invoke routes the invocation to the owning shard, beginning the
+// sub-transaction on first touch.
+func (t *clusterTx) Invoke(ctx context.Context, obj core.ObjectID, op sem.Op) error {
+	sess, err := t.sub(t.cl.ring.Route(string(obj)), true)
+	if err != nil {
+		return err
+	}
+	return sess.Invoke(ctx, obj, op)
+}
+
+// Read routes to the owning shard.
+func (t *clusterTx) Read(obj core.ObjectID) (sem.Value, error) {
+	sess, err := t.sub(t.cl.ring.Route(string(obj)), false)
+	if err != nil {
+		return sem.Value{}, err
+	}
+	return sess.Read(obj)
+}
+
+// Apply routes to the owning shard.
+func (t *clusterTx) Apply(obj core.ObjectID, operand sem.Value) error {
+	sess, err := t.sub(t.cl.ring.Route(string(obj)), false)
+	if err != nil {
+		return err
+	}
+	return sess.Apply(obj, operand)
+}
+
+// Abort aborts every sub-transaction.
+func (t *clusterTx) Abort() error {
+	subs := t.snapshot()
+	var firstErr error
+	for _, sub := range subs {
+		if err := sub.sess.Abort(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		t.record(core.StateAborted, core.AbortUser.String())
+	}
+	return firstErr
+}
+
+// Sleep parks every sub-transaction.
+func (t *clusterTx) Sleep() error {
+	var firstErr error
+	for _, sub := range t.snapshot() {
+		if err := sub.sess.Sleep(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Awake resumes every sub-transaction; the awake checks of Algorithm 9 run
+// independently per shard and the verdicts merge: one shard refusing means
+// the whole transaction aborts (the survivors are aborted here), exactly
+// as a single-node awake refusal aborts the whole transaction.
+func (t *clusterTx) Awake() (bool, error) {
+	subs := t.snapshot()
+	resumed := true
+	var firstErr error
+	for _, sub := range subs {
+		ok, err := sub.sess.Awake()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			resumed = false
+			continue
+		}
+		if !ok {
+			resumed = false
+		}
+	}
+	if !resumed {
+		for _, sub := range subs {
+			if st, err := t.cl.shards[sub.idx].TxState(t.id); err == nil && !st.Terminal() {
+				_ = sub.sess.Abort()
+			}
+		}
+		t.record(core.StateAborted, core.AbortSleepConflict.String())
+	}
+	return resumed, firstErr
+}
+
+// subStates returns the current state of every sub-transaction.
+func (t *clusterTx) subStates() []core.State {
+	var states []core.State
+	for _, sub := range t.snapshot() {
+		if st, err := t.cl.shards[sub.idx].TxState(t.id); err == nil {
+			states = append(states, st)
+		}
+	}
+	return states
+}
+
+// record notes the transaction's terminal outcome at the coordinator.
+func (t *clusterTx) record(st core.State, reason string) {
+	t.cl.mu.Lock()
+	t.cl.records[t.id] = txRecord{state: st, reason: reason}
+	t.cl.mu.Unlock()
+}
+
+// Commit commits the transaction. One participating shard: the shard's own
+// commit pipeline, unchanged. Several: the two-phase SST protocol —
+// prepare every participant in ascending shard order (a global acquisition
+// order, so concurrent cross-shard commits cannot deadlock on committer
+// slots), log the decision (the commit point), then decide every
+// participant, each decided SST carrying the decision marker.
+func (t *clusterTx) Commit(ctx context.Context) error {
+	subs := t.snapshot()
+	cl := t.cl
+	switch len(subs) {
+	case 0:
+		// Nothing invoked: trivially committed.
+		t.record(core.StateCommitted, "")
+		return nil
+	case 1:
+		if err := subs[0].sess.Commit(ctx); err != nil {
+			t.record(core.StateAborted, "")
+			return err
+		}
+		cl.singleCommits.Add(1)
+		if cl.metrics != nil {
+			cl.metrics.singleCommits.Inc()
+			cl.metrics.perShard[subs[0].idx].Inc()
+		}
+		t.record(core.StateCommitted, "")
+		return nil
+	}
+
+	// Phase 1: prepare in ascending shard order.
+	participants := make([]Participant, 0, len(subs))
+	for i, sub := range subs {
+		writes, err := sub.sess.Prepare(ctx)
+		if err != nil {
+			// Presumed abort: settle the already-prepared participants,
+			// abort the rest. The failing one aborted itself.
+			for j, other := range subs {
+				switch {
+				case j < i:
+					_ = other.sess.Decide(ctx, false, nil)
+				case j > i:
+					_ = other.sess.Abort()
+				}
+			}
+			if cl.metrics != nil {
+				cl.metrics.decidesAbort.Inc()
+			}
+			t.record(core.StateAborted, "")
+			return fmt.Errorf("shard: prepare of %s on shard %d: %w", t.id, sub.idx, err)
+		}
+		cl.prepares.Add(1)
+		if cl.metrics != nil {
+			cl.metrics.prepares.Inc()
+		}
+		participants = append(participants, Participant{
+			Shard:  sub.idx,
+			Marker: MarkerWrite(t.id),
+			Writes: writes,
+		})
+	}
+	if cl.HookAfterPrepare != nil {
+		cl.HookAfterPrepare(t.id)
+	}
+
+	// Commit point: the decision hits the coordinator WAL.
+	d := Decision{Tx: t.id, Participants: participants}
+	if err := cl.log.LogDecide(d); err != nil {
+		for _, sub := range subs {
+			_ = sub.sess.Decide(ctx, false, nil)
+		}
+		if cl.metrics != nil {
+			cl.metrics.decidesAbort.Inc()
+		}
+		t.record(core.StateAborted, "")
+		return fmt.Errorf("shard: logging decision of %s: %w", t.id, err)
+	}
+	cl.mu.Lock()
+	cl.pending[t.id] = d
+	cl.mu.Unlock()
+	if cl.metrics != nil {
+		cl.metrics.decidesCommit.Inc()
+	}
+	if cl.HookAfterLog != nil {
+		cl.HookAfterLog(t.id)
+	}
+
+	// Phase 2: every participant applies its slice. A failure here does
+	// not un-commit — the decision is logged; the participant is brought
+	// up to date by ResolveInDoubt.
+	var lagging bool
+	for k, sub := range subs {
+		if err := sub.sess.Decide(ctx, true, []wire.SSTWriteJSON{participants[k].Marker}); err != nil {
+			lagging = true
+			if cl.metrics != nil {
+				cl.metrics.decideFails.Inc()
+			}
+			cl.logger.Printf("shard: decide of %s on shard %d failed (will resolve): %v", t.id, sub.idx, err)
+			continue
+		}
+		if cl.metrics != nil {
+			cl.metrics.perShard[sub.idx].Inc()
+		}
+	}
+	cl.crossCommits.Add(1)
+	if cl.metrics != nil {
+		cl.metrics.crossCommits.Inc()
+	}
+	t.record(core.StateCommitted, "")
+	if !lagging {
+		if err := cl.log.LogDone(t.id); err == nil {
+			cl.mu.Lock()
+			delete(cl.pending, t.id)
+			cl.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// --- helpers ---
+
+// mergeStates folds per-shard sub-transaction states into the whole
+// transaction's state. Any abort dooms the transaction (2PC unwinds the
+// rest); otherwise the least-settled participant wins — a transaction is
+// only as committed as its slowest shard.
+func mergeStates(states []core.State) core.State {
+	rank := func(s core.State) int {
+		switch s {
+		case core.StateAborted, core.StateAborting:
+			return 0
+		case core.StateActive:
+			return 1
+		case core.StateWaiting:
+			return 2
+		case core.StateSleeping:
+			return 3
+		case core.StateCommitting:
+			return 4
+		case core.StateCommitted:
+			return 5
+		}
+		return 1
+	}
+	best := states[0]
+	for _, s := range states[1:] {
+		if rank(s) < rank(best) {
+			best = s
+		}
+	}
+	if best == core.StateAborting {
+		best = core.StateAborted
+	}
+	return best
+}
+
+// parseState maps a State's wire name back to the State.
+var stateNames = func() map[string]core.State {
+	m := make(map[string]core.State)
+	for st := core.StateActive; st <= core.StateAborted; st++ {
+		m[st.String()] = st
+	}
+	return m
+}()
+
+func parseState(name string) (core.State, bool) {
+	st, ok := stateNames[name]
+	return st, ok
+}
+
+// clusterMetrics is the coordinator's live metric set.
+type clusterMetrics struct {
+	singleCommits *obs.Counter // shard_commits_total{path="single"}
+	crossCommits  *obs.Counter // shard_commits_total{path="cross"}
+	perShard      []*obs.Counter
+	prepares      *obs.Counter
+	decidesCommit *obs.Counter
+	decidesAbort  *obs.Counter
+	decideFails   *obs.Counter
+	replays       *obs.Counter
+}
+
+func newClusterMetrics(reg *obs.Registry, cl *Cluster) *clusterMetrics {
+	m := &clusterMetrics{
+		singleCommits: reg.Counter(obs.WithLabel(obs.NameShardCommits, "path", "single"),
+			"Cluster commits by path (single-shard fast path vs cross-shard 2PC)."),
+		crossCommits: reg.Counter(obs.WithLabel(obs.NameShardCommits, "path", "cross"),
+			"Cluster commits by path (single-shard fast path vs cross-shard 2PC)."),
+		prepares: reg.Counter(obs.NameShard2PCPrepares, "Participant prepares issued."),
+		decidesCommit: reg.Counter(obs.WithLabel(obs.NameShard2PCDecides, "decision", "commit"),
+			"Coordinator decisions by verdict."),
+		decidesAbort: reg.Counter(obs.WithLabel(obs.NameShard2PCDecides, "decision", "abort"),
+			"Coordinator decisions by verdict."),
+		decideFails: reg.Counter(obs.NameShard2PCDecideFails,
+			"Participant decides that failed after the decision was logged (resolved later)."),
+		replays: reg.Counter(obs.NameShard2PCReplays,
+			"Decided write sets re-applied during in-doubt resolution."),
+	}
+	for i, sh := range cl.shards {
+		m.perShard = append(m.perShard, reg.Counter(
+			obs.WithLabel(obs.NameShardCommits, "shard", strconv.Itoa(i)),
+			"Commits landed per shard."))
+		i, sh := i, sh
+		reg.GaugeFunc(obs.WithLabel(obs.NameShardTxLive, "shard", strconv.Itoa(i)),
+			"Live (non-terminal) transactions per shard.",
+			func() float64 {
+				txs, err := sh.Transactions()
+				if err != nil {
+					return 0
+				}
+				var n int
+				for _, ti := range txs {
+					if st, ok := parseState(ti.State); ok && !st.Terminal() {
+						n++
+					}
+				}
+				return float64(n)
+			})
+		reg.GaugeFunc(obs.WithLabel(obs.NameShardObjects, "shard", strconv.Itoa(i)),
+			"Objects owned per shard.",
+			func() float64 {
+				ids, err := sh.Objects()
+				if err != nil {
+					return 0
+				}
+				return float64(len(ids))
+			})
+	}
+	reg.GaugeFunc(obs.NameShard2PCInDoubt,
+		"Logged decisions not yet durable on every participant.",
+		func() float64 {
+			cl.mu.Lock()
+			defer cl.mu.Unlock()
+			return float64(len(cl.pending))
+		})
+	return m
+}

@@ -1,0 +1,62 @@
+// Package shard partitions the GTM's object space across N independent
+// GTM+LDBS instances and coordinates the transactions that span them — the
+// scale-out layer on top of the paper's single-node design. Routing is by
+// object id; transactions touching one shard take the unmodified fast path
+// (the shard's own commit pipeline), and transactions spanning shards
+// commit through a two-phase Secure System Transaction: every participant
+// prepares (reconciles and stages its write set, holding its committer
+// slots), the coordinator logs the decision to its own WAL, and each
+// participant's decided SST carries an atomic decision marker that makes
+// crash recovery exactly-once.
+package shard
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"preserial/internal/core"
+)
+
+// Ring routes object ids to shards by rendezvous (highest-random-weight)
+// hashing: each (object, shard) pair gets a hash score and the object
+// lives on the highest-scoring shard. Unlike modulo hashing, growing the
+// cluster by one shard relocates only ~1/(n+1) of the objects; unlike a
+// hash ring with virtual nodes there is no state to keep consistent —
+// every router and participant derives the same placement from the shard
+// count alone.
+type Ring struct{ n int }
+
+// NewRing creates a router over n shards (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{n: n}
+}
+
+// N returns the shard count.
+func (r *Ring) N() int { return r.n }
+
+// Route returns the shard index owning an object id.
+func (r *Ring) Route(object string) int {
+	best, bestScore := 0, uint64(0)
+	for i := 0; i < r.n; i++ {
+		h := fnv.New64a()
+		h.Write([]byte(object))
+		var idx [4]byte
+		binary.BigEndian.PutUint32(idx[:], uint32(i))
+		h.Write(idx[:])
+		if s := h.Sum64(); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// RouteRef routes a backing store reference by its row identity
+// (table/key). The demo deployments name GTM objects "Table/Key", so an
+// object and its backing row always land on the same shard; participants
+// use this to decide which rows to seed and register.
+func (r *Ring) RouteRef(ref core.StoreRef) int {
+	return r.Route(ref.Table + "/" + ref.Key)
+}

@@ -149,6 +149,8 @@ func startItineraryGTM(sched *clock.Simulator, m *core.Manager, it workload.Itin
 			finish(true, "")
 		case core.EvAborted:
 			finish(false, ev.Reason.String())
+		case core.EvPrepared:
+			// Itineraries never use the two-phase (cross-shard) path.
 		}
 	}
 	if err := m.Begin(id, core.WithNotify(notify)); err != nil {

@@ -230,6 +230,8 @@ func startGTMTx(sched *clock.Simulator, m *core.Manager, spec workload.Spec,
 			finish(true, "")
 		case core.EvAborted:
 			finish(false, ev.Reason.String())
+		case core.EvPrepared:
+			// The simulator never uses the two-phase (cross-shard) path.
 		}
 	}
 

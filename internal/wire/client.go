@@ -161,6 +161,45 @@ func (cn *Conn) Abort(tx string) error {
 	return err
 }
 
+// Prepare runs 2PC phase 1 on the transaction: the server stages the SST
+// write set, the transaction goes in doubt, and the staged writes come
+// back for the coordinator to log. Settle with Decide.
+func (cn *Conn) Prepare(tx string) ([]SSTWriteJSON, error) {
+	resp, err := cn.call(&Request{Op: OpPrepare, Tx: tx})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Writes, nil
+}
+
+// Decide settles a prepared transaction (2PC phase 2). extra writes are
+// appended to the decided SST — the coordinator's decision marker.
+func (cn *Conn) Decide(tx string, commit bool, extra ...SSTWriteJSON) error {
+	_, err := cn.call(&Request{Op: OpDecide, Tx: tx, Decision: commit, Writes: extra})
+	return err
+}
+
+// Replay re-applies a logged commit decision after a participant restart.
+// applied=false reports the marker probe found the write set already
+// durable. Idempotent; the recovering coordinator is the only caller.
+func (cn *Conn) Replay(tx string, marker SSTWriteJSON, writes []SSTWriteJSON) (applied bool, err error) {
+	resp, err := cn.call(&Request{Op: OpReplay, Tx: tx, Marker: &marker, Writes: writes})
+	if err != nil {
+		return false, err
+	}
+	return resp.Applied, nil
+}
+
+// Shards returns the shard topology. With object non-empty the response
+// also names the shard that owns it.
+func (cn *Conn) Shards(object string) ([]ShardStat, *int, error) {
+	resp, err := cn.call(&Request{Op: OpShards, Object: object})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Shards, resp.Shard, nil
+}
+
 // Sleep parks the transaction explicitly.
 func (cn *Conn) Sleep(tx string) error {
 	_, err := cn.call(&Request{Op: OpSleep, Tx: tx})

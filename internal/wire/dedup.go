@@ -69,6 +69,20 @@ func (w *dedupWindow) finish(e *dedupEntry, resp *Response) {
 	close(e.done)
 }
 
+// collapse drops every entry except seq — called once a transaction
+// reaches a terminal outcome, when no other recorded response can ever be
+// replayed again. The surviving entry keeps commit/abort retries
+// exactly-once until the sweep forgets the transaction entirely.
+func (w *dedupWindow) collapse(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	keep, ok := w.entries[seq]
+	w.entries = make(map[uint64]*dedupEntry, 1)
+	if ok {
+		w.entries[seq] = keep
+	}
+}
+
 // evict drops entries below the window. Caller holds the lock.
 func (w *dedupWindow) evict() {
 	if w.maxSeq < uint64(w.window) {

@@ -48,6 +48,13 @@ const (
 	OpInfo    Op = "info" // per-object scheduling snapshot
 	OpTxs     Op = "txs"  // transaction registry snapshot
 	OpPing    Op = "ping"
+
+	// Cross-shard commit and topology (sharded deployments; a single-node
+	// server answers shards/prepare-capable queries with an error).
+	OpPrepare Op = "prepare" // 2PC phase 1: stage the SST write set, enter in-doubt
+	OpDecide  Op = "decide"  // 2PC phase 2: settle a prepared transaction
+	OpReplay  Op = "replay"  // re-apply a logged decision after participant recovery
+	OpShards  Op = "shards"  // shard topology and object routing
 )
 
 // Mutating reports whether the op changes transaction state on the server,
@@ -56,9 +63,16 @@ const (
 // be retried freely.
 func (o Op) Mutating() bool {
 	switch o {
-	case OpBegin, OpInvoke, OpApply, OpCommit, OpAbort, OpSleep, OpAwake:
+	case OpBegin, OpInvoke, OpApply, OpCommit, OpAbort, OpSleep, OpAwake, OpPrepare, OpDecide:
 		return true
-	case OpAttach, OpRead, OpState, OpObjects, OpStats, OpInfo, OpTxs, OpPing:
+	case OpAttach, OpRead, OpState, OpObjects, OpStats, OpInfo, OpTxs, OpPing, OpShards:
+		return false
+	case OpReplay:
+		// Replay is a write, but an idempotent one: the backend probes the
+		// decision marker and skips write sets already applied. The
+		// recovering coordinator is its only caller and serializes per
+		// transaction, so it needs no seq-window protection — which matters,
+		// because replay targets transactions whose windows may be gone.
 		return false
 	}
 	return false
@@ -153,6 +167,32 @@ type Request struct {
 	// that (tx, seq) it replays the recorded response instead of executing
 	// again. Zero means "legacy client, no dedup".
 	Seq uint64 `json:"seq,omitempty"`
+	// Decision is the coordinator's verdict for a decide op: true commits
+	// the staged write set, false aborts the prepared transaction.
+	Decision bool `json:"decision,omitempty"`
+	// Writes carries SST writes: extra writes riding the decided SST (the
+	// coordinator's decision marker) on decide, the logged write set on
+	// replay.
+	Writes []SSTWriteJSON `json:"writes,omitempty"`
+	// Marker is the decision-marker write a replay probes before applying.
+	Marker *SSTWriteJSON `json:"marker,omitempty"`
+}
+
+// SSTWriteJSON is the wire form of one Secure System Transaction write.
+type SSTWriteJSON struct {
+	Table  string `json:"table"`
+	Key    string `json:"key"`
+	Column string `json:"column"`
+	Value  Value  `json:"value"`
+}
+
+// ShardStat describes one shard of a sharded deployment.
+type ShardStat struct {
+	Index   int    `json:"index"`
+	Addr    string `json:"addr,omitempty"` // empty for in-process shards
+	Objects int    `json:"objects"`
+	Txs     int    `json:"txs"` // live (non-terminal) transactions
+	Down    bool   `json:"down,omitempty"`
 }
 
 // TxOpJSON is a (transaction, operation) pair in an object snapshot.
@@ -199,6 +239,15 @@ type Response struct {
 	// than by executing the request again (the retried request had already
 	// been executed).
 	Replayed bool `json:"replayed,omitempty"`
+	// Writes is the staged SST write set a successful prepare returns.
+	Writes []SSTWriteJSON `json:"writes,omitempty"`
+	// Applied reports whether a replay actually applied the write set
+	// (false: the decision marker showed it already durable).
+	Applied bool `json:"applied,omitempty"`
+	// Shards is the topology a shards op returns.
+	Shards []ShardStat `json:"shards,omitempty"`
+	// Shard is the route lookup result (shards op with an object set).
+	Shard *int `json:"shard,omitempty"`
 }
 
 // WriteMsg frames v as [u32 length][JSON].

@@ -20,7 +20,7 @@ import (
 // disconnection semantics: transactions whose connection vanishes are put
 // to sleep, not aborted.
 type Server struct {
-	m             *Manager
+	b             Backend
 	ln            net.Listener
 	log           *log.Logger
 	invokeTimeout time.Duration
@@ -36,7 +36,7 @@ type Server struct {
 	baseStop  context.CancelFunc
 
 	mu       sync.Mutex
-	clients  map[string]*core.Client
+	clients  map[string]Session
 	owners   map[string]net.Conn      // latest connection owning each tx
 	dedups   map[string]*dedupWindow  // per-tx exactly-once replay state
 	closed   bool
@@ -68,8 +68,16 @@ type ServerOptions struct {
 	Obs *obs.Registry
 }
 
-// NewServer wraps a manager. Call Serve to start accepting.
+// NewServer wraps a single core.Manager — the classic deployment. Call
+// Serve to start accepting.
 func NewServer(m *core.Manager, opts ServerOptions) *Server {
+	return NewBackendServer(managerBackend{m}, opts)
+}
+
+// NewBackendServer wraps any Backend (a shard cluster, a test double). The
+// protocol, disconnection semantics, dedup replay and sweeping are
+// identical to the single-manager deployment.
+func NewBackendServer(b Backend, opts ServerOptions) *Server {
 	lg := opts.Logger
 	if lg == nil {
 		lg = log.New(io.Discard, "", 0)
@@ -80,7 +88,7 @@ func NewServer(m *core.Manager, opts ServerOptions) *Server {
 	}
 	baseCtx, baseStop := context.WithCancel(context.Background())
 	s := &Server{
-		m:             m,
+		b:             b,
 		log:           lg,
 		invokeTimeout: opts.InvokeTimeout,
 		retention:     retention,
@@ -89,7 +97,7 @@ func NewServer(m *core.Manager, opts ServerOptions) *Server {
 		ready:         make(chan struct{}),
 		baseCtx:       baseCtx,
 		baseStop:      baseStop,
-		clients:       make(map[string]*core.Client),
+		clients:       make(map[string]Session),
 		owners:        make(map[string]net.Conn),
 		dedups:        make(map[string]*dedupWindow),
 		conns:         make(map[net.Conn]bool),
@@ -219,7 +227,7 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 	}
 	s.baseStop()
 
-	slept := s.m.SleepAllLive()
+	slept := s.b.SleepAllLive()
 	if s.metrics != nil {
 		s.metrics.drainSleeps.Add(uint64(len(slept)))
 	}
@@ -232,10 +240,11 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 	// could be lost.
 	deadline := time.Now().Add(timeout)
 	flushed := true
+	committing, aborting := core.StateCommitting.String(), core.StateAborting.String()
 	for {
 		busy := false
-		for _, ti := range s.m.Transactions() {
-			if ti.State == core.StateCommitting || ti.State == core.StateAborting {
+		for _, ti := range s.b.Transactions() {
+			if ti.State == committing || ti.State == aborting {
 				busy = true
 				break
 			}
@@ -283,17 +292,7 @@ func (s *Server) sweepLoop() {
 // olderThan ago, freeing its registry entry and client handle. It returns
 // the ids removed.
 func (s *Server) Sweep(olderThan time.Duration) []string {
-	cutoff := time.Now().Add(-olderThan)
-	var removed []string
-	for _, info := range s.m.Transactions() {
-		if !info.State.Terminal() || info.Finished.After(cutoff) {
-			continue
-		}
-		if err := s.m.Forget(info.ID); err != nil {
-			continue
-		}
-		removed = append(removed, string(info.ID))
-	}
+	removed := s.b.Sweep(olderThan)
 	if len(removed) > 0 {
 		s.mu.Lock()
 		for _, id := range removed {
@@ -377,6 +376,15 @@ func (s *Server) serve(req *Request, cc *connCtx) *Response {
 	if fresh {
 		resp := s.dispatch(req, cc)
 		w.finish(entry, resp)
+		// A transaction that just reached its terminal outcome will never
+		// send another mutating request, so every earlier entry's response
+		// is dead weight: collapse the window to the terminal entry alone.
+		// (Keeping that one entry is what lets a reconnecting client replay
+		// the commit/abort/decide it never got an answer for; the full
+		// window is released at Sweep.)
+		if resp.OK && terminalOp(req.Op) {
+			w.collapse(req.Seq)
+		}
 		return resp
 	}
 	select {
@@ -396,6 +404,12 @@ func (s *Server) serve(req *Request, cc *connCtx) *Response {
 	replay := *cached
 	replay.Replayed = true
 	return &replay
+}
+
+// terminalOp reports whether a successful request of this kind ends the
+// transaction: its dedup window can collapse to the single terminal entry.
+func terminalOp(op Op) bool {
+	return op == OpCommit || op == OpAbort || op == OpDecide
 }
 
 // adopt registers cc as the latest owner of tx.
@@ -423,20 +437,20 @@ func (s *Server) disconnectOwned(cc *connCtx) {
 		}
 		delete(s.owners, id)
 		s.mu.Unlock()
-		st, err := s.m.TxState(core.TxID(id))
+		st, err := s.b.TxState(id)
 		if err != nil {
 			continue
 		}
 		if st == core.StateActive || st == core.StateWaiting {
-			if err := s.m.Sleep(core.TxID(id)); err == nil {
+			if err := s.b.Sleep(id); err == nil {
 				s.log.Printf("wire: connection lost, transaction %s now sleeping", id)
 			}
 		}
 	}
 }
 
-// client returns the registered client for a transaction.
-func (s *Server) client(tx string) (*core.Client, error) {
+// client returns the registered session for a transaction.
+func (s *Server) client(tx string) (Session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, ok := s.clients[tx]
@@ -457,7 +471,7 @@ func (s *Server) dispatch(req *Request, cc *connCtx) *Response {
 		if req.Tx == "" {
 			return fail(errors.New("wire: begin needs a tx id"))
 		}
-		c, err := s.m.BeginClient(core.TxID(req.Tx))
+		c, err := s.b.Begin(req.Tx)
 		if err != nil {
 			return fail(err)
 		}
@@ -567,81 +581,90 @@ func (s *Server) dispatch(req *Request, cc *connCtx) *Response {
 		}
 		return &Response{OK: true, Resumed: resumed}
 
+	case OpPrepare:
+		c, err := s.client(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		tp, ok := c.(TwoPhaseSession)
+		if !ok {
+			return fail(errors.New("wire: backend does not support two-phase commit"))
+		}
+		writes, err := tp.Prepare(s.baseCtx)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Writes: writes}
+
+	case OpDecide:
+		c, err := s.client(req.Tx)
+		if err != nil {
+			return fail(err)
+		}
+		tp, ok := c.(TwoPhaseSession)
+		if !ok {
+			return fail(errors.New("wire: backend does not support two-phase commit"))
+		}
+		if err := tp.Decide(s.baseCtx, req.Decision, req.Writes); err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true}
+
+	case OpReplay:
+		rb, ok := s.b.(ReplayBackend)
+		if !ok {
+			return fail(errors.New("wire: backend does not support decision replay"))
+		}
+		if req.Marker == nil {
+			return fail(errors.New("wire: replay needs a decision marker"))
+		}
+		applied, err := rb.ReplayDecided(req.Tx, *req.Marker, req.Writes)
+		if err != nil {
+			return fail(err)
+		}
+		return &Response{OK: true, Applied: applied}
+
+	case OpShards:
+		sb, ok := s.b.(ShardBackend)
+		if !ok {
+			return fail(errors.New("wire: not a sharded deployment"))
+		}
+		resp := &Response{OK: true, Shards: sb.Topology()}
+		if req.Object != "" {
+			idx, err := sb.Route(req.Object)
+			if err != nil {
+				return fail(err)
+			}
+			resp.Shard = &idx
+		}
+		return resp
+
 	case OpState:
-		st, err := s.m.TxState(core.TxID(req.Tx))
+		st, err := s.b.TxState(req.Tx)
 		if err != nil {
 			return fail(err)
 		}
 		return &Response{OK: true, State: st.String()}
 
 	case OpObjects:
-		ids := s.m.Objects()
-		out := make([]string, len(ids))
-		for i, id := range ids {
-			out[i] = string(id)
-		}
-		return &Response{OK: true, Objects: out}
+		return &Response{OK: true, Objects: s.b.Objects()}
 
 	case OpStats:
-		st := s.m.Stats()
-		stats := map[string]uint64{
-			"begun": st.Begun, "committed": st.Committed, "aborted": st.Aborted,
-			"grants": st.Grants, "waits": st.Waits, "sleeps": st.Sleeps,
-			"awakes": st.Awakes, "awake_aborts": st.AwakeAborts,
-			"ssts": st.SSTs, "sst_failures": st.SSTFailures,
-			"reconciled": st.Reconciled, "denied_admits": st.DeniedAdmits,
-		}
-		for reason, n := range st.AbortsBy {
-			stats["aborts_"+reason.String()] = n
-		}
-		resp := &Response{OK: true, Stats: stats}
+		resp := &Response{OK: true, Stats: s.b.Stats()}
 		if s.obs != nil {
 			resp.Metrics = s.obs.Snapshot()
 		}
 		return resp
 
 	case OpInfo:
-		info, err := s.m.ObjectInfo(core.ObjectID(req.Object))
+		info, err := s.b.ObjectInfo(req.Object)
 		if err != nil {
 			return fail(err)
 		}
-		out := &ObjectInfoJSON{ID: string(info.ID), Members: make(map[string]Value, len(info.Members))}
-		for member, v := range info.Members {
-			out.Members[member] = FromSem(v)
-		}
-		conv := func(in []core.TxOp) []TxOpJSON {
-			res := make([]TxOpJSON, len(in))
-			for i, to := range in {
-				res[i] = TxOpJSON{Tx: string(to.Tx), Class: ClassName(to.Op.Class), Member: to.Op.Member}
-			}
-			return res
-		}
-		out.Pending = conv(info.Pending)
-		out.Waiting = conv(info.Waiting)
-		out.Committing = conv(info.Commiting)
-		for _, tx := range info.Sleeping {
-			out.Sleeping = append(out.Sleeping, string(tx))
-		}
-		for _, tx := range info.CommitQ {
-			out.CommitQ = append(out.CommitQ, string(tx))
-		}
-		return &Response{OK: true, Info: out}
+		return &Response{OK: true, Info: info}
 
 	case OpTxs:
-		var txs []TxSummaryJSON
-		for _, ti := range s.m.Transactions() {
-			objs := make([]string, len(ti.Objects))
-			for i, o := range ti.Objects {
-				objs[i] = string(o)
-			}
-			sum := TxSummaryJSON{ID: string(ti.ID), State: ti.State.String(),
-				Objects: objs, Priority: ti.Priority}
-			if ti.State == core.StateAborted {
-				sum.Reason = ti.Reason.String()
-			}
-			txs = append(txs, sum)
-		}
-		return &Response{OK: true, Txs: txs}
+		return &Response{OK: true, Txs: s.b.Transactions()}
 
 	default:
 		return fail(fmt.Errorf("wire: unknown op %q", req.Op))

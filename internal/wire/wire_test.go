@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -54,7 +55,7 @@ func TestFraming(t *testing.T) {
 	if err := ReadMsg(&buf, &got); err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("roundtrip %+v -> %+v", want, got)
 	}
 	// Oversized frames are rejected on both sides.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race bench bench-commit bench-shard chaos experiments fuzz obs-demo clean
+.PHONY: all build test lint race bench bench-commit bench-shard bench-gateway chaos experiments fuzz obs-demo clean
 
 all: build lint test
 
@@ -66,6 +66,31 @@ bench-shard:
 	s=$$(awk '/^throughput/{print $$2}' /tmp/bench-shard-1.out); \
 	c=$$(awk '/^throughput/{print $$2}' /tmp/bench-shard-4.out); \
 	awk -v s=$$s -v c=$$c 'BEGIN{printf "--- 4-shard speedup: %.2fx (%.0f vs %.0f tx/s)\n", c/s, c, s}'
+
+# Gateway swarm smoke: a small fleet of mostly-parked sessions multiplexed
+# over a handful of connections against gtmd -gateway. Asserts that parked
+# sessions stay under the per-client byte budget (the gauge the capacity
+# plan in docs/GATEWAY.md is built on) and that the JSON report has the
+# BENCH_gateway.json shape. The full 100k-client run behind the committed
+# BENCH_gateway.json uses the same command with CLIENTS=100000 DURATION=15s.
+BENCH_GW_CLIENTS ?= 5000
+BENCH_GW_CONNS ?= 4
+BENCH_GW_DURATION ?= 4s
+BENCH_GW_BUDGET ?= 512
+bench-gateway:
+	@$(GO) build -o /tmp/gtmd-bench ./cmd/gtmd
+	@$(GO) build -o /tmp/gtmload-bench ./cmd/gtmload
+	@/tmp/gtmd-bench -addr 127.0.0.1:7771 -http 127.0.0.1:7772 -gateway -seats 100000000 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null" EXIT; \
+	sleep 1; \
+	/tmp/gtmload-bench -addr 127.0.0.1:7771 -swarm \
+		-clients $(BENCH_GW_CLIENTS) -conns $(BENCH_GW_CONNS) \
+		-park-min 500ms -duration $(BENCH_GW_DURATION) \
+		-budget-bytes $(BENCH_GW_BUDGET) -json /tmp/bench-gateway.json; \
+	grep -q '"bench": "gateway-swarm"' /tmp/bench-gateway.json && \
+	grep -q '"bytes_per_parked_session"' /tmp/bench-gateway.json && \
+	echo "--- report shape ok: /tmp/bench-gateway.json"
 
 # Fault-injection soak: booking workload through a flaky proxy across two
 # server crash-restarts, seat-conservation oracle, race detector on

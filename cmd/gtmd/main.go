@@ -28,6 +28,13 @@
 //	gtmd -route host0:7655,host1:7656 -addr :7654 -data /var/lib/router
 //	    A router/coordinator over already-running participants.
 //
+// With -gateway (composes with every mode), the TCP front end is the
+// session-multiplexing gateway tier: many logical sessions per connection,
+// token-bucket admission control (-gw-rate, -gw-tenant-rate), bounded
+// dispatch lanes with retry-after backpressure (-gw-lanes, -gw-lane-depth)
+// and a parked-session table so an idle disconnected client costs bytes
+// (-gw-max-sessions, -gw-session-retention). See docs/GATEWAY.md.
+//
 // With -http, a diagnostics listener serves /metrics (Prometheus text),
 // /healthz, /debug/trace (the GTM event ring as JSON) and /debug/pprof.
 // See docs/OBSERVABILITY.md and docs/SHARDING.md.
@@ -47,6 +54,7 @@ import (
 	"time"
 
 	"preserial/internal/core"
+	"preserial/internal/gateway"
 	"preserial/internal/ldbs"
 	"preserial/internal/obs"
 	"preserial/internal/sem"
@@ -71,6 +79,17 @@ type config struct {
 	route      string
 	shardIndex int
 	shardCount int
+
+	gateway       bool
+	gwLanes       int
+	gwLaneDepth   int
+	gwWorkers     int
+	gwSessions    int
+	gwRate        float64
+	gwBurst       float64
+	gwTenantRate  float64
+	gwTenantBurst float64
+	gwRetention   time.Duration
 
 	managerOpts func() []core.Option
 
@@ -101,6 +120,16 @@ func main() {
 	route := flag.String("route", "", "comma-separated participant addresses; serve as a stateless router/coordinator over them")
 	shardIndex := flag.Int("shard-index", 0, "this participant's ring position (with -shard-count)")
 	shardCount := flag.Int("shard-count", 0, "total shard count of the cluster this participant belongs to (0: not a participant)")
+	gw := flag.Bool("gateway", false, "serve the session-multiplexing gateway front end (many logical sessions per connection, admission control, parked-session table) instead of one goroutine per connection; composes with every mode")
+	gwLanes := flag.Int("gw-lanes", gateway.DefaultLanes, "gateway dispatch lanes (requests route by owning shard, or by tx hash)")
+	gwLaneDepth := flag.Int("gw-lane-depth", gateway.DefaultLaneDepth, "per-lane queue bound; a full lane sheds with retry-after")
+	gwWorkers := flag.Int("gw-lane-workers", gateway.DefaultLaneWorkers, "concurrent requests per lane")
+	gwSessions := flag.Int("gw-max-sessions", 0, "session-table cap, bound + parked (0: unlimited)")
+	gwRate := flag.Float64("gw-rate", 0, "global admission rate, transaction begins per second (0: unlimited)")
+	gwBurst := flag.Float64("gw-burst", 0, "global admission burst (0: same as -gw-rate)")
+	gwTenantRate := flag.Float64("gw-tenant-rate", 0, "per-tenant admission rate, begins per second (0: no per-tenant limiting)")
+	gwTenantBurst := flag.Float64("gw-tenant-burst", 0, "per-tenant admission burst (0: same as -gw-tenant-rate)")
+	gwRetention := flag.Duration("gw-session-retention", gateway.DefaultSessionRetention, "reap parked sessions idle longer than this (negative: never)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gtmd: ", log.LstdFlags)
@@ -110,6 +139,9 @@ func main() {
 		idle: *idle, waitTO: *waitTO, sleepTO: *sleepTO, invokeTO: *invokeTO,
 		httpAddr: *httpAddr, drainTO: *drainTO,
 		shards: *shards, route: *route, shardIndex: *shardIndex, shardCount: *shardCount,
+		gateway: *gw, gwLanes: *gwLanes, gwLaneDepth: *gwLaneDepth, gwWorkers: *gwWorkers,
+		gwSessions: *gwSessions, gwRate: *gwRate, gwBurst: *gwBurst,
+		gwTenantRate: *gwTenantRate, gwTenantBurst: *gwTenantBurst, gwRetention: *gwRetention,
 		logger: logger, reg: reg,
 		observ: core.NewObservability(reg, *traceDepth),
 		start:  time.Now(),
@@ -197,8 +229,8 @@ func runSingle(cfg *config, walOpts ldbs.Options) {
 		SleepAbortAfter: cfg.sleepTO,
 	}, 5*time.Second)
 
-	srv := wire.NewServer(m, wire.ServerOptions{Logger: logger, InvokeTimeout: cfg.invokeTO, Obs: cfg.reg})
-	serveWithDrain(cfg, srv, fmt.Sprintf("single node (data dir %q)", cfg.dataDir), func() {
+	srv := cfg.newFrontEnd(wire.NewManagerBackend(m))
+	serveWithDrain(cfg, srv, cfg.banner(fmt.Sprintf("single node (data dir %q)", cfg.dataDir)), func() {
 		m.Close()
 		if pers != nil {
 			if err := pers.Checkpoint(db); err != nil {
@@ -282,8 +314,8 @@ func runCluster(cfg *config, walOpts ldbs.Options) {
 	}
 
 	startHTTP(cfg, liveCountBackend(cl))
-	srv := wire.NewBackendServer(cl, wire.ServerOptions{Logger: logger, InvokeTimeout: cfg.invokeTO, Obs: cfg.reg})
-	serveWithDrain(cfg, srv, fmt.Sprintf("%d in-process shards (data dir %q)", cfg.shards, cfg.dataDir), func() {
+	srv := cfg.newFrontEnd(cl)
+	serveWithDrain(cfg, srv, cfg.banner(fmt.Sprintf("%d in-process shards (data dir %q)", cfg.shards, cfg.dataDir)), func() {
 		cl.Close()
 		for i, s := range locals {
 			if err := s.Checkpoint(); err != nil {
@@ -338,8 +370,8 @@ func runParticipant(cfg *config, walOpts ldbs.Options) {
 		SleepAbortAfter: cfg.sleepTO,
 	}, 5*time.Second)
 
-	srv := wire.NewServer(m, wire.ServerOptions{Logger: logger, InvokeTimeout: cfg.invokeTO, Obs: cfg.reg})
-	serveWithDrain(cfg, srv, fmt.Sprintf("participant %d/%d (data dir %q)", cfg.shardIndex, cfg.shardCount, cfg.dataDir), func() {
+	srv := cfg.newFrontEnd(wire.NewManagerBackend(m))
+	serveWithDrain(cfg, srv, cfg.banner(fmt.Sprintf("participant %d/%d (data dir %q)", cfg.shardIndex, cfg.shardCount, cfg.dataDir)), func() {
 		if err := s.Checkpoint(); err != nil {
 			logger.Printf("final checkpoint: %v", err)
 		}
@@ -382,13 +414,50 @@ func runRouter(cfg *config) {
 	}
 
 	startHTTP(cfg, liveCountBackend(cl))
-	srv := wire.NewBackendServer(cl, wire.ServerOptions{Logger: logger, InvokeTimeout: cfg.invokeTO, Obs: cfg.reg})
-	serveWithDrain(cfg, srv, fmt.Sprintf("router over %d participants %v", len(addrs), addrs), func() {
+	srv := cfg.newFrontEnd(cl)
+	serveWithDrain(cfg, srv, cfg.banner(fmt.Sprintf("router over %d participants %v", len(addrs), addrs)), func() {
 		cl.Close()
 	})
 }
 
 // --- shared plumbing ---
+
+// frontEnd is the surface serveWithDrain needs from either TCP front end:
+// the classic wire.Server or the multiplexing gateway.Server.
+type frontEnd interface {
+	Serve(addr string) error
+	Drain(timeout time.Duration) wire.DrainReport
+}
+
+// newFrontEnd builds the mode-independent front end over a backend: the
+// gateway when -gateway is set, the classic server otherwise.
+func (cfg *config) newFrontEnd(b wire.Backend) frontEnd {
+	if cfg.gateway {
+		return gateway.NewServer(b, gateway.Options{
+			Logger:           cfg.logger,
+			Obs:              cfg.reg,
+			InvokeTimeout:    cfg.invokeTO,
+			Lanes:            cfg.gwLanes,
+			LaneDepth:        cfg.gwLaneDepth,
+			LaneWorkers:      cfg.gwWorkers,
+			MaxSessions:      cfg.gwSessions,
+			Rate:             cfg.gwRate,
+			Burst:            cfg.gwBurst,
+			TenantRate:       cfg.gwTenantRate,
+			TenantBurst:      cfg.gwTenantBurst,
+			SessionRetention: cfg.gwRetention,
+		})
+	}
+	return wire.NewBackendServer(b, wire.ServerOptions{Logger: cfg.logger, InvokeTimeout: cfg.invokeTO, Obs: cfg.reg})
+}
+
+// banner prefixes the mode description with the front-end kind.
+func (cfg *config) banner(mode string) string {
+	if cfg.gateway {
+		return "gateway over " + mode
+	}
+	return mode
+}
 
 // liveCount counts a manager's non-terminal transactions.
 func liveCount(m *core.Manager) func() float64 {
@@ -433,7 +502,7 @@ func startHTTP(cfg *config, live func() float64) {
 
 // serveWithDrain serves until SIGTERM/SIGINT, then drains gracefully and
 // runs the mode's shutdown hook.
-func serveWithDrain(cfg *config, srv *wire.Server, banner string, shutdown func()) {
+func serveWithDrain(cfg *config, srv frontEnd, banner string, shutdown func()) {
 	logger := cfg.logger
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)

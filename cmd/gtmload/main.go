@@ -1,19 +1,37 @@
-// Command gtmload drives a running gtmd with the paper's Section VI.B
-// workload in real time over TCP: N transactions arriving at a fixed rate,
-// subtracting (probability α) or assigning (1−α) on the demo flights, with
-// disconnection probability β — a disconnection is a real dropped TCP
-// connection, after which the client reconnects, attaches and awakens its
-// transaction.
+// Command gtmload drives a running gtmd over TCP in one of three modes.
+//
+// The default mode replays the paper's Section VI.B workload in real time:
+// N transactions arriving at a fixed rate, subtracting (probability α) or
+// assigning (1−α) on the demo flights, with disconnection probability β —
+// a disconnection is a real dropped TCP connection, after which the client
+// reconnects, attaches and awakens its transaction. It prints the same two
+// quantities as Fig. 3: mean execution time and abort percentage. By
+// default clients are wire.ResilientConn (deadlines, reconnect with
+// backoff, exactly-once retries); -resilient=false drives the legacy v1
+// attach/awake flow by hand. Client-side wire_* counters (reconnects,
+// retries) are printed after the run.
 //
 //	gtmd -addr 127.0.0.1:7654 &
 //	gtmload -addr 127.0.0.1:7654 -n 100 -alpha 0.8 -beta 0.1 -interarrival 20ms
 //
-// It prints the same two quantities as Fig. 3: mean execution time and
-// abort percentage — this time measured against a real server rather than
-// the virtual-clock emulation. By default clients are wire.ResilientConn
-// (deadlines, reconnect with backoff, exactly-once retries); -resilient=false
-// drives the legacy v1 attach/awake flow by hand. Client-side wire_*
-// counters (reconnects, retries) are printed after the run.
+// -bench is a closed-loop throughput mode: -workers goroutines hammer
+// single-object bookings across every demo resource with no think time for
+// -duration, then print tx/s and the server's counters.
+//
+//	gtmload -addr 127.0.0.1:7654 -bench -workers 64 -duration 10s
+//
+// -swarm simulates a mobile fleet against a gateway (gtmd -gateway):
+// -clients logical sessions multiplexed over -conns TCP connections, each
+// client parked (detached) almost all the time and waking on a heavy-tailed
+// Pareto schedule (-park-min, -park-alpha) to book one seat and park again.
+// No goroutine exists per client on either side; -swarm-workers goroutines
+// execute due wake-ups from an event heap. The run reports throughput and
+// the parked-session byte cost (from the server's gw_* gauges), optionally
+// enforces -budget-bytes per parked session, and writes a JSON report with
+// -json (see BENCH_gateway.json and docs/GATEWAY.md).
+//
+//	gtmd -addr 127.0.0.1:7654 -gateway -seats 1000000 &
+//	gtmload -addr 127.0.0.1:7654 -swarm -clients 100000 -conns 8 -duration 10s -json BENCH_gateway.json
 package main
 
 import (
@@ -47,9 +65,27 @@ func main() {
 	callTO := flag.Duration("call-timeout", wire.DefaultCallTimeout, "per-call deadline for the resilient client")
 	bench := flag.Bool("bench", false, "throughput mode: closed-loop workers hammering single-object bookings across every demo resource, no think time; prints tx/s")
 	workers := flag.Int("workers", 32, "concurrent workers in -bench mode")
-	duration := flag.Duration("duration", 5*time.Second, "how long to drive load in -bench mode")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive load in -bench and -swarm modes")
+	swarm := flag.Bool("swarm", false, "fleet mode against gtmd -gateway: many mostly-parked sessions multiplexed over few connections; reports parked-session byte cost")
+	swarmClients := flag.Int("clients", 100000, "logical clients (sessions) in -swarm mode")
+	swarmConns := flag.Int("conns", 8, "TCP connections the swarm multiplexes over")
+	swarmWorkers := flag.Int("swarm-workers", 64, "goroutines executing wake-ups in -swarm mode")
+	parkMin := flag.Duration("park-min", 2*time.Second, "minimum park (think/sleep) time between a swarm client's wake-ups")
+	parkAlpha := flag.Float64("park-alpha", 1.5, "Pareto tail exponent for park times (smaller = heavier tail)")
+	tenants := flag.Int("tenants", 4, "distinct tenants the swarm spreads clients across")
+	budgetBytes := flag.Int64("budget-bytes", 0, "fail the swarm run if bytes per parked session exceed this (0 = report only)")
+	jsonPath := flag.String("json", "", "write the swarm report as JSON to this path")
 	flag.Parse()
 
+	if *swarm {
+		runSwarm(swarmConfig{
+			addr: *addr, clients: *swarmClients, conns: *swarmConns,
+			workers: *swarmWorkers, duration: *duration,
+			parkMin: *parkMin, parkAlpha: *parkAlpha, tenants: *tenants,
+			seed: *seed, callTO: *callTO, budget: *budgetBytes, jsonPath: *jsonPath,
+		})
+		return
+	}
 	if *bench {
 		runBench(*addr, *workers, *duration)
 		return

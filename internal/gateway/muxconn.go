@@ -1,0 +1,289 @@
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"preserial/internal/sem"
+	"preserial/internal/wire"
+)
+
+// MuxConn is the client side of a multiplexed gateway connection: many
+// logical sessions (and any number of in-flight requests) share one TCP
+// connection. Every request is stamped with a correlation ID; a reader
+// goroutine routes responses back to their callers, so calls from
+// different goroutines interleave freely. Compare wire.Conn, which is one
+// synchronous session per connection.
+type MuxConn struct {
+	c       net.Conn
+	timeout time.Duration
+
+	wmu    sync.Mutex // serializes request frames
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	calls map[uint64]chan *wire.Response // in-flight, by correlation id
+	err   error                          // set once the reader dies; conn unusable
+}
+
+// DialMux connects to a gateway with the default call timeout.
+func DialMux(addr string) (*MuxConn, error) {
+	return DialMuxTimeout(addr, 10*time.Second, wire.DefaultCallTimeout)
+}
+
+// DialMuxTimeout connects with explicit timeouts. callTimeout bounds each
+// request/response round trip; zero waits forever.
+func DialMuxTimeout(addr string, dialTimeout, callTimeout time.Duration) (*MuxConn, error) {
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	m := &MuxConn{c: c, timeout: callTimeout, calls: make(map[uint64]chan *wire.Response)}
+	go m.readLoop()
+	return m, nil
+}
+
+// Close hangs up. Sessions attached on this connection get parked by the
+// gateway and can be resumed from a new MuxConn.
+func (m *MuxConn) Close() error { return m.c.Close() }
+
+// readLoop routes response frames to their waiting callers.
+func (m *MuxConn) readLoop() {
+	for {
+		var resp wire.Response
+		if err := wire.ReadMsg(m.c, &resp); err != nil {
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		ch := m.calls[resp.ID]
+		delete(m.calls, resp.ID)
+		m.mu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every in-flight caller.
+func (m *MuxConn) fail(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err == nil {
+		m.err = err
+	}
+	for id, ch := range m.calls {
+		delete(m.calls, id)
+		close(ch) // closed channel = transport failure, not a response
+	}
+}
+
+// Call performs one round trip. It overwrites req.ID with a fresh
+// correlation id; everything else (Session, Tx, Seq, …) is the caller's.
+// Safe for concurrent use. An admission rejection comes back as a
+// *wire.RetryAfterError (match errors.Is(err, wire.ErrRetryAfter)).
+func (m *MuxConn) Call(req *wire.Request) (*wire.Response, error) {
+	id := m.nextID.Add(1)
+	req.ID = id
+	ch := make(chan *wire.Response, 1)
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.calls[id] = ch
+	m.mu.Unlock()
+
+	m.wmu.Lock()
+	err := wire.WriteMsg(m.c, req)
+	m.wmu.Unlock()
+	if err != nil {
+		m.mu.Lock()
+		delete(m.calls, id)
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	var timeoutC <-chan time.Time
+	if m.timeout > 0 {
+		t := time.NewTimer(m.timeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			m.mu.Lock()
+			err := m.err
+			m.mu.Unlock()
+			if err == nil {
+				err = wire.ErrPeerClosed
+			}
+			return nil, fmt.Errorf("%w: %v", wire.ErrPeerClosed, err)
+		}
+		if !resp.OK {
+			if ra := wire.AsRetryAfter(resp); ra != nil {
+				return resp, ra
+			}
+			return resp, errors.New(resp.Err)
+		}
+		return resp, nil
+	case <-timeoutC:
+		m.mu.Lock()
+		delete(m.calls, id) // a late response for this id is dropped
+		m.mu.Unlock()
+		return nil, wire.ErrCallTimeout
+	}
+}
+
+// Attach creates or resumes the logical session id under tenant. On a
+// resume, owned lists the transactions the session still holds (asleep if
+// the session was parked) for the caller to re-awaken.
+func (m *MuxConn) Attach(id, tenant string) (resumed bool, owned []string, err error) {
+	resp, err := m.Call(&wire.Request{Op: wire.OpGwAttach, Session: id, Tenant: tenant})
+	if err != nil {
+		return false, nil, err
+	}
+	return resp.Resumed, resp.OwnedTxs, nil
+}
+
+// Detach parks the session: its live transactions sleep server-side and a
+// later Attach (from any connection) resumes them.
+func (m *MuxConn) Detach(id string) error {
+	_, err := m.Call(&wire.Request{Op: wire.OpGwDetach, Session: id})
+	return err
+}
+
+// Session attaches session id and returns its typed client.
+func (m *MuxConn) Session(id, tenant string) (*SessionClient, bool, error) {
+	resumed, _, err := m.Attach(id, tenant)
+	if err != nil {
+		return nil, false, err
+	}
+	return &SessionClient{m: m, id: id, seqs: make(map[string]uint64)}, resumed, nil
+}
+
+// SessionClient is the typed per-session API over a MuxConn — the mux
+// analogue of wire.Conn. It stamps each request with its session and
+// assigns per-transaction sequence numbers so mutating requests are
+// protected by the server's exactly-once window. Safe for concurrent use,
+// though per-transaction ordering is only meaningful when each transaction
+// is driven by one goroutine at a time.
+type SessionClient struct {
+	m  *MuxConn
+	id string
+
+	mu   sync.Mutex
+	seqs map[string]uint64 // next seq per transaction
+}
+
+// ID returns the logical session id.
+func (s *SessionClient) ID() string { return s.id }
+
+// call stamps session and seq, then round-trips.
+func (s *SessionClient) call(req *wire.Request) (*wire.Response, error) {
+	req.Session = s.id
+	if req.Seq == 0 && req.Tx != "" && req.Op.Mutating() {
+		s.mu.Lock()
+		s.seqs[req.Tx]++
+		req.Seq = s.seqs[req.Tx]
+		s.mu.Unlock()
+	}
+	return s.m.Call(req)
+}
+
+// Seq returns the last sequence number assigned for tx (0 if none) — a
+// reconnecting caller replays its unanswered request with the same seq.
+func (s *SessionClient) Seq(tx string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seqs[tx]
+}
+
+// SetSeq primes the sequence counter for tx, for callers resuming a
+// session whose transactions were begun by an earlier SessionClient.
+func (s *SessionClient) SetSeq(tx string, seq uint64) {
+	s.mu.Lock()
+	s.seqs[tx] = seq
+	s.mu.Unlock()
+}
+
+// Begin starts a transaction owned by this session.
+func (s *SessionClient) Begin(tx string) error {
+	_, err := s.call(&wire.Request{Op: wire.OpBegin, Tx: tx})
+	return err
+}
+
+// Attach adopts an existing transaction into this session.
+func (s *SessionClient) Attach(tx string) error {
+	_, err := s.call(&wire.Request{Op: wire.OpAttach, Tx: tx})
+	return err
+}
+
+// Invoke requests an operation class on an object, blocking until granted.
+func (s *SessionClient) Invoke(tx, object string, class sem.Class, member string) error {
+	_, err := s.call(&wire.Request{Op: wire.OpInvoke, Tx: tx, Object: object,
+		Class: wire.ClassName(class), Member: member})
+	return err
+}
+
+// Read returns the transaction's virtual value of the object.
+func (s *SessionClient) Read(tx, object string) (sem.Value, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpRead, Tx: tx, Object: object})
+	if err != nil {
+		return sem.Value{}, err
+	}
+	if resp.Value == nil {
+		return sem.Value{}, errors.New("gateway: read returned no value")
+	}
+	return resp.Value.ToSem()
+}
+
+// Apply performs one operation of the invoked class on the virtual copy.
+func (s *SessionClient) Apply(tx, object string, operand sem.Value) error {
+	wv := wire.FromSem(operand)
+	_, err := s.call(&wire.Request{Op: wire.OpApply, Tx: tx, Object: object, Operand: &wv})
+	return err
+}
+
+// Commit runs the two-phase commit and blocks until the SST finishes.
+func (s *SessionClient) Commit(tx string) error {
+	_, err := s.call(&wire.Request{Op: wire.OpCommit, Tx: tx})
+	return err
+}
+
+// Abort aborts the transaction.
+func (s *SessionClient) Abort(tx string) error {
+	_, err := s.call(&wire.Request{Op: wire.OpAbort, Tx: tx})
+	return err
+}
+
+// Sleep parks the transaction explicitly.
+func (s *SessionClient) Sleep(tx string) error {
+	_, err := s.call(&wire.Request{Op: wire.OpSleep, Tx: tx})
+	return err
+}
+
+// Awake resumes a sleeping transaction; resumed=false means the GTM
+// aborted it because an incompatible operation intervened.
+func (s *SessionClient) Awake(tx string) (resumed bool, err error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpAwake, Tx: tx})
+	if err != nil {
+		return false, err
+	}
+	return resp.Resumed, nil
+}
+
+// State returns the transaction's state name.
+func (s *SessionClient) State(tx string) (string, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpState, Tx: tx})
+	if err != nil {
+		return "", err
+	}
+	return resp.State, nil
+}

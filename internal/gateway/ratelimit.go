@@ -1,0 +1,80 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a standard token-bucket rate limiter: capacity burst,
+// refilled at rate tokens/second. take is non-blocking — admission control
+// must never queue work it is refusing — and on refusal reports how long
+// until a token will be available, which becomes the retry-after hint.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64, now time.Time) *tokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take tries to consume n tokens. ok=false means the bucket is empty; wait
+// is the time until n tokens will have accumulated at the refill rate.
+func (b *tokenBucket) take(n float64, now time.Time) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Second
+	}
+	deficit := n - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// tenantLimiter hands out one bucket per tenant, created lazily. The
+// zero-rate configuration disables per-tenant limiting entirely (every
+// take succeeds) so the map never grows.
+type tenantLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*tokenBucket
+}
+
+func newTenantLimiter(rate, burst float64) *tenantLimiter {
+	return &tenantLimiter{rate: rate, burst: burst, buckets: make(map[string]*tokenBucket)}
+}
+
+// take charges one token to tenant's bucket.
+func (l *tenantLimiter) take(tenant string, now time.Time) (ok bool, wait time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = newTokenBucket(l.rate, l.burst, now)
+		l.buckets[tenant] = b
+	}
+	l.mu.Unlock()
+	return b.take(1, now)
+}

@@ -1,0 +1,51 @@
+package gateway
+
+import (
+	"time"
+
+	"preserial/internal/wire"
+)
+
+// Per-session footprint model for the gw_parked_session_bytes gauge. The
+// numbers approximate the Go heap cost of one parked entry: the session
+// struct + table slot, and one owned-set slot per transaction id. They are
+// deliberately round — the gauge answers "what does a million parked
+// clients cost" capacity questions, not heap-profiler ones.
+const (
+	sessionBaseBytes = 192 // session struct + sessions-map slot + Owner
+	ownedEntryBytes  = 48  // one owned-set map slot
+)
+
+// session is one logical client in the gateway's session table.
+//
+// A bound session (conn != nil) belongs to exactly one gwConn; its requests
+// ride dispatch lanes and its responses go back on that conn. A parked
+// session (conn == nil) is the whole point of the tier: no connection, no
+// goroutine, no buffers — just this struct. Its live transactions sleep in
+// the GTM (the paper's disconnection semantics) and the persistent Owner
+// remembers what to hand back on resume. An idle mobile client therefore
+// costs O(bytes), and a gateway can hold a million of them.
+type session struct {
+	id     string
+	tenant string
+	// owner is the engine-side identity of this session. It persists across
+	// binds, which is what makes reconnect exactly-once-transparent: the
+	// engine's dedup windows and ownership registry see the same owner
+	// before and after a park.
+	owner *wire.Owner
+
+	// Bind state, guarded by the server's table lock. Park vs re-attach
+	// races resolve by conn identity: park only proceeds while the session
+	// is still bound to the connection asking to park it.
+	conn     *gwConn
+	lastSeen time.Time // last attach/detach/park; drives parked reaping
+}
+
+// footprint estimates the heap bytes this session costs while parked.
+func (s *session) footprint() int64 {
+	n := int64(sessionBaseBytes) + int64(len(s.id)+len(s.tenant))
+	for _, tx := range s.owner.Owned() {
+		n += ownedEntryBytes + int64(len(tx))
+	}
+	return n
+}

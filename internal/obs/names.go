@@ -18,7 +18,7 @@ const (
 	NameAwakes              = "gtm_awakes_total" // labeled outcome="resumed"|"aborted"
 	NameCommits             = "gtm_commits_total"
 	NameReconciliations     = "gtm_reconciliations_total"
-	NameSST                 = "gtm_sst_total" // labeled outcome="ok"|"failed"
+	NameSST                 = "gtm_sst_total"    // labeled outcome="ok"|"failed"
 	NameAborts              = "gtm_aborts_total" // labeled reason=<AbortReason>
 	NameSSTRetries          = "gtm_sst_retries_total"
 	NameSSTQueueDepth       = "gtm_sst_queue_depth"
@@ -30,13 +30,13 @@ const (
 	NameTxPrepared          = "gtm_tx_prepared_total"
 
 	// Local database system (internal/ldbs).
-	NameLDBSDeadlocks        = "ldbs_deadlocks_total"
-	NameLDBSLockWaits        = "ldbs_lock_waits_total"
-	NameLDBSLockWaitSeconds  = "ldbs_lock_wait_seconds"
-	NameWALFsyncs            = "ldbs_wal_fsyncs_total"
-	NameWALFsyncSeconds      = "ldbs_wal_fsync_seconds"
-	NameWALRecords           = "ldbs_wal_records_total"
-	NameWALGroupCommitBatch  = "ldbs_group_commit_batch_size"
+	NameLDBSDeadlocks       = "ldbs_deadlocks_total"
+	NameLDBSLockWaits       = "ldbs_lock_waits_total"
+	NameLDBSLockWaitSeconds = "ldbs_lock_wait_seconds"
+	NameWALFsyncs           = "ldbs_wal_fsyncs_total"
+	NameWALFsyncSeconds     = "ldbs_wal_fsync_seconds"
+	NameWALRecords          = "ldbs_wal_records_total"
+	NameWALGroupCommitBatch = "ldbs_group_commit_batch_size"
 
 	// Wire layer (internal/wire).
 	NameWireConnections       = "wire_connections_total"
@@ -51,7 +51,7 @@ const (
 	NameWireClientRetries     = "wire_client_retries_total"
 
 	// Shard cluster (internal/shard).
-	NameShardCommits        = "shard_commits_total"     // labeled path="single"|"cross", plus shard=<index> for per-shard counts
+	NameShardCommits        = "shard_commits_total" // labeled path="single"|"cross", plus shard=<index> for per-shard counts
 	NameShard2PCPrepares    = "shard_2pc_prepares_total"
 	NameShard2PCDecides     = "shard_2pc_decides_total" // labeled decision="commit"|"abort"
 	NameShard2PCDecideFails = "shard_2pc_decide_failures_total"
@@ -59,6 +59,20 @@ const (
 	NameShard2PCInDoubt     = "shard_2pc_in_doubt"
 	NameShardTxLive         = "shard_transactions_live" // labeled shard=<index>
 	NameShardObjects        = "shard_objects"           // labeled shard=<index>
+
+	// Gateway tier (internal/gateway). See docs/GATEWAY.md for the
+	// saturation runbook these feed.
+	NameGwConnsActive      = "gw_connections_active"      // gauge: open client connections
+	NameGwSessionsActive   = "gw_sessions_active"         // gauge: sessions bound to a connection
+	NameGwSessionsParked   = "gw_sessions_parked"         // gauge: sessions in the parked table
+	NameGwParkedBytes      = "gw_parked_session_bytes"    // gauge: estimated bytes held by parked sessions
+	NameGwAttaches         = "gw_session_attaches_total"  // labeled kind="new"|"resume"
+	NameGwParks            = "gw_session_parks_total"     // labeled cause="detach"|"disconnect"
+	NameGwSessionsExpired  = "gw_sessions_expired_total"  // parked sessions reaped by retention
+	NameGwAdmissionRejects = "gw_admission_rejects_total" // labeled reason="quota"|"tenant"|"lane"|"sessions"
+	NameGwDispatches       = "gw_dispatches_total"        // requests run through dispatch lanes
+	NameGwLaneDepth        = "gw_lane_queue_depth"        // gauge: queued requests across all lanes
+	NameGwDispatchSeconds  = "gw_dispatch_seconds"        // histogram: enqueue → response written
 
 	// Daemon process (cmd/gtmd).
 	NameUptimeSeconds = "gtmd_uptime_seconds"

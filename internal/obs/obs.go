@@ -225,9 +225,11 @@ func (r *Registry) snapshotEntries() []*entry {
 	return out
 }
 
-// Snapshot returns the counters (by full name, labels included) and
-// histogram observation counts (as name_count) as one flat map — the
-// payload of the wire protocol's stats op.
+// Snapshot returns the counters (by full name, labels included),
+// histogram observation counts (as name_count) and gauges as one flat
+// map — the payload of the wire protocol's stats op. Gauge values are
+// truncated to integers and clamped at zero; the map carries magnitudes
+// (bytes, sessions, goroutines), not sub-unit precision.
 func (r *Registry) Snapshot() map[string]uint64 {
 	entries := r.snapshotEntries()
 	out := make(map[string]uint64, len(entries))
@@ -237,6 +239,12 @@ func (r *Registry) Snapshot() map[string]uint64 {
 			out[e.name] = e.c.Load()
 		case kindHistogram:
 			out[e.name+"_count"] = e.h.Count()
+		case kindGauge:
+			if v := e.gauge(); v > 0 {
+				out[e.name] = uint64(v)
+			} else {
+				out[e.name] = 0
+			}
 		}
 	}
 	return out

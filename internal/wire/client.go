@@ -82,6 +82,9 @@ func (cn *Conn) call(req *Request) (*Response, error) {
 		return nil, classify(err)
 	}
 	if !resp.OK {
+		if ra := AsRetryAfter(&resp); ra != nil {
+			return &resp, ra
+		}
 		return &resp, errors.New(resp.Err)
 	}
 	return &resp, nil

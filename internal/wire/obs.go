@@ -26,7 +26,7 @@ type serverMetrics struct {
 var allOps = []Op{
 	OpBegin, OpAttach, OpInvoke, OpRead, OpApply, OpCommit, OpAbort,
 	OpSleep, OpAwake, OpState, OpObjects, OpStats, OpInfo, OpTxs, OpPing,
-	OpPrepare, OpDecide, OpReplay, OpShards,
+	OpPrepare, OpDecide, OpReplay, OpShards, OpGwAttach, OpGwDetach,
 }
 
 // newServerMetrics registers the wire_* metric set. activeConns reports the

@@ -9,8 +9,11 @@ package wire
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"strings"
+	"time"
 
 	"preserial/internal/sem"
 )
@@ -55,6 +58,14 @@ const (
 	OpDecide  Op = "decide"  // 2PC phase 2: settle a prepared transaction
 	OpReplay  Op = "replay"  // re-apply a logged decision after participant recovery
 	OpShards  Op = "shards"  // shard topology and object routing
+
+	// Gateway session control (gtmd -gateway; a plain server answers both
+	// with an error). gw.attach creates or resumes a logical session on
+	// this connection; gw.detach parks it — the session survives, costing
+	// bytes in the gateway's parked-session table instead of a connection
+	// and a goroutine. See docs/GATEWAY.md.
+	OpGwAttach Op = "gw.attach"
+	OpGwDetach Op = "gw.detach"
 )
 
 // Mutating reports whether the op changes transaction state on the server,
@@ -66,6 +77,11 @@ func (o Op) Mutating() bool {
 	case OpBegin, OpInvoke, OpApply, OpCommit, OpAbort, OpSleep, OpAwake, OpPrepare, OpDecide:
 		return true
 	case OpAttach, OpRead, OpState, OpObjects, OpStats, OpInfo, OpTxs, OpPing, OpShards:
+		return false
+	case OpGwAttach, OpGwDetach:
+		// Session control is idempotent by construction: attaching an
+		// attached session re-binds it, detaching a parked session is a
+		// no-op. Blind retries are safe, so no seq-window protection.
 		return false
 	case OpReplay:
 		// Replay is a write, but an idempotent one: the backend probes the
@@ -176,6 +192,20 @@ type Request struct {
 	Writes []SSTWriteJSON `json:"writes,omitempty"`
 	// Marker is the decision-marker write a replay probes before applying.
 	Marker *SSTWriteJSON `json:"marker,omitempty"`
+	// Session names the logical gateway session a request belongs to.
+	// gw.attach creates or resumes it; on later requests it routes the
+	// op to the session's owner bookkeeping. Empty means the legacy
+	// one-session-per-connection flow (and, on a gateway, the strict
+	// in-order response discipline of a plain server).
+	Session string `json:"session,omitempty"`
+	// Tenant is the quota bucket a gw.attach charges its session to;
+	// empty means the default tenant. Ignored outside gw.attach.
+	Tenant string `json:"tenant,omitempty"`
+	// ID correlates a multiplexed request with its response: a gateway
+	// may answer requests that carry a non-zero ID out of order, echoing
+	// the ID in Response.ID. Requests with ID 0 are answered strictly in
+	// order, like a plain server.
+	ID uint64 `json:"id,omitempty"`
 }
 
 // SSTWriteJSON is the wire form of one Secure System Transaction write.
@@ -248,6 +278,60 @@ type Response struct {
 	Shards []ShardStat `json:"shards,omitempty"`
 	// Shard is the route lookup result (shards op with an object set).
 	Shard *int `json:"shard,omitempty"`
+	// ID echoes the request's correlation id on multiplexed connections.
+	ID uint64 `json:"id,omitempty"`
+	// Session echoes the session id a gw.attach bound. A gw.attach that
+	// resumed a parked session (rather than creating a fresh one) also
+	// sets Resumed.
+	Session string `json:"session,omitempty"`
+	// OwnedTxs lists the transactions a resumed session still owns, so a
+	// reconnecting client knows what to re-attach and awaken.
+	OwnedTxs []string `json:"owned_txs,omitempty"`
+	// RetryAfterMS is the backpressure hint on an admission rejection:
+	// the client should back off at least this long before retrying.
+	// Always accompanied by ok:false and a "retry after" error.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrRetryAfter classifies admission rejections: the gateway shed the
+// request under load instead of queueing it unboundedly. Match with
+// errors.Is; the concrete *RetryAfterError carries the backoff hint.
+var ErrRetryAfter = errors.New("wire: retry after")
+
+// RetryAfterError is the typed form of a gateway's backpressure rejection.
+// The client should wait at least After before retrying; Reason names the
+// saturated resource ("quota", "tenant", "lane", "sessions").
+type RetryAfterError struct {
+	After  time.Duration
+	Reason string
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("wire: retry after %s (%s saturated)", e.After, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrRetryAfter) match.
+func (e *RetryAfterError) Is(target error) bool { return target == ErrRetryAfter }
+
+// RetryAfterResponse builds the protocol form of a backpressure rejection.
+func RetryAfterResponse(after time.Duration, reason string) *Response {
+	return &Response{
+		Err:          (&RetryAfterError{After: after, Reason: reason}).Error(),
+		RetryAfterMS: after.Milliseconds(),
+	}
+}
+
+// AsRetryAfter reconstructs the typed error from a decoded response, or nil
+// if the response is not a backpressure rejection.
+func AsRetryAfter(resp *Response) *RetryAfterError {
+	if resp == nil || resp.OK || resp.RetryAfterMS <= 0 {
+		return nil
+	}
+	reason := "load"
+	if i := strings.Index(resp.Err, "("); i >= 0 {
+		reason = strings.TrimSuffix(strings.TrimSuffix(resp.Err[i+1:], ")"), " saturated")
+	}
+	return &RetryAfterError{After: time.Duration(resp.RetryAfterMS) * time.Millisecond, Reason: reason}
 }
 
 // WriteMsg frames v as [u32 length][JSON].

@@ -1,9 +1,7 @@
 package wire
 
 import (
-	"context"
 	"errors"
-	"fmt"
 	"io"
 	"log"
 	"net"
@@ -12,33 +10,26 @@ import (
 
 	"preserial/internal/core"
 	"preserial/internal/obs"
-	"preserial/internal/sem"
 )
 
-// Server exposes a core.Manager over TCP. It owns the mapping from
-// transaction ids to synchronous core.Clients and implements the
-// disconnection semantics: transactions whose connection vanishes are put
-// to sleep, not aborted.
+// Server exposes a core.Manager (or any Backend) over TCP with the classic
+// one-goroutine-per-connection front end. Request execution — the tx-id →
+// Session registry, exactly-once replay, ownership and disconnection
+// semantics — lives in Engine; the server owns the listener, framing, and
+// connection lifecycle. Transactions whose connection vanishes are put to
+// sleep, not aborted. For a front end that multiplexes many logical
+// sessions over few connections, see internal/gateway.
 type Server struct {
-	b             Backend
-	ln            net.Listener
-	log           *log.Logger
-	invokeTimeout time.Duration
-	retention     time.Duration
-	dedupWindow   int
-	stopSweep     chan struct{}
-	obs           *obs.Registry  // nil when observability is off
-	metrics       *serverMetrics // nil when observability is off
+	e       *Engine
+	ln      net.Listener
+	log     *log.Logger
+	obs     *obs.Registry  // nil when observability is off
+	metrics *serverMetrics // nil when observability is off
 
 	ready     chan struct{} // closed once the listener is bound
 	readyOnce sync.Once
-	baseCtx   context.Context // canceled on Close/Drain to unblock waits
-	baseStop  context.CancelFunc
 
 	mu       sync.Mutex
-	clients  map[string]Session
-	owners   map[string]net.Conn      // latest connection owning each tx
-	dedups   map[string]*dedupWindow  // per-tx exactly-once replay state
 	closed   bool
 	draining bool
 	conns    map[net.Conn]bool
@@ -82,25 +73,18 @@ func NewBackendServer(b Backend, opts ServerOptions) *Server {
 	if lg == nil {
 		lg = log.New(io.Discard, "", 0)
 	}
-	retention := opts.Retention
-	if retention == 0 {
-		retention = 10 * time.Minute
-	}
-	baseCtx, baseStop := context.WithCancel(context.Background())
 	s := &Server{
-		b:             b,
-		log:           lg,
-		invokeTimeout: opts.InvokeTimeout,
-		retention:     retention,
-		dedupWindow:   opts.DedupWindow,
-		obs:           opts.Obs,
-		ready:         make(chan struct{}),
-		baseCtx:       baseCtx,
-		baseStop:      baseStop,
-		clients:       make(map[string]Session),
-		owners:        make(map[string]net.Conn),
-		dedups:        make(map[string]*dedupWindow),
-		conns:         make(map[net.Conn]bool),
+		e: NewEngine(b, EngineOptions{
+			Logger:        lg,
+			InvokeTimeout: opts.InvokeTimeout,
+			Retention:     opts.Retention,
+			DedupWindow:   opts.DedupWindow,
+			Obs:           opts.Obs,
+		}),
+		log:   lg,
+		obs:   opts.Obs,
+		ready: make(chan struct{}),
+		conns: make(map[net.Conn]bool),
 	}
 	if s.obs != nil {
 		s.metrics = newServerMetrics(s.obs, func() float64 {
@@ -111,6 +95,9 @@ func NewBackendServer(b Backend, opts ServerOptions) *Server {
 	}
 	return s
 }
+
+// Engine returns the request engine, shared surface with internal/gateway.
+func (s *Server) Engine() *Engine { return s.e }
 
 // Serve listens on addr and handles connections until Close. It returns
 // the bound address via Addr once listening.
@@ -126,12 +113,9 @@ func (s *Server) Serve(addr string) error {
 		return errors.New("wire: server closed")
 	}
 	s.ln = ln
-	s.stopSweep = make(chan struct{})
 	s.mu.Unlock()
 	s.readyOnce.Do(func() { close(s.ready) })
-	if s.retention > 0 {
-		go s.sweepLoop()
-	}
+	s.e.StartSweep()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -174,31 +158,17 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
-	if s.stopSweep != nil {
-		close(s.stopSweep)
-		s.stopSweep = nil
-	}
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
-	s.baseStop() // unblock handlers parked in invoke/commit waits
+	s.e.Stop() // unblock handlers parked in invoke/commit waits
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
 	s.wg.Wait()
 	return err
-}
-
-// DrainReport summarizes a graceful drain.
-type DrainReport struct {
-	// Slept is how many live transactions were put to sleep (they survive
-	// in the GTM and can be attached + awakened after a restart).
-	Slept int
-	// CommitsFlushed is false when in-flight commits were still resolving
-	// when the drain timeout expired.
-	CommitsFlushed bool
 }
 
 // Drain shuts the server down gracefully — the SIGTERM path of gtmd. It
@@ -217,47 +187,12 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 	s.draining = true
 	s.closed = true
 	ln := s.ln
-	if s.stopSweep != nil {
-		close(s.stopSweep)
-		s.stopSweep = nil
-	}
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
-	s.baseStop()
 
-	slept := s.b.SleepAllLive()
-	if s.metrics != nil {
-		s.metrics.drainSleeps.Add(uint64(len(slept)))
-	}
-	for _, id := range slept {
-		s.log.Printf("wire: drain put %s to sleep", id)
-	}
-
-	// Commits past their commit point (SST possibly in flight) must finish
-	// before the process exits, or an acknowledged-but-unpublished outcome
-	// could be lost.
-	deadline := time.Now().Add(timeout)
-	flushed := true
-	committing, aborting := core.StateCommitting.String(), core.StateAborting.String()
-	for {
-		busy := false
-		for _, ti := range s.b.Transactions() {
-			if ti.State == committing || ti.State == aborting {
-				busy = true
-				break
-			}
-		}
-		if !busy {
-			break
-		}
-		if timeout > 0 && time.Now().After(deadline) {
-			flushed = false
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	rep := s.e.Drain(timeout)
 
 	s.mu.Lock()
 	for c := range s.conns {
@@ -265,51 +200,14 @@ func (s *Server) Drain(timeout time.Duration) DrainReport {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return DrainReport{Slept: len(slept), CommitsFlushed: flushed}
-}
-
-// sweepLoop periodically forgets long-terminal transactions.
-func (s *Server) sweepLoop() {
-	t := time.NewTicker(s.retention / 4)
-	defer t.Stop()
-	for {
-		s.mu.Lock()
-		stop := s.stopSweep
-		s.mu.Unlock()
-		if stop == nil {
-			return
-		}
-		select {
-		case <-stop:
-			return
-		case <-t.C:
-			s.Sweep(s.retention)
-		}
-	}
+	return rep
 }
 
 // Sweep forgets every terminal transaction that finished more than
 // olderThan ago, freeing its registry entry and client handle. It returns
 // the ids removed.
 func (s *Server) Sweep(olderThan time.Duration) []string {
-	removed := s.b.Sweep(olderThan)
-	if len(removed) > 0 {
-		s.mu.Lock()
-		for _, id := range removed {
-			delete(s.clients, id)
-			delete(s.owners, id)
-			delete(s.dedups, id)
-		}
-		s.mu.Unlock()
-		s.log.Printf("wire: swept %d terminal transactions", len(removed))
-	}
-	return removed
-}
-
-// connCtx is the per-connection handler state.
-type connCtx struct {
-	conn  net.Conn
-	owned map[string]bool // transactions begun or attached on this connection
+	return s.e.Sweep(olderThan)
 }
 
 // handle runs one connection's request loop.
@@ -320,8 +218,8 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	cc := &connCtx{conn: conn, owned: make(map[string]bool)}
-	defer s.disconnectOwned(cc)
+	owner := NewOwner(conn)
+	defer s.e.DisconnectOwner(owner)
 	if s.metrics != nil {
 		s.metrics.connsOpen.Inc()
 	}
@@ -339,7 +237,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.metrics.framesIn.Inc()
 			s.metrics.countOp(req.Op)
 		}
-		resp := s.serve(&req, cc)
+		resp := s.e.Serve(&req, owner)
 		if s.metrics != nil {
 			s.metrics.observe(start, resp.OK)
 		}
@@ -350,323 +248,5 @@ func (s *Server) handle(conn net.Conn) {
 		if s.metrics != nil {
 			s.metrics.framesOut.Inc()
 		}
-	}
-}
-
-// serve wraps dispatch with the exactly-once replay window: a mutating
-// request carrying a sequence number executes at most once per transaction,
-// however many times a reconnecting client retries it. A retry that races
-// the original (still executing on another connection's handler) waits for
-// the original's outcome instead of executing concurrently.
-func (s *Server) serve(req *Request, cc *connCtx) *Response {
-	if req.Seq == 0 || req.Tx == "" || !req.Op.Mutating() {
-		return s.dispatch(req, cc)
-	}
-	s.mu.Lock()
-	w := s.dedups[req.Tx]
-	if w == nil {
-		w = newDedupWindow(s.dedupWindow)
-		s.dedups[req.Tx] = w
-	}
-	s.mu.Unlock()
-	entry, fresh, err := w.admit(req.Seq)
-	if err != nil {
-		return &Response{Err: err.Error()}
-	}
-	if fresh {
-		resp := s.dispatch(req, cc)
-		w.finish(entry, resp)
-		// A transaction that just reached its terminal outcome will never
-		// send another mutating request, so every earlier entry's response
-		// is dead weight: collapse the window to the terminal entry alone.
-		// (Keeping that one entry is what lets a reconnecting client replay
-		// the commit/abort/decide it never got an answer for; the full
-		// window is released at Sweep.)
-		if resp.OK && terminalOp(req.Op) {
-			w.collapse(req.Seq)
-		}
-		return resp
-	}
-	select {
-	case <-entry.done:
-	case <-s.baseCtx.Done():
-		return &Response{Err: "wire: server draining"}
-	}
-	cached := w.response(entry)
-	if s.metrics != nil {
-		s.metrics.replays.Inc()
-	}
-	// Retries arrive on fresh connections: adopt ownership so the
-	// disconnection semantics follow the client to its new connection.
-	if req.Op == OpBegin {
-		s.adopt(req.Tx, cc)
-	}
-	replay := *cached
-	replay.Replayed = true
-	return &replay
-}
-
-// terminalOp reports whether a successful request of this kind ends the
-// transaction: its dedup window can collapse to the single terminal entry.
-func terminalOp(op Op) bool {
-	return op == OpCommit || op == OpAbort || op == OpDecide
-}
-
-// adopt registers cc as the latest owner of tx.
-func (s *Server) adopt(tx string, cc *connCtx) {
-	cc.owned[tx] = true
-	s.mu.Lock()
-	s.owners[tx] = cc.conn
-	s.mu.Unlock()
-}
-
-// disconnectOwned implements the mobile-disconnection semantics: every
-// transaction begun (or attached) on the lost connection that is still
-// Active or Waiting goes to sleep and can be attached + awakened later.
-// A transaction whose ownership has moved to a newer connection (the client
-// reconnected and re-attached before this teardown ran) is left alone —
-// without this check the dying connection would put a freshly re-attached
-// transaction back to sleep under its new owner.
-func (s *Server) disconnectOwned(cc *connCtx) {
-	for id := range cc.owned {
-		s.mu.Lock()
-		current, ok := s.owners[id]
-		if ok && current != cc.conn {
-			s.mu.Unlock()
-			continue // re-attached elsewhere meanwhile
-		}
-		delete(s.owners, id)
-		s.mu.Unlock()
-		st, err := s.b.TxState(id)
-		if err != nil {
-			continue
-		}
-		if st == core.StateActive || st == core.StateWaiting {
-			if err := s.b.Sleep(id); err == nil {
-				s.log.Printf("wire: connection lost, transaction %s now sleeping", id)
-			}
-		}
-	}
-}
-
-// client returns the registered session for a transaction.
-func (s *Server) client(tx string) (Session, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.clients[tx]
-	if !ok {
-		return nil, fmt.Errorf("wire: unknown transaction %q (begin or attach first)", tx)
-	}
-	return c, nil
-}
-
-// dispatch executes one request.
-func (s *Server) dispatch(req *Request, cc *connCtx) *Response {
-	fail := func(err error) *Response { return &Response{Err: err.Error()} }
-	switch req.Op {
-	case OpPing:
-		return &Response{OK: true}
-
-	case OpBegin:
-		if req.Tx == "" {
-			return fail(errors.New("wire: begin needs a tx id"))
-		}
-		c, err := s.b.Begin(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		s.mu.Lock()
-		s.clients[req.Tx] = c
-		s.mu.Unlock()
-		s.adopt(req.Tx, cc)
-		return &Response{OK: true}
-
-	case OpAttach:
-		s.mu.Lock()
-		_, ok := s.clients[req.Tx]
-		s.mu.Unlock()
-		if !ok {
-			return fail(fmt.Errorf("wire: no transaction %q to attach", req.Tx))
-		}
-		s.adopt(req.Tx, cc)
-		return &Response{OK: true}
-
-	case OpInvoke:
-		c, err := s.client(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		class, err := ParseClass(req.Class)
-		if err != nil {
-			return fail(err)
-		}
-		ctx := s.baseCtx
-		if s.invokeTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.invokeTimeout)
-			defer cancel()
-		}
-		if err := c.Invoke(ctx, core.ObjectID(req.Object), sem.Op{Class: class, Member: req.Member}); err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true, Granted: true}
-
-	case OpRead:
-		c, err := s.client(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		v, err := c.Read(core.ObjectID(req.Object))
-		if err != nil {
-			return fail(err)
-		}
-		wv := FromSem(v)
-		return &Response{OK: true, Value: &wv}
-
-	case OpApply:
-		c, err := s.client(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		if req.Operand == nil {
-			return fail(errors.New("wire: apply needs an operand"))
-		}
-		operand, err := req.Operand.ToSem()
-		if err != nil {
-			return fail(err)
-		}
-		if err := c.Apply(core.ObjectID(req.Object), operand); err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true}
-
-	case OpCommit:
-		c, err := s.client(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		if err := c.Commit(s.baseCtx); err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true}
-
-	case OpAbort:
-		c, err := s.client(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		if err := c.Abort(); err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true}
-
-	case OpSleep:
-		c, err := s.client(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		if err := c.Sleep(); err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true}
-
-	case OpAwake:
-		c, err := s.client(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		resumed, err := c.Awake()
-		if err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true, Resumed: resumed}
-
-	case OpPrepare:
-		c, err := s.client(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		tp, ok := c.(TwoPhaseSession)
-		if !ok {
-			return fail(errors.New("wire: backend does not support two-phase commit"))
-		}
-		writes, err := tp.Prepare(s.baseCtx)
-		if err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true, Writes: writes}
-
-	case OpDecide:
-		c, err := s.client(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		tp, ok := c.(TwoPhaseSession)
-		if !ok {
-			return fail(errors.New("wire: backend does not support two-phase commit"))
-		}
-		if err := tp.Decide(s.baseCtx, req.Decision, req.Writes); err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true}
-
-	case OpReplay:
-		rb, ok := s.b.(ReplayBackend)
-		if !ok {
-			return fail(errors.New("wire: backend does not support decision replay"))
-		}
-		if req.Marker == nil {
-			return fail(errors.New("wire: replay needs a decision marker"))
-		}
-		applied, err := rb.ReplayDecided(req.Tx, *req.Marker, req.Writes)
-		if err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true, Applied: applied}
-
-	case OpShards:
-		sb, ok := s.b.(ShardBackend)
-		if !ok {
-			return fail(errors.New("wire: not a sharded deployment"))
-		}
-		resp := &Response{OK: true, Shards: sb.Topology()}
-		if req.Object != "" {
-			idx, err := sb.Route(req.Object)
-			if err != nil {
-				return fail(err)
-			}
-			resp.Shard = &idx
-		}
-		return resp
-
-	case OpState:
-		st, err := s.b.TxState(req.Tx)
-		if err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true, State: st.String()}
-
-	case OpObjects:
-		return &Response{OK: true, Objects: s.b.Objects()}
-
-	case OpStats:
-		resp := &Response{OK: true, Stats: s.b.Stats()}
-		if s.obs != nil {
-			resp.Metrics = s.obs.Snapshot()
-		}
-		return resp
-
-	case OpInfo:
-		info, err := s.b.ObjectInfo(req.Object)
-		if err != nil {
-			return fail(err)
-		}
-		return &Response{OK: true, Info: info}
-
-	case OpTxs:
-		return &Response{OK: true, Txs: s.b.Transactions()}
-
-	default:
-		return fail(fmt.Errorf("wire: unknown op %q", req.Op))
 	}
 }

@@ -123,9 +123,9 @@ func TestDedupCollapseOnTerminal(t *testing.T) {
 	roundTrip(Request{Op: OpApply, Tx: "mob", Object: "flight", Operand: &Value{Kind: "int", Int: -1}, Seq: 3})
 	roundTrip(Request{Op: OpCommit, Tx: "mob", Seq: 4})
 
-	srv.mu.Lock()
-	w := srv.dedups["mob"]
-	srv.mu.Unlock()
+	srv.e.mu.Lock()
+	w := srv.e.dedups["mob"]
+	srv.e.mu.Unlock()
 	if w == nil {
 		t.Fatal("no dedup window for mob")
 	}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race bench bench-commit bench-shard bench-gateway chaos experiments fuzz obs-demo clean
+.PHONY: all build test lint race bench bench-commit bench-shard bench-gateway bench-mvcc chaos experiments fuzz obs-demo clean
 
 all: build lint test
 
@@ -91,6 +91,29 @@ bench-gateway:
 	grep -q '"bench": "gateway-swarm"' /tmp/bench-gateway.json && \
 	grep -q '"bytes_per_parked_session"' /tmp/bench-gateway.json && \
 	echo "--- report shape ok: /tmp/bench-gateway.json"
+
+# Read-mostly throughput: the same 90/10 read/write task mix with
+# transactional (locking) reads vs multiversion snapshot reads, plus a
+# writer-free window proving the snapshot path never enters the GTM
+# monitor. Asserts the committed BENCH_mvcc.json shape: ratio present,
+# snapshot reads counted, zero monitor entries in the proof window.
+BENCH_MVCC_WORKERS ?= 32
+BENCH_MVCC_DURATION ?= 5s
+bench-mvcc:
+	@$(GO) build -o /tmp/gtmd-bench ./cmd/gtmd
+	@$(GO) build -o /tmp/gtmload-bench ./cmd/gtmload
+	@/tmp/gtmd-bench -addr 127.0.0.1:7781 -seats 100000000 -epoch-commit 32 \
+		-idle-timeout 0 -wait-timeout 0 -sleep-abort-after 0 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null" EXIT; \
+	sleep 1; \
+	/tmp/gtmload-bench -addr 127.0.0.1:7781 -bench-mvcc \
+		-workers $(BENCH_MVCC_WORKERS) -duration $(BENCH_MVCC_DURATION) \
+		-json /tmp/bench-mvcc.json; \
+	grep -q '"ratio"' /tmp/bench-mvcc.json && \
+	grep -q '"proof_monitor_entries_delta": 0,' /tmp/bench-mvcc.json && \
+	grep -qv '"proof_snapshot_reads_delta": 0,' /tmp/bench-mvcc.json && \
+	echo "--- report shape ok: /tmp/bench-mvcc.json"
 
 # Fault-injection soak: booking workload through a flaky proxy across two
 # server crash-restarts, seat-conservation oracle, race detector on

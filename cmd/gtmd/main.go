@@ -130,6 +130,8 @@ func main() {
 	gwTenantRate := flag.Float64("gw-tenant-rate", 0, "per-tenant admission rate, begins per second (0: no per-tenant limiting)")
 	gwTenantBurst := flag.Float64("gw-tenant-burst", 0, "per-tenant admission burst (0: same as -gw-tenant-rate)")
 	gwRetention := flag.Duration("gw-session-retention", gateway.DefaultSessionRetention, "reap parked sessions idle longer than this (negative: never)")
+	epochBatch := flag.Int("epoch-commit", 0, "group decided commits into epochs of up to N store transactions, amortizing store 2PL and WAL fsync (0: apply each SST individually)")
+	epochWindow := flag.Duration("epoch-window", 2*time.Millisecond, "how long a part-filled epoch waits for company before sealing (0: seal on every arrival)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gtmd: ", log.LstdFlags)
@@ -150,6 +152,9 @@ func main() {
 		opts := []core.Option{core.WithHistory(), core.WithObservability(cfg.observ)}
 		if *sstWorkers > 0 {
 			opts = append(opts, core.WithSSTExecutor(*sstWorkers, *sstQueue))
+		}
+		if *epochBatch > 0 {
+			opts = append(opts, core.WithEpochCommit(*epochBatch, *epochWindow))
 		}
 		return opts
 	}

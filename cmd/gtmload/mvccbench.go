@@ -1,0 +1,258 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"preserial/internal/sem"
+	"preserial/internal/wire"
+)
+
+// mvccConfig parameterizes the -bench-mvcc mode.
+type mvccConfig struct {
+	addr     string
+	workers  int
+	duration time.Duration // per phase
+	readPct  int           // percent of tasks that are reads (default 90)
+	jsonPath string
+	seed     int64
+}
+
+// mvccReport is the JSON shape `make bench-mvcc` asserts on. Throughputs
+// are logical tasks per second, where a task is either one consistent
+// committed read of a demo resource or one booking transaction, at a
+// readPct/­(100−readPct) mix. The locking phase obtains its reads the
+// pre-multiversion way — a full GTM transaction (begin, read-class invoke,
+// read, commit), every step through the global monitor; the snapshot phase
+// reads through the multiversion path instead. The proof block covers a
+// writer-free window of pure snapshot reads bracketed by two server metric
+// snapshots: monitor_entries_delta must be 0 while snapshot_reads_delta
+// counts every read — the reads demonstrably never entered the monitor.
+type mvccReport struct {
+	Workers       int     `json:"workers"`
+	ReadPct       int     `json:"read_pct"`
+	PhaseSeconds  float64 `json:"phase_seconds"`
+	LockingTPS    float64 `json:"locking_tps"`
+	LockingReads  int     `json:"locking_reads"`
+	LockingWrites int     `json:"locking_writes"`
+	LockingFails  int     `json:"locking_fails"`
+
+	SnapshotTPS    float64 `json:"snapshot_tps"`
+	SnapshotReads  int     `json:"snapshot_reads"`
+	SnapshotWrites int     `json:"snapshot_writes"`
+	SnapshotFails  int     `json:"snapshot_fails"`
+
+	// Ratio is snapshot_tps / locking_tps — the acceptance gate is ≥ 2.
+	Ratio float64 `json:"ratio"`
+
+	// Writer-free proof window.
+	ProofReads          uint64 `json:"proof_snapshot_reads_delta"`
+	ProofMonitorEntries uint64 `json:"proof_monitor_entries_delta"`
+	ProofFallbacks      uint64 `json:"proof_snapshot_fallbacks_delta"`
+}
+
+// runBenchMVCC measures the read-mostly win of the multiversion read path:
+// same task mix, same workers, same duration — first with reads as locking
+// GTM transactions, then with reads as one-shot snapshot reads — followed
+// by the writer-free monitor-freedom proof window.
+func runBenchMVCC(cfg mvccConfig) {
+	objs := benchObjects()
+
+	fmt.Printf("bench-mvcc: %d workers, %d%% reads, %s per phase, %d objects\n",
+		cfg.workers, cfg.readPct, cfg.duration, len(objs))
+
+	lockReads, lockWrites, lockFails, lockElapsed := mvccPhase(cfg, objs, "lock", false)
+	lockTPS := float64(lockReads+lockWrites) / lockElapsed.Seconds()
+	fmt.Printf("locking phase:  %d reads, %d writes, %d failures in %s → %.1f tasks/s\n",
+		lockReads, lockWrites, lockFails, lockElapsed.Round(time.Millisecond), lockTPS)
+
+	snapReads, snapWrites, snapFails, snapElapsed := mvccPhase(cfg, objs, "snap", true)
+	snapTPS := float64(snapReads+snapWrites) / snapElapsed.Seconds()
+	fmt.Printf("snapshot phase: %d reads, %d writes, %d failures in %s → %.1f tasks/s\n",
+		snapReads, snapWrites, snapFails, snapElapsed.Round(time.Millisecond), snapTPS)
+
+	ratio := 0.0
+	if lockTPS > 0 {
+		ratio = snapTPS / lockTPS
+	}
+	fmt.Printf("speedup: %.2fx\n", ratio)
+
+	proofReads, proofMonitor, proofFallbacks := mvccProofWindow(cfg, objs)
+	fmt.Printf("proof window: %d snapshot reads, %d monitor entries, %d fallbacks\n",
+		proofReads, proofMonitor, proofFallbacks)
+
+	report := mvccReport{
+		Workers: cfg.workers, ReadPct: cfg.readPct, PhaseSeconds: cfg.duration.Seconds(),
+		LockingTPS: round2(lockTPS), LockingReads: lockReads, LockingWrites: lockWrites, LockingFails: lockFails,
+		SnapshotTPS: round2(snapTPS), SnapshotReads: snapReads, SnapshotWrites: snapWrites, SnapshotFails: snapFails,
+		Ratio:      round2(ratio),
+		ProofReads: proofReads, ProofMonitorEntries: proofMonitor, ProofFallbacks: proofFallbacks,
+	}
+	if cfg.jsonPath != "" {
+		payload, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(cfg.jsonPath, append(payload, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gtmload: writing %s: %v\n", cfg.jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", cfg.jsonPath)
+	}
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }
+
+// mvccPhase drives the read/write mix for one phase and returns task
+// counts. Reads go through the snapshot path when snapshot is true, the
+// transactional path otherwise; writes are always booking transactions.
+func mvccPhase(cfg mvccConfig, objs []string, tag string, snapshot bool) (reads, writes, fails int, elapsed time.Duration) {
+	var mu sync.Mutex
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			cn, err := wire.Dial(cfg.addr)
+			if err != nil {
+				mu.Lock()
+				fails++
+				mu.Unlock()
+				return
+			}
+			defer cn.Close()
+			r, wr, bad := 0, 0, 0
+			for i := 0; time.Now().Before(deadline); i++ {
+				obj := objs[rng.Intn(len(objs))]
+				if rng.Intn(100) < cfg.readPct {
+					var err error
+					if snapshot {
+						_, err = cn.SnapshotRead(obj, "")
+					} else {
+						err = lockingRead(cn, fmt.Sprintf("mvcc-%s-r%d-%d", tag, w, i), obj)
+					}
+					if err != nil {
+						bad++
+						continue
+					}
+					r++
+				} else {
+					if err := bookOne(cn, fmt.Sprintf("mvcc-%s-w%d-%d", tag, w, i), obj); err != nil {
+						bad++
+						continue
+					}
+					wr++
+				}
+			}
+			mu.Lock()
+			reads += r
+			writes += wr
+			fails += bad
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return reads, writes, fails, time.Since(start)
+}
+
+// lockingRead obtains one consistent committed read the pre-multiversion
+// way: a full transaction whose every step serializes through the monitor.
+func lockingRead(cn *wire.Conn, tx, obj string) error {
+	if err := cn.Begin(tx); err != nil {
+		return err
+	}
+	if err := cn.Invoke(tx, obj, sem.Read, ""); err != nil {
+		return err
+	}
+	if _, err := cn.Read(tx, obj); err != nil {
+		return err
+	}
+	return cn.Commit(tx)
+}
+
+// bookOne runs one booking transaction (the write side of the mix).
+func bookOne(cn *wire.Conn, tx, obj string) error {
+	if err := cn.Begin(tx); err != nil {
+		return err
+	}
+	if err := cn.Invoke(tx, obj, sem.AddSub, ""); err != nil {
+		return err
+	}
+	if err := cn.Apply(tx, obj, sem.Int(-1)); err != nil {
+		return err
+	}
+	return cn.Commit(tx)
+}
+
+// mvccProofWindow runs pure snapshot reads with zero writers between two
+// server metric snapshots and returns the deltas of snapshot reads, monitor
+// entries and fallbacks. With the version chains warm and no SST in flight,
+// monitor entries must not move at all.
+func mvccProofWindow(cfg mvccConfig, objs []string) (reads, monitor, fallbacks uint64) {
+	probe, err := wire.Dial(cfg.addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gtmload: proof window: %v\n", err)
+		os.Exit(1)
+	}
+	defer probe.Close()
+
+	// Warm every chain (a cold member's first read may fall back to the
+	// monitor to install its base version) and let in-flight SSTs from the
+	// mix phase land.
+	time.Sleep(200 * time.Millisecond)
+	for _, obj := range objs {
+		if _, err := probe.SnapshotRead(obj, ""); err != nil {
+			fmt.Fprintf(os.Stderr, "gtmload: warming %s: %v\n", obj, err)
+			os.Exit(1)
+		}
+	}
+
+	before, err := probe.MetricsOnly()
+	if err != nil || len(before) == 0 {
+		fmt.Fprintf(os.Stderr, "gtmload: proof window needs server metrics (err=%v)\n", err)
+		os.Exit(1)
+	}
+
+	window := cfg.duration / 2
+	if window > 2*time.Second {
+		window = 2 * time.Second
+	}
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cn, err := wire.Dial(cfg.addr)
+			if err != nil {
+				return
+			}
+			defer cn.Close()
+			for i := 0; time.Now().Before(deadline); i++ {
+				if _, err := cn.SnapshotRead(objs[(w+i)%len(objs)], ""); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	after, err := probe.MetricsOnly()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gtmload: proof window: %v\n", err)
+		os.Exit(1)
+	}
+	reads = after["mvcc_snapshot_reads_total"] - before["mvcc_snapshot_reads_total"]
+	monitor = after["gtm_monitor_entries_total"] - before["gtm_monitor_entries_total"]
+	fallbacks = after["mvcc_snapshot_fallbacks_total"] - before["mvcc_snapshot_fallbacks_total"]
+	return reads, monitor, fallbacks
+}

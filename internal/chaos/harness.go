@@ -32,6 +32,7 @@ type Harness struct {
 	dir     string
 	objects int
 	seats   int64
+	mopts   []core.Option
 	Reg     *obs.Registry
 	Proxy   *faultnet.Proxy
 
@@ -47,7 +48,13 @@ type Harness struct {
 // counters at `seats` each, and fronts it with a fault proxy configured by
 // cfg. Clients must dial h.Addr().
 func NewHarness(dir string, objects int, seats int64, cfg faultnet.Config) (*Harness, error) {
-	h := &Harness{dir: dir, objects: objects, seats: seats, Reg: obs.NewRegistry()}
+	return NewHarnessOpts(dir, objects, seats, cfg)
+}
+
+// NewHarnessOpts is NewHarness with extra Manager options (epoch-grouped
+// commit, SST executors, …) applied to every recovered generation.
+func NewHarnessOpts(dir string, objects int, seats int64, cfg faultnet.Config, mopts ...core.Option) (*Harness, error) {
+	h := &Harness{dir: dir, objects: objects, seats: seats, mopts: mopts, Reg: obs.NewRegistry()}
 	if err := h.start(); err != nil {
 		return nil, err
 	}
@@ -99,7 +106,11 @@ func (h *Harness) start() error {
 		pers.Close()
 		return err
 	}
-	m := core.NewManager(core.NewLDBSStore(db))
+	// The metric set accumulates across generations, like the rest of Reg.
+	opts := append([]core.Option{
+		core.WithObservability(core.NewObservability(h.Reg, 0)),
+	}, h.mopts...)
+	m := core.NewManager(core.NewLDBSStore(db), opts...)
 	for i := 0; i < h.objects; i++ {
 		key := fmt.Sprintf("S%d", i)
 		if err := m.RegisterAtomicObject(core.ObjectID(h.Object(i)),

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Epoch-grouped commit: decided Secure System Transactions are collected
+// into epochs and each epoch is applied as one store transaction. See
+// WithEpochCommit for the policy and the correctness argument. The batcher
+// runs entirely outside the monitor — launchSSTLocked hands transactions
+// over through the monitor's notification queue, and outcomes re-enter
+// through completeSST exactly as unbatched SSTs do.
+
+// epochTx is one decided transaction riding an epoch: its publish payload
+// and its SST write set.
+type epochTx struct {
+	id     TxID
+	locals []localWrite
+	writes []SSTWrite
+}
+
+// epochBatcher accumulates decided SSTs into the open epoch and seals it
+// when full (maxBatch) or stale (window since the epoch opened). gen
+// increments at every seal so a window timer racing a size seal flushes
+// nothing twice.
+type epochBatcher struct {
+	m        *Manager
+	maxBatch int
+	window   time.Duration
+
+	mu      sync.Mutex
+	gen     uint64
+	pending []epochTx
+}
+
+func newEpochBatcher(m *Manager, maxBatch int, window time.Duration) *epochBatcher {
+	return &epochBatcher{m: m, maxBatch: maxBatch, window: window}
+}
+
+// add appends one decided transaction to the open epoch, sealing on size,
+// arming the window timer when the epoch just opened, or flushing
+// immediately when no window is configured. Runs outside the monitor.
+func (b *epochBatcher) add(tx epochTx) {
+	b.mu.Lock()
+	b.pending = append(b.pending, tx)
+	if len(b.pending) >= b.maxBatch {
+		batch := b.seal()
+		b.mu.Unlock()
+		if b.m.obs != nil {
+			b.m.obs.epochSealsSize.Inc()
+		}
+		b.apply(batch)
+		return
+	}
+	if b.window <= 0 {
+		batch := b.seal()
+		b.mu.Unlock()
+		b.apply(batch)
+		return
+	}
+	armTimer := len(b.pending) == 1
+	gen := b.gen
+	b.mu.Unlock()
+	if armTimer {
+		go func() {
+			b.m.opts.sleep(b.window)
+			b.flushGen(gen)
+		}()
+	}
+}
+
+// seal takes the open epoch and advances the generation. Caller holds b.mu
+// (not the monitor — in this package the Locked suffix is reserved for
+// monitor-held code).
+func (b *epochBatcher) seal() []epochTx {
+	batch := b.pending
+	b.pending = nil
+	b.gen++
+	return batch
+}
+
+// flushGen seals and applies the epoch the window timer was armed for; a
+// no-op when a size seal (or Close) already advanced the generation.
+func (b *epochBatcher) flushGen(gen uint64) {
+	b.mu.Lock()
+	if b.gen != gen || len(b.pending) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.seal()
+	b.mu.Unlock()
+	if b.m.obs != nil {
+		b.m.obs.epochSealsWindow.Inc()
+	}
+	b.apply(batch)
+}
+
+// flushAll seals and applies whatever is pending (Manager.Close).
+func (b *epochBatcher) flushAll() {
+	b.mu.Lock()
+	if len(b.pending) == 0 {
+		b.gen++ // disarm any pending window timer
+		b.mu.Unlock()
+		return
+	}
+	batch := b.seal()
+	b.mu.Unlock()
+	if b.m.obs != nil {
+		b.m.obs.epochSealsClose.Inc()
+	}
+	b.apply(batch)
+}
+
+// apply runs one sealed epoch: a single batched store transaction when the
+// store supports it, otherwise (or after a batch failure) one SST per
+// transaction, so a failing write set aborts only its own transaction.
+// Every member's outcome flows through completeSST, which publishes (or
+// aborts) under the monitor and releases the sstActive hold taken at
+// launch.
+func (b *epochBatcher) apply(batch []epochTx) {
+	m := b.m
+	if m.obs != nil {
+		m.obs.epochBatchTxs.Add(uint64(len(batch)))
+	}
+	if len(batch) > 1 {
+		if bs, ok := m.store.(BatchStore); ok {
+			sets := make([][]SSTWrite, len(batch))
+			for i, tx := range batch {
+				sets[i] = tx.writes
+			}
+			if err := bs.ApplySSTBatch(sets); err == nil {
+				for _, tx := range batch {
+					m.completeSST(tx.id, tx.locals, nil)
+				}
+				return
+			}
+			// The epoch failed as a whole — possibly one bad write set.
+			// Re-run individually: innocents commit, the offender aborts.
+			if m.obs != nil {
+				m.obs.epochFallbacks.Inc()
+			}
+		}
+	}
+	for _, tx := range batch {
+		m.completeSST(tx.id, tx.locals, m.runSST(tx.writes))
+	}
+}

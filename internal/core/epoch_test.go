@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"preserial/internal/sem"
+)
+
+// beginAdd begins tx and stages one granted AddSub on obj.
+func beginAdd(t *testing.T, m *Manager, tx TxID, obj ObjectID, delta int64) {
+	t.Helper()
+	if err := m.Begin(tx); err != nil {
+		t.Fatal(err)
+	}
+	if granted, err := m.Invoke(tx, obj, sem.Op{Class: sem.AddSub}); err != nil || !granted {
+		t.Fatalf("invoke %s on %s: granted=%v err=%v", tx, obj, granted, err)
+	}
+	if err := m.Apply(tx, obj, sem.Int(delta)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEpochSealsOnSize: with maxBatch 2 and a window that never fires, two
+// commits land in one batched store transaction and both publish.
+func TestEpochSealsOnSize(t *testing.T) {
+	never := make(chan struct{})
+	m, store := seededManager(t,
+		WithEpochCommit(2, time.Hour),
+		WithSleepFunc(func(time.Duration) { <-never }))
+	defer close(never)
+
+	beginAdd(t, m, "A", "X", -1)
+	beginAdd(t, m, "B", "Y", -1)
+	if err := m.RequestCommit("A"); err != nil {
+		t.Fatal(err)
+	}
+	// A sits in the open epoch: decided, not yet durable or published.
+	if st, err := m.TxState("A"); err != nil || st != StateCommitting {
+		t.Fatalf("A = %v, %v; want Committing while its epoch is open", st, err)
+	}
+	if store.Applied() != 0 {
+		t.Fatalf("store applied %d SSTs before the epoch sealed", store.Applied())
+	}
+	// B fills the epoch: the size seal applies both on this goroutine.
+	if err := m.RequestCommit("B"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, "A", StateCommitted)
+	waitState(t, m, "B", StateCommitted)
+	if store.Applied() != 2 {
+		t.Fatalf("store applied %d write sets, want 2 (one batch)", store.Applied())
+	}
+	if v, _ := m.Permanent("X", ""); !v.Equal(sem.Int(99)) {
+		t.Fatalf("X = %v, want 99", v)
+	}
+	if v, _ := m.Permanent("Y", ""); !v.Equal(sem.Int(49)) {
+		t.Fatalf("Y = %v, want 49", v)
+	}
+}
+
+// TestEpochWindowFlush: a lone commit in a part-filled epoch publishes once
+// the window elapses (driven deterministically through WithSleepFunc).
+func TestEpochWindowFlush(t *testing.T) {
+	release := make(chan struct{})
+	m, _ := seededManager(t,
+		WithEpochCommit(16, time.Second),
+		WithSleepFunc(func(time.Duration) { <-release }))
+
+	beginAdd(t, m, "A", "X", -1)
+	if err := m.RequestCommit("A"); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := m.TxState("A"); err != nil || st != StateCommitting {
+		t.Fatalf("A = %v, %v; want Committing while the window is open", st, err)
+	}
+	close(release) // the window timer fires
+	waitState(t, m, "A", StateCommitted)
+	if v, _ := m.Permanent("X", ""); !v.Equal(sem.Int(99)) {
+		t.Fatalf("X = %v, want 99", v)
+	}
+}
+
+// TestEpochCloseFlushes: Manager.Close drains a part-filled epoch.
+func TestEpochCloseFlushes(t *testing.T) {
+	never := make(chan struct{})
+	defer close(never)
+	m, _ := seededManager(t,
+		WithEpochCommit(16, time.Hour),
+		WithSleepFunc(func(time.Duration) { <-never }))
+
+	beginAdd(t, m, "A", "X", -1)
+	if err := m.RequestCommit("A"); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	waitState(t, m, "A", StateCommitted)
+}
+
+// TestEpochFallbackIsolatesFailure: when the batched store transaction
+// fails, the epoch re-applies one SST at a time — the transaction with the
+// violating write set aborts, the innocent one commits.
+func TestEpochFallbackIsolatesFailure(t *testing.T) {
+	never := make(chan struct{})
+	defer close(never)
+	m, store := seededManager(t,
+		WithEpochCommit(2, time.Hour),
+		WithSleepFunc(func(time.Duration) { <-never }))
+	store.Validate = func(ref StoreRef, v sem.Value) error {
+		if v.Int64() < 0 {
+			return fmt.Errorf("constraint: %s must stay non-negative, got %d", ref, v.Int64())
+		}
+		return nil
+	}
+
+	beginAdd(t, m, "GOOD", "X", -1)
+	beginAdd(t, m, "BAD", "Y", -51) // drives Y to −1
+	if err := m.RequestCommit("GOOD"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequestCommit("BAD"); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, "GOOD", StateCommitted)
+	waitState(t, m, "BAD", StateAborted)
+	if v, _ := m.Permanent("X", ""); !v.Equal(sem.Int(99)) {
+		t.Fatalf("X = %v, want 99", v)
+	}
+	if v, _ := m.Permanent("Y", ""); !v.Equal(sem.Int(50)) {
+		t.Fatalf("Y = %v, want 50 (BAD aborted)", v)
+	}
+}
+
+// TestEpochBatchSingleStore exercises the LDBS-style batch path on the
+// MemStore directly: a batch of two sets applies atomically and counts two
+// applied sets.
+func TestEpochBatchSingleStore(t *testing.T) {
+	s := NewMemStore()
+	sets := [][]SSTWrite{
+		{{Ref: StoreRef{Table: "T", Key: "a"}, Value: sem.Int(1)}},
+		{{Ref: StoreRef{Table: "T", Key: "b"}, Value: sem.Int(2)}},
+	}
+	if err := s.ApplySSTBatch(sets); err != nil {
+		t.Fatal(err)
+	}
+	if s.Applied() != 2 {
+		t.Fatalf("applied %d, want 2", s.Applied())
+	}
+	if v, _ := s.Load(StoreRef{Table: "T", Key: "b"}); !v.Equal(sem.Int(2)) {
+		t.Fatalf("b = %v, want 2", v)
+	}
+}

@@ -38,6 +38,9 @@ type Manager struct {
 	opts  options
 	obs   *Observability // nil unless WithObservability
 	exec  *sstExecutor   // nil unless WithSSTExecutor
+	epoch *epochBatcher  // nil unless WithEpochCommit
+
+	mvcc mvccState // the monitor-free snapshot read path (mvcc.go)
 
 	txs      map[TxID]*transaction
 	objs     map[ObjectID]*object
@@ -77,13 +80,21 @@ func NewManager(store Store, opt ...Option) *Manager {
 		}
 		m.exec = newSSTExecutor(m.opts.sstWorkers, m.opts.sstQueueDepth, gauge)
 	}
+	m.mvcc.snaps = make(map[uint64]uint64)
+	if m.opts.epochMaxBatch > 0 {
+		m.epoch = newEpochBatcher(m, m.opts.epochMaxBatch, m.opts.epochWindow)
+	}
 	return m
 }
 
-// Close stops the SST executor (if any) after its queue drains. The Manager
-// remains usable — later SSTs simply run unpooled, as without
-// WithSSTExecutor. Managers created without an executor need no Close.
+// Close flushes any open commit epoch and stops the SST executor (if any)
+// after its queue drains. The Manager remains usable — later SSTs simply
+// run unbatched and unpooled. Managers created without an executor or
+// epoch batching need no Close.
 func (m *Manager) Close() {
+	if m.epoch != nil {
+		m.epoch.flushAll()
+	}
 	if m.exec != nil {
 		m.exec.close()
 	}
@@ -99,6 +110,13 @@ func (m *Manager) RegisterObject(id ObjectID, refs map[string]StoreRef, deps *se
 		return fmt.Errorf("%w: %s", ErrObjectExists, id)
 	}
 	m.objs[id] = newObject(id, refs, deps, m.opts.conflict)
+	// The snapshot read path resolves members without the monitor; give it
+	// an immutable copy of the ref map.
+	frozen := make(map[string]StoreRef, len(refs))
+	for member, ref := range refs {
+		frozen[member] = ref
+	}
+	m.mvcc.objRefs.Store(id, frozen)
 	return nil
 }
 
@@ -371,16 +389,48 @@ func (m *Manager) requestCommitLocked(txID TxID, prepare bool) error {
 	t.commitStart = t.lastActivity
 	m.setStateLocked(t, StateCommitting)
 	// Collect the objects with a live invocation, in canonical order.
+	// Read-class invocations are split off: they need no committer slot and
+	// no reconciliation, so their pending slots are released right here (the
+	// read-class local commit) instead of riding the slot pipeline until the
+	// global commit — a pure read must not block conflicting writers for the
+	// duration of someone else's SST.
 	var want []ObjectID
+	var reads []*object
 	for objID := range t.objects {
-		if _, ok := m.objs[objID].pending[txID]; ok {
-			want = append(want, objID)
+		o := m.objs[objID]
+		op, ok := o.pending[txID]
+		if !ok {
+			continue
 		}
+		if op.Class == sem.Read {
+			reads = append(reads, o)
+			continue
+		}
+		want = append(want, objID)
 	}
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	sort.Slice(reads, func(i, j int) bool { return reads[i].id < reads[j].id })
 	t.commitWant = want
+	for _, o := range reads {
+		m.releaseReadSlotLocked(t, o)
+	}
 	m.advanceCommitLocked(t)
 	return nil
+}
+
+// releaseReadSlotLocked local-commits one read-class invocation without the
+// committer slot: the virtual value is captured for the publish phase, the
+// pending slot frees immediately (conflicting waiters become admissible),
+// and the op stays visible to awakening sleepers via releasedReads until
+// the transaction publishes or aborts.
+func (m *Manager) releaseReadSlotLocked(t *transaction, o *object) {
+	op := o.pending[t.id]
+	t.readLocals = append(t.readLocals, localWrite{o: o, op: op, val: o.temp[t.id], read: o.read[t.id]})
+	o.releasedReads[t.id] = op
+	delete(o.pending, t.id)
+	delete(o.temp, t.id)
+	delete(o.read, t.id)
+	m.dispatchLocked(o)
 }
 
 // advanceCommitLocked acquires committer slots in order, performing the local
@@ -482,6 +532,7 @@ func (m *Manager) globalCommitLocked(t *transaction) {
 func (m *Manager) collectCommitLocked(t *transaction) ([]localWrite, []SSTWrite) {
 	var locals []localWrite
 	var writes []SSTWrite
+	locals = append(locals, t.readLocals...)
 	for objID := range t.commitHeld {
 		o := m.objs[objID]
 		op := o.committing[t.id]
@@ -500,12 +551,21 @@ func (m *Manager) collectCommitLocked(t *transaction) ([]localWrite, []SSTWrite)
 	return locals, writes
 }
 
-// launchSSTLocked hands the Secure System Transaction to the executor (or
-// the goroutine exiting the monitor) and marks the commit point.
+// launchSSTLocked hands the Secure System Transaction to the epoch batcher,
+// the executor, or the goroutine exiting the monitor, and marks the commit
+// point. sstActive covers the whole window from here to publication: while
+// it is non-zero a store load is not committed-stable, and the snapshot
+// read path's miss protocol retries instead of trusting it.
 func (m *Manager) launchSSTLocked(t *transaction, locals []localWrite, writes []SSTWrite) {
 	t.sstInFlight = true
 	t.sstStart = m.clk.Now()
+	m.mvcc.sstActive.Add(1)
 	id := t.id
+	if m.epoch != nil {
+		b := m.epoch
+		m.mon.queue(func() { b.add(epochTx{id: id, locals: locals, writes: writes}) })
+		return
+	}
 	run := func() {
 		m.completeSST(id, locals, m.runSST(writes))
 	}
@@ -544,9 +604,13 @@ func (m *Manager) runSST(writes []SSTWrite) error {
 	}
 }
 
-// completeSST re-enters the monitor with the SST's outcome.
+// completeSST re-enters the monitor with the SST's outcome. The sstActive
+// decrement is deferred to after the publish (or abort) so the snapshot
+// miss protocol never certifies a store load taken between the SST's store
+// write and its publication.
 func (m *Manager) completeSST(id TxID, locals []localWrite, sstErr error) {
 	defer m.mon.enter(m)()
+	defer m.mvcc.sstActive.Add(-1)
 	t, ok := m.txs[id]
 	if !ok {
 		return // forgotten mid-flight: impossible via the public API
@@ -579,6 +643,7 @@ func (m *Manager) publishLocked(t *transaction, locals []localWrite) {
 	for _, lw := range locals {
 		o := lw.o
 		if lw.op.Class.IsUpdate() {
+			m.pushVersionLocked(o, lw.op.Member, o.permanent[lw.op.Member], lw.val, m.commitSeq)
 			o.permanent[lw.op.Member] = lw.val
 			o.permKnown[lw.op.Member] = true
 		}
@@ -591,7 +656,11 @@ func (m *Manager) publishLocked(t *transaction, locals []localWrite) {
 		delete(o.committing, t.id)
 		delete(o.neu, t.id)
 		delete(o.read, t.id)
+		delete(o.releasedReads, t.id)
 	}
+	// Version pushes above happen-before the sequence becomes pinnable:
+	// a snapshot opened at N sees every chain node of every commit ≤ N.
+	m.mvcc.seq.Store(m.commitSeq)
 	m.setStateLocked(t, StateCommitted)
 	t.finished = now
 	t.twait = time.Time{}
@@ -654,6 +723,7 @@ func (m *Manager) finishAbortLocked(t *transaction, reason AbortReason, cause er
 	t.tsleep = time.Time{}
 	t.waitingOn = ""
 	t.commitWant = nil
+	t.readLocals = nil
 	t.preparing = false
 	t.prepared = false
 	t.stagedLocals = nil
@@ -965,14 +1035,19 @@ func (m *Manager) pruneHistoriesLocked() {
 	// dominated server CPU once a few thousand terminal transactions had
 	// accumulated between sweeps.
 	horizon := m.clk.Now()
+	seqHorizon := m.commitSeq
 	for _, t := range m.sleepers {
 		if t.tsleep.Before(horizon) {
 			horizon = t.tsleep
+		}
+		if t.sleepSeq < seqHorizon {
+			seqHorizon = t.sleepSeq
 		}
 	}
 	for _, o := range m.objs {
 		o.pruneCommitted(horizon)
 	}
+	m.gcVersionsLocked(seqHorizon)
 }
 
 // TxState returns the current state of a transaction.

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // monitor serializes Manager methods and defers listener notifications to
 // after the critical section, so handlers can safely call back into the
@@ -11,15 +14,21 @@ import "sync"
 //		... mutate, possibly m.mon.queue(notification) ...
 //	} // returned closure unlocks, then fires queued notifications
 type monitor struct {
-	mu     sync.Mutex
-	queued []func()
+	mu      sync.Mutex
+	queued  []func()
+	entries atomic.Uint64 // critical sections entered (see Manager.MonitorEntries)
 }
 
 // enter locks the monitor and returns the closure that exits it: unlock
 // first, then deliver the notifications queued during the critical section,
-// in order. The Manager argument is unused but keeps call sites readable
-// (`defer m.mon.enter(m)()`).
-func (mn *monitor) enter(*Manager) func() {
+// in order. Every entry is counted — the multiversion read path advertises
+// itself as monitor-free, and the benchmark holds it to that by watching
+// this counter stand still.
+func (mn *monitor) enter(m *Manager) func() {
+	mn.entries.Add(1)
+	if m != nil && m.obs != nil {
+		m.obs.monitorEntries.Inc()
+	}
 	mn.mu.Lock()
 	return func() {
 		q := mn.queued

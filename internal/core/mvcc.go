@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"preserial/internal/sem"
+)
+
+// Multiversion read path. Every committed update appends an immutable
+// version node to a per-member chain, stamped with the manager-wide commit
+// sequence. A snapshot pins a sequence number and reads the newest version
+// at or below its pin by walking the chain — no monitor entry, no pending
+// slot, no interference with writers or with the commit pipeline. This is
+// the read-side complement of pre-serialization: long-running read-mostly
+// transactions stop occupying object slots (and stop serializing behind
+// other transactions' SSTs) entirely.
+//
+// Version GC shares the horizon discipline of the committed-history pruning:
+// versions older than the newest one visible to the oldest live snapshot
+// (or sleeping transaction, via A_tsleep's commit sequence) are unlinked at
+// publish time.
+
+// versionNode is one committed value of an object member. Nodes are
+// immutable after publication; prev links to the next-older version and is
+// atomically truncated by GC.
+type versionNode struct {
+	val  sem.Value
+	seq  uint64 // commit sequence that installed this version (0: base)
+	prev atomic.Pointer[versionNode]
+}
+
+// chain is a member's committed-version list, newest first. The head is
+// CAS-installed by the first reader or publisher to touch the member.
+type chain struct {
+	head atomic.Pointer[versionNode]
+}
+
+// at returns the newest version at or below pin, nil when every retained
+// version is newer (the caller falls back to the monitor path).
+func (c *chain) at(pin uint64) *versionNode {
+	n := c.head.Load()
+	for n != nil && n.seq > pin {
+		n = n.prev.Load()
+	}
+	return n
+}
+
+// truncate unlinks every version older than the newest one at or below
+// horizon, returning the number of nodes dropped. Readers pinned at or
+// above horizon never walk past the cut point, so truncation is safe
+// against concurrent chain walks.
+func (c *chain) truncate(horizon uint64) uint64 {
+	cut := c.at(horizon)
+	if cut == nil {
+		return 0
+	}
+	var dropped uint64
+	for n := cut.prev.Load(); n != nil; n = n.prev.Load() {
+		dropped++
+	}
+	if dropped > 0 {
+		cut.prev.Store(nil)
+	}
+	return dropped
+}
+
+// chainKey addresses one member's version chain.
+type chainKey struct {
+	obj    ObjectID
+	member string
+}
+
+// mvccState is the Manager's lock-free snapshot machinery. chains and
+// objRefs are sync.Maps so the read path never touches the monitor; seq is
+// the atomic shadow of Manager.commitSeq, stored only after every chain
+// push of a publish has landed; sstActive counts Secure System Transactions
+// between store write and publication — the window in which a store load is
+// not committed-stable.
+type mvccState struct {
+	chains  sync.Map // chainKey → *chain
+	objRefs sync.Map // ObjectID → map[string]StoreRef (immutable after registration)
+
+	seq       atomic.Uint64
+	sstActive atomic.Int64
+
+	snapMu   sync.Mutex
+	snaps    map[uint64]uint64 // snapshot id → pinned seq
+	nextSnap uint64
+}
+
+// chainFor returns (installing if needed) the version chain for a member.
+//lint:ignore gtmlint/monitorsafe chainFor is a lock-free sync.Map lookup, safe both under the monitor (publish, slow reads) and outside it (snapshot fast path); a Locked suffix would falsely forbid the unheld callers
+func (m *Manager) chainFor(key chainKey) *chain {
+	if c, ok := m.mvcc.chains.Load(key); ok {
+		return c.(*chain)
+	}
+	c, _ := m.mvcc.chains.LoadOrStore(key, &chain{})
+	return c.(*chain)
+}
+
+// pushVersionLocked appends a committed version during publish. Caller
+// holds the monitor; the commit's sequence number is already assigned but
+// m.mvcc.seq has not advanced yet, so readers cannot pin this commit until
+// every member's push is visible. On a chain's first push the prior
+// permanent value is installed as the base (sequence 0), preserving it for
+// snapshots pinned before this commit.
+func (m *Manager) pushVersionLocked(o *object, member string, old, val sem.Value, seq uint64) {
+	ch := m.chainFor(chainKey{obj: o.id, member: member})
+	if ch.head.Load() == nil {
+		// A concurrent miss-path reader may install the base first; both
+		// write the same committed value, so losing the race is fine.
+		ch.head.CompareAndSwap(nil, &versionNode{val: old})
+	}
+	n := &versionNode{val: val, seq: seq}
+	n.prev.Store(ch.head.Load())
+	ch.head.Store(n)
+	if m.obs != nil {
+		m.obs.mvccInstalled.Inc()
+	}
+}
+
+// gcVersionsLocked prunes version chains to the GC horizon: the minimum
+// over every live snapshot pin, every sleeper's sleep-time sequence, and
+// the current commit sequence. Called from pruneHistoriesLocked, i.e. once
+// per publish.
+func (m *Manager) gcVersionsLocked(horizon uint64) {
+	//lint:ignore gtmlint/monitorsafe snapMu is a leaf lock: its holders never enter the monitor or block, so taking it under the monitor cannot deadlock
+	m.mvcc.snapMu.Lock()
+	for _, pin := range m.mvcc.snaps {
+		if pin < horizon {
+			horizon = pin
+		}
+	}
+	m.mvcc.snapMu.Unlock()
+	var dropped uint64
+	m.mvcc.chains.Range(func(_, v any) bool {
+		dropped += v.(*chain).truncate(horizon)
+		return true
+	})
+	if m.obs != nil {
+		if dropped > 0 {
+			m.obs.mvccGCed.Add(dropped)
+		}
+		m.obs.mvccHorizonLag.Store(int64(m.commitSeq - horizon))
+	}
+}
+
+// Snapshot is a pinned, monitor-free read view: every Read observes the
+// committed state as of the pinned commit sequence, consistently across
+// objects. A Snapshot holds no object slots and blocks no writer; it only
+// pins version GC, so Close it when done.
+type Snapshot struct {
+	m      *Manager
+	id     uint64
+	pin    uint64
+	closed atomic.Bool
+}
+
+// BeginSnapshot opens a read-only snapshot at the current commit sequence.
+// The registration and the pin are taken under snapMu so GC (which also
+// takes snapMu) can never prune versions out from under a just-opened
+// snapshot.
+func (m *Manager) BeginSnapshot() *Snapshot {
+	m.mvcc.snapMu.Lock()
+	m.mvcc.nextSnap++
+	id := m.mvcc.nextSnap
+	pin := m.mvcc.seq.Load()
+	if m.mvcc.snaps == nil {
+		m.mvcc.snaps = make(map[uint64]uint64)
+	}
+	m.mvcc.snaps[id] = pin
+	m.mvcc.snapMu.Unlock()
+	if m.obs != nil {
+		m.obs.mvccOpened.Inc()
+	}
+	return &Snapshot{m: m, id: id, pin: pin}
+}
+
+// Seq returns the pinned commit sequence.
+func (s *Snapshot) Seq() uint64 { return s.pin }
+
+// Closed reports whether the snapshot has been closed.
+func (s *Snapshot) Closed() bool { return s.closed.Load() }
+
+// Close releases the snapshot's GC pin. Idempotent.
+func (s *Snapshot) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	m := s.m
+	m.mvcc.snapMu.Lock()
+	delete(m.mvcc.snaps, s.id)
+	m.mvcc.snapMu.Unlock()
+	if m.obs != nil {
+		m.obs.mvccClosed.Inc()
+	}
+}
+
+// snapshotSpins bounds the lock-free miss-path retry loop before the read
+// falls back to the monitor.
+const snapshotSpins = 128
+
+// Read returns the member's committed value as of the snapshot's pin. The
+// fast path walks the version chain without any lock; a member no commit
+// has touched is loaded from the store under a stability check (no SST in
+// flight, commit sequence unchanged across the load) and its base version
+// is CAS-installed so subsequent reads hit the chain.
+func (s *Snapshot) Read(objID ObjectID, member string) (sem.Value, error) {
+	if s.closed.Load() {
+		return sem.Value{}, fmt.Errorf("%w: snapshot is closed", ErrBadState)
+	}
+	m := s.m
+	refsAny, ok := m.mvcc.objRefs.Load(objID)
+	if !ok {
+		return sem.Value{}, fmt.Errorf("%w: %s", ErrUnknownObject, objID)
+	}
+	refs := refsAny.(map[string]StoreRef)
+	if m.obs != nil {
+		m.obs.mvccReads.Inc()
+	}
+	ch := m.chainFor(chainKey{obj: objID, member: member})
+	for spin := 0; spin < snapshotSpins; spin++ {
+		if ch.head.Load() != nil {
+			n := ch.at(s.pin)
+			if n == nil {
+				// Every retained version postdates the pin: the chain was
+				// created after this snapshot opened and GC cannot have
+				// pruned past a live pin, so only the monitor knows the
+				// older value.
+				break
+			}
+			return n.val, nil
+		}
+		// Miss: no commit has versioned this member yet. A store load is the
+		// committed value iff no SST was in flight and no commit published
+		// while we loaded — otherwise retry (the window is the duration of
+		// one SST).
+		a1 := m.mvcc.sstActive.Load()
+		s1 := m.mvcc.seq.Load()
+		v := sem.Null()
+		if ref, ok := refs[member]; ok && m.store != nil {
+			loaded, err := m.store.Load(ref)
+			if err != nil {
+				return sem.Value{}, fmt.Errorf("core: snapshot read of %s of %s: %w", member, objID, err)
+			}
+			v = loaded
+		}
+		if a1 == 0 && m.mvcc.sstActive.Load() == 0 && m.mvcc.seq.Load() == s1 {
+			if ch.head.CompareAndSwap(nil, &versionNode{val: v}) {
+				return v, nil
+			}
+			continue // lost the install race: re-walk the fresh chain
+		}
+		runtime.Gosched()
+	}
+	if m.obs != nil {
+		m.obs.mvccFallbacks.Inc()
+	}
+	return m.snapshotReadSlow(objID, member, s.pin)
+}
+
+// snapshotReadSlow resolves a snapshot read under the monitor — the rare
+// path when the lock-free protocol cannot certify stability (a store
+// sustained SST traffic across every retry) or the chain postdates the pin.
+// Under the monitor no publish is concurrent: if the chain still has no
+// version at or below the pin, the member was never updated by a commit
+// the snapshot can see, and the X_permanent mirror (untouched until
+// publish) is exactly the pinned value.
+func (m *Manager) snapshotReadSlow(objID ObjectID, member string, pin uint64) (sem.Value, error) {
+	defer m.mon.enter(m)()
+	o, ok := m.objs[objID]
+	if !ok {
+		return sem.Value{}, fmt.Errorf("%w: %s", ErrUnknownObject, objID)
+	}
+	ch := m.chainFor(chainKey{obj: objID, member: member})
+	if n := ch.at(pin); n != nil {
+		return n.val, nil
+	}
+	return m.loadPermanentLocked(o, member)
+}
+
+// SnapshotRead is the one-shot form: pin, read one member, release.
+func (m *Manager) SnapshotRead(objID ObjectID, member string) (sem.Value, error) {
+	s := m.BeginSnapshot()
+	defer s.Close()
+	return s.Read(objID, member)
+}
+
+// MonitorEntries returns the number of monitor critical sections entered
+// since the manager was created — the oracle the read-mostly benchmark and
+// the chaos tests use to prove snapshot reads are monitor-free.
+func (m *Manager) MonitorEntries() uint64 { return m.mon.entries.Load() }

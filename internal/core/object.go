@@ -46,6 +46,14 @@ type object struct {
 	committed  []commitRecord  // X_committed ∪ X_tc history
 	sleeping   map[TxID]bool   // X_sleeping
 
+	// releasedReads holds read-class ops whose pending slot was freed at
+	// local commit but whose transaction has not yet published or aborted.
+	// They no longer block admission (that is the point of the early
+	// release) but stay visible to awakening sleepers, which would
+	// otherwise miss the conflict in the window while the commit's SST
+	// runs on other objects.
+	releasedReads map[TxID]sem.Op
+
 	read map[TxID]sem.Value // X_read^A
 	temp map[TxID]sem.Value // A_temp^X
 	neu  map[TxID]sem.Value // X_new^A
@@ -55,18 +63,19 @@ type object struct {
 
 func newObject(id ObjectID, refs map[string]StoreRef, deps *sem.Dependencies, conflict ConflictFunc) *object {
 	o := &object{
-		id:         id,
-		conflict:   conflict,
-		refs:       make(map[string]StoreRef, len(refs)),
-		deps:       deps,
-		permanent:  make(map[string]sem.Value),
-		permKnown:  make(map[string]bool),
-		pending:    make(map[TxID]sem.Op),
-		committing: make(map[TxID]sem.Op),
-		sleeping:   make(map[TxID]bool),
-		read:       make(map[TxID]sem.Value),
-		temp:       make(map[TxID]sem.Value),
-		neu:        make(map[TxID]sem.Value),
+		id:            id,
+		conflict:      conflict,
+		refs:          make(map[string]StoreRef, len(refs)),
+		deps:          deps,
+		permanent:     make(map[string]sem.Value),
+		permKnown:     make(map[string]bool),
+		pending:       make(map[TxID]sem.Op),
+		committing:    make(map[TxID]sem.Op),
+		sleeping:      make(map[TxID]bool),
+		releasedReads: make(map[TxID]sem.Op),
+		read:          make(map[TxID]sem.Value),
+		temp:          make(map[TxID]sem.Value),
+		neu:           make(map[TxID]sem.Value),
 	}
 	for m, r := range refs {
 		o.refs[m] = r
@@ -128,6 +137,11 @@ func (o *object) sleepConflict(tx TxID, op sem.Op, sleepSeq uint64) bool {
 		}
 	}
 	for b, bop := range o.committing {
+		if b != tx && o.conflict(op, bop, o.deps) {
+			return true
+		}
+	}
+	for b, bop := range o.releasedReads {
 		if b != tx && o.conflict(op, bop, o.deps) {
 			return true
 		}
@@ -218,6 +232,7 @@ func (o *object) removeFromCommitQ(tx TxID) {
 func (o *object) dropTx(tx TxID) {
 	delete(o.pending, tx)
 	delete(o.committing, tx)
+	delete(o.releasedReads, tx)
 	delete(o.sleeping, tx)
 	delete(o.read, tx)
 	delete(o.temp, tx)

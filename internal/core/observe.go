@@ -41,6 +41,22 @@ type Observability struct {
 	sstRetries *obs.Counter // gtm_sst_retries_total
 	sstQueue   atomic.Int64 // gtm_sst_queue_depth (fed by the SST executor)
 
+	monitorEntries *obs.Counter // gtm_monitor_entries_total
+
+	mvccReads      *obs.Counter // mvcc_snapshot_reads_total
+	mvccFallbacks  *obs.Counter // mvcc_snapshot_fallbacks_total
+	mvccOpened     *obs.Counter // mvcc_snapshots_opened_total
+	mvccClosed     *obs.Counter // mvcc_snapshots_closed_total
+	mvccInstalled  *obs.Counter // mvcc_versions_installed_total
+	mvccGCed       *obs.Counter // mvcc_versions_gced_total
+	mvccHorizonLag atomic.Int64 // mvcc_gc_horizon_lag (commitSeq − GC horizon)
+
+	epochSealsSize   *obs.Counter // epoch_seals_total{cause="size"}
+	epochSealsWindow *obs.Counter // epoch_seals_total{cause="window"}
+	epochSealsClose  *obs.Counter // epoch_seals_total{cause="close"}
+	epochBatchTxs    *obs.Counter // epoch_batch_txs_total
+	epochFallbacks   *obs.Counter // epoch_fallbacks_total
+
 	commitLatency *obs.Histogram // gtm_commit_seconds
 	invokeWait    *obs.Histogram // gtm_invoke_wait_seconds
 	sstLatency    *obs.Histogram // gtm_sst_seconds
@@ -69,12 +85,29 @@ func NewObservability(reg *obs.Registry, traceDepth int) *Observability {
 
 		sstRetries: reg.Counter(obs.NameSSTRetries, "Secure System Transaction retry attempts."),
 
+		monitorEntries: reg.Counter(obs.NameMonitorEntries, "GTM monitor critical sections entered."),
+
+		mvccReads:     reg.Counter(obs.NameMVCCSnapshotReads, "Snapshot reads served from version chains (monitor-free path)."),
+		mvccFallbacks: reg.Counter(obs.NameMVCCSnapshotFallbacks, "Snapshot reads that fell back to the monitor."),
+		mvccOpened:    reg.Counter(obs.NameMVCCSnapshotsOpened, "Read-only snapshots opened."),
+		mvccClosed:    reg.Counter(obs.NameMVCCSnapshotsClosed, "Read-only snapshots closed."),
+		mvccInstalled: reg.Counter(obs.NameMVCCVersionsInstalled, "Version-chain nodes installed at publish."),
+		mvccGCed:      reg.Counter(obs.NameMVCCVersionsGCed, "Version-chain nodes unlinked by horizon GC."),
+
+		epochSealsSize:   reg.Counter(obs.WithLabel(obs.NameEpochSeals, "cause", "size"), "Epoch batches sealed, by cause."),
+		epochSealsWindow: reg.Counter(obs.WithLabel(obs.NameEpochSeals, "cause", "window"), "Epoch batches sealed, by cause."),
+		epochSealsClose:  reg.Counter(obs.WithLabel(obs.NameEpochSeals, "cause", "close"), "Epoch batches sealed, by cause."),
+		epochBatchTxs:    reg.Counter(obs.NameEpochBatchTxs, "Transactions carried by sealed epoch batches."),
+		epochFallbacks:   reg.Counter(obs.NameEpochFallbacks, "Epoch batches that fell back to per-transaction SSTs."),
+
 		commitLatency: reg.Histogram(obs.NameCommitSeconds, "Latency from commit request to publication.", nil),
 		invokeWait:    reg.Histogram(obs.NameInvokeWaitSeconds, "Queue time of invocations granted after a wait.", nil),
 		sstLatency:    reg.Histogram(obs.NameSSTSeconds, "Secure System Transaction execution latency.", nil),
 	}
 	reg.GaugeFunc(obs.NameSSTQueueDepth, "Secure System Transactions queued for the executor.",
 		func() float64 { return float64(o.sstQueue.Load()) })
+	reg.GaugeFunc(obs.NameMVCCGCHorizonLag, "Commit sequences between the head and the version-GC horizon.",
+		func() float64 { return float64(o.mvccHorizonLag.Load()) })
 	for r := AbortUser; r < numAbortReasons; r++ {
 		o.aborts[r] = reg.Counter(obs.WithLabel(obs.NameAborts, "reason", r.String()), "Aborts by reason.")
 	}

@@ -32,6 +32,8 @@ type options struct {
 	sstBackoffCap         time.Duration
 	sleep                 func(time.Duration)
 	obs                   *Observability
+	epochMaxBatch         int
+	epochWindow           time.Duration
 }
 
 func defaultOptions() options {
@@ -146,10 +148,34 @@ func WithSSTBackoff(base, cap time.Duration) Option {
 	}
 }
 
+// WithEpochCommit groups decided Secure System Transactions into commit
+// epochs: instead of one store transaction (one 2PL pass, one WAL fsync)
+// per commit, SSTs accumulate until the epoch holds maxBatch of them or
+// window has elapsed since it opened, then the whole epoch is applied as a
+// single store transaction. This extends the WAL's group commit up into
+// the GTM — under write bursts the fsync and locking cost is amortized
+// across the epoch. window 0 seals an epoch on every arrival (batching
+// only what queued behind one monitor exit); maxBatch ≤ 0 disables epoch
+// commit entirely. Managers with epoch commit should be Closed when
+// discarded so a part-filled epoch flushes.
+//
+// Correctness notes: a transaction's outcome still arrives only after its
+// epoch's store transaction durably commits, and two transactions in one
+// epoch can never write the same store ref — each held its object's
+// exclusive committer slot through publication. A failed epoch falls back
+// to per-transaction SSTs so one transaction's constraint violation aborts
+// only itself.
+func WithEpochCommit(maxBatch int, window time.Duration) Option {
+	return func(o *options) {
+		o.epochMaxBatch = maxBatch
+		o.epochWindow = window
+	}
+}
+
 // WithSleepFunc replaces the real-time sleep used between SST retry
-// attempts (default clock.Wall.Sleep). Simulations and tests inject a
-// no-op or a virtual wait so retry backoff cannot stall a deterministic
-// run on the wall clock.
+// attempts and the epoch-commit window wait (default clock.Wall.Sleep).
+// Simulations and tests inject a no-op or a virtual wait so retry backoff
+// cannot stall a deterministic run on the wall clock.
 func WithSleepFunc(fn func(time.Duration)) Option {
 	return func(o *options) { o.sleep = fn }
 }

@@ -68,6 +68,15 @@ type Store interface {
 	ApplySST(writes []SSTWrite) error
 }
 
+// BatchStore is the optional Store surface epoch-grouped commit uses:
+// apply several SST write sets in one store transaction (one lock pass,
+// one durable commit) — all of them or none. On error the GTM falls back
+// to applying each set through ApplySST, so implementations need not
+// attribute failures to a specific set.
+type BatchStore interface {
+	ApplySSTBatch(sets [][]SSTWrite) error
+}
+
 // MemStore is an in-memory Store with optional per-ref validation hooks.
 type MemStore struct {
 	mu     sync.Mutex
@@ -130,6 +139,34 @@ func (s *MemStore) ValidateSST(writes []SSTWrite) error {
 		if err := s.Validate(w.Ref, w.Value); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ApplySSTBatch implements BatchStore: every set validated first, then all
+// applied, atomically with respect to other MemStore calls. One injected
+// failure (FailNext) fails the whole batch.
+func (s *MemStore) ApplySSTBatch(sets [][]SSTWrite) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failNext > 0 {
+		s.failNext--
+		return fmt.Errorf("core: memstore: injected SST failure")
+	}
+	if s.Validate != nil {
+		for _, writes := range sets {
+			for _, w := range writes {
+				if err := s.Validate(w.Ref, w.Value); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, writes := range sets {
+		for _, w := range writes {
+			s.values[w.Ref] = w.Value
+		}
+		s.applied++
 	}
 	return nil
 }

@@ -101,6 +101,9 @@ func (m *Manager) abortWithReason(txID TxID, reason AbortReason) error {
 // RunSupervisor runs Supervise every interval until the context is
 // cancelled. Intended for wall-clock deployments (cmd/gtmd).
 func RunSupervisor(ctx context.Context, m *Manager, cfg SupervisorConfig, interval time.Duration) {
+	if cfg.IdleTimeout <= 0 && cfg.WaitTimeout <= 0 && cfg.SleepAbortAfter <= 0 {
+		return // every policy disabled: don't tick the monitor for nothing
+	}
 	if interval <= 0 {
 		interval = time.Second
 	}

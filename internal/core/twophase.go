@@ -148,7 +148,13 @@ func (m *Manager) ReplayDecided(txID TxID, marker SSTWrite, writes []SSTWrite) (
 	all = append(all, writes...)
 	all = append(all, marker)
 	SortSSTWrites(all)
-	if err := m.store.ApplySST(all); err != nil {
+	// A replay writes the store behind the GTM's back; holding sstActive
+	// across it keeps the snapshot read path's miss protocol from
+	// certifying a load taken mid-replay as committed-stable.
+	m.mvcc.sstActive.Add(1)
+	err = m.store.ApplySST(all)
+	m.mvcc.sstActive.Add(-1)
+	if err != nil {
 		return false, fmt.Errorf("core: replay of %s: %w", txID, err)
 	}
 	m.invalidateMirrors(writes)
@@ -166,9 +172,9 @@ func (m *Manager) replayable(txID TxID) error {
 	return nil
 }
 
-// invalidateMirrors drops the X_permanent mirrors covering refs written
-// behind the GTM's back (ReplayDecided), so the next load re-reads the
-// store.
+// invalidateMirrors drops the X_permanent mirrors and version chains
+// covering refs written behind the GTM's back (ReplayDecided), so the next
+// load — monitor or snapshot path — re-reads the store.
 func (m *Manager) invalidateMirrors(writes []SSTWrite) {
 	defer m.mon.enter(m)()
 	refs := make(map[StoreRef]bool, len(writes))
@@ -180,6 +186,7 @@ func (m *Manager) invalidateMirrors(writes []SSTWrite) {
 			if refs[ref] {
 				delete(o.permanent, member)
 				delete(o.permKnown, member)
+				m.chainFor(chainKey{obj: o.id, member: member}).head.Store(nil)
 			}
 		}
 	}

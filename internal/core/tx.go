@@ -34,6 +34,7 @@ type transaction struct {
 	// (the commit point: aborts are no longer possible).
 	commitWant  []ObjectID
 	commitHeld  map[ObjectID]bool
+	readLocals  []localWrite // read-class payloads released at local commit
 	sstInFlight bool
 	commitStart time.Time // RequestCommit time, for the commit-latency histogram
 	sstStart    time.Time // SST launch time, for the SST-latency histogram

@@ -88,6 +88,11 @@ type Options struct {
 	// SessionRetention reaps parked sessions idle longer than this.
 	// Zero means DefaultSessionRetention; negative retains forever.
 	SessionRetention time.Duration
+
+	// Now supplies the time used for admission refill, session lastSeen
+	// stamps and parked-session expiry. Nil means time.Now; tests inject a
+	// deterministic clock to drive the retention reaper.
+	Now func() time.Time
 }
 
 // laneItem is one queued session request.
@@ -154,6 +159,9 @@ func NewServer(b wire.Backend, opts Options) *Server {
 	if opts.SessionRetention == 0 {
 		opts.SessionRetention = DefaultSessionRetention
 	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
 	s := &Server{
 		e: wire.NewEngine(b, wire.EngineOptions{
 			Logger:        lg,
@@ -170,7 +178,7 @@ func NewServer(b wire.Backend, opts Options) *Server {
 		sessions: make(map[string]*session),
 	}
 	if opts.Rate > 0 {
-		s.global = newTokenBucket(opts.Rate, opts.Burst, time.Now())
+		s.global = newTokenBucket(opts.Rate, opts.Burst, opts.Now())
 	}
 	if sb, ok := b.(wire.ShardBackend); ok {
 		s.routeObj = sb.Route
@@ -187,6 +195,9 @@ func NewServer(b wire.Backend, opts Options) *Server {
 
 // Engine returns the request engine, shared surface with wire.Server.
 func (s *Server) Engine() *wire.Engine { return s.e }
+
+// now reads the configured clock.
+func (s *Server) now() time.Time { return s.opts.Now() }
 
 // Serve listens on addr and handles connections until Close or Drain.
 func (s *Server) Serve(addr string) error {
@@ -320,14 +331,14 @@ func (s *Server) ParkedBytes() int64 {
 // returns how many it reaped. The retention loop calls it periodically;
 // operators and tests may call it directly.
 func (s *Server) ExpireParked(olderThan time.Duration) int {
-	cutoff := time.Now().Add(-olderThan)
+	cutoff := s.now().Add(-olderThan)
 	s.mu.Lock()
 	var n int
 	for id, sess := range s.sessions {
 		if sess.conn == nil && sess.lastSeen.Before(cutoff) {
 			delete(s.sessions, id)
 			s.parked--
-			s.parkedBytes -= sess.footprint()
+			s.parkedBytes -= sess.chargedBytes
 			n++
 		}
 	}
@@ -367,7 +378,7 @@ func (s *Server) laneWorker(l *lane) {
 		resp.ID = it.req.ID
 		if s.m != nil {
 			s.m.dispatches.Inc()
-			s.m.dispatchSeconds.Observe(time.Since(it.enq))
+			s.m.dispatchSeconds.Observe(s.now().Sub(it.enq))
 		}
 		// The session may have migrated to another connection while this
 		// request was queued; answer on the connection it arrived on. If
@@ -427,7 +438,7 @@ func (s *Server) dispatchSession(c *gwConn, req *wire.Request) {
 	// Admission is charged per transaction, at begin: a parked tier's load
 	// is driven by how many transactions start, not how many ops each runs.
 	if req.Op == wire.OpBegin {
-		now := time.Now()
+		now := s.now()
 		if s.global != nil {
 			if ok, wait := s.global.take(1, now); !ok {
 				c.writeResp(s.rejected("quota", wait, req))
@@ -441,7 +452,7 @@ func (s *Server) dispatchSession(c *gwConn, req *wire.Request) {
 	}
 	l := s.lanes[s.route(req)]
 	select {
-	case l.q <- laneItem{req: req, sess: sess, conn: c, enq: time.Now()}:
+	case l.q <- laneItem{req: req, sess: sess, conn: c, enq: s.now()}:
 	default:
 		c.writeResp(s.rejected("lane", 0, req))
 	}
@@ -475,7 +486,7 @@ func (s *Server) attach(c *gwConn, req *wire.Request) *wire.Response {
 			s.mu.Unlock()
 			return s.rejected("sessions", 0, req)
 		}
-		sess = &session{id: req.Session, tenant: req.Tenant, conn: c, lastSeen: time.Now()}
+		sess = &session{id: req.Session, tenant: req.Tenant, conn: c, lastSeen: s.now()}
 		sess.owner = wire.NewOwner(sess)
 		s.sessions[sess.id] = sess
 		s.mu.Unlock()
@@ -495,10 +506,14 @@ func (s *Server) attach(c *gwConn, req *wire.Request) *wire.Response {
 	old := sess.conn
 	if old == nil { // resuming a parked session
 		s.parked--
-		s.parkedBytes -= sess.footprint()
+		// Credit exactly what park charged: the footprint may have changed
+		// while parked (lane workers finishing queued requests prune the
+		// owned set), and recomputing it here drifts the gauge permanently.
+		s.parkedBytes -= sess.chargedBytes
+		sess.chargedBytes = 0
 	}
 	sess.conn = c
-	sess.lastSeen = time.Now()
+	sess.lastSeen = s.now()
 	s.mu.Unlock()
 	if old != nil && old != c {
 		old.unbind(sess.id) // takeover: latest attach wins
@@ -555,10 +570,11 @@ func (s *Server) park(c *gwConn, sess *session, cause string) {
 		return
 	}
 	sess.conn = nil
-	sess.lastSeen = time.Now()
+	sess.lastSeen = s.now()
 	s.e.DisconnectOwner(sess.owner)
 	s.parked++
-	s.parkedBytes += sess.footprint()
+	sess.chargedBytes = sess.footprint()
+	s.parkedBytes += sess.chargedBytes
 	s.mu.Unlock()
 	if s.m != nil {
 		if cause == "detach" {

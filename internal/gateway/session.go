@@ -39,6 +39,13 @@ type session struct {
 	// is still bound to the connection asking to park it.
 	conn     *gwConn
 	lastSeen time.Time // last attach/detach/park; drives parked reaping
+
+	// chargedBytes is the footprint added to the server's parked-bytes
+	// gauge when this session parked, and the exact amount credited back
+	// on resume or reap. Recomputing the footprint at credit time is wrong:
+	// the owned set can shrink while parked (queued requests finishing,
+	// engine sweeps), which would leak the difference into the gauge.
+	chargedBytes int64
 }
 
 // footprint estimates the heap bytes this session costs while parked.

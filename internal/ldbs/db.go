@@ -81,12 +81,22 @@ type DB struct {
 	indexes map[indexKey]*index
 	nextTx  atomic.Uint64
 
+	// commitSeq counts applied write batches (guarded by mu); snapMu and
+	// snap form the row-version snapshot registry (snapshot.go). snapMu is
+	// a leaf lock ordered strictly after mu.
+	commitSeq uint64
+	snapMu    sync.Mutex
+	snap      snapState
+
 	committed atomic.Uint64
 	aborted   atomic.Uint64
 	begun     atomic.Uint64
 	deadlocks atomic.Uint64
 
-	obsDeadlocks *obs.Counter // nil unless Options.Obs
+	obsDeadlocks    *obs.Counter // nil unless Options.Obs
+	obsSnapsOpened  *obs.Counter
+	obsSnapReads    *obs.Counter
+	obsVersionsGCed *obs.Counter
 }
 
 // Open creates an empty database.
@@ -104,6 +114,9 @@ func Open(opts Options) *DB {
 	}
 	if opts.Obs != nil {
 		db.obsDeadlocks = opts.Obs.Counter(obs.NameLDBSDeadlocks, "Lock waits refused because they would close a wait-for cycle.")
+		db.obsSnapsOpened = opts.Obs.Counter(obs.NameLDBSSnapshotsOpened, "Row-version snapshots opened.")
+		db.obsSnapReads = opts.Obs.Counter(obs.NameLDBSSnapshotReads, "Lock-free snapshot row reads.")
+		db.obsVersionsGCed = opts.Obs.Counter(obs.NameLDBSRowVersionsGCed, "Retained row pre-images released by snapshot GC.")
 		db.locks.waits = opts.Obs.Counter(obs.NameLDBSLockWaits, "Lock acquisitions that had to block.")
 		db.locks.waitLatency = opts.Obs.Histogram(obs.NameLDBSLockWaitSeconds, "Blocking lock acquisition latency.", nil)
 		if db.log != nil {
@@ -548,19 +561,22 @@ func (tx *Tx) Rollback() {
 	tx.db.abort(tx)
 }
 
-// applyWrites installs a committed write set into the store.
+// applyWrites installs a committed write set into the store, retaining
+// pre-images for open row-version snapshots.
 func (db *DB) applyWrites(writes []writeOp) {
 	if len(writes) == 0 {
 		return
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.commitSeq++
 	for _, w := range writes {
 		rows := db.tables[w.table]
 		if rows == nil {
 			continue // table dropped concurrently; nothing to apply to
 		}
-		old := rows[w.key]
+		old, existed := rows[w.key]
+		db.retainVersionLocked(w.table, w.key, old, existed, db.commitSeq)
 		switch w.typ {
 		case recSetCol:
 			if old != nil {

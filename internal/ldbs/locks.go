@@ -114,6 +114,7 @@ type lockManager struct {
 	mu       sync.Mutex
 	locks    map[resource]*lockState
 	held     map[uint64]map[resource]LockMode // per-tx held locks, for release
+	queued   map[uint64]map[*waiter]resource  // per-tx queued waiters, for release
 	waitsFor map[uint64]map[uint64]int        // edge multiplicity in the WFG
 
 	// Live metrics, nil unless the DB was opened with Options.Obs.
@@ -125,6 +126,7 @@ func newLockManager() *lockManager {
 	return &lockManager{
 		locks:    make(map[resource]*lockState),
 		held:     make(map[uint64]map[resource]LockMode),
+		queued:   make(map[uint64]map[*waiter]resource),
 		waitsFor: make(map[uint64]map[uint64]int),
 	}
 }
@@ -281,6 +283,7 @@ func (lm *lockManager) Acquire(ctx context.Context, tx uint64, res resource, mod
 	} else {
 		st.queue = append(st.queue, w)
 	}
+	lm.indexWaiterLocked(w, res)
 	lm.mu.Unlock()
 
 	var waitStart time.Time
@@ -320,6 +323,27 @@ func (lm *lockManager) grantLocked(st *lockState, res resource, tx uint64, mode 
 	h[res] = mode
 }
 
+// indexWaiterLocked records w in the per-tx queued index so ReleaseAll can
+// find it even on resources the transaction holds nothing on.
+func (lm *lockManager) indexWaiterLocked(w *waiter, res resource) {
+	q := lm.queued[w.tx]
+	if q == nil {
+		q = make(map[*waiter]resource)
+		lm.queued[w.tx] = q
+	}
+	q[w] = res
+}
+
+// unindexWaiterLocked removes w from the per-tx queued index.
+func (lm *lockManager) unindexWaiterLocked(w *waiter) {
+	if q := lm.queued[w.tx]; q != nil {
+		delete(q, w)
+		if len(q) == 0 {
+			delete(lm.queued, w.tx)
+		}
+	}
+}
+
 // removeWaiterLocked deletes w from the queue and clears its WFG edges.
 func (lm *lockManager) removeWaiterLocked(st *lockState, res resource, w *waiter) {
 	for i, q := range st.queue {
@@ -328,6 +352,7 @@ func (lm *lockManager) removeWaiterLocked(st *lockState, res resource, w *waiter
 			break
 		}
 	}
+	lm.unindexWaiterLocked(w)
 	for _, b := range w.blockedOn {
 		lm.dropEdge(w.tx, b)
 	}
@@ -344,6 +369,7 @@ func (lm *lockManager) dispatchLocked(st *lockState, res resource) {
 		for _, w := range st.queue {
 			if st.grantable(w) {
 				lm.grantLocked(st, res, w.tx, w.mode)
+				lm.unindexWaiterLocked(w)
 				for _, b := range w.blockedOn {
 					lm.dropEdge(w.tx, b)
 				}
@@ -368,33 +394,49 @@ func (lm *lockManager) dispatchLocked(st *lockState, res resource) {
 
 // ReleaseAll releases every lock tx holds and removes it from every queue
 // (used at commit and rollback — strict 2PL releases everything at once).
+// Queued requests are purged via the per-tx waiter index, which covers waits
+// on resources tx holds nothing on: without that, a rollback racing a blocked
+// Acquire leaves the waiter in the queue and a later dispatch grants a lock
+// to the already-finished transaction — a permanent leak.
 func (lm *lockManager) ReleaseAll(tx uint64) {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
-	for res := range lm.held[tx] {
+	touched := make(map[resource]bool)
+	// First purge every queued request by tx (cancelled upgrades AND fresh
+	// waits on unheld resources), without dispatching yet: a dispatch here
+	// could grant another of tx's still-indexed waiters mid-purge.
+	for w, res := range lm.queued[tx] {
 		st := lm.locks[res]
 		if st == nil {
 			continue
 		}
-		delete(st.holders, tx)
-		// Drop any queued request by tx on the same resource (e.g. a
-		// cancelled upgrade).
-		for i := 0; i < len(st.queue); {
-			if st.queue[i].tx == tx {
-				w := st.queue[i]
+		for i, q := range st.queue {
+			if q == w {
 				st.queue = append(st.queue[:i], st.queue[i+1:]...)
-				for _, b := range w.blockedOn {
-					lm.dropEdge(w.tx, b)
-				}
-				w.ready <- fmt.Errorf("%w: transaction %d released", ErrLockTimeout, tx)
-				continue
+				break
 			}
-			i++
 		}
-		lm.dispatchLocked(st, res)
+		for _, b := range w.blockedOn {
+			lm.dropEdge(w.tx, b)
+		}
+		w.blockedOn = nil
+		w.ready <- fmt.Errorf("%w: transaction %d released", ErrLockTimeout, tx)
+		touched[res] = true
+	}
+	delete(lm.queued, tx)
+	for res := range lm.held[tx] {
+		if st := lm.locks[res]; st != nil {
+			delete(st.holders, tx)
+			touched[res] = true
+		}
 	}
 	delete(lm.held, tx)
 	delete(lm.waitsFor, tx)
+	for res := range touched {
+		if st := lm.locks[res]; st != nil {
+			lm.dispatchLocked(st, res)
+		}
+	}
 }
 
 // HeldLocks returns a snapshot of the locks tx holds (diagnostics/tests).

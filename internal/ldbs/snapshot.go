@@ -1,0 +1,219 @@
+package ldbs
+
+import (
+	"fmt"
+
+	"preserial/internal/sem"
+)
+
+// Row-version snapshots: the LDBS counterpart of the GTM's multiversion
+// read path. A DBSnapshot pins the engine's commit sequence and reads rows
+// as of that point without taking any 2PL lock — a long snapshot scan can
+// never block or deadlock a committing SST. While at least one snapshot is
+// open, applyWrites retains each overwritten row's pre-image tagged with
+// the commit sequence that superseded it; closing the last snapshot (or
+// advancing the oldest pin) releases the retained versions.
+
+// rowVersion is a retained pre-image: the row as it existed before the
+// commit with sequence supersededAt (nil row: the key did not exist).
+type rowVersion struct {
+	row          Row
+	supersededAt uint64
+}
+
+// snapState is the DB's snapshot registry. snapMu is a leaf lock ordered
+// after db.mu; applyWrites consults it under db.mu's write lock, so a
+// snapshot can never register between a commit's sequence bump and its
+// pre-image capture.
+type snapState struct {
+	snaps    map[uint64]uint64 // snapshot id → pinned commit sequence
+	nextSnap uint64
+	// history holds retained pre-images per table/key, oldest first
+	// (supersededAt strictly increasing).
+	history map[string]map[string][]rowVersion
+}
+
+// BeginSnapshot pins the current commit sequence and returns a lock-free
+// read view. Close it when done: an open snapshot retains every row
+// version committed after its pin.
+func (db *DB) BeginSnapshot() *DBSnapshot {
+	db.mu.RLock()
+	db.snapMu.Lock()
+	if db.snap.snaps == nil {
+		db.snap.snaps = make(map[uint64]uint64)
+	}
+	db.snap.nextSnap++
+	id := db.snap.nextSnap
+	pin := db.commitSeq
+	db.snap.snaps[id] = pin
+	db.snapMu.Unlock()
+	db.mu.RUnlock()
+	if db.obsSnapsOpened != nil {
+		db.obsSnapsOpened.Inc()
+	}
+	return &DBSnapshot{db: db, id: id, pin: pin}
+}
+
+// DBSnapshot is a pinned read view over the database. Reads take only
+// db.mu's read side — never a row or table lock — and observe exactly the
+// rows committed at or before the pinned sequence.
+type DBSnapshot struct {
+	db     *DB
+	id     uint64
+	pin    uint64
+	closed bool
+}
+
+// Seq returns the pinned commit sequence.
+func (s *DBSnapshot) Seq() uint64 { return s.pin }
+
+// versionAt resolves (table, key) as of the pin. Caller holds db.mu.RLock.
+func (db *DB) versionAtLocked(table, key string, pin uint64) (Row, bool, error) {
+	rows, ok := db.tables[table]
+	if !ok {
+		return nil, false, fmt.Errorf("%w: %q", ErrNoTable, table)
+	}
+	db.snapMu.Lock()
+	versions := db.snap.history[table][key]
+	// The first retained version superseded after the pin is the row the
+	// snapshot saw; later versions (and the live row) postdate it.
+	for _, v := range versions {
+		if v.supersededAt > pin {
+			db.snapMu.Unlock()
+			if v.row == nil {
+				return nil, false, nil
+			}
+			return v.row.clone(), true, nil
+		}
+	}
+	db.snapMu.Unlock()
+	r, ok := rows[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return r.clone(), true, nil
+}
+
+// GetRow returns the pinned version of a row without locking it.
+func (s *DBSnapshot) GetRow(table, key string) (Row, error) {
+	if s.closed {
+		return nil, ErrTxDone
+	}
+	db := s.db
+	if db.obsSnapReads != nil {
+		db.obsSnapReads.Inc()
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	row, exists, err := db.versionAtLocked(table, key, s.pin)
+	if err != nil {
+		return nil, err
+	}
+	if !exists {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoRow, table, key)
+	}
+	return row, nil
+}
+
+// Get returns one column of the pinned row version.
+func (s *DBSnapshot) Get(table, key, column string) (sem.Value, error) {
+	row, err := s.GetRow(table, key)
+	if err != nil {
+		return sem.Value{}, err
+	}
+	return row[column], nil
+}
+
+// Close releases the snapshot's pin and garbage-collects row versions no
+// remaining snapshot can see. Idempotent.
+func (s *DBSnapshot) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	db := s.db
+	db.mu.Lock()
+	db.snapMu.Lock()
+	delete(db.snap.snaps, s.id)
+	dropped := db.gcVersionsLocked()
+	db.snapMu.Unlock()
+	db.mu.Unlock()
+	if db.obsVersionsGCed != nil && dropped > 0 {
+		db.obsVersionsGCed.Add(dropped)
+	}
+}
+
+// gcVersionsLocked drops retained versions invisible to every remaining
+// snapshot: those superseded at or before the oldest pin. Caller holds
+// db.mu and db.snapMu.
+func (db *DB) gcVersionsLocked() uint64 {
+	if len(db.snap.history) == 0 {
+		return 0
+	}
+	if len(db.snap.snaps) == 0 {
+		var dropped uint64
+		for _, keys := range db.snap.history {
+			for _, versions := range keys {
+				dropped += uint64(len(versions))
+			}
+		}
+		db.snap.history = nil
+		return dropped
+	}
+	oldest := db.commitSeq
+	for _, pin := range db.snap.snaps {
+		if pin < oldest {
+			oldest = pin
+		}
+	}
+	var dropped uint64
+	for table, keys := range db.snap.history {
+		for key, versions := range keys {
+			keep := versions[:0]
+			for _, v := range versions {
+				if v.supersededAt > oldest {
+					keep = append(keep, v)
+				} else {
+					dropped++
+				}
+			}
+			if len(keep) == 0 {
+				delete(keys, key)
+			} else {
+				keys[key] = keep
+			}
+		}
+		if len(keys) == 0 {
+			delete(db.snap.history, table)
+		}
+	}
+	return dropped
+}
+
+// retainVersionLocked records a pre-image for (table, key) before a commit
+// at sequence seq overwrites it, once per key per commit. Caller holds
+// db.mu; takes db.snapMu. No-op when no snapshot is open.
+func (db *DB) retainVersionLocked(table, key string, old Row, exists bool, seq uint64) {
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+	if len(db.snap.snaps) == 0 {
+		return
+	}
+	if db.snap.history == nil {
+		db.snap.history = make(map[string]map[string][]rowVersion)
+	}
+	keys := db.snap.history[table]
+	if keys == nil {
+		keys = make(map[string][]rowVersion)
+		db.snap.history[table] = keys
+	}
+	versions := keys[key]
+	if n := len(versions); n > 0 && versions[n-1].supersededAt == seq {
+		return // second write to the key in one commit: first pre-image wins
+	}
+	var pre Row
+	if exists {
+		pre = old.clone()
+	}
+	keys[key] = append(versions, rowVersion{row: pre, supersededAt: seq})
+}

@@ -1,0 +1,191 @@
+package ldbs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"preserial/internal/sem"
+)
+
+// TestSnapshotSeesPinnedVersion: a snapshot opened before a commit keeps
+// returning the pre-commit row after the commit applies; a fresh snapshot
+// sees the new row.
+func TestSnapshotSeesPinnedVersion(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+
+	snap := db.BeginSnapshot()
+	defer snap.Close()
+
+	tx := db.Begin()
+	if err := tx.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, err := snap.Get("Flight", "AZ123", "FreeTickets"); err != nil || v.Int64() != 100 {
+		t.Fatalf("pinned snapshot Get = %s, %v; want 100", v, err)
+	}
+	fresh := db.BeginSnapshot()
+	defer fresh.Close()
+	if v, err := fresh.Get("Flight", "AZ123", "FreeTickets"); err != nil || v.Int64() != 42 {
+		t.Fatalf("fresh snapshot Get = %s, %v; want 42", v, err)
+	}
+	if snap.Seq() >= fresh.Seq() {
+		t.Fatalf("pin order: old %d, fresh %d", snap.Seq(), fresh.Seq())
+	}
+}
+
+// TestSnapshotDoesNotBlockWriter: a snapshot read proceeds while a 2PL
+// writer holds the row's exclusive lock, and the writer commits without
+// ever waiting on the snapshot.
+func TestSnapshotDoesNotBlockWriter(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+
+	tx := db.Begin()
+	if err := tx.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	// tx holds the exclusive row lock; the snapshot read must not touch it.
+	snap := db.BeginSnapshot()
+	done := make(chan error, 1)
+	go func() {
+		v, err := snap.Get("Flight", "AZ123", "FreeTickets")
+		if err == nil && v.Int64() != 100 {
+			err = errors.New("snapshot saw uncommitted write")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("snapshot read blocked behind a 2PL writer")
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Pinned before the commit: still 100.
+	if v, err := snap.Get("Flight", "AZ123", "FreeTickets"); err != nil || v.Int64() != 100 {
+		t.Fatalf("pinned Get after commit = %s, %v; want 100", v, err)
+	}
+	snap.Close()
+}
+
+// TestSnapshotAbsentRow: a row inserted after the pin is invisible; one
+// deleted after the pin stays visible.
+func TestSnapshotAbsentRow(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+
+	snap := db.BeginSnapshot()
+	defer snap.Close()
+
+	tx := db.Begin()
+	if err := tx.Insert(ctx, "Flight", "LH456", Row{
+		"FreeTickets": sem.Int(5), "Price": sem.Float(10), "Carrier": sem.Str("Lufthansa"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(ctx, "Flight", "AZ123"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := snap.GetRow("Flight", "LH456"); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("row inserted after pin: err = %v, want ErrNoRow", err)
+	}
+	if v, err := snap.Get("Flight", "AZ123", "Carrier"); err != nil || v.Text() != "Alitalia" {
+		t.Fatalf("row deleted after pin: Get = %s, %v; want Alitalia", v, err)
+	}
+	fresh := db.BeginSnapshot()
+	defer fresh.Close()
+	if _, err := fresh.GetRow("Flight", "AZ123"); !errors.Is(err, ErrNoRow) {
+		t.Fatalf("deleted row in fresh snapshot: err = %v, want ErrNoRow", err)
+	}
+}
+
+// TestSnapshotVersionGC: closing the last snapshot drops all retained
+// pre-images; with no snapshot open, commits retain nothing.
+func TestSnapshotVersionGC(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+
+	set := func(n int64) {
+		tx := db.Begin()
+		if err := tx.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Int(n)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	set(90) // no snapshot open: nothing retained
+	db.snapMu.Lock()
+	if len(db.snap.history) != 0 {
+		t.Fatalf("history retained %d tables with no snapshot open", len(db.snap.history))
+	}
+	db.snapMu.Unlock()
+
+	snap := db.BeginSnapshot()
+	set(80)
+	set(70)
+	if v, err := snap.Get("Flight", "AZ123", "FreeTickets"); err != nil || v.Int64() != 90 {
+		t.Fatalf("pinned Get = %s, %v; want 90", v, err)
+	}
+	snap.Close()
+	snap.Close() // idempotent
+
+	db.snapMu.Lock()
+	if len(db.snap.history) != 0 {
+		t.Fatalf("history not GCed after last snapshot closed: %v", db.snap.history)
+	}
+	db.snapMu.Unlock()
+
+	if _, err := snap.GetRow("Flight", "AZ123"); !errors.Is(err, ErrTxDone) {
+		t.Fatalf("read on closed snapshot: err = %v, want ErrTxDone", err)
+	}
+}
+
+// TestSnapshotOldestPinGoverns: with two snapshots open, closing the newer
+// one must not release versions the older one still needs.
+func TestSnapshotOldestPinGoverns(t *testing.T) {
+	db := newTestDB(t)
+	ctx := context.Background()
+
+	old := db.BeginSnapshot()
+	tx := db.Begin()
+	if err := tx.Set(ctx, "Flight", "AZ123", "FreeTickets", sem.Int(60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	newer := db.BeginSnapshot()
+	newer.Close()
+
+	if v, err := old.Get("Flight", "AZ123", "FreeTickets"); err != nil || v.Int64() != 100 {
+		t.Fatalf("old snapshot Get = %s, %v; want 100 after newer closed", v, err)
+	}
+	old.Close()
+}
+
+// TestSnapshotUnknownTable: reads against a missing table fail cleanly.
+func TestSnapshotUnknownTable(t *testing.T) {
+	db := newTestDB(t)
+	snap := db.BeginSnapshot()
+	defer snap.Close()
+	if _, err := snap.GetRow("Nope", "k"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("err = %v, want ErrNoTable", err)
+	}
+}

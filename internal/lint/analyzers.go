@@ -4,6 +4,7 @@ package lint
 func All() []*Analyzer {
 	return []*Analyzer{
 		MonitorSafe,
+		SnapshotSafe,
 		LockOrder,
 		ClockInject,
 		StatExhaustive,

@@ -18,3 +18,7 @@ func TestStatExhaustive(t *testing.T) {
 }
 
 func TestMetricNames(t *testing.T) { linttest.Run(t, "testdata/metricnames", lint.MetricNames) }
+
+func TestSnapshotSafe(t *testing.T) {
+	linttest.Run(t, "testdata/snapshotsafe", lint.SnapshotSafe)
+}

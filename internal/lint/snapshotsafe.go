@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SnapshotSafe checks the multiversion read path's discipline (the
+// "Multiversion read path" section of docs/ARCHITECTURE.md): the whole point
+// of snapshot reads is that they never touch the monitor, so the property
+// must hold transitively through every helper — one stray lock in a callee
+// silently re-serializes every reader behind the writers again, and nothing
+// crashes to say so. The analyzer activates in packages that declare a
+// `Snapshot` type with a `Read` method and enforces:
+//
+//  1. monitor-free fast path: Snapshot.Read and every same-package function
+//     it reaches must not enter the monitor, acquire sync locks, perform
+//     channel operations, sleep, or run an SST. The single sanctioned
+//     escape is a fallback whose name ends in Slow (snapshotReadSlow):
+//     calls to *Slow functions are the explicit, metered exits from the
+//     lock-free protocol and are not followed;
+//  2. publish-protocol chain mutations: the committed version chains
+//     (chain.head, versionNode.prev) may be mutated — Store, Swap,
+//     CompareAndSwap — only where the protocol says so: in methods of chain
+//     or versionNode themselves, in *Locked publish code, in monitor-entry
+//     functions, or in Snapshot methods (the miss-path base install).
+//     Anywhere else a head store can drop committed versions out from under
+//     a pinned reader.
+//
+// Goroutines spawned inside the read path are not part of the synchronous
+// read and are skipped.
+var SnapshotSafe = &Analyzer{
+	Name: "snapshotsafe",
+	Doc:  "the snapshot read fast path must stay monitor- and lock-free; version chains move only under the publish protocol",
+	Run:  runSnapshotSafe,
+}
+
+// slowSuffix marks the designated monitor fallback of the read path.
+const slowSuffix = "Slow"
+
+func runSnapshotSafe(pass *Pass) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	entries := make(map[*types.Func]bool)
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if isMonitorEntry(fd.Body) {
+				entries[obj] = true
+			}
+			if r := recvNamed(obj); r != nil && r.Obj().Name() == "Snapshot" && obj.Name() == "Read" {
+				roots = append(roots, obj)
+			}
+		}
+	}
+
+	// Rule 2 applies package-wide, read path or not: a chain head moved
+	// outside the publish protocol corrupts every pinned reader.
+	for obj, fd := range decls {
+		if chainMutationAllowed(obj, fd) {
+			continue
+		}
+		reportChainMutations(pass, obj, fd)
+	}
+
+	if len(roots) == 0 {
+		return // no snapshot read path in this package
+	}
+
+	// Rule 1: walk the closure of Snapshot.Read over same-package static
+	// calls, stopping at *Slow fallbacks.
+	seen := make(map[*types.Func]bool)
+	work := append([]*types.Func(nil), roots...)
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			continue // interface method or external; nothing to scan
+		}
+		if entries[fn] {
+			pass.Reportf(fd.Name.Pos(), "%s enters the monitor but is on the snapshot read fast path: only a fallback named *%s may do that", describeSPFunc(fn), slowSuffix)
+			continue // its body is monitor-held; monitorsafe owns it from here
+		}
+		scanReadPath(pass, fd, func(pos token.Pos, callee *types.Func) {
+			if strings.HasSuffix(callee.Name(), slowSuffix) {
+				return // the sanctioned escape hatch; not followed
+			}
+			if entries[callee] {
+				pass.Reportf(pos, "snapshot read path calls %s, which enters the monitor: the fast path must stay monitor-free — name the fallback %s%s so the escape is explicit", describeSPFunc(callee), callee.Name(), slowSuffix)
+				return
+			}
+			work = append(work, callee)
+		})
+	}
+}
+
+// scanReadPath reports blocking operations in one read-path body and hands
+// same-package static calls to onCall. Goroutine bodies are skipped: they
+// run off the synchronous read. Function literals otherwise inherit the
+// read-path context — a literal passed to Range or sort runs as part of
+// the read.
+func scanReadPath(pass *Pass, fd *ast.FuncDecl, onCall func(token.Pos, *types.Func)) {
+	where := describeSPFuncDecl(pass, fd)
+	ast.Inspect(fd.Body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(), "channel send in %s, on the snapshot read fast path: the read must not block; move this to a *%s fallback", where, slowSuffix)
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pass.Reportf(v.Pos(), "channel receive in %s, on the snapshot read fast path: the read must not block; move this to a *%s fallback", where, slowSuffix)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(v.Pos(), "select in %s, on the snapshot read fast path: the read must not block; move this to a *%s fallback", where, slowSuffix)
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					pass.Reportf(v.Pos(), "range over channel in %s, on the snapshot read fast path: the read must not block; move this to a *%s fallback", where, slowSuffix)
+				}
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.Info, v)
+			if callee == nil {
+				return true
+			}
+			if what := monitorBlockingCall(callee); what != "" {
+				pass.Reportf(v.Pos(), "%s in %s, on the snapshot read fast path: the read must not block; move this to a *%s fallback", what, where, slowSuffix)
+			}
+			if callee.Pkg() != nil && callee.Pkg() == pass.Types {
+				onCall(v.Pos(), callee)
+			}
+		}
+		return true
+	})
+}
+
+// chainMutationAllowed reports whether fn is a context the publish protocol
+// sanctions for chain mutations: the chain machinery itself, monitor-held
+// publish code (*Locked or an entry function), or the Snapshot miss-path
+// base install.
+func chainMutationAllowed(fn *types.Func, fd *ast.FuncDecl) bool {
+	if r := recvNamed(fn); r != nil {
+		switch r.Obj().Name() {
+		case "chain", "versionNode", "Snapshot":
+			return true
+		}
+	}
+	return strings.HasSuffix(fn.Name(), lockedSuffix) || isMonitorEntry(fd.Body)
+}
+
+// reportChainMutations flags every chain.head / versionNode.prev mutation in
+// a body the protocol does not sanction. Function literals inherit the
+// enclosing declaration's (dis)allowance.
+func reportChainMutations(pass *Pass, fn *types.Func, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		owner, field := chainMutationTarget(pass, call)
+		if owner == "" {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s mutates %s.%s outside the publish protocol: version chains move only in chain/versionNode methods, *%s publish code, monitor entries, or the Snapshot base install", describeSPFunc(fn), owner, field, lockedSuffix)
+		return true
+	})
+}
+
+// chainMutationTarget recognizes `<chain>.head.<op>` and
+// `<versionNode>.prev.<op>` for the atomic mutating ops, returning the
+// owning type and field names ("" when the call is something else).
+func chainMutationTarget(pass *Pass, call *ast.CallExpr) (owner, field string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Store", "Swap", "CompareAndSwap":
+	default:
+		return "", ""
+	}
+	if f := calleeFunc(pass.Info, call); f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return "", ""
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	tv, ok := pass.Info.Types[inner.X]
+	if !ok {
+		return "", ""
+	}
+	n := namedOf(tv.Type)
+	if n == nil {
+		return "", ""
+	}
+	switch {
+	case n.Obj().Name() == "chain" && inner.Sel.Name == "head":
+		return "chain", "head"
+	case n.Obj().Name() == "versionNode" && inner.Sel.Name == "prev":
+		return "versionNode", "prev"
+	}
+	return "", ""
+}
+
+// describeSPFunc renders Type.Method or a plain function name.
+func describeSPFunc(fn *types.Func) string {
+	if r := recvNamed(fn); r != nil {
+		return r.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func describeSPFuncDecl(pass *Pass, fd *ast.FuncDecl) string {
+	if obj, _ := pass.Info.Defs[fd.Name].(*types.Func); obj != nil {
+		return describeSPFunc(obj)
+	}
+	return fd.Name.Name
+}

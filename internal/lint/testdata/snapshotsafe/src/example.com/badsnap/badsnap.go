@@ -1,0 +1,52 @@
+// Fixture for gtmlint/snapshotsafe: a snapshot read path that violates the
+// monitor-free discipline in-line, through a helper, and by calling a
+// monitor entry that is not a designated *Slow fallback.
+package badsnap
+
+import (
+	"sync"
+	"time"
+)
+
+type monitor struct{ mu sync.Mutex }
+
+func (m *monitor) enter(owner *Manager) func() {
+	m.mu.Lock()
+	return func() { m.mu.Unlock() }
+}
+
+type Manager struct {
+	mon  monitor
+	mu   sync.Mutex
+	ch   chan int
+	vals map[string]int
+}
+
+type Snapshot struct {
+	m   *Manager
+	pin uint64
+}
+
+// Read blocks in-line and drags a blocking helper into the fast path.
+func (s *Snapshot) Read(key string) int {
+	s.m.mu.Lock() // want "sync lock acquisition"
+	defer s.m.mu.Unlock()
+	s.m.ch <- 1 // want "channel send"
+	go func() {
+		<-s.m.ch // ok: a spawned goroutine is off the synchronous read
+	}()
+	return s.m.lookup(key)
+}
+
+// lookup is reached from Read: its blocking ops are fast-path violations.
+func (m *Manager) lookup(key string) int {
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	m.refresh()                  // want "enters the monitor"
+	return m.vals[key]
+}
+
+// refresh enters the monitor without saying so in its name.
+func (m *Manager) refresh() {
+	defer m.mon.enter(m)()
+	m.vals = nil
+}

@@ -1,0 +1,22 @@
+// Fixture for gtmlint/snapshotsafe: a Snapshot whose Read enters the
+// monitor itself — the fast path degenerating into the slow path.
+package entrysnap
+
+import "sync"
+
+type monitor struct{ mu sync.Mutex }
+
+func (m *monitor) enter(owner *Snapshot) func() {
+	m.mu.Lock()
+	return func() { m.mu.Unlock() }
+}
+
+type Snapshot struct {
+	mon monitor
+	val int
+}
+
+func (s *Snapshot) Read(key string) int { // want "enters the monitor but is on the snapshot read fast path"
+	defer s.mon.enter(s)()
+	return s.val
+}

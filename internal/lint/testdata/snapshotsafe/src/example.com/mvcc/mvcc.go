@@ -1,0 +1,94 @@
+// Fixture for gtmlint/snapshotsafe: a miniature multiversion read path —
+// version chains, a pinned Snapshot with a lock-free Read, a *Slow monitor
+// fallback, and the mutation sites the publish protocol sanctions.
+package mvcc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type monitor struct{ mu sync.Mutex }
+
+func (m *monitor) enter(owner *Manager) func() {
+	m.mu.Lock()
+	return func() { m.mu.Unlock() }
+}
+
+type versionNode struct {
+	val  int
+	seq  uint64
+	prev atomic.Pointer[versionNode]
+}
+
+type chain struct {
+	head atomic.Pointer[versionNode]
+}
+
+// at and truncate are the chain machinery itself: mutations allowed.
+func (c *chain) at(pin uint64) *versionNode {
+	n := c.head.Load()
+	for n != nil && n.seq > pin {
+		n = n.prev.Load()
+	}
+	return n
+}
+
+func (c *chain) truncate(horizon uint64) {
+	if cut := c.at(horizon); cut != nil {
+		cut.prev.Store(nil) // ok: chain method
+	}
+}
+
+type Manager struct {
+	mon    monitor
+	chains map[string]*chain
+	seq    atomic.Uint64
+}
+
+func (m *Manager) chainFor(key string) *chain { return m.chains[key] }
+
+// pushVersionLocked is publish-side code under the monitor: allowed.
+func (m *Manager) pushVersionLocked(key string, val int, seq uint64) {
+	ch := m.chainFor(key)
+	n := &versionNode{val: val, seq: seq}
+	n.prev.Store(ch.head.Load())
+	ch.head.Store(n) // ok: *Locked publish code
+}
+
+// Invalidate enters the monitor; dropping heads under it is allowed.
+func (m *Manager) Invalidate(key string) {
+	defer m.mon.enter(m)()
+	m.chainFor(key).head.Store(nil) // ok: monitor entry
+}
+
+// reset is a plain helper: nothing guarantees the monitor is held or that
+// no reader is pinned mid-walk.
+func (m *Manager) reset(key string) {
+	m.chainFor(key).head.Store(nil) // want "mutates chain.head outside the publish protocol"
+}
+
+type Snapshot struct {
+	m   *Manager
+	pin uint64
+}
+
+// Read is the lock-free fast path: chain walk, base install, monitor only
+// through the *Slow fallback.
+func (s *Snapshot) Read(key string) int {
+	ch := s.m.chainFor(key)
+	if n := ch.at(s.pin); n != nil {
+		return n.val
+	}
+	if ch.head.CompareAndSwap(nil, &versionNode{}) { // ok: Snapshot base install
+		return 0
+	}
+	return s.m.readSlow(key)
+}
+
+// readSlow is the sanctioned escape: an entry function the read path may
+// call because its name says it leaves the fast path.
+func (m *Manager) readSlow(key string) int {
+	defer m.mon.enter(m)()
+	return int(m.seq.Load())
+}

@@ -28,6 +28,25 @@ const (
 	NameTransactionsLive    = "gtm_transactions_live"
 	NameDrainSleeping       = "gtm_drain_sleeping_total"
 	NameTxPrepared          = "gtm_tx_prepared_total"
+	NameMonitorEntries      = "gtm_monitor_entries_total"
+
+	// Multiversion read path (internal/core). Snapshot reads walk committed
+	// version chains without entering the GTM monitor; comparing
+	// mvcc_snapshot_reads_total against gtm_monitor_entries_total is how the
+	// read-mostly benchmark asserts the path really is monitor-free.
+	NameMVCCSnapshotReads     = "mvcc_snapshot_reads_total"
+	NameMVCCSnapshotFallbacks = "mvcc_snapshot_fallbacks_total"
+	NameMVCCSnapshotsOpened   = "mvcc_snapshots_opened_total"
+	NameMVCCSnapshotsClosed   = "mvcc_snapshots_closed_total"
+	NameMVCCVersionsInstalled = "mvcc_versions_installed_total"
+	NameMVCCVersionsGCed      = "mvcc_versions_gced_total"
+	NameMVCCGCHorizonLag      = "mvcc_gc_horizon_lag" // gauge: commitSeq − GC horizon
+
+	// Epoch-grouped commit (internal/core). Decided SSTs are batched per
+	// epoch and applied as one store transaction (one 2PL pass, one fsync).
+	NameEpochSeals     = "epoch_seals_total"     // labeled cause="size"|"window"|"close"
+	NameEpochBatchTxs  = "epoch_batch_txs_total" // transactions carried by sealed epochs
+	NameEpochFallbacks = "epoch_fallbacks_total" // batches re-applied one SST at a time
 
 	// Local database system (internal/ldbs).
 	NameLDBSDeadlocks       = "ldbs_deadlocks_total"
@@ -37,6 +56,9 @@ const (
 	NameWALFsyncSeconds     = "ldbs_wal_fsync_seconds"
 	NameWALRecords          = "ldbs_wal_records_total"
 	NameWALGroupCommitBatch = "ldbs_group_commit_batch_size"
+	NameLDBSSnapshotsOpened = "ldbs_snapshots_opened_total"
+	NameLDBSSnapshotReads   = "ldbs_snapshot_reads_total"
+	NameLDBSRowVersionsGCed = "ldbs_row_versions_gced_total"
 
 	// Wire layer (internal/wire).
 	NameWireConnections       = "wire_connections_total"

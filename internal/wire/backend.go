@@ -2,6 +2,9 @@ package wire
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync"
 	"time"
 
 	"preserial/internal/core"
@@ -59,6 +62,26 @@ type Backend interface {
 	ObjectInfo(object string) (*ObjectInfoJSON, error)
 	// Stats returns the backend's counters in wire form.
 	Stats() map[string]uint64
+}
+
+// SnapshotBackend is the optional multiversion read surface: BeginSnapshot
+// opens a session whose reads come from committed version chains pinned at
+// begin time — no 2PL invoke, no monitor entry, no interference with
+// concurrent committers. The session accepts only read-class invokes;
+// Commit and Abort both just release the snapshot's GC pin.
+type SnapshotBackend interface {
+	BeginSnapshot(tx string) (Session, error)
+	// SnapshotRead is the one-shot form: pin, read one member, release —
+	// a single round trip where the transactional path needs
+	// begin/invoke/read/commit.
+	SnapshotRead(object, member string) (Value, error)
+}
+
+// ReadOnlySession marks sessions served by the snapshot read path, so the
+// engine can tell them apart from backend transactions (they are invisible
+// to the backend's registry and must be cleaned up engine-side).
+type ReadOnlySession interface {
+	ReadOnly() bool
 }
 
 // ReplayBackend is the optional recovery surface: re-apply a logged commit
@@ -147,6 +170,81 @@ func (b managerBackend) Begin(tx string) (Session, error) {
 		return nil, err
 	}
 	return managerSession{c}, nil
+}
+
+// BeginSnapshot opens a multiversion read-only session (SnapshotBackend).
+func (b managerBackend) BeginSnapshot(tx string) (Session, error) {
+	return &snapshotSession{
+		snap:    b.m.BeginSnapshot(),
+		members: make(map[core.ObjectID]string),
+	}, nil
+}
+
+// SnapshotRead is the one-shot snapshot read (SnapshotBackend).
+func (b managerBackend) SnapshotRead(object, member string) (Value, error) {
+	v, err := b.m.SnapshotRead(core.ObjectID(object), member)
+	if err != nil {
+		return Value{}, err
+	}
+	return FromSem(v), nil
+}
+
+// snapshotSession adapts a *core.Snapshot to the Session contract. Invoke
+// only records which member a read-class invocation named — there is
+// nothing to grant, snapshot reads conflict with no one — and Read serves
+// it from the pinned version chain. Mutating calls are refused.
+type snapshotSession struct {
+	snap *core.Snapshot
+
+	mu      sync.Mutex // a gateway may run one session's requests on concurrent lanes
+	members map[core.ObjectID]string
+}
+
+// ErrReadOnlyTx rejects mutating calls on a snapshot session.
+var ErrReadOnlyTx = errors.New("wire: transaction is read-only")
+
+func (s *snapshotSession) ReadOnly() bool { return true }
+
+// Done reports whether the snapshot has been released — the engine's sweep
+// uses it to drop the session's registry entry (snapshot sessions are
+// invisible to the backend's registry, so the backend cannot sweep them).
+func (s *snapshotSession) Done() bool { return s.snap.Closed() }
+
+func (s *snapshotSession) Invoke(ctx context.Context, obj core.ObjectID, op sem.Op) error {
+	if op.Class != sem.Read {
+		return fmt.Errorf("%w: only read invocations allowed, got %s", ErrReadOnlyTx, ClassName(op.Class))
+	}
+	s.mu.Lock()
+	s.members[obj] = op.Member
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *snapshotSession) Read(obj core.ObjectID) (sem.Value, error) {
+	s.mu.Lock()
+	member, ok := s.members[obj]
+	s.mu.Unlock()
+	if !ok {
+		return sem.Value{}, fmt.Errorf("wire: read of %s before its read invoke", obj)
+	}
+	return s.snap.Read(obj, member)
+}
+
+func (s *snapshotSession) Apply(obj core.ObjectID, operand sem.Value) error {
+	return fmt.Errorf("%w: apply refused", ErrReadOnlyTx)
+}
+
+// Commit releases the snapshot pin — a read-only transaction has nothing
+// to make durable. Abort is the same release.
+func (s *snapshotSession) Commit(ctx context.Context) error { s.snap.Close(); return nil }
+func (s *snapshotSession) Abort() error                     { s.snap.Close(); return nil }
+
+func (s *snapshotSession) Sleep() error {
+	return fmt.Errorf("%w: snapshots do not sleep; close and re-begin", ErrReadOnlyTx)
+}
+
+func (s *snapshotSession) Awake() (bool, error) {
+	return false, fmt.Errorf("%w: snapshots do not sleep", ErrReadOnlyTx)
 }
 
 func (b managerBackend) TxState(tx string) (core.State, error) { return b.m.TxState(core.TxID(tx)) }

@@ -118,6 +118,15 @@ func (cn *Conn) Begin(tx string) error {
 	return err
 }
 
+// BeginReadOnly starts a read-only snapshot transaction: reads are served
+// lock- and monitor-free from the server's committed version chains, pinned
+// at begin time. Only read-class invokes are accepted; Commit and Abort
+// both just release the snapshot.
+func (cn *Conn) BeginReadOnly(tx string) error {
+	_, err := cn.call(&Request{Op: OpBegin, Tx: tx, ReadOnly: true})
+	return err
+}
+
 // Attach adopts an existing transaction (e.g. one that went to sleep when
 // a previous connection dropped).
 func (cn *Conn) Attach(tx string) error {
@@ -136,6 +145,20 @@ func (cn *Conn) Invoke(tx, object string, class sem.Class, member string) error 
 // Read returns the transaction's virtual value of the object.
 func (cn *Conn) Read(tx, object string) (sem.Value, error) {
 	resp, err := cn.call(&Request{Op: OpRead, Tx: tx, Object: object})
+	if err != nil {
+		return sem.Value{}, err
+	}
+	if resp.Value == nil {
+		return sem.Value{}, fmt.Errorf("wire: read returned no value")
+	}
+	return resp.Value.ToSem()
+}
+
+// SnapshotRead performs a one-shot monitor-free snapshot read: the server
+// pins the committed state, reads the member, and releases the pin, all in
+// one round trip — no transaction, no invoke, no lock.
+func (cn *Conn) SnapshotRead(object, member string) (sem.Value, error) {
+	resp, err := cn.call(&Request{Op: OpRead, Object: object, Member: member, ReadOnly: true})
 	if err != nil {
 		return sem.Value{}, err
 	}
@@ -246,6 +269,18 @@ func (cn *Conn) Metrics() (stats, metrics map[string]uint64, err error) {
 		return nil, nil, err
 	}
 	return resp.Stats, resp.Metrics, nil
+}
+
+// MetricsOnly returns the server's observability snapshot without copying
+// the backend counters — the only stats path that itself enters zero GTM
+// monitor sections, so bracketing a measurement window with it leaves the
+// monitor-entry counter untouched.
+func (cn *Conn) MetricsOnly() (map[string]uint64, error) {
+	resp, err := cn.call(&Request{Op: OpStats, ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Metrics, nil
 }
 
 // ObjectInfo returns one object's scheduling snapshot.

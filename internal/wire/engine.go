@@ -194,14 +194,21 @@ func (e *Engine) sweepLoop(stop chan struct{}) {
 // window. It returns the ids removed.
 func (e *Engine) Sweep(olderThan time.Duration) []string {
 	removed := e.b.Sweep(olderThan)
-	if len(removed) > 0 {
-		e.mu.Lock()
-		for _, id := range removed {
-			delete(e.clients, id)
-			delete(e.owners, id)
-			delete(e.dedups, id)
+	e.mu.Lock()
+	// Read-only snapshot sessions never reach the backend's registry, so
+	// the backend cannot sweep them: drop the closed ones here.
+	for id, c := range e.clients {
+		if done, ok := c.(interface{ Done() bool }); ok && done.Done() {
+			removed = append(removed, id)
 		}
-		e.mu.Unlock()
+	}
+	for _, id := range removed {
+		delete(e.clients, id)
+		delete(e.owners, id)
+		delete(e.dedups, id)
+	}
+	e.mu.Unlock()
+	if len(removed) > 0 {
 		e.log.Printf("wire: swept %d terminal transactions", len(removed))
 	}
 	return removed
@@ -355,6 +362,17 @@ func (e *Engine) DisconnectOwner(owner *Owner) {
 		e.mu.Unlock()
 		st, err := e.b.TxState(id)
 		if err != nil {
+			// Unknown to the backend: a read-only snapshot session.
+			// Snapshots cannot sleep, and an orphaned pin would hold
+			// version GC back indefinitely — close it; a reconnecting
+			// client re-begins at a fresh pin.
+			e.mu.Lock()
+			c := e.clients[id]
+			e.mu.Unlock()
+			if ro, ok := c.(ReadOnlySession); ok && ro.ReadOnly() {
+				_ = c.Abort()
+				e.log.Printf("wire: owner lost, read-only snapshot %s closed", id)
+			}
 			continue
 		}
 		if st == core.StateActive || st == core.StateWaiting {
@@ -395,7 +413,20 @@ func (e *Engine) dispatch(req *Request, owner *Owner) *Response {
 		if req.Tx == "" {
 			return fail(errors.New("wire: begin needs a tx id"))
 		}
-		c, err := e.b.Begin(req.Tx)
+		var c Session
+		var err error
+		if req.ReadOnly {
+			sb, ok := e.b.(SnapshotBackend)
+			if !ok {
+				return fail(errors.New("wire: backend does not support read-only snapshot transactions"))
+			}
+			if e.Knows(req.Tx) {
+				return fail(fmt.Errorf("wire: transaction %q already exists", req.Tx))
+			}
+			c, err = sb.BeginSnapshot(req.Tx)
+		} else {
+			c, err = e.b.Begin(req.Tx)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -433,6 +464,19 @@ func (e *Engine) dispatch(req *Request, owner *Owner) *Response {
 		return &Response{OK: true, Granted: true}
 
 	case OpRead:
+		if req.ReadOnly && req.Tx == "" {
+			// One-shot snapshot read: no transaction, no monitor — pin,
+			// read, release, all in this single round trip.
+			sb, ok := e.b.(SnapshotBackend)
+			if !ok {
+				return fail(errors.New("wire: backend does not support snapshot reads"))
+			}
+			wv, err := sb.SnapshotRead(req.Object, req.Member)
+			if err != nil {
+				return fail(err)
+			}
+			return &Response{OK: true, Value: &wv}
+		}
 		c, err := e.client(req.Tx)
 		if err != nil {
 			return fail(err)
@@ -571,7 +615,14 @@ func (e *Engine) dispatch(req *Request, owner *Owner) *Response {
 		return &Response{OK: true, Objects: e.b.Objects()}
 
 	case OpStats:
-		resp := &Response{OK: true, Stats: e.b.Stats()}
+		resp := &Response{OK: true}
+		if !req.ReadOnly {
+			// Copying the backend counters enters the GTM monitor; a
+			// read_only stats op skips it and returns only the registry
+			// snapshot, so measuring monitor freedom does not perturb the
+			// measured counter.
+			resp.Stats = e.b.Stats()
+		}
 		if e.obs != nil {
 			resp.Metrics = e.obs.Snapshot()
 		}

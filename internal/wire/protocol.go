@@ -206,6 +206,12 @@ type Request struct {
 	// the ID in Response.ID. Requests with ID 0 are answered strictly in
 	// order, like a plain server.
 	ID uint64 `json:"id,omitempty"`
+	// ReadOnly on a begin asks for a multiversion snapshot session instead
+	// of a GTM transaction: reads are served lock- and monitor-free from
+	// committed version chains pinned at begin time. Such a session accepts
+	// only read-class invokes and reads; commit and abort both just release
+	// the snapshot's pin. Ignored on every other op.
+	ReadOnly bool `json:"read_only,omitempty"`
 }
 
 // SSTWriteJSON is the wire form of one Secure System Transaction write.

@@ -43,7 +43,7 @@ func main() {
 	in := bufio.NewScanner(os.Stdin)
 	interactive := isTerminalLike()
 	if interactive {
-		fmt.Println("connected; try: objects | shards [obj] | stats | metrics | info <obj> | txs | begin <tx> | invoke <tx> <obj> <class> [member] | read | apply | commit | sleep | awake | state | quit")
+		fmt.Println("connected; try: objects | shards [obj] | cluster | stats | metrics | info <obj> | txs | begin <tx> | invoke <tx> <obj> <class> [member] | read | apply | commit | sleep | awake | state | quit")
 	}
 	for {
 		if interactive {
@@ -268,6 +268,46 @@ func run(cn *wire.Conn, args []string) (string, error) {
 				fmt.Fprintf(&b, "%s routes to shard %d", object, *owner)
 			} else {
 				fmt.Fprintf(&b, "%s: no route (single-node server?)", object)
+			}
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	case "cluster":
+		shards, _, err := cn.Shards("")
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%-6s %-10s %6s %10s %10s %8s %8s %10s\n",
+			"shard", "role", "epoch", "lsn", "acked", "lag", "in-doubt", "heartbeat")
+		for _, s := range shards {
+			role := s.Role
+			if role == "" {
+				role = "solo"
+			}
+			if s.Down {
+				role += " DOWN"
+			}
+			lag := "-"
+			if s.Role != "" {
+				lag = fmt.Sprintf("%dB", s.ReplLagBytes)
+				if s.ReplDegraded {
+					lag += "!"
+				}
+			}
+			hb := "-" // no failure detector running
+			switch {
+			case s.HeartbeatAgeMS < 0:
+				hb = "never"
+			case s.HeartbeatAgeMS > 0 || s.MissedBeats > 0:
+				hb = fmt.Sprintf("%dms ago", s.HeartbeatAgeMS)
+			}
+			if s.MissedBeats > 0 {
+				hb += fmt.Sprintf(" (%d missed)", s.MissedBeats)
+			}
+			fmt.Fprintf(&b, "%-6d %-10s %6d %10d %10d %8s %8d %10s\n",
+				s.Index, role, s.Epoch, s.ReplLSN, s.ReplAcked, lag, s.InDoubt, hb)
+			if s.Promotions > 0 {
+				fmt.Fprintf(&b, "       promoted %d time(s)\n", s.Promotions)
 			}
 		}
 		return strings.TrimRight(b.String(), "\n"), nil

@@ -28,6 +28,17 @@
 //	gtmd -route host0:7655,host1:7656 -addr :7654 -data /var/lib/router
 //	    A router/coordinator over already-running participants.
 //
+// Replication (single-node and participant modes; see docs/REPLICATION.md):
+//
+//	gtmd -addr :7655 -data /var/lib/shard-1 -repl-listen :9655
+//	    Ship the WAL to followers; commits are semi-synchronous once a
+//	    follower attaches (-repl-async opts out).
+//
+//	gtmd -replica-of host1:9655 -data /var/lib/standby-1
+//	    A warm standby: ingests the stream into its own directory,
+//	    redialling across primary restarts. -promote-on-exit turns the
+//	    shutdown signal into a promotion at the next fencing epoch.
+//
 // With -gateway (composes with every mode), the TCP front end is the
 // session-multiplexing gateway tier: many logical sessions per connection,
 // token-bucket admission control (-gw-rate, -gw-tenant-rate), bounded
@@ -44,7 +55,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -79,6 +92,11 @@ type config struct {
 	route      string
 	shardIndex int
 	shardCount int
+
+	replListen    string
+	replicaOf     string
+	replAsync     bool
+	promoteOnExit bool
 
 	gateway       bool
 	gwLanes       int
@@ -130,6 +148,10 @@ func main() {
 	gwTenantRate := flag.Float64("gw-tenant-rate", 0, "per-tenant admission rate, begins per second (0: no per-tenant limiting)")
 	gwTenantBurst := flag.Float64("gw-tenant-burst", 0, "per-tenant admission burst (0: same as -gw-tenant-rate)")
 	gwRetention := flag.Duration("gw-session-retention", gateway.DefaultSessionRetention, "reap parked sessions idle longer than this (negative: never)")
+	replListen := flag.String("repl-listen", "", "serve the WAL replication stream to followers on this address (single-node and participant modes; requires -data)")
+	replicaOf := flag.String("replica-of", "", "run as a warm follower of the primary at this address (its -repl-listen); -data names the follower's own directory")
+	replAsync := flag.Bool("repl-async", false, "acknowledge commits without waiting for a follower ack (default: semi-synchronous once a follower attaches)")
+	promoteOnExit := flag.Bool("promote-on-exit", false, "with -replica-of: on the shutdown signal, promote the follower directory to a primary at the next fencing epoch before exiting (fence the old primary first)")
 	epochBatch := flag.Int("epoch-commit", 0, "group decided commits into epochs of up to N store transactions, amortizing store 2PL and WAL fsync (0: apply each SST individually)")
 	epochWindow := flag.Duration("epoch-window", 2*time.Millisecond, "how long a part-filled epoch waits for company before sealing (0: seal on every arrival)")
 	flag.Parse()
@@ -141,6 +163,8 @@ func main() {
 		idle: *idle, waitTO: *waitTO, sleepTO: *sleepTO, invokeTO: *invokeTO,
 		httpAddr: *httpAddr, drainTO: *drainTO,
 		shards: *shards, route: *route, shardIndex: *shardIndex, shardCount: *shardCount,
+		replListen: *replListen, replicaOf: *replicaOf, replAsync: *replAsync,
+		promoteOnExit: *promoteOnExit,
 		gateway: *gw, gwLanes: *gwLanes, gwLaneDepth: *gwLaneDepth, gwWorkers: *gwWorkers,
 		gwSessions: *gwSessions, gwRate: *gwRate, gwBurst: *gwBurst,
 		gwTenantRate: *gwTenantRate, gwTenantBurst: *gwTenantBurst, gwRetention: *gwRetention,
@@ -159,18 +183,23 @@ func main() {
 		return opts
 	}
 	modes := 0
-	for _, on := range []bool{*shards > 1, *route != "", *shardCount > 0} {
+	for _, on := range []bool{*shards > 1, *route != "", *shardCount > 0, *replicaOf != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		logger.Fatal("-shards, -route and -shard-count are mutually exclusive")
+		logger.Fatal("-shards, -route, -shard-count and -replica-of are mutually exclusive")
+	}
+	if *replListen != "" && (*shards > 1 || *route != "" || *replicaOf != "") {
+		logger.Fatal("-repl-listen applies to single-node and participant modes only")
 	}
 
 	walOpts := ldbs.Options{Obs: reg, DisableGroupCommit: !*groupCommit, GroupCommitWindow: *groupWindow,
 		SyncDelay: *syncDelay}
 	switch {
+	case *replicaOf != "":
+		runFollower(cfg)
 	case *route != "":
 		runRouter(cfg)
 	case *shardCount > 0:
@@ -227,6 +256,7 @@ func runSingle(cfg *config, walOpts ldbs.Options) {
 		logger.Fatalf("register: %v", err)
 	}
 
+	stopRepl := startReplSource(cfg, db)
 	startHTTP(cfg, liveCount(m))
 	go core.RunSupervisor(context.Background(), m, core.SupervisorConfig{
 		IdleTimeout:     cfg.idle,
@@ -236,6 +266,7 @@ func runSingle(cfg *config, walOpts ldbs.Options) {
 
 	srv := cfg.newFrontEnd(wire.NewManagerBackend(m))
 	serveWithDrain(cfg, srv, cfg.banner(fmt.Sprintf("single node (data dir %q)", cfg.dataDir)), func() {
+		stopRepl()
 		m.Close()
 		if pers != nil {
 			if err := pers.Checkpoint(db); err != nil {
@@ -368,6 +399,7 @@ func runParticipant(cfg *config, walOpts ldbs.Options) {
 		}()
 	}
 	m := s.Manager()
+	stopRepl := startReplSource(cfg, s.DB())
 	startHTTP(cfg, liveCount(m))
 	go core.RunSupervisor(context.Background(), m, core.SupervisorConfig{
 		IdleTimeout:     cfg.idle,
@@ -377,11 +409,122 @@ func runParticipant(cfg *config, walOpts ldbs.Options) {
 
 	srv := cfg.newFrontEnd(wire.NewManagerBackend(m))
 	serveWithDrain(cfg, srv, cfg.banner(fmt.Sprintf("participant %d/%d (data dir %q)", cfg.shardIndex, cfg.shardCount, cfg.dataDir)), func() {
+		stopRepl()
 		if err := s.Checkpoint(); err != nil {
 			logger.Printf("final checkpoint: %v", err)
 		}
 		s.Close()
 	})
+}
+
+// --- replication: WAL shipping to followers, and the follower itself ---
+
+// startReplSource serves the database's WAL stream on -repl-listen,
+// returning a stop function (a no-op when the flag is unset). Commits are
+// semi-synchronous once a follower attaches unless -repl-async.
+func startReplSource(cfg *config, db *ldbs.DB) func() {
+	if cfg.replListen == "" {
+		return func() {}
+	}
+	logger := cfg.logger
+	if cfg.dataDir == "" {
+		logger.Fatal("-repl-listen requires -data: the fencing epoch lives in the data directory")
+	}
+	epoch, err := ldbs.ReadReplEpoch(cfg.dataDir)
+	if err != nil {
+		logger.Fatalf("replication epoch: %v", err)
+	}
+	if epoch == 0 {
+		epoch = 1
+		if err := ldbs.WriteReplEpoch(cfg.dataDir, epoch); err != nil {
+			logger.Fatalf("replication epoch: %v", err)
+		}
+	}
+	src, err := ldbs.NewReplSource(db, ldbs.ReplSourceOptions{
+		Epoch:    epoch,
+		SemiSync: !cfg.replAsync,
+		Obs:      cfg.reg,
+	})
+	if err != nil {
+		logger.Fatalf("replication source: %v", err)
+	}
+	ln, err := net.Listen("tcp", cfg.replListen)
+	if err != nil {
+		logger.Fatalf("repl listen: %v", err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			logger.Printf("repl: follower connected from %s", c.RemoteAddr())
+			go func() {
+				if err := src.Serve(c); err != nil {
+					logger.Printf("repl: stream to %s ended: %v", c.RemoteAddr(), err)
+				}
+			}()
+		}
+	}()
+	logger.Printf("repl: shipping WAL on %s (epoch %d, semi-sync %v)", ln.Addr(), epoch, !cfg.replAsync)
+	return func() {
+		ln.Close()
+		src.Close()
+	}
+}
+
+// runFollower runs a warm standby: it ingests the primary's WAL stream
+// into its own durable directory and keeps redialling across primary
+// restarts. With -promote-on-exit, the shutdown signal promotes the
+// directory to a primary at the next fencing epoch — after which starting
+// a normal gtmd over it (with -repl-listen for its own followers) completes
+// the failover. The old primary must be fenced off first: two primaries
+// accepting writes under the same object space is a split brain.
+func runFollower(cfg *config) {
+	logger := cfg.logger
+	if cfg.dataDir == "" {
+		logger.Fatal("-replica-of requires -data for the follower's own directory")
+	}
+	rep, err := ldbs.OpenReplica(ldbs.ReplicaOptions{
+		Dir:     cfg.dataDir,
+		Schemas: shard.HiddenSchemas(demoSchemas()),
+		Obs:     cfg.reg,
+		Logf:    logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("open follower: %v", err)
+	}
+	startHTTP(cfg, func() float64 { return 0 })
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rep.Run(func() (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", cfg.replicaOf, 5*time.Second)
+		}, stop)
+	}()
+	logger.Printf("follower of %s (data dir %q, epoch %d, cursor %d)",
+		cfg.replicaOf, cfg.dataDir, rep.Epoch(), rep.Cursor())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	sig := <-sigs
+	logger.Printf("received %s, stopping replication at cursor %d", sig, rep.Cursor())
+	close(stop)
+	<-done
+	if cfg.promoteOnExit {
+		next := rep.Epoch() + 1
+		lsn, err := rep.Promote(next)
+		if err != nil {
+			logger.Fatalf("promote: %v", err)
+		}
+		logger.Printf("promoted %q at LSN %d (epoch %d) — restart gtmd over this directory to serve", cfg.dataDir, lsn, next)
+	}
+	if err := rep.Close(); err != nil {
+		logger.Printf("close: %v", err)
+	}
+	os.Exit(0)
 }
 
 // --- router over remote participants ---

@@ -36,6 +36,18 @@ type Config struct {
 	// request but the response never arrives — the exact window where
 	// retry-without-dedup double-applies.
 	BlackholeS2C bool
+	// JitterProb adds a uniformly random 0..JitterMax pause to a chunk —
+	// unlike DelayProb's fixed Delay, jitter reorders timing between the
+	// two directions of a stream, the degraded-cellular-link profile WAL
+	// shipping must survive.
+	JitterProb float64
+	// JitterMax bounds each jitter pause (default 50ms).
+	JitterMax time.Duration
+	// BandwidthBPS caps each direction's throughput in bytes per second by
+	// pacing chunks after forwarding. Zero: unshaped. A replication stream
+	// throttled below its write rate accumulates repl_lag_bytes — the
+	// observable the lag gauges exist for.
+	BandwidthBPS int
 }
 
 // Proxy is an in-process TCP proxy with fault injection. Point wire clients
@@ -57,6 +69,8 @@ type Proxy struct {
 	resets   atomic.Uint64
 	delayed  atomic.Uint64
 	suppress atomic.Uint64
+	jittered atomic.Uint64
+	paced    atomic.Uint64 // chunks slowed by bandwidth shaping
 }
 
 // link is one proxied connection pair.
@@ -115,6 +129,12 @@ func (p *Proxy) SetConfig(cfg Config) {
 // delayed chunks, and blackholed chunks.
 func (p *Proxy) Stats() (severed, delayed, blackholed uint64) {
 	return p.dropped.Load() + p.resets.Load(), p.delayed.Load(), p.suppress.Load()
+}
+
+// ShapeStats reports link-quality degradation counts: jittered chunks and
+// chunks paced by the bandwidth cap.
+func (p *Proxy) ShapeStats() (jittered, paced uint64) {
+	return p.jittered.Load(), p.paced.Load()
 }
 
 // KillAll severs every live link — the whole-network blackout used when the
@@ -205,9 +225,24 @@ func (p *Proxy) pipe(l *link, src, dst net.Conn, rng *rand.Rand, c2s bool) {
 				p.delayed.Add(1)
 				time.Sleep(cfg.Delay)
 			}
+			if rng.Float64() < cfg.JitterProb {
+				p.jittered.Add(1)
+				max := cfg.JitterMax
+				if max <= 0 {
+					max = 50 * time.Millisecond
+				}
+				time.Sleep(time.Duration(rng.Int63n(int64(max) + 1)))
+			}
 			if (c2s && cfg.BlackholeC2S) || (!c2s && cfg.BlackholeS2C) {
 				p.suppress.Add(1)
 				continue
+			}
+			if cfg.BandwidthBPS > 0 {
+				// Pace before the write: the chunk "occupies the link" for
+				// n/BPS before it is delivered — a crude but effective
+				// shaper at 4 KiB granularity.
+				p.paced.Add(1)
+				time.Sleep(time.Duration(n) * time.Second / time.Duration(cfg.BandwidthBPS))
 			}
 			if _, werr := dst.Write(buf[:n]); werr != nil {
 				l.client.Close()

@@ -151,6 +151,71 @@ func TestProxySetTargetRedirects(t *testing.T) {
 	}
 }
 
+func TestProxyJitterDelaysButDelivers(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p, err := New(addr, Config{Seed: 5, JitterProb: 1, JitterMax: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("jittered but intact")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("echo mismatch through jitter: %q", got)
+	}
+	if jittered, _ := p.ShapeStats(); jittered == 0 {
+		t.Fatal("proxy recorded no jittered chunks")
+	}
+}
+
+func TestProxyBandwidthShapingPacesTransfer(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	// 64 KiB/s: an 8 KiB payload must occupy the link ≥ ~125ms per
+	// direction. Generous lower bound so slow CI never flakes the other way.
+	p, err := New(addr, Config{Seed: 6, BandwidthBPS: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 8<<10)
+	start := time.Now()
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("8KiB round trip at 64KiB/s took %v — shaping not applied", elapsed)
+	}
+	if _, paced := p.ShapeStats(); paced == 0 {
+		t.Fatal("proxy recorded no paced chunks")
+	}
+}
+
 func TestFlakyStoreInjectsBeforeDelegating(t *testing.T) {
 	inner := core.NewMemStore()
 	ref := core.StoreRef{Table: "T", Key: "k", Column: "c"}

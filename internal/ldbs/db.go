@@ -513,8 +513,29 @@ func (tx *Tx) Commit(ctx context.Context) error {
 	}
 	tx.done = true
 	db := tx.db
+	commitLSN, err := tx.commitLocked()
+	if err != nil {
+		return err
+	}
+	// Semi-sync replication, when armed, holds the acknowledgment until a
+	// follower confirms the commit LSN (or the wait degrades). This runs
+	// after ckptMu is released so a slow follower can never stall a
+	// checkpoint or a snapshot resync.
+	if commitLSN != 0 && db.log != nil {
+		db.log.waitReplAck(commitLSN)
+	}
+	return nil
+}
+
+// commitLocked is the ckptMu-covered half of Commit: log-then-apply, so a
+// checkpoint can never observe applied-but-truncatable (or
+// logged-but-unapplied) state. Returns the commit LSN (0 when nothing was
+// logged).
+func (tx *Tx) commitLocked() (uint64, error) {
+	db := tx.db
 	db.ckptMu.RLock()
 	defer db.ckptMu.RUnlock()
+	var commitLSN uint64
 	if db.log != nil && len(tx.writes) > 0 {
 		recs := make([]walRecord, 0, len(tx.writes)+2)
 		recs = append(recs, walRecord{Type: recBegin, TxID: tx.id})
@@ -523,25 +544,26 @@ func (tx *Tx) Commit(ctx context.Context) error {
 				Key: w.key, Column: w.column, Value: w.value, Row: w.row})
 		}
 		recs = append(recs, walRecord{Type: recCommit, TxID: tx.id})
-		commitLSN, err := db.log.AppendGroup(recs)
+		lsn, err := db.log.AppendGroup(recs)
 		if err != nil {
 			db.abort(tx)
-			return err
+			return 0, err
 		}
 		if db.log.grouped {
-			err = db.log.WaitDurable(commitLSN)
+			err = db.log.WaitDurable(lsn)
 		} else {
 			err = db.log.Flush()
 		}
 		if err != nil {
 			db.abort(tx)
-			return err
+			return 0, err
 		}
+		commitLSN = lsn
 	}
 	db.applyWrites(tx.writes)
 	db.locks.ReleaseAll(tx.id)
 	db.committed.Add(1)
-	return nil
+	return commitLSN, nil
 }
 
 // abort rolls the transaction back internally (write set discarded).

@@ -263,6 +263,10 @@ type wal struct {
 	syncs       *obs.Counter
 	syncLatency *obs.Histogram
 	batchSize   *obs.Histogram // transactions per shared sync (unit: count)
+
+	// hub, when non-nil, receives a copy of every sealed transaction group
+	// for replication (repl.go). Guarded by mu.
+	hub *replHub
 }
 
 func newWAL(dst io.Writer) *wal {
@@ -271,16 +275,19 @@ func newWAL(dst io.Writer) *wal {
 	return l
 }
 
-// appendLocked frames and buffers one record; caller holds l.mu.
-func (l *wal) appendLocked(r walRecord) error {
+// frameRecord serializes one record with its [len][crc] frame — the exact
+// bytes the WAL writes, reused verbatim by the replication stream.
+func frameRecord(r walRecord) []byte {
 	payload := r.encode()
-	var hdr [8]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
-	if _, err := l.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("ldbs: wal append: %w", err)
-	}
-	if _, err := l.w.Write(payload); err != nil {
+	frame := make([]byte, 8, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	return append(frame, payload...)
+}
+
+// appendFrameLocked buffers one pre-framed record; caller holds l.mu.
+func (l *wal) appendFrameLocked(frame []byte) error {
+	if _, err := l.w.Write(frame); err != nil {
 		return fmt.Errorf("ldbs: wal append: %w", err)
 	}
 	l.lsn++
@@ -288,6 +295,11 @@ func (l *wal) appendLocked(r walRecord) error {
 		l.appends.Inc()
 	}
 	return nil
+}
+
+// appendLocked frames and buffers one record; caller holds l.mu.
+func (l *wal) appendLocked(r walRecord) error {
+	return l.appendFrameLocked(frameRecord(r))
 }
 
 // Append frames and buffers one record, returning its LSN (1-based).
@@ -310,15 +322,46 @@ func (l *wal) AppendGroup(recs []walRecord) (uint64, error) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var tap []byte
+	first := l.lsn + 1
 	for _, r := range recs {
-		if err := l.appendLocked(r); err != nil {
+		frame := frameRecord(r)
+		if err := l.appendFrameLocked(frame); err != nil {
 			return 0, err
 		}
 		if r.Type == recCommit {
 			l.commits++
 		}
+		if l.hub != nil {
+			tap = append(tap, frame...)
+		}
+	}
+	// Publish the whole group as one sealed segment so a replication sender
+	// can never observe a torn recBegin…recCommit window. Lock order:
+	// wal.mu → replHub.mu (the hub never calls back into the wal).
+	if l.hub != nil && len(tap) > 0 {
+		l.hub.publish(tap, first, l.lsn)
 	}
 	return l.lsn, nil
+}
+
+// setHub installs (or removes, with nil) the replication tap.
+func (l *wal) setHub(h *replHub) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hub = h
+}
+
+// waitReplAck blocks until a semi-sync follower has acknowledged lsn, the
+// ack timeout degrades the stream, or no semi-sync hub is attached. Called
+// by Tx.Commit after durability and apply, outside ckptMu.
+func (l *wal) waitReplAck(lsn uint64) {
+	l.mu.Lock()
+	h := l.hub
+	l.mu.Unlock()
+	if h != nil {
+		h.waitAck(lsn)
+	}
 }
 
 // poisoned returns the poison error, if any.

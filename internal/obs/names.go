@@ -82,6 +82,20 @@ const (
 	NameShardTxLive         = "shard_transactions_live" // labeled shard=<index>
 	NameShardObjects        = "shard_objects"           // labeled shard=<index>
 
+	// WAL replication (internal/ldbs + internal/shard). One primary LDBS
+	// ships sealed WAL frames to a follower; see docs/REPLICATION.md.
+	NameReplFramesShipped    = "repl_frames_shipped_total"    // frame batches sent to a follower
+	NameReplBytesShipped     = "repl_bytes_shipped_total"     // WAL bytes sent to a follower
+	NameReplTxsApplied       = "repl_txs_applied_total"       // committed tx groups applied by a follower
+	NameReplResyncs          = "repl_snapshot_resyncs_total"  // full snapshot catch-ups served
+	NameReplFenceRejects     = "repl_fence_rejects_total"     // stale-epoch peers refused
+	NameReplSemisyncTimeouts = "repl_semisync_timeouts_total" // ack waits that degraded to async
+	NameReplLagBytes         = "repl_lag_bytes"               // gauge: published-but-unacked WAL bytes (labeled shard=<index>)
+	NameReplLagSeconds       = "repl_lag_seconds"             // gauge: age of oldest unacked frame (labeled shard=<index>)
+	NameReplAckedLSN         = "repl_acked_lsn"               // gauge: highest follower-acked LSN (labeled shard=<index>)
+	NameShardPromotions      = "shard_promotions_total"       // followers promoted to primary
+	NameShardHeartbeatMisses = "shard_heartbeat_misses_total" // failure-detector probes that failed
+
 	// Gateway tier (internal/gateway). See docs/GATEWAY.md for the
 	// saturation runbook these feed.
 	NameGwConnsActive      = "gw_connections_active"      // gauge: open client connections

@@ -59,6 +59,19 @@ type Cluster struct {
 	txs     map[string]*clusterTx
 	records map[string]txRecord // terminal outcomes of coordinator-settled txs
 	pending map[string]Decision // decided, not yet acknowledged done
+
+	// Failure-detector state, one slot per shard; nil until
+	// StartFailureDetector runs. Guarded by fdMu (the detector ticks while
+	// the coordinator holds mu for commits — separate locks keep them out
+	// of each other's way).
+	fdMu    sync.Mutex
+	fdBeats []fdBeat
+}
+
+// fdBeat is the heartbeat ledger for one shard.
+type fdBeat struct {
+	lastOK time.Time // last successful ping (zero: never)
+	missed int       // consecutive failed pings
 }
 
 // txRecord remembers a settled transaction's outcome at the coordinator.
@@ -376,6 +389,16 @@ func (cl *Cluster) Stats() map[string]uint64 {
 
 // Topology implements wire.ShardBackend.
 func (cl *Cluster) Topology() []wire.ShardStat {
+	// Per-shard in-doubt counts from the coordinator's pending decisions.
+	inDoubt := make(map[int]int)
+	cl.mu.Lock()
+	for _, d := range cl.pending {
+		for _, p := range d.Participants {
+			inDoubt[p.Shard]++
+		}
+	}
+	cl.mu.Unlock()
+
 	out := make([]wire.ShardStat, len(cl.shards))
 	for i, sh := range cl.shards {
 		stat := wire.ShardStat{Index: i, Addr: sh.Addr(), Down: sh.Down()}
@@ -389,9 +412,137 @@ func (cl *Cluster) Topology() []wire.ShardStat {
 				}
 			}
 		}
+		stat.InDoubt = inDoubt[i]
+		if rp, ok := sh.(ReplicaInfoProvider); ok {
+			if info, ok := rp.ReplicaInfo(); ok {
+				stat.Role = info.Role
+				stat.Epoch = info.Epoch
+				stat.ReplLSN = info.LSN
+				stat.ReplAcked = info.AckedLSN
+				stat.ReplLagBytes = info.LagBytes
+				stat.ReplLagSeconds = info.LagSeconds
+				stat.ReplDegraded = info.Degraded
+				stat.Promotions = info.Promotions
+			}
+		}
+		cl.fdMu.Lock()
+		if i < len(cl.fdBeats) {
+			b := cl.fdBeats[i]
+			if !b.lastOK.IsZero() {
+				stat.HeartbeatAgeMS = time.Since(b.lastOK).Milliseconds()
+			} else {
+				stat.HeartbeatAgeMS = -1
+			}
+			stat.MissedBeats = b.missed
+		}
+		cl.fdMu.Unlock()
 		out[i] = stat
 	}
 	return out
+}
+
+// --- failure detection & failover ---
+
+// FailoverConfig tunes the cluster's failure detector.
+type FailoverConfig struct {
+	// Interval between heartbeat rounds; zero means 200ms.
+	Interval time.Duration
+	// Misses is how many consecutive failed pings declare a shard dead;
+	// zero means 3.
+	Misses int
+	// Promote enables kill-and-promote: a dead shard that can fail over to
+	// a follower (a ReplicaShard pair) is promoted, then the coordinator's
+	// logged in-doubt decisions are driven to resolution on it.
+	Promote bool
+	// OnPromote, when set, runs after a successful promotion — the
+	// multi-process router repoints the shard's address here (SetAddr).
+	OnPromote func(shard int)
+}
+
+// StartFailureDetector heartbeats every shard and (optionally) fails dead
+// ones over to their followers. It returns a stop function; call it before
+// Close. Only one detector per cluster.
+func (cl *Cluster) StartFailureDetector(cfg FailoverConfig) (stop func()) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 200 * time.Millisecond
+	}
+	if cfg.Misses <= 0 {
+		cfg.Misses = 3
+	}
+	cl.fdMu.Lock()
+	if cl.fdBeats == nil {
+		cl.fdBeats = make([]fdBeat, len(cl.shards))
+	}
+	cl.fdMu.Unlock()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			cl.heartbeatRound(cfg)
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// heartbeatRound pings every shard once and promotes the ones declared
+// dead.
+func (cl *Cluster) heartbeatRound(cfg FailoverConfig) {
+	for i, sh := range cl.shards {
+		err := sh.Ping()
+		cl.fdMu.Lock()
+		if err == nil {
+			cl.fdBeats[i] = fdBeat{lastOK: time.Now(), missed: 0}
+			cl.fdMu.Unlock()
+			continue
+		}
+		cl.fdBeats[i].missed++
+		missed := cl.fdBeats[i].missed
+		cl.fdMu.Unlock()
+		if cl.metrics != nil {
+			cl.metrics.heartbeatMisses.Inc()
+		}
+		if missed < cfg.Misses || !cfg.Promote {
+			continue
+		}
+		p, ok := sh.(promoter)
+		if !ok {
+			continue
+		}
+		cl.logger.Printf("shard: shard %d missed %d heartbeats, promoting follower", i, missed)
+		if err := p.Promote(); err != nil {
+			cl.logger.Printf("shard: promoting shard %d: %v", i, err)
+			continue
+		}
+		cl.fdMu.Lock()
+		cl.fdBeats[i] = fdBeat{lastOK: time.Now(), missed: 0}
+		cl.fdMu.Unlock()
+		if cfg.OnPromote != nil {
+			cfg.OnPromote(i)
+		}
+		// The promoted stack replays the coordinator's logged decisions so
+		// in-doubt cross-shard transactions resolve through the failover.
+		if n, err := cl.ResolveInDoubt(); err != nil {
+			cl.logger.Printf("shard: resolving in-doubt after promoting shard %d: %v", i, err)
+		} else if n > 0 {
+			cl.logger.Printf("shard: resolved %d in-doubt decisions after promoting shard %d", n, i)
+		}
+	}
 }
 
 // Route implements wire.ShardBackend.
@@ -596,12 +747,24 @@ func (t *clusterTx) Sleep() error {
 // independently per shard and the verdicts merge: one shard refusing means
 // the whole transaction aborts (the survivors are aborted here), exactly
 // as a single-node awake refusal aborts the whole transaction.
+//
+// A sub-session whose shard failed over is stale — its manager died with
+// the old primary. When the shard still knows the transaction as sleeping
+// (a promoted follower reconstructed it from the replicated sleep journal),
+// the awaken re-resolves: re-begin under the same id to adopt the
+// reconstructed sleeper, swap the session in, and retry.
 func (t *clusterTx) Awake() (bool, error) {
 	subs := t.snapshot()
 	resumed := true
 	var firstErr error
-	for _, sub := range subs {
+	for si, sub := range subs {
 		ok, err := sub.sess.Awake()
+		if err != nil {
+			if sess, rerr := t.reresolve(sub); rerr == nil {
+				subs[si].sess = sess
+				ok, err = sess.Awake()
+			}
+		}
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -622,6 +785,31 @@ func (t *clusterTx) Awake() (bool, error) {
 		t.record(core.StateAborted, core.AbortSleepConflict.String())
 	}
 	return resumed, firstErr
+}
+
+// reresolve swaps a stale sub-session for a fresh one on its (possibly
+// promoted) shard, when the shard still holds the transaction sleeping.
+func (t *clusterTx) reresolve(sub subRef) (Session, error) {
+	sh := t.cl.shards[sub.idx]
+	st, err := sh.TxState(t.id)
+	if err != nil {
+		return nil, err
+	}
+	if st != core.StateSleeping {
+		return nil, fmt.Errorf("shard: %s on shard %d is %s, not re-resumable", t.id, sub.idx, st)
+	}
+	sess, err := sh.Begin(t.id)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	old := t.subs[sub.idx]
+	t.subs[sub.idx] = sess
+	t.mu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+	return sess, nil
 }
 
 // subStates returns the current state of every sub-transaction.
@@ -817,8 +1005,9 @@ type clusterMetrics struct {
 	prepares      *obs.Counter
 	decidesCommit *obs.Counter
 	decidesAbort  *obs.Counter
-	decideFails   *obs.Counter
-	replays       *obs.Counter
+	decideFails     *obs.Counter
+	replays         *obs.Counter
+	heartbeatMisses *obs.Counter
 }
 
 func newClusterMetrics(reg *obs.Registry, cl *Cluster) *clusterMetrics {
@@ -836,6 +1025,8 @@ func newClusterMetrics(reg *obs.Registry, cl *Cluster) *clusterMetrics {
 			"Participant decides that failed after the decision was logged (resolved later)."),
 		replays: reg.Counter(obs.NameShard2PCReplays,
 			"Decided write sets re-applied during in-doubt resolution."),
+		heartbeatMisses: reg.Counter(obs.NameShardHeartbeatMisses,
+			"Failed heartbeat probes across all shards."),
 	}
 	for i, sh := range cl.shards {
 		m.perShard = append(m.perShard, reg.Counter(

@@ -19,6 +19,15 @@ const (
 	remoteCallTimeout = 30 * time.Second
 )
 
+// Control-plane retry policy: after a failover the router repoints the
+// shard (SetAddr) and in-flight control calls retry against the new
+// primary with capped backoff instead of failing the first probe.
+const (
+	remoteCtlAttempts = 4
+	remoteCtlBackoff  = 25 * time.Millisecond
+	remoteCtlBackoffMax = 200 * time.Millisecond
+)
+
 // RemoteShard fronts a participant gtmd process over the wire protocol —
 // the multi-process deployment. Each transaction gets its own connection
 // (the protocol ties disconnection semantics to connections); control-plane
@@ -56,6 +65,29 @@ func (r *RemoteShard) Down() bool {
 	return r.down
 }
 
+// SetAddr repoints the shard at a new participant address — the failover
+// path: after a follower is promoted, the router swaps the address and the
+// next call (including a withCtl retry) dials the new primary. The stale
+// control connection is dropped.
+func (r *RemoteShard) SetAddr(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.addr == addr {
+		return
+	}
+	r.addr = addr
+	if r.ctl != nil {
+		r.ctl.Close()
+		r.ctl = nil
+	}
+	r.down = false
+}
+
+// Ping implements Shard: one liveness probe over the control connection.
+func (r *RemoteShard) Ping() error {
+	return r.withCtl(func(cn *wire.Conn) error { return cn.Ping() })
+}
+
 // transportErr reports whether a call failed at the transport level (the
 // shard process or the network, not the application).
 func transportErr(err error) bool {
@@ -76,16 +108,28 @@ func (r *RemoteShard) setUp() {
 }
 
 // withCtl runs one control-plane call, dialing the control connection on
-// demand and redialing once when a stale connection fails mid-call.
+// demand and retrying transport failures with capped backoff — a stale
+// connection redials immediately; a dead or failing-over shard gets a few
+// spaced attempts (SetAddr between them repoints the next dial) before the
+// call surfaces ErrShardDown.
 func (r *RemoteShard) withCtl(fn func(cn *wire.Conn) error) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for attempt := 0; ; attempt++ {
+	backoff := remoteCtlBackoff
+	var lastErr error
+	for attempt := 0; attempt < remoteCtlAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > remoteCtlBackoffMax {
+				backoff = remoteCtlBackoffMax
+			}
+		}
 		if r.ctl == nil {
 			cn, err := wire.DialTimeout(r.addr, remoteDialTimeout, remoteCallTimeout)
 			if err != nil {
 				r.down = true
-				return fmt.Errorf("%w: shard %d at %s: %v", ErrShardDown, r.index, r.addr, err)
+				lastErr = err
+				continue
 			}
 			r.ctl = cn
 		}
@@ -101,11 +145,9 @@ func (r *RemoteShard) withCtl(fn func(cn *wire.Conn) error) error {
 		r.ctl.Close()
 		r.ctl = nil
 		r.down = true
-		if attempt == 0 {
-			continue // the connection may just have been stale — redial once
-		}
-		return fmt.Errorf("%w: shard %d at %s: %v", ErrShardDown, r.index, r.addr, err)
+		lastErr = err
 	}
+	return fmt.Errorf("%w: shard %d at %s: %v", ErrShardDown, r.index, r.addr, lastErr)
 }
 
 // Begin implements Shard: a dedicated connection per transaction.

@@ -39,6 +39,24 @@ func markerSchema() ldbs.Schema {
 	}
 }
 
+// SleepTable is the hidden LDBS table journaling sleeping transactions:
+// one row per sleeping transaction, keyed by transaction id, holding the
+// granted invocations and applied operands as JSON. The rows ride the WAL
+// — and therefore the replication stream — so a promoted follower can
+// reconstruct its primary's sleeping transactions instead of losing them.
+const SleepTable = "__sleep"
+
+// SleepColumn is the sleep table's single column.
+const SleepColumn = "State"
+
+// sleepSchema declares the sleep-journal table.
+func sleepSchema() ldbs.Schema {
+	return ldbs.Schema{
+		Table:   SleepTable,
+		Columns: []ldbs.ColumnDef{{Name: SleepColumn, Kind: sem.KindString}},
+	}
+}
+
 // ErrShardDown reports an operation against a killed (or unreachable)
 // shard.
 var ErrShardDown = errors.New("shard: shard is down")
@@ -63,6 +81,8 @@ type Shard interface {
 	Addr() string
 	// Down reports whether the shard is currently unusable.
 	Down() bool
+	// Ping probes the shard's liveness — the failure detector's heartbeat.
+	Ping() error
 	// Begin starts a sub-transaction on this shard.
 	Begin(tx string) (Session, error)
 	// Decide settles a prepared sub-transaction without its session — the
@@ -136,6 +156,36 @@ type LocalShard struct {
 	backend wire.Backend
 }
 
+// HiddenSchemas appends the coordination tables every shard database
+// carries — decision markers and the sleep journal — unless the caller
+// already declared them. A standalone follower (gtmd -replica-of) must
+// declare them: its primary's WAL stream references these tables.
+func HiddenSchemas(app []ldbs.Schema) []ldbs.Schema {
+	return withHiddenSchemas(app)
+}
+
+// withHiddenSchemas appends the marker and sleep-journal tables unless the
+// caller already declared them.
+func withHiddenSchemas(app []ldbs.Schema) []ldbs.Schema {
+	schemas := append([]ldbs.Schema{}, app...)
+	hasMarker, hasSleep := false, false
+	for _, sc := range schemas {
+		switch sc.Table {
+		case MarkerTable:
+			hasMarker = true
+		case SleepTable:
+			hasSleep = true
+		}
+	}
+	if !hasMarker {
+		schemas = append(schemas, markerSchema())
+	}
+	if !hasSleep {
+		schemas = append(schemas, sleepSchema())
+	}
+	return schemas
+}
+
 // OpenLocal builds and starts an in-process shard.
 func OpenLocal(cfg LocalConfig) (*LocalShard, error) {
 	s := &LocalShard{cfg: cfg}
@@ -147,16 +197,7 @@ func OpenLocal(cfg LocalConfig) (*LocalShard, error) {
 
 // start brings up one generation of the shard's stack.
 func (s *LocalShard) start() error {
-	schemas := append([]ldbs.Schema{}, s.cfg.Schemas...)
-	hasMarker := false
-	for _, sc := range schemas {
-		if sc.Table == MarkerTable {
-			hasMarker = true
-		}
-	}
-	if !hasMarker {
-		schemas = append(schemas, markerSchema())
-	}
+	schemas := withHiddenSchemas(s.cfg.Schemas)
 
 	var (
 		pers *ldbs.Persistence
@@ -305,6 +346,12 @@ func (s *LocalShard) Down() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.down
+}
+
+// Ping implements Shard: an in-process shard is alive iff it is up.
+func (s *LocalShard) Ping() error {
+	_, _, err := s.up()
+	return err
 }
 
 // localSession adapts the manager backend's session to the shard Session.

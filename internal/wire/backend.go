@@ -172,6 +172,11 @@ func (b managerBackend) Begin(tx string) (Session, error) {
 	return managerSession{c}, nil
 }
 
+// AdoptClient wraps an already-begun core.Client as a Session (with
+// two-phase support) — the promotion path in internal/shard reconstructs
+// sleeping transactions on a promoted follower and adopts their handles.
+func AdoptClient(c *core.Client) Session { return managerSession{c} }
+
 // BeginSnapshot opens a multiversion read-only session (SnapshotBackend).
 func (b managerBackend) BeginSnapshot(tx string) (Session, error) {
 	return &snapshotSession{

@@ -229,6 +229,19 @@ type ShardStat struct {
 	Objects int    `json:"objects"`
 	Txs     int    `json:"txs"` // live (non-terminal) transactions
 	Down    bool   `json:"down,omitempty"`
+
+	// Replication + failover fields, populated for replicated shards.
+	Role           string  `json:"role,omitempty"`  // "primary" (replica pair) or "solo"
+	Epoch          uint64  `json:"epoch,omitempty"` // fencing epoch of the current primary
+	ReplLSN        uint64  `json:"repl_lsn,omitempty"`
+	ReplAcked      uint64  `json:"repl_acked,omitempty"`
+	ReplLagBytes   uint64  `json:"repl_lag_bytes,omitempty"`
+	ReplLagSeconds float64 `json:"repl_lag_seconds,omitempty"`
+	ReplDegraded   bool    `json:"repl_degraded,omitempty"` // semi-sync fell back to async
+	Promotions     uint64  `json:"promotions,omitempty"`
+	InDoubt        int     `json:"in_doubt,omitempty"`          // logged 2PC decisions pending on this shard
+	HeartbeatAgeMS int64   `json:"heartbeat_age_ms,omitempty"`  // since the failure detector last heard from it (-1: never)
+	MissedBeats    int     `json:"heartbeat_misses,omitempty"`  // consecutive failed probes
 }
 
 // TxOpJSON is a (transaction, operation) pair in an object snapshot.

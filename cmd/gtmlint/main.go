@@ -1,20 +1,27 @@
-// Command gtmlint machine-checks the GTM's concurrency invariants: the
-// monitor discipline (monitorsafe), canonical StoreRef lock order
-// (lockorder), injected-clock determinism (clockinject), exhaustive state
-// machines (statexhaustive) and the single metric-name registry
-// (metricnames). See docs/STATIC_ANALYSIS.md.
+// Command gtmlint machine-checks the GTM's concurrency and durability
+// invariants: the monitor discipline (monitorsafe), snapshot isolation of
+// the multiversion read path (snapshotsafe), canonical StoreRef lock order
+// (lockorder), the whole-program lock-acquisition graph (lockgraph),
+// injected-clock determinism (clockinject), exhaustive state machines
+// (statexhaustive), the single metric-name registry (metricnames), the
+// durable-before-visible orderings of replication and 2PC (durability) and
+// goroutine shutdown paths in the server packages (goroleak). See
+// docs/STATIC_ANALYSIS.md.
 //
 // Usage:
 //
-//	gtmlint [packages]     # defaults to ./...
+//	gtmlint [-json] [packages]     # defaults to ./...
 //
-// Findings print as file:line:col: message [gtmlint/analyzer]; the exit
-// status is 1 if there are any. Suppress a single finding with
-// //lint:ignore gtmlint/<analyzer> <reason> on or directly above the
-// offending line — unused or malformed directives are themselves errors.
+// Findings print as file:line:col: message [gtmlint/analyzer]; with -json,
+// as one JSON object per line ({"file","line","col","analyzer","message"})
+// for tooling and CI annotations. The exit status is 1 if there are any.
+// Suppress a single finding with //lint:ignore gtmlint/<analyzer> <reason>
+// on or directly above the offending line — unused or malformed directives
+// are themselves errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,9 +29,20 @@ import (
 	"preserial/internal/lint"
 )
 
+// jsonFinding is the -json wire shape: one object per line, stable field
+// names for CI annotation tooling.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON finding per line instead of the human format")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gtmlint [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: gtmlint [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -45,7 +63,16 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, lint.All())
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding{File: d.Pos.Filename, Line: d.Pos.Line,
+				Col: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message}); err != nil {
+				fmt.Fprintln(os.Stderr, "gtmlint:", err)
+				os.Exit(2)
+			}
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {

@@ -127,6 +127,7 @@ func (m *Manager) pushVersionLocked(o *object, member string, old, val sem.Value
 // the current commit sequence. Called from pruneHistoriesLocked, i.e. once
 // per publish.
 func (m *Manager) gcVersionsLocked(horizon uint64) {
+	//gtmlint:lockorder core.monitor.mu -> core.mvccState.snapMu
 	//lint:ignore gtmlint/monitorsafe snapMu is a leaf lock: its holders never enter the monitor or block, so taking it under the monitor cannot deadlock
 	m.mvcc.snapMu.Lock()
 	for _, pin := range m.mvcc.snaps {

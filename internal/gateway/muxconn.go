@@ -25,6 +25,8 @@ type MuxConn struct {
 	wmu    sync.Mutex // serializes request frames
 	nextID atomic.Uint64
 
+	readDone chan struct{} // closed when readLoop exits; Close joins on it
+
 	mu    sync.Mutex
 	calls map[uint64]chan *wire.Response // in-flight, by correlation id
 	err   error                          // set once the reader dies; conn unusable
@@ -42,17 +44,25 @@ func DialMuxTimeout(addr string, dialTimeout, callTimeout time.Duration) (*MuxCo
 	if err != nil {
 		return nil, err
 	}
-	m := &MuxConn{c: c, timeout: callTimeout, calls: make(map[uint64]chan *wire.Response)}
+	m := &MuxConn{c: c, timeout: callTimeout, calls: make(map[uint64]chan *wire.Response),
+		readDone: make(chan struct{})}
 	go m.readLoop()
 	return m, nil
 }
 
-// Close hangs up. Sessions attached on this connection get parked by the
-// gateway and can be resumed from a new MuxConn.
-func (m *MuxConn) Close() error { return m.c.Close() }
+// Close hangs up and waits for the reader goroutine to drain: closing the
+// conn fails the pending read, readLoop fails the in-flight callers and
+// exits. Sessions attached on this connection get parked by the gateway
+// and can be resumed from a new MuxConn.
+func (m *MuxConn) Close() error {
+	err := m.c.Close()
+	<-m.readDone
+	return err
+}
 
 // readLoop routes response frames to their waiting callers.
 func (m *MuxConn) readLoop() {
+	defer close(m.readDone)
 	for {
 		var resp wire.Response
 		if err := wire.ReadMsg(m.c, &resp); err != nil {

@@ -531,6 +531,18 @@ func (tx *Tx) Commit(ctx context.Context) error {
 // checkpoint can never observe applied-but-truncatable (or
 // logged-but-unapplied) state. Returns the commit LSN (0 when nothing was
 // logged).
+//
+// ckptMu is the root of the ldbs lock order: Commit and Checkpoint hold it
+// across the WAL append (wal.mu, and wal.syncMu for the group-commit
+// durability wait, with the replication hub's publish nested inside), the
+// in-memory apply (DB.mu, DB.snapMu) and the lock-table release.
+//
+//gtmlint:lockorder ldbs.DB.ckptMu -> ldbs.wal.mu
+//gtmlint:lockorder ldbs.DB.ckptMu -> ldbs.wal.syncMu
+//gtmlint:lockorder ldbs.DB.ckptMu -> ldbs.replHub.mu
+//gtmlint:lockorder ldbs.DB.ckptMu -> ldbs.DB.mu
+//gtmlint:lockorder ldbs.DB.ckptMu -> ldbs.DB.snapMu
+//gtmlint:lockorder ldbs.DB.ckptMu -> ldbs.lockManager.mu
 func (tx *Tx) commitLocked() (uint64, error) {
 	db := tx.db
 	db.ckptMu.RLock()
@@ -584,7 +596,11 @@ func (tx *Tx) Rollback() {
 }
 
 // applyWrites installs a committed write set into the store, retaining
-// pre-images for open row-version snapshots.
+// pre-images for open row-version snapshots. Version retention takes the
+// snapshot registry's lock under the store lock; snapshot readers never
+// nest the other way (they pin under snapMu alone).
+//
+//gtmlint:lockorder ldbs.DB.mu -> ldbs.DB.snapMu
 func (db *DB) applyWrites(writes []writeOp) {
 	if len(writes) == 0 {
 		return

@@ -105,7 +105,12 @@ func replayFile(db *DB, path string) error {
 }
 
 // adoptState moves the committed rows of src into dst without logging them
-// (they are already durable in the checkpoint/WAL files).
+// (they are already durable in the checkpoint/WAL files). The self-edge is
+// instance-disjoint by construction: src is the recovery scratch DB built
+// inside Open and never shared, so no other goroutine can hold its lock
+// (or dst's) in the opposite order.
+//
+//gtmlint:lockorder ldbs.DB.mu -> ldbs.DB.mu
 func adoptState(src, dst *DB) error {
 	src.mu.RLock()
 	defer src.mu.RUnlock()

@@ -184,6 +184,7 @@ func writeReplCursor(dir string, c replCursorFile) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore gtmlint/durability the cursor is advisory: a torn REPL_CURSOR degrades to a snapshot resync, never to wrong data, so it skips the temp+fsync+rename tax on every ack
 	return os.WriteFile(filepath.Join(dir, replCursorName), b, 0o644)
 }
 
@@ -927,6 +928,7 @@ func (r *Replica) adoptSnapshot(m *replMsg) error {
 			writes = append(writes, writeOp{typ: recUpsertRow, table: rec.Table, key: rec.Key, row: rec.Row})
 		}
 	}
+	//lint:ignore gtmlint/durability snapshot adoption applies in memory first on purpose: nothing is acked until the Checkpoint below lands and the cursor moves, and a crash in between just repeats the resync
 	r.db.applyWrites(writes)
 	r.advanceNextTx(maxTx)
 	if err := r.pers.Checkpoint(r.db); err != nil {

@@ -339,6 +339,8 @@ func (l *wal) AppendGroup(recs []walRecord) (uint64, error) {
 	// Publish the whole group as one sealed segment so a replication sender
 	// can never observe a torn recBegin…recCommit window. Lock order:
 	// wal.mu → replHub.mu (the hub never calls back into the wal).
+	//
+	//gtmlint:lockorder ldbs.wal.mu -> ldbs.replHub.mu
 	if l.hub != nil && len(tap) > 0 {
 		l.hub.publish(tap, first, l.lsn)
 	}

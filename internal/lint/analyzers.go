@@ -9,5 +9,8 @@ func All() []*Analyzer {
 		ClockInject,
 		StatExhaustive,
 		MetricNames,
+		LockGraph,
+		Durability,
+		GoroLeak,
 	}
 }

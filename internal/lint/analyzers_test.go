@@ -22,3 +22,9 @@ func TestMetricNames(t *testing.T) { linttest.Run(t, "testdata/metricnames", lin
 func TestSnapshotSafe(t *testing.T) {
 	linttest.Run(t, "testdata/snapshotsafe", lint.SnapshotSafe)
 }
+
+func TestLockGraph(t *testing.T) { linttest.Run(t, "testdata/lockgraph", lint.LockGraph) }
+
+func TestDurability(t *testing.T) { linttest.Run(t, "testdata/durability", lint.Durability) }
+
+func TestGoroLeak(t *testing.T) { linttest.Run(t, "testdata/goroleak", lint.GoroLeak) }

@@ -1,0 +1,88 @@
+package lint_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The lockgraph analyzer keeps //gtmlint:lockorder directives in sync
+// with the code; this test keeps the human-facing ordering table in
+// docs/STATIC_ANALYSIS.md in sync with the directives. Every in-tree
+// directive must have a table row and vice versa, so the documented
+// partial order is never a stale copy of the real one.
+
+// directiveRE matches a real directive line: the comment itself must
+// start with the marker (an indented example inside another comment,
+// like the one in lockgraph.go's doc, does not).
+var directiveRE = regexp.MustCompile(`(?m)^[ \t]*//gtmlint:lockorder (\S+) -> (\S+)[ \t]*$`)
+
+// tableEdgeRE matches a backticked edge in the docs ordering table.
+var tableEdgeRE = regexp.MustCompile("`(\\S+) -> (\\S+)`")
+
+func TestOrderingTableMatchesDirectives(t *testing.T) {
+	root := filepath.Join("..", "..")
+
+	inTree := make(map[string]bool)
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range directiveRE.FindAllStringSubmatch(string(src), -1) {
+			inTree[m[1]+" -> "+m[2]] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inTree) == 0 {
+		t.Fatal("no //gtmlint:lockorder directives found under internal/ — the scan is broken")
+	}
+
+	doc, err := os.ReadFile(filepath.Join(root, "docs", "STATIC_ANALYSIS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inDoc := make(map[string]bool)
+	for _, m := range tableEdgeRE.FindAllStringSubmatch(string(doc), -1) {
+		inDoc[m[1]+" -> "+m[2]] = true
+	}
+
+	var missing, stale []string
+	for e := range inTree {
+		if !inDoc[e] {
+			missing = append(missing, e)
+		}
+	}
+	for e := range inDoc {
+		if !inTree[e] {
+			stale = append(stale, e)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	for _, e := range missing {
+		t.Errorf("directive %q has no row in docs/STATIC_ANALYSIS.md's ordering table", e)
+	}
+	for _, e := range stale {
+		t.Errorf("docs/STATIC_ANALYSIS.md lists %q but no //gtmlint:lockorder directive declares it", e)
+	}
+}

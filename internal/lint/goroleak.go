@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak requires every goroutine launched in the long-lived server
+// packages — wire, gateway, shard, ldbs, obs — to be tied to a shutdown
+// path. A detached goroutine outlives its owner's Close, keeps connections
+// and timers alive, and surfaces as the flaky -race teardown failures the
+// chaos soaks keep tripping: the goroutine is still touching freed state
+// while the test harness tears the server down.
+//
+// The analyzer accepts a `go` statement when the launched body (a function
+// literal, or the resolved declaration of a named callee anywhere in the
+// load) shows one of the recognized lifecycle shapes:
+//
+//   - it receives from or selects on a stop-ish channel (a name containing
+//     stop/done/quit/shutdown/close/exit/ctx — `<-s.stop`, `<-ctx.Done()`);
+//   - it calls a .Done() method (WaitGroup-tracked: `defer s.wg.Done()`);
+//   - it closes a stop-ish channel (`defer close(ackDone)`: a join signal
+//     some owner is waiting on);
+//   - it ranges over a channel (the loop ends when the sender closes it).
+//
+// When the callee's body is not loaded (export-data-only dependency), the
+// call's arguments stand in: passing a stop channel or a context is taken
+// as evidence. Anything else is reported. The heuristic is shallow on
+// purpose — one level of callee resolution, name-based channel
+// classification — so the accepted shapes stay recognizable idioms rather
+// than whatever escapes a clever dataflow. A goroutine whose lifetime is
+// genuinely bounded some other way (e.g. a pipe pump that exits when
+// either end closes) documents itself with a reasoned //lint:ignore
+// gtmlint/goroleak.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every go statement in the server packages must be tied to a shutdown path",
+	Run:  runGoroLeak,
+}
+
+// goroLeakPkgs are the long-lived server packages under watch. chaos and
+// faultnet are test harnesses with process-bounded lifetimes; core's GTM
+// is synchronous by design (the monitor owns no goroutines).
+var goroLeakPkgs = []string{
+	"internal/wire", "internal/gateway", "internal/shard", "internal/ldbs", "internal/obs",
+}
+
+func runGoroLeak(pass *Pass) {
+	active := false
+	for _, p := range goroLeakPkgs {
+		if pathHasSuffix(pass.PkgPath, p) {
+			active = true
+			break
+		}
+	}
+	if !active {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			g, ok := x.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			grlCheckGo(pass, g)
+			return true
+		})
+	}
+}
+
+func grlCheckGo(pass *Pass, g *ast.GoStmt) {
+	// Launched literal: judge its body directly.
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if !grlEvidence(pass.Info, lit.Body) {
+			pass.Reportf(g.Pos(), "goroutine has no shutdown path: select on a stop channel, track it with a WaitGroup, or bound it with a context (reasoned //lint:ignore gtmlint/goroleak if its lifetime is bounded another way)")
+		}
+		return
+	}
+	// Named callee: resolve its declaration anywhere in the load.
+	if callee := calleeFunc(pass.Info, g.Call); callee != nil {
+		if body, info := grlFindBody(pass, callee); body != nil {
+			if !grlEvidence(info, body) {
+				pass.Reportf(g.Pos(), "goroutine %s has no shutdown path in its body: select on a stop channel, track it with a WaitGroup, or bound it with a context (reasoned //lint:ignore gtmlint/goroleak if its lifetime is bounded another way)", callee.Name())
+			}
+			return
+		}
+	}
+	// Body unavailable: the arguments are all we can see.
+	for _, arg := range g.Call.Args {
+		if grlStopishExpr(pass.Info, arg) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "goroutine launch shows no shutdown path (callee body not loaded and no stop channel or context among the arguments); pass one, or add a reasoned //lint:ignore gtmlint/goroleak")
+}
+
+// grlFindBody locates the FuncDecl body of a resolved function in any
+// source-loaded package of the run, along with that package's type info
+// (so evidence in a cross-package body resolves with its own uses/types
+// maps). Matching is by package path, name and receiver type name: when
+// the calling package type-checked against export data, f is a different
+// object than the source-loaded declaration.
+func grlFindBody(pass *Pass, f *types.Func) (*ast.BlockStmt, *types.Info) {
+	if f.Pkg() == nil {
+		return nil, nil
+	}
+	wantRecv := ""
+	if r := recvNamed(f); r != nil {
+		wantRecv = r.Obj().Name()
+	}
+	for _, p := range pass.All {
+		if p.PkgPath != f.Pkg().Path() {
+			continue
+		}
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Name.Name != f.Name() {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				recv := ""
+				if r := recvNamed(obj); r != nil {
+					recv = r.Obj().Name()
+				}
+				if recv == wantRecv {
+					return fd.Body, p.Info
+				}
+			}
+		}
+		return nil, nil
+	}
+	return nil, nil
+}
+
+// grlEvidence reports whether a body shows one of the recognized shutdown
+// shapes.
+func grlEvidence(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.UnaryExpr: // <-stopish
+			if v.Op == token.ARROW && grlStopishExpr(info, v.X) {
+				found = true
+			}
+		case *ast.SelectStmt:
+			for _, c := range v.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				var recv ast.Expr
+				switch s := cc.Comm.(type) {
+				case *ast.ExprStmt:
+					if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						recv = u.X
+					}
+				case *ast.AssignStmt:
+					if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						recv = u.X
+					}
+				}
+				if recv != nil && grlStopishExpr(info, recv) {
+					found = true
+				}
+			}
+		case *ast.RangeStmt: // for x := range ch — ends when the sender closes
+			if tv, ok := info.Types[v.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(v.Fun).(type) {
+			case *ast.SelectorExpr: // wg.Done(), ctx.Done()
+				if fun.Sel.Name == "Done" {
+					found = true
+				}
+			case *ast.Ident: // close(doneish)
+				if fun.Name == "close" && len(v.Args) == 1 && grlStopishExpr(info, v.Args[0]) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// grlStopishExpr reports whether an expression names a shutdown signal: a
+// stop-ish identifier/selector/call, or a value of type context.Context.
+func grlStopishExpr(info *types.Info, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if tv, ok := info.Types[expr]; ok && tv.Type != nil {
+		if n := namedOf(tv.Type); n != nil && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context" {
+			return true
+		}
+	}
+	var name string
+	switch e := expr.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	case *ast.CallExpr: // ctx.Done()
+		switch f := ast.Unparen(e.Fun).(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+		}
+	}
+	return grlStopishName(name)
+}
+
+func grlStopishName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range []string{"stop", "done", "quit", "shutdown", "close", "exit", "ctx"} {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}

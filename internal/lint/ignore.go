@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
 	"strings"
 )
@@ -60,10 +61,38 @@ func collectIgnores(pkgs []*Package) []*ignoreDirective {
 }
 
 // ApplyIgnores filters findings through the //lint:ignore directives in
-// pkgs and appends one finding per malformed or unused directive. The
-// result is position-sorted.
+// pkgs as if the full analyzer suite had run. Prefer ApplyIgnoresFor when
+// only a subset ran (linttest's single-analyzer loads), so directives for
+// analyzers that never executed are not mis-reported as unused.
 func ApplyIgnores(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	return ApplyIgnoresFor(pkgs, All(), diags)
+}
+
+// ApplyIgnoresFor filters findings through the //lint:ignore directives in
+// pkgs and appends one finding per malformed or unused directive. ran lists
+// the analyzers that actually executed: a directive naming an analyzer that
+// ran but produced nothing on its line is unused (this covers every
+// registered analyzer, new ones included — the suite in All() is the name
+// authority); a directive naming an analyzer outside the registered suite
+// is malformed (a typo would otherwise suppress nothing, silently, forever);
+// a directive for a registered analyzer that simply did not run this load
+// is left alone. The result is position-sorted.
+func ApplyIgnoresFor(pkgs []*Package, ran []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known["gtmlint/"+a.Name] = true
+	}
+	ranSet := make(map[string]bool, len(ran))
+	for _, a := range ran {
+		known["gtmlint/"+a.Name] = true
+		ranSet["gtmlint/"+a.Name] = true
+	}
 	directives := collectIgnores(pkgs)
+	for _, dir := range directives {
+		if dir.bad == "" && !known[dir.analyzer] {
+			dir.bad = fmt.Sprintf("lint:ignore names unknown analyzer %s (registered: gtmlint/<name> from the suite in All())", dir.analyzer)
+		}
+	}
 	var out []Diagnostic
 	for _, d := range diags {
 		suppressed := false
@@ -84,7 +113,7 @@ func ApplyIgnores(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 		switch {
 		case dir.bad != "":
 			out = append(out, Diagnostic{Analyzer: ignoreAnalyzer, Pos: dir.pos, Message: dir.bad})
-		case !dir.used:
+		case !dir.used && ranSet[dir.analyzer]:
 			out = append(out, Diagnostic{Analyzer: ignoreAnalyzer, Pos: dir.pos,
 				Message: "unused lint:ignore directive for " + dir.analyzer})
 		}

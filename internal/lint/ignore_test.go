@@ -32,8 +32,8 @@ func TestIgnoreMissingReason(t *testing.T) {
 }
 
 func TestIgnoreSuppressesSameAndNextLine(t *testing.T) {
-	pkg := parseOnly(t, "package p\n\n//lint:ignore gtmlint/fake covered by fixture\nvar X = 1\n")
-	find := Diagnostic{Analyzer: "gtmlint/fake",
+	pkg := parseOnly(t, "package p\n\n//lint:ignore gtmlint/goroleak covered by fixture\nvar X = 1\n")
+	find := Diagnostic{Analyzer: "gtmlint/goroleak",
 		Pos: token.Position{Filename: "ignore_input.go", Line: 4, Column: 1}, Message: "boom"}
 	diags := ApplyIgnores([]*Package{pkg}, []Diagnostic{find})
 	if len(diags) != 0 {
@@ -42,11 +42,41 @@ func TestIgnoreSuppressesSameAndNextLine(t *testing.T) {
 }
 
 func TestIgnoreWrongAnalyzerStaysAndDirectiveIsUnused(t *testing.T) {
-	pkg := parseOnly(t, "package p\n\n//lint:ignore gtmlint/other not this one\nvar X = 1\n")
-	find := Diagnostic{Analyzer: "gtmlint/fake",
+	pkg := parseOnly(t, "package p\n\n//lint:ignore gtmlint/durability not this one\nvar X = 1\n")
+	find := Diagnostic{Analyzer: "gtmlint/goroleak",
 		Pos: token.Position{Filename: "ignore_input.go", Line: 4, Column: 1}, Message: "boom"}
 	diags := ApplyIgnores([]*Package{pkg}, []Diagnostic{find})
 	if len(diags) != 2 {
 		t.Fatalf("want the finding plus an unused-directive finding, got %v", diags)
+	}
+}
+
+// A directive must name an analyzer from the registered suite: a typo'd
+// name would otherwise suppress nothing, silently, forever.
+func TestIgnoreUnknownAnalyzerIsMalformed(t *testing.T) {
+	pkg := parseOnly(t, "package p\n\n//lint:ignore gtmlint/lockgrpah typo'd name\nvar X = 1\n")
+	diags := ApplyIgnores([]*Package{pkg}, nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unknown analyzer gtmlint/lockgrpah") {
+		t.Fatalf("want one unknown-analyzer finding, got %v", diags)
+	}
+}
+
+// Unused-directive reporting covers exactly the analyzers that ran: a
+// single-analyzer load (linttest's shape) must not flag directives held
+// for the rest of the suite, and a full run must flag unused directives
+// for the new analyzers just like the original ones.
+func TestIgnoreUnusedScopedToRanAnalyzers(t *testing.T) {
+	src := "package p\n\n//lint:ignore gtmlint/lockgraph held for another analyzer\nvar X = 1\n"
+
+	pkg := parseOnly(t, src)
+	diags := ApplyIgnoresFor([]*Package{pkg}, []*Analyzer{GoroLeak}, nil)
+	if len(diags) != 0 {
+		t.Fatalf("lockgraph did not run, its directive must not count as unused; got %v", diags)
+	}
+
+	pkg = parseOnly(t, src)
+	diags = ApplyIgnoresFor([]*Package{pkg}, All(), nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unused lint:ignore directive for gtmlint/lockgraph") {
+		t.Fatalf("full suite ran, want one unused-directive finding, got %v", diags)
 	}
 }

@@ -48,6 +48,12 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// WholeProgram marks analyzers that reason across packages (lockgraph's
+	// lock-acquisition graph). They run once per load, handed the first
+	// package as the pass anchor, and consult pass.All for the rest; every
+	// loaded package shares one FileSet, so cross-package positions report
+	// correctly.
+	WholeProgram bool
 }
 
 // Pass carries one (analyzer, package) execution.
@@ -82,11 +88,16 @@ func (d Diagnostic) String() string {
 // raw findings (ignore directives not yet applied), ordered by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{Package: pkg, Analyzer: a,
-				report: func(d Diagnostic) { out = append(out, d) }}
-			a.Run(pass)
+	report := func(d Diagnostic) { out = append(out, d) }
+	for _, a := range analyzers {
+		if a.WholeProgram {
+			if len(pkgs) > 0 {
+				a.Run(&Pass{Package: pkgs[0], Analyzer: a, report: report})
+			}
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Package: pkg, Analyzer: a, report: report})
 		}
 	}
 	sortDiagnostics(out)
@@ -97,7 +108,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // findings are dropped, unused or malformed directives become findings of
 // their own. This is the pipeline cmd/gtmlint and the smoke test share.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	return ApplyIgnores(pkgs, RunAnalyzers(pkgs, analyzers))
+	return ApplyIgnoresFor(pkgs, analyzers, RunAnalyzers(pkgs, analyzers))
 }
 
 func sortDiagnostics(ds []Diagnostic) {

@@ -11,6 +11,25 @@ import (
 // the real tree must come back empty. It runs as part of `go test ./...`,
 // so the concurrency invariants are enforced by tier-1, not just by the
 // separate make lint step.
+// TestSuiteComplete pins the analyzer roster: the v2 suite is nine
+// analyzers, and a rename or an accidental drop from All() should fail
+// loudly rather than silently weaken the smoke test below.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"monitorsafe", "snapshotsafe", "lockorder", "clockinject",
+		"statexhaustive", "metricnames", "lockgraph", "durability", "goroleak",
+	}
+	all := lint.All()
+	if len(all) != len(want) {
+		t.Fatalf("lint.All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("lint.All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+	}
+}
+
 func TestRepoClean(t *testing.T) {
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {

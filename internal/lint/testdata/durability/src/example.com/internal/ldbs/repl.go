@@ -1,0 +1,105 @@
+// Package ldbs mirrors the real ldbs package's replication and 2PC
+// shapes for gtmlint/durability: registered barrier and sink names,
+// log-before-decide, and the protected fencing files.
+package ldbs
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// wal stands in for the real WAL: AppendGroup is a registered barrier.
+type wal struct{}
+
+func (w *wal) AppendGroup(frames [][]byte) error { return nil }
+
+// follower stands in for the replica apply loop: applyWrites and
+// sendAck are registered visibility sinks.
+type follower struct{ w *wal }
+
+func (f *follower) applyWrites(frames [][]byte) {}
+func (f *follower) sendAck(seq uint64)          {}
+
+// applyThenAck makes the writes visible before any barrier: a crash
+// after the ack loses acknowledged state.
+func (f *follower) applyThenAck(frames [][]byte, seq uint64) {
+	f.applyWrites(frames) // want "applyWrites makes replicated state visible before any durability barrier"
+	_ = f.w.AppendGroup(frames)
+	f.sendAck(seq)
+}
+
+// applyGroup is the canonical shape: durable, then visible, then acked.
+func (f *follower) applyGroup(frames [][]byte, seq uint64) {
+	if err := f.w.AppendGroup(frames); err != nil {
+		return
+	}
+	f.applyWrites(frames)
+	f.sendAck(seq)
+}
+
+// coord stands in for the 2PC coordinator log; participant for the
+// remote shard being told the outcome.
+type coord struct{}
+
+func (c *coord) LogDecide(tx string, commit bool) error { return nil }
+
+type participant struct{}
+
+func (p *participant) Decide(tx string, commit bool) {}
+
+// decideEarly announces commit before the CoordLog fsync: the commit
+// point has not happened when the participant hears "commit".
+func decideEarly(c *coord, p *participant, tx string) {
+	p.Decide(tx, true) // want "commit decision sent before LogDecide"
+	_ = c.LogDecide(tx, true)
+}
+
+// decideLogged logs the decision first; the reply is its announcement.
+func decideLogged(c *coord, p *participant, tx string) {
+	if err := c.LogDecide(tx, true); err != nil {
+		return
+	}
+	p.Decide(tx, true)
+}
+
+// decideAbort carries no literal true: presumed-abort paths are exempt.
+func decideAbort(p *participant, tx string) {
+	p.Decide(tx, false)
+}
+
+// writeEpochDirect writes the fencing file in place: torn on crash.
+func writeEpochDirect(dir string, payload []byte) error {
+	return os.WriteFile(filepath.Join(dir, "REPL_EPOCH"), payload, 0o644) // want "direct WriteFile of a protected state file"
+}
+
+// renameEpochUnsynced renames over the fencing file before fsync: the
+// rename can land while the contents are still in the page cache.
+func renameEpochUnsynced(dir, tmp string) error {
+	return os.Rename(tmp, filepath.Join(dir, "REPL_EPOCH")) // want "os.Rename onto a protected state file without an earlier Sync"
+}
+
+// writeEpoch is the canonical atomic replace: temp file, Sync, Rename.
+func writeEpoch(dir string, payload []byte) error {
+	tmp := filepath.Join(dir, "epoch.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "REPL_EPOCH"))
+}
+
+// writeCursor exercises the escape hatch: the replication cursor is
+// advisory, a torn write is repaired by resync.
+func writeCursor(dir string, payload []byte) error {
+	//lint:ignore gtmlint/durability advisory cursor, torn write repaired by resync
+	return os.WriteFile(filepath.Join(dir, "REPL_CURSOR"), payload, 0o644)
+}

@@ -1,0 +1,131 @@
+// Package wire exercises gtmlint/goroleak: one fixture per accepted
+// lifecycle shape, the flagged detached launches, and the escape hatch.
+package wire
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+	work chan int
+}
+
+func (s *server) handle(v int) {}
+
+// runDetached launches a goroutine with no lifecycle tie at all.
+func (s *server) runDetached() {
+	go func() { // want "goroutine has no shutdown path"
+		for v := range make(map[int]int) {
+			s.handle(v)
+		}
+	}()
+}
+
+// runStopSelect selects on the stop channel: accepted.
+func (s *server) runStopSelect() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case v := <-s.work:
+				s.handle(v)
+			}
+		}
+	}()
+}
+
+// runRecv blocks on a plain receive from the stop channel: accepted.
+func (s *server) runRecv() {
+	go func() {
+		<-s.stop
+	}()
+}
+
+// runWaitGroup is WaitGroup-tracked: accepted.
+func (s *server) runWaitGroup() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.handle(0)
+	}()
+}
+
+// runRange drains work until the sender closes it: accepted.
+func (s *server) runRange() {
+	go func() {
+		for v := range s.work {
+			s.handle(v)
+		}
+	}()
+}
+
+// runCloses signals its own exit by closing a done channel some owner
+// joins on: accepted.
+func (s *server) runCloses(done chan struct{}) {
+	go func() {
+		defer close(done)
+		s.handle(0)
+	}()
+}
+
+// runCtx bounds the goroutine with a context: accepted.
+func (s *server) runCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// pump has no shutdown path in its resolved body; the launch is
+// flagged at the go statement.
+func (s *server) pump() {
+	for i := 0; ; i++ {
+		s.handle(i)
+	}
+}
+
+func (s *server) startPump() {
+	go s.pump() // want "goroutine pump has no shutdown path in its body"
+}
+
+// loop watches the stop channel, so launching it by name is accepted.
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case v := <-s.work:
+			s.handle(v)
+		}
+	}
+}
+
+func (s *server) startLoop() {
+	go s.loop()
+}
+
+// startFn launches an unresolvable function value; the context
+// argument is the accepted evidence.
+func startFn(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+// startFnBare launches an unresolvable function value with nothing to
+// tie it to a shutdown.
+func startFnBare(f func(int)) {
+	go f(1) // want "no stop channel or context among the arguments"
+}
+
+// runPipePump documents a lifetime bounded another way: the pump exits
+// when the peer closes the pipe.
+func (s *server) runPipePump() {
+	//lint:ignore gtmlint/goroleak exits when the peer closes the pipe
+	go func() {
+		for {
+			s.handle(0)
+		}
+	}()
+}

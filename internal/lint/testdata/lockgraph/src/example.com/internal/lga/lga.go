@@ -1,0 +1,108 @@
+// Package lga exercises gtmlint/lockgraph's same-package machinery:
+// documented and undocumented edges, self-edges, release tracking,
+// goroutine roots, the monitor-entry idiom, and directive validation.
+// Package lgb builds the cross-package half of the graph against it.
+package lga
+
+import "sync"
+
+// A -> B is the documented order for LockedAB below.
+//
+//gtmlint:lockorder lga.A.mu -> lga.B.mu
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type C struct{ mu sync.Mutex }
+
+// LockedAB nests B under A; the directive above covers the edge.
+func LockedAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// NestBC introduces an edge no directive documents.
+func NestBC(b *B, c *C) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c.mu.Lock() // want "undocumented lock-order edge lga.B.mu -> lga.C.mu"
+	c.mu.Unlock()
+}
+
+// Seq releases A before taking C: sequential acquisition, no edge.
+func Seq(a *A, c *C) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// Spawn launches a goroutine while holding A.mu. The goroutine starts
+// with an empty held set, so no A -> C edge arises.
+func Spawn(a *A, c *C) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	go func() {
+		c.mu.Lock()
+		c.mu.Unlock()
+	}()
+}
+
+// S instances get locked pairwise with no documented disjointness
+// argument: a potential self-deadlock.
+type S struct{ mu sync.Mutex }
+
+func Merge(dst, src *S) {
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	src.mu.Lock() // want "acquires lga.S.mu while an instance of it is already held"
+	src.mu.Unlock()
+}
+
+// U is the documented twin of S: the directive asserts the instances
+// are provably distinct, so MergeU stays clean.
+//
+//gtmlint:lockorder lga.U.mu -> lga.U.mu
+type U struct{ mu sync.Mutex }
+
+func MergeU(dst, src *U) {
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	src.mu.Lock()
+	src.mu.Unlock()
+}
+
+// mon is a miniature GTM monitor: enter locks mu and returns the
+// unlock, consumed as `defer m.enter()()`.
+type mon struct{ mu sync.Mutex }
+
+func (m *mon) enter() func() {
+	m.mu.Lock()
+	return m.mu.Unlock
+}
+
+// Step holds the monitor across a C acquisition with no directive.
+func (m *mon) Step(c *C) {
+	defer m.enter()()
+	c.mu.Lock() // want "undocumented lock-order edge lga.mon.mu -> lga.C.mu"
+	c.mu.Unlock()
+}
+
+// P carries an exported mutex so lgb can build cross-package edges.
+type P struct{ Mu sync.Mutex }
+
+// GrabP acquires and releases P.Mu; callers holding their own locks
+// inherit the edge through cross-package effects propagation.
+func GrabP(p *P) {
+	p.Mu.Lock()
+	p.Mu.Unlock()
+}
+
+// The program never nests anything under C.mu, so this directive is
+// dead weight; and the one after it does not parse.
+
+/* // want "stale lockorder directive" */ //gtmlint:lockorder lga.C.mu -> lga.A.mu
+
+/* // want "malformed lockorder directive" */ //gtmlint:lockorder one-sided

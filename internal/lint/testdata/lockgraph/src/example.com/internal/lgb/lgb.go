@@ -1,0 +1,30 @@
+// Package lgb closes a cross-package lock cycle with lga: Forward nests
+// lgb.Q.mu under lga.P.Mu directly, Backward reaches lga.P.Mu through
+// lga.GrabP while holding lgb.Q.mu — the two classes end up in one
+// strongly connected component spanning both packages.
+package lgb
+
+import (
+	"sync"
+
+	"example.com/internal/lga"
+)
+
+type Q struct{ mu sync.Mutex }
+
+// Forward acquires Q.mu under P.Mu: the P -> Q half of the cycle. The
+// cycle is reported once, at its earliest edge, which is this one.
+func Forward(p *lga.P, q *Q) {
+	p.Mu.Lock()
+	defer p.Mu.Unlock()
+	q.mu.Lock() // want "lock-order cycle"
+	q.mu.Unlock()
+}
+
+// Backward reaches P.Mu through lga.GrabP while holding Q.mu: the
+// cross-package Q -> P half, seen only via effects propagation.
+func Backward(p *lga.P, q *Q) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	lga.GrabP(p)
+}

@@ -603,6 +603,7 @@ func (cl *Cluster) resolveParticipant(tx string, p Participant) error {
 		if !st.Terminal() {
 			// The participant survived with the transaction prepared (or
 			// its SST still in flight): deliver the decision and wait.
+			//lint:ignore gtmlint/durability the decision being re-delivered here was recovered from the CoordLog, so it is already durable; resolution must not re-log it
 			if err := sh.Decide(tx, true, []wire.SSTWriteJSON{p.Marker}); err != nil &&
 				!errors.Is(err, core.ErrBadState) {
 				return err

@@ -93,7 +93,28 @@ type ReplicaShard struct {
 	logf func(format string, args ...any)
 
 	// lifeMu serializes the coarse lifecycle transitions (Kill, Restart,
-	// Promote, Close); mu guards the hot-path state below.
+	// Promote, Close); mu guards the hot-path state below. A lifecycle
+	// transition tears whole stacks down and builds them back up, so
+	// lifeMu sits above every other lock in the program — nothing that
+	// holds another lock ever calls back into the lifecycle methods.
+	//
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> shard.ReplicaShard.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> shard.LocalShard.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> core.monitor.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> core.Client.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> core.epochBatcher.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> core.sstExecutor.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> core.mvccState.snapMu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.DB.ckptMu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.DB.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.lockManager.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.wal.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.wal.syncMu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.replHub.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.ReplSource.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.Replica.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.replStreamMu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> obs.Registry.mu
 	lifeMu sync.Mutex
 
 	promotions  atomic.Uint64
@@ -204,6 +225,7 @@ func (s *ReplicaShard) dialRepl() (io.ReadWriteCloser, error) {
 		return nil, fmt.Errorf("%w (shard %d): primary not serving", ErrShardDown, s.cfg.Local.Index)
 	}
 	c1, c2 := net.Pipe()
+	//lint:ignore gtmlint/goroleak Serve exits when either pipe end closes: the follower closes c2 on teardown and src.Close severs c1, so the pump's lifetime is bounded by the connection it carries
 	go func() { _ = src.Serve(c1) }()
 	return c2, nil
 }

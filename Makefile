@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race bench bench-commit bench-shard bench-gateway bench-mvcc chaos experiments fuzz obs-demo clean
+.PHONY: all build test lint race bench bench-commit bench-shard bench-gateway bench-mvcc bench-storage chaos experiments fuzz obs-demo clean
 
 all: build lint test
 
@@ -122,6 +122,14 @@ bench-mvcc:
 	grep -qv '"proof_snapshot_reads_delta": 0,' /tmp/bench-mvcc.json && \
 	echo "--- report shape ok: /tmp/bench-mvcc.json"
 
+# Storage-engine bench (docs/STORAGE.md): mem vs disk at page-cache
+# budgets of 100%/50%/10% of the measured working set, each with and
+# without a WAL sync delay; tx/s and p50/p99 commit latency per leg.
+# Regenerates BENCH_storage.json, the committed snapshot.
+BENCH_STORAGE_N ?= 2000
+bench-storage:
+	$(GO) run ./cmd/experiments -run storage -n $(BENCH_STORAGE_N) -json BENCH_storage.json
+
 # Fault-injection soak: booking workload through a flaky proxy across two
 # server crash-restarts, seat-conservation oracle, race detector on
 # (see docs/RESILIENCE.md).
@@ -135,6 +143,7 @@ experiments:
 fuzz:
 	$(GO) test -fuzz=FuzzReadWAL -fuzztime=30s ./internal/ldbs
 	$(GO) test -fuzz=FuzzParseSQL -fuzztime=30s ./internal/ldbs
+	$(GO) test -fuzz=FuzzDiskCrashRecovery -fuzztime=30s ./internal/ldbs
 	$(GO) test -fuzz=FuzzReadMsg -fuzztime=30s ./internal/wire
 
 # Start gtmd with diagnostics, drive a short workload, scrape /metrics and

@@ -14,6 +14,7 @@
 //	experiments -run modelcheck # Eq. 5's predicted speed-up vs the emulation's
 //	experiments -run starvation # §VII starvation control under a hostile mix
 //	experiments -run commitpipe # commit-pipeline throughput: SST executor × WAL group commit
+//	experiments -run storage  # storage engines: mem vs disk under page-cache pressure
 //	experiments -run all      # everything (default)
 //
 // Use -n to scale the emulated population (default 1000, the paper's size)
@@ -40,10 +41,11 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run: all, tableI, tableII, fig1, fig2, fig3a, fig3b, ablation, classes, sensitivity, itinerary, modelcheck, starvation, commitpipe")
-	n := flag.Int("n", 1000, "emulated transaction population (fig3*, ablation)")
+	run := flag.String("run", "all", "experiment to run: all, tableI, tableII, fig1, fig2, fig3a, fig3b, ablation, classes, sensitivity, itinerary, modelcheck, starvation, commitpipe, storage")
+	n := flag.Int("n", 1000, "emulated transaction population (fig3*, ablation); committed transactions per configuration (storage)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.StringVar(&csvDir, "csv", "", "also write figure data as CSV files into this directory")
+	flag.StringVar(&jsonPath, "json", "", "write the storage benchmark report as JSON to this file")
 	flag.Parse()
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -66,8 +68,9 @@ func main() {
 		"modelcheck":  modelcheck,
 		"starvation":  starvation,
 		"commitpipe":  commitpipe,
+		"storage":     storageBench,
 	}
-	order := []string{"tableI", "tableII", "fig1", "fig2", "fig3a", "fig3b", "ablation", "classes", "sensitivity", "itinerary", "modelcheck", "starvation", "commitpipe"}
+	order := []string{"tableI", "tableII", "fig1", "fig2", "fig3a", "fig3b", "ablation", "classes", "sensitivity", "itinerary", "modelcheck", "starvation", "commitpipe", "storage"}
 
 	names := order
 	if *run != "all" {
@@ -91,6 +94,9 @@ func header(title string) {
 
 // csvDir, when set via -csv, receives one CSV file per figure.
 var csvDir string
+
+// jsonPath, when set via -json, receives the storage benchmark report.
+var jsonPath string
 
 // writeCSV dumps rows (first row = header) to <csvDir>/<name>.csv.
 func writeCSV(name string, rows [][]string) {

@@ -43,7 +43,7 @@ func main() {
 	in := bufio.NewScanner(os.Stdin)
 	interactive := isTerminalLike()
 	if interactive {
-		fmt.Println("connected; try: objects | shards [obj] | cluster | stats | metrics | info <obj> | txs | begin <tx> | invoke <tx> <obj> <class> [member] | read | apply | commit | sleep | awake | state | quit")
+		fmt.Println("connected; try: objects | shards [obj] | cluster | stats | metrics | store | info <obj> | txs | begin <tx> | invoke <tx> <obj> <class> [member] | read | apply | commit | sleep | awake | state | quit")
 	}
 	for {
 		if interactive {
@@ -190,6 +190,26 @@ func run(cn *wire.Conn, args []string) (string, error) {
 			fmt.Fprintf(&b, "%s=%d ", k, stats[k])
 		}
 		return strings.TrimSpace(b.String()), nil
+	case "store":
+		_, metrics, err := cn.Metrics()
+		if err != nil {
+			return "", err
+		}
+		keys := make([]string, 0, len(metrics))
+		for k := range metrics {
+			if strings.HasPrefix(k, "store_") {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			return "(server reports no store_* metrics; is it running with an observability registry?)", nil
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%-40s %d\n", k, metrics[k])
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
 	case "metrics":
 		_, metrics, err := cn.Metrics()
 		if err != nil {

@@ -14,6 +14,12 @@
 // the wire client library. Dropping a connection mid-transaction puts the
 // transaction to sleep; reconnect, attach and awake to finish it.
 //
+// With -data and -store=disk, rows live in an on-disk B-tree page file
+// (STORE) behind a byte-budgeted page cache (-page-cache-bytes), so the
+// working set may exceed RAM; checkpoints flush dirty pages and advance
+// the file's superblock instead of rewriting a snapshot. All modes honor
+// it (shards get one page file per shard directory). See docs/STORAGE.md.
+//
 // Sharded deployments (clients are unchanged in every mode):
 //
 //	gtmd -shards 4 -data /var/lib/gtmd
@@ -69,6 +75,7 @@ import (
 	"preserial/internal/core"
 	"preserial/internal/gateway"
 	"preserial/internal/ldbs"
+	_ "preserial/internal/ldbs/store/disk" // register the disk storage driver for -store
 	"preserial/internal/obs"
 	"preserial/internal/sem"
 	"preserial/internal/shard"
@@ -79,6 +86,8 @@ import (
 type config struct {
 	addr      string
 	dataDir   string
+	store     string
+	pageCache int64
 	ckptEvery time.Duration
 	seats     int64
 	idle      time.Duration
@@ -120,6 +129,8 @@ type config struct {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "listen address")
 	dataDir := flag.String("data", "", "data directory for CHECKPOINT + WAL (empty: no durability)")
+	storeName := flag.String("store", "mem", "storage driver with -data: mem (tables in RAM, snapshot checkpoints) or disk (B-tree page file, RAM bounded by -page-cache-bytes)")
+	pageCache := flag.Int64("page-cache-bytes", 0, "page-cache byte budget per shard for -store=disk (0: driver default)")
 	ckptEvery := flag.Duration("checkpoint-every", 5*time.Minute, "checkpoint interval when -data is set")
 	seats := flag.Int64("seats", 100, "initial availability of every demo resource")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "put idle Active transactions to sleep after this (0: never)")
@@ -159,13 +170,14 @@ func main() {
 	logger := log.New(os.Stderr, "gtmd: ", log.LstdFlags)
 	reg := obs.NewRegistry()
 	cfg := &config{
-		addr: *addr, dataDir: *dataDir, ckptEvery: *ckptEvery, seats: *seats,
+		addr: *addr, dataDir: *dataDir, store: *storeName, pageCache: *pageCache,
+		ckptEvery: *ckptEvery, seats: *seats,
 		idle: *idle, waitTO: *waitTO, sleepTO: *sleepTO, invokeTO: *invokeTO,
 		httpAddr: *httpAddr, drainTO: *drainTO,
 		shards: *shards, route: *route, shardIndex: *shardIndex, shardCount: *shardCount,
 		replListen: *replListen, replicaOf: *replicaOf, replAsync: *replAsync,
 		promoteOnExit: *promoteOnExit,
-		gateway: *gw, gwLanes: *gwLanes, gwLaneDepth: *gwLaneDepth, gwWorkers: *gwWorkers,
+		gateway:       *gw, gwLanes: *gwLanes, gwLaneDepth: *gwLaneDepth, gwWorkers: *gwWorkers,
 		gwSessions: *gwSessions, gwRate: *gwRate, gwBurst: *gwBurst,
 		gwTenantRate: *gwTenantRate, gwTenantBurst: *gwTenantBurst, gwRetention: *gwRetention,
 		logger: logger, reg: reg,
@@ -219,6 +231,7 @@ func runSingle(cfg *config, walOpts ldbs.Options) {
 	var pers *ldbs.Persistence
 	if cfg.dataDir != "" {
 		pers = &ldbs.Persistence{Dir: cfg.dataDir, Obs: cfg.reg,
+			Store: cfg.store, PageCacheBytes: cfg.pageCache,
 			DisableGroupCommit: walOpts.DisableGroupCommit, GroupCommitWindow: walOpts.GroupCommitWindow,
 			SyncDelay: walOpts.SyncDelay}
 		recovered, err := pers.Open(demoSchemas())
@@ -293,15 +306,17 @@ func runCluster(cfg *config, walOpts ldbs.Options) {
 			dir = filepath.Join(cfg.dataDir, fmt.Sprintf("shard-%d", i))
 		}
 		s, err := shard.OpenLocal(shard.LocalConfig{
-			Index:         i,
-			Dir:           dir,
-			Schemas:       demoSchemas(),
-			Seed:          func(db *ldbs.DB) error { return seedDemo(db, owned, cfg.seats) },
-			Objects:       objectMap(owned),
-			Obs:           cfg.reg,
-			Observability: cfg.observ,
-			ManagerOpts:   cfg.managerOpts(),
-			WAL:           walOpts,
+			Index:          i,
+			Dir:            dir,
+			Store:          cfg.store,
+			PageCacheBytes: cfg.pageCache,
+			Schemas:        demoSchemas(),
+			Seed:           func(db *ldbs.DB) error { return seedDemo(db, owned, cfg.seats) },
+			Objects:        objectMap(owned),
+			Obs:            cfg.reg,
+			Observability:  cfg.observ,
+			ManagerOpts:    cfg.managerOpts(),
+			WAL:            walOpts,
 		})
 		if err != nil {
 			logger.Fatalf("shard %d: %v", i, err)
@@ -372,15 +387,17 @@ func runParticipant(cfg *config, walOpts ldbs.Options) {
 	ring := shard.NewRing(cfg.shardCount)
 	owned := ownedRefs(ring, cfg.shardIndex)
 	s, err := shard.OpenLocal(shard.LocalConfig{
-		Index:         cfg.shardIndex,
-		Dir:           cfg.dataDir,
-		Schemas:       demoSchemas(),
-		Seed:          func(db *ldbs.DB) error { return seedDemo(db, owned, cfg.seats) },
-		Objects:       objectMap(owned),
-		Obs:           cfg.reg,
-		Observability: cfg.observ,
-		ManagerOpts:   cfg.managerOpts(),
-		WAL:           walOpts,
+		Index:          cfg.shardIndex,
+		Dir:            cfg.dataDir,
+		Store:          cfg.store,
+		PageCacheBytes: cfg.pageCache,
+		Schemas:        demoSchemas(),
+		Seed:           func(db *ldbs.DB) error { return seedDemo(db, owned, cfg.seats) },
+		Objects:        objectMap(owned),
+		Obs:            cfg.reg,
+		Observability:  cfg.observ,
+		ManagerOpts:    cfg.managerOpts(),
+		WAL:            walOpts,
 	})
 	if err != nil {
 		logger.Fatalf("shard %d: %v", cfg.shardIndex, err)
@@ -486,10 +503,12 @@ func runFollower(cfg *config) {
 		logger.Fatal("-replica-of requires -data for the follower's own directory")
 	}
 	rep, err := ldbs.OpenReplica(ldbs.ReplicaOptions{
-		Dir:     cfg.dataDir,
-		Schemas: shard.HiddenSchemas(demoSchemas()),
-		Obs:     cfg.reg,
-		Logf:    logger.Printf,
+		Dir:            cfg.dataDir,
+		Schemas:        shard.HiddenSchemas(demoSchemas()),
+		Store:          cfg.store,
+		PageCacheBytes: cfg.pageCache,
+		Obs:            cfg.reg,
+		Logf:           logger.Printf,
 	})
 	if err != nil {
 		logger.Fatalf("open follower: %v", err)

@@ -131,6 +131,61 @@ func TestGTMDBinaryEndToEnd(t *testing.T) {
 	}
 }
 
+// TestGTMDBinaryDiskStore runs the booking-crash-recover cycle of
+// TestGTMDBinaryEndToEnd with -store=disk, proving the binary registers
+// the disk driver and recovers from the page file + WAL.
+func TestGTMDBinaryDiskStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary test skipped in -short mode")
+	}
+	bin := buildGTMD(t)
+	dataDir := t.TempDir()
+	addr := freePort(t)
+
+	cmd := startGTMD(t, bin, "-addr", addr, "-data", dataDir, "-seats", "100",
+		"-store", "disk", "-page-cache-bytes", "65536")
+	cn := waitReachable(t, addr)
+
+	if err := cn.Begin("trip"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.Invoke("trip", "Flight/AZ0", sem.AddSub, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.Apply("trip", "Flight/AZ0", sem.Int(-40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.Commit("trip"); err != nil {
+		t.Fatal(err)
+	}
+	cn.Close()
+
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd.Process.Wait()
+
+	addr2 := freePort(t)
+	startGTMD(t, bin, "-addr", addr2, "-data", dataDir, "-seats", "100",
+		"-store", "disk", "-page-cache-bytes", "65536")
+	cn2 := waitReachable(t, addr2)
+	defer cn2.Close()
+
+	if err := cn2.Begin("check"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cn2.Invoke("check", "Flight/AZ0", sem.Read, ""); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cn2.Read("check", "Flight/AZ0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int64() != 60 {
+		t.Fatalf("recovered seats = %s, want 60", v)
+	}
+}
+
 // TestGTMDBinaryDisconnectSleep verifies the binary's disconnection
 // semantics end to end: dropping the TCP connection parks the transaction;
 // a new connection attaches, awakens, and commits it.

@@ -151,6 +151,77 @@ func TestLegacyClientDoubleApplies(t *testing.T) {
 	}
 }
 
+// TestDiskKillRecoverExactConservation drives the disk engine through
+// repeated kill-and-recover cycles with a working set at least 4x the
+// page-cache budget. The network is fault-free, so every commit outcome
+// is known and the oracle is exact — each seat counter must equal its
+// initial value minus the acknowledged bookings, to the seat. Rounds
+// alternate between checkpointed (recovery from the superblock) and
+// not (recovery from pure WAL redo on top of the previous superblock).
+func TestDiskKillRecoverExactConservation(t *testing.T) {
+	const objects = 4096
+	const seats = int64(100)
+	h, err := NewHarnessStore(t.TempDir(), objects, seats, faultnet.Config{Seed: 5},
+		StoreConfig{Driver: "disk", PageSize: 2048, PageCacheBytes: 1}) // budget clamps to the driver's 8-page floor
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	rounds, perRound := 4, 60
+	if testing.Short() {
+		rounds, perRound = 2, 30
+	}
+	booked := make([]int64, objects)
+	rng := rand.New(rand.NewSource(42))
+	for r := 0; r < rounds; r++ {
+		rc := wire.DialResilient(h.Addr(), resilientOpts(int64(r+100)))
+		for i := 0; i < perRound; i++ {
+			o := rng.Intn(objects)
+			tx := fmt.Sprintf("kr%d-%d", r, i)
+			if err := rc.Begin(tx); err != nil {
+				t.Fatalf("round %d begin: %v", r, err)
+			}
+			if err := rc.Invoke(tx, h.Object(o), sem.AddSub, ""); err != nil {
+				t.Fatalf("round %d invoke: %v", r, err)
+			}
+			if err := rc.Apply(tx, h.Object(o), sem.Int(-1)); err != nil {
+				t.Fatalf("round %d apply: %v", r, err)
+			}
+			if err := rc.Commit(tx); err != nil {
+				t.Fatalf("round %d commit: %v", r, err)
+			}
+			booked[o]++
+		}
+		rc.Close()
+		if r%2 == 0 {
+			if err := h.Checkpoint(); err != nil {
+				t.Fatalf("round %d checkpoint: %v", r, err)
+			}
+		}
+		h.Crash()
+		if err := h.Restart(); err != nil {
+			t.Fatalf("round %d restart: %v", r, err)
+		}
+	}
+
+	st := h.StoreStats()
+	workingSet := st.FilePages * int64(st.PageSize)
+	if st.CacheBudget <= 0 || workingSet < 4*st.CacheBudget {
+		t.Fatalf("working set %dB < 4x cache budget %dB — the soak is not exercising eviction", workingSet, st.CacheBudget)
+	}
+	t.Logf("working set %dB, cache budget %dB, evictions %d", workingSet, st.CacheBudget, st.Evictions)
+	for o := 0; o < objects; o++ {
+		v, err := h.Seat(o)
+		if err != nil {
+			t.Fatalf("seat %d: %v", o, err)
+		}
+		if want := seats - booked[o]; v != want {
+			t.Errorf("object %d: seat count %d, want exactly %d (%d acked bookings)", o, v, want, booked[o])
+		}
+	}
+}
+
 // TestChaosSoak drives a fleet of resilient clients through random drops,
 // resets and delays, crashes and restarts the server twice mid-traffic,
 // then audits seat conservation against per-client accounting:
@@ -161,18 +232,42 @@ func TestLegacyClientDoubleApplies(t *testing.T) {
 // upper bound catches double-applied retries (exactly-once). A scripted
 // partition first guarantees at least one genuine replay is exercised.
 func TestChaosSoak(t *testing.T) {
-	clients, txsPer := 6, 4
-	if !testing.Short() {
-		clients, txsPer = 12, 8
-	}
 	const objects = 8
 	const seats = int64(1000)
-
 	h, err := NewHarness(t.TempDir(), objects, seats, faultnet.Config{Seed: 77})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer h.Close()
+	runChaosSoak(t, h, objects, seats)
+}
+
+// TestChaosSoakDisk is the same soak with the disk storage engine at
+// the smallest page size and cache budget the driver accepts, so the
+// conservation oracle also audits the page-file + WAL recovery path.
+// (Sustained eviction pressure is the exact-oracle test's job, below.)
+func TestChaosSoakDisk(t *testing.T) {
+	const objects = 8
+	const seats = int64(1000)
+	h, err := NewHarnessStore(t.TempDir(), objects, seats, faultnet.Config{Seed: 77},
+		StoreConfig{Driver: "disk", PageSize: 2048, PageCacheBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if got := h.StoreStats().Driver; got != "disk" {
+		t.Fatalf("driver = %q, want disk", got)
+	}
+	runChaosSoak(t, h, objects, seats)
+}
+
+// runChaosSoak is the driver-agnostic soak body shared by the mem and
+// disk legs.
+func runChaosSoak(t *testing.T, h *Harness, objects int, seats int64) {
+	clients, txsPer := 6, 4
+	if !testing.Short() {
+		clients, txsPer = 12, 8
+	}
 
 	// Phase 1: deterministic replay so the exactly-once path is provably
 	// exercised regardless of how the random faults land.

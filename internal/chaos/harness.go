@@ -20,6 +20,8 @@ import (
 	"preserial/internal/core"
 	"preserial/internal/faultnet"
 	"preserial/internal/ldbs"
+	"preserial/internal/ldbs/store"
+	_ "preserial/internal/ldbs/store/disk" // register the disk driver for StoreConfig
 	"preserial/internal/obs"
 	"preserial/internal/sem"
 	"preserial/internal/wire"
@@ -29,12 +31,15 @@ import (
 // crashes: the data directory, the metrics registry (its counters
 // accumulate across generations), and the client-facing proxy.
 type Harness struct {
-	dir     string
-	objects int
-	seats   int64
-	mopts   []core.Option
-	Reg     *obs.Registry
-	Proxy   *faultnet.Proxy
+	dir        string
+	objects    int
+	seats      int64
+	store      string // storage driver name ("" = mem)
+	cacheBytes int64  // disk driver page-cache budget (0 = default)
+	pageSize   int    // disk driver page size (0 = default)
+	mopts      []core.Option
+	Reg        *obs.Registry
+	Proxy      *faultnet.Proxy
 
 	mu        sync.Mutex
 	pers      *ldbs.Persistence
@@ -54,7 +59,25 @@ func NewHarness(dir string, objects int, seats int64, cfg faultnet.Config) (*Har
 // NewHarnessOpts is NewHarness with extra Manager options (epoch-grouped
 // commit, SST executors, …) applied to every recovered generation.
 func NewHarnessOpts(dir string, objects int, seats int64, cfg faultnet.Config, mopts ...core.Option) (*Harness, error) {
-	h := &Harness{dir: dir, objects: objects, seats: seats, mopts: mopts, Reg: obs.NewRegistry()}
+	return NewHarnessStore(dir, objects, seats, cfg, StoreConfig{}, mopts...)
+}
+
+// StoreConfig selects the storage driver a harness recovers through.
+// The zero value is the seed behavior: the mem driver with snapshot
+// checkpoints.
+type StoreConfig struct {
+	Driver         string // "mem" (default) or "disk"
+	PageCacheBytes int64  // disk page-cache budget, 0 = driver default
+	PageSize       int    // disk page size, 0 = driver default
+}
+
+// NewHarnessStore is NewHarnessOpts with an explicit storage driver, so
+// the crash soaks can run the same conservation oracle over the disk
+// engine under page-cache pressure.
+func NewHarnessStore(dir string, objects int, seats int64, cfg faultnet.Config, sc StoreConfig, mopts ...core.Option) (*Harness, error) {
+	h := &Harness{dir: dir, objects: objects, seats: seats,
+		store: sc.Driver, cacheBytes: sc.PageCacheBytes, pageSize: sc.PageSize,
+		mopts: mopts, Reg: obs.NewRegistry()}
 	if err := h.start(); err != nil {
 		return nil, err
 	}
@@ -84,7 +107,8 @@ func (h *Harness) schemas() []ldbs.Schema {
 
 // start brings up one stack generation from whatever the directory holds.
 func (h *Harness) start() error {
-	pers := &ldbs.Persistence{Dir: h.dir, Obs: h.Reg}
+	pers := &ldbs.Persistence{Dir: h.dir, Obs: h.Reg,
+		Store: h.store, PageCacheBytes: h.cacheBytes, PageSize: h.pageSize}
 	db, err := pers.Open(h.schemas())
 	if err != nil {
 		return err
@@ -195,6 +219,25 @@ func (h *Harness) Total() (int64, error) {
 		total += v
 	}
 	return total, nil
+}
+
+// Checkpoint makes the current generation's committed state durable and
+// truncates the WAL — for the disk driver, this is what moves data out
+// of the redo log and into the page file, so kill-and-recover exercises
+// superblock recovery rather than pure WAL replay.
+func (h *Harness) Checkpoint() error {
+	h.mu.Lock()
+	pers, db := h.pers, h.db
+	h.mu.Unlock()
+	return pers.Checkpoint(db)
+}
+
+// StoreStats snapshots the current generation's storage driver.
+func (h *Harness) StoreStats() store.Stats {
+	h.mu.Lock()
+	db := h.db
+	h.mu.Unlock()
+	return db.StoreStats()
 }
 
 // Replays reads the accumulated exactly-once replay counter.

@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"preserial/internal/ldbs/store"
+	"preserial/internal/ldbs/store/mem"
 	"preserial/internal/obs"
 	"preserial/internal/sem"
 )
@@ -53,6 +55,11 @@ type Options struct {
 	// latency, lock waits and wait latency, deadlocks, group-commit batch
 	// sizes) under ldbs_* names.
 	Obs *obs.Registry
+	// Store is the storage driver holding committed rows. Nil selects the
+	// in-memory driver (the seed behavior). The DB does not close the
+	// driver; whoever opened it owns its lifecycle (Persistence does this
+	// for the drivers it opens).
+	Store store.Driver
 }
 
 // Stats are monotonically increasing engine counters.
@@ -69,7 +76,11 @@ type Stats struct {
 type DB struct {
 	mu      sync.RWMutex
 	schemas map[string]Schema
-	tables  map[string]map[string]Row
+	// driver holds the committed rows behind the store contract (mem or
+	// disk). All row access goes through it; db.mu still provides the
+	// engine-level atomicity (a batch installs under mu's write lock, so
+	// mu's read side observes whole commits).
+	driver store.Driver
 
 	// ckptMu serializes checkpoints against commits: a commit holds the
 	// read side across its log-then-apply sequence so a snapshot can never
@@ -103,8 +114,11 @@ type DB struct {
 func Open(opts Options) *DB {
 	db := &DB{
 		schemas: make(map[string]Schema),
-		tables:  make(map[string]map[string]Row),
+		driver:  opts.Store,
 		locks:   newLockManager(),
+	}
+	if db.driver == nil {
+		db.driver = mem.New(store.Config{Obs: opts.Obs})
 	}
 	if opts.WAL != nil {
 		db.log = newWAL(opts.WAL)
@@ -142,10 +156,25 @@ func (db *DB) CreateTable(s Schema) error {
 	if _, ok := db.schemas[s.Table]; ok {
 		return fmt.Errorf("ldbs: table %q already exists", s.Table)
 	}
+	// Driver CreateTable is idempotent: a persistent store reopened by
+	// Persistence already holds the table (and its rows).
+	if _, err := db.driver.CreateTable(s.Table); err != nil {
+		return err
+	}
 	db.schemas[s.Table] = s
-	db.tables[s.Table] = make(map[string]Row)
 	return nil
 }
+
+// StoreStats returns the storage driver's counters and gauges (cache
+// hits, page I/O, checkpoint timings). For the mem driver most fields
+// are zero.
+func (db *DB) StoreStats() store.Stats {
+	return db.driver.Stats()
+}
+
+// StoreDriver exposes the storage driver (read-only use: stats,
+// persistence capability checks). Callers must not close it.
+func (db *DB) StoreDriver() store.Driver { return db.driver }
 
 // Schema returns the schema of a table.
 func (db *DB) Schema(table string) (Schema, error) {
@@ -272,15 +301,19 @@ func (tx *Tx) overlayRow(table, key string, base Row, exists bool) (Row, bool) {
 func (db *DB) committedRow(table, key string) (Row, bool, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	rows, ok := db.tables[table]
+	tbl, ok := db.driver.Table(table)
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
-	r, ok := rows[key]
+	r, ok, err := tbl.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
 	if !ok {
 		return nil, false, nil
 	}
-	return r.clone(), true, nil
+	// Driver rows are immutable by contract; callers mutate freely.
+	return Row(r).clone(), true, nil
 }
 
 // GetRow returns the row under a shared lock, with the transaction's own
@@ -319,6 +352,16 @@ func (tx *Tx) Get(ctx context.Context, table, key, column string) (sem.Value, er
 	return row[column], nil
 }
 
+// validateKey rejects keys the storage contract cannot hold. Checked at
+// write-buffering time so a commit's driver apply can never fail on it
+// after the WAL already holds the transaction.
+func validateKey(key string) error {
+	if len(key) > store.MaxKeyLen {
+		return fmt.Errorf("ldbs: %w (%d bytes, max %d)", store.ErrKeyTooLarge, len(key), store.MaxKeyLen)
+	}
+	return nil
+}
+
 // validateValue checks kind and constraints of a single column value.
 func validateValue(s Schema, column string, v sem.Value) error {
 	def, ok := s.column(column)
@@ -350,6 +393,9 @@ func (tx *Tx) Set(ctx context.Context, table, key, column string, v sem.Value) e
 		return err
 	}
 	if err := validateValue(s, column, v); err != nil {
+		return err
+	}
+	if err := validateKey(key); err != nil {
 		return err
 	}
 	if err := tx.lockRow(ctx, table, key, LockX); err != nil {
@@ -389,6 +435,9 @@ func (tx *Tx) Insert(ctx context.Context, table, key string, row Row) error {
 	if err := validateRow(s, row); err != nil {
 		return err
 	}
+	if err := validateKey(key); err != nil {
+		return err
+	}
 	if err := tx.lockRow(ctx, table, key, LockX); err != nil {
 		return err
 	}
@@ -413,6 +462,9 @@ func (tx *Tx) Upsert(ctx context.Context, table, key string, row Row) error {
 		return err
 	}
 	if err := validateRow(s, row); err != nil {
+		return err
+	}
+	if err := validateKey(key); err != nil {
 		return err
 	}
 	if err := tx.lockRow(ctx, table, key, LockX); err != nil {
@@ -451,40 +503,50 @@ func (tx *Tx) Scan(ctx context.Context, table string, visit func(key string, row
 	if err := tx.db.locks.Acquire(ctx, tx.id, resource{Table: table}, LockS); err != nil {
 		return tx.wrapLockErr(err)
 	}
+	// Phase 1: collect the committed key set. The table-level S lock just
+	// acquired blocks every writer (writers need IX) until this
+	// transaction finishes, so the committed state of the table cannot
+	// change between the key collection and the per-key reads below.
 	tx.db.mu.RLock()
-	rows, ok := tx.db.tables[table]
+	tbl, ok := tx.db.driver.Table(table)
 	if !ok {
 		tx.db.mu.RUnlock()
 		return fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
-	keys := make([]string, 0, len(rows))
-	for k := range rows {
+	var keys []string
+	err := tbl.Scan(func(k string, _ store.Row) bool {
 		keys = append(keys, k)
-	}
-	snapshot := make(map[string]Row, len(rows))
-	for k, r := range rows {
-		snapshot[k] = r.clone()
-	}
+		return true
+	})
 	tx.db.mu.RUnlock()
+	if err != nil {
+		return err
+	}
 
 	// Include keys created by this transaction's own writes.
+	committed := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		committed[k] = true
+	}
 	for _, w := range tx.writes {
-		if w.table == table {
-			if _, ok := snapshot[w.key]; !ok {
-				keys = append(keys, w.key)
-			}
+		if w.table == table && !committed[w.key] {
+			keys = append(keys, w.key)
+			committed[w.key] = true
 		}
 	}
 	sort.Strings(keys)
 	seen := make(map[string]bool, len(keys))
+	// Phase 2: read row by row, overlaying the private write set. Reading
+	// per key (rather than snapshotting every row up front) keeps memory
+	// bounded when the table lives on disk and dwarfs RAM.
 	for _, k := range keys {
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
-		base, exists := snapshot[k], true
-		if base == nil {
-			exists = false
+		base, exists, err := tx.db.committedRow(table, k)
+		if err != nil {
+			return err
 		}
 		row, exists := tx.overlayRow(table, k, base, exists)
 		if !exists {
@@ -572,7 +634,13 @@ func (tx *Tx) commitLocked() (uint64, error) {
 		}
 		commitLSN = lsn
 	}
-	db.applyWrites(tx.writes)
+	if err := db.applyWrites(tx.writes); err != nil {
+		// The WAL already holds the commit; only the store apply failed.
+		// Surface the failure — restart recovery redoes the logged writes.
+		db.locks.ReleaseAll(tx.id)
+		db.aborted.Add(1)
+		return 0, err
+	}
 	db.locks.ReleaseAll(tx.id)
 	db.committed.Add(1)
 	return commitLSN, nil
@@ -596,50 +664,82 @@ func (tx *Tx) Rollback() {
 }
 
 // applyWrites installs a committed write set into the store, retaining
-// pre-images for open row-version snapshots. Version retention takes the
-// snapshot registry's lock under the store lock; snapshot readers never
-// nest the other way (they pin under snapMu alone).
+// pre-images for open row-version snapshots. The write set is folded to
+// one final row state per touched key (so later ops in the set observe
+// earlier ones) and handed to the driver as a single atomic batch.
+// Version retention takes the snapshot registry's lock under the store
+// lock; snapshot readers never nest the other way (they pin under snapMu
+// alone).
+//
+// A driver error after the WAL already holds the commit leaves the store
+// behind the log; the sticky-failure drivers refuse further work and
+// recovery redoes the logged writes on restart.
 //
 //gtmlint:lockorder ldbs.DB.mu -> ldbs.DB.snapMu
-func (db *DB) applyWrites(writes []writeOp) {
+func (db *DB) applyWrites(writes []writeOp) error {
 	if len(writes) == 0 {
-		return
+		return nil
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.commitSeq++
+	type tk struct{ table, key string }
+	pending := make(map[tk]Row, len(writes)) // folded end state per key
+	order := make([]tk, 0, len(writes))      // keys in first-touch order
 	for _, w := range writes {
-		rows := db.tables[w.table]
-		if rows == nil {
-			continue // table dropped concurrently; nothing to apply to
+		tbl, ok := db.driver.Table(w.table)
+		if !ok {
+			continue // table never created on this node; nothing to apply to
 		}
-		old, existed := rows[w.key]
+		k := tk{w.table, w.key}
+		old, touched := pending[k]
+		existed := old != nil
+		if !touched {
+			r, ok, err := tbl.Get(w.key)
+			if err != nil {
+				return err
+			}
+			old, existed = Row(r), ok
+			order = append(order, k)
+		}
 		db.retainVersionLocked(w.table, w.key, old, existed, db.commitSeq)
+		var next Row
 		switch w.typ {
 		case recSetCol:
 			if old != nil {
-				nr := old.clone()
-				nr[w.column] = w.value
-				rows[w.key] = nr
+				next = old.clone()
+				next[w.column] = w.value
 			}
 		case recUpsertRow:
-			rows[w.key] = w.row.clone()
+			next = w.row.clone()
 		case recDeleteRow:
-			delete(rows, w.key)
+			next = nil
 		}
+		pending[k] = next
 		db.maintainIndexesLocked(w, old)
 	}
+	if len(order) == 0 {
+		return nil
+	}
+	batch := make([]store.Write, 0, len(order))
+	for _, k := range order {
+		batch = append(batch, store.Write{Table: k.table, Key: k.key, Row: store.Row(pending[k])})
+	}
+	if err := db.driver.Apply(batch); err != nil {
+		return fmt.Errorf("ldbs: apply committed writes: %w", err)
+	}
+	return nil
 }
 
 // NumRows returns the committed row count of a table.
 func (db *DB) NumRows(table string) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	rows, ok := db.tables[table]
+	tbl, ok := db.driver.Table(table)
 	if !ok {
 		return 0, fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
-	return len(rows), nil
+	return tbl.Len(), nil
 }
 
 // ReadCommitted returns the committed value of one column without any
@@ -648,11 +748,14 @@ func (db *DB) NumRows(table string) (int, error) {
 func (db *DB) ReadCommitted(table, key, column string) (sem.Value, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	rows, ok := db.tables[table]
+	tbl, ok := db.driver.Table(table)
 	if !ok {
 		return sem.Value{}, fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
-	r, ok := rows[key]
+	r, ok, err := tbl.Get(key)
+	if err != nil {
+		return sem.Value{}, err
+	}
 	if !ok {
 		return sem.Value{}, fmt.Errorf("%w: %s/%s", ErrNoRow, table, key)
 	}

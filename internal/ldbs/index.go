@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"preserial/internal/ldbs/store"
 	"preserial/internal/sem"
 )
 
@@ -81,8 +82,13 @@ func (db *DB) CreateIndex(table, column string) error {
 		return fmt.Errorf("ldbs: index on %s.%s already exists", table, column)
 	}
 	ix := &index{table: table, column: column, entries: make(map[sem.Value]map[string]bool)}
-	for key, row := range db.tables[table] {
-		ix.add(key, row[column])
+	if tbl, found := db.driver.Table(table); found {
+		if err := tbl.Scan(func(key string, row store.Row) bool {
+			ix.add(key, row[column])
+			return true
+		}); err != nil {
+			return err
+		}
 	}
 	db.indexes[ik] = ix
 	return nil

@@ -8,21 +8,47 @@ import (
 	"path/filepath"
 	"time"
 
+	"preserial/internal/ldbs/store"
 	"preserial/internal/obs"
 )
 
-// Persistence manages a database directory: a checkpoint file plus the live
-// write-ahead log. Open recovers checkpoint-then-WAL; Checkpoint writes a
-// fresh snapshot atomically (write to a temp file, fsync, rename) and
-// truncates the log, bounding recovery time.
+// Persistence manages a database directory: the storage driver's files
+// plus the live write-ahead log. Open recovers state-then-WAL; Checkpoint
+// makes the store durable and truncates the log, bounding recovery time.
+//
+// With the default mem driver the directory holds the seed layout:
 //
 //	dir/
 //	  CHECKPOINT      last durable snapshot (WAL record format)
 //	  WAL             records since the checkpoint
+//
+// With a persistent driver (Store: "disk") the page file replaces the
+// snapshot:
+//
+//	dir/
+//	  STORE           page file; superblock = last durable checkpoint
+//	  WAL             records since the superblock advanced
+//
+// Switching a directory from mem to disk migrates transparently: the
+// legacy CHECKPOINT (if any) and the WAL are replayed into the page file
+// and the first Checkpoint retires the CHECKPOINT file.
 type Persistence struct {
 	Dir string
 
-	// Obs, when non-nil, is passed to the recovered DB (see Options.Obs).
+	// Store selects the storage driver by registered name ("mem", "disk").
+	// Empty means "mem" (the seed behavior).
+	Store string
+
+	// PageCacheBytes bounds the disk driver's page cache (0 = driver
+	// default). Ignored by the mem driver.
+	PageCacheBytes int64
+
+	// PageSize sets the disk driver's page size when creating a store
+	// (0 = driver default). Ignored by the mem driver.
+	PageSize int
+
+	// Obs, when non-nil, is passed to the recovered DB (see Options.Obs)
+	// and to the storage driver (store_* metrics).
 	Obs *obs.Registry
 
 	// DisableGroupCommit, GroupCommitWindow and SyncDelay are passed to the
@@ -31,7 +57,8 @@ type Persistence struct {
 	GroupCommitWindow  time.Duration
 	SyncDelay          time.Duration
 
-	wal *os.File
+	wal    *os.File
+	driver store.Driver
 }
 
 // checkpoint / wal file names.
@@ -50,41 +77,50 @@ func (p *Persistence) Open(schemas []Schema) (*DB, error) {
 	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ldbs: create dir: %w", err)
 	}
+	name := p.Store
+	if name == "" {
+		name = "mem"
+	}
+	driver, err := store.Open(name, store.Config{
+		Dir:        p.Dir,
+		PageSize:   p.PageSize,
+		CacheBytes: p.PageCacheBytes,
+		Obs:        p.Obs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ldbs: open %s store: %w", name, err)
+	}
 
-	// Phase 1: rebuild state into a scratch database.
-	scratch := Open(Options{})
-	for _, s := range schemas {
-		if err := scratch.CreateTable(s); err != nil {
-			return nil, err
-		}
-	}
-	if err := replayFile(scratch, filepath.Join(p.Dir, checkpointName)); err != nil {
-		return nil, err
-	}
-	if err := replayFile(scratch, filepath.Join(p.Dir, walName)); err != nil {
-		return nil, err
-	}
-
-	// Phase 2: open the live database appending to the WAL and move the
-	// recovered rows across.
 	walFile, err := os.OpenFile(filepath.Join(p.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		driver.Close()
 		return nil, fmt.Errorf("ldbs: open WAL: %w", err)
 	}
-	db := Open(Options{WAL: walFile, Obs: p.Obs,
+	db := Open(Options{WAL: walFile, Obs: p.Obs, Store: driver,
 		DisableGroupCommit: p.DisableGroupCommit, GroupCommitWindow: p.GroupCommitWindow,
 		SyncDelay: p.SyncDelay})
-	for _, s := range schemas {
-		if err := db.CreateTable(s); err != nil {
-			walFile.Close()
-			return nil, err
-		}
-	}
-	if err := adoptState(scratch, db); err != nil {
+	fail := func(err error) (*DB, error) {
 		walFile.Close()
+		driver.Close()
 		return nil, err
 	}
+	for _, s := range schemas {
+		if err := db.CreateTable(s); err != nil {
+			return fail(err)
+		}
+	}
+	// Redo on top of whatever the driver already holds: first the legacy
+	// snapshot file (mem driver's checkpoint, or a mem→disk migration),
+	// then the WAL tail. Records the driver captured at its last
+	// checkpoint re-apply idempotently — they carry absolute values.
+	if err := replayFile(db, filepath.Join(p.Dir, checkpointName)); err != nil {
+		return fail(err)
+	}
+	if err := replayFile(db, filepath.Join(p.Dir, walName)); err != nil {
+		return fail(err)
+	}
 	p.wal = walFile
+	p.driver = driver
 	return db, nil
 }
 
@@ -104,67 +140,55 @@ func replayFile(db *DB, path string) error {
 	return nil
 }
 
-// adoptState moves the committed rows of src into dst without logging them
-// (they are already durable in the checkpoint/WAL files). The self-edge is
-// instance-disjoint by construction: src is the recovery scratch DB built
-// inside Open and never shared, so no other goroutine can hold its lock
-// (or dst's) in the opposite order.
-//
-//gtmlint:lockorder ldbs.DB.mu -> ldbs.DB.mu
-func adoptState(src, dst *DB) error {
-	src.mu.RLock()
-	defer src.mu.RUnlock()
-	dst.mu.Lock()
-	defer dst.mu.Unlock()
-	for table, rows := range src.tables {
-		dstRows, ok := dst.tables[table]
-		if !ok {
-			return fmt.Errorf("%w: %q", ErrNoTable, table)
-		}
-		for k, r := range rows {
-			dstRows[k] = r.clone()
-		}
-	}
-	// Continue transaction ids past the recovered ones.
-	dst.nextTx.Store(src.nextTx.Load())
-	return nil
-}
-
-// Checkpoint writes the database's committed state to a fresh snapshot and
-// truncates the WAL. Crash-safe ordering: the snapshot is durable (written
-// to a temp file, synced, renamed over CHECKPOINT) before the WAL shrinks.
+// Checkpoint makes the database's committed state durable and truncates
+// the WAL. For the mem driver that means writing a fresh snapshot file
+// (temp file, fsync, rename); a persistent driver instead flushes its
+// dirty pages and advances its superblock. Either way the durable state
+// covers everything the WAL held before the truncation — the crash-safe
+// ordering gtmlint/durability checks.
 func (p *Persistence) Checkpoint(db *DB) error {
 	if p.wal == nil {
 		return errors.New("ldbs: Checkpoint before Open")
 	}
-	// Block commits for the duration: the snapshot and the truncation must
-	// see the same committed state.
+	// Block commits for the duration: the durable state and the truncation
+	// must see the same committed rows.
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
-	tmp, err := os.CreateTemp(p.Dir, "ckpt-*")
-	if err != nil {
-		return fmt.Errorf("ldbs: checkpoint temp: %w", err)
+	if p.driver != nil && p.driver.Persistent() {
+		if err := p.driver.Checkpoint(); err != nil {
+			return err
+		}
+		// The page file now covers everything; a legacy snapshot from a
+		// mem→disk migration is dead weight.
+		if err := os.Remove(filepath.Join(p.Dir, checkpointName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("ldbs: remove legacy checkpoint: %w", err)
+		}
+	} else {
+		tmp, err := os.CreateTemp(p.Dir, "ckpt-*")
+		if err != nil {
+			return fmt.Errorf("ldbs: checkpoint temp: %w", err)
+		}
+		tmpName := tmp.Name()
+		defer os.Remove(tmpName) // no-op after the rename
+		if err := db.WriteSnapshot(tmp); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmpName, filepath.Join(p.Dir, checkpointName)); err != nil {
+			return fmt.Errorf("ldbs: install checkpoint: %w", err)
+		}
+		if err := syncDir(p.Dir); err != nil {
+			return err
+		}
 	}
-	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after the rename
-	if err := db.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmpName, filepath.Join(p.Dir, checkpointName)); err != nil {
-		return fmt.Errorf("ldbs: install checkpoint: %w", err)
-	}
-	if err := syncDir(p.Dir); err != nil {
-		return err
-	}
-	// The snapshot covers everything; the log can restart empty.
+	// The durable state covers everything; the log can restart empty.
 	if err := p.wal.Truncate(0); err != nil {
 		return fmt.Errorf("ldbs: truncate WAL: %w", err)
 	}
@@ -174,13 +198,19 @@ func (p *Persistence) Checkpoint(db *DB) error {
 	return nil
 }
 
-// Close releases the WAL file handle.
+// Close releases the WAL file handle and the storage driver.
 func (p *Persistence) Close() error {
-	if p.wal == nil {
-		return nil
+	var err error
+	if p.wal != nil {
+		err = p.wal.Close()
+		p.wal = nil
 	}
-	err := p.wal.Close()
-	p.wal = nil
+	if p.driver != nil {
+		if cerr := p.driver.Close(); err == nil {
+			err = cerr
+		}
+		p.driver = nil
+	}
 	return err
 }
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"preserial/internal/ldbs/store"
 )
 
 // ReplayWAL applies the committed transactions found in a WAL stream to the
@@ -46,30 +48,57 @@ func (db *DB) ReplayWAL(r io.Reader) (int, error) {
 			redone[rec.TxID] = true
 		}
 	}
-	// Recovery-applied SetCol writes may target rows created in the same
-	// log; apply in order through the normal path.
+	// Recovery-applied SetCol writes may target rows created earlier in the
+	// same log; fold the whole log to one final state per key (later
+	// records observing earlier ones) and install it as a single driver
+	// batch. Replay is idempotent: every record carries absolute values, so
+	// records a persistent store already captured re-apply harmlessly.
 	db.mu.Lock()
+	type tk struct{ table, key string }
+	pending := make(map[tk]Row, len(writes))
+	order := make([]tk, 0, len(writes))
 	for _, w := range writes {
-		rows := db.tables[w.table]
-		if rows == nil {
+		tbl, ok := db.driver.Table(w.table)
+		if !ok {
 			db.mu.Unlock()
 			return 0, fmt.Errorf("%w: replay references table %q; create tables before ReplayWAL",
 				ErrNoTable, w.table)
 		}
-		old := rows[w.key]
+		k := tk{w.table, w.key}
+		old, touched := pending[k]
+		if !touched {
+			r, _, err := tbl.Get(w.key)
+			if err != nil {
+				db.mu.Unlock()
+				return 0, err
+			}
+			old = Row(r)
+			order = append(order, k)
+		}
+		var next Row
 		switch w.typ {
 		case recSetCol:
 			if old != nil {
-				nr := old.clone()
-				nr[w.column] = w.value
-				rows[w.key] = nr
+				next = old.clone()
+				next[w.column] = w.value
 			}
 		case recUpsertRow:
-			rows[w.key] = w.row.clone()
+			next = w.row.clone()
 		case recDeleteRow:
-			delete(rows, w.key)
+			next = nil
 		}
+		pending[k] = next
 		db.maintainIndexesLocked(w, old)
+	}
+	if len(order) > 0 {
+		batch := make([]store.Write, 0, len(order))
+		for _, k := range order {
+			batch = append(batch, store.Write{Table: k.table, Key: k.key, Row: store.Row(pending[k])})
+		}
+		if err := db.driver.Apply(batch); err != nil {
+			db.mu.Unlock()
+			return 0, fmt.Errorf("ldbs: replay apply: %w", err)
+		}
 	}
 	db.mu.Unlock()
 	// Transaction ids continue past the highest recovered id.
@@ -97,14 +126,18 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 	}
 	var entries []entry
 	for _, table := range db.tablesLocked() {
-		rows := db.tables[table]
-		keys := make([]string, 0, len(rows))
-		for k := range rows {
-			keys = append(keys, k)
+		tbl, ok := db.driver.Table(table)
+		if !ok {
+			continue
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			entries = append(entries, entry{table, k, rows[k].clone()})
+		// Driver scans yield keys in order and rows that are immutable by
+		// contract, so they can be logged below without cloning.
+		if err := tbl.Scan(func(k string, r store.Row) bool {
+			entries = append(entries, entry{table, k, Row(r)})
+			return true
+		}); err != nil {
+			db.mu.RUnlock()
+			return err
 		}
 	}
 	db.mu.RUnlock()
@@ -125,10 +158,12 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 	return snap.Flush()
 }
 
-// tablesLocked returns sorted table names; caller holds db.mu.
+// tablesLocked returns sorted table names; caller holds db.mu. Schemas
+// and driver tables are created together, so the schema map is the
+// authoritative name set.
 func (db *DB) tablesLocked() []string {
-	out := make([]string, 0, len(db.tables))
-	for t := range db.tables {
+	out := make([]string, 0, len(db.schemas))
+	for t := range db.schemas {
 		out = append(out, t)
 	}
 	sort.Strings(out)

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"preserial/internal/ldbs/store"
 	"preserial/internal/obs"
 )
 
@@ -698,6 +699,13 @@ type ReplicaOptions struct {
 	Dir string
 	// Schemas must cover every table the primary's WAL may reference.
 	Schemas []Schema
+	// Store selects the follower's storage driver by registered name
+	// ("mem", "disk"); empty means "mem". A follower may run a different
+	// driver than its primary — replication ships WAL records, not pages.
+	Store string
+	// PageCacheBytes bounds the disk driver's page cache (0 = driver
+	// default). Ignored by the mem driver.
+	PageCacheBytes int64
 	// Obs, when non-nil, receives repl_txs_applied_total.
 	Obs *obs.Registry
 	// Logf, when non-nil, receives replication lifecycle messages.
@@ -725,7 +733,8 @@ type Replica struct {
 
 // OpenReplica recovers (or creates) a follower in dir.
 func OpenReplica(opts ReplicaOptions) (*Replica, error) {
-	pers := &Persistence{Dir: opts.Dir, Obs: opts.Obs}
+	pers := &Persistence{Dir: opts.Dir, Obs: opts.Obs,
+		Store: opts.Store, PageCacheBytes: opts.PageCacheBytes}
 	db, err := pers.Open(opts.Schemas)
 	if err != nil {
 		return nil, err
@@ -914,8 +923,16 @@ func (r *Replica) adoptSnapshot(m *replMsg) error {
 	var writes []writeOp
 	r.db.mu.RLock()
 	for _, table := range r.db.tablesLocked() {
-		for key := range r.db.tables[table] {
+		tbl, ok := r.db.driver.Table(table)
+		if !ok {
+			continue
+		}
+		if err := tbl.Scan(func(key string, _ store.Row) bool {
 			writes = append(writes, writeOp{typ: recDeleteRow, table: table, key: key})
+			return true
+		}); err != nil {
+			r.db.mu.RUnlock()
+			return err
 		}
 	}
 	r.db.mu.RUnlock()
@@ -929,7 +946,9 @@ func (r *Replica) adoptSnapshot(m *replMsg) error {
 		}
 	}
 	//lint:ignore gtmlint/durability snapshot adoption applies in memory first on purpose: nothing is acked until the Checkpoint below lands and the cursor moves, and a crash in between just repeats the resync
-	r.db.applyWrites(writes)
+	if err := r.db.applyWrites(writes); err != nil {
+		return err
+	}
 	r.advanceNextTx(maxTx)
 	if err := r.pers.Checkpoint(r.db); err != nil {
 		return err
@@ -1010,7 +1029,9 @@ func (r *Replica) applyGroup(recs []walRecord) error {
 			writes = append(writes, writeOp{typ: recDeleteRow, table: rec.Table, key: rec.Key})
 		}
 	}
-	r.db.applyWrites(writes)
+	if err := r.db.applyWrites(writes); err != nil {
+		return err
+	}
 	r.advanceNextTx(maxTx)
 	if r.txsApplied != nil {
 		r.txsApplied.Inc()

@@ -3,6 +3,7 @@ package ldbs
 import (
 	"fmt"
 
+	"preserial/internal/ldbs/store"
 	"preserial/internal/sem"
 )
 
@@ -69,7 +70,7 @@ func (s *DBSnapshot) Seq() uint64 { return s.pin }
 
 // versionAt resolves (table, key) as of the pin. Caller holds db.mu.RLock.
 func (db *DB) versionAtLocked(table, key string, pin uint64) (Row, bool, error) {
-	rows, ok := db.tables[table]
+	tbl, ok := db.driver.Table(table)
 	if !ok {
 		return nil, false, fmt.Errorf("%w: %q", ErrNoTable, table)
 	}
@@ -87,11 +88,12 @@ func (db *DB) versionAtLocked(table, key string, pin uint64) (Row, bool, error) 
 		}
 	}
 	db.snapMu.Unlock()
-	r, ok := rows[key]
-	if !ok {
-		return nil, false, nil
+	var r store.Row
+	r, ok, err := tbl.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
 	}
-	return r.clone(), true, nil
+	return Row(r).clone(), true, nil
 }
 
 // GetRow returns the pinned version of a row without locking it.

@@ -1,0 +1,370 @@
+package disk
+
+import (
+	"fmt"
+	"sort"
+
+	"preserial/internal/ldbs/store"
+)
+
+// btree is one table's copy-on-write B-tree. All methods run under the
+// driver mutex. Modifications shadow every touched page into the current
+// epoch (fresh page numbers), so the page set referenced by the durable
+// superblock is never written in place — that is the whole crash-safety
+// story: a torn write can only hit pages recovery does not read.
+type btree struct {
+	d    *Driver
+	root uint32
+	rows int64
+}
+
+// childIdx picks the child to descend into: the number of separators
+// ≤ key (all keys in child i are < separator i; keys equal to a
+// separator live in the subtree to its right).
+func childIdx(seps []string, key string) int {
+	i := sort.SearchStrings(seps, key)
+	if i < len(seps) && seps[i] == key {
+		i++
+	}
+	return i
+}
+
+// get returns the encoded value stored under key.
+func (t *btree) get(key string) ([]byte, bool, error) {
+	no := t.root
+	for {
+		n, err := t.d.getNode(no)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.typ == pageLeaf {
+			i := sort.SearchStrings(n.keys, key)
+			if i < len(n.keys) && n.keys[i] == key {
+				v, err := t.d.cellValue(n, i)
+				return v, err == nil, err
+			}
+			return nil, false, nil
+		}
+		if n.typ != pageInternal {
+			return nil, false, fmt.Errorf("%w: page %d is not a tree page", store.ErrCorrupt, no)
+		}
+		no = n.children[childIdx(n.keys, key)]
+	}
+}
+
+// put stores val under key, reporting whether the key is new.
+func (t *btree) put(key string, val []byte) (bool, error) {
+	newRoot, sep, right, added, err := t.insert(t.root, key, val)
+	if err != nil {
+		return false, err
+	}
+	t.root = newRoot
+	if right != 0 {
+		nr := t.d.allocNode(pageInternal)
+		nr.keys = []string{sep}
+		nr.children = []uint32{t.root, right}
+		t.root = nr.pageNo
+	}
+	if added {
+		t.rows++
+	}
+	return added, nil
+}
+
+// insert descends into the subtree rooted at no, shadowing modified
+// pages. It returns the subtree's (possibly reassigned) root page, plus
+// a promoted separator and new right-sibling page when the root split.
+func (t *btree) insert(no uint32, key string, val []byte) (newNo uint32, sep string, right uint32, added bool, err error) {
+	n, err := t.d.getNode(no)
+	if err != nil {
+		return 0, "", 0, false, err
+	}
+	switch n.typ {
+	case pageLeaf:
+		n = t.d.shadow(n)
+		i := sort.SearchStrings(n.keys, key)
+		replace := i < len(n.keys) && n.keys[i] == key
+		inline, ovfHead, ovfLen, err := t.d.storeValue(val)
+		if err != nil {
+			return 0, "", 0, false, err
+		}
+		if replace {
+			if n.ovf[i] != 0 {
+				if err := t.d.freeChain(n.ovf[i]); err != nil {
+					return 0, "", 0, false, err
+				}
+			}
+			n.vals[i], n.ovf[i], n.ovfLen[i] = inline, ovfHead, ovfLen
+		} else {
+			n.keys = append(n.keys, "")
+			n.vals = append(n.vals, nil)
+			n.ovf = append(n.ovf, 0)
+			n.ovfLen = append(n.ovfLen, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.vals[i+1:], n.vals[i:])
+			copy(n.ovf[i+1:], n.ovf[i:])
+			copy(n.ovfLen[i+1:], n.ovfLen[i:])
+			n.keys[i], n.vals[i], n.ovf[i], n.ovfLen[i] = key, inline, ovfHead, ovfLen
+			added = true
+		}
+		if n.size() > t.d.pageSize {
+			sep, right = t.splitLeaf(n)
+		}
+		return n.pageNo, sep, right, added, nil
+	case pageInternal:
+		idx := childIdx(n.keys, key)
+		childNo, childSep, childRight, childAdded, err := t.insert(n.children[idx], key, val)
+		if err != nil {
+			return 0, "", 0, false, err
+		}
+		if childNo == n.children[idx] && childRight == 0 {
+			return n.pageNo, "", 0, childAdded, nil
+		}
+		n = t.d.shadow(n)
+		n.children[idx] = childNo
+		if childRight != 0 {
+			n.keys = append(n.keys, "")
+			copy(n.keys[idx+1:], n.keys[idx:])
+			n.keys[idx] = childSep
+			n.children = append(n.children, 0)
+			copy(n.children[idx+2:], n.children[idx+1:])
+			n.children[idx+1] = childRight
+			if n.size() > t.d.pageSize {
+				sep, right = t.splitInternal(n)
+			}
+		}
+		return n.pageNo, sep, right, childAdded, nil
+	default:
+		return 0, "", 0, false, fmt.Errorf("%w: page %d is not a tree page", store.ErrCorrupt, no)
+	}
+}
+
+// splitLeaf moves the upper half (by byte size) of n into a fresh right
+// sibling and returns the promoted separator (the right leaf's first key).
+func (t *btree) splitLeaf(n *node) (string, uint32) {
+	target := n.size() / 2
+	at, acc := 0, pageHdrSize
+	for at < len(n.keys)-1 {
+		acc += leafCellSize(n.keys[at], len(n.vals[at]), n.ovf[at] != 0)
+		if acc >= target {
+			at++
+			break
+		}
+		at++
+	}
+	if at == 0 {
+		at = 1
+	}
+	r := t.d.allocNode(pageLeaf)
+	r.keys = append(r.keys, n.keys[at:]...)
+	r.vals = append(r.vals, n.vals[at:]...)
+	r.ovf = append(r.ovf, n.ovf[at:]...)
+	r.ovfLen = append(r.ovfLen, n.ovfLen[at:]...)
+	n.keys = n.keys[:at:at]
+	n.vals = n.vals[:at:at]
+	n.ovf = n.ovf[:at:at]
+	n.ovfLen = n.ovfLen[:at:at]
+	return r.keys[0], r.pageNo
+}
+
+// splitInternal promotes the middle separator and moves the upper half of
+// n into a fresh right sibling.
+func (t *btree) splitInternal(n *node) (string, uint32) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	r := t.d.allocNode(pageInternal)
+	r.keys = append(r.keys, n.keys[mid+1:]...)
+	r.children = append(r.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, r.pageNo
+}
+
+// delete removes key, reporting whether it existed. Rebalancing is lazy:
+// emptied leaves are unlinked and freed, a single-child internal root
+// collapses, and everything else keeps its (possibly sparse) shape — the
+// next checkpoint's copy-on-write churn re-packs pages over time.
+func (t *btree) delete(key string) (bool, error) {
+	newNo, _, existed, err := t.remove(t.root, key)
+	if err != nil {
+		return false, err
+	}
+	if !existed {
+		return false, nil
+	}
+	t.root = newNo
+	t.rows--
+	// Collapse single-child internal roots so tree height tracks the data.
+	for {
+		n, err := t.d.getNode(t.root)
+		if err != nil {
+			return true, err
+		}
+		if n.typ != pageInternal || len(n.children) != 1 {
+			break
+		}
+		child := n.children[0]
+		t.d.freePage(n.pageNo)
+		t.root = child
+	}
+	return true, nil
+}
+
+// remove is the recursive worker for delete. emptied reports that the
+// returned subtree holds no keys at all and should be unlinked (only
+// ever true for leaves; internal nodes always retain ≥1 child).
+func (t *btree) remove(no uint32, key string) (newNo uint32, emptied, existed bool, err error) {
+	n, err := t.d.getNode(no)
+	if err != nil {
+		return 0, false, false, err
+	}
+	switch n.typ {
+	case pageLeaf:
+		i := sort.SearchStrings(n.keys, key)
+		if i >= len(n.keys) || n.keys[i] != key {
+			return n.pageNo, false, false, nil
+		}
+		n = t.d.shadow(n)
+		if n.ovf[i] != 0 {
+			if err := t.d.freeChain(n.ovf[i]); err != nil {
+				return 0, false, false, err
+			}
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		n.ovf = append(n.ovf[:i], n.ovf[i+1:]...)
+		n.ovfLen = append(n.ovfLen[:i], n.ovfLen[i+1:]...)
+		return n.pageNo, len(n.keys) == 0, true, nil
+	case pageInternal:
+		idx := childIdx(n.keys, key)
+		childNo, childEmptied, childExisted, err := t.remove(n.children[idx], key)
+		if err != nil {
+			return 0, false, false, err
+		}
+		if !childExisted {
+			return n.pageNo, false, false, nil
+		}
+		n = t.d.shadow(n)
+		n.children[idx] = childNo
+		if childEmptied {
+			t.d.freePage(childNo)
+			n.children = append(n.children[:idx], n.children[idx+1:]...)
+			if len(n.keys) > 0 {
+				si := idx - 1
+				if si < 0 {
+					si = 0
+				}
+				n.keys = append(n.keys[:si], n.keys[si+1:]...)
+			}
+		}
+		return n.pageNo, false, true, nil
+	default:
+		return 0, false, false, fmt.Errorf("%w: page %d is not a tree page", store.ErrCorrupt, no)
+	}
+}
+
+// seekLeaf descends to the leaf that would contain ge and returns it plus
+// the index of its first key ≥ ge and the smallest separator to the right
+// of the descent path ("" when the path is rightmost) — the restart point
+// for a scan when the leaf has nothing left to emit.
+func (t *btree) seekLeaf(ge string) (leaf *node, start int, bound string, err error) {
+	no := t.root
+	for {
+		n, err := t.d.getNode(no)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		if n.typ == pageLeaf {
+			return n, sort.SearchStrings(n.keys, ge), bound, nil
+		}
+		if n.typ != pageInternal {
+			return nil, 0, "", fmt.Errorf("%w: page %d is not a tree page", store.ErrCorrupt, no)
+		}
+		idx := childIdx(n.keys, ge)
+		if idx < len(n.keys) {
+			bound = n.keys[idx]
+		}
+		no = n.children[idx]
+	}
+}
+
+// scan visits every key in order, one leaf at a time, shrinking the cache
+// back to budget between leaves so a full scan of a tree much larger than
+// the cache stays within the byte budget.
+func (t *btree) scan(visit func(key string, val []byte) bool) error {
+	ge := ""
+	for {
+		leaf, start, bound, err := t.seekLeaf(ge)
+		if err != nil {
+			return err
+		}
+		emitted := ""
+		for i := start; i < len(leaf.keys); i++ {
+			v, err := t.d.cellValue(leaf, i)
+			if err != nil {
+				return err
+			}
+			if !visit(leaf.keys[i], v) {
+				return nil
+			}
+			emitted = leaf.keys[i]
+		}
+		switch {
+		case emitted != "":
+			ge = emitted + "\x00"
+		case bound != "":
+			ge = bound
+		default:
+			return nil
+		}
+		if err := t.d.cache.evictToBudget(); err != nil {
+			return err
+		}
+	}
+}
+
+// reach adds every page reachable from the subtree at no (tree pages and
+// overflow chains) to set, verifying checksums along the way. Used to
+// rebuild the free list on open.
+func (t *btree) reach(no uint32, set map[uint32]bool) error {
+	if set[no] {
+		return fmt.Errorf("%w: page %d reachable twice", store.ErrCorrupt, no)
+	}
+	set[no] = true
+	n, err := t.d.getNode(no)
+	if err != nil {
+		return err
+	}
+	switch n.typ {
+	case pageLeaf:
+		for i := range n.keys {
+			for next := n.ovf[i]; next != 0; {
+				if set[next] {
+					return fmt.Errorf("%w: overflow page %d reachable twice", store.ErrCorrupt, next)
+				}
+				set[next] = true
+				o, err := t.d.getNode(next)
+				if err != nil {
+					return err
+				}
+				if o.typ != pageOverflow {
+					return fmt.Errorf("%w: page %d in overflow chain is type %d", store.ErrCorrupt, next, o.typ)
+				}
+				next = o.next
+			}
+		}
+	case pageInternal:
+		children := append([]uint32(nil), n.children...)
+		for _, c := range children {
+			if err := t.reach(c, set); err != nil {
+				return err
+			}
+			if err := t.d.cache.evictToBudget(); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("%w: page %d is not a tree page", store.ErrCorrupt, no)
+	}
+	return nil
+}

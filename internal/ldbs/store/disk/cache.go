@@ -1,0 +1,125 @@
+package disk
+
+// cache is the page cache: decoded nodes keyed by page number, bounded
+// by a byte budget with clock (second-chance) eviction. Each cached node
+// is accounted at pageSize bytes — its encoded bound — so budget/pageSize
+// is the resident page count.
+//
+// The cache is not internally locked; the driver mutex covers it.
+// Eviction happens only between tree operations (evictToBudget is called
+// after an op completes), so nodes on a descent path never disappear
+// mid-operation and no pin counts are needed. Evicting a dirty node
+// writes it in place without fsync: dirty nodes are always pages
+// allocated in the current epoch (copy-on-write shadows every modified
+// page), which the durable superblock does not reference, so a crash
+// after the write is invisible to recovery.
+type cache struct {
+	pageSize int
+	budget   int64
+	bytes    int64
+	nodes    map[uint32]*node
+	ring     []uint32 // clock ring; may hold stale page numbers
+	hand     int
+	// writeBack persists a dirty node (encode + WriteAt, no fsync) so it
+	// can be dropped; set by the driver.
+	writeBack func(*node) error
+	// onEvict is the driver's eviction counter hook.
+	onEvict func()
+}
+
+func newCache(pageSize int, budget int64, writeBack func(*node) error, onEvict func()) *cache {
+	return &cache{
+		pageSize:  pageSize,
+		budget:    budget,
+		nodes:     make(map[uint32]*node),
+		writeBack: writeBack,
+		onEvict:   onEvict,
+	}
+}
+
+// get returns a cached node, marking its reference bit.
+func (c *cache) get(pageNo uint32) (*node, bool) {
+	n, ok := c.nodes[pageNo]
+	if ok {
+		n.ref = true
+	}
+	return n, ok
+}
+
+// put inserts a node (no eviction here; see evictToBudget).
+func (c *cache) put(n *node) {
+	if _, dup := c.nodes[n.pageNo]; !dup {
+		c.bytes += int64(c.pageSize)
+	}
+	n.ref = true
+	c.nodes[n.pageNo] = n
+	c.ring = append(c.ring, n.pageNo)
+}
+
+// remove drops a node (freed page). The ring entry goes stale and is
+// compacted away by the next clock sweep.
+func (c *cache) remove(pageNo uint32) {
+	if _, ok := c.nodes[pageNo]; ok {
+		delete(c.nodes, pageNo)
+		c.bytes -= int64(c.pageSize)
+	}
+}
+
+// rekey moves a node to a new page number (copy-on-write shadowing).
+func (c *cache) rekey(old, new uint32) {
+	n, ok := c.nodes[old]
+	if !ok {
+		return
+	}
+	delete(c.nodes, old)
+	n.pageNo = new
+	c.nodes[new] = n
+	c.ring = append(c.ring, new)
+}
+
+// dirtyCount reports the number of dirty cached nodes (for Stats).
+func (c *cache) dirtyCount() int64 {
+	var n int64
+	for _, nd := range c.nodes {
+		if nd.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// evictToBudget runs the clock hand until the cache fits its budget.
+func (c *cache) evictToBudget() error {
+	for c.bytes > c.budget && len(c.ring) > 0 {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		pageNo := c.ring[c.hand]
+		n, ok := c.nodes[pageNo]
+		if !ok || n.pageNo != pageNo {
+			// Stale entry (freed or rekeyed page): compact it out.
+			c.ring[c.hand] = c.ring[len(c.ring)-1]
+			c.ring = c.ring[:len(c.ring)-1]
+			continue
+		}
+		if n.ref {
+			n.ref = false
+			c.hand++
+			continue
+		}
+		if n.dirty {
+			if err := c.writeBack(n); err != nil {
+				return err
+			}
+			n.dirty = false
+		}
+		delete(c.nodes, pageNo)
+		c.bytes -= int64(c.pageSize)
+		c.ring[c.hand] = c.ring[len(c.ring)-1]
+		c.ring = c.ring[:len(c.ring)-1]
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,744 @@
+// Package disk is the on-disk storage driver: every table is a
+// copy-on-write B-tree of slotted pages inside a single file, fronted by
+// a clock-eviction page cache with a configurable byte budget, so data
+// size is bounded by disk rather than RAM.
+//
+// Crash safety is shadow paging + the engine's WAL. Between checkpoints
+// all modifications land on pages allocated in the current epoch; the
+// pages referenced by the durable superblock are never written in place.
+// Checkpoint is flushPages (write every dirty page, fsync) followed by
+// installSuperblock (write the alternate superblock slot, fsync): the
+// single superblock write is the atomic commit point. On reopen the
+// newest valid superblock wins and the engine redoes the WAL tail on
+// top — records already captured by the checkpoint re-apply idempotently
+// because they carry absolute values.
+//
+// See docs/STORAGE.md for the page format and a recovery walkthrough.
+package disk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"preserial/internal/ldbs/store"
+	"preserial/internal/obs"
+)
+
+func init() {
+	store.Register("disk", func(cfg store.Config) (store.Driver, error) {
+		return Open(cfg)
+	})
+}
+
+// FileName is the single backing file inside Config.Dir.
+const FileName = "STORE"
+
+const (
+	superMagic      = "GTMS"
+	defaultCacheMiB = 4
+	minCachePages   = 8
+	firstDataPage   = 2
+)
+
+// Driver implements store.Driver over a single page file. One mutex
+// covers everything: the engine above already splits readers and writers
+// on its own RWMutex, and even tree reads mutate cache state (ref bits,
+// loads), so finer-grained locking here buys nothing.
+type Driver struct {
+	mu       sync.Mutex
+	dir      string
+	f        *os.File
+	pageSize int
+	budget   int64
+
+	gen       uint64
+	pageCount uint32
+	freeList  []uint32
+	// pendingFree holds pages no longer referenced by the in-memory
+	// trees but still referenced by the durable superblock; they become
+	// reusable only after the next checkpoint commits.
+	pendingFree []uint32
+	// epoch is the set of pages allocated since the last checkpoint —
+	// exactly the pages that may be written in place without breaking
+	// crash safety.
+	epoch map[uint32]struct{}
+
+	cache *cache
+	trees map[string]*btree
+
+	met *store.Metrics
+	reg *obs.Registry
+	// Per-instance mirrors of the shared met counters, for Stats().
+	nHits, nMisses, nEvict, nRead, nWritten, nCkpt uint64
+	lastCkptSeconds                                float64
+
+	failed error // sticky I/O or corruption error; all ops fail after
+	closed bool
+}
+
+// Open opens (or creates) the store in cfg.Dir.
+func Open(cfg store.Config) (*Driver, error) {
+	pageSize := cfg.PageSize
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < minPageSize || pageSize > maxPageSize {
+		return nil, fmt.Errorf("disk: page size %d outside [%d,%d]", pageSize, minPageSize, maxPageSize)
+	}
+	budget := cfg.CacheBytes
+	if budget == 0 {
+		budget = defaultCacheMiB << 20
+	}
+	if min := int64(minCachePages * pageSize); budget < min {
+		budget = min
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(cfg.Dir, FileName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d := &Driver{
+		dir:       cfg.Dir,
+		f:         f,
+		pageSize:  pageSize,
+		budget:    budget,
+		pageCount: firstDataPage,
+		epoch:     make(map[uint32]struct{}),
+		trees:     make(map[string]*btree),
+		reg:       cfg.Obs,
+	}
+	d.cache = newCache(pageSize, budget, d.writePage, func() {
+		d.nEvict++
+		d.met.Evictions.Inc()
+	})
+	d.met = store.BindObs(cfg.Obs, d)
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		// Fresh store: install an empty superblock so a crash before the
+		// first checkpoint still reopens as a valid (empty) store for the
+		// WAL to redo into.
+		//lint:ignore gtmlint/durability fresh empty store: no pages exist yet, so there is nothing for flushPages to make durable first
+		if err := d.installSuperblock(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if err := d.load(); err != nil {
+		f.Close()
+		store.UnbindObs(cfg.Obs, d)
+		return nil, err
+	}
+	return d, nil
+}
+
+// Name implements store.Driver.
+func (d *Driver) Name() string { return "disk" }
+
+// Persistent implements store.Driver.
+func (d *Driver) Persistent() bool { return true }
+
+// fail records a sticky error: once an I/O or corruption error escapes,
+// in-memory state may disagree with the file and every later operation
+// reports the original cause instead of compounding it.
+func (d *Driver) fail(err error) error {
+	if err != nil && d.failed == nil {
+		d.failed = err
+	}
+	return err
+}
+
+// ok gates an operation on the driver being open and healthy.
+func (d *Driver) ok() error {
+	if d.closed {
+		return store.ErrClosed
+	}
+	return d.failed
+}
+
+// CreateTable implements store.Driver (idempotent). The catalog entry
+// becomes durable at the next checkpoint.
+func (d *Driver) CreateTable(name string) (store.Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ok(); err != nil {
+		return nil, err
+	}
+	if len(name) > 255 {
+		return nil, fmt.Errorf("disk: table name %q too long", name)
+	}
+	if _, ok := d.trees[name]; !ok {
+		root := d.allocNode(pageLeaf)
+		d.trees[name] = &btree{d: d, root: root.pageNo}
+	}
+	return &table{d: d, name: name}, nil
+}
+
+// Table implements store.Driver.
+func (d *Driver) Table(name string) (store.Table, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.trees[name]; !ok {
+		return nil, false
+	}
+	return &table{d: d, name: name}, true
+}
+
+// Tables implements store.Driver.
+func (d *Driver) Tables() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.trees))
+	for n := range d.trees {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply implements store.Driver: validate-first, then all writes land
+// under one lock acquisition so readers observe the batch atomically.
+func (d *Driver) Apply(batch []store.Write) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ok(); err != nil {
+		return err
+	}
+	if err := store.ValidateBatch(batch, func(name string) bool {
+		_, ok := d.trees[name]
+		return ok
+	}); err != nil {
+		return err
+	}
+	for _, w := range batch {
+		t := d.trees[w.Table]
+		if w.Row == nil {
+			if _, err := t.delete(w.Key); err != nil {
+				return d.fail(err)
+			}
+		} else {
+			if _, err := t.put(w.Key, store.EncodeRow(nil, w.Row)); err != nil {
+				return d.fail(err)
+			}
+		}
+	}
+	return d.fail(d.cache.evictToBudget())
+}
+
+// Checkpoint implements store.Driver: flush every dirty page and fsync,
+// then atomically advance the superblock, then recycle the pages the
+// previous superblock pinned.
+func (d *Driver) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.ok(); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := d.flushPages(); err != nil {
+		return d.fail(err)
+	}
+	if err := d.installSuperblock(); err != nil {
+		return d.fail(err)
+	}
+	// The old superblock's page set is no longer referenced by any
+	// durable state: pendingFree becomes reusable and a fresh epoch
+	// begins.
+	d.freeList = append(d.freeList, d.pendingFree...)
+	d.pendingFree = nil
+	d.epoch = make(map[uint32]struct{})
+	dur := time.Since(start)
+	d.lastCkptSeconds = dur.Seconds()
+	d.nCkpt++
+	d.met.Checkpoints.Inc()
+	d.met.CheckpointSeconds.Observe(dur)
+	return nil
+}
+
+// flushPages writes every dirty cached page in place and fsyncs the
+// file. Dirty pages are always epoch-allocated (copy-on-write), so the
+// writes are invisible to recovery until installSuperblock commits them.
+// This is the durability barrier that must precede installSuperblock;
+// gtmlint/durability enforces the order.
+func (d *Driver) flushPages() error {
+	for _, n := range d.cache.nodes {
+		if !n.dirty {
+			continue
+		}
+		if err := d.writePage(n); err != nil {
+			return err
+		}
+		n.dirty = false
+	}
+	return d.f.Sync()
+}
+
+// installSuperblock writes the next-generation superblock into the
+// alternate slot and fsyncs: write+fsync at a fixed offset, never
+// touching the currently live slot, so a torn write leaves the previous
+// generation intact. The fsync returning is the checkpoint commit point.
+func (d *Driver) installSuperblock() error {
+	gen := d.gen + 1
+	buf, err := d.encodeSuperblock(gen)
+	if err != nil {
+		return err
+	}
+	slot := int64(gen%2) * int64(d.pageSize)
+	if _, err := d.f.WriteAt(buf, slot); err != nil {
+		return err
+	}
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	d.gen = gen
+	return nil
+}
+
+// Superblock layout (one page per slot, slots at pages 0 and 1,
+// generation g lives in slot g%2):
+//
+//	[0:4)   crc32 of [4:pageSize)
+//	[4:8)   magic "GTMS"
+//	[8:12)  pageSize
+//	[12:20) generation
+//	[20:24) pageCount
+//	[24:28) table count
+//	then per table: [1 namelen][name][4 root page][8 row count]
+func (d *Driver) encodeSuperblock(gen uint64) ([]byte, error) {
+	buf := make([]byte, d.pageSize)
+	copy(buf[4:8], superMagic)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(d.pageSize))
+	binary.BigEndian.PutUint64(buf[12:20], gen)
+	binary.BigEndian.PutUint32(buf[20:24], d.pageCount)
+	binary.BigEndian.PutUint32(buf[24:28], uint32(len(d.trees)))
+	names := make([]string, 0, len(d.trees))
+	for n := range d.trees {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	at := 28
+	for _, name := range names {
+		t := d.trees[name]
+		need := 1 + len(name) + 12
+		if at+need > len(buf) {
+			return nil, fmt.Errorf("disk: catalog of %d tables exceeds one %d-byte page", len(d.trees), d.pageSize)
+		}
+		buf[at] = byte(len(name))
+		copy(buf[at+1:], name)
+		binary.BigEndian.PutUint32(buf[at+1+len(name):], t.root)
+		binary.BigEndian.PutUint64(buf[at+1+len(name)+4:], uint64(t.rows))
+		at += need
+	}
+	binary.BigEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(buf[4:]))
+	return buf, nil
+}
+
+// decodeSuperblock parses one slot, returning false when the slot does
+// not hold a valid superblock (torn write, fresh file).
+func (d *Driver) decodeSuperblock(buf []byte) (gen uint64, pageCount uint32, catalog map[string]*btree, ok bool) {
+	if len(buf) < 28 || string(buf[4:8]) != superMagic {
+		return 0, 0, nil, false
+	}
+	if crc32.ChecksumIEEE(buf[4:]) != binary.BigEndian.Uint32(buf[0:4]) {
+		return 0, 0, nil, false
+	}
+	if int(binary.BigEndian.Uint32(buf[8:12])) != d.pageSize {
+		return 0, 0, nil, false
+	}
+	gen = binary.BigEndian.Uint64(buf[12:20])
+	pageCount = binary.BigEndian.Uint32(buf[20:24])
+	nTables := binary.BigEndian.Uint32(buf[24:28])
+	catalog = make(map[string]*btree, nTables)
+	at := 28
+	for i := uint32(0); i < nTables; i++ {
+		if at+1 > len(buf) {
+			return 0, 0, nil, false
+		}
+		nl := int(buf[at])
+		if at+1+nl+12 > len(buf) {
+			return 0, 0, nil, false
+		}
+		name := string(buf[at+1 : at+1+nl])
+		root := binary.BigEndian.Uint32(buf[at+1+nl:])
+		rows := int64(binary.BigEndian.Uint64(buf[at+1+nl+4:]))
+		catalog[name] = &btree{d: d, root: root, rows: rows}
+		at += 1 + nl + 12
+	}
+	return gen, pageCount, catalog, true
+}
+
+// load reads both superblock slots, adopts the newest valid generation,
+// and rebuilds the free list by walking every tree (verifying checksums
+// on the way — torn or bit-flipped durable pages surface here as
+// store.ErrCorrupt).
+func (d *Driver) load() error {
+	var best struct {
+		gen       uint64
+		pageCount uint32
+		catalog   map[string]*btree
+		found     bool
+	}
+	for slot := 0; slot < 2; slot++ {
+		buf := make([]byte, d.pageSize)
+		if _, err := d.f.ReadAt(buf, int64(slot)*int64(d.pageSize)); err != nil {
+			continue // short file: slot never written
+		}
+		gen, pageCount, catalog, ok := d.decodeSuperblock(buf)
+		if ok && (!best.found || gen > best.gen) {
+			best.gen, best.pageCount, best.catalog, best.found = gen, pageCount, catalog, true
+		}
+	}
+	if !best.found {
+		return fmt.Errorf("%w: no valid superblock in %s", store.ErrCorrupt, filepath.Join(d.dir, FileName))
+	}
+	d.gen = best.gen
+	d.pageCount = best.pageCount
+	d.trees = best.catalog
+	if d.pageCount < firstDataPage {
+		d.pageCount = firstDataPage
+	}
+	reachable, err := d.reachablePages()
+	if err != nil {
+		return err
+	}
+	for no := uint32(firstDataPage); no < d.pageCount; no++ {
+		if !reachable[no] {
+			d.freeList = append(d.freeList, no)
+		}
+	}
+	return nil
+}
+
+// reachablePages returns the set of pages referenced by the current
+// trees (plus the superblock slots), checksum-verifying every page read.
+func (d *Driver) reachablePages() (map[uint32]bool, error) {
+	set := map[uint32]bool{0: true, 1: true}
+	names := make([]string, 0, len(d.trees))
+	for n := range d.trees {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := d.trees[name].reach(d.trees[name].root, set); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// Stats implements store.Driver.
+func (d *Driver) Stats() store.Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := store.Stats{
+		Driver:                "disk",
+		Persistent:            true,
+		Tables:                len(d.trees),
+		CacheBudget:           d.budget,
+		CachedBytes:           d.cache.bytes,
+		DirtyPages:            d.cache.dirtyCount(),
+		PageSize:              d.pageSize,
+		FilePages:             int64(d.pageCount),
+		CacheHits:             d.nHits,
+		CacheMisses:           d.nMisses,
+		Evictions:             d.nEvict,
+		PagesRead:             d.nRead,
+		PagesWritten:          d.nWritten,
+		Checkpoints:           d.nCkpt,
+		LastCheckpointSeconds: d.lastCkptSeconds,
+	}
+	for _, t := range d.trees {
+		s.Rows += t.rows
+	}
+	return s
+}
+
+// Close implements store.Driver. Unflushed epoch state is discarded by
+// design: the engine's WAL redoes it on the next open. The obs unbind
+// happens outside d.mu so the metrics registry's lock never nests inside
+// the driver's.
+func (d *Driver) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	err := d.f.Close()
+	d.mu.Unlock()
+	store.UnbindObs(d.reg, d)
+	return err
+}
+
+// --- pager ---------------------------------------------------------------
+
+// writePage encodes a node and writes it at its page offset (no fsync;
+// flushPages and checkpoint ordering provide the barrier).
+func (d *Driver) writePage(n *node) error {
+	buf, err := encodePage(n, d.pageSize)
+	if err != nil {
+		return err
+	}
+	if _, err := d.f.WriteAt(buf, int64(n.pageNo)*int64(d.pageSize)); err != nil {
+		return err
+	}
+	d.nWritten++
+	d.met.PagesWritten.Inc()
+	return nil
+}
+
+// getNode returns the decoded node for a page, via the cache.
+func (d *Driver) getNode(no uint32) (*node, error) {
+	if n, ok := d.cache.get(no); ok {
+		d.nHits++
+		d.met.CacheHits.Inc()
+		return n, nil
+	}
+	d.nMisses++
+	d.met.CacheMisses.Inc()
+	buf := make([]byte, d.pageSize)
+	if _, err := d.f.ReadAt(buf, int64(no)*int64(d.pageSize)); err != nil {
+		return nil, fmt.Errorf("%w: page %d unreadable: %v", store.ErrCorrupt, no, err)
+	}
+	d.nRead++
+	d.met.PagesRead.Inc()
+	n, err := decodePage(no, buf)
+	if err != nil {
+		return nil, err
+	}
+	d.cache.put(n)
+	return n, nil
+}
+
+// allocPageNo hands out a page number: recycled if possible, else grown.
+func (d *Driver) allocPageNo() uint32 {
+	if n := len(d.freeList); n > 0 {
+		no := d.freeList[n-1]
+		d.freeList = d.freeList[:n-1]
+		d.epoch[no] = struct{}{}
+		return no
+	}
+	no := d.pageCount
+	d.pageCount++
+	d.epoch[no] = struct{}{}
+	return no
+}
+
+// allocNode creates a fresh dirty node of the given type in the cache.
+func (d *Driver) allocNode(typ byte) *node {
+	n := &node{pageNo: d.allocPageNo(), typ: typ, dirty: true}
+	d.cache.put(n)
+	return n
+}
+
+// shadow makes n writable under copy-on-write: a node on an
+// epoch-allocated page is modified in place; anything else moves to a
+// fresh page number first, surrendering the old page to pendingFree.
+func (d *Driver) shadow(n *node) *node {
+	if _, inEpoch := d.epoch[n.pageNo]; !inEpoch {
+		old := n.pageNo
+		d.pendingFree = append(d.pendingFree, old)
+		d.cache.rekey(old, d.allocPageNo())
+	}
+	n.dirty = true
+	return n
+}
+
+// freePage returns a page to circulation: epoch pages immediately,
+// durable pages after the next checkpoint.
+func (d *Driver) freePage(no uint32) {
+	d.cache.remove(no)
+	if _, inEpoch := d.epoch[no]; inEpoch {
+		delete(d.epoch, no)
+		d.freeList = append(d.freeList, no)
+		return
+	}
+	d.pendingFree = append(d.pendingFree, no)
+}
+
+// storeValue decides a value's representation: inline bytes, or an
+// overflow chain when it would crowd the leaf page.
+func (d *Driver) storeValue(val []byte) (inline []byte, ovfHead, ovfLen uint32, err error) {
+	if len(val) <= inlineMax(d.pageSize) {
+		return append([]byte(nil), val...), 0, 0, nil
+	}
+	chunk := d.pageSize - pageHdrSize
+	var head, prev *node
+	for at := 0; at < len(val); at += chunk {
+		end := at + chunk
+		if end > len(val) {
+			end = len(val)
+		}
+		n := d.allocNode(pageOverflow)
+		n.data = append([]byte(nil), val[at:end]...)
+		if prev != nil {
+			prev.next = n.pageNo
+		} else {
+			head = n
+		}
+		prev = n
+	}
+	return nil, head.pageNo, uint32(len(val)), nil
+}
+
+// freeChain releases an overflow chain.
+func (d *Driver) freeChain(head uint32) error {
+	for no := head; no != 0; {
+		n, err := d.getNode(no)
+		if err != nil {
+			return err
+		}
+		next := n.next
+		d.freePage(no)
+		no = next
+	}
+	return nil
+}
+
+// cellValue materializes leaf cell i: inline bytes as-is, overflow
+// chains reassembled (and length-checked) from their pages.
+func (d *Driver) cellValue(n *node, i int) ([]byte, error) {
+	if n.ovf[i] == 0 {
+		return n.vals[i], nil
+	}
+	out := make([]byte, 0, n.ovfLen[i])
+	for no := n.ovf[i]; no != 0; {
+		o, err := d.getNode(no)
+		if err != nil {
+			return nil, err
+		}
+		if o.typ != pageOverflow {
+			return nil, fmt.Errorf("%w: page %d in overflow chain is type %d", store.ErrCorrupt, no, o.typ)
+		}
+		out = append(out, o.data...)
+		no = o.next
+	}
+	if uint32(len(out)) != n.ovfLen[i] {
+		return nil, fmt.Errorf("%w: overflow chain for %q reassembled %d bytes, want %d", store.ErrCorrupt, n.keys[i], len(out), n.ovfLen[i])
+	}
+	return out, nil
+}
+
+// --- table handle --------------------------------------------------------
+
+// table is the store.Table view of one B-tree.
+type table struct {
+	d    *Driver
+	name string
+}
+
+// tree resolves the table's btree; tables never disappear, but the
+// handle may outlive a failed driver.
+func (t *table) tree() (*btree, error) {
+	if err := t.d.ok(); err != nil {
+		return nil, err
+	}
+	tr, ok := t.d.trees[t.name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", store.ErrNoTable, t.name)
+	}
+	return tr, nil
+}
+
+// Get implements store.Table.
+func (t *table) Get(key string) (store.Row, bool, error) {
+	t.d.mu.Lock()
+	defer t.d.mu.Unlock()
+	tr, err := t.tree()
+	if err != nil {
+		return nil, false, err
+	}
+	val, ok, err := tr.get(key)
+	if err != nil {
+		return nil, false, t.d.fail(err)
+	}
+	if !ok {
+		return nil, false, t.d.fail(t.d.cache.evictToBudget())
+	}
+	row, err := store.DecodeRow(val)
+	if err != nil {
+		return nil, false, t.d.fail(err)
+	}
+	return row, true, t.d.fail(t.d.cache.evictToBudget())
+}
+
+// Put implements store.Table.
+func (t *table) Put(key string, row store.Row) error {
+	if len(key) > store.MaxKeyLen {
+		return store.ErrKeyTooLarge
+	}
+	t.d.mu.Lock()
+	defer t.d.mu.Unlock()
+	tr, err := t.tree()
+	if err != nil {
+		return err
+	}
+	if _, err := tr.put(key, store.EncodeRow(nil, row)); err != nil {
+		return t.d.fail(err)
+	}
+	return t.d.fail(t.d.cache.evictToBudget())
+}
+
+// Delete implements store.Table.
+func (t *table) Delete(key string) (bool, error) {
+	t.d.mu.Lock()
+	defer t.d.mu.Unlock()
+	tr, err := t.tree()
+	if err != nil {
+		return false, err
+	}
+	ok, err := tr.delete(key)
+	if err != nil {
+		return false, t.d.fail(err)
+	}
+	return ok, t.d.fail(t.d.cache.evictToBudget())
+}
+
+// Scan implements store.Table. The whole scan runs under the driver
+// mutex (visit must not re-enter the driver), one leaf at a time with
+// the cache shrunk back to budget between leaves.
+func (t *table) Scan(visit func(key string, row store.Row) bool) error {
+	t.d.mu.Lock()
+	defer t.d.mu.Unlock()
+	tr, err := t.tree()
+	if err != nil {
+		return err
+	}
+	var decodeErr error
+	err = tr.scan(func(key string, val []byte) bool {
+		row, err := store.DecodeRow(val)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		return visit(key, row)
+	})
+	if err == nil {
+		err = decodeErr
+	}
+	if err != nil {
+		return t.d.fail(err)
+	}
+	return t.d.fail(t.d.cache.evictToBudget())
+}
+
+// Len implements store.Table.
+func (t *table) Len() int {
+	t.d.mu.Lock()
+	defer t.d.mu.Unlock()
+	tr, ok := t.d.trees[t.name]
+	if !ok {
+		return 0
+	}
+	return int(tr.rows)
+}

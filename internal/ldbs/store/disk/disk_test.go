@@ -1,0 +1,308 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"preserial/internal/ldbs/store"
+	"preserial/internal/ldbs/store/tck"
+	"preserial/internal/sem"
+)
+
+func openSmallCache(t *testing.T, dir string) *Driver {
+	t.Helper()
+	d, err := Open(store.Config{Dir: dir, PageSize: minPageSize, CacheBytes: minCachePages * minPageSize})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return d
+}
+
+// TestTCK runs the shared conformance suite with a deliberately tiny
+// cache (the floor: 8 pages of 2 KiB) so every suite step doubles as an
+// eviction/reload test.
+func TestTCK(t *testing.T) {
+	tck.Run(t, tck.Harness{
+		Open:   func(t *testing.T, dir string) store.Driver { return openSmallCache(t, dir) },
+		Reopen: func(t *testing.T, dir string) store.Driver { return openSmallCache(t, dir) },
+	})
+}
+
+// TestTCKDefaultConfig runs the suite once more at default page and
+// cache sizes.
+func TestTCKDefaultConfig(t *testing.T) {
+	open := func(t *testing.T, dir string) store.Driver {
+		d, err := Open(store.Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		return d
+	}
+	tck.Run(t, tck.Harness{Open: open, Reopen: open})
+}
+
+func intRow(i int) store.Row {
+	return store.Row{"i": sem.Int(int64(i)), "pad": sem.Str(strings.Repeat("p", 64))}
+}
+
+// TestWorkingSetBeyondCache holds the acceptance-criteria invariant at
+// driver level: a working set several times the page-cache byte budget
+// stays fully readable, the cache stays at its budget, and evictions
+// actually happen.
+func TestWorkingSetBeyondCache(t *testing.T) {
+	d := openSmallCache(t, t.TempDir())
+	defer d.Close()
+	tb, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 2000 // ~200 KiB of rows against a 16 KiB cache
+	for i := 0; i < rows; i++ {
+		if err := tb.Put(fmt.Sprintf("k%06d", i), intRow(i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	s := d.Stats()
+	if s.CachedBytes > s.CacheBudget {
+		t.Fatalf("cache %d bytes over budget %d", s.CachedBytes, s.CacheBudget)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("no evictions despite working set ≫ budget")
+	}
+	if int64(rows)*int64(minPageSize)/8 < s.CacheBudget*4 {
+		t.Fatalf("test bug: working set not ≥4× budget")
+	}
+	for i := 0; i < rows; i += 97 {
+		k := fmt.Sprintf("k%06d", i)
+		got, ok, err := tb.Get(k)
+		if err != nil || !ok || got["i"].Int64() != int64(i) {
+			t.Fatalf("Get(%s) = %v ok=%v err=%v", k, got, ok, err)
+		}
+	}
+	n := 0
+	if err := tb.Scan(func(string, store.Row) bool { n++; return true }); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if n != rows {
+		t.Fatalf("scan saw %d rows, want %d", n, rows)
+	}
+	if s := d.Stats(); s.CachedBytes > s.CacheBudget {
+		t.Fatalf("cache %d bytes over budget %d after scan", s.CachedBytes, s.CacheBudget)
+	}
+}
+
+// TestFreeListRecycling checks that checkpoints recycle dead pages: heavy
+// overwrite churn across checkpoints must not grow the file without
+// bound.
+func TestFreeListRecycling(t *testing.T) {
+	d := openSmallCache(t, t.TempDir())
+	defer d.Close()
+	tb, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := tb.Put(fmt.Sprintf("k%03d", i), intRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	base := d.Stats().FilePages
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 200; i++ {
+			if err := tb.Put(fmt.Sprintf("k%03d", i), intRow(i+round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := d.Stats().FilePages
+	// Shadow paging needs roughly one extra tree's worth of pages in
+	// flight; 20 rounds of full overwrite must reuse pages, not grow
+	// the file 20×.
+	if grown > base*3 {
+		t.Fatalf("file grew %d → %d pages across churn; free list not recycling", base, grown)
+	}
+}
+
+// TestChecksumDetection flips bits in a durable (checkpoint-referenced)
+// page and requires reopen — or the first read that touches it — to fail
+// with store.ErrCorrupt rather than serve garbage.
+func TestChecksumDetection(t *testing.T) {
+	dir := t.TempDir()
+	d := openSmallCache(t, dir)
+	tb, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tb.Put(fmt.Sprintf("k%03d", i), intRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	reach, err := d.reachablePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one durable data page (not a superblock slot).
+	var victim uint32
+	for no := range reach {
+		if no >= firstDataPage {
+			victim = no
+			break
+		}
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	off := int64(victim)*int64(minPageSize) + 100
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xFF
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = Open(store.Config{Dir: dir, PageSize: minPageSize, CacheBytes: minCachePages * minPageSize})
+	if err == nil {
+		t.Fatal("Open succeeded over a corrupted durable page")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corruption error does not name corruption: %v", err)
+	}
+}
+
+// TestTornSuperblockFallsBack truncates/garbles the newest superblock
+// slot and requires reopen to fall back to the previous generation.
+func TestTornSuperblockFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d := openSmallCache(t, dir)
+	tb, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Put("gen2", intRow(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil { // gen 2
+		t.Fatal(err)
+	}
+	if err := tb.Put("gen3", intRow(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil { // gen 3
+		t.Fatal(err)
+	}
+	gen := d.gen
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the slot holding the newest generation mid-write.
+	slot := int64(gen%2) * int64(minPageSize)
+	f, err := os.OpenFile(filepath.Join(dir, FileName), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, 64)
+	for i := range torn {
+		torn[i] = 0xAA
+	}
+	if _, err := f.WriteAt(torn, slot+128); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	d2, err := Open(store.Config{Dir: dir, PageSize: minPageSize, CacheBytes: minCachePages * minPageSize})
+	if err != nil {
+		t.Fatalf("Open after torn superblock: %v", err)
+	}
+	defer d2.Close()
+	if d2.gen != gen-1 {
+		t.Fatalf("recovered generation %d, want fallback to %d", d2.gen, gen-1)
+	}
+	tb2, ok := d2.Table("t")
+	if !ok {
+		t.Fatal("table missing after superblock fallback")
+	}
+	if _, ok, _ := tb2.Get("gen2"); !ok {
+		t.Fatal("gen-2 row lost after fallback")
+	}
+}
+
+// TestCrashDiscardsEpochPages simulates a crash (close without
+// checkpoint) after post-checkpoint writes: reopen must see exactly the
+// checkpointed state, with the epoch pages' torn half-written content
+// invisible.
+func TestCrashDiscardsEpochPages(t *testing.T) {
+	dir := t.TempDir()
+	d := openSmallCache(t, dir)
+	tb, err := d.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := tb.Put(fmt.Sprintf("k%03d", i), intRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint churn: overwrites, deletes, inserts — enough to
+	// force dirty evictions (in-place writes of epoch pages).
+	for i := 0; i < 300; i++ {
+		if err := tb.Put(fmt.Sprintf("k%03d", i), intRow(i+1000)); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if _, err := tb.Delete(fmt.Sprintf("k%03d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	d.f.Close() // crash: no checkpoint, no graceful close
+	d2 := openSmallCache(t, dir)
+	defer d2.Close()
+	tb2, ok := d2.Table("t")
+	if !ok {
+		t.Fatal("table missing after crash reopen")
+	}
+	if tb2.Len() != 300 {
+		t.Fatalf("Len after crash = %d, want the checkpointed 300", tb2.Len())
+	}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		got, ok, err := tb2.Get(k)
+		if err != nil || !ok || got["i"].Int64() != int64(i) {
+			t.Fatalf("Get(%s) after crash = %v ok=%v err=%v; want checkpointed row", k, got, ok, err)
+		}
+	}
+}
+
+// TestRegistered exercises the factory path used by Persistence.
+func TestRegistered(t *testing.T) {
+	d, err := store.Open("disk", store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("store.Open(disk): %v", err)
+	}
+	defer d.Close()
+	if d.Name() != "disk" || !d.Persistent() {
+		t.Fatalf("registered disk driver reports Name=%q Persistent=%v", d.Name(), d.Persistent())
+	}
+}

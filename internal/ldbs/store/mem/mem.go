@@ -1,0 +1,198 @@
+// Package mem is the in-memory storage driver: the seed engine's
+// map[string]map[string]Row tables moved behind the store contract.
+// It has no durability of its own — the engine's checkpoint file + WAL
+// carry the data across restarts — so Persistent() is false and
+// Checkpoint is a no-op.
+package mem
+
+import (
+	"sort"
+	"sync"
+
+	"preserial/internal/ldbs/store"
+	"preserial/internal/obs"
+)
+
+func init() {
+	store.Register("mem", func(cfg store.Config) (store.Driver, error) {
+		return New(cfg), nil
+	})
+}
+
+// Driver is the in-memory store. The zero value is not usable; call New.
+type Driver struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+	reg    *obs.Registry
+	closed bool
+}
+
+// New builds a mem driver. cfg.Dir/PageSize/CacheBytes are ignored.
+func New(cfg store.Config) *Driver {
+	d := &Driver{tables: make(map[string]*table), reg: cfg.Obs}
+	store.BindObs(cfg.Obs, d)
+	return d
+}
+
+// Name implements store.Driver.
+func (d *Driver) Name() string { return "mem" }
+
+// Persistent implements store.Driver.
+func (d *Driver) Persistent() bool { return false }
+
+// CreateTable implements store.Driver (idempotent).
+func (d *Driver) CreateTable(name string) (store.Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, store.ErrClosed
+	}
+	t, ok := d.tables[name]
+	if !ok {
+		t = &table{d: d, rows: make(map[string]store.Row)}
+		d.tables[name] = t
+	}
+	return t, nil
+}
+
+// Table implements store.Driver.
+func (d *Driver) Table(name string) (store.Table, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return t, true
+}
+
+// Tables implements store.Driver.
+func (d *Driver) Tables() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply implements store.Driver: validate-first, then all writes land
+// under one lock acquisition so readers see the batch atomically.
+func (d *Driver) Apply(batch []store.Write) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return store.ErrClosed
+	}
+	if err := store.ValidateBatch(batch, func(name string) bool {
+		_, ok := d.tables[name]
+		return ok
+	}); err != nil {
+		return err
+	}
+	for _, w := range batch {
+		rows := d.tables[w.Table].rows
+		if w.Row == nil {
+			delete(rows, w.Key)
+		} else {
+			rows[w.Key] = w.Row
+		}
+	}
+	return nil
+}
+
+// Checkpoint implements store.Driver (no-op: nothing to make durable).
+func (d *Driver) Checkpoint() error { return nil }
+
+// Stats implements store.Driver.
+func (d *Driver) Stats() store.Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s := store.Stats{Driver: "mem", Tables: len(d.tables)}
+	for _, t := range d.tables {
+		s.Rows += int64(len(t.rows))
+	}
+	return s
+}
+
+// Close implements store.Driver.
+func (d *Driver) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	store.UnbindObs(d.reg, d)
+	return nil
+}
+
+// table is one named map of rows.
+type table struct {
+	d    *Driver
+	rows map[string]store.Row
+}
+
+// Get implements store.Table.
+func (t *table) Get(key string) (store.Row, bool, error) {
+	t.d.mu.RLock()
+	defer t.d.mu.RUnlock()
+	r, ok := t.rows[key]
+	return r, ok, nil
+}
+
+// Put implements store.Table.
+func (t *table) Put(key string, row store.Row) error {
+	if len(key) > store.MaxKeyLen {
+		return store.ErrKeyTooLarge
+	}
+	t.d.mu.Lock()
+	defer t.d.mu.Unlock()
+	if t.d.closed {
+		return store.ErrClosed
+	}
+	t.rows[key] = row
+	return nil
+}
+
+// Delete implements store.Table.
+func (t *table) Delete(key string) (bool, error) {
+	t.d.mu.Lock()
+	defer t.d.mu.Unlock()
+	if t.d.closed {
+		return false, store.ErrClosed
+	}
+	_, ok := t.rows[key]
+	delete(t.rows, key)
+	return ok, nil
+}
+
+// Scan implements store.Table: keys are snapshotted and sorted under the
+// read lock, then rows are visited outside it so visit can take as long
+// as it likes without blocking writers (rows themselves are immutable by
+// contract). A row deleted between snapshot and visit is skipped.
+func (t *table) Scan(visit func(key string, row store.Row) bool) error {
+	t.d.mu.RLock()
+	type kv struct {
+		k string
+		r store.Row
+	}
+	pairs := make([]kv, 0, len(t.rows))
+	for k, r := range t.rows {
+		pairs = append(pairs, kv{k, r})
+	}
+	t.d.mu.RUnlock()
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	for _, p := range pairs {
+		if !visit(p.k, p.r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len implements store.Table.
+func (t *table) Len() int {
+	t.d.mu.RLock()
+	defer t.d.mu.RUnlock()
+	return len(t.rows)
+}

@@ -1,0 +1,28 @@
+package mem
+
+import (
+	"testing"
+
+	"preserial/internal/ldbs/store"
+	"preserial/internal/ldbs/store/tck"
+)
+
+func TestTCK(t *testing.T) {
+	tck.Run(t, tck.Harness{
+		Open: func(t *testing.T, dir string) store.Driver {
+			return New(store.Config{Dir: dir})
+		},
+		// No Reopen: mem is not persistent.
+	})
+}
+
+func TestRegistered(t *testing.T) {
+	d, err := store.Open("mem", store.Config{})
+	if err != nil {
+		t.Fatalf("store.Open(mem): %v", err)
+	}
+	defer d.Close()
+	if d.Name() != "mem" || d.Persistent() {
+		t.Fatalf("registered mem driver reports Name=%q Persistent=%v", d.Name(), d.Persistent())
+	}
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"preserial/internal/sem"
+)
+
+// Row codec: the deterministic binary form a persistent driver stores in
+// its pages. It mirrors the WAL's value encoding (internal/ldbs/wal.go)
+// — same kind bytes, same big-endian widths — so a row round-trips
+// identically whether it travelled through the log or through a page,
+// which is what the TCK's crash-recovery equivalence check leans on.
+// Columns are written in sorted order so equal rows have equal bytes.
+
+// EncodeRow appends the binary encoding of row to buf and returns the
+// extended slice.
+func EncodeRow(buf []byte, row Row) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(row)))
+	buf = append(buf, n[:]...)
+	cols := make([]string, 0, len(row))
+	for c := range row {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		buf = appendString(buf, c)
+		buf = appendValue(buf, row[c])
+	}
+	return buf
+}
+
+// DecodeRow parses a payload produced by EncodeRow.
+func DecodeRow(b []byte) (Row, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: short row header", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if int64(n) > int64(len(b)) {
+		// Each column needs at least one byte; a count beyond the payload
+		// is corruption (and an allocation bomb as a map size hint).
+		return nil, fmt.Errorf("%w: row column count %d exceeds payload", ErrCorrupt, n)
+	}
+	row := make(Row, n)
+	var err error
+	for i := uint32(0); i < n; i++ {
+		var col string
+		if col, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		var v sem.Value
+		if v, b, err = takeValue(b); err != nil {
+			return nil, err
+		}
+		row[col] = v
+	}
+	return row, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+	return append(append(buf, l[:]...), s...)
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, fmt.Errorf("%w: short string header", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return "", nil, fmt.Errorf("%w: short string body", ErrCorrupt)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func appendValue(buf []byte, v sem.Value) []byte {
+	buf = append(buf, byte(v.Kind()))
+	switch v.Kind() {
+	case sem.KindNull:
+	case sem.KindInt64:
+		var x [8]byte
+		binary.BigEndian.PutUint64(x[:], uint64(v.Int64()))
+		buf = append(buf, x[:]...)
+	case sem.KindFloat64:
+		var x [8]byte
+		binary.BigEndian.PutUint64(x[:], math.Float64bits(v.Float64()))
+		buf = append(buf, x[:]...)
+	case sem.KindString:
+		buf = appendString(buf, v.Text())
+	}
+	return buf
+}
+
+func takeValue(b []byte) (sem.Value, []byte, error) {
+	if len(b) < 1 {
+		return sem.Value{}, nil, fmt.Errorf("%w: missing value kind", ErrCorrupt)
+	}
+	kind := sem.Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case sem.KindNull:
+		return sem.Null(), b, nil
+	case sem.KindInt64:
+		if len(b) < 8 {
+			return sem.Value{}, nil, fmt.Errorf("%w: short int64", ErrCorrupt)
+		}
+		return sem.Int(int64(binary.BigEndian.Uint64(b))), b[8:], nil
+	case sem.KindFloat64:
+		if len(b) < 8 {
+			return sem.Value{}, nil, fmt.Errorf("%w: short float64", ErrCorrupt)
+		}
+		return sem.Float(math.Float64frombits(binary.BigEndian.Uint64(b))), b[8:], nil
+	case sem.KindString:
+		s, rest, err := takeString(b)
+		if err != nil {
+			return sem.Value{}, nil, err
+		}
+		return sem.Str(s), rest, nil
+	default:
+		return sem.Value{}, nil, fmt.Errorf("%w: unknown value kind %d", ErrCorrupt, kind)
+	}
+}

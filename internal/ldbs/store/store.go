@@ -1,0 +1,209 @@
+// Package store defines the LDBS storage-driver contract: the interface
+// between the relational engine (transactions, 2PL, WAL, snapshots —
+// internal/ldbs) and the structure that holds committed rows. The engine
+// owns concurrency control and durability ordering; a driver owns layout.
+//
+// Two drivers ship with the repo:
+//
+//   - store/mem: the seed engine's table maps behind the contract. All
+//     data lives in Go maps; durability comes entirely from the engine's
+//     checkpoint file + WAL.
+//   - store/disk: fixed-size slotted pages in a single file, one
+//     copy-on-write B-tree per table, a clock-eviction page cache with a
+//     byte budget, page checksums, and a double-slotted superblock. Data
+//     size may exceed RAM; crash safety is checkpoint + WAL redo.
+//
+// Contract rules every driver must honor (and the conformance TCK in
+// store/tck enforces):
+//
+//   - Keys are byte-ordered strings of at most MaxKeyLen bytes; Scan
+//     visits rows in ascending key order.
+//   - Rows cross the boundary by reference: a caller must treat rows
+//     returned by Get/Scan as immutable, and must not modify a row after
+//     passing it to Put/Apply.
+//   - Apply validates the whole batch before touching the store: a batch
+//     that returns an error has had no effect.
+//   - Scan's visit callback must not call back into the same driver (a
+//     driver may hold internal locks across the traversal).
+//   - Drivers are safe for concurrent use by multiple goroutines.
+//
+// Durability split: the engine's WAL is the redo log for every driver.
+// A driver's Checkpoint() is its durability barrier — after it returns,
+// all previously applied batches must survive a crash without the WAL.
+// For mem that is a no-op (the engine writes its own checkpoint file);
+// for disk it is flush-dirty-pages + fsync + superblock advance.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"preserial/internal/obs"
+	"preserial/internal/sem"
+)
+
+// Row is one stored record: column name → value. It is the unnamed
+// underlying type of ldbs.Row, so the engine converts for free.
+type Row = map[string]sem.Value
+
+// MaxKeyLen bounds primary keys for every driver, so key acceptance is a
+// property of the contract rather than of one driver's page geometry
+// (the disk driver needs several cells per page for B-tree splits to
+// make progress).
+const MaxKeyLen = 255
+
+// Errors shared by drivers.
+var (
+	ErrNoTable     = errors.New("store: no such table")
+	ErrKeyTooLarge = errors.New("store: key exceeds MaxKeyLen")
+	ErrCorrupt     = errors.New("store: corrupt page")
+	ErrClosed      = errors.New("store: driver closed")
+)
+
+// Write is one operation of an atomic batch: a whole-row put, or a delete
+// when Row is nil.
+type Write struct {
+	Table string
+	Key   string
+	Row   Row // nil ⇒ delete
+}
+
+// Table is one named key→row structure inside a driver.
+type Table interface {
+	// Get returns the row stored under key. The returned row must be
+	// treated as immutable by the caller.
+	Get(key string) (Row, bool, error)
+	// Put stores a row under key, replacing any existing row. The driver
+	// may retain the row; the caller must not modify it afterwards.
+	Put(key string, row Row) error
+	// Delete removes the row under key, reporting whether it existed.
+	Delete(key string) (bool, error)
+	// Scan visits every row in ascending key order until visit returns
+	// false. visit must not call back into the driver.
+	Scan(visit func(key string, row Row) bool) error
+	// Len returns the number of rows.
+	Len() int
+}
+
+// Stats is a point-in-time snapshot of a driver's internals, the payload
+// behind the store_* metric family and `gtmcli store`.
+type Stats struct {
+	Driver       string // registered driver name
+	Persistent   bool
+	Tables       int
+	Rows         int64 // total rows across tables
+	CacheBudget  int64 // page-cache byte budget (0 for mem)
+	CachedBytes  int64 // bytes currently cached
+	DirtyPages   int64
+	PageSize     int
+	FilePages    int64 // allocated pages in the backing file
+	CacheHits    uint64
+	CacheMisses  uint64
+	Evictions    uint64
+	PagesRead    uint64
+	PagesWritten uint64
+	Checkpoints  uint64
+	// LastCheckpointSeconds is the wall-clock duration of the most recent
+	// Checkpoint call (0 until the first one).
+	LastCheckpointSeconds float64
+}
+
+// Driver is a storage engine instance. Implementations must be safe for
+// concurrent use.
+type Driver interface {
+	// Name is the registered driver name ("mem", "disk").
+	Name() string
+	// Persistent reports whether Checkpoint makes applied batches durable
+	// in the driver's own storage (so the engine's checkpoint file is
+	// unnecessary and recovery is superblock + WAL tail).
+	Persistent() bool
+	// CreateTable ensures a table exists (idempotent) and returns it.
+	CreateTable(name string) (Table, error)
+	// Table returns an existing table.
+	Table(name string) (Table, bool)
+	// Tables returns the table names in sorted order.
+	Tables() []string
+	// Apply applies a batch of writes atomically with respect to readers
+	// and other batches. The batch is validated first: on error, nothing
+	// was applied.
+	Apply(batch []Write) error
+	// Checkpoint is the driver's durability barrier (see package doc).
+	Checkpoint() error
+	// Stats returns a point-in-time snapshot of driver internals.
+	Stats() Stats
+	// Close releases resources. Unapplied checkpoint state is discarded
+	// (the engine's WAL re-applies it on recovery).
+	Close() error
+}
+
+// Config parameterizes a driver instance.
+type Config struct {
+	// Dir is the directory holding the driver's files (ignored by purely
+	// in-memory drivers).
+	Dir string
+	// PageSize is the on-disk page size in bytes (0: driver default).
+	PageSize int
+	// CacheBytes is the page-cache byte budget (0: driver default).
+	CacheBytes int64
+	// Obs, when non-nil, receives the store_* metric family (see BindObs).
+	Obs *obs.Registry
+}
+
+// Factory opens one driver instance.
+type Factory func(cfg Config) (Driver, error)
+
+var (
+	regMu     sync.Mutex
+	factories = make(map[string]Factory)
+)
+
+// Register installs a driver factory under a name. Drivers register
+// themselves from init(); re-registering a name panics.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := factories[name]; dup {
+		panic(fmt.Sprintf("store: driver %q registered twice", name))
+	}
+	factories[name] = f
+}
+
+// Open builds a driver instance by registered name.
+func Open(name string, cfg Config) (Driver, error) {
+	regMu.Lock()
+	f, ok := factories[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("store: unknown driver %q (registered: %v)", name, Names())
+	}
+	return f(cfg)
+}
+
+// Names returns the registered driver names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateBatch is the shared batch pre-check drivers run before applying:
+// every table must exist (per tableOK) and every key must be within
+// MaxKeyLen. Drivers call it under their own lock.
+func ValidateBatch(batch []Write, tableOK func(string) bool) error {
+	for _, w := range batch {
+		if !tableOK(w.Table) {
+			return fmt.Errorf("%w: %q", ErrNoTable, w.Table)
+		}
+		if len(w.Key) > MaxKeyLen {
+			return fmt.Errorf("%w: %d bytes in %s/%q…", ErrKeyTooLarge, len(w.Key), w.Table, w.Key[:16])
+		}
+	}
+	return nil
+}

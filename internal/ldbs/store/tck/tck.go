@@ -1,0 +1,585 @@
+// Package tck is the storage-driver conformance kit: one table-driven
+// suite that every registered driver must pass, in the spirit of
+// voedger's istorage TCK. A driver package runs it from a plain test:
+//
+//	func TestTCK(t *testing.T) {
+//		tck.Run(t, tck.Harness{
+//			Open:   func(t *testing.T, dir string) store.Driver { ... },
+//			Reopen: func(t *testing.T, dir string) store.Driver { ... }, // nil for non-persistent drivers
+//		})
+//	}
+//
+// The suite checks the contract rules spelled out in the store package
+// doc: idempotent table creation, sorted scans with early stop, batch
+// atomicity on validation failure, key-length limits, large values,
+// checkpoint round-trips across reopen, and randomized equivalence
+// against a model map under interleaved puts/deletes/checkpoints.
+package tck
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"preserial/internal/ldbs/store"
+	"preserial/internal/sem"
+)
+
+// Harness adapts one driver to the suite.
+type Harness struct {
+	// Open builds a fresh driver over dir (empty dir per test).
+	Open func(t *testing.T, dir string) store.Driver
+	// Reopen closes nothing itself: the suite calls d.Close, then Reopen
+	// must bring the driver back over the same dir with all checkpointed
+	// state. Nil skips persistence tests (in-memory drivers).
+	Reopen func(t *testing.T, dir string) store.Driver
+}
+
+// Run executes the conformance suite against the harness.
+func Run(t *testing.T, h Harness) {
+	t.Run("TableLifecycle", func(t *testing.T) { testTableLifecycle(t, h) })
+	t.Run("GetPutDelete", func(t *testing.T) { testGetPutDelete(t, h) })
+	t.Run("ScanOrdering", func(t *testing.T) { testScanOrdering(t, h) })
+	t.Run("ScanEarlyStop", func(t *testing.T) { testScanEarlyStop(t, h) })
+	t.Run("BatchAtomicity", func(t *testing.T) { testBatchAtomicity(t, h) })
+	t.Run("KeyLimit", func(t *testing.T) { testKeyLimit(t, h) })
+	t.Run("LargeValues", func(t *testing.T) { testLargeValues(t, h) })
+	t.Run("Stats", func(t *testing.T) { testStats(t, h) })
+	t.Run("Concurrency", func(t *testing.T) { testConcurrency(t, h) })
+	t.Run("RandomizedModel", func(t *testing.T) { testRandomizedModel(t, h) })
+	if h.Reopen != nil {
+		t.Run("CheckpointReopen", func(t *testing.T) { testCheckpointReopen(t, h) })
+		t.Run("RandomizedReopen", func(t *testing.T) { testRandomizedReopen(t, h) })
+	}
+}
+
+func row(vals ...any) store.Row {
+	r := store.Row{}
+	for i := 0; i+1 < len(vals); i += 2 {
+		col := vals[i].(string)
+		switch v := vals[i+1].(type) {
+		case int:
+			r[col] = sem.Int(int64(v))
+		case int64:
+			r[col] = sem.Int(v)
+		case float64:
+			r[col] = sem.Float(v)
+		case string:
+			r[col] = sem.Str(v)
+		default:
+			panic(fmt.Sprintf("tck: unsupported value %T", v))
+		}
+	}
+	return r
+}
+
+func rowsEqual(a, b store.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for c, v := range a {
+		if !b[c].Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func mustCreate(t *testing.T, d store.Driver, name string) store.Table {
+	t.Helper()
+	tb, err := d.CreateTable(name)
+	if err != nil {
+		t.Fatalf("CreateTable(%q): %v", name, err)
+	}
+	return tb
+}
+
+func testTableLifecycle(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	if _, ok := d.Table("nope"); ok {
+		t.Fatal("Table on a fresh driver found a table")
+	}
+	mustCreate(t, d, "b")
+	mustCreate(t, d, "a")
+	tb1 := mustCreate(t, d, "a") // idempotent
+	if err := tb1.Put("k", row("x", 1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	tb2 := mustCreate(t, d, "a")
+	if n := tb2.Len(); n != 1 {
+		t.Fatalf("re-created table lost rows: Len=%d", n)
+	}
+	if got, want := d.Tables(), []string{"a", "b"}; !equalStrings(got, want) {
+		t.Fatalf("Tables() = %v, want %v", got, want)
+	}
+	if _, ok := d.Table("a"); !ok {
+		t.Fatal("Table(a) not found after CreateTable")
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func testGetPutDelete(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	tb := mustCreate(t, d, "t")
+	if _, ok, err := tb.Get("missing"); err != nil || ok {
+		t.Fatalf("Get(missing) = ok=%v err=%v", ok, err)
+	}
+	r1 := row("n", 1, "s", "one", "f", 1.5)
+	if err := tb.Put("k1", r1); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok, err := tb.Get("k1")
+	if err != nil || !ok || !rowsEqual(got, r1) {
+		t.Fatalf("Get(k1) = %v ok=%v err=%v, want %v", got, ok, err, r1)
+	}
+	// Overwrite replaces the whole row.
+	r2 := row("n", 2)
+	if err := tb.Put("k1", r2); err != nil {
+		t.Fatalf("Put overwrite: %v", err)
+	}
+	if got, _, _ := tb.Get("k1"); !rowsEqual(got, r2) {
+		t.Fatalf("after overwrite Get = %v, want %v", got, r2)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", tb.Len())
+	}
+	if existed, err := tb.Delete("k1"); err != nil || !existed {
+		t.Fatalf("Delete(k1) = %v, %v", existed, err)
+	}
+	if existed, err := tb.Delete("k1"); err != nil || existed {
+		t.Fatalf("second Delete(k1) = %v, %v; want false", existed, err)
+	}
+	if _, ok, _ := tb.Get("k1"); ok {
+		t.Fatal("Get found a deleted key")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d after delete, want 0", tb.Len())
+	}
+	// Null and empty-string edge values survive a round trip.
+	edge := store.Row{"null": sem.Null(), "empty": sem.Str("")}
+	if err := tb.Put("", edge); err != nil {
+		t.Fatalf("Put(empty key): %v", err)
+	}
+	if got, ok, _ := tb.Get(""); !ok || !rowsEqual(got, edge) {
+		t.Fatalf("Get(empty key) = %v ok=%v, want %v", got, ok, edge)
+	}
+}
+
+func testScanOrdering(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	tb := mustCreate(t, d, "t")
+	keys := []string{"zz", "a", "m", "aa", "b\x00x", "b", "0", "~", ""}
+	for i, k := range keys {
+		if err := tb.Put(k, row("i", i)); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	var got []string
+	if err := tb.Scan(func(k string, r store.Row) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if !equalStrings(got, want) {
+		t.Fatalf("Scan order = %q, want %q", got, want)
+	}
+}
+
+func testScanEarlyStop(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	tb := mustCreate(t, d, "t")
+	for i := 0; i < 100; i++ {
+		if err := tb.Put(fmt.Sprintf("k%03d", i), row("i", i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	var seen int
+	if err := tb.Scan(func(k string, r store.Row) bool {
+		seen++
+		return seen < 7
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if seen != 7 {
+		t.Fatalf("early-stopped scan visited %d rows, want 7", seen)
+	}
+}
+
+func testBatchAtomicity(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	tb := mustCreate(t, d, "t")
+	if err := tb.Put("keep", row("n", 1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// A batch with an unknown table must apply nothing.
+	bad := []store.Write{
+		{Table: "t", Key: "keep", Row: nil},
+		{Table: "t", Key: "new", Row: row("n", 2)},
+		{Table: "ghost", Key: "x", Row: row("n", 3)},
+	}
+	if err := d.Apply(bad); err == nil {
+		t.Fatal("Apply with unknown table succeeded")
+	}
+	if _, ok, _ := tb.Get("keep"); !ok {
+		t.Fatal("failed batch deleted a row")
+	}
+	if _, ok, _ := tb.Get("new"); ok {
+		t.Fatal("failed batch inserted a row")
+	}
+	// A batch with an oversized key must apply nothing.
+	bad = []store.Write{
+		{Table: "t", Key: "new", Row: row("n", 2)},
+		{Table: "t", Key: strings.Repeat("k", store.MaxKeyLen+1), Row: row("n", 3)},
+	}
+	if err := d.Apply(bad); err == nil {
+		t.Fatal("Apply with oversized key succeeded")
+	}
+	if _, ok, _ := tb.Get("new"); ok {
+		t.Fatal("failed batch inserted a row")
+	}
+	// A good batch applies everything, including deletes.
+	good := []store.Write{
+		{Table: "t", Key: "keep", Row: nil},
+		{Table: "t", Key: "new", Row: row("n", 2)},
+	}
+	if err := d.Apply(good); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if _, ok, _ := tb.Get("keep"); ok {
+		t.Fatal("batch delete did not land")
+	}
+	if got, ok, _ := tb.Get("new"); !ok || !rowsEqual(got, row("n", 2)) {
+		t.Fatalf("batch put did not land: %v ok=%v", got, ok)
+	}
+}
+
+func testKeyLimit(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	tb := mustCreate(t, d, "t")
+	max := strings.Repeat("k", store.MaxKeyLen)
+	if err := tb.Put(max, row("n", 1)); err != nil {
+		t.Fatalf("Put(max-length key): %v", err)
+	}
+	if got, ok, _ := tb.Get(max); !ok || !rowsEqual(got, row("n", 1)) {
+		t.Fatal("max-length key did not round-trip")
+	}
+	if err := tb.Put(max+"k", row("n", 2)); err == nil {
+		t.Fatal("Put accepted a key over MaxKeyLen")
+	}
+}
+
+func testLargeValues(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	tb := mustCreate(t, d, "t")
+	// Values from small to several pages, forcing overflow chains on the
+	// disk driver.
+	sizes := []int{10, 1000, 5000, 40000, 200000}
+	for i, size := range sizes {
+		r := row("i", i, "blob", strings.Repeat("x", size))
+		k := fmt.Sprintf("k%d", i)
+		if err := tb.Put(k, r); err != nil {
+			t.Fatalf("Put(%d bytes): %v", size, err)
+		}
+		if got, ok, err := tb.Get(k); err != nil || !ok || !rowsEqual(got, r) {
+			t.Fatalf("large value %d did not round-trip (ok=%v err=%v)", size, ok, err)
+		}
+	}
+	// Overwrite a large value with a small one and delete another.
+	if err := tb.Put("k4", row("n", 1)); err != nil {
+		t.Fatalf("overwrite large: %v", err)
+	}
+	if got, _, _ := tb.Get("k4"); !rowsEqual(got, row("n", 1)) {
+		t.Fatal("overwrite of large value did not land")
+	}
+	if existed, err := tb.Delete("k3"); err != nil || !existed {
+		t.Fatalf("Delete(large) = %v, %v", existed, err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+}
+
+func testStats(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	tb := mustCreate(t, d, "t")
+	mustCreate(t, d, "u")
+	for i := 0; i < 50; i++ {
+		if err := tb.Put(fmt.Sprintf("k%02d", i), row("i", i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	s := d.Stats()
+	if s.Driver != d.Name() {
+		t.Fatalf("Stats.Driver = %q, want %q", s.Driver, d.Name())
+	}
+	if s.Persistent != d.Persistent() {
+		t.Fatalf("Stats.Persistent = %v, want %v", s.Persistent, d.Persistent())
+	}
+	if s.Tables != 2 {
+		t.Fatalf("Stats.Tables = %d, want 2", s.Tables)
+	}
+	if s.Rows != 50 {
+		t.Fatalf("Stats.Rows = %d, want 50", s.Rows)
+	}
+	if d.Persistent() && s.PageSize == 0 {
+		t.Fatal("persistent driver reports PageSize 0")
+	}
+}
+
+func testConcurrency(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	tb := mustCreate(t, d, "t")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("w%d-%03d", w, i)
+				if err := tb.Put(k, row("i", i)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, _, err := tb.Get(k); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if i%17 == 0 {
+					if _, err := tb.Delete(k); err != nil {
+						t.Errorf("Delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if err := tb.Scan(func(k string, r store.Row) bool { return true }); err != nil {
+				t.Errorf("Scan: %v", err)
+				return
+			}
+			d.Stats()
+			if err := d.Checkpoint(); err != nil {
+				t.Errorf("Checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// testRandomizedModel drives a driver and a plain map with the same
+// random operation stream and requires identical contents throughout.
+func testRandomizedModel(t *testing.T, h Harness) {
+	d := h.Open(t, t.TempDir())
+	defer d.Close()
+	runModel(t, d, nil, "")
+}
+
+// testRandomizedReopen is the same with periodic checkpoint+close+reopen
+// cycles: whatever was checkpointed must come back identically.
+func testRandomizedReopen(t *testing.T, h Harness) {
+	dir := t.TempDir()
+	d := h.Open(t, dir)
+	defer func() { d.Close() }()
+	runModel(t, d, func() store.Driver {
+		if err := d.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint: %v", err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		d = h.Reopen(t, dir)
+		return d
+	}, dir)
+}
+
+func runModel(t *testing.T, d store.Driver, cycle func() store.Driver, dir string) {
+	rng := rand.New(rand.NewSource(42))
+	model := map[string]map[string]store.Row{"a": {}, "b": {}}
+	mustCreate(t, d, "a")
+	mustCreate(t, d, "b")
+	tables := []string{"a", "b"}
+	key := func() string { return fmt.Sprintf("k%03d", rng.Intn(400)) }
+	for step := 0; step < 3000; step++ {
+		tn := tables[rng.Intn(len(tables))]
+		tb, ok := d.Table(tn)
+		if !ok {
+			t.Fatalf("step %d: table %q vanished", step, tn)
+		}
+		switch op := rng.Intn(10); {
+		case op < 5: // put
+			k := key()
+			r := row("step", step, "pad", strings.Repeat("p", rng.Intn(300)))
+			if err := tb.Put(k, r); err != nil {
+				t.Fatalf("step %d Put: %v", step, err)
+			}
+			model[tn][k] = r
+		case op < 7: // delete
+			k := key()
+			existed, err := tb.Delete(k)
+			if err != nil {
+				t.Fatalf("step %d Delete: %v", step, err)
+			}
+			if _, want := model[tn][k]; want != existed {
+				t.Fatalf("step %d Delete(%s/%s) existed=%v, model says %v", step, tn, k, existed, want)
+			}
+			delete(model[tn], k)
+		case op < 9: // batch across tables
+			var batch []store.Write
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				bt := tables[rng.Intn(len(tables))]
+				k := key()
+				if rng.Intn(4) == 0 {
+					batch = append(batch, store.Write{Table: bt, Key: k})
+				} else {
+					batch = append(batch, store.Write{Table: bt, Key: k, Row: row("step", step, "i", i)})
+				}
+			}
+			if err := d.Apply(batch); err != nil {
+				t.Fatalf("step %d Apply: %v", step, err)
+			}
+			for _, w := range batch {
+				if w.Row == nil {
+					delete(model[w.Table], w.Key)
+				} else {
+					model[w.Table][w.Key] = w.Row
+				}
+			}
+		default: // point check
+			k := key()
+			got, ok, err := tb.Get(k)
+			if err != nil {
+				t.Fatalf("step %d Get: %v", step, err)
+			}
+			want, wantOK := model[tn][k]
+			if ok != wantOK || (ok && !rowsEqual(got, want)) {
+				t.Fatalf("step %d Get(%s/%s) = %v ok=%v, model %v ok=%v", step, tn, k, got, ok, want, wantOK)
+			}
+		}
+		if cycle != nil && step%500 == 499 {
+			d = cycle()
+		}
+		if step%250 == 249 {
+			verifyModel(t, d, model, step)
+		}
+	}
+	verifyModel(t, d, model, -1)
+}
+
+func verifyModel(t *testing.T, d store.Driver, model map[string]map[string]store.Row, step int) {
+	t.Helper()
+	for tn, rows := range model {
+		tb, ok := d.Table(tn)
+		if !ok {
+			t.Fatalf("step %d: table %q missing", step, tn)
+		}
+		if tb.Len() != len(rows) {
+			t.Fatalf("step %d: %s Len=%d, model has %d", step, tn, tb.Len(), len(rows))
+		}
+		var prev string
+		first := true
+		seen := 0
+		if err := tb.Scan(func(k string, r store.Row) bool {
+			if !first && k <= prev {
+				t.Fatalf("step %d: scan out of order: %q after %q", step, k, prev)
+			}
+			first, prev = false, k
+			want, ok := rows[k]
+			if !ok || !rowsEqual(r, want) {
+				t.Fatalf("step %d: scan %s/%s = %v, model %v (present=%v)", step, tn, k, r, want, ok)
+			}
+			seen++
+			return true
+		}); err != nil {
+			t.Fatalf("step %d: Scan: %v", step, err)
+		}
+		if seen != len(rows) {
+			t.Fatalf("step %d: scan visited %d rows, model has %d", step, seen, len(rows))
+		}
+	}
+}
+
+func testCheckpointReopen(t *testing.T, h Harness) {
+	dir := t.TempDir()
+	d := h.Open(t, dir)
+	tb := mustCreate(t, d, "t")
+	for i := 0; i < 200; i++ {
+		if err := tb.Put(fmt.Sprintf("k%03d", i), row("i", i)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Post-checkpoint writes are allowed to vanish on close (the WAL
+	// above the driver re-applies them); they must not corrupt anything.
+	if err := tb.Put("lost", row("i", -1)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	d = h.Reopen(t, dir)
+	defer d.Close()
+	tb2, ok := d.Table("t")
+	if !ok {
+		t.Fatal("table missing after reopen")
+	}
+	if tb2.Len() != 200 {
+		t.Fatalf("Len after reopen = %d, want 200", tb2.Len())
+	}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		if got, ok, err := tb2.Get(k); err != nil || !ok || !rowsEqual(got, row("i", i)) {
+			t.Fatalf("Get(%s) after reopen = %v ok=%v err=%v", k, got, ok, err)
+		}
+	}
+	// A second checkpoint+reopen with deletions.
+	for i := 0; i < 100; i++ {
+		if _, err := tb2.Delete(fmt.Sprintf("k%03d", i)); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	d = h.Reopen(t, dir)
+	defer d.Close()
+	tb3, _ := d.Table("t")
+	if tb3.Len() != 100 {
+		t.Fatalf("Len after second reopen = %d, want 100", tb3.Len())
+	}
+}

@@ -253,7 +253,7 @@ type wal struct {
 	// Coordinator state, guarded by syncMu (never held across I/O).
 	syncMu        sync.Mutex
 	syncCond      *sync.Cond
-	syncing       bool  // a leader is flushing+syncing
+	syncing       bool // a leader is flushing+syncing
 	syncedLSN     uint64
 	syncedCommits uint64
 	poison        error

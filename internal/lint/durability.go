@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -25,6 +26,12 @@ import (
 //     must be written via the temp+fsync+rename idiom (WriteReplEpoch is
 //     canonical): a direct os.WriteFile/os.Create of a protected name is
 //     flagged, and an os.Rename onto one requires an earlier Sync.
+//  4. Fixed-offset commit records. The disk driver's superblock is the
+//     storage-engine commit point: a function registered in
+//     durabilityFixedOffset (installSuperblock) must follow every WriteAt
+//     with a Sync before returning — the in-place write is durable only
+//     after the fsync, and a torn un-synced slot is exactly the window
+//     dual-slot superblocks exist to close.
 //
 // The analyzer is a registry, not a points-to analysis: functions opt into
 // a role by bearing a registered name (durabilityBarriers,
@@ -54,6 +61,7 @@ var durabilityBarriers = map[string]bool{
 	"LogDone":       true, // CoordLog done record + fsync
 	"applyFrames":   true, // follower frame ingest: durable (WAL+cursor) on return
 	"adoptSnapshot": true, // follower resync: durable (checkpoint+cursor) on return
+	"flushPages":    true, // disk driver: write every dirty page + fsync
 }
 
 // durabilitySinks make replicated state visible to the outside: an ack the
@@ -61,6 +69,17 @@ var durabilityBarriers = map[string]bool{
 var durabilitySinks = map[string]bool{
 	"sendAck":     true,
 	"applyWrites": true,
+	// Advancing the superblock makes the epoch's copy-on-write pages the
+	// recovery image: if they were not flushed first, recovery follows the
+	// new root into pages that may never have hit the disk.
+	"installSuperblock": true,
+}
+
+// durabilityFixedOffset names the functions that commit state by writing
+// in place at a fixed offset (no rename possible): every WriteAt inside
+// them must be followed by a Sync before the function returns.
+var durabilityFixedOffset = map[string]bool{
+	"installSuperblock": true,
 }
 
 // durabilityStateFiles are the fencing/progress files that must be
@@ -88,7 +107,12 @@ func runDurability(pass *Pass) {
 // durabilityActivePath limits the analyzer to the packages that own
 // durable state.
 func durabilityActivePath(path string) bool {
-	for _, p := range []string{"internal/ldbs", "internal/shard", "internal/wire"} {
+	// Suffix matching is per path segment, so the store subpackages are
+	// listed explicitly: the contract package and both drivers.
+	for _, p := range []string{
+		"internal/ldbs", "internal/shard", "internal/wire",
+		"internal/ldbs/store", "internal/ldbs/store/mem", "internal/ldbs/store/disk",
+	} {
 		if pathHasSuffix(path, p) {
 			return true
 		}
@@ -102,6 +126,8 @@ func durScanFunc(pass *Pass, fd *ast.FuncDecl) {
 	barrierSeen := false
 	logDecideSeen := false
 	syncSeen := false
+	fixedOffset := durabilityFixedOffset[fd.Name.Name]
+	unsyncedWriteAt := token.NoPos // last WriteAt with no Sync after it yet
 	ast.Inspect(fd.Body, func(x ast.Node) bool {
 		call, ok := x.(*ast.CallExpr)
 		if !ok {
@@ -110,6 +136,14 @@ func durScanFunc(pass *Pass, fd *ast.FuncDecl) {
 		name := durCalleeName(pass, call)
 		if name == "" {
 			return true
+		}
+		if fixedOffset {
+			switch name {
+			case "WriteAt":
+				unsyncedWriteAt = call.Pos()
+			case "Sync":
+				unsyncedWriteAt = token.NoPos
+			}
 		}
 		if f := calleeFunc(pass.Info, call); f != nil {
 			switch {
@@ -145,11 +179,14 @@ func durScanFunc(pass *Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+	if unsyncedWriteAt.IsValid() {
+		pass.Reportf(unsyncedWriteAt, "%s returns with a WriteAt not followed by Sync: a fixed-offset commit record is durable only after the fsync", fd.Name.Name)
+	}
 }
 
 // durBarrierHint keeps the finding self-explanatory without dumping the
 // whole registry.
-const durBarrierHint = "AppendGroup/Flush/Sync/Checkpoint — see durabilityBarriers"
+const durBarrierHint = "AppendGroup/Flush/Sync/Checkpoint/flushPages — see durabilityBarriers"
 
 // durCalleeName names a call's target: the resolved function or method if
 // type information has one (interface methods included), else the bare

@@ -1,0 +1,47 @@
+// Package disk mirrors the real disk driver's checkpoint shapes for
+// gtmlint/durability: flushPages is a registered barrier,
+// installSuperblock a registered sink and fixed-offset commit record.
+package disk
+
+import "os"
+
+// driver stands in for the real disk driver: a page file plus the
+// registered checkpoint pair.
+type driver struct{ f *os.File }
+
+// flushPages is a registered barrier: dirty pages written + fsync.
+func (d *driver) flushPages() error { return d.f.Sync() }
+
+// installSuperblock is the canonical fixed-offset commit record: the
+// in-place WriteAt is durable only once the Sync returns.
+func (d *driver) installSuperblock(buf []byte, slot int64) error {
+	if _, err := d.f.WriteAt(buf, slot); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
+
+// checkpoint is the canonical shape: pages durable, then the superblock
+// makes them the recovery image.
+func (d *driver) checkpoint(buf []byte, slot int64) error {
+	if err := d.flushPages(); err != nil {
+		return err
+	}
+	return d.installSuperblock(buf, slot)
+}
+
+// checkpointUnflushed advances the superblock over pages that may still
+// be dirty in the cache: recovery follows the new root into garbage.
+func (d *driver) checkpointUnflushed(buf []byte, slot int64) error {
+	return d.installSuperblock(buf, slot) // want "installSuperblock makes replicated state visible before any durability barrier"
+}
+
+// torn stands in for a driver whose superblock write skips the fsync.
+type torn struct{ f *os.File }
+
+// installSuperblock here returns right after the in-place write: a crash
+// leaves the slot half-written with the generation already claimed.
+func (t *torn) installSuperblock(buf []byte, slot int64) error {
+	_, err := t.f.WriteAt(buf, slot) // want "installSuperblock returns with a WriteAt not followed by Sync"
+	return err
+}

@@ -110,6 +110,23 @@ const (
 	NameGwLaneDepth        = "gw_lane_queue_depth"        // gauge: queued requests across all lanes
 	NameGwDispatchSeconds  = "gw_dispatch_seconds"        // histogram: enqueue → response written
 
+	// Storage drivers (internal/ldbs/store). One family serves every
+	// driver; purely in-memory drivers leave the page/cache series at
+	// zero. Gauges aggregate over all driver instances bound to the
+	// registry (one per shard in cluster mode). See docs/STORAGE.md.
+	NameStoreCacheHits         = "store_cache_hits_total"
+	NameStoreCacheMisses       = "store_cache_misses_total"
+	NameStoreCacheEvictions    = "store_cache_evictions_total"
+	NameStorePagesRead         = "store_pages_read_total"
+	NameStorePagesWritten      = "store_pages_written_total"
+	NameStoreCheckpoints       = "store_checkpoints_total"
+	NameStoreCheckpointSeconds = "store_checkpoint_seconds"
+	NameStoreDirtyPages        = "store_dirty_pages"             // gauge
+	NameStoreCacheBytes        = "store_page_cache_bytes"        // gauge
+	NameStoreCacheBudget       = "store_page_cache_budget_bytes" // gauge
+	NameStoreRows              = "store_rows"                    // gauge
+	NameStoreLastCkptMicros    = "store_last_checkpoint_micros"  // gauge: duration of the most recent checkpoint
+
 	// Daemon process (cmd/gtmd).
 	NameUptimeSeconds = "gtmd_uptime_seconds"
 	NameGoroutines    = "gtmd_goroutines"

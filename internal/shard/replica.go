@@ -113,6 +113,8 @@ type ReplicaShard struct {
 	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.replHub.mu
 	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.ReplSource.mu
 	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.Replica.mu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> store.regMu
+	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> store.bindMu
 	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> ldbs.replStreamMu
 	//gtmlint:lockorder shard.ReplicaShard.lifeMu -> obs.Registry.mu
 	lifeMu sync.Mutex
@@ -172,9 +174,11 @@ func OpenReplicaShard(cfg ReplicaConfig) (*ReplicaShard, error) {
 		return nil, fmt.Errorf("shard %d: %w", cfg.Local.Index, err)
 	}
 	follower, err := ldbs.OpenReplica(ldbs.ReplicaOptions{
-		Dir:     cfg.FollowerDir,
-		Schemas: withHiddenSchemas(cfg.Local.Schemas),
-		Logf:    s.logf,
+		Dir:            cfg.FollowerDir,
+		Schemas:        withHiddenSchemas(cfg.Local.Schemas),
+		Store:          cfg.Local.Store,
+		PageCacheBytes: cfg.Local.PageCacheBytes,
+		Logf:           s.logf,
 	})
 	if err != nil {
 		src.Close()

@@ -117,6 +117,12 @@ type LocalConfig struct {
 	// Dir is the shard's persistence directory (WAL + checkpoints); empty
 	// runs the shard on a volatile in-memory LDBS.
 	Dir string
+	// Store selects the storage driver by registered name ("mem", "disk");
+	// empty means "mem". Only honored when Dir is set.
+	Store string
+	// PageCacheBytes bounds the disk driver's page cache (0 = driver
+	// default). Ignored by the mem driver.
+	PageCacheBytes int64
 	// Schemas are the application tables (the marker table is added
 	// automatically).
 	Schemas []ldbs.Schema
@@ -206,6 +212,7 @@ func (s *LocalShard) start() error {
 	)
 	if s.cfg.Dir != "" {
 		pers = &ldbs.Persistence{Dir: s.cfg.Dir, Obs: s.cfg.Obs,
+			Store: s.cfg.Store, PageCacheBytes: s.cfg.PageCacheBytes,
 			DisableGroupCommit: s.cfg.WAL.DisableGroupCommit,
 			GroupCommitWindow:  s.cfg.WAL.GroupCommitWindow,
 			SyncDelay:          s.cfg.WAL.SyncDelay}
